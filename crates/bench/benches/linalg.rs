@@ -1,0 +1,91 @@
+//! Criterion benches for the dense linear-algebra kernels: the QR
+//! factorizations (including the paper's specialized pivoting), least
+//! squares, and the Jacobi SVD, across representative matrix shapes.
+
+use catalyze_linalg::{lstsq, qrcp, singular_values, specialized_qrcp, Matrix, Qr, SpQrcpParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-10.0..10.0)).collect();
+    Matrix::from_col_major(rows, cols, data).expect("shape matches")
+}
+
+/// A matrix shaped like the pipeline's X: expectation-like columns plus
+/// aggregates plus noise columns.
+fn representation_like(dim: usize, events: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols: Vec<Vec<f64>> = (0..events)
+        .map(|e| {
+            let mut c = vec![0.0; dim];
+            match e % 3 {
+                0 => c[e % dim] = 1.0,
+                1 => {
+                    c[e % dim] = 1.0;
+                    c[(e + 1) % dim] = 2.0;
+                }
+                _ => {
+                    for v in c.iter_mut() {
+                        *v = rng.gen_range(0.0..100.0);
+                    }
+                }
+            }
+            c
+        })
+        .collect();
+    Matrix::from_columns(&cols).expect("uniform length")
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr_factor");
+    for &(m, n) in &[(16usize, 8usize), (48, 16), (128, 64), (256, 128)] {
+        let a = random_matrix(m, n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| Qr::factor(black_box(a)).expect("full rank"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pivoting_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qrcp_rules");
+    for &events in &[32usize, 128, 512] {
+        let x = representation_like(16, events, 2);
+        g.bench_with_input(BenchmarkId::new("specialized", events), &x, |b, x| {
+            b.iter(|| specialized_qrcp(black_box(x), SpQrcpParams::new(5e-4)).expect("valid"))
+        });
+        g.bench_with_input(BenchmarkId::new("standard", events), &x, |b, x| {
+            b.iter(|| qrcp(black_box(x), 1e-10).expect("valid"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstsq");
+    for &(m, n) in &[(16usize, 8usize), (48, 16), (128, 32)] {
+        let a = random_matrix(m, n, 3);
+        let b_vec: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(a, b_vec), |b, (a, rhs)| {
+            b.iter(|| lstsq(black_box(a), black_box(rhs)).expect("full rank"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_svd");
+    for &n in &[8usize, 16, 48] {
+        let a = random_matrix(n * 2, n, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| singular_values(black_box(a)).expect("converges"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_qr, bench_pivoting_rules, bench_lstsq, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the analysis pipeline itself: the per-stage costs
+//! (noise filtering, representation, selection, definition) and the full
+//! `analyze` pass on each benchmark domain.
+
+use catalyze::noise::analyze_noise;
+use catalyze::normalize::represent;
+use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::select::select_events;
+use catalyze_bench::{Harness, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_full_analyze(c: &mut Criterion) {
+    let h = Harness::new(Scale::Fast);
+    let mut g = c.benchmark_group("analyze_domain");
+    g.sample_size(20);
+    for name in ["branch", "cpu-flops", "gpu-flops"] {
+        let d = h.domain(name).expect("known domain");
+        let cfg = d.analysis.config;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                analyze(
+                    black_box(name),
+                    &d.measurements.events,
+                    &d.measurements.runs,
+                    &d.basis,
+                    &d.signatures,
+                    cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let h = Harness::new(Scale::Fast);
+    let d = h.cpu_flops();
+    let ms = &d.measurements;
+
+    c.bench_function("stage_noise_filter", |b| {
+        let vectors: Vec<Vec<&[f64]>> =
+            (0..ms.num_events()).map(|e| ms.vectors_for_event(e)).collect();
+        b.iter(|| analyze_noise(black_box(&ms.events), black_box(&vectors), 1e-10))
+    });
+
+    c.bench_function("stage_representation", |b| {
+        let kept: Vec<(usize, String, Vec<f64>)> = d
+            .analysis
+            .noise
+            .kept()
+            .into_iter()
+            .map(|e| (e, ms.events[e].clone(), ms.mean_vector(e)))
+            .collect();
+        b.iter(|| represent(black_box(&d.basis), black_box(&kept), 0.05))
+    });
+
+    c.bench_function("stage_selection", |b| {
+        b.iter(|| select_events(black_box(&d.analysis.representation), 5e-4))
+    });
+}
+
+fn bench_measurement_runners(c: &mut Criterion) {
+    let h = Harness::new(Scale::Fast);
+    let mut g = c.benchmark_group("measure_domain");
+    g.sample_size(10);
+    g.bench_function("branch", |b| {
+        b.iter(|| catalyze_cat::run_branch(black_box(&h.cpu_events), &h.cfg))
+    });
+    g.bench_function("gpu-flops", |b| {
+        b.iter(|| catalyze_cat::run_gpu_flops(black_box(&h.gpu_events), &h.cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_analyze, bench_stages, bench_measurement_runners);
+criterion_main!(benches);

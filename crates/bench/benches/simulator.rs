@@ -1,0 +1,87 @@
+//! Criterion benches for the simulated-hardware substrate: instruction
+//! execution throughput, cache-hierarchy accesses, branch prediction, and
+//! full pointer-chase passes.
+
+use catalyze_cat::dcache::ChaseConfig;
+use catalyze_sim::branch::{Predictor, PredictorConfig};
+use catalyze_sim::cache::AccessKind;
+use catalyze_sim::hierarchy::{Hierarchy, HierarchyConfig};
+use catalyze_sim::program::Block;
+use catalyze_sim::{CoreConfig, Cpu, FpKind, Instruction, Precision, Program, VecWidth};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_fp_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_execute_flops");
+    for &trips in &[64u64, 1024] {
+        let block = Block::new().repeat(
+            Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma),
+            48,
+        );
+        let program = Program::new().counted_loop(block, trips, 0);
+        g.throughput(Throughput::Elements(program.dynamic_length()));
+        g.bench_with_input(BenchmarkId::from_parameter(trips), &program, |b, p| {
+            b.iter(|| {
+                let mut cpu = Cpu::new(CoreConfig::default_sim());
+                cpu.run(black_box(p));
+                cpu.stats().instructions
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_hierarchy_access");
+    let cfg = HierarchyConfig::default_sim();
+    for &(label, span) in &[("l1_resident", 4 * 1024u64), ("l3_resident", 512 * 1024)] {
+        let addrs: Vec<u64> = (0..span / 64).map(|i| i * 64).collect();
+        g.throughput(Throughput::Elements(addrs.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &addrs, |b, addrs| {
+            let mut h = Hierarchy::new(cfg);
+            // Warm.
+            for &a in addrs {
+                h.access(a, AccessKind::Read);
+            }
+            b.iter(|| {
+                for &a in addrs {
+                    black_box(h.access(a, AccessKind::Read));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("gshare_retire_1k", |b| {
+        let mut p = Predictor::new(PredictorConfig::default_sim());
+        let mut flip = false;
+        b.iter(|| {
+            for i in 0..1000u32 {
+                flip = !flip;
+                black_box(p.retire_cond(i % 7, flip, None));
+            }
+        })
+    });
+}
+
+fn bench_pointer_chase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointer_chase_pass");
+    for &pointers in &[256u64, 4096] {
+        let cfg = ChaseConfig { stride: 64, pointers, line_bytes: 64 };
+        let program = cfg.program(0, 9, 1);
+        g.throughput(Throughput::Elements(pointers));
+        g.bench_with_input(BenchmarkId::from_parameter(pointers), &program, |b, p| {
+            b.iter(|| {
+                let mut cpu = Cpu::new(CoreConfig::default_sim());
+                cpu.run(black_box(p));
+                cpu.stats().loads
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fp_kernel, bench_hierarchy, bench_predictor, bench_pointer_chase);
+criterion_main!(benches);

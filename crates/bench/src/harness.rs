@@ -1,0 +1,222 @@
+//! Measurement + analysis plumbing shared by the `repro` binary, the
+//! ablations, and the Criterion benches.
+
+use catalyze::basis::{self, Basis, CacheRegion};
+use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::signature::{self, MetricSignature};
+use catalyze_cat::{
+    dcache, dstore, dtlb, run_branch, run_cpu_flops, run_dcache, run_dstore, run_dtlb,
+    run_gpu_flops, MeasurementSet, RunnerConfig,
+};
+use catalyze_sim::{mi250x_like, sapphire_rapids_like, CpuEventSet, GpuEventSet};
+
+/// Harness scale: the full paper-size runs or a down-scaled smoke variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters (the default for `repro`).
+    Full,
+    /// Reduced trip counts and repetitions for quick iteration and tests.
+    Fast,
+}
+
+/// A benchmark domain's measurements together with its analysis.
+pub struct DomainResult {
+    /// The raw measurements.
+    pub measurements: MeasurementSet,
+    /// The domain's expectation basis.
+    pub basis: Basis,
+    /// The metric signatures defined over that basis.
+    pub signatures: Vec<MetricSignature>,
+    /// The pipeline output.
+    pub analysis: AnalysisReport,
+}
+
+/// Shared state: event inventories and runner configuration.
+pub struct Harness {
+    /// Runner configuration (core, PMU, repetitions, trip counts).
+    pub cfg: RunnerConfig,
+    /// The Sapphire-Rapids-like CPU event inventory.
+    pub cpu_events: CpuEventSet,
+    /// The MI250X-like GPU event inventory (8 devices).
+    pub gpu_events: GpuEventSet,
+}
+
+impl Harness {
+    /// Builds a harness at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let cfg = match scale {
+            Scale::Full => RunnerConfig::default_sim(),
+            Scale::Fast => {
+                let mut c = RunnerConfig::fast_test();
+                c.repetitions = 3;
+                c.flops_trips = 512;
+                c.branch_iterations = 1024;
+                c
+            }
+        };
+        let gpu_devices = cfg.gpu_devices;
+        Self { cfg, cpu_events: sapphire_rapids_like(), gpu_events: mi250x_like(gpu_devices) }
+    }
+
+    /// Cache regions of the pointer-chase sweep, in `catalyze` terms.
+    pub fn cache_regions(&self) -> Vec<CacheRegion> {
+        dcache::point_regions(&self.cfg.core.hierarchy)
+            .into_iter()
+            .map(|r| match r {
+                dcache::Region::L1 => CacheRegion::L1,
+                dcache::Region::L2 => CacheRegion::L2,
+                dcache::Region::L3 => CacheRegion::L3,
+                dcache::Region::Memory => CacheRegion::Memory,
+            })
+            .collect()
+    }
+
+    /// Runs the CPU-FLOPs benchmark and analysis (paper §V.A, Table V,
+    /// Fig. 2b).
+    pub fn cpu_flops(&self) -> DomainResult {
+        let measurements = run_cpu_flops(&self.cpu_events, &self.cfg);
+        let basis = basis::cpu_flops_basis();
+        let signatures = signature::cpu_flops_signatures();
+        let analysis = analyze(
+            "cpu-flops",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::cpu_flops(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs the branching benchmark and analysis (§V.C, Table VII,
+    /// Fig. 2a).
+    pub fn branch(&self) -> DomainResult {
+        let measurements = run_branch(&self.cpu_events, &self.cfg);
+        let basis = basis::branch_basis();
+        let signatures = signature::branch_signatures();
+        let analysis = analyze(
+            "branch",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::branch(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs the data-cache benchmark and analysis (§V.D, Table VIII,
+    /// Figs. 2d and 3).
+    pub fn dcache(&self) -> DomainResult {
+        let measurements = run_dcache(&self.cpu_events, &self.cfg);
+        let basis = basis::dcache_basis(&self.cache_regions());
+        let signatures = signature::dcache_signatures();
+        let analysis = analyze(
+            "dcache",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::dcache(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs the GPU-FLOPs benchmark and analysis (§V.B, Table VI,
+    /// Fig. 2c).
+    pub fn gpu_flops(&self) -> DomainResult {
+        let measurements = run_gpu_flops(&self.gpu_events, &self.cfg);
+        let basis = basis::gpu_flops_basis();
+        let signatures = signature::gpu_flops_signatures();
+        let analysis = analyze(
+            "gpu-flops",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::gpu_flops(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs the data-TLB extension benchmark and analysis (beyond the
+    /// paper: its future-work direction of covering further hardware
+    /// attributes).
+    pub fn dtlb(&self) -> DomainResult {
+        let measurements = run_dtlb(&self.cpu_events, &self.cfg);
+        let hit_regions = dtlb::point_hit_regions(&self.cfg.core.tlb);
+        let basis = basis::dtlb_basis(&hit_regions);
+        let signatures = signature::dtlb_signatures();
+        let analysis = analyze(
+            "dtlb",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::dtlb(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs the store-path extension benchmark and analysis.
+    pub fn dstore(&self) -> DomainResult {
+        let measurements = run_dstore(&self.cpu_events, &self.cfg);
+        let regions: Vec<CacheRegion> = dstore::point_regions(&self.cfg.core.hierarchy)
+            .into_iter()
+            .map(|r| match r {
+                dstore::Region::L1 => CacheRegion::L1,
+                dstore::Region::L2 => CacheRegion::L2,
+                dstore::Region::L3 => CacheRegion::L3,
+                dstore::Region::Memory => CacheRegion::Memory,
+            })
+            .collect();
+        let basis = basis::dstore_basis(&regions);
+        let signatures = signature::dstore_signatures();
+        let analysis = analyze(
+            "dstore",
+            &measurements.events,
+            &measurements.runs,
+            &basis,
+            &signatures,
+            AnalysisConfig::dstore(),
+        );
+        DomainResult { measurements, basis, signatures, analysis }
+    }
+
+    /// Runs one domain by name (`cpu-flops`, `branch`, `dcache`,
+    /// `gpu-flops`).
+    pub fn domain(&self, name: &str) -> Option<DomainResult> {
+        match name {
+            "cpu-flops" => Some(self.cpu_flops()),
+            "branch" => Some(self.branch()),
+            "dcache" => Some(self.dcache()),
+            "gpu-flops" => Some(self.gpu_flops()),
+            "dtlb" => Some(self.dtlb()),
+            "dstore" => Some(self.dstore()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_harness_runs_every_domain() {
+        let h = Harness::new(Scale::Fast);
+        for name in ["cpu-flops", "branch", "gpu-flops"] {
+            let d = h.domain(name).unwrap();
+            assert!(!d.analysis.metrics.is_empty(), "{name}");
+            assert_eq!(d.basis.points(), d.measurements.num_points(), "{name}");
+        }
+        assert!(h.domain("nope").is_none());
+    }
+
+    #[test]
+    fn cache_regions_cover_sweep() {
+        let h = Harness::new(Scale::Fast);
+        let regions = h.cache_regions();
+        assert_eq!(regions.len(), 16);
+    }
+}

@@ -1,0 +1,13 @@
+//! # catalyze-bench
+//!
+//! The reproduction harness: shared plumbing for regenerating every table
+//! and figure of the paper, plus the ablation studies. The `repro` binary
+//! drives this library; the Criterion benches measure the pipeline's own
+//! performance.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod harness;
+
+pub use harness::{DomainResult, Harness, Scale};

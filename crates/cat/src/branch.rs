@@ -1,0 +1,228 @@
+//! The CAT branching benchmark: eleven microkernels whose per-iteration
+//! branch behavior spans the rows of the paper's branching expectation
+//! matrix `E_branch` (Eq. 3).
+//!
+//! Each kernel is described by a two-iteration pattern of explicit
+//! conditional branches (with exact taken/mispredict outcomes — data
+//! patterns on real hardware are chosen to elicit exactly these rates) plus
+//! unconditional jumps. A back-edge branch, always taken, closes each
+//! iteration, exactly as the counted loop of the real benchmark does.
+//!
+//! Per iteration the kernels therefore retire, in `(CE, CR, T, D, M)`
+//! expectation coordinates, exactly the rows of Eq. 3:
+//!
+//! ```text
+//! k1  (2.0, 2.0, 1.5, 0, 0.0)    k7  (2.5, 2.0, 1.5, 0, 0.5)
+//! k2  (2.0, 2.0, 1.0, 0, 0.0)    k8  (3.0, 2.5, 1.5, 0, 0.5)
+//! k3  (2.0, 2.0, 2.0, 0, 0.0)    k9  (3.0, 2.5, 2.0, 0, 0.5)
+//! k4  (2.0, 2.0, 1.5, 0, 0.5)    k10 (2.0, 2.0, 1.0, 1, 0.0)
+//! k5  (2.5, 2.5, 1.5, 0, 0.5)    k11 (1.0, 1.0, 1.0, 0, 0.0)
+//! k6  (2.5, 2.5, 2.0, 0, 0.5)
+//! ```
+//!
+//! `CE` (conditional branches *executed*, i.e. including speculative
+//! re-execution after a misprediction) exceeds `CR` on kernels 7–9; no raw
+//! event on the simulated machine measures it — exactly the situation on
+//! Sapphire Rapids that makes the "Conditional Branches Executed" metric
+//! non-composable (Table VII).
+
+use catalyze_sim::program::Block;
+use catalyze_sim::{Instruction, IntKind, Program};
+use serde::{Deserialize, Serialize};
+
+/// One explicit conditional branch instance in the two-iteration pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CondSpec {
+    /// Architectural outcome.
+    pub taken: bool,
+    /// Whether this instance mispredicts.
+    pub mispredict: bool,
+}
+
+impl CondSpec {
+    const fn new(taken: bool, mispredict: bool) -> Self {
+        Self { taken, mispredict }
+    }
+}
+
+/// Description of one branching kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchKernel {
+    /// Kernel label (`k1`..`k11`).
+    pub name: String,
+    /// Explicit conditional branches in even iterations.
+    pub even: Vec<CondSpec>,
+    /// Explicit conditional branches in odd iterations.
+    pub odd: Vec<CondSpec>,
+    /// Unconditional jumps per iteration.
+    pub uncond_per_iter: u32,
+    /// The `(CE, CR, T, D, M)` expectation row (per iteration, including
+    /// the always-taken back edge).
+    pub expectation: [f64; 5],
+}
+
+impl BranchKernel {
+    /// Per-iteration retired conditional branches (explicit + back edge).
+    pub fn cond_retired_per_iter(&self) -> f64 {
+        1.0 + (self.even.len() + self.odd.len()) as f64 / 2.0
+    }
+
+    /// Per-iteration taken conditional branches.
+    pub fn taken_per_iter(&self) -> f64 {
+        let explicit = self.even.iter().chain(&self.odd).filter(|c| c.taken).count() as f64;
+        1.0 + explicit / 2.0
+    }
+
+    /// Per-iteration mispredicted branches.
+    pub fn mispredicted_per_iter(&self) -> f64 {
+        self.even.iter().chain(&self.odd).filter(|c| c.mispredict).count() as f64 / 2.0
+    }
+
+    /// Builds the program executing `iterations` iterations
+    /// (`iterations` must be even — the pattern is two iterations long).
+    ///
+    /// # Panics
+    /// Panics on odd `iterations`.
+    pub fn program(&self, iterations: u64) -> Program {
+        assert!(iterations % 2 == 0, "iterations must be even");
+        let mut block = Block::new();
+        let mut site = 100u32;
+        for half in [&self.even, &self.odd] {
+            // A couple of integer ops model the work computing conditions.
+            block = block.push(Instruction::Int(IntKind::Add)).push(Instruction::Int(IntKind::Cmp));
+            for c in half {
+                block = block.push(Instruction::cond_forced(site, c.taken, c.mispredict));
+                site += 1;
+            }
+            for _ in 0..self.uncond_per_iter {
+                block = block.push(Instruction::UncondBranch);
+            }
+            // Back edge: always taken, always predicted.
+            block = block.push(Instruction::cond_forced(99, true, false));
+        }
+        Program::new().bare_loop(block, iterations / 2)
+    }
+}
+
+/// The eleven kernels, in the row order of Eq. 3.
+pub fn kernel_space() -> Vec<BranchKernel> {
+    let t = CondSpec::new(true, false);
+    let n = CondSpec::new(false, false);
+    // Mispredicting variants.
+    let tm = CondSpec::new(true, true);
+    let nm = CondSpec::new(false, true);
+    vec![
+        // k1 (2,2,1.5,0,0): one explicit branch, taken on alternate iters.
+        BranchKernel { name: "k1".into(), even: vec![t], odd: vec![n], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.5, 0.0, 0.0] },
+        // k2 (2,2,1,0,0): one explicit branch, never taken.
+        BranchKernel { name: "k2".into(), even: vec![n], odd: vec![n], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.0, 0.0, 0.0] },
+        // k3 (2,2,2,0,0): one explicit branch, always taken.
+        BranchKernel { name: "k3".into(), even: vec![t], odd: vec![t], uncond_per_iter: 0, expectation: [2.0, 2.0, 2.0, 0.0, 0.0] },
+        // k4 (2,2,1.5,0,0.5): alternate taken, mispredicted on the
+        // not-taken instances (so that "mispredicted taken branches" is not
+        // accidentally expressible in the expectation basis — on real
+        // hardware the taken/not-taken split of mispredictions does not
+        // line up with any CE/CR/T/D/M combination either).
+        BranchKernel { name: "k4".into(), even: vec![t], odd: vec![nm], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.5, 0.0, 0.5] },
+        // k5 (2.5,2.5,1.5,0,0.5): three explicit branches per two iters,
+        // one taken, one mispredicted.
+        BranchKernel { name: "k5".into(), even: vec![tm, n], odd: vec![n], uncond_per_iter: 0, expectation: [2.5, 2.5, 1.5, 0.0, 0.5] },
+        // k6 (2.5,2.5,2,0,0.5): as k5 but two taken per two iterations.
+        BranchKernel { name: "k6".into(), even: vec![tm, n], odd: vec![t], uncond_per_iter: 0, expectation: [2.5, 2.5, 2.0, 0.0, 0.5] },
+        // k7 (2.5,2,1.5,0,0.5): retired counts as k4; CE = 2.5 because the
+        // mispredicted branch is re-executed speculatively.
+        BranchKernel { name: "k7".into(), even: vec![nm], odd: vec![t], uncond_per_iter: 0, expectation: [2.5, 2.0, 1.5, 0.0, 0.5] },
+        // k8 (3,2.5,1.5,0,0.5): three explicit per two iters, one taken.
+        BranchKernel { name: "k8".into(), even: vec![nm, n], odd: vec![t], uncond_per_iter: 0, expectation: [3.0, 2.5, 1.5, 0.0, 0.5] },
+        // k9 (3,2.5,2,0,0.5): three explicit per two iters, two taken.
+        BranchKernel { name: "k9".into(), even: vec![nm, t], odd: vec![t], uncond_per_iter: 0, expectation: [3.0, 2.5, 2.0, 0.0, 0.5] },
+        // k10 (2,2,1,1,0): one never-taken conditional plus one jump.
+        BranchKernel { name: "k10".into(), even: vec![n], odd: vec![n], uncond_per_iter: 1, expectation: [2.0, 2.0, 1.0, 1.0, 0.0] },
+        // k11 (1,1,1,0,0): the bare loop.
+        BranchKernel { name: "k11".into(), even: vec![], odd: vec![], uncond_per_iter: 0, expectation: [1.0, 1.0, 1.0, 0.0, 0.0] },
+    ]
+}
+
+/// Point labels (one per kernel).
+pub fn point_labels() -> Vec<String> {
+    kernel_space().iter().map(|k| k.name.clone()).collect()
+}
+
+/// Iterations per kernel measurement.
+pub const ITERATIONS: u64 = 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyze_sim::{CoreConfig, Cpu};
+
+    #[test]
+    fn eleven_kernels() {
+        assert_eq!(kernel_space().len(), 11);
+        assert_eq!(point_labels()[10], "k11");
+    }
+
+    #[test]
+    fn per_iteration_rates_match_expectations() {
+        for k in kernel_space() {
+            assert_eq!(k.cond_retired_per_iter(), k.expectation[1], "{} CR", k.name);
+            assert_eq!(k.taken_per_iter(), k.expectation[2], "{} T", k.name);
+            assert_eq!(k.uncond_per_iter as f64, k.expectation[3], "{} D", k.name);
+            assert_eq!(k.mispredicted_per_iter(), k.expectation[4], "{} M", k.name);
+            assert!(
+                k.expectation[0] >= k.expectation[1],
+                "{}: executed >= retired",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_counts_match_expectations_exactly() {
+        let iters = 1000u64;
+        for k in kernel_space() {
+            let mut cpu = Cpu::new(CoreConfig::default_sim());
+            cpu.run(&k.program(iters));
+            let s = cpu.stats();
+            let per = |x: u64| x as f64 / iters as f64;
+            assert_eq!(per(s.branch.cond_retired), k.expectation[1], "{} CR", k.name);
+            assert_eq!(per(s.branch.cond_taken), k.expectation[2], "{} T", k.name);
+            assert_eq!(per(s.branch.uncond_retired), k.expectation[3], "{} D", k.name);
+            assert_eq!(per(s.branch.mispredicted), k.expectation[4], "{} M", k.name);
+        }
+    }
+
+    #[test]
+    fn no_fp_activity() {
+        let k = &kernel_space()[0];
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&k.program(100));
+        assert_eq!(cpu.stats().flops(catalyze_sim::Precision::Double), 0);
+        assert_eq!(cpu.stats().flops(catalyze_sim::Precision::Single), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_iterations_rejected() {
+        kernel_space()[0].program(7);
+    }
+
+    #[test]
+    fn expectation_matrix_matches_paper_eq3() {
+        let rows: Vec<[f64; 5]> = kernel_space().iter().map(|k| k.expectation).collect();
+        let paper: [[f64; 5]; 11] = [
+            [2.0, 2.0, 1.5, 0.0, 0.0],
+            [2.0, 2.0, 1.0, 0.0, 0.0],
+            [2.0, 2.0, 2.0, 0.0, 0.0],
+            [2.0, 2.0, 1.5, 0.0, 0.5],
+            [2.5, 2.5, 1.5, 0.0, 0.5],
+            [2.5, 2.5, 2.0, 0.0, 0.5],
+            [2.5, 2.0, 1.5, 0.0, 0.5],
+            [3.0, 2.5, 1.5, 0.0, 0.5],
+            [3.0, 2.5, 2.0, 0.0, 0.5],
+            [2.0, 2.0, 1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0, 0.0, 0.0],
+        ];
+        assert_eq!(rows, paper);
+    }
+}

@@ -1,0 +1,176 @@
+//! Measurement datasets: the hand-off format between benchmarks and the
+//! analysis pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// All raw-event measurements collected by one benchmark, over several
+/// repetitions.
+///
+/// Layout: `runs[r][e][p]` is the normalized count of event `e` at
+/// measurement point `p` (a kernel/loop or a pointer-chase configuration)
+/// during repetition `r`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    /// Benchmark identifier (`cpu-flops`, `branch`, `dcache`, `gpu-flops`).
+    pub domain: String,
+    /// One label per measurement point, e.g. `DP scalar / 48` or
+    /// `stride=64B size=8KiB`.
+    pub point_labels: Vec<String>,
+    /// Fully qualified raw-event names, aligned with the event axis.
+    pub events: Vec<String>,
+    /// `runs[r][e][p]` as described above.
+    pub runs: Vec<Vec<Vec<f64>>>,
+}
+
+/// Error for malformed measurement sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError(pub String);
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed measurement set: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl MeasurementSet {
+    /// Validates internal consistency (every run covers every event, every
+    /// event vector covers every point).
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        let ne = self.events.len();
+        let np = self.point_labels.len();
+        if self.runs.is_empty() {
+            return Err(ShapeError("no runs".into()));
+        }
+        for (r, run) in self.runs.iter().enumerate() {
+            if run.len() != ne {
+                return Err(ShapeError(format!(
+                    "run {r} has {} event vectors, expected {ne}",
+                    run.len()
+                )));
+            }
+            for (e, vec) in run.iter().enumerate() {
+                if vec.len() != np {
+                    return Err(ShapeError(format!(
+                        "run {r} event {e} has {} points, expected {np}",
+                        vec.len()
+                    )));
+                }
+                if vec.iter().any(|v| !v.is_finite()) {
+                    return Err(ShapeError(format!("run {r} event {e} has non-finite values")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of repetitions.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of measurement points.
+    pub fn num_points(&self) -> usize {
+        self.point_labels.len()
+    }
+
+    /// The measurement vectors of one event across all runs.
+    pub fn vectors_for_event(&self, e: usize) -> Vec<&[f64]> {
+        self.runs.iter().map(|r| r[e].as_slice()).collect()
+    }
+
+    /// Element-wise mean measurement vector of one event across runs.
+    pub fn mean_vector(&self, e: usize) -> Vec<f64> {
+        let np = self.num_points();
+        let mut mean = vec![0.0; np];
+        for run in &self.runs {
+            for (m, &v) in mean.iter_mut().zip(&run[e]) {
+                *m += v;
+            }
+        }
+        let n = self.num_runs() as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        mean
+    }
+
+    /// Index of an event by name.
+    pub fn event_index(&self, name: &str) -> Option<usize> {
+        self.events.iter().position(|e| e == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> MeasurementSet {
+        MeasurementSet {
+            domain: "test".into(),
+            point_labels: vec!["p0".into(), "p1".into()],
+            events: vec!["A".into(), "B".into()],
+            runs: vec![
+                vec![vec![1.0, 2.0], vec![10.0, 20.0]],
+                vec![vec![3.0, 4.0], vec![10.0, 20.0]],
+            ],
+        }
+    }
+
+    #[test]
+    fn validation_passes_and_dims() {
+        let s = set();
+        s.validate().unwrap();
+        assert_eq!(s.num_runs(), 2);
+        assert_eq!(s.num_events(), 2);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn validation_catches_shape_errors() {
+        let mut s = set();
+        s.runs[1].pop();
+        assert!(s.validate().is_err());
+        let mut s = set();
+        s.runs[0][0].pop();
+        assert!(s.validate().is_err());
+        let mut s = set();
+        s.runs.clear();
+        assert!(s.validate().is_err());
+        let mut s = set();
+        s.runs[0][0][0] = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn mean_and_vectors() {
+        let s = set();
+        assert_eq!(s.mean_vector(0), vec![2.0, 3.0]);
+        assert_eq!(s.mean_vector(1), vec![10.0, 20.0]);
+        let v = s.vectors_for_event(0);
+        assert_eq!(v[0], &[1.0, 2.0]);
+        assert_eq!(v[1], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn event_index_lookup() {
+        let s = set();
+        assert_eq!(s.event_index("B"), Some(1));
+        assert_eq!(s.event_index("C"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = set();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MeasurementSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,166 @@
+//! The CAT CPU-FLOPs benchmark: 16 microkernels spanning
+//! `{scalar, 128, 256, 512} x {FMA, non-FMA} x {SP, DP}`.
+//!
+//! Every kernel contains three loops with a known number of FP instructions
+//! per iteration (24/48/96 for non-FMA kernels, 12/24/48 for FMA kernels —
+//! the structure of the paper's Figure 1), so each kernel contributes three
+//! measurement points whose expected per-iteration counts are exact.
+
+use catalyze_sim::program::Block;
+use catalyze_sim::{FpKind, Instruction, Precision, Program, VecWidth};
+use serde::{Deserialize, Serialize};
+
+/// Identity of one FLOPs kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlopsKernel {
+    /// Element precision (Single or Double on the CPU).
+    pub prec: Precision,
+    /// SIMD width.
+    pub width: VecWidth,
+    /// Fused multiply-add kernel?
+    pub fma: bool,
+}
+
+impl FlopsKernel {
+    /// Short symbol, matching the paper's notation: `SSCAL`, `D256_FMA`, ...
+    pub fn symbol(&self) -> String {
+        let p = match self.prec {
+            Precision::Single => "S",
+            Precision::Double => "D",
+            Precision::Half => "H",
+        };
+        let w = match self.width {
+            VecWidth::Scalar => "SCAL".to_string(),
+            w => w.bits().to_string(),
+        };
+        if self.fma {
+            format!("{p}{w}_FMA")
+        } else {
+            format!("{p}{w}")
+        }
+    }
+
+    /// FP instructions per loop iteration for the three loops.
+    pub fn loop_sizes(&self) -> [u64; 3] {
+        if self.fma {
+            [12, 24, 48]
+        } else {
+            [24, 48, 96]
+        }
+    }
+
+    /// The instruction this kernel's loop body repeats. Non-FMA kernels
+    /// alternate add and multiply (like the real CAT kernels, which chain
+    /// independent adds/muls); FMA kernels issue fused multiply-adds.
+    fn instruction(&self, slot: u64) -> Instruction {
+        let kind = if self.fma {
+            FpKind::Fma
+        } else if slot % 2 == 0 {
+            FpKind::Add
+        } else {
+            FpKind::Mul
+        };
+        Instruction::fp(self.prec, self.width, kind)
+    }
+
+    /// Builds the program for one of the three loops.
+    pub fn program(&self, loop_index: usize, trips: u64) -> Program {
+        let n = self.loop_sizes()[loop_index];
+        let mut block = Block::new();
+        for slot in 0..n {
+            block = block.push(self.instruction(slot));
+        }
+        Program::new().counted_loop(block, trips, loop_index as u32)
+    }
+}
+
+/// The 16 kernels in expectation-basis order:
+/// `SSCAL, S128, S256, S512, DSCAL, ..., D512, SSCAL_FMA, ..., S512_FMA,
+/// DSCAL_FMA, ..., D512_FMA` (the column order of the paper's matrix `E`).
+pub fn kernel_space() -> Vec<FlopsKernel> {
+    let mut kernels = Vec::with_capacity(16);
+    for fma in [false, true] {
+        for prec in [Precision::Single, Precision::Double] {
+            for width in VecWidth::ALL {
+                kernels.push(FlopsKernel { prec, width, fma });
+            }
+        }
+    }
+    kernels
+}
+
+/// Measurement-point labels for the full benchmark (kernel-major, then
+/// loop), matching the order produced by the runner.
+pub fn point_labels() -> Vec<String> {
+    kernel_space()
+        .iter()
+        .flat_map(|k| {
+            k.loop_sizes()
+                .into_iter()
+                .map(move |n| format!("{}/{}", k.symbol(), n))
+        })
+        .collect()
+}
+
+/// Trip count used for every loop (large enough that one-off effects like
+/// the final back-edge fall-through are negligible).
+pub const TRIPS: u64 = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyze_sim::{CoreConfig, Cpu};
+
+    #[test]
+    fn sixteen_kernels_in_basis_order() {
+        let ks = kernel_space();
+        assert_eq!(ks.len(), 16);
+        let symbols: Vec<String> = ks.iter().map(|k| k.symbol()).collect();
+        assert_eq!(symbols[0], "SSCAL");
+        assert_eq!(symbols[3], "S512");
+        assert_eq!(symbols[4], "DSCAL");
+        assert_eq!(symbols[7], "D512");
+        assert_eq!(symbols[8], "SSCAL_FMA");
+        assert_eq!(symbols[12], "DSCAL_FMA");
+        assert_eq!(symbols[15], "D512_FMA");
+    }
+
+    #[test]
+    fn loop_sizes_follow_paper() {
+        let scal = FlopsKernel { prec: Precision::Double, width: VecWidth::Scalar, fma: false };
+        assert_eq!(scal.loop_sizes(), [24, 48, 96]);
+        let fma = FlopsKernel { prec: Precision::Double, width: VecWidth::V256, fma: true };
+        assert_eq!(fma.loop_sizes(), [12, 24, 48]);
+    }
+
+    #[test]
+    fn program_counts_match_expectation() {
+        let k = FlopsKernel { prec: Precision::Double, width: VecWidth::V256, fma: true };
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&k.program(0, 10));
+        let s = cpu.stats();
+        assert_eq!(s.fp_class(Precision::Double, VecWidth::V256, FpKind::Fma), 120);
+        // Loop header: one int add + one cmp + one branch per iteration.
+        assert_eq!(s.int_total(), 20);
+        assert_eq!(s.branch.cond_retired, 10);
+    }
+
+    #[test]
+    fn non_fma_kernels_mix_add_and_mul() {
+        let k = FlopsKernel { prec: Precision::Single, width: VecWidth::Scalar, fma: false };
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&k.program(2, 1));
+        let s = cpu.stats();
+        assert_eq!(s.fp_class(Precision::Single, VecWidth::Scalar, FpKind::Add), 48);
+        assert_eq!(s.fp_class(Precision::Single, VecWidth::Scalar, FpKind::Mul), 48);
+        assert_eq!(s.fp_class(Precision::Single, VecWidth::Scalar, FpKind::Fma), 0);
+    }
+
+    #[test]
+    fn labels_are_48_points() {
+        let labels = point_labels();
+        assert_eq!(labels.len(), 48);
+        assert_eq!(labels[0], "SSCAL/24");
+        assert_eq!(labels[47], "D512_FMA/48");
+    }
+}

@@ -1,0 +1,123 @@
+//! The GPU-FLOPs benchmark: kernels for addition, subtraction,
+//! multiplication, square root, and fused multiply-add in half, single, and
+//! double precision — fifteen kernels, each run at three instruction counts.
+
+use catalyze_sim::{FpKind, GpuKernel, Precision};
+use serde::{Deserialize, Serialize};
+
+/// One GPU-FLOPs kernel class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuFlopsKernel {
+    /// Operation.
+    pub op: FpKind,
+    /// Precision.
+    pub prec: Precision,
+}
+
+impl GpuFlopsKernel {
+    /// Paper symbol: `T``P` with T in {A, S, M, SQ, F}, P in {H, S, D}.
+    pub fn symbol(&self) -> String {
+        let t = match self.op {
+            FpKind::Add => "A",
+            FpKind::Sub => "S",
+            FpKind::Mul => "M",
+            FpKind::Sqrt => "SQ",
+            FpKind::Fma => "F",
+            FpKind::Div => "DV",
+        };
+        let p = match self.prec {
+            Precision::Half => "H",
+            Precision::Single => "S",
+            Precision::Double => "D",
+        };
+        format!("{t}{p}")
+    }
+
+    /// The three per-wavefront instruction counts each kernel is run at.
+    pub fn sizes(&self) -> [u64; 3] {
+        SIZES
+    }
+
+    /// Builds the launchable kernel for one size index.
+    pub fn kernel(&self, size_index: usize, wavefronts: u64) -> GpuKernel {
+        GpuKernel {
+            name: self.symbol(),
+            op: self.op,
+            prec: self.prec,
+            instructions: SIZES[size_index],
+            wavefronts,
+        }
+    }
+}
+
+/// Per-wavefront VALU instruction counts for the three runs of each kernel.
+pub const SIZES: [u64; 3] = [256, 512, 1024];
+
+/// Wavefronts dispatched per kernel launch.
+pub const WAVEFRONTS: u64 = 880;
+
+/// The fifteen kernels in expectation-basis order:
+/// `AH, AS, AD, SH, SS, SD, MH, MS, MD, SQH, SQS, SQD, FH, FS, FD`
+/// (the column order of the paper's Eq. 2).
+pub fn kernel_space() -> Vec<GpuFlopsKernel> {
+    let mut out = Vec::with_capacity(15);
+    for op in [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Sqrt, FpKind::Fma] {
+        for prec in Precision::ALL {
+            out.push(GpuFlopsKernel { op, prec });
+        }
+    }
+    out
+}
+
+/// Point labels (kernel-major, then size).
+pub fn point_labels() -> Vec<String> {
+    kernel_space()
+        .iter()
+        .flat_map(|k| SIZES.iter().map(move |s| format!("{}/{}", k.symbol(), s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyze_sim::{GpuConfig, GpuDevice};
+
+    #[test]
+    fn fifteen_kernels_in_basis_order() {
+        let ks = kernel_space();
+        assert_eq!(ks.len(), 15);
+        let syms: Vec<String> = ks.iter().map(|k| k.symbol()).collect();
+        assert_eq!(
+            syms,
+            vec![
+                "AH", "AS", "AD", "SH", "SS", "SD", "MH", "MS", "MD", "SQH", "SQS", "SQD", "FH",
+                "FS", "FD"
+            ]
+        );
+    }
+
+    #[test]
+    fn forty_five_points() {
+        let labels = point_labels();
+        assert_eq!(labels.len(), 45);
+        assert_eq!(labels[0], "AH/256");
+        assert_eq!(labels[44], "FD/1024");
+    }
+
+    #[test]
+    fn launch_counts_match() {
+        let k = kernel_space()[0]; // AH
+        let mut dev = GpuDevice::new(GpuConfig::default_sim());
+        dev.launch(&k.kernel(1, 10));
+        assert_eq!(dev.stats.valu_add[0], 512 * 10);
+        assert_eq!(dev.stats.waves, 10);
+    }
+
+    #[test]
+    fn sub_kernel_feeds_add_counter() {
+        let sub = GpuFlopsKernel { op: FpKind::Sub, prec: Precision::Double };
+        let mut dev = GpuDevice::new(GpuConfig::default_sim());
+        dev.launch(&sub.kernel(0, 5));
+        assert_eq!(dev.stats.valu_add[2], 256 * 5, "SUB lands in the ADD counter");
+    }
+}

@@ -1,0 +1,439 @@
+//! The measurement runner: executes each CAT benchmark on the simulated
+//! platform and reads every raw event, over several repetitions.
+//!
+//! Key behaviors mirroring the real toolkit:
+//!
+//! * every benchmark is run once per *counter group* (the PMU multiplexes),
+//!   modeled by independent noise streams per group;
+//! * workloads are warmed up before counters are armed (caches filled,
+//!   predictors trained);
+//! * the data-cache benchmark runs several threads on disjoint buffers and
+//!   reports the per-thread **median**, the paper's noise-suppression
+//!   device;
+//! * measurements are normalized per loop iteration (CPU), per wavefront
+//!   (GPU), or per access (cache), so they are directly comparable to the
+//!   expectation bases.
+
+use crate::data::MeasurementSet;
+use crate::{branch, dcache, flops_cpu, flops_gpu};
+use catalyze_events::EventId;
+use catalyze_sim::{
+    CoreConfig, Cpu, CpuEventSet, CpuPmu, ExecStats, GpuConfig, GpuDevice, GpuEventSet, GpuStats,
+    PmuConfig,
+};
+use rayon::prelude::*;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Simulated core configuration.
+    pub core: CoreConfig,
+    /// PMU configuration (counter count, noise seed).
+    pub pmu: PmuConfig,
+    /// Benchmark repetitions (the paper's multiple runs for RNMSE).
+    pub repetitions: usize,
+    /// Loop trip count for the CPU-FLOPs kernels.
+    pub flops_trips: u64,
+    /// Iterations for the branching kernels (must be even).
+    pub branch_iterations: u64,
+    /// GPU wavefronts per kernel launch.
+    pub gpu_wavefronts: u64,
+    /// GPU devices on the node.
+    pub gpu_devices: u32,
+    /// Threads for the data-cache benchmark.
+    pub dcache_threads: usize,
+}
+
+impl RunnerConfig {
+    /// Full-scale defaults (used by the reproduction harness).
+    pub fn default_sim() -> Self {
+        Self {
+            core: CoreConfig::default_sim(),
+            pmu: PmuConfig::default_sim(),
+            repetitions: 5,
+            flops_trips: flops_cpu::TRIPS,
+            branch_iterations: branch::ITERATIONS,
+            gpu_wavefronts: flops_gpu::WAVEFRONTS,
+            gpu_devices: 8,
+            dcache_threads: dcache::THREADS,
+        }
+    }
+
+    /// Scaled-down configuration for fast tests.
+    pub fn fast_test() -> Self {
+        Self {
+            repetitions: 3,
+            flops_trips: 64,
+            branch_iterations: 256,
+            gpu_wavefronts: 16,
+            gpu_devices: 2,
+            dcache_threads: 2,
+            ..Self::default_sim()
+        }
+    }
+}
+
+fn all_ids(n: usize) -> Vec<EventId> {
+    (0..n).map(|i| EventId(i as u32)).collect()
+}
+
+/// Mixes repetition and point indices into one PMU run key, so every
+/// (event, repetition, point, group) observation draws independent noise.
+fn run_key(rep: usize, point: usize) -> usize {
+    rep * 100_000 + point
+}
+
+/// Collects per-point stats and reads all events, normalized by `norm`.
+fn read_all_cpu(
+    set: &CpuEventSet,
+    pmu: &CpuPmu,
+    stats: &[ExecStats],
+    norms: &[f64],
+    repetitions: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    let events = all_ids(set.len());
+    (0..repetitions)
+        .map(|rep| {
+            // counts[point][event] -> transpose into [event][point]
+            let per_point: Vec<Vec<f64>> = stats
+                .iter()
+                .enumerate()
+                .map(|(p, s)| pmu.read_cpu(set, s, &events, run_key(rep, p)))
+                .collect();
+            (0..events.len())
+                .map(|e| {
+                    per_point
+                        .iter()
+                        .zip(norms)
+                        .map(|(counts, &n)| counts[e] / n)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the CPU-FLOPs benchmark.
+pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let kernels = flops_cpu::kernel_space();
+    let points: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..3).map(move |l| (k, l)))
+        .collect();
+    let stats: Vec<ExecStats> = points
+        .par_iter()
+        .map(|&(k, l)| {
+            let mut cpu = Cpu::new(cfg.core);
+            cpu.run(&kernels[k].program(l, cfg.flops_trips));
+            cpu.stats()
+        })
+        .collect();
+    let norms = vec![cfg.flops_trips as f64; points.len()];
+    let pmu = CpuPmu::new(cfg.pmu);
+    MeasurementSet {
+        domain: "cpu-flops".into(),
+        point_labels: flops_cpu::point_labels(),
+        events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+    }
+}
+
+/// Runs the branching benchmark.
+pub fn run_branch(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let kernels = branch::kernel_space();
+    let stats: Vec<ExecStats> = kernels
+        .par_iter()
+        .map(|k| {
+            let mut cpu = Cpu::new(cfg.core);
+            cpu.run(&k.program(cfg.branch_iterations));
+            cpu.stats()
+        })
+        .collect();
+    let norms = vec![cfg.branch_iterations as f64; kernels.len()];
+    let pmu = CpuPmu::new(cfg.pmu);
+    MeasurementSet {
+        domain: "branch".into(),
+        point_labels: branch::point_labels(),
+        events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+    }
+}
+
+/// Runs the data-cache benchmark with per-thread medians (the default).
+pub fn run_dcache(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let per_thread = run_dcache_per_thread(set, cfg);
+    median_across_threads(&per_thread)
+}
+
+/// Runs the data-cache benchmark and keeps every thread's measurements
+/// (used by the median-suppression ablation). Result: one `MeasurementSet`
+/// per thread.
+pub fn run_dcache_per_thread(set: &CpuEventSet, cfg: &RunnerConfig) -> Vec<MeasurementSet> {
+    let h = cfg.core.hierarchy;
+    let configs = dcache::sweep(&h);
+    let events = all_ids(set.len());
+    let pmu = CpuPmu::new(cfg.pmu);
+    (0..cfg.dcache_threads)
+        .map(|thread| {
+            // Each thread chases its own permutation over a disjoint buffer.
+            let stats: Vec<ExecStats> = configs
+                .par_iter()
+                .enumerate()
+                .map(|(p, c)| {
+                    let base = (thread as u64 + 1) << 40;
+                    let seed = (thread as u64) * 7919 + p as u64;
+                    let mut cpu = Cpu::new(cfg.core);
+                    cpu.run(&c.program(base, seed, dcache::WARMUP_PASSES));
+                    cpu.reset_stats();
+                    cpu.run(&c.program(base, seed, dcache::MEASURE_PASSES));
+                    cpu.stats()
+                })
+                .collect();
+            let norms: Vec<f64> = configs
+                .iter()
+                .map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64)
+                .collect();
+            let runs = (0..cfg.repetitions)
+                .map(|rep| {
+                    let per_point: Vec<Vec<f64>> = stats
+                        .iter()
+                        .enumerate()
+                        .map(|(p, s)| {
+                            pmu.read_cpu(set, s, &events, run_key(rep, p) + thread * 31_000_000)
+                        })
+                        .collect();
+                    (0..events.len())
+                        .map(|e| {
+                            per_point
+                                .iter()
+                                .zip(&norms)
+                                .map(|(counts, &n)| counts[e] / n)
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            MeasurementSet {
+                domain: format!("dcache/thread={thread}"),
+                point_labels: dcache::point_labels(&h),
+                events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Element-wise median across per-thread measurement sets.
+pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
+    assert!(!threads.is_empty(), "median_across_threads: no threads");
+    let first = &threads[0];
+    let mut out = first.clone();
+    out.domain = "dcache".into();
+    for r in 0..first.num_runs() {
+        for e in 0..first.num_events() {
+            for p in 0..first.num_points() {
+                let vals: Vec<f64> = threads.iter().map(|t| t.runs[r][e][p]).collect();
+                out.runs[r][e][p] =
+                    catalyze_linalg::vector::median(&vals).expect("non-empty thread set");
+            }
+        }
+    }
+    out
+}
+
+/// Runs the data-TLB benchmark (the extension domain).
+pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let tlb = cfg.core.tlb;
+    let configs = crate::dtlb::sweep(&tlb);
+    let stats: Vec<ExecStats> = configs
+        .par_iter()
+        .enumerate()
+        .map(|(p, c)| {
+            let seed = 4242 + p as u64;
+            let mut cpu = Cpu::new(cfg.core);
+            cpu.run(&c.program(0, seed, crate::dtlb::WARMUP_PASSES));
+            cpu.reset_stats();
+            cpu.run(&c.program(0, seed, crate::dtlb::MEASURE_PASSES));
+            cpu.stats()
+        })
+        .collect();
+    let norms: Vec<f64> = configs
+        .iter()
+        .map(|c| (c.slots() * crate::dtlb::MEASURE_PASSES) as f64)
+        .collect();
+    let pmu = CpuPmu::new(cfg.pmu);
+    MeasurementSet {
+        domain: "dtlb".into(),
+        point_labels: crate::dtlb::point_labels(&tlb),
+        events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+    }
+}
+
+/// Runs the store-path (write) cache benchmark (extension domain).
+pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let h = cfg.core.hierarchy;
+    let configs = crate::dstore::sweep(&h);
+    let stats: Vec<ExecStats> = configs
+        .par_iter()
+        .enumerate()
+        .map(|(p, c)| {
+            let seed = 9000 + p as u64;
+            let mut cpu = Cpu::new(cfg.core);
+            cpu.run(&c.program(0, seed, crate::dstore::WARMUP_PASSES));
+            cpu.reset_stats();
+            cpu.run(&c.program(0, seed, crate::dstore::MEASURE_PASSES));
+            cpu.stats()
+        })
+        .collect();
+    let norms: Vec<f64> = configs
+        .iter()
+        .map(|c| (c.lines * crate::dstore::MEASURE_PASSES) as f64)
+        .collect();
+    let pmu = CpuPmu::new(cfg.pmu);
+    MeasurementSet {
+        domain: "dstore".into(),
+        point_labels: crate::dstore::point_labels(&h),
+        events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+    }
+}
+
+/// Runs the GPU-FLOPs benchmark. Kernels execute on device 0 of
+/// `cfg.gpu_devices`; events bound to other devices read their idle
+/// telemetry.
+pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    let kernels = flops_gpu::kernel_space();
+    let points: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..3).map(move |l| (k, l)))
+        .collect();
+    let device_stats: Vec<Vec<GpuStats>> = points
+        .par_iter()
+        .map(|&(k, l)| {
+            let mut dev = GpuDevice::new(GpuConfig::default_sim());
+            dev.launch(&kernels[k].kernel(l, cfg.gpu_wavefronts));
+            let mut all = vec![GpuStats::default(); cfg.gpu_devices as usize];
+            all[0] = dev.stats;
+            all
+        })
+        .collect();
+    let events = all_ids(set.len());
+    let pmu = CpuPmu::new(cfg.pmu);
+    let norm = cfg.gpu_wavefronts as f64;
+    let runs = (0..cfg.repetitions)
+        .map(|rep| {
+            let per_point: Vec<Vec<f64>> = device_stats
+                .iter()
+                .enumerate()
+                .map(|(p, devs)| pmu.read_gpu(set, devs, &events, run_key(rep, p)))
+                .collect();
+            (0..events.len())
+                .map(|e| per_point.iter().map(|counts| counts[e] / norm).collect())
+                .collect()
+        })
+        .collect();
+    MeasurementSet {
+        domain: "gpu-flops".into(),
+        point_labels: flops_gpu::point_labels(),
+        events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyze_sim::{mi250x_like, sapphire_rapids_like};
+
+    #[test]
+    fn cpu_flops_measurements_are_exact_for_fp_events() {
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let ms = run_cpu_flops(&set, &cfg);
+        ms.validate().unwrap();
+        assert_eq!(ms.num_points(), 48);
+        assert_eq!(ms.num_runs(), 3);
+        let e = ms.event_index("FP_ARITH_INST_RETIRED:SCALAR_DOUBLE").unwrap();
+        let v = ms.mean_vector(e);
+        // DSCAL kernel occupies points 12..15 (kernel index 4), values 24/48/96.
+        assert_eq!(&v[12..15], &[24.0, 48.0, 96.0]);
+        // DSCAL_FMA kernel (index 12): 12/24/48 FMA instructions counted twice.
+        assert_eq!(&v[36..39], &[24.0, 48.0, 96.0]);
+        // Identical across runs (architectural counter).
+        let vecs = ms.vectors_for_event(e);
+        assert_eq!(vecs[0], vecs[1]);
+    }
+
+    #[test]
+    fn branch_measurements_match_expectation_rows() {
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let ms = run_branch(&set, &cfg);
+        ms.validate().unwrap();
+        assert_eq!(ms.num_points(), 11);
+        let cond = ms.event_index("BR_INST_RETIRED:COND").unwrap();
+        let v = ms.mean_vector(cond);
+        let expect: Vec<f64> = branch::kernel_space().iter().map(|k| k.expectation[1]).collect();
+        assert_eq!(v, expect, "COND matches CR row exactly");
+        let misp = ms.event_index("BR_MISP_RETIRED:ALL_BRANCHES").unwrap();
+        let v = ms.mean_vector(misp);
+        let expect: Vec<f64> = branch::kernel_space().iter().map(|k| k.expectation[4]).collect();
+        assert_eq!(v, expect, "MISP matches M row exactly");
+    }
+
+    #[test]
+    fn gpu_measurements_structure() {
+        let set = mi250x_like(2);
+        let cfg = RunnerConfig::fast_test();
+        let ms = run_gpu_flops(&set, &cfg);
+        ms.validate().unwrap();
+        assert_eq!(ms.num_points(), 45);
+        let add = ms.event_index("rocm:::SQ_INSTS_VALU_ADD_F16:device=0").unwrap();
+        let v = ms.mean_vector(add);
+        // AH kernel: points 0..3 at 256/512/1024; SH kernel points 9..12.
+        assert_eq!(&v[0..3], &[256.0, 512.0, 1024.0]);
+        assert_eq!(&v[9..12], &[256.0, 512.0, 1024.0], "SUB feeds the ADD counter");
+        assert_eq!(v[3], 0.0, "AS kernel does not touch F16 counter");
+        // Idle device's counter reads zero everywhere.
+        let add1 = ms.event_index("rocm:::SQ_INSTS_VALU_ADD_F16:device=1").unwrap();
+        assert!(ms.mean_vector(add1).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn dcache_median_suppresses_outliers() {
+        let set = sapphire_rapids_like();
+        let mut cfg = RunnerConfig::fast_test();
+        cfg.dcache_threads = 3;
+        let per_thread = run_dcache_per_thread(&set, &cfg);
+        assert_eq!(per_thread.len(), 3);
+        for t in &per_thread {
+            t.validate().unwrap();
+        }
+        let median = median_across_threads(&per_thread);
+        median.validate().unwrap();
+        assert_eq!(median.domain, "dcache");
+        // The median at every cell lies between the per-thread min and max.
+        for e in 0..median.num_events().min(20) {
+            for p in 0..median.num_points() {
+                let vals: Vec<f64> = per_thread.iter().map(|t| t.runs[0][e][p]).collect();
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let m = median.runs[0][e][p];
+                assert!(m >= lo && m <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn dcache_l1_region_hit_rate() {
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let ms = run_dcache(&set, &cfg);
+        let l1hit = ms.event_index("MEM_LOAD_RETIRED:L1_HIT").unwrap();
+        let v = ms.mean_vector(l1hit);
+        // First two points are L1-resident: ~1 hit per access.
+        assert!(v[0] > 0.97, "L1-resident hit rate {}", v[0]);
+        assert!(v[1] > 0.97);
+        // Memory-sized points: near zero.
+        assert!(v[7] < 0.05, "memory-resident L1 hit rate {}", v[7]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Metric validation: the pay-off test for the whole methodology.
+//!
+//! The pipeline defines metrics as linear combinations of raw events. This
+//! module runs an *independent, mixed* workload — one the analysis never
+//! saw — measures the combination, and compares it against the simulator's
+//! architectural ground truth (which a real machine cannot provide, but our
+//! substrate can). A correct metric definition predicts the ground truth to
+//! within measurement noise.
+
+use catalyze_events::{EventId, Preset};
+use catalyze_sim::program::Block;
+use catalyze_sim::{
+    CoreConfig, Cpu, CpuEventSet, CpuPmu, ExecStats, FpKind, Instruction, IntKind, PmuConfig,
+    Precision, Program, VecWidth,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of validating one metric definition on a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationOutcome {
+    /// Metric name.
+    pub metric: String,
+    /// Value predicted by the raw-event combination.
+    pub predicted: f64,
+    /// Architectural ground truth from the simulator.
+    pub ground_truth: f64,
+    /// `|predicted - truth| / max(|truth|, 1)`.
+    pub relative_error: f64,
+    /// Raw events the preset referenced but the inventory lacks.
+    pub missing_events: usize,
+}
+
+/// Builds a mixed validation workload: interleaved FP arithmetic of several
+/// widths/precisions, data-dependent branches, integer work, and loads —
+/// nothing like the single-attribute CAT kernels.
+pub fn validation_workload(seed: u64, scale: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    for chunk in 0..8u64 {
+        let mut block = Block::new();
+        for slot in 0..32 {
+            match rng.gen_range(0..10) {
+                0 => {
+                    block = block.push(Instruction::fp(
+                        Precision::Double,
+                        VecWidth::V256,
+                        FpKind::Fma,
+                    ))
+                }
+                1 => {
+                    block = block.push(Instruction::fp(
+                        Precision::Double,
+                        VecWidth::Scalar,
+                        FpKind::Add,
+                    ))
+                }
+                2 => {
+                    block = block.push(Instruction::fp(
+                        Precision::Single,
+                        VecWidth::V512,
+                        FpKind::Mul,
+                    ))
+                }
+                3 => {
+                    block = block.push(Instruction::fp(
+                        Precision::Single,
+                        VecWidth::V128,
+                        FpKind::Sub,
+                    ))
+                }
+                4 => block = block.push(Instruction::Int(IntKind::Add)),
+                5 => block = block.push(Instruction::Int(IntKind::Logic)),
+                6 => {
+                    let taken = rng.gen_bool(0.6);
+                    let mispredict = rng.gen_bool(0.2);
+                    block = block.push(Instruction::cond_forced(
+                        1000 + slot,
+                        taken,
+                        mispredict,
+                    ));
+                }
+                7 => block = block.push(Instruction::UncondBranch),
+                8 => {
+                    let addr = rng.gen_range(0..64u64) * 64;
+                    block = block.push(Instruction::Load { addr, size: 8 });
+                }
+                _ => block = block.push(Instruction::Nop),
+            }
+        }
+        program = program.counted_loop(block, scale, chunk as u32);
+    }
+    program
+}
+
+/// Ground truth for the standard metric names, extracted from execution
+/// statistics. Returns `None` for metrics this oracle does not know.
+pub fn ground_truth(metric: &str, stats: &ExecStats) -> Option<f64> {
+    let v = match metric.trim_end_matches('.') {
+        "SP Ops" => stats.flops(Precision::Single) as f64,
+        "DP Ops" => stats.flops(Precision::Double) as f64,
+        // "Instruction" metrics follow the FP_ARITH convention the
+        // signatures encode: FMA counted twice.
+        "SP Instrs" => stats.fp_filtered(Some(Precision::Single), None, 2) as f64,
+        "DP Instrs" => stats.fp_filtered(Some(Precision::Double), None, 2) as f64,
+        "Unconditional Branches" => stats.branch.uncond_retired as f64,
+        "Conditional Branches Taken" => stats.branch.cond_taken as f64,
+        "Conditional Branches Not Taken" => stats.branch.cond_not_taken as f64,
+        "Mispredicted Branches" => stats.branch.mispredicted as f64,
+        "Correctly Predicted Branches" => stats.branch.correctly_predicted() as f64,
+        "Conditional Branches Retired" => stats.branch.cond_retired as f64,
+        "L1 Misses" => stats.memory.loads_miss_l1 as f64,
+        "L1 Hits" => stats.memory.loads_hit_l1 as f64,
+        "L1 Reads" => stats.loads as f64,
+        "L2 Hits" => stats.memory.l2.read_hits as f64,
+        "L2 Misses" => stats.memory.l2.read_misses as f64,
+        "L3 Hits" => stats.memory.loads_hit_l3 as f64,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Runs the validation workload once and evaluates each preset against the
+/// measured raw events, comparing to ground truth.
+///
+/// Presets whose metric the ground-truth oracle does not know are skipped.
+pub fn validate_presets(
+    presets: &[Preset],
+    set: &CpuEventSet,
+    core: CoreConfig,
+    pmu: PmuConfig,
+    seed: u64,
+) -> Vec<ValidationOutcome> {
+    let program = validation_workload(seed, 512);
+    let mut cpu = Cpu::new(core);
+    cpu.run(&program);
+    let stats = cpu.stats();
+
+    // Measure every event the presets reference.
+    let pmu = CpuPmu::new(pmu);
+    let all_ids: Vec<EventId> = (0..set.len()).map(|i| EventId(i as u32)).collect();
+    let counts = pmu.read_cpu(set, &stats, &all_ids, 0);
+
+    presets
+        .iter()
+        .filter_map(|p| {
+            let truth = ground_truth(&p.metric, &stats)?;
+            let evaluated = p.evaluate(|name| {
+                set.id_of(&name.to_string()).map(|id| counts[id.index()])
+            });
+            let relative_error = (evaluated.value - truth).abs() / truth.abs().max(1.0);
+            Some(ValidationOutcome {
+                metric: p.metric.clone(),
+                predicted: evaluated.value,
+                ground_truth: truth,
+                relative_error,
+                missing_events: evaluated.missing.len(),
+            })
+        })
+        .collect()
+}
+
+/// Builds a mixed GPU validation workload: several kernels of different
+/// classes and precisions launched back to back on one device.
+pub fn gpu_validation_workload(seed: u64) -> Vec<catalyze_sim::GpuKernel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Sqrt, FpKind::Fma];
+    (0..12)
+        .map(|i| {
+            let op = ops[rng.gen_range(0..ops.len())];
+            let prec = Precision::ALL[rng.gen_range(0..3)];
+            catalyze_sim::GpuKernel {
+                name: format!("mix{i}"),
+                op,
+                prec,
+                instructions: rng.gen_range(64..512),
+                wavefronts: rng.gen_range(100..800),
+            }
+        })
+        .collect()
+}
+
+/// Ground truth for the GPU metric names, per-instruction granularity with
+/// FMA counted as two operations (the convention the signatures encode).
+pub fn gpu_ground_truth(metric: &str, stats: &catalyze_sim::GpuStats) -> Option<f64> {
+    let prec_index = |p: char| match p {
+        'H' => 0usize,
+        'S' => 1,
+        _ => 2,
+    };
+    let all_ops = |i: usize| {
+        (stats.valu_add[i] + stats.valu_mul[i] + stats.valu_trans[i] + 2 * stats.valu_fma[i])
+            as f64
+    };
+    let v = match metric.trim_end_matches('.') {
+        "All HP Ops" => all_ops(prec_index('H')),
+        "All SP Ops" => all_ops(prec_index('S')),
+        "All DP Ops" => all_ops(prec_index('D')),
+        "HP Add and Sub Ops" => stats.valu_add[0] as f64,
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Runs the GPU validation workload on device 0 and evaluates each preset
+/// against the measured events.
+pub fn validate_gpu_presets(
+    presets: &[catalyze_events::Preset],
+    set: &catalyze_sim::GpuEventSet,
+    devices: u32,
+    pmu: PmuConfig,
+    seed: u64,
+) -> Vec<ValidationOutcome> {
+    let mut dev = catalyze_sim::GpuDevice::new(catalyze_sim::GpuConfig::default_sim());
+    for k in gpu_validation_workload(seed) {
+        dev.launch(&k);
+    }
+    let mut all = vec![catalyze_sim::GpuStats::default(); devices as usize];
+    all[0] = dev.stats;
+
+    let pmu = CpuPmu::new(pmu);
+    let ids: Vec<EventId> = (0..set.len()).map(|i| EventId(i as u32)).collect();
+    let counts = pmu.read_gpu(set, &all, &ids, 0);
+
+    presets
+        .iter()
+        .filter_map(|p| {
+            let truth = gpu_ground_truth(&p.metric, &all[0])?;
+            let evaluated = p.evaluate(|name| {
+                set.id_of(&name.to_string()).map(|id| counts[id.index()])
+            });
+            let relative_error = (evaluated.value - truth).abs() / truth.abs().max(1.0);
+            Some(ValidationOutcome {
+                metric: p.metric.clone(),
+                predicted: evaluated.value,
+                ground_truth: truth,
+                relative_error,
+                missing_events: evaluated.missing.len(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyze_events::PresetTerm;
+
+    #[test]
+    fn workload_is_mixed_and_deterministic() {
+        let p1 = validation_workload(7, 16);
+        let p2 = validation_workload(7, 16);
+        assert_eq!(p1, p2);
+        let p3 = validation_workload(8, 16);
+        assert_ne!(p1, p3);
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&p1);
+        let s = cpu.stats();
+        assert!(s.flops(Precision::Double) > 0);
+        assert!(s.flops(Precision::Single) > 0);
+        assert!(s.branch.cond_retired > 0);
+        assert!(s.branch.mispredicted > 0);
+        assert!(s.loads > 0);
+    }
+
+    #[test]
+    fn ground_truth_oracle_coverage() {
+        let s = ExecStats::default();
+        assert_eq!(ground_truth("DP Ops.", &s), Some(0.0));
+        assert_eq!(ground_truth("Mispredicted Branches.", &s), Some(0.0));
+        assert_eq!(ground_truth("L3 Hits.", &s), Some(0.0));
+        assert_eq!(ground_truth("Some Unknown Metric.", &s), None);
+    }
+
+    #[test]
+    fn hand_built_preset_validates_exactly() {
+        // DP Instrs = sum of the four DP FP_ARITH events: architectural
+        // counters read exactly, so relative error must be ~0.
+        let set = catalyze_sim::sapphire_rapids_like();
+        let preset = Preset {
+            metric: "DP Instrs.".into(),
+            terms: [
+                "FP_ARITH_INST_RETIRED:SCALAR_DOUBLE",
+                "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE",
+                "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE",
+                "FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE",
+            ]
+            .iter()
+            .map(|n| PresetTerm { coefficient: 1.0, event: n.parse().unwrap() })
+            .collect(),
+            error: 0.0,
+        };
+        let out = validate_presets(
+            &[preset],
+            &set,
+            CoreConfig::default_sim(),
+            PmuConfig::default_sim(),
+            42,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].ground_truth > 0.0);
+        assert!(out[0].relative_error < 1e-12, "error {}", out[0].relative_error);
+        assert_eq!(out[0].missing_events, 0);
+    }
+
+    #[test]
+    fn wrong_preset_fails_validation() {
+        let set = catalyze_sim::sapphire_rapids_like();
+        let preset = Preset {
+            metric: "DP Instrs.".into(),
+            terms: vec![PresetTerm {
+                coefficient: 1.0,
+                event: "FP_ARITH_INST_RETIRED:SCALAR_SINGLE".parse().unwrap(),
+            }],
+            error: 0.0,
+        };
+        let out = validate_presets(
+            &[preset],
+            &set,
+            CoreConfig::default_sim(),
+            PmuConfig::default_sim(),
+            42,
+        );
+        assert!(out[0].relative_error > 0.5, "a wrong definition must show");
+    }
+
+    #[test]
+    fn missing_events_are_reported() {
+        let set = catalyze_sim::sapphire_rapids_like();
+        let preset = Preset {
+            metric: "L1 Hits.".into(),
+            terms: vec![PresetTerm { coefficient: 1.0, event: "NOT_A_REAL_EVENT".parse().unwrap() }],
+            error: 0.0,
+        };
+        let out = validate_presets(
+            &[preset],
+            &set,
+            CoreConfig::default_sim(),
+            PmuConfig::default_sim(),
+            42,
+        );
+        assert_eq!(out[0].missing_events, 1);
+    }
+}

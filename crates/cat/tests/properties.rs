@@ -1,0 +1,86 @@
+//! Property tests for the benchmark generators: chase permutations,
+//! kernel accounting, and measurement invariants.
+
+use catalyze_cat::branch::{BranchKernel, CondSpec};
+use catalyze_cat::dcache::ChaseConfig;
+use catalyze_cat::dtlb::TlbChaseConfig;
+use catalyze_sim::{CoreConfig, Cpu};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dcache_chase_is_a_permutation(pointers in 2u64..512, seed in 0u64..100) {
+        let cfg = ChaseConfig { stride: 64, pointers, line_bytes: 64 };
+        let addrs = cfg.chase_addresses(0, seed);
+        prop_assert_eq!(addrs.len() as u64, pointers);
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, pointers, "every slot exactly once");
+        for &a in &addrs {
+            prop_assert!(a < pointers * 64);
+            prop_assert_eq!(a % 64, 0);
+        }
+    }
+
+    #[test]
+    fn dcache_chase_deterministic_per_seed(pointers in 2u64..128, seed in 0u64..50) {
+        let cfg = ChaseConfig { stride: 128, pointers, line_bytes: 64 };
+        prop_assert_eq!(cfg.chase_addresses(0, seed), cfg.chase_addresses(0, seed));
+    }
+
+    #[test]
+    fn dtlb_chase_touches_every_page(pages in 2u64..64, lpp in 1u64..8, seed in 0u64..20) {
+        let cfg = TlbChaseConfig { pages, lines_per_page: lpp, page_bytes: 4096 };
+        let addrs = cfg.chase_addresses(0, seed);
+        prop_assert_eq!(addrs.len() as u64, pages * lpp);
+        let mut touched: Vec<u64> = addrs.iter().map(|a| a / 4096).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        prop_assert_eq!(touched.len() as u64, pages);
+        // Distinct slots map to distinct addresses.
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), addrs.len());
+    }
+
+    #[test]
+    fn branch_kernel_counts_scale_linearly(
+        even_taken in any::<bool>(),
+        odd_taken in any::<bool>(),
+        misp in any::<bool>(),
+        iters in 1u64..20,
+    ) {
+        let k = BranchKernel {
+            name: "p".into(),
+            even: vec![CondSpec { taken: even_taken, mispredict: misp }],
+            odd: vec![CondSpec { taken: odd_taken, mispredict: false }],
+            uncond_per_iter: 1,
+            expectation: [0.0; 5],
+        };
+        let iters = iters * 2;
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&k.program(iters));
+        let s = cpu.stats();
+        // 1 explicit + 1 back edge per iteration.
+        prop_assert_eq!(s.branch.cond_retired, 2 * iters);
+        let explicit_taken = (even_taken as u64 + odd_taken as u64) * (iters / 2);
+        prop_assert_eq!(s.branch.cond_taken, iters + explicit_taken);
+        prop_assert_eq!(s.branch.uncond_retired, iters);
+        prop_assert_eq!(s.branch.mispredicted, if misp { iters / 2 } else { 0 });
+    }
+
+    #[test]
+    fn flops_kernel_instruction_counts(kernel_idx in 0usize..16, loop_idx in 0usize..3, trips in 1u64..16) {
+        let kernels = catalyze_cat::flops_cpu::kernel_space();
+        let k = kernels[kernel_idx];
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&k.program(loop_idx, trips));
+        let s = cpu.stats();
+        let expected_fp = k.loop_sizes()[loop_idx] * trips;
+        let measured: u64 = s.fp_filtered(None, None, 1);
+        prop_assert_eq!(measured, expected_fp);
+        prop_assert_eq!(s.branch.cond_retired, trips, "one back edge per iteration");
+    }
+}

@@ -1,0 +1,261 @@
+//! `catalyze` — end-to-end command-line tool: run the CAT benchmarks on the
+//! simulated platform, analyze raw events, and emit metric definitions.
+//!
+//! ```text
+//! catalyze events [--gpu]                      list the raw-event inventory
+//! catalyze run <domain> [--out FILE]           run a benchmark, save JSON
+//! catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]
+//! catalyze presets <domain> [--json]           end-to-end preset export
+//! ```
+//!
+//! Domains: `cpu-flops`, `branch`, `dcache`, `gpu-flops`, `dtlb`.
+
+use catalyze::basis::{self, Basis, CacheRegion};
+use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::report;
+use catalyze::signature::{self, MetricSignature};
+use catalyze_cat::{
+    dcache, dstore, dtlb, run_branch, run_cpu_flops, run_dcache, run_dstore, run_dtlb,
+    run_gpu_flops, MeasurementSet, RunnerConfig,
+};
+use catalyze_events::PresetTable;
+use catalyze_sim::{mi250x_like, sapphire_rapids_like, zen_like, CpuEventSet};
+use std::process::ExitCode;
+
+const DOMAINS: [&str; 6] = ["cpu-flops", "branch", "dcache", "gpu-flops", "dtlb", "dstore"];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: catalyze <events|run|analyze|presets> [args]");
+    eprintln!("  catalyze events [--gpu]");
+    eprintln!("  catalyze run <domain> [--out FILE]");
+    eprintln!("  catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]");
+    eprintln!("  catalyze presets <domain> [--json]");
+    eprintln!("  catalyze papi <domain>");
+    eprintln!("domains: {}", DOMAINS.join(", "));
+    ExitCode::from(2)
+}
+
+fn cpu_inventory(args: &[String]) -> CpuEventSet {
+    match flag_value(args, "--arch").as_deref() {
+        Some("zen") => zen_like(),
+        Some("spr") | None => sapphire_rapids_like(),
+        Some(other) => {
+            eprintln!("unknown --arch {other} (expected spr or zen)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_domain(domain: &str, cfg: &RunnerConfig, cpu: &CpuEventSet) -> Option<MeasurementSet> {
+    match domain {
+        "cpu-flops" => Some(run_cpu_flops(cpu, cfg)),
+        "branch" => Some(run_branch(cpu, cfg)),
+        "dcache" => Some(run_dcache(cpu, cfg)),
+        "gpu-flops" => Some(run_gpu_flops(&mi250x_like(cfg.gpu_devices), cfg)),
+        "dtlb" => Some(run_dtlb(cpu, cfg)),
+        "dstore" => Some(run_dstore(cpu, cfg)),
+        _ => None,
+    }
+}
+
+fn domain_analysis_inputs(
+    domain: &str,
+    cfg: &RunnerConfig,
+) -> Option<(Basis, Vec<MetricSignature>, AnalysisConfig)> {
+    match domain {
+        "cpu-flops" => Some((
+            basis::cpu_flops_basis(),
+            signature::cpu_flops_signatures(),
+            AnalysisConfig::cpu_flops(),
+        )),
+        "branch" => {
+            Some((basis::branch_basis(), signature::branch_signatures(), AnalysisConfig::branch()))
+        }
+        "dcache" => {
+            let regions: Vec<CacheRegion> = dcache::point_regions(&cfg.core.hierarchy)
+                .into_iter()
+                .map(|r| match r {
+                    dcache::Region::L1 => CacheRegion::L1,
+                    dcache::Region::L2 => CacheRegion::L2,
+                    dcache::Region::L3 => CacheRegion::L3,
+                    dcache::Region::Memory => CacheRegion::Memory,
+                })
+                .collect();
+            Some((
+                basis::dcache_basis(&regions),
+                signature::dcache_signatures(),
+                AnalysisConfig::dcache(),
+            ))
+        }
+        "gpu-flops" => Some((
+            basis::gpu_flops_basis(),
+            signature::gpu_flops_signatures(),
+            AnalysisConfig::gpu_flops(),
+        )),
+        "dtlb" => Some((
+            basis::dtlb_basis(&dtlb::point_hit_regions(&cfg.core.tlb)),
+            signature::dtlb_signatures(),
+            AnalysisConfig::dtlb(),
+        )),
+        "dstore" => {
+            let regions: Vec<CacheRegion> = dstore::point_regions(&cfg.core.hierarchy)
+                .into_iter()
+                .map(|r| match r {
+                    dstore::Region::L1 => CacheRegion::L1,
+                    dstore::Region::L2 => CacheRegion::L2,
+                    dstore::Region::L3 => CacheRegion::L3,
+                    dstore::Region::Memory => CacheRegion::Memory,
+                })
+                .collect();
+            Some((
+                basis::dstore_basis(&regions),
+                signature::dstore_signatures(),
+                AnalysisConfig::dstore(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn analyze_domain(
+    domain: &str,
+    ms: &MeasurementSet,
+    cfg: &RunnerConfig,
+    tau: Option<f64>,
+    alpha: Option<f64>,
+) -> Option<AnalysisReport> {
+    let (basis, signatures, mut acfg) = domain_analysis_inputs(domain, cfg)?;
+    if let Some(t) = tau {
+        acfg.tau = t;
+    }
+    if let Some(a) = alpha {
+        acfg.alpha = a;
+    }
+    Some(analyze(domain, &ms.events, &ms.runs, &basis, &signatures, acfg))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let cfg = RunnerConfig::default_sim();
+
+    match command.as_str() {
+        "events" => {
+            if args.iter().any(|a| a == "--gpu") {
+                let set = mi250x_like(cfg.gpu_devices);
+                for (_, def) in set.iter() {
+                    println!("{:<56} {}", def.info.name.to_string(), def.info.description);
+                }
+            } else {
+                let set = cpu_inventory(&args);
+                for (_, def) in set.iter() {
+                    println!(
+                        "{:<48} [{}] {}",
+                        def.info.name.to_string(),
+                        def.info.domain,
+                        def.info.description
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(domain) = args.get(1) else { return usage() };
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+                eprintln!("unknown domain {domain}");
+                return usage();
+            };
+            eprintln!(
+                "measured {} events over {} points, {} repetitions",
+                ms.num_events(),
+                ms.num_points(),
+                ms.num_runs()
+            );
+            let json = serde_json::to_string(&ms).expect("measurement serializes");
+            match flag_value(&args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, json).expect("write measurement file");
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{json}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" => {
+            let Some(domain) = args.get(1) else { return usage() };
+            if !DOMAINS.contains(&domain.as_str()) {
+                eprintln!("unknown domain {domain}");
+                return usage();
+            }
+            let ms = match flag_value(&args, "--in") {
+                Some(path) => {
+                    let data = std::fs::read_to_string(&path).expect("read measurement file");
+                    let ms: MeasurementSet =
+                        serde_json::from_str(&data).expect("valid measurement JSON");
+                    ms.validate().expect("consistent measurement file");
+                    ms
+                }
+                None => run_domain(domain, &cfg, &cpu_inventory(&args)).expect("domain checked above"),
+            };
+            let tau = flag_value(&args, "--tau").map(|v| v.parse().expect("numeric --tau"));
+            let alpha = flag_value(&args, "--alpha").map(|v| v.parse().expect("numeric --alpha"));
+            let analysis = analyze_domain(domain, &ms, &cfg, tau, alpha).expect("known domain");
+            print!("{}", report::noise_summary(&analysis.noise));
+            println!();
+            print!("{}", report::selection_table(&analysis));
+            println!();
+            print!("{}", report::metrics_table(&format!("{domain} metrics"), &analysis.metrics));
+            ExitCode::SUCCESS
+        }
+        "presets" => {
+            let Some(domain) = args.get(1) else { return usage() };
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+                eprintln!("unknown domain {domain}");
+                return usage();
+            };
+            let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
+            let table = PresetTable {
+                title: format!("{domain} presets"),
+                presets: analysis
+                    .composable_metrics()
+                    .iter()
+                    .map(|m| m.to_preset(1e-6))
+                    .collect(),
+            };
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", serde_json::to_string_pretty(&table).expect("serializes"));
+            } else {
+                for p in &table.presets {
+                    print!("{p}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "papi" => {
+            let Some(domain) = args.get(1) else { return usage() };
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+                eprintln!("unknown domain {domain}");
+                return usage();
+            };
+            let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
+            let table = PresetTable {
+                title: format!("{domain} presets (auto-generated by catalyze)"),
+                presets: analysis
+                    .composable_metrics()
+                    .iter()
+                    .map(|m| m.to_preset(1e-6))
+                    .collect(),
+            };
+            let arch = flag_value(&args, "--arch").unwrap_or_else(|| "spr".into());
+            print!("{}", catalyze_events::to_papi_format(&format!("{arch}-sim"), &table));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

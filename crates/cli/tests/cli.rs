@@ -1,0 +1,121 @@
+//! End-to-end tests of the `catalyze` binary: every subcommand, the
+//! measurement-file round trip, and the error paths.
+
+use std::process::Command;
+
+fn catalyze(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_catalyze"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = catalyze(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = catalyze(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_domain_fails() {
+    for cmd in ["run", "analyze", "presets", "papi"] {
+        let out = catalyze(&[cmd, "not-a-domain"]);
+        assert!(!out.status.success(), "{cmd} must reject bad domains");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown domain") || err.contains("usage:"), "{err}");
+    }
+}
+
+#[test]
+fn events_lists_inventories() {
+    let out = catalyze(&["events"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FP_ARITH_INST_RETIRED:SCALAR_DOUBLE"));
+    assert!(text.lines().count() > 150);
+
+    let out = catalyze(&["events", "--gpu"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rocm:::SQ_INSTS_VALU_FMA_F64:device=7"));
+    assert!(text.lines().count() > 1000);
+}
+
+#[test]
+fn run_analyze_roundtrip_through_file() {
+    let dir = std::env::temp_dir().join(format!("catalyze-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("branch.json");
+    let file_str = file.to_str().unwrap();
+
+    let out = catalyze(&["run", "branch", "--out", file_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(file.exists());
+
+    let out = catalyze(&["analyze", "branch", "--in", file_str]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("selected events"), "{text}");
+    assert!(text.contains("BR_MISP_RETIRED:ALL_BRANCHES"), "{text}");
+    assert!(text.contains("Conditional Branches Executed."), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_accepts_threshold_overrides() {
+    // A huge tau keeps even noisy events; the command must still succeed.
+    let out = catalyze(&["analyze", "branch", "--tau", "1e6", "--alpha", "1e-3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kept"), "{text}");
+}
+
+#[test]
+fn presets_json_is_valid() {
+    let out = catalyze(&["presets", "branch", "--json"]);
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON preset table");
+    let presets = parsed["presets"].as_array().expect("presets array");
+    assert_eq!(presets.len(), 6, "six composable branch metrics");
+}
+
+#[test]
+fn papi_output_parses_back() {
+    let out = catalyze(&["papi", "dtlb"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let table = catalyze_events::from_papi_format(&text).expect("papi output parses");
+    assert_eq!(table.presets.len(), 3, "{text}");
+    assert!(table.presets.iter().any(|p| p.metric.starts_with("TLB Hits")));
+}
+
+#[test]
+fn arch_flag_switches_inventory() {
+    let out = catalyze(&["events", "--arch", "zen"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RETIRED_SSE_AVX_FLOPS:ANY"), "{text}");
+    assert!(!text.contains("FP_ARITH_INST_RETIRED"), "zen inventory has no Intel names");
+
+    let out = catalyze(&["papi", "branch", "--arch", "zen"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# architecture: zen-sim"));
+    assert!(
+        text.contains("1*EX_RET_COND,-1*EX_RET_BRN,1*EX_RET_BRN_TKN"),
+        "three-event Taken composition expected: {text}"
+    );
+
+    let out = catalyze(&["events", "--arch", "m68k"]);
+    assert!(!out.status.success(), "unknown arch rejected");
+}

@@ -1,0 +1,216 @@
+//! Metric definition (paper §VI): least-squares composition of selected
+//! events into metric signatures, with the backward-error fitness measure
+//! and the coefficient-rounding step used for noisy (cache) events.
+
+use crate::select::Selection;
+use crate::signature::MetricSignature;
+use catalyze_events::{Preset, PresetTerm};
+use catalyze_linalg::{backward_error, lstsq, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A metric defined (or shown non-composable) over raw events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefinedMetric {
+    /// Metric name.
+    pub metric: String,
+    /// Raw least-squares coefficients, aligned with the selection's events.
+    pub coefficients: Vec<f64>,
+    /// Selected-event names, aligned with `coefficients`.
+    pub events: Vec<String>,
+    /// Backward error of the raw solution (Eq. 5).
+    pub error: f64,
+    /// Coefficients rounded to the nearest integer where they fall within
+    /// the rounding tolerance (§VI-D / Figure 3), `None` where they do not.
+    pub rounded: Vec<Option<f64>>,
+    /// Backward error of the rounded combination (only meaningful when all
+    /// coefficients rounded).
+    pub rounded_error: Option<f64>,
+}
+
+impl DefinedMetric {
+    /// True when the definition's backward error is below `threshold`
+    /// (composable on this architecture).
+    pub fn is_composable(&self, threshold: f64) -> bool {
+        self.error <= threshold
+    }
+
+    /// Exports as a preset, dropping terms with negligible coefficients.
+    /// Uses rounded coefficients when every coefficient rounded cleanly,
+    /// raw ones otherwise.
+    pub fn to_preset(&self, drop_below: f64) -> Preset {
+        let use_rounded = self.rounded.iter().all(|r| r.is_some());
+        let terms = self
+            .events
+            .iter()
+            .zip(self.coefficients.iter().zip(&self.rounded))
+            .filter_map(|(name, (&raw, rounded))| {
+                let c = if use_rounded { rounded.unwrap_or(raw) } else { raw };
+                if c.abs() <= drop_below {
+                    None
+                } else {
+                    Some(PresetTerm {
+                        coefficient: c,
+                        event: name.parse().expect("selection names are valid event names"),
+                    })
+                }
+            })
+            .collect();
+        Preset { metric: self.metric.clone(), terms, error: self.error }
+    }
+}
+
+/// Rounds a coefficient to the nearest integer when within `tol`.
+pub fn round_coefficient(c: f64, tol: f64) -> Option<f64> {
+    let r = c.round();
+    if (c - r).abs() <= tol {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// Defines one metric over the selection by solving `X̂ · y = s`.
+///
+/// # Panics
+/// Panics when the signature dimension does not match the selection's
+/// basis dimension (a programming error — they come from the same basis).
+pub fn define_metric(
+    selection: &Selection,
+    x_hat: &Matrix,
+    signature: &MetricSignature,
+    rounding_tol: f64,
+) -> DefinedMetric {
+    assert_eq!(
+        signature.coefficients.len(),
+        x_hat.rows(),
+        "signature/basis dimension mismatch for {}",
+        signature.name
+    );
+    let sol = lstsq(x_hat, &signature.coefficients)
+        .expect("X̂ has independent columns by construction");
+    let rounded: Vec<Option<f64>> =
+        sol.x.iter().map(|&c| round_coefficient(c, rounding_tol)).collect();
+    let rounded_error = if rounded.iter().all(|r| r.is_some()) {
+        let y: Vec<f64> = rounded.iter().map(|r| r.expect("checked")).collect();
+        backward_error(x_hat, &y, &signature.coefficients).ok()
+    } else {
+        None
+    };
+    DefinedMetric {
+        metric: signature.name.clone(),
+        coefficients: sol.x,
+        events: selection.names().iter().map(|s| s.to_string()).collect(),
+        error: sol.backward_error,
+        rounded,
+        rounded_error,
+    }
+}
+
+/// Defines every signature over the selection. Returns an empty list when
+/// the selection is empty.
+pub fn define_metrics(
+    selection: &Selection,
+    signatures: &[MetricSignature],
+    rounding_tol: f64,
+) -> Vec<DefinedMetric> {
+    let Some(x_hat) = selection.x_hat() else {
+        return Vec::new();
+    };
+    signatures
+        .iter()
+        .map(|s| define_metric(selection, &x_hat, s, rounding_tol))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::branch_basis;
+    use crate::normalize::represent;
+    use crate::select::select_events;
+    use crate::signature::branch_signatures;
+
+    fn branch_selection() -> Selection {
+        let b = branch_basis();
+        let col = |j: usize| -> Vec<f64> { (0..11).map(|i| b.matrix[(i, j)]).collect() };
+        let all: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)] + b.matrix[(i, 3)]).collect();
+        let rep = represent(
+            &b,
+            &[
+                (0, "BR_MISP_RETIRED".into(), col(4)),
+                (1, "BR_INST_RETIRED:COND".into(), col(1)),
+                (2, "BR_INST_RETIRED:COND_TAKEN".into(), col(2)),
+                (3, "BR_INST_RETIRED:ALL_BRANCHES".into(), all),
+            ],
+            1e-6,
+        );
+        select_events(&rep, 5e-4)
+    }
+
+    #[test]
+    fn composable_branch_metrics_reproduce_table7() {
+        let sel = branch_selection();
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.02);
+        assert_eq!(metrics.len(), 7);
+
+        let get = |name: &str| metrics.iter().find(|m| m.metric.starts_with(name)).unwrap();
+
+        // Unconditional = ALL_BRANCHES - COND.
+        let uncond = get("Unconditional");
+        assert!(uncond.error < 1e-10, "error {}", uncond.error);
+        let coef = |m: &DefinedMetric, ev: &str| {
+            m.events.iter().position(|e| e == ev).map(|i| m.coefficients[i]).unwrap()
+        };
+        assert!((coef(uncond, "BR_INST_RETIRED:ALL_BRANCHES") - 1.0).abs() < 1e-10);
+        assert!((coef(uncond, "BR_INST_RETIRED:COND") + 1.0).abs() < 1e-10);
+
+        // Correctly Predicted = COND - MISP.
+        let correct = get("Correctly Predicted");
+        assert!(correct.error < 1e-10);
+        assert!((coef(correct, "BR_INST_RETIRED:COND") - 1.0).abs() < 1e-10);
+        assert!((coef(correct, "BR_MISP_RETIRED") + 1.0).abs() < 1e-10);
+
+        // Conditional Branches Executed: not composable -> error 1.0.
+        let executed = get("Conditional Branches Executed");
+        assert!((executed.error - 1.0).abs() < 1e-10, "error {}", executed.error);
+        assert!(!executed.is_composable(0.5));
+        for c in &executed.coefficients {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rounding_behavior() {
+        assert_eq!(round_coefficient(1.003, 0.02), Some(1.0));
+        assert_eq!(round_coefficient(-0.98, 0.02), None);
+        assert_eq!(round_coefficient(-0.99, 0.02), Some(-1.0));
+        assert_eq!(round_coefficient(0.004, 0.02), Some(0.0));
+        assert_eq!(round_coefficient(0.5, 0.02), None);
+    }
+
+    #[test]
+    fn rounded_error_present_when_all_round() {
+        let sel = branch_selection();
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.05);
+        let taken = metrics.iter().find(|m| m.metric.contains("Taken.")).unwrap();
+        assert!(taken.rounded.iter().all(|r| r.is_some()));
+        assert!(taken.rounded_error.unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn preset_export_drops_zero_terms() {
+        let sel = branch_selection();
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.02);
+        let misp = metrics.iter().find(|m| m.metric.starts_with("Mispredicted")).unwrap();
+        let preset = misp.to_preset(1e-6);
+        assert_eq!(preset.terms.len(), 1);
+        assert_eq!(preset.terms[0].event.to_string(), "BR_MISP_RETIRED");
+        assert!((preset.terms[0].coefficient - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_selection_defines_nothing() {
+        let sel = Selection { events: vec![], alpha: 5e-4, candidates: 0 };
+        assert!(define_metrics(&sel, &branch_signatures(), 0.02).is_empty());
+    }
+}

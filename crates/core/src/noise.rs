@@ -1,0 +1,208 @@
+//! Noise analysis (paper §IV): maximum pairwise RNMSE and the variability
+//! filter.
+
+use catalyze_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+/// Maximum root-normalized-mean-square-error over all pairs of measurement
+/// vectors — the paper's Eq. 4:
+///
+/// ```text
+/// max_{i != j}  ‖m_i − m_j‖₂ / sqrt(N · m̄_i · m̄_j)
+/// ```
+///
+/// When either mean in a pair is zero the pair's variability is defined as
+/// 1 (a 100 % error). Returns `None` when *every* vector is all-zero — the
+/// event is irrelevant and must be discarded (paper footnote 1) — and
+/// `Some(0.0)` for fewer than two vectors.
+///
+/// ```
+/// use catalyze::noise::max_rnmse;
+///
+/// let clean = [5.0, 10.0];
+/// assert_eq!(max_rnmse(&[&clean, &clean]), Some(0.0));
+///
+/// let jittery = [5.5, 9.5];
+/// let v = max_rnmse(&[&clean, &jittery]).unwrap();
+/// assert!(v > 0.0 && v < 1.0);
+///
+/// assert_eq!(max_rnmse(&[&[0.0, 0.0], &[0.0, 0.0]]), None); // irrelevant
+/// ```
+pub fn max_rnmse(vectors: &[&[f64]]) -> Option<f64> {
+    if vectors.iter().all(|v| vector::is_zero(v)) {
+        return None;
+    }
+    if vectors.len() < 2 {
+        return Some(0.0);
+    }
+    let n = vectors[0].len() as f64;
+    let means: Vec<f64> = vectors.iter().map(|v| vector::mean(v)).collect();
+    let mut worst = 0.0_f64;
+    for i in 0..vectors.len() {
+        for j in i + 1..vectors.len() {
+            let denom_sq = n * means[i] * means[j];
+            let v = if denom_sq <= 0.0 {
+                1.0
+            } else {
+                vector::distance(vectors[i], vectors[j]) / denom_sq.sqrt()
+            };
+            worst = worst.max(v);
+        }
+    }
+    Some(worst)
+}
+
+/// Variability verdict for one event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventVariability {
+    /// Event name.
+    pub name: String,
+    /// Index into the measurement set's event axis.
+    pub index: usize,
+    /// Maximum pairwise RNMSE; `None` when the event measured zero in every
+    /// run (irrelevant).
+    pub variability: Option<f64>,
+}
+
+impl EventVariability {
+    /// True when the event survives a threshold `tau`.
+    pub fn passes(&self, tau: f64) -> bool {
+        matches!(self.variability, Some(v) if v <= tau)
+    }
+}
+
+/// Outcome of the variability filter over a whole measurement set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseReport {
+    /// Per-event verdicts, in event order.
+    pub events: Vec<EventVariability>,
+    /// The threshold used.
+    pub tau: f64,
+}
+
+impl NoiseReport {
+    /// Indices of events that pass the filter.
+    pub fn kept(&self) -> Vec<usize> {
+        self.events.iter().filter(|e| e.passes(self.tau)).map(|e| e.index).collect()
+    }
+
+    /// Indices of events discarded for noise (variability above `tau`).
+    pub fn discarded_noisy(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.variability, Some(v) if v > self.tau))
+            .map(|e| e.index)
+            .collect()
+    }
+
+    /// Indices of events discarded as irrelevant (all-zero).
+    pub fn discarded_zero(&self) -> Vec<usize> {
+        self.events.iter().filter(|e| e.variability.is_none()).map(|e| e.index).collect()
+    }
+
+    /// Variabilities sorted ascending — the series plotted in Figure 2.
+    /// All-zero (irrelevant) events are excluded, matching the paper.
+    pub fn sorted_variabilities(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.events.iter().filter_map(|e| e.variability).collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+}
+
+/// Computes per-event variabilities for named measurement vectors.
+///
+/// `vectors_by_event[e]` holds event `e`'s measurement vectors across runs.
+pub fn analyze_noise(
+    names: &[String],
+    vectors_by_event: &[Vec<&[f64]>],
+    tau: f64,
+) -> NoiseReport {
+    let events = names
+        .iter()
+        .zip(vectors_by_event)
+        .enumerate()
+        .map(|(index, (name, vecs))| EventVariability {
+            name: name.clone(),
+            index,
+            variability: max_rnmse(vecs),
+        })
+        .collect();
+    NoiseReport { events, tau }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_zero_variability() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(max_rnmse(&[&a, &a, &a]), Some(0.0));
+    }
+
+    #[test]
+    fn all_zero_is_irrelevant() {
+        let z = [0.0, 0.0];
+        assert_eq!(max_rnmse(&[&z, &z]), None);
+    }
+
+    #[test]
+    fn one_zero_mean_gives_unit_variability() {
+        let a = [1.0, 1.0];
+        let z = [0.0, 0.0];
+        assert_eq!(max_rnmse(&[&a, &z]), Some(1.0));
+    }
+
+    #[test]
+    fn single_vector_is_noise_free() {
+        let a = [5.0, 6.0];
+        assert_eq!(max_rnmse(&[&a]), Some(0.0));
+    }
+
+    #[test]
+    fn formula_hand_check() {
+        // m1 = (1,1), m2 = (1.1, 0.9): diff norm = sqrt(0.02),
+        // denom = sqrt(2 * 1 * 1) = sqrt(2).
+        let m1 = [1.0, 1.0];
+        let m2 = [1.1, 0.9];
+        let got = max_rnmse(&[&m1, &m2]).unwrap();
+        let want = (0.02_f64).sqrt() / (2.0_f64).sqrt();
+        assert!((got - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_over_pairs() {
+        let a = [1.0, 1.0];
+        let b = [1.0, 1.0];
+        let c = [2.0, 2.0];
+        let only_ab = max_rnmse(&[&a, &b]).unwrap();
+        let with_c = max_rnmse(&[&a, &b, &c]).unwrap();
+        assert!(with_c > only_ab);
+    }
+
+    #[test]
+    fn report_partitions_events() {
+        let run1 = [vec![1.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0]];
+        let run2 = [vec![1.0, 2.0], vec![0.0, 0.0], vec![2.0, 0.5]];
+        let names = vec!["clean".to_string(), "zero".to_string(), "noisy".to_string()];
+        let vectors: Vec<Vec<&[f64]>> = (0..3)
+            .map(|e| vec![run1[e].as_slice(), run2[e].as_slice()])
+            .collect();
+        let report = analyze_noise(&names, &vectors, 1e-10);
+        assert_eq!(report.kept(), vec![0]);
+        assert_eq!(report.discarded_zero(), vec![1]);
+        assert_eq!(report.discarded_noisy(), vec![2]);
+        let sorted = report.sorted_variabilities();
+        assert_eq!(sorted.len(), 2, "irrelevant events excluded from the figure");
+        assert!(sorted[0] <= sorted[1]);
+    }
+
+    #[test]
+    fn passes_respects_threshold_boundary() {
+        let e = EventVariability { name: "x".into(), index: 0, variability: Some(1e-10) };
+        assert!(e.passes(1e-10), "exactly tau passes (<=)");
+        assert!(!e.passes(1e-11));
+        let z = EventVariability { name: "z".into(), index: 1, variability: None };
+        assert!(!z.passes(1.0), "irrelevant events never pass");
+    }
+}

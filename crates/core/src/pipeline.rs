@@ -1,0 +1,275 @@
+//! The end-to-end analysis pipeline: noise filter → expectation-basis
+//! representation → specialized-QRCP selection → least-squares metric
+//! definition.
+
+use crate::basis::Basis;
+use crate::define::{define_metrics, DefinedMetric};
+use crate::noise::{analyze_noise, NoiseReport};
+use crate::normalize::{represent, Representation};
+use crate::select::{select_events, Selection};
+use crate::signature::MetricSignature;
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the four pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Noise threshold τ for the variability filter (§IV).
+    pub tau: f64,
+    /// Specialized-QRCP tolerance α (§V).
+    pub alpha: f64,
+    /// Maximum relative residual for an event to count as representable in
+    /// the expectation basis (§III-B).
+    pub representation_threshold: f64,
+    /// Coefficient rounding tolerance (§VI-D).
+    pub rounding_tol: f64,
+    /// Backward error below which a metric counts as composable.
+    pub composability_threshold: f64,
+}
+
+impl AnalysisConfig {
+    /// Paper settings for the CPU-FLOPs events: τ = 1e-10, α = 5e-4.
+    pub fn cpu_flops() -> Self {
+        Self {
+            tau: 1e-10,
+            alpha: 5e-4,
+            representation_threshold: 0.05,
+            rounding_tol: 0.02,
+            composability_threshold: 1e-6,
+        }
+    }
+
+    /// Paper settings for the branching events: τ = 1e-10, α = 5e-4.
+    pub fn branch() -> Self {
+        Self::cpu_flops()
+    }
+
+    /// Paper settings for the GPU-FLOPs events: τ = 1e-10, α = 5e-4.
+    pub fn gpu_flops() -> Self {
+        Self::cpu_flops()
+    }
+
+    /// Paper settings for the data-cache events: τ = 1e-1, α = 5e-2, with a
+    /// representation threshold loose enough for the noisy hit/miss curves
+    /// (the later QR and rounding stages absorb the slack — §IV's argument
+    /// for lenient early filtering).
+    pub fn dcache() -> Self {
+        Self {
+            tau: 1e-1,
+            alpha: 5e-2,
+            representation_threshold: 0.25,
+            rounding_tol: 0.05,
+            composability_threshold: 1e-3,
+        }
+    }
+
+    /// Settings for the store-path extension domain: write-side cache
+    /// events share the load side's noise profile.
+    pub fn dstore() -> Self {
+        Self::dcache()
+    }
+
+    /// Settings for the data-TLB extension domain: page-walk counters are
+    /// about as noisy as cache events, and the miss-region hit rates leave
+    /// a few percent of systematic slack, so the cache-style lenient
+    /// thresholds apply.
+    pub fn dtlb() -> Self {
+        Self::dcache()
+    }
+}
+
+/// Everything the pipeline produced for one benchmark domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Benchmark/domain label.
+    pub domain: String,
+    /// The stage configuration used.
+    pub config: AnalysisConfig,
+    /// Stage 1: variability verdicts.
+    pub noise: NoiseReport,
+    /// Stage 2: expectation-basis representation of surviving events.
+    pub representation: Representation,
+    /// Stage 3: independent events chosen by the specialized QRCP.
+    pub selection: Selection,
+    /// Mean measurement vectors of the selected events (point space),
+    /// aligned with `selection.events` — used to draw Figure-3-style
+    /// curves.
+    pub selected_mean_vectors: Vec<Vec<f64>>,
+    /// Stage 4: metric definitions for every requested signature.
+    pub metrics: Vec<DefinedMetric>,
+}
+
+impl AnalysisReport {
+    /// Metrics that are composable under the configured threshold.
+    pub fn composable_metrics(&self) -> Vec<&DefinedMetric> {
+        self.metrics
+            .iter()
+            .filter(|m| m.is_composable(self.config.composability_threshold))
+            .collect()
+    }
+
+    /// Metric by (prefix of) name.
+    pub fn metric(&self, name: &str) -> Option<&DefinedMetric> {
+        self.metrics.iter().find(|m| m.metric.starts_with(name))
+    }
+}
+
+/// Runs the full pipeline.
+///
+/// * `domain` — label for the report;
+/// * `names` — event names, aligned with the event axis of `runs`;
+/// * `runs` — `runs[r][e][p]`: normalized measurement of event `e` at point
+///   `p` in repetition `r` (the layout of `catalyze-cat`'s
+///   `MeasurementSet`);
+/// * `basis` — the domain's expectation basis (`points` must match `p`);
+/// * `signatures` — the metrics to define.
+pub fn analyze(
+    domain: &str,
+    names: &[String],
+    runs: &[Vec<Vec<f64>>],
+    basis: &Basis,
+    signatures: &[MetricSignature],
+    config: AnalysisConfig,
+) -> AnalysisReport {
+    assert!(!runs.is_empty(), "analyze: no measurement runs");
+    assert_eq!(runs[0].len(), names.len(), "analyze: names/runs event mismatch");
+
+    // Stage 1: variability filter (Eq. 4, threshold τ).
+    let vectors_by_event: Vec<Vec<&[f64]>> = (0..names.len())
+        .map(|e| runs.iter().map(|r| r[e].as_slice()).collect())
+        .collect();
+    let noise = analyze_noise(names, &vectors_by_event, config.tau);
+
+    // Stage 2: represent surviving events in the expectation basis, using
+    // the mean measurement vector across repetitions (for noise-free events
+    // all repetitions are identical; for noisy ones the mean is the natural
+    // summary).
+    let kept = noise.kept();
+    let mean_of = |e: usize| -> Vec<f64> {
+        let np = runs[0][e].len();
+        let mut mean = vec![0.0; np];
+        for run in runs {
+            for (m, &v) in mean.iter_mut().zip(&run[e]) {
+                *m += v;
+            }
+        }
+        let n = runs.len() as f64;
+        mean.iter_mut().for_each(|m| *m /= n);
+        mean
+    };
+    let inputs: Vec<(usize, String, Vec<f64>)> =
+        kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
+    let representation = represent(basis, &inputs, config.representation_threshold);
+
+    // Stage 3: specialized QRCP.
+    let selection = select_events(&representation, config.alpha);
+    let selected_mean_vectors: Vec<Vec<f64>> =
+        selection.events.iter().map(|e| mean_of(e.index)).collect();
+
+    // Stage 4: least-squares metric definitions.
+    let metrics = define_metrics(&selection, signatures, config.rounding_tol);
+
+    AnalysisReport {
+        domain: domain.to_string(),
+        config,
+        noise,
+        representation,
+        selection,
+        selected_mean_vectors,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::branch_basis;
+    use crate::signature::branch_signatures;
+
+    /// Synthetic branch-domain measurements: the four real events plus a
+    /// noisy event, an all-zero event, and an unrepresentable constant.
+    fn synthetic_branch_runs() -> (Vec<String>, Vec<Vec<Vec<f64>>>) {
+        let b = branch_basis();
+        let col = |j: usize| -> Vec<f64> { (0..11).map(|i| b.matrix[(i, j)]).collect() };
+        let all: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)] + b.matrix[(i, 3)]).collect();
+        let constant = vec![3.0; 11];
+        let names: Vec<String> = [
+            "BR_MISP_RETIRED",
+            "BR_INST_RETIRED:COND",
+            "BR_INST_RETIRED:COND_TAKEN",
+            "BR_INST_RETIRED:ALL_BRANCHES",
+            "NOISY_CYCLES",
+            "ZERO_EVENT",
+            "INT_CONSTANT",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let runs: Vec<Vec<Vec<f64>>> = (0..3)
+            .map(|r| {
+                let jitter = 1.0 + 0.01 * r as f64;
+                vec![
+                    col(4),
+                    col(1),
+                    col(2),
+                    all.clone(),
+                    col(1).iter().map(|v| v * 1000.0 * jitter).collect(),
+                    vec![0.0; 11],
+                    constant.clone(),
+                ]
+            })
+            .collect();
+        (names, runs)
+    }
+
+    #[test]
+    fn full_pipeline_on_synthetic_branch_data() {
+        let (names, runs) = synthetic_branch_runs();
+        let report = analyze(
+            "branch",
+            &names,
+            &runs,
+            &branch_basis(),
+            &branch_signatures(),
+            AnalysisConfig::branch(),
+        );
+        // Noise stage: noisy and zero events gone.
+        assert_eq!(report.noise.kept().len(), 5);
+        assert_eq!(report.noise.discarded_zero(), vec![5]);
+        assert_eq!(report.noise.discarded_noisy(), vec![4]);
+        // Representation: constant event rejected.
+        assert_eq!(report.representation.rejected.len(), 1);
+        assert_eq!(report.representation.rejected[0].name, "INT_CONSTANT");
+        // Selection: exactly the paper's four events.
+        assert_eq!(report.selection.events.len(), 4);
+        // Metrics: six composable, one (Executed) not.
+        assert_eq!(report.metrics.len(), 7);
+        assert_eq!(report.composable_metrics().len(), 6);
+        let ex = report.metric("Conditional Branches Executed").unwrap();
+        assert!((ex.error - 1.0).abs() < 1e-9);
+        // Selected mean vectors align with the selection.
+        assert_eq!(report.selected_mean_vectors.len(), 4);
+        assert_eq!(report.selected_mean_vectors[0].len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurement runs")]
+    fn empty_runs_panics() {
+        analyze(
+            "x",
+            &[],
+            &[],
+            &branch_basis(),
+            &branch_signatures(),
+            AnalysisConfig::branch(),
+        );
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(AnalysisConfig::cpu_flops().tau, 1e-10);
+        assert_eq!(AnalysisConfig::dcache().tau, 1e-1);
+        assert_eq!(AnalysisConfig::dcache().alpha, 5e-2);
+        assert_eq!(AnalysisConfig::branch().alpha, 5e-4);
+        assert_eq!(AnalysisConfig::gpu_flops().alpha, 5e-4);
+    }
+}

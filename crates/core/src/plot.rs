@@ -1,0 +1,93 @@
+//! Gnuplot script emission: turns the figure data files written by the
+//! reproduction harness into ready-to-render plots matching the paper's
+//! Figure 2 (log-scale variability scatter with the τ line) and Figure 3
+//! (signature vs measured-combination step curves).
+
+use std::fmt::Write as _;
+
+/// Gnuplot script for one Figure-2 panel. `data_file` is the `.dat` file
+/// produced by [`crate::report::figure2_data`]; the script draws the sorted
+/// variabilities on a log axis with the τ threshold line.
+pub fn figure2_script(title: &str, data_file: &str, tau: f64, output: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# gnuplot script — regenerate with the repro harness");
+    let _ = writeln!(s, "set terminal pngcairo size 900,600");
+    let _ = writeln!(s, "set output '{output}'");
+    let _ = writeln!(s, "set title '{}'", escape(title));
+    let _ = writeln!(s, "set xlabel 'Event Index'");
+    let _ = writeln!(s, "set ylabel 'Max. RNMSE Variability'");
+    let _ = writeln!(s, "set logscale y");
+    let _ = writeln!(s, "set yrange [1e-16:1e2]");
+    let _ = writeln!(s, "set format y '10^{{%L}}'");
+    let _ = writeln!(s, "set key top left");
+    let _ = writeln!(s, "tau = {tau:e}");
+    let _ = writeln!(
+        s,
+        "plot '{data_file}' using 1:2 with points pt 7 ps 0.6 title 'Sorted Event Variabilities', \\"
+    );
+    let _ = writeln!(s, "     tau with lines lw 2 dt 2 title sprintf('tau = %.1e', tau)");
+    s
+}
+
+/// Gnuplot script for one Figure-3 panel. `data_file` comes from
+/// [`crate::report::figure3_data`] (columns: point, label, signature,
+/// raw combination, rounded combination).
+pub fn figure3_script(title: &str, data_file: &str, output: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# gnuplot script — regenerate with the repro harness");
+    let _ = writeln!(s, "set terminal pngcairo size 900,600");
+    let _ = writeln!(s, "set output '{output}'");
+    let _ = writeln!(s, "set title '{}'", escape(title));
+    let _ = writeln!(s, "set xlabel 'Pointer Chain Size'");
+    let _ = writeln!(s, "set ylabel 'Normalized Event Counts'");
+    let _ = writeln!(s, "set yrange [0:3]");
+    let _ = writeln!(s, "set xtics rotate by -45");
+    let _ = writeln!(s, "set key top right");
+    let _ = writeln!(
+        s,
+        "plot '{data_file}' using 1:4:xtic(2) with linespoints pt 5 title 'Raw-event combination', \\"
+    );
+    let _ = writeln!(
+        s,
+        "     '{data_file}' using 1:3 with linespoints pt 9 dt 2 title 'Signature', \\"
+    );
+    let _ = writeln!(
+        s,
+        "     '{data_file}' using 1:5 with points pt 2 title 'Rounded combination'"
+    );
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''").replace('_', "\\_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_script_structure() {
+        let s = figure2_script("CAT Branching Benchmark", "fig2a.dat", 1e-10, "fig2a.png");
+        assert!(s.contains("set logscale y"));
+        assert!(s.contains("tau = 1e-10"));
+        assert!(s.contains("'fig2a.dat'"));
+        assert!(s.contains("set output 'fig2a.png'"));
+        assert!(s.contains("Sorted Event Variabilities"));
+    }
+
+    #[test]
+    fn figure3_script_structure() {
+        let s = figure3_script("L1 Hits", "fig3a.dat", "fig3a.png");
+        assert!(s.contains("using 1:4:xtic(2)"));
+        assert!(s.contains("Signature"));
+        assert!(s.contains("Rounded combination"));
+        assert!(s.contains("set yrange [0:3]"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let s = figure2_script("it's L1_HIT", "d.dat", 1e-1, "o.png");
+        assert!(s.contains("it''s L1\\_HIT"));
+    }
+}

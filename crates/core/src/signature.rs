@@ -1,0 +1,220 @@
+//! Metric signatures (paper Tables I–IV).
+//!
+//! A signature expresses a desired high-level metric in expectation-basis
+//! coordinates: the right-hand side `s` of the metric-definition system
+//! `X̂ · y = s`.
+
+use serde::{Deserialize, Serialize};
+
+/// A performance-metric signature over some expectation basis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSignature {
+    /// Metric name as printed in the paper's tables.
+    pub name: String,
+    /// Coefficients in basis order.
+    pub coefficients: Vec<f64>,
+}
+
+impl MetricSignature {
+    /// Builds a signature.
+    pub fn new(name: &str, coefficients: Vec<f64>) -> Self {
+        Self { name: name.to_string(), coefficients }
+    }
+}
+
+/// Table I: CPU floating-point metric signatures over the 16-dimensional
+/// basis `(SSCAL, S128, S256, S512, DSCAL, ..., D512, SSCAL_FMA, ...,
+/// S512_FMA, DSCAL_FMA, ..., D512_FMA)`.
+///
+/// FMA-kernel entries are scaled by two because the `FP_ARITH`-style raw
+/// events these signatures are meant to be composed from count an FMA
+/// instruction twice.
+pub fn cpu_flops_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new(
+            "SP Instrs.",
+            vec![1., 1., 1., 1., 0., 0., 0., 0., 2., 2., 2., 2., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "SP Ops.",
+            vec![1., 4., 8., 16., 0., 0., 0., 0., 2., 8., 16., 32., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "SP FMA Instrs.",
+            vec![0., 0., 0., 0., 0., 0., 0., 0., 2., 2., 2., 2., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "DP Instrs.",
+            vec![0., 0., 0., 0., 1., 1., 1., 1., 0., 0., 0., 0., 2., 2., 2., 2.],
+        ),
+        MetricSignature::new(
+            "DP Ops.",
+            vec![0., 0., 0., 0., 1., 2., 4., 8., 0., 0., 0., 0., 2., 4., 8., 16.],
+        ),
+        MetricSignature::new(
+            "DP FMA Instrs.",
+            vec![0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 2., 2., 2., 2.],
+        ),
+    ]
+}
+
+/// Table II: GPU floating-point metric signatures over the 15-dimensional
+/// basis `(AH, AS, AD, SH, SS, SD, MH, MS, MD, SQH, SQS, SQD, FH, FS, FD)`.
+pub fn gpu_flops_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new(
+            "HP Add Ops.",
+            vec![1., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "HP Sub Ops.",
+            vec![0., 0., 0., 1., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "HP Add and Sub Ops.",
+            vec![1., 0., 0., 1., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0., 0.],
+        ),
+        MetricSignature::new(
+            "All HP Ops.",
+            vec![1., 0., 0., 1., 0., 0., 1., 0., 0., 1., 0., 0., 2., 0., 0.],
+        ),
+        MetricSignature::new(
+            "All SP Ops.",
+            vec![0., 1., 0., 0., 1., 0., 0., 1., 0., 0., 1., 0., 0., 2., 0.],
+        ),
+        MetricSignature::new(
+            "All DP Ops.",
+            vec![0., 0., 1., 0., 0., 1., 0., 0., 1., 0., 0., 1., 0., 0., 2.],
+        ),
+    ]
+}
+
+/// Table III: branching metric signatures over `(CE, CR, T, D, M)`.
+pub fn branch_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new("Unconditional Branches.", vec![0., 0., 0., 1., 0.]),
+        MetricSignature::new("Conditional Branches Taken.", vec![0., 0., 1., 0., 0.]),
+        MetricSignature::new("Conditional Branches Not Taken.", vec![0., 1., -1., 0., 0.]),
+        MetricSignature::new("Mispredicted Branches.", vec![0., 0., 0., 0., 1.]),
+        MetricSignature::new("Correctly Predicted Branches.", vec![0., 1., 0., 0., -1.]),
+        MetricSignature::new("Conditional Branches Retired.", vec![0., 1., 0., 0., 0.]),
+        MetricSignature::new("Conditional Branches Executed.", vec![1., 0., 0., 0., 0.]),
+    ]
+}
+
+/// Table IV: data-cache metric signatures over `(L1DM, L1DH, L2DH, L3DH)`.
+pub fn dcache_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new("L1 Misses.", vec![1., 0., 0., 0.]),
+        MetricSignature::new("L1 Hits.", vec![0., 1., 0., 0.]),
+        MetricSignature::new("L1 Reads.", vec![1., 1., 0., 0.]),
+        MetricSignature::new("L2 Hits.", vec![0., 0., 1., 0.]),
+        MetricSignature::new("L2 Misses.", vec![1., 0., -1., 0.]),
+        MetricSignature::new("L3 Hits.", vec![0., 0., 0., 1.]),
+    ]
+}
+
+/// Extension: the precision-agnostic "All FP Ops." signature (SP Ops +
+/// DP Ops) — composable on architectures whose FP counters merge
+/// precisions (AMD-style), where the per-precision signatures are not.
+pub fn all_fp_ops_signature() -> MetricSignature {
+    let sigs = cpu_flops_signatures();
+    let sp = &sigs[1];
+    let dp = &sigs[4];
+    debug_assert_eq!(sp.name, "SP Ops.");
+    debug_assert_eq!(dp.name, "DP Ops.");
+    MetricSignature::new(
+        "All FP Ops.",
+        sp.coefficients.iter().zip(&dp.coefficients).map(|(a, b)| a + b).collect(),
+    )
+}
+
+/// Extension: data-TLB metric signatures over `(TLBM, TLBH)`.
+pub fn dtlb_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new("TLB Misses.", vec![1., 0.]),
+        MetricSignature::new("TLB Hits.", vec![0., 1.]),
+        MetricSignature::new("TLB Accesses.", vec![1., 1.]),
+    ]
+}
+
+/// Extension: store-path metric signatures over `(S1M, S1H, S2H, S3H)`.
+pub fn dstore_signatures() -> Vec<MetricSignature> {
+    vec![
+        MetricSignature::new("L1 Store Misses (RFOs).", vec![1., 0., 0., 0.]),
+        MetricSignature::new("L1 Store Hits.", vec![0., 1., 0., 0.]),
+        MetricSignature::new("All Stores.", vec![1., 1., 0., 0.]),
+        MetricSignature::new("L2 Store Hits.", vec![0., 0., 1., 0.]),
+        MetricSignature::new("L2 Store Misses.", vec![1., 0., -1., 0.]),
+        MetricSignature::new("L3 Store Hits.", vec![0., 0., 0., 1.]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis;
+
+    #[test]
+    fn dimensions_match_bases() {
+        for s in cpu_flops_signatures() {
+            assert_eq!(s.coefficients.len(), basis::cpu_flops_basis().dim(), "{}", s.name);
+        }
+        for s in gpu_flops_signatures() {
+            assert_eq!(s.coefficients.len(), basis::gpu_flops_basis().dim(), "{}", s.name);
+        }
+        for s in branch_signatures() {
+            assert_eq!(s.coefficients.len(), 5, "{}", s.name);
+        }
+        for s in dcache_signatures() {
+            assert_eq!(s.coefficients.len(), 4, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn dp_flops_signature_matches_paper_formula() {
+        // 1*DSCAL + 2*D128 + 4*D256 + 8*D512 + 2*DSCAL_FMA + 4*D128_FMA
+        // + 8*D256_FMA + 16*D512_FMA.
+        let b = basis::cpu_flops_basis();
+        let s = &cpu_flops_signatures()[4];
+        assert_eq!(s.name, "DP Ops.");
+        assert_eq!(s.coefficients[b.index_of("DSCAL").unwrap()], 1.0);
+        assert_eq!(s.coefficients[b.index_of("D256").unwrap()], 4.0);
+        assert_eq!(s.coefficients[b.index_of("D256_FMA").unwrap()], 8.0);
+        assert_eq!(s.coefficients[b.index_of("D512_FMA").unwrap()], 16.0);
+        assert_eq!(s.coefficients[b.index_of("SSCAL").unwrap()], 0.0);
+    }
+
+    #[test]
+    fn table_counts() {
+        assert_eq!(cpu_flops_signatures().len(), 6);
+        assert_eq!(gpu_flops_signatures().len(), 6);
+        assert_eq!(branch_signatures().len(), 7);
+        assert_eq!(dcache_signatures().len(), 6);
+    }
+
+    #[test]
+    fn branch_derived_identities() {
+        // Not Taken = Retired - Taken; Correctly Predicted = Retired - Misp.
+        let sigs = branch_signatures();
+        let retired = &sigs[5].coefficients;
+        let taken = &sigs[1].coefficients;
+        let not_taken = &sigs[2].coefficients;
+        for i in 0..5 {
+            assert_eq!(not_taken[i], retired[i] - taken[i]);
+        }
+        let misp = &sigs[3].coefficients;
+        let correct = &sigs[4].coefficients;
+        for i in 0..5 {
+            assert_eq!(correct[i], retired[i] - misp[i]);
+        }
+    }
+
+    #[test]
+    fn gpu_all_ops_scales_fma_by_two() {
+        let b = basis::gpu_flops_basis();
+        for (sig, f) in gpu_flops_signatures()[3..6].iter().zip(["FH", "FS", "FD"]) {
+            assert_eq!(sig.coefficients[b.index_of(f).unwrap()], 2.0, "{}", sig.name);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Sanity checks for user-supplied expectation bases.
+//!
+//! The analysis is only as good as the basis (§III): a rank-deficient `E`
+//! makes representations ambiguous, wildly different column scales make the
+//! least-squares normalization ill-conditioned, and points that excite no
+//! expectation contribute nothing. This module catches those mistakes
+//! before a custom domain (see `examples/custom_domain.rs`) produces
+//! silently meaningless metric definitions.
+
+use crate::basis::Basis;
+use catalyze_linalg::{singular_values, vector};
+use serde::{Deserialize, Serialize};
+
+/// One problem found in a basis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BasisIssue {
+    /// The expectation columns are not linearly independent: representations
+    /// in this basis are non-unique.
+    RankDeficient {
+        /// Numerical rank found.
+        rank: usize,
+        /// Expected rank (the number of expectations).
+        expected: usize,
+    },
+    /// One expectation never fires on any point — it cannot be
+    /// distinguished from "does not exist".
+    EmptyExpectation {
+        /// Label of the empty column.
+        label: String,
+    },
+    /// A measurement point excites no expectation: it adds rows of zeros
+    /// that only dilute the least-squares fit.
+    DeadPoint {
+        /// Point index.
+        point: usize,
+    },
+    /// Column norms span more than `1e3`x: the normalization least squares
+    /// becomes scale-dominated (the failure mode §II ascribes to raw
+    /// cycles-vs-FLOPs magnitudes).
+    ScaleSpread {
+        /// Ratio of the largest to the smallest column norm.
+        ratio: f64,
+    },
+    /// The basis is square-or-wide in the wrong direction: fewer points
+    /// than expectations can never determine the representations.
+    TooFewPoints {
+        /// Number of points (rows).
+        points: usize,
+        /// Number of expectations (columns).
+        expectations: usize,
+    },
+}
+
+impl std::fmt::Display for BasisIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BasisIssue::RankDeficient { rank, expected } => {
+                write!(f, "basis is rank deficient ({rank} < {expected}): representations are ambiguous")
+            }
+            BasisIssue::EmptyExpectation { label } => {
+                write!(f, "expectation '{label}' is zero at every point")
+            }
+            BasisIssue::DeadPoint { point } => {
+                write!(f, "point {point} excites no expectation")
+            }
+            BasisIssue::ScaleSpread { ratio } => {
+                write!(f, "expectation norms span a {ratio:.0}x range; consider normalizing")
+            }
+            BasisIssue::TooFewPoints { points, expectations } => {
+                write!(f, "{points} points cannot determine {expectations} expectations")
+            }
+        }
+    }
+}
+
+/// Checks a basis and returns every issue found (empty = sound).
+pub fn validate_basis(basis: &Basis) -> Vec<BasisIssue> {
+    let mut issues = Vec::new();
+    let (points, expectations) = (basis.points(), basis.dim());
+    if points < expectations {
+        issues.push(BasisIssue::TooFewPoints { points, expectations });
+    }
+
+    let mut norms = Vec::with_capacity(expectations);
+    for (j, label) in basis.labels.iter().enumerate() {
+        let norm = vector::norm2(basis.matrix.col(j));
+        if norm == 0.0 {
+            issues.push(BasisIssue::EmptyExpectation { label: clone_label(label) });
+        } else {
+            norms.push(norm);
+        }
+    }
+    if let (Some(&max), Some(&min)) = (
+        norms.iter().max_by(|a, b| a.total_cmp(b)),
+        norms.iter().min_by(|a, b| a.total_cmp(b)),
+    ) {
+        let ratio = max / min;
+        if ratio > 1e3 {
+            issues.push(BasisIssue::ScaleSpread { ratio });
+        }
+    }
+
+    for p in 0..points {
+        if basis.matrix.row(p).iter().all(|&v| v == 0.0) {
+            issues.push(BasisIssue::DeadPoint { point: p });
+        }
+    }
+
+    if points >= expectations && expectations > 0 {
+        if let Ok(svd) = singular_values(&basis.matrix) {
+            let rank = svd.rank(1e-10);
+            if rank < expectations {
+                issues.push(BasisIssue::RankDeficient { rank, expected: expectations });
+            }
+        }
+    }
+    issues
+}
+
+fn clone_label(l: &str) -> String {
+    l.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{self, Basis};
+    use catalyze_linalg::Matrix;
+
+    #[test]
+    fn builtin_bases_are_sound() {
+        assert!(validate_basis(&basis::cpu_flops_basis()).is_empty());
+        assert!(validate_basis(&basis::branch_basis()).is_empty());
+        assert!(validate_basis(&basis::gpu_flops_basis()).is_empty());
+        let regions = [
+            basis::CacheRegion::L1,
+            basis::CacheRegion::L2,
+            basis::CacheRegion::L3,
+            basis::CacheRegion::Memory,
+        ];
+        assert!(validate_basis(&basis::dcache_basis(&regions)).is_empty());
+        assert!(validate_basis(&basis::dtlb_basis(&[true, false])).is_empty());
+    }
+
+    fn b(rows: usize, cols: usize, data: &[f64], labels: &[&str]) -> Basis {
+        Basis {
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            matrix: Matrix::from_rows(rows, cols, data).unwrap(),
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Second column is twice the first.
+        let basis = b(3, 2, &[1., 2., 2., 4., 3., 6.], &["A", "B"]);
+        let issues = validate_basis(&basis);
+        assert!(issues.iter().any(|i| matches!(i, BasisIssue::RankDeficient { rank: 1, .. })), "{issues:?}");
+    }
+
+    #[test]
+    fn detects_empty_expectation_and_dead_point() {
+        let basis = b(3, 2, &[1., 0., 0., 0., 2., 0.], &["A", "EMPTY"]);
+        let issues = validate_basis(&basis);
+        assert!(issues.iter().any(|i| matches!(i, BasisIssue::EmptyExpectation { label } if label == "EMPTY")));
+        assert!(issues.iter().any(|i| matches!(i, BasisIssue::DeadPoint { point: 1 })));
+    }
+
+    #[test]
+    fn detects_scale_spread() {
+        let basis = b(2, 2, &[1e6, 1., 2e6, 1.], &["CYCLES", "FLOPS"]);
+        let issues = validate_basis(&basis);
+        assert!(issues.iter().any(|i| matches!(i, BasisIssue::ScaleSpread { ratio } if *ratio > 1e3)));
+    }
+
+    #[test]
+    fn detects_too_few_points() {
+        let basis = b(1, 2, &[1., 2.], &["A", "B"]);
+        let issues = validate_basis(&basis);
+        assert!(issues.iter().any(|i| matches!(i, BasisIssue::TooFewPoints { .. })));
+    }
+
+    #[test]
+    fn issues_display() {
+        for issue in [
+            BasisIssue::RankDeficient { rank: 1, expected: 2 },
+            BasisIssue::EmptyExpectation { label: "X".into() },
+            BasisIssue::DeadPoint { point: 3 },
+            BasisIssue::ScaleSpread { ratio: 5e4 },
+            BasisIssue::TooFewPoints { points: 1, expectations: 2 },
+        ] {
+            assert!(!issue.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Event catalogs: the inventory of raw events an architecture exposes.
+
+use crate::name::EventName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque, catalog-local event identifier (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Broad hardware domain an event belongs to. Used only for reporting and
+/// catalog browsing — the analysis itself never needs it (that is the point
+/// of the paper: the pipeline discovers event semantics from data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventDomain {
+    /// Floating-point unit events.
+    FloatingPoint,
+    /// Branch unit events.
+    Branch,
+    /// Data-cache / memory-hierarchy events.
+    Memory,
+    /// Frontend / decode / uop-delivery events.
+    Frontend,
+    /// Core-clock and cycle-style events.
+    Cycles,
+    /// TLB events.
+    Tlb,
+    /// Uncore / offcore / interconnect events.
+    Uncore,
+    /// Operating-system or software-defined events.
+    Software,
+    /// GPU compute-unit events.
+    Gpu,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for EventDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventDomain::FloatingPoint => "floating-point",
+            EventDomain::Branch => "branch",
+            EventDomain::Memory => "memory",
+            EventDomain::Frontend => "frontend",
+            EventDomain::Cycles => "cycles",
+            EventDomain::Tlb => "tlb",
+            EventDomain::Uncore => "uncore",
+            EventDomain::Software => "software",
+            EventDomain::Gpu => "gpu",
+            EventDomain::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Descriptive information about one raw event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventInfo {
+    /// Fully qualified name.
+    pub name: EventName,
+    /// Vendor-style description (often terse or vague, as on real machines).
+    pub description: String,
+    /// Broad domain tag.
+    pub domain: EventDomain,
+}
+
+/// An immutable, indexable inventory of events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventCatalog {
+    events: Vec<EventInfo>,
+    #[serde(skip)]
+    by_name: HashMap<String, EventId>,
+}
+
+impl EventCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event, returning its id. Duplicate names are rejected.
+    pub fn add(&mut self, info: EventInfo) -> Result<EventId, DuplicateEvent> {
+        let key = info.name.to_string();
+        if self.by_name.contains_key(&key) {
+            return Err(DuplicateEvent { name: key });
+        }
+        let id = EventId(self.events.len() as u32);
+        self.by_name.insert(key, id);
+        self.events.push(info);
+        Ok(id)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the catalog holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Looks up an event id by its string name.
+    pub fn id_of(&self, name: &str) -> Option<EventId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Event info by id.
+    pub fn info(&self, id: EventId) -> Option<&EventInfo> {
+        self.events.get(id.index())
+    }
+
+    /// Iterates `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &EventInfo)> {
+        self.events.iter().enumerate().map(|(i, e)| (EventId(i as u32), e))
+    }
+
+    /// Ids of events in the given domain.
+    pub fn ids_in_domain(&self, domain: EventDomain) -> Vec<EventId> {
+        self.iter().filter(|(_, e)| e.domain == domain).map(|(id, _)| id).collect()
+    }
+
+    /// Rebuilds the name index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.to_string(), EventId(i as u32)))
+            .collect();
+    }
+}
+
+/// Error: an event with the same name already exists in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateEvent {
+    /// The duplicated name.
+    pub name: String,
+}
+
+impl fmt::Display for DuplicateEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate event name: {}", self.name)
+    }
+}
+
+impl std::error::Error for DuplicateEvent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str, domain: EventDomain) -> EventInfo {
+        EventInfo { name: name.parse().unwrap(), description: format!("desc of {name}"), domain }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = EventCatalog::new();
+        let id = cat.add(info("CYCLES", EventDomain::Cycles)).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.id_of("CYCLES"), Some(id));
+        assert_eq!(cat.info(id).unwrap().domain, EventDomain::Cycles);
+        assert_eq!(cat.id_of("NOPE"), None);
+        assert!(cat.info(EventId(99)).is_none());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut cat = EventCatalog::new();
+        cat.add(info("A", EventDomain::Other)).unwrap();
+        let err = cat.add(info("A", EventDomain::Other)).unwrap_err();
+        assert_eq!(err.name, "A");
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn domain_filter() {
+        let mut cat = EventCatalog::new();
+        cat.add(info("A", EventDomain::Branch)).unwrap();
+        cat.add(info("B", EventDomain::Memory)).unwrap();
+        cat.add(info("C", EventDomain::Branch)).unwrap();
+        let branch = cat.ids_in_domain(EventDomain::Branch);
+        assert_eq!(branch.len(), 2);
+        assert_eq!(branch[0].index(), 0);
+        assert_eq!(branch[1].index(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let mut cat = EventCatalog::new();
+        cat.add(info("X:Q", EventDomain::FloatingPoint)).unwrap();
+        let json = serde_json::to_string(&cat).unwrap();
+        let mut back: EventCatalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id_of("X:Q"), None, "index skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.id_of("X:Q"), Some(EventId(0)));
+    }
+
+    #[test]
+    fn iteration_order_is_id_order() {
+        let mut cat = EventCatalog::new();
+        for n in ["A", "B", "C"] {
+            cat.add(info(n, EventDomain::Other)).unwrap();
+        }
+        let names: Vec<String> = cat.iter().map(|(_, e)| e.name.to_string()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # catalyze-events
+//!
+//! PAPI-style performance-event naming, catalogs, and derived-metric
+//! presets — the vocabulary shared by the simulated hardware
+//! (`catalyze-sim`), the benchmarks (`catalyze-cat`), and the analysis
+//! pipeline (`catalyze`).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod papi;
+pub mod name;
+pub mod preset;
+
+pub use catalog::{EventCatalog, EventDomain, EventId, EventInfo};
+pub use name::{EventName, ParseNameError, Qualifier};
+pub use papi::{from_papi_format, preset_symbol, to_papi_format};
+pub use preset::{Preset, PresetTable, PresetTerm};

@@ -1,0 +1,249 @@
+//! PAPI-style event names.
+//!
+//! Raw hardware events are addressed by strings of the form
+//!
+//! ```text
+//! [component:::]BASE_NAME[:QUALIFIER[=VALUE]]*
+//! ```
+//!
+//! e.g. `FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE` (a CPU event with a
+//! umask-style qualifier) or `rocm:::SQ_INSTS_VALU_ADD_F16:device=0` (a GPU
+//! event routed through a component, with a device qualifier).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One `key` or `key=value` qualifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Qualifier {
+    /// Qualifier name (umask name, `device`, `cpu`, ...).
+    pub key: String,
+    /// Optional value after `=`.
+    pub value: Option<String>,
+}
+
+impl Qualifier {
+    /// A bare flag qualifier.
+    pub fn flag(key: impl Into<String>) -> Self {
+        Self { key: key.into(), value: None }
+    }
+
+    /// A `key=value` qualifier.
+    pub fn with_value(key: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { key: key.into(), value: Some(value.into()) }
+    }
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "{}={}", self.key, v),
+            None => write!(f, "{}", self.key),
+        }
+    }
+}
+
+/// A fully qualified event name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventName {
+    /// Component prefix (`rocm` in `rocm:::...`); empty for the default CPU
+    /// component.
+    pub component: String,
+    /// Base event name.
+    pub base: String,
+    /// Qualifiers in order of appearance.
+    pub qualifiers: Vec<Qualifier>,
+}
+
+/// Error produced when parsing an event name string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid event name: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl EventName {
+    /// A CPU event with no qualifiers.
+    pub fn cpu(base: impl Into<String>) -> Self {
+        Self { component: String::new(), base: base.into(), qualifiers: Vec::new() }
+    }
+
+    /// A CPU event with one flag qualifier (`BASE:QUAL`).
+    pub fn cpu_q(base: impl Into<String>, qual: impl Into<String>) -> Self {
+        Self {
+            component: String::new(),
+            base: base.into(),
+            qualifiers: vec![Qualifier::flag(qual)],
+        }
+    }
+
+    /// A component event (`comp:::BASE`).
+    pub fn component(component: impl Into<String>, base: impl Into<String>) -> Self {
+        Self { component: component.into(), base: base.into(), qualifiers: Vec::new() }
+    }
+
+    /// Adds a qualifier, builder style.
+    pub fn with_qualifier(mut self, q: Qualifier) -> Self {
+        self.qualifiers.push(q);
+        self
+    }
+
+    /// True when any qualifier has the given key.
+    pub fn has_qualifier(&self, key: &str) -> bool {
+        self.qualifiers.iter().any(|q| q.key == key)
+    }
+
+    /// Value of the first qualifier with the given key, if any.
+    pub fn qualifier_value(&self, key: &str) -> Option<&str> {
+        self.qualifiers
+            .iter()
+            .find(|q| q.key == key)
+            .and_then(|q| q.value.as_deref())
+    }
+}
+
+impl fmt::Display for EventName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.component.is_empty() {
+            write!(f, "{}:::", self.component)?;
+        }
+        write!(f, "{}", self.base)?;
+        for q in &self.qualifiers {
+            write!(f, ":{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for EventName {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNameError { reason: "empty string".into() });
+        }
+        let (component, rest) = match s.find(":::") {
+            Some(idx) => {
+                let comp = &s[..idx];
+                if comp.is_empty() {
+                    return Err(ParseNameError { reason: "empty component before ':::'".into() });
+                }
+                (comp.to_string(), &s[idx + 3..])
+            }
+            None => (String::new(), s),
+        };
+        let mut parts = rest.split(':');
+        let base = parts.next().unwrap_or_default();
+        if base.is_empty() {
+            return Err(ParseNameError { reason: format!("missing base name in '{s}'") });
+        }
+        let mut qualifiers = Vec::new();
+        for part in parts {
+            if part.is_empty() {
+                return Err(ParseNameError { reason: format!("empty qualifier in '{s}'") });
+            }
+            match part.split_once('=') {
+                Some((k, v)) => {
+                    if k.is_empty() {
+                        return Err(ParseNameError {
+                            reason: format!("empty qualifier key in '{s}'"),
+                        });
+                    }
+                    qualifiers.push(Qualifier::with_value(k, v));
+                }
+                None => qualifiers.push(Qualifier::flag(part)),
+            }
+        }
+        Ok(EventName { component, base: base.to_string(), qualifiers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_cpu_event() {
+        let e: EventName = "INST_RETIRED".parse().unwrap();
+        assert_eq!(e.component, "");
+        assert_eq!(e.base, "INST_RETIRED");
+        assert!(e.qualifiers.is_empty());
+    }
+
+    #[test]
+    fn parse_umask_qualifier() {
+        let e: EventName = "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE".parse().unwrap();
+        assert_eq!(e.base, "FP_ARITH_INST_RETIRED");
+        assert_eq!(e.qualifiers, vec![Qualifier::flag("256B_PACKED_DOUBLE")]);
+        assert_eq!(e.to_string(), "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE");
+    }
+
+    #[test]
+    fn parse_rocm_device_event() {
+        let e: EventName = "rocm:::SQ_INSTS_VALU_ADD_F16:device=0".parse().unwrap();
+        assert_eq!(e.component, "rocm");
+        assert_eq!(e.base, "SQ_INSTS_VALU_ADD_F16");
+        assert_eq!(e.qualifier_value("device"), Some("0"));
+        assert_eq!(e.to_string(), "rocm:::SQ_INSTS_VALU_ADD_F16:device=0");
+    }
+
+    #[test]
+    fn parse_multiple_qualifiers() {
+        let e: EventName = "L2_RQSTS:DEMAND_DATA_RD_HIT:cpu=3".parse().unwrap();
+        assert_eq!(e.qualifiers.len(), 2);
+        assert!(e.has_qualifier("DEMAND_DATA_RD_HIT"));
+        assert_eq!(e.qualifier_value("cpu"), Some("3"));
+        assert_eq!(e.qualifier_value("DEMAND_DATA_RD_HIT"), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "CYCLES",
+            "BR_INST_RETIRED:COND_TAKEN",
+            "rocm:::GRBM_GUI_ACTIVE:device=7",
+            "A:b=c:d:e=f",
+        ] {
+            let e: EventName = s.parse().unwrap();
+            assert_eq!(e.to_string(), s);
+            let back: EventName = e.to_string().parse().unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<EventName>().is_err());
+        assert!(":::X".parse::<EventName>().is_err());
+        assert!("A::b".parse::<EventName>().is_err(), "empty qualifier between colons");
+        assert!("A:=v".parse::<EventName>().is_err());
+        assert!(":Q".parse::<EventName>().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let e = EventName::cpu_q("BR_INST_RETIRED", "COND")
+            .with_qualifier(Qualifier::with_value("cpu", "0"));
+        assert_eq!(e.to_string(), "BR_INST_RETIRED:COND:cpu=0");
+        let g = EventName::component("rocm", "SQ_WAVES");
+        assert_eq!(g.to_string(), "rocm:::SQ_WAVES");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v: Vec<EventName> =
+            ["B", "A:Z", "A:A", "rocm:::A"].iter().map(|s| s.parse().unwrap()).collect();
+        v.sort();
+        let strings: Vec<String> = v.iter().map(|e| e.to_string()).collect();
+        assert_eq!(strings, vec!["A:A", "A:Z", "B", "rocm:::A"]);
+    }
+}

@@ -1,0 +1,272 @@
+//! PAPI-style preset definition files.
+//!
+//! The paper's motivation is automating what PAPI maintainers do by hand:
+//! writing per-architecture preset definitions that map high-level metric
+//! names to combinations of native events. This module serializes preset
+//! tables to (and parses them from) a line-oriented format modeled on
+//! PAPI's `papi_events.csv` derived-event syntax:
+//!
+//! ```text
+//! # architecture: spr-sim
+//! PRESET,CAT_DP_OPS,DERIVED_POSTFIX,N0|2|*|N1|4|*|+|,FP_ARITH_INST_RETIRED:SCALAR_DOUBLE,FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE
+//! ```
+//!
+//! For readability (and because reverse-Polish strings are write-only), the
+//! emitter uses the simpler `DERIVED_SUM` form with explicit per-term
+//! coefficients:
+//!
+//! ```text
+//! PRESET,CAT_DP_OPS,LINEAR,1*FP_ARITH_INST_RETIRED:SCALAR_DOUBLE,2*FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE
+//! ```
+
+use crate::name::EventName;
+use crate::preset::{Preset, PresetTable, PresetTerm};
+use std::fmt::Write as _;
+
+/// Converts a human metric name (`DP Ops.`) into a PAPI-style preset
+/// symbol (`CAT_DP_OPS`).
+pub fn preset_symbol(metric: &str) -> String {
+    let mut out = String::from("CAT_");
+    let mut last_underscore = true;
+    for c in metric.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_uppercase());
+            last_underscore = false;
+        } else if !last_underscore {
+            out.push('_');
+            last_underscore = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Serializes a preset table to the line format.
+///
+/// ```
+/// use catalyze_events::{to_papi_format, from_papi_format, Preset, PresetTable, PresetTerm};
+///
+/// let table = PresetTable {
+///     title: "demo".into(),
+///     presets: vec![Preset {
+///         metric: "DP Ops.".into(),
+///         terms: vec![PresetTerm {
+///             coefficient: 2.0,
+///             event: "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE".parse().unwrap(),
+///         }],
+///         error: 1e-16,
+///     }],
+/// };
+/// let text = to_papi_format("spr-sim", &table);
+/// assert!(text.contains("PRESET,CAT_DP_OPS,LINEAR,2*FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE"));
+/// let parsed = from_papi_format(&text).unwrap();
+/// assert_eq!(parsed.presets[0].terms, table.presets[0].terms);
+/// ```
+pub fn to_papi_format(architecture: &str, table: &PresetTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# architecture: {architecture}");
+    let _ = writeln!(out, "# {}", table.title);
+    let _ = writeln!(out, "# format: PRESET,<symbol>,LINEAR,<coeff>*<event>,...  (# err=<backward error>)");
+    for p in &table.presets {
+        let _ = write!(out, "PRESET,{},LINEAR", preset_symbol(&p.metric));
+        for t in &p.terms {
+            let _ = write!(out, ",{}*{}", format_coeff(t.coefficient), t.event);
+        }
+        let _ = writeln!(out, "  # err={:.2e} metric=\"{}\"", p.error, p.metric);
+    }
+    out
+}
+
+fn format_coeff(c: f64) -> String {
+    if c == c.trunc() && c.abs() < 1e15 {
+        format!("{}", c as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+/// Error from parsing a preset file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PapiParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PapiParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PapiParseError {}
+
+/// Parses the line format back into a preset table. Comment-only metadata
+/// (`metric="..."`, `err=...`) is recovered when present.
+pub fn from_papi_format(text: &str) -> Result<PresetTable, PapiParseError> {
+    let mut table = PresetTable { title: String::new(), presets: Vec::new() };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if table.title.is_empty() && !comment.trim().starts_with("architecture")
+                && !comment.trim().starts_with("format")
+            {
+                table.title = comment.trim().to_string();
+            }
+            continue;
+        }
+        // Split off the trailing comment.
+        let (body, comment) = match line.split_once('#') {
+            Some((b, c)) => (b.trim(), Some(c.trim())),
+            None => (line, None),
+        };
+        let mut fields = body.split(',');
+        let tag = fields.next().unwrap_or_default();
+        if tag != "PRESET" {
+            return Err(PapiParseError { line: lineno, reason: format!("expected PRESET, got '{tag}'") });
+        }
+        let symbol = fields
+            .next()
+            .ok_or_else(|| PapiParseError { line: lineno, reason: "missing symbol".into() })?
+            .to_string();
+        let kind = fields
+            .next()
+            .ok_or_else(|| PapiParseError { line: lineno, reason: "missing kind".into() })?;
+        if kind != "LINEAR" {
+            return Err(PapiParseError { line: lineno, reason: format!("unsupported kind '{kind}'") });
+        }
+        let mut terms = Vec::new();
+        for term in fields {
+            let term = term.trim();
+            if term.is_empty() {
+                continue;
+            }
+            let (coeff, event) = term.split_once('*').ok_or_else(|| PapiParseError {
+                line: lineno,
+                reason: format!("term '{term}' lacks '*'"),
+            })?;
+            let coefficient: f64 = coeff.parse().map_err(|_| PapiParseError {
+                line: lineno,
+                reason: format!("bad coefficient '{coeff}'"),
+            })?;
+            let event: EventName = event.trim().parse().map_err(|e| PapiParseError {
+                line: lineno,
+                reason: format!("bad event name: {e}"),
+            })?;
+            terms.push(PresetTerm { coefficient, event });
+        }
+        // Recover metadata from the comment.
+        let mut error = 0.0;
+        let mut metric = symbol.clone();
+        if let Some(c) = comment {
+            for part in c.split_whitespace() {
+                if let Some(v) = part.strip_prefix("err=") {
+                    error = v.parse().unwrap_or(0.0);
+                }
+            }
+            if let Some(start) = c.find("metric=\"") {
+                let rest = &c[start + 8..];
+                if let Some(end) = rest.find('"') {
+                    metric = rest[..end].to_string();
+                }
+            }
+        }
+        table.presets.push(Preset { metric, terms, error });
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PresetTable {
+        PresetTable {
+            title: "branch presets".into(),
+            presets: vec![
+                Preset {
+                    metric: "Unconditional Branches.".into(),
+                    terms: vec![
+                        PresetTerm { coefficient: -1.0, event: "BR_INST_RETIRED:COND".parse().unwrap() },
+                        PresetTerm {
+                            coefficient: 1.0,
+                            event: "BR_INST_RETIRED:ALL_BRANCHES".parse().unwrap(),
+                        },
+                    ],
+                    error: 1.96e-16,
+                },
+                Preset {
+                    metric: "DP Ops.".into(),
+                    terms: vec![PresetTerm {
+                        coefficient: 2.5,
+                        event: "rocm:::SQ_INSTS_VALU_FMA_F64:device=0".parse().unwrap(),
+                    }],
+                    error: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn symbols_are_papi_style() {
+        assert_eq!(preset_symbol("DP Ops."), "CAT_DP_OPS");
+        assert_eq!(preset_symbol("Conditional Branches Not Taken."), "CAT_CONDITIONAL_BRANCHES_NOT_TAKEN");
+        assert_eq!(preset_symbol("L1 Misses."), "CAT_L1_MISSES");
+        assert_eq!(preset_symbol("HP Add and Sub Ops."), "CAT_HP_ADD_AND_SUB_OPS");
+    }
+
+    #[test]
+    fn emit_format_shape() {
+        let text = to_papi_format("spr-sim", &table());
+        assert!(text.contains("# architecture: spr-sim"));
+        assert!(
+            text.contains("PRESET,CAT_UNCONDITIONAL_BRANCHES,LINEAR,-1*BR_INST_RETIRED:COND,1*BR_INST_RETIRED:ALL_BRANCHES"),
+            "{text}"
+        );
+        assert!(text.contains("err=1.96e-16"));
+        assert!(text.contains("2.5*rocm:::SQ_INSTS_VALU_FMA_F64:device=0"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = table();
+        let text = to_papi_format("spr-sim", &original);
+        let parsed = from_papi_format(&text).unwrap();
+        assert_eq!(parsed.presets.len(), 2);
+        assert_eq!(parsed.presets[0].metric, "Unconditional Branches.");
+        assert_eq!(parsed.presets[0].terms, original.presets[0].terms);
+        assert!((parsed.presets[0].error - 1.96e-16).abs() < 1e-18);
+        assert_eq!(parsed.presets[1].terms, original.presets[1].terms);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = from_papi_format("JUNK,stuff").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("expected PRESET"));
+        let err = from_papi_format("PRESET,X,LINEAR,nocoeff").unwrap_err();
+        assert!(err.reason.contains("lacks '*'"));
+        let err = from_papi_format("PRESET,X,LINEAR,abc*EV").unwrap_err();
+        assert!(err.reason.contains("bad coefficient"));
+        let err = from_papi_format("PRESET,X,DERIVED_POSTFIX,1*EV").unwrap_err();
+        assert!(err.reason.contains("unsupported kind"));
+        let err = from_papi_format("PRESET,X,LINEAR,1*:::bad").unwrap_err();
+        assert!(err.reason.contains("bad event name"));
+        assert!(from_papi_format("PRESET").unwrap_err().reason.contains("missing symbol"));
+        assert!(from_papi_format("PRESET,X").unwrap_err().reason.contains("missing kind"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let parsed = from_papi_format("\n# a title\n\n").unwrap();
+        assert_eq!(parsed.title, "a title");
+        assert!(parsed.presets.is_empty());
+    }
+}

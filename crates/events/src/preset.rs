@@ -1,0 +1,178 @@
+//! Derived-metric presets.
+//!
+//! The end product of the analysis is, for each high-level metric, a linear
+//! combination of raw events — exactly what middleware like PAPI ships as
+//! "preset" definitions. This module is the output format.
+
+use crate::name::EventName;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One `coefficient x event` term of a preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetTerm {
+    /// Scale factor applied to the event's count.
+    pub coefficient: f64,
+    /// The raw event.
+    pub event: EventName,
+}
+
+/// A derived performance metric defined over raw events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Preset {
+    /// Metric name, e.g. `DP Ops.` or `PAPI_DP_OPS`-style identifiers.
+    pub metric: String,
+    /// Terms of the linear combination (zero-coefficient terms omitted).
+    pub terms: Vec<PresetTerm>,
+    /// Least-squares backward error of the definition (Eq. 5 of the paper);
+    /// near machine epsilon for well-defined metrics, O(1) for metrics the
+    /// architecture cannot compose.
+    pub error: f64,
+}
+
+impl Preset {
+    /// True when the backward error is small enough for the definition to
+    /// be considered valid (the paper treats ~1e-16 as composable and
+    /// ~1e-1..1 as non-composable; `threshold` draws the line).
+    pub fn is_composable(&self, threshold: f64) -> bool {
+        self.error <= threshold
+    }
+
+    /// Evaluates the preset over per-event counts supplied by a lookup.
+    ///
+    /// `counts` maps an event to its measured count; events missing from
+    /// the lookup contribute zero (and are reported via the returned flag).
+    pub fn evaluate<F>(&self, counts: F) -> EvaluatedPreset
+    where
+        F: Fn(&EventName) -> Option<f64>,
+    {
+        let mut value = 0.0;
+        let mut missing = Vec::new();
+        for term in &self.terms {
+            match counts(&term.event) {
+                Some(c) => value += term.coefficient * c,
+                None => missing.push(term.event.clone()),
+            }
+        }
+        EvaluatedPreset { value, missing }
+    }
+}
+
+/// Result of evaluating a preset against measured counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatedPreset {
+    /// The combined metric value.
+    pub value: f64,
+    /// Events the lookup could not provide (treated as zero).
+    pub missing: Vec<EventName>,
+}
+
+impl fmt::Display for Preset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (error {:.2e})", self.metric, self.error)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            let sign = if t.coefficient < 0.0 { "-" } else if i == 0 { "" } else { "+" };
+            let mag = t.coefficient.abs();
+            writeln!(f, "  {sign} {mag} x {}", t.event)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named collection of presets for one architecture/domain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PresetTable {
+    /// Human-readable table title.
+    pub title: String,
+    /// The preset definitions.
+    pub presets: Vec<Preset>,
+}
+
+impl PresetTable {
+    /// Finds a preset by metric name.
+    pub fn get(&self, metric: &str) -> Option<&Preset> {
+        self.presets.iter().find(|p| p.metric == metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preset() -> Preset {
+        Preset {
+            metric: "DP Ops.".into(),
+            terms: vec![
+                PresetTerm {
+                    coefficient: 2.0,
+                    event: "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE".parse().unwrap(),
+                },
+                PresetTerm {
+                    coefficient: 1.0,
+                    event: "FP_ARITH_INST_RETIRED:SCALAR_DOUBLE".parse().unwrap(),
+                },
+            ],
+            error: 1.7e-19,
+        }
+    }
+
+    #[test]
+    fn composability_threshold() {
+        let p = preset();
+        assert!(p.is_composable(1e-6));
+        let bad = Preset { error: 1.0, ..p };
+        assert!(!bad.is_composable(1e-6));
+    }
+
+    #[test]
+    fn evaluate_combines_counts() {
+        let p = preset();
+        let out = p.evaluate(|e| {
+            if e.to_string().contains("128B") {
+                Some(10.0)
+            } else {
+                Some(5.0)
+            }
+        });
+        assert_eq!(out.value, 25.0);
+        assert!(out.missing.is_empty());
+    }
+
+    #[test]
+    fn evaluate_reports_missing() {
+        let p = preset();
+        let out = p.evaluate(|e| {
+            if e.to_string().contains("SCALAR") {
+                Some(4.0)
+            } else {
+                None
+            }
+        });
+        assert_eq!(out.value, 4.0);
+        assert_eq!(out.missing.len(), 1);
+    }
+
+    #[test]
+    fn display_has_signs() {
+        let mut p = preset();
+        p.terms[1].coefficient = -1.0;
+        let s = p.to_string();
+        assert!(s.contains("2 x FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE"), "{s}");
+        assert!(s.contains("- 1 x FP_ARITH_INST_RETIRED:SCALAR_DOUBLE"), "{s}");
+    }
+
+    #[test]
+    fn table_lookup() {
+        let t = PresetTable { title: "t".into(), presets: vec![preset()] };
+        assert!(t.get("DP Ops.").is_some());
+        assert!(t.get("nope").is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = preset();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Preset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: event-name grammar round-trips, preset evaluation
+//! linearity, and the PAPI-format round-trip.
+
+use catalyze_events::{
+    from_papi_format, to_papi_format, EventName, Preset, PresetTable, PresetTerm, Qualifier,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.]{0,14}"
+}
+
+fn qualifier() -> impl Strategy<Value = Qualifier> {
+    (ident(), proptest::option::of(ident())).prop_map(|(k, v)| match v {
+        Some(v) => Qualifier::with_value(k, v),
+        None => Qualifier::flag(k),
+    })
+}
+
+fn event_name() -> impl Strategy<Value = EventName> {
+    (
+        proptest::option::of(ident()),
+        ident(),
+        proptest::collection::vec(qualifier(), 0..3),
+    )
+        .prop_map(|(component, base, qualifiers)| EventName {
+            component: component.unwrap_or_default(),
+            base,
+            qualifiers,
+        })
+}
+
+proptest! {
+    #[test]
+    fn name_display_parse_roundtrip(name in event_name()) {
+        let s = name.to_string();
+        let parsed: EventName = s.parse().expect("printed names parse");
+        prop_assert_eq!(parsed, name);
+    }
+
+    #[test]
+    fn parse_never_panics(s in ".{0,40}") {
+        let _ = s.parse::<EventName>();
+    }
+
+    #[test]
+    fn preset_evaluation_is_linear(
+        coeffs in proptest::collection::vec(-10.0..10.0f64, 1..5),
+        counts in proptest::collection::vec(0.0..1e6f64, 5),
+        scale in 0.1..10.0f64,
+    ) {
+        let terms: Vec<PresetTerm> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| PresetTerm { coefficient: c, event: format!("EV{i}").parse().unwrap() })
+            .collect();
+        let preset = Preset { metric: "m".into(), terms, error: 0.0 };
+        let value = |s: f64| {
+            preset
+                .evaluate(|e| {
+                    let idx: usize = e.base[2..].parse().unwrap();
+                    Some(counts[idx] * s)
+                })
+                .value
+        };
+        let v1 = value(1.0);
+        let v2 = value(scale);
+        prop_assert!((v2 - scale * v1).abs() <= 1e-9 * v1.abs().max(1.0));
+    }
+
+    #[test]
+    fn papi_roundtrip(
+        metrics in proptest::collection::vec(("[A-Z][A-Za-z ]{0,12}", proptest::collection::vec((-100.0..100.0f64, 0usize..4), 1..4)), 1..4)
+    ) {
+        let table = PresetTable {
+            title: "t".into(),
+            presets: metrics
+                .iter()
+                .enumerate()
+                .map(|(i, (name, terms))| Preset {
+                    metric: format!("{name}{i}"),
+                    terms: terms
+                        .iter()
+                        .map(|(c, e)| PresetTerm {
+                            coefficient: *c,
+                            event: format!("EVENT_{e}:UMASK_{e}").parse().unwrap(),
+                        })
+                        .collect(),
+                    error: 1e-16,
+                })
+                .collect(),
+        };
+        let text = to_papi_format("arch", &table);
+        let parsed = from_papi_format(&text).expect("emitted format parses");
+        prop_assert_eq!(parsed.presets.len(), table.presets.len());
+        for (p, q) in parsed.presets.iter().zip(&table.presets) {
+            prop_assert_eq!(&p.metric, &q.metric);
+            prop_assert_eq!(p.terms.len(), q.terms.len());
+            for (a, b) in p.terms.iter().zip(&q.terms) {
+                prop_assert_eq!(&a.event, &b.event);
+                prop_assert!((a.coefficient - b.coefficient).abs() < 1e-12 * b.coefficient.abs().max(1.0));
+            }
+        }
+    }
+}

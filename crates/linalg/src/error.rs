@@ -1,0 +1,102 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape it received.
+        got: (usize, usize),
+        /// Operation name, for diagnostics.
+        context: &'static str,
+    },
+    /// An index exceeded the container length.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Container length.
+        len: usize,
+        /// Operation name.
+        context: &'static str,
+    },
+    /// An operation received an empty operand it cannot handle.
+    Empty {
+        /// Operation name.
+        context: &'static str,
+    },
+    /// The matrix is (numerically) singular where an invertible one was
+    /// required, e.g. a zero pivot in a triangular solve.
+    Singular {
+        /// Index of the offending pivot/diagonal entry.
+        pivot: usize,
+        /// Operation name.
+        context: &'static str,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Operation name.
+        context: &'static str,
+    },
+    /// A non-finite value (NaN or infinity) was encountered in the input.
+    NonFinite {
+        /// Operation name.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got, context } => write!(
+                f,
+                "{context}: shape mismatch (expected {}x{}, got {}x{})",
+                expected.0, expected.1, got.0, got.1
+            ),
+            LinalgError::IndexOutOfBounds { index, len, context } => {
+                write!(f, "{context}: index {index} out of bounds for length {len}")
+            }
+            LinalgError::Empty { context } => write!(f, "{context}: empty input"),
+            LinalgError::Singular { pivot, context } => {
+                write!(f, "{context}: singular matrix (zero pivot at {pivot})")
+            }
+            LinalgError::NoConvergence { iterations, context } => {
+                write!(f, "{context}: no convergence after {iterations} iterations")
+            }
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context}: non-finite value in input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch { expected: (2, 3), got: (3, 2), context: "op" };
+        assert_eq!(e.to_string(), "op: shape mismatch (expected 2x3, got 3x2)");
+        let e = LinalgError::Singular { pivot: 4, context: "solve" };
+        assert!(e.to_string().contains("pivot at 4"));
+        let e = LinalgError::NoConvergence { iterations: 30, context: "svd" };
+        assert!(e.to_string().contains("30 iterations"));
+        let e = LinalgError::NonFinite { context: "qr" };
+        assert!(e.to_string().contains("non-finite"));
+        let e = LinalgError::Empty { context: "x" };
+        assert!(e.to_string().contains("empty"));
+        let e = LinalgError::IndexOutOfBounds { index: 9, len: 3, context: "sel" };
+        assert!(e.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Householder reflectors — the building block for the QR factorizations.
+//!
+//! A reflector is stored as `(v, tau)` with `H = I - tau * v * v^T` and
+//! `v[0] = 1` implicitly (LAPACK convention), so the essential part of `v`
+//! can overwrite the zeroed column entries.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// A Householder reflector `H = I - tau * v v^T` acting on vectors of length
+/// `v.len()`, with `v[0] == 1` by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reflector {
+    /// Householder vector with unit first entry.
+    pub v: Vec<f64>,
+    /// Scaling coefficient; zero means the identity (nothing to annihilate).
+    pub tau: f64,
+    /// Value the reflector maps the input's first entry to (the resulting
+    /// R diagonal entry): `H x = (beta, 0, ..., 0)`.
+    pub beta: f64,
+}
+
+impl Reflector {
+    /// Computes the reflector annihilating all but the first entry of `x`.
+    ///
+    /// Follows the LAPACK `dlarfg` sign convention: `beta = -sign(x[0])·‖x‖`,
+    /// which keeps `v[0] = x[0] - beta` away from cancellation.
+    pub fn compute(x: &[f64]) -> Reflector {
+        let n = x.len();
+        assert!(n > 0, "Reflector::compute: empty input");
+        let alpha = x[0];
+        let tail_norm = vector::norm2(&x[1..]);
+        if tail_norm == 0.0 {
+            // Nothing below the diagonal: identity reflector.
+            return Reflector { v: std::iter::once(1.0).chain(vec![0.0; n - 1]).collect(), tau: 0.0, beta: alpha };
+        }
+        let norm = vector::norm2(x);
+        let beta = if alpha >= 0.0 { -norm } else { norm };
+        let tau = (beta - alpha) / beta;
+        let scale = 1.0 / (alpha - beta);
+        let mut v = Vec::with_capacity(n);
+        v.push(1.0);
+        v.extend(x[1..].iter().map(|&xi| xi * scale));
+        Reflector { v, tau, beta }
+    }
+
+    /// Applies `H` to a vector in place: `x <- (I - tau v v^T) x`.
+    pub fn apply_vec(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.v.len(), "Reflector::apply_vec length mismatch");
+        if self.tau == 0.0 {
+            return;
+        }
+        let w = vector::dot(&self.v, x);
+        vector::axpy(-self.tau * w, &self.v, x);
+    }
+
+    /// Applies `H` from the left to the trailing block of `a`: for every
+    /// column `j in j0..a.cols()`, rows `i0..i0+v.len()` are transformed.
+    pub fn apply_left(&self, a: &mut Matrix, i0: usize, j0: usize) {
+        if self.tau == 0.0 {
+            return;
+        }
+        let len = self.v.len();
+        for j in j0..a.cols() {
+            let col = &mut a.col_mut(j)[i0..i0 + len];
+            let w = vector::dot(&self.v, col);
+            vector::axpy(-self.tau * w, &self.v, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annihilates_tail() {
+        let x = [3.0, 4.0];
+        let h = Reflector::compute(&x);
+        let mut y = x.to_vec();
+        h.apply_vec(&mut y);
+        assert!((y[0].abs() - 5.0).abs() < 1e-14);
+        assert!(y[1].abs() < 1e-14);
+        assert!((y[0] - h.beta).abs() < 1e-14);
+    }
+
+    #[test]
+    fn negative_leading_entry() {
+        let x = [-3.0, 4.0];
+        let h = Reflector::compute(&x);
+        let mut y = x.to_vec();
+        h.apply_vec(&mut y);
+        assert!((y[0] - 5.0).abs() < 1e-14, "beta should be +norm for negative alpha");
+        assert!(y[1].abs() < 1e-14);
+    }
+
+    #[test]
+    fn identity_when_tail_zero() {
+        let h = Reflector::compute(&[2.0, 0.0, 0.0]);
+        assert_eq!(h.tau, 0.0);
+        assert_eq!(h.beta, 2.0);
+        let mut y = vec![2.0, 0.0, 0.0];
+        h.apply_vec(&mut y);
+        assert_eq!(y, vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn involution_preserves_norm() {
+        let x = [1.0, -2.0, 3.0, 0.5];
+        let h = Reflector::compute(&x);
+        let mut y = vec![0.3, 1.4, -2.0, 0.9];
+        let before = vector::norm2(&y);
+        h.apply_vec(&mut y);
+        assert!((vector::norm2(&y) - before).abs() < 1e-13, "reflection is an isometry");
+        // applying twice returns the original
+        h.apply_vec(&mut y);
+        assert!((y[0] - 0.3).abs() < 1e-13);
+        assert!((y[3] - 0.9).abs() < 1e-13);
+    }
+
+    #[test]
+    fn apply_left_transforms_trailing_columns() {
+        let mut a = Matrix::from_rows(2, 2, &[3.0, 1.0, 4.0, 1.0]).unwrap();
+        let h = Reflector::compute(&[3.0, 4.0]);
+        h.apply_left(&mut a, 0, 0);
+        assert!(a[(1, 0)].abs() < 1e-14);
+        assert!((a[(0, 0)].abs() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singleton_vector() {
+        let h = Reflector::compute(&[7.5]);
+        assert_eq!(h.tau, 0.0);
+        assert_eq!(h.beta, 7.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! # catalyze-linalg
+//!
+//! From-scratch dense linear algebra for the CATalyze event-analysis
+//! pipeline (a reproduction of *Automated Data Analysis for Defining
+//! Performance Metrics from Raw Hardware Events*, IPDPSW 2024).
+//!
+//! The pipeline needs exactly the kernels implemented here:
+//!
+//! * [`matrix::Matrix`] — column-major dense matrices whose columns are
+//!   event measurement vectors or expectation-basis representations;
+//! * [`qr::Qr`] — Householder QR, used to solve the normalization systems
+//!   `E·x_e = m_e` and the metric-definition systems `X̂·y = s`;
+//! * [`mod@qrcp`] — classical max-norm column-pivoted QR (Algorithm 1), kept as
+//!   the baseline the paper argues against;
+//! * [`spqrcp`] — the paper's specialized pivoting scheme (Algorithm 2):
+//!   α-quantization, expectation-affinity scoring, β norm floor;
+//! * [`mod@lstsq`] — least squares plus the backward-error fitness measure
+//!   (Eq. 5) that decides whether a metric is composable on an architecture;
+//! * [`svd`] — one-sided Jacobi singular values (spectral norms, condition
+//!   numbers, rank checks).
+//!
+//! Everything is implemented directly on `f64` slices with no external
+//! linear-algebra dependencies.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod householder;
+pub mod lstsq;
+pub mod matrix;
+pub mod qr;
+pub mod qrcp;
+pub mod spqrcp;
+pub mod svd;
+pub mod tri;
+pub mod vector;
+
+pub use error::{LinalgError, Result};
+pub use lstsq::{backward_error, lstsq, LstsqSolution};
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use qrcp::{qrcp, QrcpResult};
+pub use spqrcp::{specialized_qrcp, SpQrcpParams, SpQrcpResult};
+pub use svd::{singular_values, spectral_norm, Svd};

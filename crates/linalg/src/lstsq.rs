@@ -1,0 +1,191 @@
+//! Least-squares solves and the paper's backward-error fitness measure.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::svd;
+use crate::vector;
+
+/// Solution of `min_x ‖A x − b‖₂` together with its quality measures.
+#[derive(Debug, Clone)]
+pub struct LstsqSolution {
+    /// The minimizer `x`.
+    pub x: Vec<f64>,
+    /// `‖A x − b‖₂`.
+    pub residual_norm: f64,
+    /// `‖A x − b‖₂ / ‖b‖₂` (1.0 when `b = 0` and the residual is zero).
+    pub relative_residual: f64,
+    /// The paper's Eq. 5: `‖A x − b‖₂ / (‖A‖₂·‖x‖₂ + ‖b‖₂)`.
+    pub backward_error: f64,
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖` via Householder QR.
+///
+/// `A` must be square or tall with full column rank (the pipeline guarantees
+/// this: `X̂` comes out of the specialized QRCP). Returns the solution with
+/// residual and backward-error diagnostics.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<LstsqSolution> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (a.rows(), 1),
+            got: (b.len(), 1),
+            context: "lstsq",
+        });
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::NonFinite { context: "lstsq (rhs)" });
+    }
+    let qr = Qr::factor(a)?;
+    let x = qr.solve(b)?;
+    let ax = a.matvec(&x)?;
+    let residual: Vec<f64> = ax.iter().zip(b).map(|(&p, &q)| p - q).collect();
+    let residual_norm = vector::norm2(&residual);
+    let bnorm = vector::norm2(b);
+    let relative_residual = if bnorm == 0.0 {
+        if residual_norm == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        residual_norm / bnorm
+    };
+    let backward_error = backward_error(a, &x, b)?;
+    Ok(LstsqSolution { x, residual_norm, relative_residual, backward_error })
+}
+
+/// The paper's backward error (Eq. 5):
+/// `‖A x − b‖₂ / (‖A‖₂·‖x‖₂ + ‖b‖₂)`.
+///
+/// Returns 0 when both numerator and denominator vanish (the trivial
+/// `0·0=0` system).
+pub fn backward_error(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
+    let ax = a.matvec(x)?;
+    if ax.len() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (ax.len(), 1),
+            got: (b.len(), 1),
+            context: "backward_error",
+        });
+    }
+    let residual: Vec<f64> = ax.iter().zip(b).map(|(&p, &q)| p - q).collect();
+    let num = vector::norm2(&residual);
+    let denom = svd::spectral_norm(a)? * vector::norm2(x) + vector::norm2(b);
+    if denom == 0.0 {
+        return Ok(if num == 0.0 { 0.0 } else { f64::INFINITY });
+    }
+    Ok(num / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_zero_error() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 0.0, 0.0, 2.0]).unwrap();
+        let sol = lstsq(&a, &[3.0, 4.0]).unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-14);
+        assert!((sol.x[1] - 2.0).abs() < 1e-14);
+        assert!(sol.residual_norm < 1e-14);
+        assert!(sol.backward_error < 1e-15);
+        assert!(sol.relative_residual < 1e-14);
+    }
+
+    #[test]
+    fn fma_instrs_analytic_case() {
+        // The Table V structure: four orthogonal columns e_i + 2 f_i in a
+        // 16-dim space, signature 2 on the f positions only. Least squares
+        // must give 0.8 coefficients and backward error 2.36e-1.
+        let mut cols = Vec::new();
+        for i in 0..4 {
+            let mut c = vec![0.0; 16];
+            c[i] = 1.0; // plain-kernel expectation position
+            c[8 + i] = 2.0; // FMA-kernel expectation position
+            cols.push(c);
+        }
+        // Four more orthogonal DP columns that stay unused.
+        for i in 4..8 {
+            let mut c = vec![0.0; 16];
+            c[i] = 1.0;
+            c[8 + i] = 2.0;
+            cols.push(c);
+        }
+        let a = Matrix::from_columns(&cols).unwrap();
+        let mut s = vec![0.0; 16];
+        for i in 0..4 {
+            s[8 + i] = 2.0;
+        }
+        let sol = lstsq(&a, &s).unwrap();
+        for i in 0..4 {
+            assert!((sol.x[i] - 0.8).abs() < 1e-12, "coefficient {}: {}", i, sol.x[i]);
+        }
+        for i in 4..8 {
+            assert!(sol.x[i].abs() < 1e-12);
+        }
+        assert!((sol.backward_error - 0.2361).abs() < 5e-4, "err {}", sol.backward_error);
+    }
+
+    #[test]
+    fn gpu_add_analytic_case() {
+        // Table VI structure: ADD_F16 column = e_AH + e_SH; signature e_AH.
+        // Coefficient 0.5, backward error 4.14e-1.
+        let mut cols = Vec::new();
+        let mut add = vec![0.0; 15];
+        add[0] = 1.0;
+        add[3] = 1.0;
+        cols.push(add);
+        for i in [6usize, 9, 12] {
+            let mut c = vec![0.0; 15];
+            c[i] = 1.0;
+            cols.push(c);
+        }
+        let a = Matrix::from_columns(&cols).unwrap();
+        let mut s = vec![0.0; 15];
+        s[0] = 1.0;
+        let sol = lstsq(&a, &s).unwrap();
+        assert!((sol.x[0] - 0.5).abs() < 1e-12);
+        assert!((sol.backward_error - 0.4142).abs() < 5e-4, "err {}", sol.backward_error);
+    }
+
+    #[test]
+    fn unreachable_signature_error_one() {
+        // Table VII "Conditional Branches Executed": signature orthogonal to
+        // every column -> x = 0, backward error = ‖s‖/‖s‖ = 1.
+        let a = Matrix::from_columns(&[
+            vec![0.0, 1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let s = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let sol = lstsq(&a, &s).unwrap();
+        for c in &sol.x {
+            assert!(c.abs() < 1e-12);
+        }
+        assert!((sol.backward_error - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = Matrix::identity(2);
+        let sol = lstsq(&a, &[0.0, 0.0]).unwrap();
+        assert_eq!(sol.relative_residual, 0.0);
+        assert!(sol.backward_error == 0.0);
+    }
+
+    #[test]
+    fn shape_and_finiteness_errors() {
+        let a = Matrix::identity(2);
+        assert!(lstsq(&a, &[1.0]).is_err());
+        assert!(lstsq(&a, &[f64::NAN, 0.0]).is_err());
+        assert!(backward_error(&a, &[1.0], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn backward_error_zero_over_zero() {
+        let a = Matrix::zeros(2, 2);
+        assert_eq!(backward_error(&a, &[0.0, 0.0], &[0.0, 0.0]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,602 @@
+//! Dense, column-major matrix type.
+//!
+//! The analysis pipeline works with tall-skinny matrices whose columns are
+//! event measurement vectors or expectation-basis representations, so the
+//! storage layout is column-major: column operations (swaps, norms, pivots)
+//! touch contiguous memory.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::error::{LinalgError, Result};
+use crate::vector;
+
+/// A dense `rows x cols` matrix of `f64`, stored column-major.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element `(i, j)` lives at `data[j * rows + i]`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from column-major storage.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+                context: "Matrix::from_col_major",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from row-major storage (convenient for literals).
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (rows, cols),
+                got: (data.len(), 1),
+                context: "Matrix::from_rows",
+            });
+        }
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = data[i * cols + j];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix whose columns are the given vectors.
+    ///
+    /// All columns must share the same length; an empty column set yields a
+    /// `rows x 0` matrix only when a row count cannot be inferred, so it is
+    /// rejected as ambiguous.
+    pub fn from_columns(columns: &[Vec<f64>]) -> Result<Self> {
+        let Some(first) = columns.first() else {
+            return Err(LinalgError::Empty { context: "Matrix::from_columns" });
+        };
+        let rows = first.len();
+        let mut m = Self::zeros(rows, columns.len());
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(LinalgError::ShapeMismatch {
+                    expected: (rows, 1),
+                    got: (col.len(), 1),
+                    context: "Matrix::from_columns",
+                });
+            }
+            m.col_mut(j).copy_from_slice(col);
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Borrows column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrows column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copies row `i` into a new vector.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Swaps columns `a` and `b`.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.data.split_at_mut(hi * self.rows);
+        left[lo * self.rows..(lo + 1) * self.rows].swap_with_slice(&mut right[..self.rows]);
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, 1),
+                got: (x.len(), 1),
+                context: "Matrix::matvec",
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
+                *yi += aij * xj;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Transposed matrix-vector product `self^T * x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, 1),
+                got: (x.len(), 1),
+                context: "Matrix::matvec_t",
+            });
+        }
+        Ok((0..self.cols).map(|j| vector::dot(self.col(j), x)).collect())
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// Column-parallel: output columns are independent, so large products
+    /// are computed across the rayon pool; small ones stay sequential to
+    /// avoid fork/join overhead.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, self.cols),
+                got: (other.rows, other.cols),
+                context: "Matrix::matmul",
+            });
+        }
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        let work = self.rows as u64 * self.cols as u64 * other.cols as u64;
+        // jik loop order: stream through contiguous columns of `self` and `c`.
+        let column_product = |j: usize, ccol: &mut [f64]| {
+            let bcol = other.col(j);
+            for (k, &bkj) in bcol.iter().enumerate() {
+                if bkj == 0.0 {
+                    continue;
+                }
+                let acol = self.col(k);
+                for (ci, &aik) in ccol.iter_mut().zip(acol) {
+                    *ci += aik * bkj;
+                }
+            }
+        };
+        if work < 1 << 20 {
+            for j in 0..other.cols {
+                column_product(j, c.col_mut(j));
+            }
+        } else {
+            use rayon::prelude::*;
+            c.data
+                .par_chunks_mut(self.rows)
+                .enumerate()
+                .for_each(|(j, ccol)| column_product(j, ccol));
+        }
+        Ok(c)
+    }
+
+    /// Gram matrix `self^T * self` (symmetric `cols x cols`).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                let v = vector::dot(self.col(i), self.col(j));
+                g[(i, j)] = v;
+                g[(j, i)] = v;
+            }
+        }
+        g
+    }
+
+    /// Extracts the sub-matrix made of the listed columns, in order.
+    pub fn select_columns(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut m = Matrix::zeros(self.rows, indices.len());
+        for (dst, &src) in indices.iter().enumerate() {
+            if src >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: src,
+                    len: self.cols,
+                    context: "Matrix::select_columns",
+                });
+            }
+            m.col_mut(dst).copy_from_slice(self.col(src));
+        }
+        Ok(m)
+    }
+
+    /// Extracts rows `r0..r1` and columns `c0..c1` as a new matrix.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        let rr = r1.saturating_sub(r0);
+        let cc = c1.saturating_sub(c0);
+        let mut m = Matrix::zeros(rr, cc);
+        for j in 0..cc {
+            for i in 0..rr {
+                m[(i, j)] = self[(r0 + i, c0 + j)];
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Largest absolute entry (max norm); zero for empty matrices.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Element-wise maximum absolute difference against `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: self.shape(),
+                got: other.shape(),
+                context: "Matrix::max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs())))
+    }
+
+    /// Scales every entry in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies a function to every entry in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Raw column-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// True when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(12) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 12 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "Matrix add: shape mismatch");
+        let mut out = self.clone();
+        for (o, &r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "Matrix sub: shape mismatch");
+        let mut out = self.clone();
+        for (o, &r) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_in_place(s);
+        out
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self * -1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_and_index() {
+        let m = sample();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 1)], 5.0);
+        assert_eq!(m.shape(), (2, 3));
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_length() {
+        assert!(Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn col_is_contiguous() {
+        let m = sample();
+        assert_eq!(m.col(1), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn row_copies() {
+        let m = sample();
+        assert_eq!(m.row(1), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_columns_roundtrip() {
+        let m = Matrix::from_columns(&[vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn from_columns_rejects_ragged() {
+        assert!(Matrix::from_columns(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn swap_cols_both_orders() {
+        let mut m = sample();
+        m.swap_cols(0, 2);
+        assert_eq!(m.col(0), &[3.0, 6.0]);
+        assert_eq!(m.col(2), &[1.0, 4.0]);
+        m.swap_cols(2, 0); // reverse order, back to original
+        assert_eq!(m, sample());
+        m.swap_cols(1, 1); // self-swap is a no-op
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![6.0, 15.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let m = sample();
+        let a = m.matvec_t(&[1.0, 2.0]).unwrap();
+        let b = m.transpose().matvec(&[1.0, 2.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+        let i2 = Matrix::identity(2);
+        assert_eq!(i2.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(2, 2, &[19.0, 22.0, 43.0, 50.0]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let m = sample();
+        let g = m.gram();
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(g[(0, 0)], 1.0 + 16.0);
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+        assert_eq!(g[(0, 1)], 1.0 * 2.0 + 4.0 * 5.0);
+    }
+
+    #[test]
+    fn select_columns_picks_in_order() {
+        let m = sample();
+        let s = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(s.col(0), &[3.0, 6.0]);
+        assert_eq!(s.col(1), &[1.0, 4.0]);
+        assert!(m.select_columns(&[5]).is_err());
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = sample();
+        let s = m.submatrix(0, 2, 1, 3);
+        assert_eq!(s, Matrix::from_rows(2, 2, &[2.0, 3.0, 5.0, 6.0]).unwrap());
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let m = Matrix::from_rows(2, 1, &[3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let m = sample();
+        let sum = &m + &m;
+        assert_eq!(sum[(1, 2)], 12.0);
+        let diff = &sum - &m;
+        assert_eq!(diff, m);
+        let scaled = &m * 2.0;
+        assert_eq!(scaled, sum);
+        let negated = -&m;
+        assert_eq!(negated[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn max_abs_and_diff() {
+        let m = sample();
+        assert_eq!(m.max_abs(), 6.0);
+        let n = &m * 1.5;
+        assert!((m.max_abs_diff(&n).unwrap() - 3.0).abs() < 1e-15);
+        assert!(m.max_abs_diff(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = sample();
+        assert!(m.all_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn parallel_and_sequential_paths_agree() {
+        // 128x128x128 = 2^21 work units: takes the parallel path; compare
+        // against per-element dot products.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 128;
+        let a = Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap();
+        let b = Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap();
+        let c = a.matmul(&b).unwrap();
+        for &(i, j) in &[(0usize, 0usize), (17, 93), (127, 127), (64, 1)] {
+            let expect: f64 = (0..n).map(|k| a[(i, k)] * b[(k, j)]).sum();
+            assert!((c[(i, j)] - expect).abs() < 1e-10, "({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Unpivoted Householder QR factorization.
+
+use crate::error::{LinalgError, Result};
+use crate::householder::Reflector;
+use crate::matrix::Matrix;
+use crate::tri;
+
+/// Compact Householder QR of an `m x n` matrix with `m >= n`:
+/// `A = Q R` with orthonormal `Q` (`m x n`, thin) and upper-triangular `R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// The transformed matrix: upper triangle holds `R`.
+    factored: Matrix,
+    /// One reflector per factorization step.
+    reflectors: Vec<Reflector>,
+}
+
+impl Qr {
+    /// Factors `a`. Requires `m >= n >= 1` and finite entries.
+    pub fn factor(a: &Matrix) -> Result<Qr> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty { context: "Qr::factor" });
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, n),
+                got: (m, n),
+                context: "Qr::factor (matrix must be square or tall)",
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite { context: "Qr::factor" });
+        }
+        let mut work = a.clone();
+        let steps = n.min(m.saturating_sub(1)).max(if m == 1 { 0 } else { n });
+        let mut reflectors = Vec::with_capacity(steps);
+        for k in 0..n {
+            if k >= m {
+                break;
+            }
+            let h = Reflector::compute(&work.col(k)[k..]);
+            // Column k becomes (r_0..r_{k-1}, beta, 0, ..., 0).
+            work.col_mut(k)[k] = h.beta;
+            for v in work.col_mut(k)[k + 1..].iter_mut() {
+                *v = 0.0;
+            }
+            h.apply_left(&mut work, k, k + 1);
+            reflectors.push(h);
+        }
+        Ok(Qr { factored: work, reflectors })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.factored.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.factored.cols()
+    }
+
+    /// The `n x n` upper-triangular factor `R`.
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j.min(n - 1) {
+                r[(i, j)] = self.factored[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q_thin(&self) -> Matrix {
+        let (m, n) = self.factored.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        // Q = H_0 H_1 ... H_{n-1} * [I; 0]; apply reflectors in reverse.
+        for (k, h) in self.reflectors.iter().enumerate().rev() {
+            h.apply_left(&mut q, k, 0);
+        }
+        q
+    }
+
+    /// Applies `Q^T` to a vector: returns `Q^T b` of length `m`.
+    pub fn apply_qt(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.rows();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, 1),
+                got: (b.len(), 1),
+                context: "Qr::apply_qt",
+            });
+        }
+        let mut y = b.to_vec();
+        for (k, h) in self.reflectors.iter().enumerate() {
+            h.apply_vec(&mut y[k..k + h.v.len()]);
+        }
+        Ok(y)
+    }
+
+    /// Solves the least-squares problem `min ‖A x - b‖₂` for full-rank `A`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.apply_qt(b)?;
+        tri::solve_upper(&self.r(), &y)
+    }
+
+    /// Absolute values of the diagonal of `R` (used for rank estimates).
+    pub fn r_diag_abs(&self) -> Vec<f64> {
+        (0..self.cols()).map(|i| self.factored[(i, i)].abs()).collect()
+    }
+
+    /// Numerical rank: number of `|R_ii|` above `tol * max |R_ii|`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let d = self.r_diag_abs();
+        let dmax = d.iter().cloned().fold(0.0_f64, f64::max);
+        if dmax == 0.0 {
+            return 0;
+        }
+        d.iter().filter(|&&v| v > rel_tol * dmax).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let recon = qr.q_thin().matmul(&qr.r()).unwrap();
+        assert!(recon.max_abs_diff(&a).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(4, 3, &[2.0, -1.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, -2.0, 4.0, 0.5, 1.5])
+            .unwrap();
+        let q = Qr::factor(&a).unwrap().q_thin();
+        let g = q.gram();
+        assert!(g.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0]).unwrap();
+        let r = Qr::factor(&a).unwrap().r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = Qr::factor(&a).unwrap().solve(&[5.0, 10.0]).unwrap();
+        assert_close(x[0], 1.0, 1e-13);
+        assert_close(x[1], 3.0, 1e-13);
+    }
+
+    #[test]
+    fn solve_overdetermined_regression() {
+        // Fit y = 2x + 1 exactly through three collinear points.
+        let a = Matrix::from_rows(3, 2, &[1.0, 0.0, 1.0, 1.0, 1.0, 2.0]).unwrap();
+        let x = Qr::factor(&a).unwrap().solve(&[1.0, 3.0, 5.0]).unwrap();
+        assert_close(x[0], 1.0, 1e-13);
+        assert_close(x[1], 2.0, 1e-13);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let a = Matrix::from_rows(3, 1, &[1.0, 1.0, 1.0]).unwrap();
+        let x = Qr::factor(&a).unwrap().solve(&[1.0, 2.0, 6.0]).unwrap();
+        assert_close(x[0], 3.0, 1e-13); // mean minimizes SSE
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Third column = first + second.
+        let a = Matrix::from_rows(
+            4,
+            3,
+            &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.0, 3.0],
+        )
+        .unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert!(Qr::factor(&Matrix::zeros(0, 0)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::INFINITY;
+        assert!(Qr::factor(&a).is_err());
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_rows(3, 1, &[3.0, 0.0, 4.0]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert_close(qr.r()[(0, 0)].abs(), 5.0, 1e-13);
+        let q = qr.q_thin();
+        assert_close(crate::vector::norm2(q.col(0)), 1.0, 1e-13);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(1, 1, &[4.0]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let x = qr.solve(&[8.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-14);
+    }
+}

@@ -1,0 +1,167 @@
+//! Standard column-pivoted QR (Algorithm 1 of the paper).
+//!
+//! At every step the pivot is the trailing column with the **largest**
+//! residual norm — the classical Businger–Golub rule. The paper argues this
+//! rule is exactly wrong for event analysis (large-norm columns are
+//! cycle-like, irrelevant events); it is implemented here both as the
+//! baseline for the specialized scheme and for the pivot-rule ablation.
+
+use crate::error::{LinalgError, Result};
+use crate::householder::Reflector;
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Result of a column-pivoted QR factorization.
+#[derive(Debug, Clone)]
+pub struct QrcpResult {
+    /// Column permutation: `permutation[k]` is the original index of the
+    /// column moved to position `k`. The first `rank` entries are the
+    /// selected (linearly independent) columns in pivot order.
+    pub permutation: Vec<usize>,
+    /// Number of pivots accepted before the rank tolerance triggered.
+    pub rank: usize,
+    /// The upper-trapezoidal factor `R` of the permuted matrix
+    /// (`min(m,n) x n`).
+    pub r: Matrix,
+}
+
+impl QrcpResult {
+    /// Original indices of the selected columns, in pivot order.
+    pub fn selected(&self) -> &[usize] {
+        &self.permutation[..self.rank]
+    }
+}
+
+/// Factors `a` with classical max-norm column pivoting.
+///
+/// `rel_tol` stops the factorization once the best remaining residual norm
+/// drops below `rel_tol * (largest initial column norm)` — the usual
+/// numerical-rank criterion.
+pub fn qrcp(a: &Matrix, rel_tol: f64) -> Result<QrcpResult> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty { context: "qrcp" });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite { context: "qrcp" });
+    }
+    let mut work = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let steps = m.min(n);
+    let max_initial = (0..n).map(|j| vector::norm2(work.col(j))).fold(0.0_f64, f64::max);
+    let threshold = rel_tol * max_initial;
+    let mut rank = 0;
+
+    for i in 0..steps {
+        // Pivot: trailing column with the largest residual norm.
+        let mut best = i;
+        let mut best_norm = -1.0;
+        for j in i..n {
+            let nrm = vector::norm2(&work.col(j)[i..]);
+            if nrm > best_norm {
+                best_norm = nrm;
+                best = j;
+            }
+        }
+        if best_norm <= threshold {
+            break;
+        }
+        work.swap_cols(i, best);
+        perm.swap(i, best);
+        let h = Reflector::compute(&work.col(i)[i..]);
+        work.col_mut(i)[i] = h.beta;
+        for v in work.col_mut(i)[i + 1..].iter_mut() {
+            *v = 0.0;
+        }
+        h.apply_left(&mut work, i, i + 1);
+        rank = i + 1;
+    }
+
+    Ok(QrcpResult { permutation: perm, rank, r: work.submatrix(0, steps, 0, n) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_rank_identity_like() {
+        let a = Matrix::from_rows(3, 3, &[1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]).unwrap();
+        let res = qrcp(&a, 1e-12).unwrap();
+        assert_eq!(res.rank, 3);
+        // Largest-norm column (index 2, norm 3) must be pivoted first.
+        assert_eq!(res.permutation[0], 2);
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // col2 = col0 + col1
+        let a = Matrix::from_rows(
+            4,
+            3,
+            &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        let res = qrcp(&a, 1e-10).unwrap();
+        assert_eq!(res.rank, 2);
+        assert_eq!(res.selected().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_columns_collapse() {
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]])
+            .unwrap();
+        let res = qrcp(&a, 1e-10).unwrap();
+        assert_eq!(res.rank, 1);
+    }
+
+    #[test]
+    fn wide_matrix_rank_bounded_by_rows() {
+        let a = Matrix::from_rows(2, 4, &[1.0, 0.0, 1.0, 2.0, 0.0, 1.0, 1.0, 2.0]).unwrap();
+        let res = qrcp(&a, 1e-10).unwrap();
+        assert_eq!(res.rank, 2);
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let a = Matrix::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 3.0, 0.25, 0.0, 1.0, 0.125]).unwrap();
+        let res = qrcp(&a, 1e-12).unwrap();
+        let mut sorted = res.permutation.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let res = qrcp(&Matrix::zeros(3, 3), 1e-10).unwrap();
+        assert_eq!(res.rank, 0);
+    }
+
+    #[test]
+    fn selected_columns_are_independent() {
+        let a = Matrix::from_rows(
+            4,
+            4,
+            &[
+                1.0, 2.0, 3.0, 1.0, //
+                0.0, 0.0, 0.0, 1.0, //
+                1.0, 2.0, 3.0, 0.0, //
+                2.0, 4.0, 6.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let res = qrcp(&a, 1e-10).unwrap();
+        assert_eq!(res.rank, 2);
+        let sel = a.select_columns(res.selected()).unwrap();
+        let sub = crate::qr::Qr::factor(&sel).unwrap();
+        assert_eq!(sub.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(qrcp(&Matrix::zeros(0, 0), 1e-10).is_err());
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::NAN;
+        assert!(qrcp(&a, 1e-10).is_err());
+    }
+}

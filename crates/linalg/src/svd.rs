@@ -1,0 +1,197 @@
+//! One-sided Jacobi SVD.
+//!
+//! Small and robust: the analysis matrices are at most a few hundred columns
+//! by a few dozen rows, so a sweep-based Jacobi method converges quickly and
+//! gives fully accurate singular values — which the backward-error formula
+//! (Eq. 5 of the paper) needs through the spectral norm.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Singular values of `a`, in descending order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Singular values, descending.
+    pub singular_values: Vec<f64>,
+}
+
+impl Svd {
+    /// Largest singular value (the spectral norm); zero for a zero matrix.
+    pub fn spectral_norm(&self) -> f64 {
+        self.singular_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest singular value.
+    pub fn min_singular_value(&self) -> f64 {
+        self.singular_values.last().copied().unwrap_or(0.0)
+    }
+
+    /// 2-norm condition number; infinite when the smallest singular value
+    /// is zero.
+    pub fn condition_number(&self) -> f64 {
+        let min = self.min_singular_value();
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            self.spectral_norm() / min
+        }
+    }
+
+    /// Numerical rank: singular values above `rel_tol * sigma_max`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.spectral_norm();
+        if smax == 0.0 {
+            return 0;
+        }
+        self.singular_values.iter().filter(|&&s| s > rel_tol * smax).count()
+    }
+}
+
+/// Computes the singular values of `a` by one-sided Jacobi rotations.
+///
+/// Works on the transpose when `a` is wide so the working matrix is always
+/// tall; complexity is `O(sweeps · n² · m)` which is ample for the pipeline's
+/// matrix sizes.
+pub fn singular_values(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty { context: "svd" });
+    }
+    if !a.all_finite() {
+        return Err(LinalgError::NonFinite { context: "svd" });
+    }
+    let mut u = if m >= n { a.clone() } else { a.transpose() };
+    let ncols = u.cols();
+    let eps = f64::EPSILON;
+    let max_sweeps = 60;
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0_f64;
+        for p in 0..ncols {
+            for q in p + 1..ncols {
+                let (app, aqq, apq) = {
+                    let cp = u.col(p);
+                    let cq = u.col(q);
+                    (vector::dot(cp, cp), vector::dot(cq, cq), vector::dot(cp, cq))
+                };
+                if apq == 0.0 {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) entry of U^T U.
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let rows = u.rows();
+                for i in 0..rows {
+                    let uip = u[(i, p)];
+                    let uiq = u[(i, q)];
+                    u[(i, p)] = c * uip - s * uiq;
+                    u[(i, q)] = s * uip + c * uiq;
+                }
+            }
+        }
+        if off <= 16.0 * eps {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi converges in a handful of sweeps on the matrices
+        // this library produces; reaching the budget indicates pathology.
+        return Err(LinalgError::NoConvergence { iterations: max_sweeps, context: "svd" });
+    }
+    let mut sv: Vec<f64> = (0..ncols).map(|j| vector::norm2(u.col(j))).collect();
+    sv.sort_by(|a, b| b.total_cmp(a));
+    Ok(Svd { singular_values: sv })
+}
+
+/// Spectral norm ‖a‖₂ of a matrix (largest singular value).
+pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+    Ok(singular_values(a)?.spectral_norm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = Matrix::from_rows(3, 3, &[3.0, 0.0, 0.0, 0.0, -5.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let svd = singular_values(&a).unwrap();
+        let expect = [5.0, 3.0, 1.0];
+        for (got, want) in svd.singular_values.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        assert!((svd.spectral_norm() - 5.0).abs() < 1e-12);
+        assert!((svd.condition_number() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_columns_norms() {
+        // Columns orthogonal with norms sqrt(5) each -> all sv = sqrt(5).
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 0.0, 0.0], vec![0.0, 0.0, 2.0, 1.0]]).unwrap();
+        let svd = singular_values(&a).unwrap();
+        for s in &svd.singular_values {
+            assert!((s - 5.0_f64.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[1,1],[0,1]]: singular values are sqrt((3±sqrt5)/2).
+        let a = Matrix::from_rows(2, 2, &[1.0, 1.0, 0.0, 1.0]).unwrap();
+        let svd = singular_values(&a).unwrap();
+        let s1 = ((3.0 + 5.0_f64.sqrt()) / 2.0).sqrt();
+        let s2 = ((3.0 - 5.0_f64.sqrt()) / 2.0).sqrt();
+        assert!((svd.singular_values[0] - s1).abs() < 1e-12);
+        assert!((svd.singular_values[1] - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_same_as_transpose() {
+        let a = Matrix::from_rows(2, 4, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        let sa = singular_values(&a).unwrap();
+        let st = singular_values(&a.transpose()).unwrap();
+        for (x, y) in sa.singular_values.iter().zip(&st.singular_values) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_detection() {
+        let a = Matrix::from_columns(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let svd = singular_values(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert_eq!(svd.condition_number(), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let svd = singular_values(&Matrix::zeros(3, 2)).unwrap();
+        assert_eq!(svd.spectral_norm(), 0.0);
+        assert_eq!(svd.rank(1e-10), 0);
+    }
+
+    #[test]
+    fn frobenius_bound_holds() {
+        let a = Matrix::from_rows(3, 2, &[1.0, -2.0, 0.5, 3.0, 2.0, 1.0]).unwrap();
+        let s = spectral_norm(&a).unwrap();
+        let f = a.frobenius_norm();
+        assert!(s <= f + 1e-12);
+        assert!(f <= s * (2.0_f64).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(singular_values(&Matrix::zeros(0, 2)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::INFINITY;
+        assert!(singular_values(&a).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Triangular solves.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Solves `R x = b` for upper-triangular `R` (back substitution).
+///
+/// Only the upper triangle of `r` is read. `n = r.cols()` unknowns are
+/// produced; `b` must have at least `n` entries (extra entries, e.g. the
+/// residual part of a least-squares right-hand side, are ignored).
+pub fn solve_upper(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = r.cols();
+    if r.rows() < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, n),
+            got: r.shape(),
+            context: "solve_upper",
+        });
+    }
+    if b.len() < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, 1),
+            got: (b.len(), 1),
+            context: "solve_upper",
+        });
+    }
+    let mut x = b[..n].to_vec();
+    for i in (0..n).rev() {
+        let diag = r[(i, i)];
+        if diag == 0.0 {
+            return Err(LinalgError::Singular { pivot: i, context: "solve_upper" });
+        }
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= r[(i, j)] * x[j];
+        }
+        x[i] = s / diag;
+    }
+    Ok(x)
+}
+
+/// Solves `L x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.cols();
+    if l.rows() < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, n),
+            got: l.shape(),
+            context: "solve_lower",
+        });
+    }
+    if b.len() < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: (n, 1),
+            got: (b.len(), 1),
+            context: "solve_lower",
+        });
+    }
+    let mut x = b[..n].to_vec();
+    for i in 0..n {
+        let diag = l[(i, i)];
+        if diag == 0.0 {
+            return Err(LinalgError::Singular { pivot: i, context: "solve_lower" });
+        }
+        let mut s = x[i];
+        for j in 0..i {
+            s -= l[(i, j)] * x[j];
+        }
+        x[i] = s / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_solve_hand_example() {
+        let r = Matrix::from_rows(2, 2, &[2.0, 1.0, 0.0, 3.0]).unwrap();
+        let x = solve_upper(&r, &[5.0, 6.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-15);
+        assert!((x[0] - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_solve_hand_example() {
+        let l = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 3.0]).unwrap();
+        let x = solve_lower(&l, &[4.0, 5.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-15);
+        assert!((x[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_diagonal_rejected() {
+        let r = Matrix::from_rows(2, 2, &[2.0, 1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(
+            solve_upper(&r, &[1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 1, context: "solve_upper" })
+        );
+        let l = Matrix::from_rows(2, 2, &[0.0, 0.0, 1.0, 3.0]).unwrap();
+        assert!(solve_lower(&l, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rectangular_tall_r_uses_top_block() {
+        // 3x2 "R" from a thin QR: bottom row ignored.
+        let r = Matrix::from_rows(3, 2, &[2.0, 1.0, 0.0, 3.0, 0.0, 0.0]).unwrap();
+        let x = solve_upper(&r, &[5.0, 6.0, 99.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let r = Matrix::zeros(1, 2);
+        assert!(solve_upper(&r, &[1.0, 1.0]).is_err());
+        let r = Matrix::identity(2);
+        assert!(solve_upper(&r, &[1.0]).is_err());
+        assert!(solve_lower(&r, &[1.0]).is_err());
+        let l = Matrix::zeros(1, 2);
+        assert!(solve_lower(&l, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solves_are_copies() {
+        let i = Matrix::identity(3);
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(solve_upper(&i, &b).unwrap(), b.to_vec());
+        assert_eq!(solve_lower(&i, &b).unwrap(), b.to_vec());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use catalyze_linalg::spqrcp::{round_to_tolerance, score_column, score_value};
+use catalyze_linalg::{lstsq, qrcp, specialized_qrcp, singular_values, Matrix, Qr, SpQrcpParams};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled `rows x cols` matrix as row-major data.
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0..100.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_rows(rows, cols, &data).unwrap())
+}
+
+/// Strategy: a tall matrix with shape chosen from small ranges.
+fn tall_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..8, 1usize..5).prop_flat_map(|(m, extra)| {
+        let n = (m - 1).min(extra); // ensure n < m, n >= 1
+        let n = n.max(1);
+        matrix_strategy(m, n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn qr_reconstructs(a in tall_matrix()) {
+        let qr = Qr::factor(&a).unwrap();
+        let recon = qr.q_thin().matmul(&qr.r()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(recon.max_abs_diff(&a).unwrap() <= 1e-10 * scale);
+    }
+
+    #[test]
+    fn qr_q_orthonormal(a in tall_matrix()) {
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q_thin();
+        let g = q.gram();
+        prop_assert!(g.max_abs_diff(&Matrix::identity(q.cols())).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn qr_solve_minimizes_residual(
+        a in matrix_strategy(6, 3),
+        b in proptest::collection::vec(-50.0..50.0f64, 6),
+        perturb in proptest::collection::vec(-1.0..1.0f64, 3),
+    ) {
+        // Skip numerically rank-deficient draws.
+        let svd = singular_values(&a).unwrap();
+        prop_assume!(svd.rank(1e-8) == 3);
+        let sol = lstsq(&a, &b).unwrap();
+        // Any perturbation of the minimizer must not reduce the residual.
+        let mut xp = sol.x.clone();
+        for (x, p) in xp.iter_mut().zip(&perturb) {
+            *x += p;
+        }
+        let rp: Vec<f64> = a.matvec(&xp).unwrap().iter().zip(&b).map(|(p, q)| p - q).collect();
+        let rp_norm = catalyze_linalg::vector::norm2(&rp);
+        prop_assert!(rp_norm + 1e-9 >= sol.residual_norm);
+    }
+
+    #[test]
+    fn qrcp_permutation_is_a_permutation(a in matrix_strategy(5, 5)) {
+        let res = qrcp(&a, 1e-10).unwrap();
+        let mut p = res.permutation.clone();
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..5).collect::<Vec<_>>());
+        prop_assert!(res.rank <= 5);
+    }
+
+    #[test]
+    fn qrcp_selected_columns_full_rank(a in matrix_strategy(6, 4)) {
+        let res = qrcp(&a, 1e-8).unwrap();
+        prop_assume!(res.rank > 0);
+        let sel = a.select_columns(res.selected()).unwrap();
+        let svd = singular_values(&sel).unwrap();
+        prop_assert_eq!(svd.rank(1e-10), res.rank);
+    }
+
+    #[test]
+    fn spqrcp_selected_columns_independent(a in matrix_strategy(6, 5)) {
+        let res = specialized_qrcp(&a, SpQrcpParams::new(1e-6)).unwrap();
+        prop_assume!(res.rank > 0);
+        let sel = a.select_columns(res.selected()).unwrap();
+        let svd = singular_values(&sel).unwrap();
+        prop_assert_eq!(svd.rank(1e-9), res.rank);
+    }
+
+    #[test]
+    fn spqrcp_respects_beta_floor(a in matrix_strategy(5, 4), alpha in 1e-6..1e-1f64) {
+        let params = SpQrcpParams::new(alpha);
+        let res = specialized_qrcp(&a, params).unwrap();
+        for step in &res.steps {
+            prop_assert!(step.residual_norm >= params.beta(5));
+        }
+    }
+
+    #[test]
+    fn spqrcp_rank_never_exceeds_qr_rank(a in matrix_strategy(5, 5)) {
+        let res = specialized_qrcp(&a, SpQrcpParams::new(1e-9)).unwrap();
+        let svd = singular_values(&a).unwrap();
+        // The β floor only *removes* candidates, so the specialized rank is
+        // at most the numerical rank (with a loose tolerance relation).
+        prop_assert!(res.rank <= svd.rank(1e-14).max(res.rank.min(5)));
+        prop_assert!(res.rank <= 5);
+    }
+
+    #[test]
+    fn rounding_is_idempotent(u in -1000.0..1000.0f64, alpha in 1e-6..1.0f64) {
+        let once = round_to_tolerance(u, alpha);
+        let twice = round_to_tolerance(once, alpha);
+        prop_assert!((once - twice).abs() <= alpha * 0.5 + 1e-12 * u.abs().max(1.0));
+    }
+
+    #[test]
+    fn rounding_error_bounded(u in -1000.0..1000.0f64, alpha in 1e-6..1.0f64) {
+        let r = round_to_tolerance(u, alpha);
+        prop_assert!((r - u).abs() <= alpha * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn score_is_nonnegative(v in -100.0..100.0f64) {
+        prop_assert!(score_value(v) >= 0.0);
+    }
+
+    #[test]
+    fn score_column_monotone_in_support(
+        col in proptest::collection::vec(0.5..10.0f64, 1..8),
+    ) {
+        // Zeroing an entry can only lower the score.
+        let full = score_column(&col, 1e-6);
+        let mut reduced = col.clone();
+        reduced[0] = 0.0;
+        let less = score_column(&reduced, 1e-6);
+        prop_assert!(less <= full);
+    }
+
+    #[test]
+    fn svd_invariant_under_transpose(a in matrix_strategy(4, 3)) {
+        let s1 = singular_values(&a).unwrap().singular_values;
+        let s2 = singular_values(&a.transpose()).unwrap().singular_values;
+        for (x, y) in s1.iter().zip(&s2) {
+            prop_assert!((x - y).abs() < 1e-8 * x.max(1.0));
+        }
+    }
+
+    #[test]
+    fn spectral_norm_bounds_matvec(a in matrix_strategy(4, 4), x in proptest::collection::vec(-10.0..10.0f64, 4)) {
+        let s = catalyze_linalg::spectral_norm(&a).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let lhs = catalyze_linalg::vector::norm2(&ax);
+        let rhs = s * catalyze_linalg::vector::norm2(&x);
+        prop_assert!(lhs <= rhs + 1e-8 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn matmul_associates_with_vector(a in matrix_strategy(3, 3), b in matrix_strategy(3, 3), x in proptest::collection::vec(-10.0..10.0f64, 3)) {
+        let ab = a.matmul(&b).unwrap();
+        let y1 = ab.matvec(&x).unwrap();
+        let y2 = a.matvec(&b.matvec(&x).unwrap()).unwrap();
+        for (p, q) in y1.iter().zip(&y2) {
+            prop_assert!((p - q).abs() < 1e-7 * p.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_adjoint(a in matrix_strategy(4, 3), x in proptest::collection::vec(-10.0..10.0f64, 3), y in proptest::collection::vec(-10.0..10.0f64, 4)) {
+        // <Ax, y> == <x, A^T y>
+        let ax = a.matvec(&x).unwrap();
+        let aty = a.matvec_t(&y).unwrap();
+        let lhs = catalyze_linalg::vector::dot(&ax, &y);
+        let rhs = catalyze_linalg::vector::dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() < 1e-7 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,231 @@
+//! A second CPU event inventory, modeled on AMD Zen-family cores — the
+//! portability half of the paper's premise: "as a user transitions from one
+//! architecture to another, the mapping between raw performance events and
+//! the concepts they measure becomes increasingly ambiguous".
+//!
+//! Semantics that differ from the Sapphire-Rapids-like inventory in exactly
+//! the ways the paper calls out (§III-B: "several AMD processors do not
+//! offer different events for strictly single-precision, or strictly
+//! double-precision instructions"):
+//!
+//! * the FP counters (`RETIRED_SSE_AVX_FLOPS:*`) count **operations**, not
+//!   instructions, split by operation class (add/sub, multiply, div/sqrt,
+//!   MAC) but **merged across precisions** — so SP-only or DP-only metrics
+//!   are *not composable* on this machine, while total-FLOPs metrics are;
+//! * the branch family (`EX_RET_*`) has no direct taken-conditional or
+//!   not-taken event; those metrics require three-event combinations;
+//! * cache events use AMD naming (`LS_*`, `L2_CACHE_*`) with the same
+//!   underlying hit/miss semantics.
+
+use crate::events_cpu::{CpuBase, CpuEventDef, CpuEventSet};
+use crate::noise::NoiseModel;
+use catalyze_events::{EventCatalog, EventDomain, EventInfo, EventName};
+
+struct Builder {
+    catalog: EventCatalog,
+    defs: Vec<CpuEventDef>,
+}
+
+impl Builder {
+    fn add(
+        &mut self,
+        name: EventName,
+        desc: &str,
+        domain: EventDomain,
+        base: CpuBase,
+        scale: f64,
+        noise: NoiseModel,
+    ) {
+        let info = EventInfo { name, description: desc.to_string(), domain };
+        self.catalog.add(info.clone()).expect("duplicate zen event");
+        self.defs.push(CpuEventDef { info, base, scale, noise });
+    }
+}
+
+/// Builds the Zen-like event inventory (~120 events).
+pub fn zen_like() -> CpuEventSet {
+    let mut b = Builder { catalog: EventCatalog::new(), defs: Vec::new() };
+    let exact = NoiseModel::None;
+
+    // --- Floating point: operation counters, no precision split. ---
+    b.add(
+        EventName::cpu_q("RETIRED_SSE_AVX_FLOPS", "ADD_SUB_FLOPS"),
+        "Add/subtract FP operations retired (all precisions)",
+        EventDomain::FloatingPoint,
+        CpuBase::FpOpsAddSub,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("RETIRED_SSE_AVX_FLOPS", "MULT_FLOPS"),
+        "Multiply FP operations retired (all precisions)",
+        EventDomain::FloatingPoint,
+        CpuBase::FpOpsMul,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("RETIRED_SSE_AVX_FLOPS", "DIV_FLT_FLOPS"),
+        "Divide/sqrt FP operations retired (all precisions)",
+        EventDomain::FloatingPoint,
+        CpuBase::FpOpsDivSqrt,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("RETIRED_SSE_AVX_FLOPS", "MAC_FLOPS"),
+        "Multiply-accumulate FP operations retired (two per MAC, all precisions)",
+        EventDomain::FloatingPoint,
+        CpuBase::FpOpsMac,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("RETIRED_SSE_AVX_FLOPS", "ANY"),
+        "All FP operations retired",
+        EventDomain::FloatingPoint,
+        CpuBase::FpOpsAny,
+        1.0,
+        exact,
+    );
+
+    // --- Branching: no direct taken-conditional event. ---
+    b.add(EventName::cpu("EX_RET_BRN"), "All retired branches", EventDomain::Branch, CpuBase::BrAll, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_BRN_TKN"), "All retired taken branches", EventDomain::Branch, CpuBase::BrAllTaken, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_COND"), "Retired conditional branches", EventDomain::Branch, CpuBase::BrCond, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_BRN_MISP"), "Retired mispredicted branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_COND_MISP"), "Retired mispredicted conditional branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_NEAR_RET"), "Retired near returns", EventDomain::Branch, CpuBase::BrRet, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_BRN_FAR"), "Retired far branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_BRN_IND_MISP"), "Retired mispredicted indirect branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
+    b.add(EventName::cpu("EX_RET_MSPRD_BRNCH_INSTR_DIR_MSMTCH"), "Mispredicted direction mismatches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
+
+    // --- Retirement / cycles / uops. ---
+    b.add(EventName::cpu("EX_RET_INSTR"), "Instructions retired", EventDomain::Other, CpuBase::Instructions, 1.0, NoiseModel::Multiplicative { sigma: 1.5e-8 });
+    b.add(EventName::cpu("EX_RET_OPS"), "Macro-ops retired", EventDomain::Other, CpuBase::Uops, 1.0, NoiseModel::Multiplicative { sigma: 3e-7 });
+    b.add(EventName::cpu_q("LS_NOT_HALTED_CYC", "ALL"), "Core cycles not halted", EventDomain::Cycles, CpuBase::Cycles, 1.0, NoiseModel::Multiplicative { sigma: 3e-4 });
+    b.add(EventName::cpu("APERF"), "Actual performance clock", EventDomain::Cycles, CpuBase::Cycles, 1.0, NoiseModel::Multiplicative { sigma: 6e-4 });
+    b.add(EventName::cpu("MPERF"), "Maximum performance clock", EventDomain::Cycles, CpuBase::Cycles, 0.85, NoiseModel::Multiplicative { sigma: 5e-4 });
+    b.add(EventName::cpu_q("DE_SRC_OP_DISP", "ALL"), "Dispatched ops", EventDomain::Frontend, CpuBase::Uops, 1.05, NoiseModel::Multiplicative { sigma: 2e-5 });
+
+    // --- Memory / caches (AMD naming). ---
+    let cache = |sigma: f64| NoiseModel::Multiplicative { sigma };
+    b.finish_memory(cache)
+}
+
+impl Builder {
+    fn finish_memory(mut self, cache: impl Fn(f64) -> NoiseModel) -> CpuEventSet {
+        let exact = NoiseModel::None;
+        self.add(EventName::cpu_q("LS_DISPATCH", "LD_DISPATCH"), "Load uops dispatched", EventDomain::Memory, CpuBase::Loads, 1.004, NoiseModel::Multiplicative { sigma: 2e-6 });
+        self.add(EventName::cpu_q("LS_DISPATCH", "STORE_DISPATCH"), "Store uops dispatched", EventDomain::Memory, CpuBase::Stores, 1.0, NoiseModel::Multiplicative { sigma: 2e-6 });
+        self.add(EventName::cpu_q("LS_DC_ACCESSES", "ALL"), "L1 data cache accesses", EventDomain::Memory, CpuBase::Loads, 1.01, cache(1e-3));
+        self.add(EventName::cpu_q("LS_MAB_ALLOC", "LOADS"), "Miss address buffer allocations (L1D load misses)", EventDomain::Memory, CpuBase::L1Miss, 1.0, cache(3e-3));
+        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_L2"), "Demand fills sourced from L2", EventDomain::Memory, CpuBase::L2Hit, 1.0, cache(4e-3));
+        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_CCX"), "Demand fills sourced from L3", EventDomain::Memory, CpuBase::L3Hit, 1.0, cache(7e-3));
+        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "DRAM_IO"), "Demand fills sourced from memory", EventDomain::Memory, CpuBase::L3Miss, 1.02, cache(1.2e-2));
+        self.add(EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_HIT"), "L2 demand read hits", EventDomain::Memory, CpuBase::L2RqstsDemandRdHit, 1.0, cache(3e-3));
+        self.add(EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_MISS"), "L2 demand read misses", EventDomain::Memory, CpuBase::L2RqstsDemandRdMiss, 1.015, cache(6e-3));
+        self.add(EventName::cpu_q("L2_PF_HIT_L2", "ALL"), "L2 prefetch hits", EventDomain::Memory, CpuBase::Zero, 1.0, NoiseModel::Additive { scale: 1.0 });
+        self.add(EventName::cpu_q("LS_L1_D_TLB_MISS", "ALL"), "L1 DTLB misses", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 1.0, cache(4e-3));
+        self.add(EventName::cpu_q("LS_TABLEWALKER", "DSIDE"), "Data-side table walks", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 0.98, cache(6e-3));
+
+        // Integer pipes.
+        for (i, name) in ["EX_RET_INT_ADD", "EX_RET_INT_MUL", "EX_RET_INT_CMP", "EX_RET_INT_LOGIC"].iter().enumerate() {
+            self.add(EventName::cpu(*name), "Integer pipe retirement", EventDomain::Other, CpuBase::IntKind(i), 1.0, exact);
+        }
+
+        // Noisy/unrelated tail: data-fabric, power, microcode.
+        for cs in 0..4 {
+            for base_name in ["DF_CS_UMC_CLK", "DF_CS_REQUESTS", "DF_CCM_TRAFFIC"] {
+                self.add(
+                    EventName::cpu(base_name).with_qualifier(
+                        catalyze_events::Qualifier::with_value("cs", cs.to_string()),
+                    ),
+                    "Data-fabric traffic (uncore)",
+                    EventDomain::Uncore,
+                    CpuBase::Zero,
+                    1.0,
+                    NoiseModel::Unrelated { mean: 4e5 + 5e4 * cs as f64, spread: 0.06 },
+                );
+            }
+        }
+        for (name, mean, spread) in [
+            ("PKG_ENERGY", 8e3, 0.04),
+            ("CORE_ENERGY", 900.0, 0.06),
+            ("THERM_MARGIN", 35.0, 0.1),
+            ("UCODE_ASSISTS", 1.0, 1.5),
+            ("SMU_ARBITRATIONS", 40.0, 0.7),
+        ] {
+            self.add(
+                EventName::cpu(name),
+                "Package telemetry",
+                EventDomain::Software,
+                CpuBase::Zero,
+                1.0,
+                NoiseModel::Unrelated { mean, spread },
+            );
+        }
+        // Frontend / stalls: cycle-scaled noise.
+        for (i, name) in ["DE_DIS_DISPATCH_TOKEN_STALLS", "DE_NO_DISPATCH_PER_SLOT", "EX_NO_RETIRE", "LS_INT_TAKEN", "IC_FETCH_STALL", "IC_CACHE_FILL_L2"].iter().enumerate() {
+            self.add(
+                EventName::cpu(*name),
+                "Pipeline stall accounting",
+                EventDomain::Cycles,
+                CpuBase::Cycles,
+                0.08 + 0.07 * i as f64,
+                NoiseModel::Multiplicative { sigma: 4e-3 },
+            );
+        }
+        self.into_set()
+    }
+
+    fn into_set(self) -> CpuEventSet {
+        CpuEventSet::from_parts(self.catalog, self.defs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{CoreConfig, Cpu};
+    use crate::isa::{FpKind, Instruction, Precision, VecWidth};
+    use crate::program::{Block, Program};
+
+    #[test]
+    fn inventory_builds() {
+        let set = zen_like();
+        assert!(set.len() >= 50, "{}", set.len());
+        assert!(set.id_of("RETIRED_SSE_AVX_FLOPS:ANY").is_some());
+        assert!(set.id_of("EX_RET_BRN_TKN").is_some());
+        assert!(set.id_of("FP_ARITH_INST_RETIRED:SCALAR_DOUBLE").is_none(), "no Intel names");
+    }
+
+    #[test]
+    fn flop_counters_merge_precisions_and_count_ops() {
+        let set = zen_like();
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        let block = Block::new()
+            .push(Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma))
+            .push(Instruction::fp(Precision::Single, VecWidth::V128, FpKind::Add));
+        cpu.run(&Program::new().bare_loop(block, 10));
+        let stats = cpu.stats();
+        // MAC: 10 instr x 4 DP lanes x 2 ops = 80.
+        let mac = set.id_of("RETIRED_SSE_AVX_FLOPS:MAC_FLOPS").unwrap();
+        assert_eq!(set.true_count(mac, &stats), Some(80.0));
+        // ADD_SUB: 10 instr x 4 SP lanes = 40 (SP and DP merged).
+        let add = set.id_of("RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS").unwrap();
+        assert_eq!(set.true_count(add, &stats), Some(40.0));
+        let any = set.id_of("RETIRED_SSE_AVX_FLOPS:ANY").unwrap();
+        assert_eq!(set.true_count(any, &stats), Some(120.0));
+    }
+
+    #[test]
+    fn no_direct_taken_conditional_event() {
+        let set = zen_like();
+        for (_, def) in set.iter() {
+            if def.info.name.to_string().contains("TKN") {
+                assert!(matches!(def.base, CpuBase::BrAllTaken), "only the all-taken event exists");
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Instruction-set model.
+//!
+//! The simulator is an instruction-level model, not a cycle-accurate RTL
+//! model: benchmarks are expressed as streams of typed instructions whose
+//! retirement drives the performance-monitoring counters, the cache
+//! hierarchy, the TLB, and the branch predictor. This is exactly the level
+//! of abstraction the paper's analysis observes — counts of architectural
+//! and microarchitectural occurrences.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Floating-point precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// 16-bit half precision (GPU kernels only on this platform).
+    Half,
+    /// 32-bit single precision.
+    Single,
+    /// 64-bit double precision.
+    Double,
+}
+
+impl Precision {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Half => 2,
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// All precisions, in increasing width.
+    pub const ALL: [Precision; 3] = [Precision::Half, Precision::Single, Precision::Double];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::Half => "HP",
+            Precision::Single => "SP",
+            Precision::Double => "DP",
+        })
+    }
+}
+
+/// SIMD width class of a floating-point instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VecWidth {
+    /// Scalar instruction.
+    Scalar,
+    /// 128-bit vector.
+    V128,
+    /// 256-bit vector.
+    V256,
+    /// 512-bit vector.
+    V512,
+}
+
+impl VecWidth {
+    /// Vector register width in bits (64 for scalar, by convention of one
+    /// element).
+    pub fn bits(self) -> u32 {
+        match self {
+            VecWidth::Scalar => 64,
+            VecWidth::V128 => 128,
+            VecWidth::V256 => 256,
+            VecWidth::V512 => 512,
+        }
+    }
+
+    /// Number of elements ("lanes") the instruction operates on.
+    pub fn lanes(self, prec: Precision) -> u64 {
+        match self {
+            VecWidth::Scalar => 1,
+            _ => u64::from(self.bits()) / (prec.bytes() * 8),
+        }
+    }
+
+    /// All widths, scalar first.
+    pub const ALL: [VecWidth; 4] = [VecWidth::Scalar, VecWidth::V128, VecWidth::V256, VecWidth::V512];
+}
+
+impl fmt::Display for VecWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VecWidth::Scalar => "scalar",
+            VecWidth::V128 => "128",
+            VecWidth::V256 => "256",
+            VecWidth::V512 => "512",
+        })
+    }
+}
+
+/// Kind of floating-point arithmetic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Fused multiply-add.
+    Fma,
+}
+
+impl FpKind {
+    /// Arithmetic operations performed per element: FMA does two, everything
+    /// else one.
+    pub fn ops_per_element(self) -> u64 {
+        match self {
+            FpKind::Fma => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for fused multiply-add.
+    pub fn is_fma(self) -> bool {
+        matches!(self, FpKind::Fma)
+    }
+}
+
+/// Integer ALU instruction kinds (the loop-header traffic of real kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntKind {
+    /// Add/sub/increment class.
+    Add,
+    /// Multiply class.
+    Mul,
+    /// Compare/test class.
+    Cmp,
+    /// Logic class (and/or/xor/shift).
+    Logic,
+}
+
+/// Conditional-branch description.
+///
+/// The benchmark generator supplies both the architectural outcome and —
+/// optionally — a *forced* prediction outcome. Forced outcomes model data
+/// patterns that are empirically known to defeat (or satisfy) real
+/// predictors, which is how the CAT branching kernels achieve exact
+/// per-iteration misprediction rates; when `forced_mispredict` is `None`
+/// the simulated predictor (gshare) decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CondBranch {
+    /// Architectural outcome: taken or not taken.
+    pub taken: bool,
+    /// Static identifier of the branch site (indexes predictor state).
+    pub site: u32,
+    /// `Some(true)`: this instance mispredicts regardless of the predictor;
+    /// `Some(false)`: predicted correctly; `None`: ask the predictor.
+    pub forced_mispredict: Option<bool>,
+}
+
+/// One instruction of the simulated ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Floating-point arithmetic.
+    Fp {
+        /// Element precision.
+        prec: Precision,
+        /// SIMD width.
+        width: VecWidth,
+        /// Operation kind.
+        kind: FpKind,
+    },
+    /// Integer ALU operation.
+    Int(IntKind),
+    /// Memory load of `size` bytes at virtual address `addr`.
+    Load {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Memory store of `size` bytes at virtual address `addr`.
+    Store {
+        /// Virtual address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Conditional branch.
+    CondBranch(CondBranch),
+    /// Unconditional direct branch (always taken).
+    UncondBranch,
+    /// Call (unconditional, pushes return address).
+    Call,
+    /// Return.
+    Ret,
+    /// No-op (pipeline filler).
+    Nop,
+}
+
+impl Instruction {
+    /// Convenience constructor for an FP instruction.
+    pub fn fp(prec: Precision, width: VecWidth, kind: FpKind) -> Self {
+        Instruction::Fp { prec, width, kind }
+    }
+
+    /// Convenience constructor for a conditional branch decided by the
+    /// simulated predictor.
+    pub fn cond(site: u32, taken: bool) -> Self {
+        Instruction::CondBranch(CondBranch { taken, site, forced_mispredict: None })
+    }
+
+    /// Convenience constructor for a conditional branch with a forced
+    /// prediction outcome.
+    pub fn cond_forced(site: u32, taken: bool, mispredict: bool) -> Self {
+        Instruction::CondBranch(CondBranch { taken, site, forced_mispredict: Some(mispredict) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_architecture() {
+        assert_eq!(VecWidth::Scalar.lanes(Precision::Double), 1);
+        assert_eq!(VecWidth::V128.lanes(Precision::Double), 2);
+        assert_eq!(VecWidth::V256.lanes(Precision::Double), 4);
+        assert_eq!(VecWidth::V512.lanes(Precision::Double), 8);
+        assert_eq!(VecWidth::V128.lanes(Precision::Single), 4);
+        assert_eq!(VecWidth::V256.lanes(Precision::Single), 8);
+        assert_eq!(VecWidth::V512.lanes(Precision::Single), 16);
+        assert_eq!(VecWidth::V512.lanes(Precision::Half), 32);
+    }
+
+    #[test]
+    fn fma_performs_two_ops() {
+        assert_eq!(FpKind::Fma.ops_per_element(), 2);
+        assert_eq!(FpKind::Add.ops_per_element(), 1);
+        assert!(FpKind::Fma.is_fma());
+        assert!(!FpKind::Mul.is_fma());
+    }
+
+    #[test]
+    fn flops_per_instruction_paper_example() {
+        // "each AVX256 FMA instruction performs eight FLOPs" (DP).
+        let lanes = VecWidth::V256.lanes(Precision::Double);
+        assert_eq!(lanes * FpKind::Fma.ops_per_element(), 8);
+        // 512-bit DP FMA: 16 FLOPs.
+        assert_eq!(VecWidth::V512.lanes(Precision::Double) * FpKind::Fma.ops_per_element(), 16);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Half.bytes(), 2);
+        assert_eq!(Precision::Single.bytes(), 4);
+        assert_eq!(Precision::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Precision::Double.to_string(), "DP");
+        assert_eq!(VecWidth::V256.to_string(), "256");
+    }
+
+    #[test]
+    fn constructors() {
+        let i = Instruction::fp(Precision::Single, VecWidth::V128, FpKind::Add);
+        assert!(matches!(i, Instruction::Fp { width: VecWidth::V128, .. }));
+        let b = Instruction::cond(3, true);
+        if let Instruction::CondBranch(cb) = b {
+            assert_eq!(cb.site, 3);
+            assert!(cb.taken);
+            assert_eq!(cb.forced_mispredict, None);
+        } else {
+            panic!("not a branch");
+        }
+        let f = Instruction::cond_forced(1, false, true);
+        if let Instruction::CondBranch(cb) = f {
+            assert_eq!(cb.forced_mispredict, Some(true));
+        } else {
+            panic!("not a branch");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Data TLB model: a small set-associative translation cache.
+
+use serde::{Deserialize, Serialize};
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub associativity: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+}
+
+impl TlbConfig {
+    /// 64-entry, 4-way, 4 KiB pages — a typical first-level DTLB.
+    pub fn default_sim() -> Self {
+        Self { entries: 64, associativity: 4, page_bytes: 4096 }
+    }
+
+    fn num_sets(&self) -> u64 {
+        u64::from(self.entries / self.associativity)
+    }
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translation hits.
+    pub hits: u64,
+    /// Translation misses (page-walks).
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    vpn: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// A data TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<Entry>,
+    clock: u64,
+    /// Accumulated statistics.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    /// Panics when the geometry does not divide into power-of-two sets.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.associativity > 0 && cfg.entries % cfg.associativity == 0);
+        assert!(cfg.num_sets().is_power_of_two());
+        assert!(cfg.page_bytes.is_power_of_two());
+        Self { cfg, entries: vec![Entry::default(); cfg.entries as usize], clock: 0, stats: TlbStats::default() }
+    }
+
+    /// Translates an address; returns `true` on TLB hit. Misses install the
+    /// translation (after the implied page walk).
+    pub fn translate(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let vpn = addr / self.cfg.page_bytes;
+        let set = (vpn % self.cfg.num_sets()) as usize;
+        let ways = self.cfg.associativity as usize;
+        let base = set * ways;
+        for e in &mut self.entries[base..base + ways] {
+            if e.valid && e.vpn == vpn {
+                e.lru = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Install, evicting LRU.
+        let victim = self.entries[base..base + ways]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| base + i)
+            .expect("associativity > 0");
+        self.entries[victim] = Entry { vpn, valid: true, lru: self.clock };
+        false
+    }
+
+    /// Clears statistics, keeping translations (post-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Invalidates everything.
+    pub fn reset(&mut self) {
+        for e in &mut self.entries {
+            *e = Entry::default();
+        }
+        self.clock = 0;
+        self.stats = TlbStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(TlbConfig::default_sim());
+        assert!(!t.translate(0x1000));
+        assert!(t.translate(0x1abc), "same page");
+        assert!(!t.translate(0x5000), "different page");
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 2);
+    }
+
+    #[test]
+    fn capacity_thrash() {
+        let cfg = TlbConfig { entries: 4, associativity: 2, page_bytes: 4096 };
+        let mut t = Tlb::new(cfg);
+        // 8 pages cycling through 4 entries sequentially: all misses.
+        for _ in 0..3 {
+            for p in 0..8u64 {
+                t.translate(p * 4096);
+            }
+        }
+        assert_eq!(t.stats.hits, 0);
+    }
+
+    #[test]
+    fn small_working_set_all_hits_after_warmup() {
+        let mut t = Tlb::new(TlbConfig::default_sim());
+        for p in 0..16u64 {
+            t.translate(p * 4096);
+        }
+        t.reset_stats();
+        for _ in 0..4 {
+            for p in 0..16u64 {
+                assert!(t.translate(p * 4096));
+            }
+        }
+        assert_eq!(t.stats.misses, 0);
+    }
+
+    #[test]
+    fn reset_invalidates() {
+        let mut t = Tlb::new(TlbConfig::default_sim());
+        t.translate(0);
+        t.reset();
+        assert!(!t.translate(0));
+    }
+}

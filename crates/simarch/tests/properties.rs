@@ -1,0 +1,140 @@
+//! Property tests for the hardware substrate: cache/TLB/predictor
+//! invariants and program-execution accounting.
+
+use catalyze_sim::branch::{Predictor, PredictorConfig};
+use catalyze_sim::cache::{AccessKind, Cache, CacheConfig};
+use catalyze_sim::program::{Block, Item};
+use catalyze_sim::tlb::{Tlb, TlbConfig};
+use catalyze_sim::{CoreConfig, Cpu, FpKind, Instruction, IntKind, Precision, Program, VecWidth};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig::new(1024, 64, 4)) // 4 sets x 4 ways
+}
+
+proptest! {
+    #[test]
+    fn cache_stats_conserve(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut c = small_cache();
+        for &a in &addrs {
+            if !c.access(a, AccessKind::Read) {
+                c.fill(a);
+            }
+        }
+        prop_assert_eq!(c.stats.accesses(), addrs.len() as u64);
+        prop_assert_eq!(c.stats.hits() + c.stats.misses(), addrs.len() as u64);
+        prop_assert!(c.valid_lines() <= 16);
+    }
+
+    #[test]
+    fn repeated_access_to_one_line_hits(addr in 0u64..1_000_000, repeats in 2usize..50) {
+        let mut c = small_cache();
+        c.access(addr, AccessKind::Read);
+        c.fill(addr);
+        for _ in 0..repeats {
+            prop_assert!(c.access(addr, AccessKind::Read));
+        }
+    }
+
+    #[test]
+    fn mru_line_survives_one_eviction(set_stride_lines in 1u64..4) {
+        // Fill a set, touch one line (making it MRU), add one more line:
+        // the MRU line must still hit.
+        let mut c = small_cache();
+        let stride = 4 * 64; // set count * line size
+        let lines: Vec<u64> = (0..4).map(|i| i * stride * set_stride_lines.max(1) / set_stride_lines.max(1) + i * stride).collect();
+        for &l in &lines {
+            c.access(l, AccessKind::Read);
+            c.fill(l);
+        }
+        let mru = lines[1];
+        prop_assert!(c.access(mru, AccessKind::Read));
+        let newcomer = 99 * stride;
+        c.access(newcomer, AccessKind::Read);
+        c.fill(newcomer);
+        prop_assert!(c.access(mru, AccessKind::Read), "MRU line must not be the victim");
+    }
+
+    #[test]
+    fn tlb_stats_conserve(pages in proptest::collection::vec(0u64..500, 1..200)) {
+        let mut t = Tlb::new(TlbConfig { entries: 16, associativity: 4, page_bytes: 4096 });
+        for &p in &pages {
+            t.translate(p * 4096);
+        }
+        prop_assert_eq!(t.stats.hits + t.stats.misses, pages.len() as u64);
+    }
+
+    #[test]
+    fn predictor_taken_partition(outcomes in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut p = Predictor::new(PredictorConfig::default_sim());
+        for (i, &taken) in outcomes.iter().enumerate() {
+            p.retire_cond((i % 5) as u32, taken, None);
+        }
+        let s = p.stats;
+        prop_assert_eq!(s.cond_taken + s.cond_not_taken, s.cond_retired);
+        prop_assert_eq!(s.cond_retired, outcomes.len() as u64);
+        prop_assert!(s.mispredicted <= s.cond_retired);
+        prop_assert!(s.mispredicted_taken <= s.mispredicted);
+        prop_assert!(s.correctly_predicted() <= s.cond_retired);
+    }
+
+    #[test]
+    fn program_length_matches_visit_count(
+        block_sizes in proptest::collection::vec(1usize..20, 1..5),
+        trips in proptest::collection::vec(0u64..12, 1..5),
+    ) {
+        let mut program = Program::new();
+        for (n, t) in block_sizes.iter().zip(&trips) {
+            let block = Block::new().repeat(Instruction::Int(IntKind::Add), *n);
+            program = program.item(Item::Loop {
+                body: vec![Item::Block(block)],
+                trips: *t,
+                overhead: true,
+                site: 0,
+            });
+        }
+        let mut count = 0u64;
+        program.visit(&mut |_| count += 1);
+        prop_assert_eq!(count, program.dynamic_length());
+    }
+
+    #[test]
+    fn cpu_accounting_is_consistent(
+        fp in 0usize..30,
+        ints in 0usize..30,
+        branches in 0usize..30,
+        trips in 1u64..20,
+    ) {
+        let mut block = Block::new()
+            .repeat(Instruction::fp(Precision::Double, VecWidth::V128, FpKind::Mul), fp)
+            .repeat(Instruction::Int(IntKind::Cmp), ints);
+        for i in 0..branches {
+            block = block.push(Instruction::cond_forced(i as u32, i % 2 == 0, false));
+        }
+        let program = Program::new().bare_loop(block, trips);
+        let mut cpu = Cpu::new(CoreConfig::default_sim());
+        cpu.run(&program);
+        let s = cpu.stats();
+        prop_assert_eq!(s.instructions, (fp + ints + branches) as u64 * trips);
+        prop_assert_eq!(s.fp_class(Precision::Double, VecWidth::V128, FpKind::Mul), fp as u64 * trips);
+        prop_assert_eq!(s.int_ops[2], ints as u64 * trips);
+        prop_assert_eq!(s.branch.cond_retired, branches as u64 * trips);
+        prop_assert_eq!(s.flops(Precision::Double), fp as u64 * trips * 2, "V128 DP = 2 lanes");
+        prop_assert!(s.cycles >= s.uops / 4);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_stats(seed in 0u64..1000) {
+        let block = Block::new()
+            .push(Instruction::Load { addr: seed * 64, size: 8 })
+            .push(Instruction::cond_forced(0, seed % 2 == 0, false));
+        let program = Program::new().counted_loop(block, 10, 0);
+        let run = || {
+            let mut cpu = Cpu::new(CoreConfig::default_sim());
+            cpu.run(&program);
+            let s = cpu.stats();
+            (s.instructions, s.cycles, s.memory.loads_hit_l1, s.branch.cond_taken)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

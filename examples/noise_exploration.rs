@@ -1,0 +1,39 @@
+//! Exploring measurement noise (the paper's §IV): the max-RNMSE variability
+//! distribution per benchmark, how the threshold τ splits it, and the ASCII
+//! rendition of Figure 2.
+
+use catalyze::report;
+use catalyze_bench::{ablations, Harness, Scale};
+
+fn main() {
+    let h = Harness::new(Scale::Full);
+
+    for (name, caption) in [
+        ("branch", "Figure 2a: branching benchmark"),
+        ("cpu-flops", "Figure 2b: CPU-FLOPs benchmark"),
+        ("dcache", "Figure 2d: data-cache benchmark"),
+    ] {
+        let d = h.domain(name).expect("known domain");
+        println!("== {caption} ==");
+        print!("{}", report::noise_summary(&d.analysis.noise));
+        println!("{}", report::figure2_ascii(&d.analysis.noise, 70));
+
+        if name == "branch" {
+            println!("-- tau sweep: kept-event counts --");
+            for row in ablations::tau_sweep(&d, &[1e-15, 1e-12, 1e-10, 1e-8, 1e-4, 1e-1, 1e2]) {
+                println!("  tau {:>8.0e} -> kept {:>4}  noisy {:>4}", row.tau, row.kept, row.noisy);
+            }
+            println!(
+                "\nAny tau between the zero-noise cluster and the noisy tail picks\n\
+                 the same events — the threshold needs no careful tuning (§IV).\n"
+            );
+        }
+        if name == "dcache" {
+            println!(
+                "The cache panel has no clean gap: hit/miss events carry real\n\
+                 noise, so the paper (and this pipeline) use the lenient tau = 1e-1\n\
+                 and rely on per-thread medians plus coefficient rounding instead.\n"
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+# gnuplot script — regenerate with the repro harness
+set terminal pngcairo size 900,600
+set output 'fig2d.png'
+set title 'Figure 2d: CAT data-cache benchmark variabilities'
+set xlabel 'Event Index'
+set ylabel 'Max. RNMSE Variability'
+set logscale y
+set yrange [1e-16:1e2]
+set format y '10^{%L}'
+set key top left
+tau = 1e-1
+plot 'fig2d.dat' using 1:2 with points pt 7 ps 0.6 title 'Sorted Event Variabilities', \
+     tau with lines lw 2 dt 2 title sprintf('tau = %.1e', tau)

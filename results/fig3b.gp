@@ -1,0 +1,12 @@
+# gnuplot script — regenerate with the repro harness
+set terminal pngcairo size 900,600
+set output 'fig3b.png'
+set title 'L1 Misses.'
+set xlabel 'Pointer Chain Size'
+set ylabel 'Normalized Event Counts'
+set yrange [0:3]
+set xtics rotate by -45
+set key top right
+plot 'fig3b.dat' using 1:4:xtic(2) with linespoints pt 5 title 'Raw-event combination', \
+     'fig3b.dat' using 1:3 with linespoints pt 9 dt 2 title 'Signature', \
+     'fig3b.dat' using 1:5 with points pt 2 title 'Rounded combination'

@@ -1,0 +1,83 @@
+//! Determinism guarantees: identical configurations must reproduce every
+//! measurement and every analysis artifact bit-for-bit — the property that
+//! makes the `repro` harness trustworthy.
+
+use catalyze::basis;
+use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::signature;
+use catalyze_cat::{run_branch, run_cpu_flops, run_gpu_flops, RunnerConfig};
+use catalyze_sim::{mi250x_like, sapphire_rapids_like};
+
+fn cfg() -> RunnerConfig {
+    let mut c = RunnerConfig::fast_test();
+    c.flops_trips = 128;
+    c.branch_iterations = 256;
+    c
+}
+
+#[test]
+fn branch_measurements_bitwise_reproducible() {
+    let set = sapphire_rapids_like();
+    let a = run_branch(&set, &cfg());
+    let b = run_branch(&set, &cfg());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cpu_flops_measurements_bitwise_reproducible() {
+    let set = sapphire_rapids_like();
+    let a = run_cpu_flops(&set, &cfg());
+    let b = run_cpu_flops(&set, &cfg());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gpu_measurements_bitwise_reproducible() {
+    let set = mi250x_like(2);
+    let a = run_gpu_flops(&set, &cfg());
+    let b = run_gpu_flops(&set, &cfg());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_pmu_seed_changes_noisy_reads_only() {
+    let set = sapphire_rapids_like();
+    let mut c1 = cfg();
+    let mut c2 = cfg();
+    c1.pmu.seed = 1;
+    c2.pmu.seed = 2;
+    let a = run_branch(&set, &c1);
+    let b = run_branch(&set, &c2);
+    // Architectural counters identical...
+    let cond = a.event_index("BR_INST_RETIRED:COND").unwrap();
+    assert_eq!(a.runs[0][cond], b.runs[0][cond]);
+    // ...noisy ones differ.
+    let cycles = a.event_index("CPU_CLK_UNHALTED:THREAD").unwrap();
+    assert_ne!(a.runs[0][cycles], b.runs[0][cycles]);
+}
+
+#[test]
+fn analysis_is_a_pure_function_of_measurements() {
+    let set = sapphire_rapids_like();
+    let ms = run_branch(&set, &cfg());
+    let run = || {
+        analyze(
+            "branch",
+            &ms.events,
+            &ms.runs,
+            &basis::branch_basis(),
+            &signature::branch_signatures(),
+            AnalysisConfig::branch(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.selection.events.iter().map(|e| &e.name).collect::<Vec<_>>(),
+        b.selection.events.iter().map(|e| &e.name).collect::<Vec<_>>()
+    );
+    for (x, y) in a.metrics.iter().zip(&b.metrics) {
+        assert_eq!(x.coefficients, y.coefficients, "{}", x.metric);
+        assert_eq!(x.error, y.error);
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure-injection and robustness tests for the analysis pipeline:
+//! degenerate inputs must degrade gracefully, never silently produce wrong
+//! metric definitions.
+
+use catalyze::basis::branch_basis;
+use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::signature::branch_signatures;
+use catalyze_cat::MeasurementSet;
+
+fn names(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn all_noisy_input_yields_no_metrics() {
+    // Every event fluctuates wildly: the noise stage must drop everything
+    // and the pipeline must return an empty (not bogus) result.
+    let n = names(&["A", "B"]);
+    let runs: Vec<Vec<Vec<f64>>> = (0..3)
+        .map(|r| {
+            let f = (r + 1) as f64;
+            vec![vec![f; 11], vec![10.0 * f * f; 11]]
+        })
+        .collect();
+    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    assert!(report.noise.kept().is_empty());
+    assert!(report.selection.events.is_empty());
+    assert!(report.metrics.is_empty());
+    assert!(report.composable_metrics().is_empty());
+}
+
+#[test]
+fn all_zero_input_yields_no_metrics() {
+    let n = names(&["Z1", "Z2"]);
+    let runs = vec![vec![vec![0.0; 11], vec![0.0; 11]]; 2];
+    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    assert_eq!(report.noise.discarded_zero().len(), 2);
+    assert!(report.metrics.is_empty());
+}
+
+#[test]
+fn unrepresentable_events_yield_empty_selection() {
+    // Clean (noise-free) events that the basis cannot express.
+    let n = names(&["C1", "C2"]);
+    let ramp: Vec<f64> = (0..11).map(|i| (i * i) as f64).collect();
+    let runs = vec![vec![vec![5.0; 11], ramp]; 2];
+    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    assert_eq!(report.noise.kept().len(), 2);
+    assert_eq!(report.representation.rejected.len(), 2);
+    assert!(report.selection.events.is_empty());
+    assert!(report.metrics.is_empty());
+}
+
+#[test]
+fn duplicated_events_collapse_to_one() {
+    let b = branch_basis();
+    let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
+    let n = names(&["COND_A", "COND_B", "COND_C"]);
+    let runs = vec![vec![cr.clone(), cr.clone(), cr]; 2];
+    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    assert_eq!(report.selection.events.len(), 1, "duplicates must not inflate rank");
+    // Retired is composable from the single survivor; Taken is not.
+    assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
+    assert!(report.metric("Conditional Branches Taken").unwrap().error > 0.1);
+}
+
+#[test]
+fn partial_coverage_reports_honest_errors() {
+    // Only COND_TAKEN exists: most metrics must come out non-composable.
+    let b = branch_basis();
+    let t: Vec<f64> = (0..11).map(|i| b.matrix[(i, 2)]).collect();
+    let n = names(&["BR_INST_RETIRED:COND_TAKEN"]);
+    let runs = vec![vec![t]; 2];
+    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    assert!(report.metric("Conditional Branches Taken").unwrap().error < 1e-10);
+    for name in ["Mispredicted Branches", "Unconditional Branches", "Conditional Branches Executed"] {
+        let m = report.metric(name).unwrap();
+        assert!(m.error > 0.5, "{name} must be non-composable, error {}", m.error);
+    }
+}
+
+#[test]
+fn single_repetition_is_accepted() {
+    // One run: no pairs for RNMSE, variability defined as zero.
+    let b = branch_basis();
+    let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
+    let n = names(&["COND"]);
+    let runs = vec![vec![cr]];
+    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    assert_eq!(report.noise.kept().len(), 1);
+    assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
+}
+
+#[test]
+fn measurement_set_json_roundtrip_preserves_analysis() {
+    let b = branch_basis();
+    let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
+    let ms = MeasurementSet {
+        domain: "branch".into(),
+        point_labels: (0..11).map(|i| format!("k{i}")).collect(),
+        events: vec!["COND".into()],
+        runs: vec![vec![cr]],
+    };
+    ms.validate().unwrap();
+    let json = serde_json::to_string(&ms).unwrap();
+    let back: MeasurementSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ms);
+    let r1 = analyze("b", &ms.events, &ms.runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let r2 = analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    assert_eq!(r1.metrics.len(), r2.metrics.len());
+    for (a, b) in r1.metrics.iter().zip(&r2.metrics) {
+        assert_eq!(a.coefficients, b.coefficients);
+        assert_eq!(a.error, b.error);
+    }
+}
+
+#[test]
+fn analysis_report_serializes() {
+    let b = branch_basis();
+    let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
+    let n = names(&["COND"]);
+    let runs = vec![vec![cr]];
+    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("Conditional Branches Retired"));
+}

@@ -1,0 +1,111 @@
+//! Robustness of the end-to-end conclusions to modeling choices the paper
+//! has no control over on real hardware: the PMU noise seed (a different
+//! "day" on the machine) and the caches' replacement policy.
+
+use catalyze::basis::{self, CacheRegion};
+use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::signature;
+use catalyze_cat::{dcache, run_branch, run_dcache, RunnerConfig};
+use catalyze_sim::cache::{CacheConfig, ReplacementPolicy};
+use catalyze_sim::hierarchy::HierarchyConfig;
+use catalyze_sim::sapphire_rapids_like;
+
+fn fast() -> RunnerConfig {
+    let mut c = RunnerConfig::fast_test();
+    c.branch_iterations = 1024;
+    c
+}
+
+#[test]
+fn branch_selection_is_seed_invariant() {
+    let set = sapphire_rapids_like();
+    let mut selections = Vec::new();
+    for seed in [1u64, 0xDEAD_BEEF, 42_424_242] {
+        let mut cfg = fast();
+        cfg.pmu.seed = seed;
+        let ms = run_branch(&set, &cfg);
+        let report = analyze(
+            "branch",
+            &ms.events,
+            &ms.runs,
+            &basis::branch_basis(),
+            &signature::branch_signatures(),
+            AnalysisConfig::branch(),
+        );
+        let mut names: Vec<String> =
+            report.selection.events.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        selections.push(names);
+    }
+    assert_eq!(selections[0], selections[1]);
+    assert_eq!(selections[1], selections[2]);
+    assert_eq!(selections[0].len(), 4);
+}
+
+fn dcache_report_under(policy: ReplacementPolicy) -> catalyze::AnalysisReport {
+    let mut cfg = fast();
+    let mk = |size: u64, ways: u32| CacheConfig::with_policy(size, 64, ways, policy);
+    cfg.core.hierarchy = HierarchyConfig {
+        l1: mk(16 * 1024, 8),
+        l2: mk(128 * 1024, 8),
+        l3: mk(1024 * 1024, 16),
+        prefetch_next_line: false,
+    };
+    let set = sapphire_rapids_like();
+    let ms = run_dcache(&set, &cfg);
+    let regions: Vec<CacheRegion> = dcache::point_regions(&cfg.core.hierarchy)
+        .into_iter()
+        .map(|r| match r {
+            dcache::Region::L1 => CacheRegion::L1,
+            dcache::Region::L2 => CacheRegion::L2,
+            dcache::Region::L3 => CacheRegion::L3,
+            dcache::Region::Memory => CacheRegion::Memory,
+        })
+        .collect();
+    analyze(
+        "dcache",
+        &ms.events,
+        &ms.runs,
+        &basis::dcache_basis(&regions),
+        &signature::dcache_signatures(),
+        AnalysisConfig::dcache(),
+    )
+}
+
+fn sorted_selection(report: &catalyze::AnalysisReport) -> Vec<String> {
+    let mut names: Vec<String> = report.selection.events.iter().map(|e| e.name.clone()).collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn dcache_selection_survives_pseudo_lru() {
+    // Real hardware uses tree pseudo-LRU, not the true LRU the analysis was
+    // calibrated on; the benchmark's working sets sit far from the
+    // capacities, so the selected events must not change.
+    let lru = dcache_report_under(ReplacementPolicy::Lru);
+    let plru = dcache_report_under(ReplacementPolicy::TreePlru);
+    assert_eq!(
+        sorted_selection(&lru),
+        sorted_selection(&plru),
+        "pseudo-LRU must not change the selected events"
+    );
+}
+
+#[test]
+fn dcache_metrics_survive_random_replacement() {
+    // Random replacement genuinely blurs the hit/miss steps (resident sets
+    // self-evict), so the *specific* events chosen may shift toward
+    // composite counters — but the methodology's conclusion must hold: a
+    // full-rank selection exists and every cache metric still composes.
+    let report = dcache_report_under(ReplacementPolicy::Random);
+    assert_eq!(report.selection.events.len(), 4, "{:?}", sorted_selection(&report));
+    for m in &report.metrics {
+        assert!(
+            m.error < 5e-2,
+            "{} must remain composable under random replacement, error {}",
+            m.metric,
+            m.error
+        );
+    }
+}
