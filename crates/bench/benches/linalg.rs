@@ -69,9 +69,11 @@ fn bench_lstsq(c: &mut Criterion) {
     for &(m, n) in &[(16usize, 8usize), (48, 16), (128, 32)] {
         let a = random_matrix(m, n, 3);
         let b_vec: Vec<f64> = (0..m).map(|i| i as f64).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(a, b_vec), |b, (a, rhs)| {
-            b.iter(|| lstsq(black_box(a), black_box(rhs)).expect("full rank"))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(a, b_vec),
+            |b, (a, rhs)| b.iter(|| lstsq(black_box(a), black_box(rhs)).expect("full rank")),
+        );
     }
     g.finish();
 }

@@ -4,7 +4,7 @@
 
 use catalyze::noise::analyze_noise;
 use catalyze::normalize::represent;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::analyze;
 use catalyze::select::select_events;
 use catalyze_bench::{Harness, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};

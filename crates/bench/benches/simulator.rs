@@ -14,10 +14,8 @@ use std::hint::black_box;
 fn bench_fp_kernel(c: &mut Criterion) {
     let mut g = c.benchmark_group("cpu_execute_flops");
     for &trips in &[64u64, 1024] {
-        let block = Block::new().repeat(
-            Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma),
-            48,
-        );
+        let block = Block::new()
+            .repeat(Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma), 48);
         let program = Program::new().counted_loop(block, trips, 0);
         g.throughput(Throughput::Elements(program.dynamic_length()));
         g.bench_with_input(BenchmarkId::from_parameter(trips), &program, |b, p| {

@@ -32,6 +32,7 @@ pub struct PivotAblation {
 /// dominate; the specialized scheme is scale-aware through its scoring.
 pub fn pivot_rule_ablation(domain: &DomainResult) -> PivotAblation {
     let rep = &domain.analysis.representation;
+    // lint: allow(panic): ablation input is a non-empty representation by construction
     let x = rep.x_matrix().expect("non-empty representation");
     // Scale each column by the norm of its original measurement vector.
     let mut scaled = x.clone();
@@ -40,13 +41,16 @@ pub fn pivot_rule_ablation(domain: &DomainResult) -> PivotAblation {
             .measurements
             .event_index(&event.name)
             .map(|e| domain.measurements.mean_vector(e))
+            // lint: allow(panic): kept events come from the same measurement set
             .expect("kept events come from the measurement set");
         let norm = catalyze_linalg::vector::norm2(&m);
         let col = scaled.col_mut(j);
         catalyze_linalg::vector::scale(col, norm.max(1e-300));
     }
     let spec = specialized_qrcp(&x, SpQrcpParams::new(domain.analysis.config.alpha))
+        // lint: allow(panic): scaled copy preserves the validated shape
         .expect("valid matrix");
+    // lint: allow(panic): scaled copy preserves the validated shape
     let std = qrcp(&scaled, 1e-10).expect("valid matrix");
     PivotAblation {
         specialized: spec.selected().iter().map(|&j| rep.kept[j].name.clone()).collect(),
@@ -134,6 +138,7 @@ pub fn median_ablation(h: &Harness) -> MedianAblation {
         "MEM_LOAD_RETIRED:L3_HIT",
     ];
     let variability = |ms: &catalyze_cat::MeasurementSet, name: &str| -> f64 {
+        // lint: allow(panic): the key cache events are part of the shipped inventory
         let e = ms.event_index(name).expect("key cache event present");
         max_rnmse(&ms.vectors_for_event(e)).unwrap_or(1.0)
     };

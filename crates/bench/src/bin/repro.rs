@@ -75,10 +75,42 @@ fn signature_tables(opts: &Opts) {
     use catalyze::basis;
     use catalyze::signature;
     let tables = [
-        ("table1", "Table I: CPU FLOPs Metric Signatures", report::signatures_table("Table I: CPU FLOPs Metric Signatures", &basis::cpu_flops_basis(), &signature::cpu_flops_signatures())),
-        ("table2", "Table II: GPU FLOPs Metric Signatures", report::signatures_table("Table II: GPU FLOPs Metric Signatures", &basis::gpu_flops_basis(), &signature::gpu_flops_signatures())),
-        ("table3", "Table III: Branching Metric Signatures", report::signatures_table("Table III: Branching Metric Signatures", &basis::branch_basis(), &signature::branch_signatures())),
-        ("table4", "Table IV: Data Cache Metric Signatures", report::signatures_table("Table IV: Data Cache Metric Signatures", &basis::dcache_basis(&Harness::new(Scale::Fast).cache_regions()), &signature::dcache_signatures())),
+        (
+            "table1",
+            "Table I: CPU FLOPs Metric Signatures",
+            report::signatures_table(
+                "Table I: CPU FLOPs Metric Signatures",
+                &basis::cpu_flops_basis(),
+                &signature::cpu_flops_signatures(),
+            ),
+        ),
+        (
+            "table2",
+            "Table II: GPU FLOPs Metric Signatures",
+            report::signatures_table(
+                "Table II: GPU FLOPs Metric Signatures",
+                &basis::gpu_flops_basis(),
+                &signature::gpu_flops_signatures(),
+            ),
+        ),
+        (
+            "table3",
+            "Table III: Branching Metric Signatures",
+            report::signatures_table(
+                "Table III: Branching Metric Signatures",
+                &basis::branch_basis(),
+                &signature::branch_signatures(),
+            ),
+        ),
+        (
+            "table4",
+            "Table IV: Data Cache Metric Signatures",
+            report::signatures_table(
+                "Table IV: Data Cache Metric Signatures",
+                &basis::dcache_basis(&Harness::new(Scale::Fast).cache_regions()),
+                &signature::dcache_signatures(),
+            ),
+        ),
     ];
     for (key, _title, rendered) in tables {
         if opts.command == "all" || opts.command == key {
@@ -130,11 +162,8 @@ fn fig3(opts: &Opts, d: &DomainResult) {
         ("fig3e", "L2 Misses."),
         ("fig3f", "L3 Hits."),
     ] {
-        let sig = d
-            .signatures
-            .iter()
-            .find(|s| s.name == sig_name)
-            .expect("cache signature present");
+        let sig =
+            d.signatures.iter().find(|s| s.name == sig_name).expect("cache signature present");
         let data = report::figure3_data(&d.analysis, &d.basis, sig, &d.measurements.point_labels);
         println!("-- Figure 3 panel {panel}: {sig_name} --");
         print!("{data}");
@@ -143,7 +172,11 @@ fn fig3(opts: &Opts, d: &DomainResult) {
         write_out(
             opts,
             &format!("{panel}.gp"),
-            &catalyze::plot::figure3_script(sig_name, &format!("{panel}.dat"), &format!("{panel}.png")),
+            &catalyze::plot::figure3_script(
+                sig_name,
+                &format!("{panel}.dat"),
+                &format!("{panel}.png"),
+            ),
         );
     }
 }
@@ -183,7 +216,12 @@ fn main() {
             fig2(&opts, "fig2c", "Figure 2c: CAT GPU-FLOPs benchmark variabilities", &d);
         }
     }
-    if all || matches!(cmd, "table7" | "fig2" | "fig2a" | "select-branch" | "ablate-alpha" | "ablate-tau") {
+    if all
+        || matches!(
+            cmd,
+            "table7" | "fig2" | "fig2a" | "select-branch" | "ablate-alpha" | "ablate-tau"
+        )
+    {
         let d = h.branch();
         if all || cmd == "select-branch" {
             selection(&opts, "select-branch", &d);
@@ -213,8 +251,7 @@ fn main() {
         if all || cmd == "ablate-tau" {
             println!("-- tau sensitivity (branch domain, §IV) --");
             let mut text = String::new();
-            for row in
-                ablations::tau_sweep(&d, &[1e-15, 1e-12, 1e-10, 1e-8, 1e-4, 1e-2, 1e0, 1e2])
+            for row in ablations::tau_sweep(&d, &[1e-15, 1e-12, 1e-10, 1e-8, 1e-4, 1e-2, 1e0, 1e2])
             {
                 let line = format!(
                     "tau {:>8.0e}: kept {:>4}, noisy {:>4}\n",
@@ -227,7 +264,8 @@ fn main() {
             write_out(&opts, "ablate-tau.txt", &text);
         }
     }
-    if all || matches!(cmd, "table8" | "fig2d" | "fig2" | "fig3" | "select-cache" | "ablate-pivot") {
+    if all || matches!(cmd, "table8" | "fig2d" | "fig2" | "fig3" | "select-cache" | "ablate-pivot")
+    {
         let d = h.dcache();
         if all || cmd == "select-cache" {
             selection(&opts, "select-cache", &d);

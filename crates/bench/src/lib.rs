@@ -6,6 +6,7 @@
 //! performance.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod harness;

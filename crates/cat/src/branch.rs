@@ -113,33 +113,99 @@ pub fn kernel_space() -> Vec<BranchKernel> {
     let nm = CondSpec::new(false, true);
     vec![
         // k1 (2,2,1.5,0,0): one explicit branch, taken on alternate iters.
-        BranchKernel { name: "k1".into(), even: vec![t], odd: vec![n], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.5, 0.0, 0.0] },
+        BranchKernel {
+            name: "k1".into(),
+            even: vec![t],
+            odd: vec![n],
+            uncond_per_iter: 0,
+            expectation: [2.0, 2.0, 1.5, 0.0, 0.0],
+        },
         // k2 (2,2,1,0,0): one explicit branch, never taken.
-        BranchKernel { name: "k2".into(), even: vec![n], odd: vec![n], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.0, 0.0, 0.0] },
+        BranchKernel {
+            name: "k2".into(),
+            even: vec![n],
+            odd: vec![n],
+            uncond_per_iter: 0,
+            expectation: [2.0, 2.0, 1.0, 0.0, 0.0],
+        },
         // k3 (2,2,2,0,0): one explicit branch, always taken.
-        BranchKernel { name: "k3".into(), even: vec![t], odd: vec![t], uncond_per_iter: 0, expectation: [2.0, 2.0, 2.0, 0.0, 0.0] },
+        BranchKernel {
+            name: "k3".into(),
+            even: vec![t],
+            odd: vec![t],
+            uncond_per_iter: 0,
+            expectation: [2.0, 2.0, 2.0, 0.0, 0.0],
+        },
         // k4 (2,2,1.5,0,0.5): alternate taken, mispredicted on the
         // not-taken instances (so that "mispredicted taken branches" is not
         // accidentally expressible in the expectation basis — on real
         // hardware the taken/not-taken split of mispredictions does not
         // line up with any CE/CR/T/D/M combination either).
-        BranchKernel { name: "k4".into(), even: vec![t], odd: vec![nm], uncond_per_iter: 0, expectation: [2.0, 2.0, 1.5, 0.0, 0.5] },
+        BranchKernel {
+            name: "k4".into(),
+            even: vec![t],
+            odd: vec![nm],
+            uncond_per_iter: 0,
+            expectation: [2.0, 2.0, 1.5, 0.0, 0.5],
+        },
         // k5 (2.5,2.5,1.5,0,0.5): three explicit branches per two iters,
         // one taken, one mispredicted.
-        BranchKernel { name: "k5".into(), even: vec![tm, n], odd: vec![n], uncond_per_iter: 0, expectation: [2.5, 2.5, 1.5, 0.0, 0.5] },
+        BranchKernel {
+            name: "k5".into(),
+            even: vec![tm, n],
+            odd: vec![n],
+            uncond_per_iter: 0,
+            expectation: [2.5, 2.5, 1.5, 0.0, 0.5],
+        },
         // k6 (2.5,2.5,2,0,0.5): as k5 but two taken per two iterations.
-        BranchKernel { name: "k6".into(), even: vec![tm, n], odd: vec![t], uncond_per_iter: 0, expectation: [2.5, 2.5, 2.0, 0.0, 0.5] },
+        BranchKernel {
+            name: "k6".into(),
+            even: vec![tm, n],
+            odd: vec![t],
+            uncond_per_iter: 0,
+            expectation: [2.5, 2.5, 2.0, 0.0, 0.5],
+        },
         // k7 (2.5,2,1.5,0,0.5): retired counts as k4; CE = 2.5 because the
         // mispredicted branch is re-executed speculatively.
-        BranchKernel { name: "k7".into(), even: vec![nm], odd: vec![t], uncond_per_iter: 0, expectation: [2.5, 2.0, 1.5, 0.0, 0.5] },
+        BranchKernel {
+            name: "k7".into(),
+            even: vec![nm],
+            odd: vec![t],
+            uncond_per_iter: 0,
+            expectation: [2.5, 2.0, 1.5, 0.0, 0.5],
+        },
         // k8 (3,2.5,1.5,0,0.5): three explicit per two iters, one taken.
-        BranchKernel { name: "k8".into(), even: vec![nm, n], odd: vec![t], uncond_per_iter: 0, expectation: [3.0, 2.5, 1.5, 0.0, 0.5] },
+        BranchKernel {
+            name: "k8".into(),
+            even: vec![nm, n],
+            odd: vec![t],
+            uncond_per_iter: 0,
+            expectation: [3.0, 2.5, 1.5, 0.0, 0.5],
+        },
         // k9 (3,2.5,2,0,0.5): three explicit per two iters, two taken.
-        BranchKernel { name: "k9".into(), even: vec![nm, t], odd: vec![t], uncond_per_iter: 0, expectation: [3.0, 2.5, 2.0, 0.0, 0.5] },
+        BranchKernel {
+            name: "k9".into(),
+            even: vec![nm, t],
+            odd: vec![t],
+            uncond_per_iter: 0,
+            expectation: [3.0, 2.5, 2.0, 0.0, 0.5],
+        },
         // k10 (2,2,1,1,0): one never-taken conditional plus one jump.
-        BranchKernel { name: "k10".into(), even: vec![n], odd: vec![n], uncond_per_iter: 1, expectation: [2.0, 2.0, 1.0, 1.0, 0.0] },
+        BranchKernel {
+            name: "k10".into(),
+            even: vec![n],
+            odd: vec![n],
+            uncond_per_iter: 1,
+            expectation: [2.0, 2.0, 1.0, 1.0, 0.0],
+        },
         // k11 (1,1,1,0,0): the bare loop.
-        BranchKernel { name: "k11".into(), even: vec![], odd: vec![], uncond_per_iter: 0, expectation: [1.0, 1.0, 1.0, 0.0, 0.0] },
+        BranchKernel {
+            name: "k11".into(),
+            even: vec![],
+            odd: vec![],
+            uncond_per_iter: 0,
+            expectation: [1.0, 1.0, 1.0, 0.0, 0.0],
+        },
     ]
 }
 
@@ -169,11 +235,7 @@ mod tests {
             assert_eq!(k.taken_per_iter(), k.expectation[2], "{} T", k.name);
             assert_eq!(k.uncond_per_iter as f64, k.expectation[3], "{} D", k.name);
             assert_eq!(k.mispredicted_per_iter(), k.expectation[4], "{} M", k.name);
-            assert!(
-                k.expectation[0] >= k.expectation[1],
-                "{}: executed >= retired",
-                k.name
-            );
+            assert!(k.expectation[0] >= k.expectation[1], "{}: executed >= retired", k.name);
         }
     }
 

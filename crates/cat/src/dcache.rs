@@ -79,12 +79,7 @@ impl ChaseConfig {
 
     /// Point label, e.g. `stride=64B/ppb=512/L2`.
     pub fn label(&self, h: &HierarchyConfig) -> String {
-        format!(
-            "stride={}B/ptrs={}/{}",
-            self.stride,
-            self.pointers,
-            self.region(h).label()
-        )
+        format!("stride={}B/ptrs={}/{}", self.stride, self.pointers, self.region(h).label())
     }
 
     /// Builds the chase address sequence for one full pass: a single-cycle

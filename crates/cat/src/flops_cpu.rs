@@ -94,11 +94,7 @@ pub fn kernel_space() -> Vec<FlopsKernel> {
 pub fn point_labels() -> Vec<String> {
     kernel_space()
         .iter()
-        .flat_map(|k| {
-            k.loop_sizes()
-                .into_iter()
-                .map(move |n| format!("{}/{}", k.symbol(), n))
-        })
+        .flat_map(|k| k.loop_sizes().into_iter().map(move |n| format!("{}/{}", k.symbol(), n)))
         .collect()
 }
 

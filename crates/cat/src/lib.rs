@@ -18,6 +18,7 @@
 //!   simulator's architectural ground truth on an independent workload.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod branch;
 pub mod data;
@@ -35,4 +36,6 @@ pub use runner::{
     run_gpu_flops, RunnerConfig,
 };
 pub use runner::{run_dstore, run_dtlb};
-pub use validate::{validate_gpu_presets, validate_presets, validation_workload, ValidationOutcome};
+pub use validate::{
+    validate_gpu_presets, validate_presets, validation_workload, ValidationOutcome,
+};

@@ -101,13 +101,7 @@ fn read_all_cpu(
                 .map(|(p, s)| pmu.read_cpu(set, s, &events, run_key(rep, p)))
                 .collect();
             (0..events.len())
-                .map(|e| {
-                    per_point
-                        .iter()
-                        .zip(norms)
-                        .map(|(counts, &n)| counts[e] / n)
-                        .collect()
-                })
+                .map(|e| per_point.iter().zip(norms).map(|(counts, &n)| counts[e] / n).collect())
                 .collect()
         })
         .collect()
@@ -116,9 +110,8 @@ fn read_all_cpu(
 /// Runs the CPU-FLOPs benchmark.
 pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     let kernels = flops_cpu::kernel_space();
-    let points: Vec<(usize, usize)> = (0..kernels.len())
-        .flat_map(|k| (0..3).map(move |l| (k, l)))
-        .collect();
+    let points: Vec<(usize, usize)> =
+        (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
     let stats: Vec<ExecStats> = points
         .par_iter()
         .map(|&(k, l)| {
@@ -188,10 +181,8 @@ pub fn run_dcache_per_thread(set: &CpuEventSet, cfg: &RunnerConfig) -> Vec<Measu
                     cpu.stats()
                 })
                 .collect();
-            let norms: Vec<f64> = configs
-                .iter()
-                .map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64)
-                .collect();
+            let norms: Vec<f64> =
+                configs.iter().map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64).collect();
             let runs = (0..cfg.repetitions)
                 .map(|rep| {
                     let per_point: Vec<Vec<f64>> = stats
@@ -203,11 +194,7 @@ pub fn run_dcache_per_thread(set: &CpuEventSet, cfg: &RunnerConfig) -> Vec<Measu
                         .collect();
                     (0..events.len())
                         .map(|e| {
-                            per_point
-                                .iter()
-                                .zip(&norms)
-                                .map(|(counts, &n)| counts[e] / n)
-                                .collect()
+                            per_point.iter().zip(&norms).map(|(counts, &n)| counts[e] / n).collect()
                         })
                         .collect()
                 })
@@ -233,6 +220,7 @@ pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
             for p in 0..first.num_points() {
                 let vals: Vec<f64> = threads.iter().map(|t| t.runs[r][e][p]).collect();
                 out.runs[r][e][p] =
+                    // lint: allow(panic): per-thread runs always produce at least one sample
                     catalyze_linalg::vector::median(&vals).expect("non-empty thread set");
             }
         }
@@ -256,10 +244,8 @@ pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
             cpu.stats()
         })
         .collect();
-    let norms: Vec<f64> = configs
-        .iter()
-        .map(|c| (c.slots() * crate::dtlb::MEASURE_PASSES) as f64)
-        .collect();
+    let norms: Vec<f64> =
+        configs.iter().map(|c| (c.slots() * crate::dtlb::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
     MeasurementSet {
         domain: "dtlb".into(),
@@ -285,10 +271,8 @@ pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
             cpu.stats()
         })
         .collect();
-    let norms: Vec<f64> = configs
-        .iter()
-        .map(|c| (c.lines * crate::dstore::MEASURE_PASSES) as f64)
-        .collect();
+    let norms: Vec<f64> =
+        configs.iter().map(|c| (c.lines * crate::dstore::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
     MeasurementSet {
         domain: "dstore".into(),
@@ -303,9 +287,8 @@ pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
 /// telemetry.
 pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     let kernels = flops_gpu::kernel_space();
-    let points: Vec<(usize, usize)> = (0..kernels.len())
-        .flat_map(|k| (0..3).map(move |l| (k, l)))
-        .collect();
+    let points: Vec<(usize, usize)> =
+        (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
     let device_stats: Vec<Vec<GpuStats>> = points
         .par_iter()
         .map(|&(k, l)| {

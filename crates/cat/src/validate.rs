@@ -43,11 +43,8 @@ pub fn validation_workload(seed: u64, scale: u64) -> Program {
         for slot in 0..32 {
             match rng.gen_range(0..10) {
                 0 => {
-                    block = block.push(Instruction::fp(
-                        Precision::Double,
-                        VecWidth::V256,
-                        FpKind::Fma,
-                    ))
+                    block =
+                        block.push(Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma))
                 }
                 1 => {
                     block = block.push(Instruction::fp(
@@ -57,29 +54,19 @@ pub fn validation_workload(seed: u64, scale: u64) -> Program {
                     ))
                 }
                 2 => {
-                    block = block.push(Instruction::fp(
-                        Precision::Single,
-                        VecWidth::V512,
-                        FpKind::Mul,
-                    ))
+                    block =
+                        block.push(Instruction::fp(Precision::Single, VecWidth::V512, FpKind::Mul))
                 }
                 3 => {
-                    block = block.push(Instruction::fp(
-                        Precision::Single,
-                        VecWidth::V128,
-                        FpKind::Sub,
-                    ))
+                    block =
+                        block.push(Instruction::fp(Precision::Single, VecWidth::V128, FpKind::Sub))
                 }
                 4 => block = block.push(Instruction::Int(IntKind::Add)),
                 5 => block = block.push(Instruction::Int(IntKind::Logic)),
                 6 => {
                     let taken = rng.gen_bool(0.6);
                     let mispredict = rng.gen_bool(0.2);
-                    block = block.push(Instruction::cond_forced(
-                        1000 + slot,
-                        taken,
-                        mispredict,
-                    ));
+                    block = block.push(Instruction::cond_forced(1000 + slot, taken, mispredict));
                 }
                 7 => block = block.push(Instruction::UncondBranch),
                 8 => {
@@ -146,9 +133,8 @@ pub fn validate_presets(
         .iter()
         .filter_map(|p| {
             let truth = ground_truth(&p.metric, &stats)?;
-            let evaluated = p.evaluate(|name| {
-                set.id_of(&name.to_string()).map(|id| counts[id.index()])
-            });
+            let evaluated =
+                p.evaluate(|name| set.id_of(&name.to_string()).map(|id| counts[id.index()]));
             let relative_error = (evaluated.value - truth).abs() / truth.abs().max(1.0);
             Some(ValidationOutcome {
                 metric: p.metric.clone(),
@@ -166,19 +152,34 @@ pub fn validate_presets(
 pub fn gpu_validation_workload(seed: u64) -> Vec<catalyze_sim::GpuKernel> {
     let mut rng = StdRng::seed_from_u64(seed);
     let ops = [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Sqrt, FpKind::Fma];
-    (0..12)
-        .map(|i| {
-            let op = ops[rng.gen_range(0..ops.len())];
-            let prec = Precision::ALL[rng.gen_range(0..3)];
-            catalyze_sim::GpuKernel {
-                name: format!("mix{i}"),
-                op,
-                prec,
-                instructions: rng.gen_range(64..512),
-                wavefronts: rng.gen_range(100..800),
-            }
+    // Coverage floor: every precision sees an Add and an Fma kernel, so all
+    // per-precision ground truths (including the add-class metrics) are
+    // strictly positive for any seed. Random draws alone leave a non-trivial
+    // chance that some precision/op class never appears in 12 kernels.
+    let mut kernels: Vec<catalyze_sim::GpuKernel> = Precision::ALL
+        .iter()
+        .flat_map(|&prec| [(FpKind::Add, prec), (FpKind::Fma, prec)])
+        .enumerate()
+        .map(|(i, (op, prec))| catalyze_sim::GpuKernel {
+            name: format!("cover{i}"),
+            op,
+            prec,
+            instructions: rng.gen_range(64..512),
+            wavefronts: rng.gen_range(100..800),
         })
-        .collect()
+        .collect();
+    kernels.extend((0..6).map(|i| {
+        let op = ops[rng.gen_range(0..ops.len())];
+        let prec = Precision::ALL[rng.gen_range(0..3)];
+        catalyze_sim::GpuKernel {
+            name: format!("mix{i}"),
+            op,
+            prec,
+            instructions: rng.gen_range(64..512),
+            wavefronts: rng.gen_range(100..800),
+        }
+    }));
+    kernels
 }
 
 /// Ground truth for the GPU metric names, per-instruction granularity with
@@ -190,8 +191,7 @@ pub fn gpu_ground_truth(metric: &str, stats: &catalyze_sim::GpuStats) -> Option<
         _ => 2,
     };
     let all_ops = |i: usize| {
-        (stats.valu_add[i] + stats.valu_mul[i] + stats.valu_trans[i] + 2 * stats.valu_fma[i])
-            as f64
+        (stats.valu_add[i] + stats.valu_mul[i] + stats.valu_trans[i] + 2 * stats.valu_fma[i]) as f64
     };
     let v = match metric.trim_end_matches('.') {
         "All HP Ops" => all_ops(prec_index('H')),
@@ -227,9 +227,8 @@ pub fn validate_gpu_presets(
         .iter()
         .filter_map(|p| {
             let truth = gpu_ground_truth(&p.metric, &all[0])?;
-            let evaluated = p.evaluate(|name| {
-                set.id_of(&name.to_string()).map(|id| counts[id.index()])
-            });
+            let evaluated =
+                p.evaluate(|name| set.id_of(&name.to_string()).map(|id| counts[id.index()]));
             let relative_error = (evaluated.value - truth).abs() / truth.abs().max(1.0);
             Some(ValidationOutcome {
                 metric: p.metric.clone(),
@@ -330,7 +329,10 @@ mod tests {
         let set = catalyze_sim::sapphire_rapids_like();
         let preset = Preset {
             metric: "L1 Hits.".into(),
-            terms: vec![PresetTerm { coefficient: 1.0, event: "NOT_A_REAL_EVENT".parse().unwrap() }],
+            terms: vec![PresetTerm {
+                coefficient: 1.0,
+                event: "NOT_A_REAL_EVENT".parse().unwrap(),
+            }],
             error: 0.0,
         };
         let out = validate_presets(

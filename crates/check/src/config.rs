@@ -1,0 +1,176 @@
+//! Pipeline-configuration lints (`P…`): range and consistency checks on
+//! [`AnalysisConfig`] thresholds.
+//!
+//! The paper's pipeline has four thresholded decisions: clustering cut
+//! height `tau`, selection score floor `alpha`, representation acceptance,
+//! and coefficient rounding / composability. All of them are relative
+//! errors or correlations compared against "small" cutoffs; a threshold
+//! outside `(0, 0.5]` is outside the regime any of the paper's experiments
+//! validated and almost certainly a typo (e.g. a percentage where a
+//! fraction was meant).
+//!
+//! | Rule | Severity | Finding |
+//! |------|----------|---------|
+//! | P001 | Error    | `tau` outside `(0, 0.5]` |
+//! | P002 | Error    | `alpha` outside `(0, 0.5]` |
+//! | P003 | Error    | `rounding_tol` outside `(0, 0.5]` |
+//! | P004 | Error    | `representation_threshold` or `composability_threshold` outside `(0, 0.5]` |
+//! | P005 | Warning  | threshold ordering inconsistent (see [`check_config`]) |
+//! | P006 | Error    | non-finite threshold |
+
+use crate::diag::{Diagnostic, Severity};
+use catalyze::pipeline::AnalysisConfig;
+
+/// Inclusive upper bound of the validated threshold regime.
+pub const THRESHOLD_MAX: f64 = 0.5;
+
+fn in_range(v: f64) -> bool {
+    v > 0.0 && v <= THRESHOLD_MAX
+}
+
+/// Validates one pipeline configuration. `name` labels the diagnostics.
+///
+/// Besides per-field ranges, P005 checks the orderings the stages rely on:
+/// a preset accepted as composable must also round-trip through rounding
+/// (`composability_threshold <= rounding_tol`), and both must be at most
+/// the representation threshold that admitted the metric in the first
+/// place. `alpha` above `representation_threshold` would discard metrics
+/// the representation stage accepted.
+pub fn check_config(name: &str, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let fields: [(&str, f64, &str); 5] = [
+        ("tau", cfg.tau, "P001"),
+        ("alpha", cfg.alpha, "P002"),
+        ("rounding_tol", cfg.rounding_tol, "P003"),
+        ("representation_threshold", cfg.representation_threshold, "P004"),
+        ("composability_threshold", cfg.composability_threshold, "P004"),
+    ];
+
+    for (field, value, rule) in fields {
+        let loc = format!("config {name}, {field}");
+        if !value.is_finite() {
+            out.push(Diagnostic::new(
+                "P006",
+                Severity::Error,
+                loc,
+                format!("{field} = {value} is not finite"),
+            ));
+        } else if !in_range(value) {
+            out.push(
+                Diagnostic::new(
+                    rule,
+                    Severity::Error,
+                    loc,
+                    format!("{field} = {value} outside the validated range (0, {THRESHOLD_MAX}]"),
+                )
+                .with_suggestion("thresholds are fractions, not percentages"),
+            );
+        }
+    }
+
+    // P005: cross-field consistency (only meaningful when ranges hold).
+    if out.is_empty() {
+        let mut ordering = |lhs: &str, l: f64, rhs: &str, r: f64, why: &str| {
+            if l > r {
+                out.push(
+                    Diagnostic::new(
+                        "P005",
+                        Severity::Warning,
+                        format!("config {name}"),
+                        format!("{lhs} ({l}) exceeds {rhs} ({r})"),
+                    )
+                    .with_suggestion(why),
+                );
+            }
+        };
+        ordering(
+            "composability_threshold",
+            cfg.composability_threshold,
+            "rounding_tol",
+            cfg.rounding_tol,
+            "a composable preset should survive coefficient rounding",
+        );
+        ordering(
+            "rounding_tol",
+            cfg.rounding_tol,
+            "representation_threshold",
+            cfg.representation_threshold,
+            "rounding should not cost more error than representation admitted",
+        );
+        ordering(
+            "alpha",
+            cfg.alpha,
+            "representation_threshold",
+            cfg.representation_threshold,
+            "selection would discard metrics the representation stage accepted",
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(ds: &[Diagnostic]) -> Vec<&str> {
+        ds.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn default_configs_are_clean() {
+        for (name, cfg) in [
+            ("cpu-flops", AnalysisConfig::cpu_flops()),
+            ("branch", AnalysisConfig::branch()),
+            ("gpu-flops", AnalysisConfig::gpu_flops()),
+            ("dcache", AnalysisConfig::dcache()),
+            ("dstore", AnalysisConfig::dstore()),
+            ("dtlb", AnalysisConfig::dtlb()),
+        ] {
+            let ds = check_config(name, &cfg);
+            assert!(ds.is_empty(), "{name}: {ds:?}");
+        }
+    }
+
+    #[test]
+    fn bad_tau_is_p001() {
+        let cfg = AnalysisConfig { tau: 0.0, ..AnalysisConfig::cpu_flops() };
+        assert_eq!(rules(&check_config("t", &cfg)), vec!["P001"]);
+    }
+
+    #[test]
+    fn bad_alpha_is_p002() {
+        let cfg = AnalysisConfig { alpha: 1.5, ..AnalysisConfig::cpu_flops() };
+        assert_eq!(rules(&check_config("t", &cfg)), vec!["P002"]);
+    }
+
+    #[test]
+    fn bad_rounding_tol_is_p003() {
+        let cfg = AnalysisConfig { rounding_tol: -0.1, ..AnalysisConfig::cpu_flops() };
+        assert_eq!(rules(&check_config("t", &cfg)), vec!["P003"]);
+    }
+
+    #[test]
+    fn bad_representation_threshold_is_p004() {
+        let cfg = AnalysisConfig { representation_threshold: 0.9, ..AnalysisConfig::cpu_flops() };
+        assert_eq!(rules(&check_config("t", &cfg)), vec!["P004"]);
+    }
+
+    #[test]
+    fn nan_threshold_is_p006() {
+        let cfg = AnalysisConfig { tau: f64::NAN, ..AnalysisConfig::cpu_flops() };
+        assert_eq!(rules(&check_config("t", &cfg)), vec!["P006"]);
+    }
+
+    #[test]
+    fn inverted_ordering_is_p005() {
+        let cfg = AnalysisConfig {
+            composability_threshold: 0.3,
+            rounding_tol: 0.01,
+            ..AnalysisConfig::cpu_flops()
+        };
+        let ds = check_config("t", &cfg);
+        assert!(rules(&ds).contains(&"P005"));
+        assert!(ds.iter().all(|d| d.severity == Severity::Warning));
+    }
+}

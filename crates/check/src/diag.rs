@@ -1,0 +1,197 @@
+//! The structured diagnostic type shared by input validation
+//! (`catalyze check`) and the repository linter (`cargo xtask lint`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is. `Error` fails the run (nonzero exit code);
+/// `Warning` and `Note` are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational observation.
+    Note,
+    /// Suspicious but not necessarily wrong.
+    Warning,
+    /// A violated invariant; the checked input must not be used.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a rule id, a severity, where it was found, what is wrong,
+/// and optionally how to fix it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`B004`, `C001`, `P002`, `R001`, …).
+    pub rule: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-oriented location: `basis cpu-flops, column 7 (D256)` or
+    /// `crates/linalg/src/svd.rs:142`.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic without a suggestion.
+    pub fn new(
+        rule: &str,
+        severity: Severity,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule: rule.to_string(),
+            severity,
+            location: location.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a remediation hint.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of findings plus summary helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// All findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Adds many findings.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether any finding is an `Error`.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// All findings carrying the given rule id.
+    pub fn with_rule(&self, rule: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// Human-readable rendering: one finding per line (plus help lines),
+    /// then a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} finding(s) total\n",
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// JSON rendering (stable shape: `{"diagnostics": [...], "errors": n,
+    /// "warnings": n}`).
+    pub fn render_json(&self) -> String {
+        let diagnostics = serde_json::to_value(self).unwrap_or(serde_json::Value::Null);
+        let mut obj = match diagnostics {
+            serde_json::Value::Object(pairs) => pairs,
+            _ => Vec::new(),
+        };
+        let count = |n: usize| serde_json::to_value(&n).unwrap_or(serde_json::Value::Null);
+        obj.push(("errors".to_string(), count(self.error_count())));
+        obj.push(("warnings".to_string(), count(self.warning_count())));
+        serde_json::to_string_pretty(&serde_json::Value::Object(obj)).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_counts_and_render() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("B001", Severity::Error, "basis x, column 1", "duplicate label"));
+        r.push(
+            Diagnostic::new("B007", Severity::Warning, "basis x", "ill-conditioned")
+                .with_suggestion("rescale the expectations"),
+        );
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert_eq!(r.with_rule("B001").len(), 1);
+        let human = r.render_human();
+        assert!(human.contains("error[B001]"));
+        assert!(human.contains("help: rescale"));
+        assert!(human.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new("C004", Severity::Error, "preset m, term 0", "unknown event"));
+        let json = r.render_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(v["errors"].as_u64(), Some(1));
+        assert_eq!(v["diagnostics"][0]["rule"].as_str(), Some("C004"));
+        assert_eq!(v["diagnostics"][0]["severity"].as_str(), Some("Error"));
+        // Unknown summary keys are ignored on the way back in.
+        let back: Report = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,131 @@
+//! Runs every lint over the inputs this workspace ships: the six domain
+//! bases (with row counts cross-checked against the benchmark kernel
+//! spaces in `catalyze-cat`), the three simulated event catalogs, and the
+//! six per-domain pipeline configurations.
+//!
+//! This is what `catalyze check` runs by default, and what CI runs to keep
+//! the shipped configuration honest.
+
+use crate::basis::check_basis;
+use crate::config::check_config;
+use crate::diag::Report;
+use crate::events::check_catalog;
+use catalyze::basis::{self, Basis, CacheRegion};
+use catalyze::pipeline::AnalysisConfig;
+use catalyze_cat::{branch, dcache, dstore, dtlb, flops_cpu, flops_gpu, RunnerConfig};
+use catalyze_sim::{mi250x_like, sapphire_rapids_like, zen_like};
+
+/// The analysis domains this workspace ships inputs for.
+pub fn shipped_domains() -> Vec<&'static str> {
+    vec!["cpu-flops", "branch", "dcache", "gpu-flops", "dtlb", "dstore"]
+}
+
+/// The shipped expectation basis for one domain, plus the measurement-point
+/// count its benchmark kernel space declares. Returns `None` for unknown
+/// domains.
+pub fn shipped_basis(domain: &str, cfg: &RunnerConfig) -> Option<(Basis, usize)> {
+    match domain {
+        // The FLOPs benchmarks run every kernel at 3 vector lengths.
+        "cpu-flops" => Some((basis::cpu_flops_basis(), flops_cpu::kernel_space().len() * 3)),
+        "branch" => Some((basis::branch_basis(), branch::kernel_space().len())),
+        "gpu-flops" => Some((basis::gpu_flops_basis(), flops_gpu::kernel_space().len() * 3)),
+        "dcache" => {
+            let regions: Vec<CacheRegion> =
+                dcache::point_regions(&cfg.core.hierarchy).into_iter().map(cache_region).collect();
+            Some((basis::dcache_basis(&regions), dcache::sweep(&cfg.core.hierarchy).len()))
+        }
+        "dstore" => {
+            let regions: Vec<CacheRegion> =
+                dstore::point_regions(&cfg.core.hierarchy).into_iter().map(store_region).collect();
+            Some((basis::dstore_basis(&regions), dstore::sweep(&cfg.core.hierarchy).len()))
+        }
+        "dtlb" => Some((
+            basis::dtlb_basis(&dtlb::point_hit_regions(&cfg.core.tlb)),
+            dtlb::sweep(&cfg.core.tlb).len(),
+        )),
+        _ => None,
+    }
+}
+
+/// The shipped pipeline configuration for one domain.
+pub fn shipped_config(domain: &str) -> Option<AnalysisConfig> {
+    match domain {
+        "cpu-flops" => Some(AnalysisConfig::cpu_flops()),
+        "branch" => Some(AnalysisConfig::branch()),
+        "dcache" => Some(AnalysisConfig::dcache()),
+        "gpu-flops" => Some(AnalysisConfig::gpu_flops()),
+        "dtlb" => Some(AnalysisConfig::dtlb()),
+        "dstore" => Some(AnalysisConfig::dstore()),
+        _ => None,
+    }
+}
+
+fn cache_region(r: dcache::Region) -> CacheRegion {
+    match r {
+        dcache::Region::L1 => CacheRegion::L1,
+        dcache::Region::L2 => CacheRegion::L2,
+        dcache::Region::L3 => CacheRegion::L3,
+        dcache::Region::Memory => CacheRegion::Memory,
+    }
+}
+
+fn store_region(r: dstore::Region) -> CacheRegion {
+    match r {
+        dstore::Region::L1 => CacheRegion::L1,
+        dstore::Region::L2 => CacheRegion::L2,
+        dstore::Region::L3 => CacheRegion::L3,
+        dstore::Region::Memory => CacheRegion::Memory,
+    }
+}
+
+/// Checks every shipped input: all domain bases and configurations, and the
+/// three event catalogs (`spr`, `zen`, and the 8-device GPU inventory).
+pub fn check_shipped() -> Report {
+    let cfg = RunnerConfig::default_sim();
+    let mut report = Report::new();
+
+    for domain in shipped_domains() {
+        if let Some((basis, expected_rows)) = shipped_basis(domain, &cfg) {
+            report.extend(check_basis(domain, &basis, Some(expected_rows)));
+        }
+        if let Some(acfg) = shipped_config(domain) {
+            report.extend(check_config(domain, &acfg));
+        }
+    }
+
+    report.extend(check_catalog("spr", sapphire_rapids_like().catalog()));
+    report.extend(check_catalog("zen", zen_like().catalog()));
+    report.extend(check_catalog("gpu", mi250x_like(cfg.gpu_devices).catalog()));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_inputs_have_no_errors() {
+        let report = check_shipped();
+        assert!(!report.has_errors(), "shipped inputs must be clean:\n{}", report.render_human());
+    }
+
+    #[test]
+    fn every_domain_has_basis_and_config() {
+        let cfg = RunnerConfig::default_sim();
+        for domain in shipped_domains() {
+            assert!(shipped_basis(domain, &cfg).is_some(), "{domain} basis");
+            assert!(shipped_config(domain).is_some(), "{domain} config");
+        }
+        assert!(shipped_basis("nope", &cfg).is_none());
+    }
+
+    #[test]
+    fn basis_rows_match_kernel_spaces() {
+        let cfg = RunnerConfig::default_sim();
+        for domain in shipped_domains() {
+            let (basis, expected) = shipped_basis(domain, &cfg).expect("known domain");
+            assert_eq!(basis.matrix.rows(), expected, "{domain}");
+        }
+    }
+}

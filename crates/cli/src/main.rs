@@ -6,9 +6,17 @@
 //! catalyze run <domain> [--out FILE]           run a benchmark, save JSON
 //! catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]
 //! catalyze presets <domain> [--json]           end-to-end preset export
+//! catalyze check [--format json] [--presets FILE [--arch spr|zen|gpu]]
 //! ```
 //!
-//! Domains: `cpu-flops`, `branch`, `dcache`, `gpu-flops`, `dtlb`.
+//! Domains: `cpu-flops`, `branch`, `dcache`, `gpu-flops`, `dtlb`, `dstore`.
+//!
+//! `check` validates every shipped analysis input (bases, catalogs, stage
+//! configurations) and, with `--presets`, a PAPI-style preset file against
+//! the chosen architecture's catalog. It exits 1 when any error-severity
+//! diagnostic fires, so it can gate CI.
+
+#![forbid(unsafe_code)]
 
 use catalyze::basis::{self, Basis, CacheRegion};
 use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
@@ -31,6 +39,7 @@ fn usage() -> ExitCode {
     eprintln!("  catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]");
     eprintln!("  catalyze presets <domain> [--json]");
     eprintln!("  catalyze papi <domain>");
+    eprintln!("  catalyze check [--format human|json] [--presets FILE [--arch spr|zen|gpu]]");
     eprintln!("domains: {}", DOMAINS.join(", "));
     ExitCode::from(2)
 }
@@ -201,7 +210,9 @@ fn main() -> ExitCode {
                     ms.validate().expect("consistent measurement file");
                     ms
                 }
-                None => run_domain(domain, &cfg, &cpu_inventory(&args)).expect("domain checked above"),
+                None => {
+                    run_domain(domain, &cfg, &cpu_inventory(&args)).expect("domain checked above")
+                }
             };
             let tau = flag_value(&args, "--tau").map(|v| v.parse().expect("numeric --tau"));
             let alpha = flag_value(&args, "--alpha").map(|v| v.parse().expect("numeric --alpha"));
@@ -222,11 +233,7 @@ fn main() -> ExitCode {
             let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
             let table = PresetTable {
                 title: format!("{domain} presets"),
-                presets: analysis
-                    .composable_metrics()
-                    .iter()
-                    .map(|m| m.to_preset(1e-6))
-                    .collect(),
+                presets: analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect(),
             };
             if args.iter().any(|a| a == "--json") {
                 println!("{}", serde_json::to_string_pretty(&table).expect("serializes"));
@@ -246,15 +253,48 @@ fn main() -> ExitCode {
             let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
             let table = PresetTable {
                 title: format!("{domain} presets (auto-generated by catalyze)"),
-                presets: analysis
-                    .composable_metrics()
-                    .iter()
-                    .map(|m| m.to_preset(1e-6))
-                    .collect(),
+                presets: analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect(),
             };
             let arch = flag_value(&args, "--arch").unwrap_or_else(|| "spr".into());
             print!("{}", catalyze_events::to_papi_format(&format!("{arch}-sim"), &table));
             ExitCode::SUCCESS
+        }
+        "check" => {
+            let format = flag_value(&args, "--format").unwrap_or_else(|| "human".into());
+            if format != "human" && format != "json" {
+                eprintln!("unknown --format {format} (expected human or json)");
+                return usage();
+            }
+            let mut report = catalyze_check::check_shipped();
+            if let Some(path) = flag_value(&args, "--presets") {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let catalog = match flag_value(&args, "--arch").as_deref() {
+                    Some("zen") => zen_like().catalog().clone(),
+                    Some("gpu") => mi250x_like(cfg.gpu_devices).catalog().clone(),
+                    Some("spr") | None => sapphire_rapids_like().catalog().clone(),
+                    Some(other) => {
+                        eprintln!("unknown --arch {other} (expected spr, zen, or gpu)");
+                        return usage();
+                    }
+                };
+                report.extend(catalyze_check::check_preset_file(&path, &text, &catalog));
+            }
+            if format == "json" {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         _ => usage(),
     }

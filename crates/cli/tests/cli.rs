@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn catalyze(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_catalyze"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_catalyze")).args(args).output().expect("binary runs")
 }
 
 #[test]
@@ -118,4 +115,57 @@ fn arch_flag_switches_inventory() {
 
     let out = catalyze(&["events", "--arch", "m68k"]);
     assert!(!out.status.success(), "unknown arch rejected");
+}
+
+#[test]
+fn check_shipped_inputs_are_clean() {
+    let out = catalyze(&["check"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s)"), "{text}");
+}
+
+#[test]
+fn check_json_reports_machine_readable_diagnostics() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/bad_presets.papi");
+    let out = catalyze(&["check", "--format", "json", "--presets", fixture]);
+    assert_eq!(out.status.code(), Some(1), "corrupted fixture must fail the check");
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert_eq!(parsed["errors"].as_u64(), Some(1));
+    let diags = parsed["diagnostics"].as_array().expect("diagnostics array");
+    let rules: Vec<&str> = diags.iter().filter_map(|d| d["rule"].as_str()).collect();
+    assert!(rules.contains(&"C004"), "dangling event must be C004: {rules:?}");
+    assert!(rules.contains(&"C005"), "tiny coefficient must be C005: {rules:?}");
+}
+
+#[test]
+fn check_accepts_valid_preset_file() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/good_presets.papi");
+    let out = catalyze(&["check", "--presets", fixture]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn check_rejects_bad_flags() {
+    let out = catalyze(&["check", "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["check", "--presets", "/nonexistent/file.papi"]);
+    assert_eq!(out.status.code(), Some(2));
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/good_presets.papi");
+    let out = catalyze(&["check", "--presets", fixture, "--arch", "m68k"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn check_papi_pipeline_output_passes_check() {
+    // End-to-end: presets the tool itself exports must pass its own check.
+    let dir = std::env::temp_dir().join(format!("catalyze-check-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("branch.papi");
+    let out = catalyze(&["papi", "branch"]);
+    assert!(out.status.success());
+    std::fs::write(&file, &out.stdout).unwrap();
+    let out = catalyze(&["check", "--presets", file.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    std::fs::remove_dir_all(&dir).ok();
 }

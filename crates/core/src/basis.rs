@@ -118,6 +118,7 @@ pub fn branch_basis() -> Basis {
     let flat: Vec<f64> = rows.iter().flatten().copied().collect();
     Basis {
         labels: branch_labels(),
+        // lint: allow(panic): static 11x5 expectation table
         matrix: Matrix::from_rows(11, 5, &flat).expect("static shape"),
     }
 }

@@ -36,7 +36,9 @@ impl DefinedMetric {
 
     /// Exports as a preset, dropping terms with negligible coefficients.
     /// Uses rounded coefficients when every coefficient rounded cleanly,
-    /// raw ones otherwise.
+    /// raw ones otherwise. The exported error matches the exported
+    /// coefficients: the rounded backward error when the rounded
+    /// coefficients ship, the raw one otherwise.
     pub fn to_preset(&self, drop_below: f64) -> Preset {
         let use_rounded = self.rounded.iter().all(|r| r.is_some());
         let terms = self
@@ -50,12 +52,14 @@ impl DefinedMetric {
                 } else {
                     Some(PresetTerm {
                         coefficient: c,
+                        // lint: allow(panic): selection names originate from catalog events, which parse
                         event: name.parse().expect("selection names are valid event names"),
                     })
                 }
             })
             .collect();
-        Preset { metric: self.metric.clone(), terms, error: self.error }
+        let error = if use_rounded { self.rounded_error.unwrap_or(self.error) } else { self.error };
+        Preset { metric: self.metric.clone(), terms, error }
     }
 }
 
@@ -87,10 +91,12 @@ pub fn define_metric(
         signature.name
     );
     let sol = lstsq(x_hat, &signature.coefficients)
+        // lint: allow(panic): X-hat has independent columns by construction (QRCP selected them)
         .expect("X̂ has independent columns by construction");
     let rounded: Vec<Option<f64>> =
         sol.x.iter().map(|&c| round_coefficient(c, rounding_tol)).collect();
     let rounded_error = if rounded.iter().all(|r| r.is_some()) {
+        // lint: allow(panic): all-Some checked by the surrounding if
         let y: Vec<f64> = rounded.iter().map(|r| r.expect("checked")).collect();
         backward_error(x_hat, &y, &signature.coefficients).ok()
     } else {
@@ -116,10 +122,7 @@ pub fn define_metrics(
     let Some(x_hat) = selection.x_hat() else {
         return Vec::new();
     };
-    signatures
-        .iter()
-        .map(|s| define_metric(selection, &x_hat, s, rounding_tol))
-        .collect()
+    signatures.iter().map(|s| define_metric(selection, &x_hat, s, rounding_tol)).collect()
 }
 
 #[cfg(test)]
@@ -206,6 +209,32 @@ mod tests {
         assert_eq!(preset.terms.len(), 1);
         assert_eq!(preset.terms[0].event.to_string(), "BR_MISP_RETIRED");
         assert!((preset.terms[0].coefficient - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn preset_error_matches_exported_coefficients() {
+        // Regression: when every coefficient rounds cleanly the preset
+        // ships the rounded coefficients — its error field must then be
+        // the rounded backward error, not the raw least-squares one.
+        let m = DefinedMetric {
+            metric: "M".into(),
+            coefficients: vec![1.003, -0.994],
+            events: vec!["EV_A".into(), "EV_B".into()],
+            error: 3.2e-16,
+            rounded: vec![Some(1.0), Some(-1.0)],
+            rounded_error: Some(4.7e-3),
+        };
+        let preset = m.to_preset(1e-6);
+        assert_eq!(preset.terms[0].coefficient, 1.0);
+        assert_eq!(preset.terms[1].coefficient, -1.0);
+        assert_eq!(preset.error, 4.7e-3, "rounded coefficients ship the rounded error");
+
+        // When some coefficient does not round, raw coefficients ship and
+        // so does the raw error.
+        let raw = DefinedMetric { rounded: vec![Some(1.0), None], ..m.clone() };
+        let preset = raw.to_preset(1e-6);
+        assert_eq!(preset.terms[0].coefficient, 1.003);
+        assert_eq!(preset.error, 3.2e-16);
     }
 
     #[test]

@@ -112,11 +112,7 @@ impl NoiseReport {
 /// Computes per-event variabilities for named measurement vectors.
 ///
 /// `vectors_by_event[e]` holds event `e`'s measurement vectors across runs.
-pub fn analyze_noise(
-    names: &[String],
-    vectors_by_event: &[Vec<&[f64]>],
-    tau: f64,
-) -> NoiseReport {
+pub fn analyze_noise(names: &[String], vectors_by_event: &[Vec<&[f64]>], tau: f64) -> NoiseReport {
     let events = names
         .iter()
         .zip(vectors_by_event)
@@ -185,9 +181,8 @@ mod tests {
         let run1 = [vec![1.0, 2.0], vec![0.0, 0.0], vec![1.0, 1.0]];
         let run2 = [vec![1.0, 2.0], vec![0.0, 0.0], vec![2.0, 0.5]];
         let names = vec!["clean".to_string(), "zero".to_string(), "noisy".to_string()];
-        let vectors: Vec<Vec<&[f64]>> = (0..3)
-            .map(|e| vec![run1[e].as_slice(), run2[e].as_slice()])
-            .collect();
+        let vectors: Vec<Vec<&[f64]>> =
+            (0..3).map(|e| vec![run1[e].as_slice(), run2[e].as_slice()]).collect();
         let report = analyze_noise(&names, &vectors, 1e-10);
         assert_eq!(report.kept(), vec![0]);
         assert_eq!(report.discarded_zero(), vec![1]);

@@ -48,6 +48,7 @@ impl Representation {
             return None;
         }
         let cols: Vec<Vec<f64>> = self.kept.iter().map(|e| e.coords.clone()).collect();
+        // lint: allow(panic): representation coordinates share the basis dimension
         Some(Matrix::from_columns(&cols).expect("uniform coordinate length"))
     }
 
@@ -75,6 +76,7 @@ pub fn represent(
             basis.points(),
             "measurement vector length must match basis points for {name}"
         );
+        // lint: allow(panic): the shipped bases are full column rank (catalyze check enforces it)
         let sol = lstsq(&basis.matrix, m).expect("basis is full column rank by construction");
         if sol.relative_residual <= threshold {
             kept.push(RepresentedEvent {

@@ -134,9 +134,8 @@ pub fn analyze(
     assert_eq!(runs[0].len(), names.len(), "analyze: names/runs event mismatch");
 
     // Stage 1: variability filter (Eq. 4, threshold τ).
-    let vectors_by_event: Vec<Vec<&[f64]>> = (0..names.len())
-        .map(|e| runs.iter().map(|r| r[e].as_slice()).collect())
-        .collect();
+    let vectors_by_event: Vec<Vec<&[f64]>> =
+        (0..names.len()).map(|e| runs.iter().map(|r| r[e].as_slice()).collect()).collect();
     let noise = analyze_noise(names, &vectors_by_event, config.tau);
 
     // Stage 2: represent surviving events in the expectation basis, using
@@ -254,14 +253,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no measurement runs")]
     fn empty_runs_panics() {
-        analyze(
-            "x",
-            &[],
-            &[],
-            &branch_basis(),
-            &branch_signatures(),
-            AnalysisConfig::branch(),
-        );
+        analyze("x", &[], &[], &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     }
 
     #[test]

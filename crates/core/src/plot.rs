@@ -51,10 +51,8 @@ pub fn figure3_script(title: &str, data_file: &str, output: &str) -> String {
         s,
         "     '{data_file}' using 1:3 with linespoints pt 9 dt 2 title 'Signature', \\"
     );
-    let _ = writeln!(
-        s,
-        "     '{data_file}' using 1:5 with points pt 2 title 'Rounded combination'"
-    );
+    let _ =
+        writeln!(s, "     '{data_file}' using 1:5 with points pt 2 title 'Rounded combination'");
     s
 }
 

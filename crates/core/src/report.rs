@@ -62,6 +62,7 @@ pub fn figure2_data(report: &NoiseReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# index  max_rnmse   (tau = {:.1e})", report.tau);
     for (i, v) in report.sorted_variabilities().iter().enumerate() {
+        // lint: allow(float_cmp): exact zero is the sentinel replaced for the log plot
         let plotted = if *v == 0.0 { f64::EPSILON } else { *v };
         let _ = writeln!(out, "{i} {plotted:.6e}");
     }
@@ -115,10 +116,12 @@ pub fn figure3_data(
         .metrics
         .iter()
         .find(|m| m.metric == signature.name)
+        // lint: allow(panic): the report renders metrics the pipeline just defined
         .expect("metric was defined by the pipeline");
     let sig_curve = basis
         .matrix
         .matvec(&signature.coefficients)
+        // lint: allow(panic): signature and basis come from the same domain
         .expect("signature dimension matches basis");
     let mut out = String::new();
     let _ = writeln!(out, "# {}", signature.name);
@@ -152,10 +155,7 @@ pub fn selection_table(report: &AnalysisReport) -> String {
         report.domain,
         report.selection.alpha,
         report.selection.candidates,
-        report
-            .selection
-            .condition_number()
-            .map_or("n/a".to_string(), |k| format!("{k:.2}")),
+        report.selection.condition_number().map_or("n/a".to_string(), |k| format!("{k:.2}")),
     );
     for e in &report.selection.events {
         let _ = writeln!(
@@ -191,11 +191,15 @@ mod tests {
         let b = branch_basis();
         let col = |j: usize| -> Vec<f64> { (0..11).map(|i| b.matrix[(i, j)]).collect() };
         let all: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)] + b.matrix[(i, 3)]).collect();
-        let names: Vec<String> =
-            ["BR_MISP_RETIRED", "BR_INST_RETIRED:COND", "BR_INST_RETIRED:COND_TAKEN", "BR_INST_RETIRED:ALL_BRANCHES"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let names: Vec<String> = [
+            "BR_MISP_RETIRED",
+            "BR_INST_RETIRED:COND",
+            "BR_INST_RETIRED:COND_TAKEN",
+            "BR_INST_RETIRED:ALL_BRANCHES",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let runs = vec![vec![col(4), col(1), col(2), all]];
         analyze("branch", &names, &runs, &b, &branch_signatures(), AnalysisConfig::branch())
     }

@@ -38,6 +38,7 @@ impl Selection {
             return None;
         }
         let cols: Vec<Vec<f64>> = self.events.iter().map(|e| e.coords.clone()).collect();
+        // lint: allow(panic): representation coordinates share the basis dimension
         Some(Matrix::from_columns(&cols).expect("uniform coordinate length"))
     }
 
@@ -64,6 +65,7 @@ pub fn select_events(rep: &Representation, alpha: f64) -> Selection {
         return Selection { events: Vec::new(), alpha, candidates: 0 };
     };
     let result = specialized_qrcp(&x, SpQrcpParams::new(alpha))
+        // lint: allow(panic): X is validated finite by the representation stage
         .expect("X is validated finite by the representation stage");
     let events = result
         .steps

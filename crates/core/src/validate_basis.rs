@@ -55,7 +55,10 @@ impl std::fmt::Display for BasisIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BasisIssue::RankDeficient { rank, expected } => {
-                write!(f, "basis is rank deficient ({rank} < {expected}): representations are ambiguous")
+                write!(
+                    f,
+                    "basis is rank deficient ({rank} < {expected}): representations are ambiguous"
+                )
             }
             BasisIssue::EmptyExpectation { label } => {
                 write!(f, "expectation '{label}' is zero at every point")
@@ -84,16 +87,16 @@ pub fn validate_basis(basis: &Basis) -> Vec<BasisIssue> {
     let mut norms = Vec::with_capacity(expectations);
     for (j, label) in basis.labels.iter().enumerate() {
         let norm = vector::norm2(basis.matrix.col(j));
+        // lint: allow(float_cmp): exact-zero guard before dividing by the norm
         if norm == 0.0 {
             issues.push(BasisIssue::EmptyExpectation { label: clone_label(label) });
         } else {
             norms.push(norm);
         }
     }
-    if let (Some(&max), Some(&min)) = (
-        norms.iter().max_by(|a, b| a.total_cmp(b)),
-        norms.iter().min_by(|a, b| a.total_cmp(b)),
-    ) {
+    if let (Some(&max), Some(&min)) =
+        (norms.iter().max_by(|a, b| a.total_cmp(b)), norms.iter().min_by(|a, b| a.total_cmp(b)))
+    {
         let ratio = max / min;
         if ratio > 1e3 {
             issues.push(BasisIssue::ScaleSpread { ratio });
@@ -101,6 +104,7 @@ pub fn validate_basis(basis: &Basis) -> Vec<BasisIssue> {
     }
 
     for p in 0..points {
+        // lint: allow(float_cmp): a zero row is exactly zero, not approximately
         if basis.matrix.row(p).iter().all(|&v| v == 0.0) {
             issues.push(BasisIssue::DeadPoint { point: p });
         }
@@ -154,14 +158,19 @@ mod tests {
         // Second column is twice the first.
         let basis = b(3, 2, &[1., 2., 2., 4., 3., 6.], &["A", "B"]);
         let issues = validate_basis(&basis);
-        assert!(issues.iter().any(|i| matches!(i, BasisIssue::RankDeficient { rank: 1, .. })), "{issues:?}");
+        assert!(
+            issues.iter().any(|i| matches!(i, BasisIssue::RankDeficient { rank: 1, .. })),
+            "{issues:?}"
+        );
     }
 
     #[test]
     fn detects_empty_expectation_and_dead_point() {
         let basis = b(3, 2, &[1., 0., 0., 0., 2., 0.], &["A", "EMPTY"]);
         let issues = validate_basis(&basis);
-        assert!(issues.iter().any(|i| matches!(i, BasisIssue::EmptyExpectation { label } if label == "EMPTY")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, BasisIssue::EmptyExpectation { label } if label == "EMPTY")));
         assert!(issues.iter().any(|i| matches!(i, BasisIssue::DeadPoint { point: 1 })));
     }
 
@@ -169,7 +178,9 @@ mod tests {
     fn detects_scale_spread() {
         let basis = b(2, 2, &[1e6, 1., 2e6, 1.], &["CYCLES", "FLOPS"]);
         let issues = validate_basis(&basis);
-        assert!(issues.iter().any(|i| matches!(i, BasisIssue::ScaleSpread { ratio } if *ratio > 1e3)));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, BasisIssue::ScaleSpread { ratio } if *ratio > 1e3)));
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! pipeline (`catalyze`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
-pub mod papi;
 pub mod name;
+pub mod papi;
 pub mod preset;
 
 pub use catalog::{EventCatalog, EventDomain, EventId, EventInfo};

@@ -104,10 +104,7 @@ impl EventName {
 
     /// Value of the first qualifier with the given key, if any.
     pub fn qualifier_value(&self, key: &str) -> Option<&str> {
-        self.qualifiers
-            .iter()
-            .find(|q| q.key == key)
-            .and_then(|q| q.value.as_deref())
+        self.qualifiers.iter().find(|q| q.key == key).and_then(|q| q.value.as_deref())
     }
 }
 

@@ -68,7 +68,10 @@ pub fn to_papi_format(architecture: &str, table: &PresetTable) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# architecture: {architecture}");
     let _ = writeln!(out, "# {}", table.title);
-    let _ = writeln!(out, "# format: PRESET,<symbol>,LINEAR,<coeff>*<event>,...  (# err=<backward error>)");
+    let _ = writeln!(
+        out,
+        "# format: PRESET,<symbol>,LINEAR,<coeff>*<event>,...  (# err=<backward error>)"
+    );
     for p in &table.presets {
         let _ = write!(out, "PRESET,{},LINEAR", preset_symbol(&p.metric));
         for t in &p.terms {
@@ -115,7 +118,8 @@ pub fn from_papi_format(text: &str) -> Result<PresetTable, PapiParseError> {
             continue;
         }
         if let Some(comment) = line.strip_prefix('#') {
-            if table.title.is_empty() && !comment.trim().starts_with("architecture")
+            if table.title.is_empty()
+                && !comment.trim().starts_with("architecture")
                 && !comment.trim().starts_with("format")
             {
                 table.title = comment.trim().to_string();
@@ -130,7 +134,10 @@ pub fn from_papi_format(text: &str) -> Result<PresetTable, PapiParseError> {
         let mut fields = body.split(',');
         let tag = fields.next().unwrap_or_default();
         if tag != "PRESET" {
-            return Err(PapiParseError { line: lineno, reason: format!("expected PRESET, got '{tag}'") });
+            return Err(PapiParseError {
+                line: lineno,
+                reason: format!("expected PRESET, got '{tag}'"),
+            });
         }
         let symbol = fields
             .next()
@@ -140,7 +147,10 @@ pub fn from_papi_format(text: &str) -> Result<PresetTable, PapiParseError> {
             .next()
             .ok_or_else(|| PapiParseError { line: lineno, reason: "missing kind".into() })?;
         if kind != "LINEAR" {
-            return Err(PapiParseError { line: lineno, reason: format!("unsupported kind '{kind}'") });
+            return Err(PapiParseError {
+                line: lineno,
+                reason: format!("unsupported kind '{kind}'"),
+            });
         }
         let mut terms = Vec::new();
         for term in fields {
@@ -194,7 +204,10 @@ mod tests {
                 Preset {
                     metric: "Unconditional Branches.".into(),
                     terms: vec![
-                        PresetTerm { coefficient: -1.0, event: "BR_INST_RETIRED:COND".parse().unwrap() },
+                        PresetTerm {
+                            coefficient: -1.0,
+                            event: "BR_INST_RETIRED:COND".parse().unwrap(),
+                        },
                         PresetTerm {
                             coefficient: 1.0,
                             event: "BR_INST_RETIRED:ALL_BRANCHES".parse().unwrap(),
@@ -217,7 +230,10 @@ mod tests {
     #[test]
     fn symbols_are_papi_style() {
         assert_eq!(preset_symbol("DP Ops."), "CAT_DP_OPS");
-        assert_eq!(preset_symbol("Conditional Branches Not Taken."), "CAT_CONDITIONAL_BRANCHES_NOT_TAKEN");
+        assert_eq!(
+            preset_symbol("Conditional Branches Not Taken."),
+            "CAT_CONDITIONAL_BRANCHES_NOT_TAKEN"
+        );
         assert_eq!(preset_symbol("L1 Misses."), "CAT_L1_MISSES");
         assert_eq!(preset_symbol("HP Add and Sub Ops."), "CAT_HP_ADD_AND_SUB_OPS");
     }

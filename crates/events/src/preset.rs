@@ -71,7 +71,13 @@ impl fmt::Display for Preset {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} (error {:.2e})", self.metric, self.error)?;
         for (i, t) in self.terms.iter().enumerate() {
-            let sign = if t.coefficient < 0.0 { "-" } else if i == 0 { "" } else { "+" };
+            let sign = if t.coefficient < 0.0 {
+                "-"
+            } else if i == 0 {
+                ""
+            } else {
+                "+"
+            };
             let mag = t.coefficient.abs();
             writeln!(f, "  {sign} {mag} x {}", t.event)?;
         }
@@ -127,13 +133,8 @@ mod tests {
     #[test]
     fn evaluate_combines_counts() {
         let p = preset();
-        let out = p.evaluate(|e| {
-            if e.to_string().contains("128B") {
-                Some(10.0)
-            } else {
-                Some(5.0)
-            }
-        });
+        let out =
+            p.evaluate(|e| if e.to_string().contains("128B") { Some(10.0) } else { Some(5.0) });
         assert_eq!(out.value, 25.0);
         assert!(out.missing.is_empty());
     }
@@ -141,13 +142,7 @@ mod tests {
     #[test]
     fn evaluate_reports_missing() {
         let p = preset();
-        let out = p.evaluate(|e| {
-            if e.to_string().contains("SCALAR") {
-                Some(4.0)
-            } else {
-                None
-            }
-        });
+        let out = p.evaluate(|e| if e.to_string().contains("SCALAR") { Some(4.0) } else { None });
         assert_eq!(out.value, 4.0);
         assert_eq!(out.missing.len(), 1);
     }

@@ -18,16 +18,13 @@ fn qualifier() -> impl Strategy<Value = Qualifier> {
 }
 
 fn event_name() -> impl Strategy<Value = EventName> {
-    (
-        proptest::option::of(ident()),
-        ident(),
-        proptest::collection::vec(qualifier(), 0..3),
-    )
-        .prop_map(|(component, base, qualifiers)| EventName {
+    (proptest::option::of(ident()), ident(), proptest::collection::vec(qualifier(), 0..3)).prop_map(
+        |(component, base, qualifiers)| EventName {
             component: component.unwrap_or_default(),
             base,
             qualifiers,
-        })
+        },
+    )
 }
 
 proptest! {

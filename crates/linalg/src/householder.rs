@@ -30,9 +30,14 @@ impl Reflector {
         assert!(n > 0, "Reflector::compute: empty input");
         let alpha = x[0];
         let tail_norm = vector::norm2(&x[1..]);
+        // lint: allow(float_cmp): exact-zero breakdown guard, the standard LAPACK idiom
         if tail_norm == 0.0 {
             // Nothing below the diagonal: identity reflector.
-            return Reflector { v: std::iter::once(1.0).chain(vec![0.0; n - 1]).collect(), tau: 0.0, beta: alpha };
+            return Reflector {
+                v: std::iter::once(1.0).chain(vec![0.0; n - 1]).collect(),
+                tau: 0.0,
+                beta: alpha,
+            };
         }
         let norm = vector::norm2(x);
         let beta = if alpha >= 0.0 { -norm } else { norm };
@@ -47,6 +52,7 @@ impl Reflector {
     /// Applies `H` to a vector in place: `x <- (I - tau v v^T) x`.
     pub fn apply_vec(&self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.v.len(), "Reflector::apply_vec length mismatch");
+        // lint: allow(float_cmp): tau is set to exactly 0.0 to mark an identity reflector
         if self.tau == 0.0 {
             return;
         }
@@ -57,6 +63,7 @@ impl Reflector {
     /// Applies `H` from the left to the trailing block of `a`: for every
     /// column `j in j0..a.cols()`, rows `i0..i0+v.len()` are transformed.
     pub fn apply_left(&self, a: &mut Matrix, i0: usize, j0: usize) {
+        // lint: allow(float_cmp): tau is set to exactly 0.0 to mark an identity reflector
         if self.tau == 0.0 {
             return;
         }

@@ -23,6 +23,7 @@
 //! linear-algebra dependencies.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod error;
 pub mod householder;

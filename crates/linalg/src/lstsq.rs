@@ -41,7 +41,9 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<LstsqSolution> {
     let residual: Vec<f64> = ax.iter().zip(b).map(|(&p, &q)| p - q).collect();
     let residual_norm = vector::norm2(&residual);
     let bnorm = vector::norm2(b);
+    // lint: allow(float_cmp): exact-zero guard before forming the residual ratio
     let relative_residual = if bnorm == 0.0 {
+        // lint: allow(float_cmp): exact-zero guard before forming the residual ratio
         if residual_norm == 0.0 {
             0.0
         } else {
@@ -71,7 +73,9 @@ pub fn backward_error(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
     let residual: Vec<f64> = ax.iter().zip(b).map(|(&p, &q)| p - q).collect();
     let num = vector::norm2(&residual);
     let denom = svd::spectral_norm(a)? * vector::norm2(x) + vector::norm2(b);
+    // lint: allow(float_cmp): exact-zero guard before forming the error ratio
     if denom == 0.0 {
+        // lint: allow(float_cmp): 0/0 is defined as 0 here, x/0 as infinity
         return Ok(if num == 0.0 { 0.0 } else { f64::INFINITY });
     }
     Ok(num / denom)

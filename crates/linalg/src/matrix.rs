@@ -170,6 +170,7 @@ impl Matrix {
         }
         let mut y = vec![0.0; self.rows];
         for (j, &xj) in x.iter().enumerate() {
+            // lint: allow(float_cmp): skipping exactly-zero multipliers is an exact optimization
             if xj == 0.0 {
                 continue;
             }
@@ -211,6 +212,7 @@ impl Matrix {
         let column_product = |j: usize, ccol: &mut [f64]| {
             let bcol = other.col(j);
             for (k, &bkj) in bcol.iter().enumerate() {
+                // lint: allow(float_cmp): skipping exactly-zero multipliers is an exact optimization
                 if bkj == 0.0 {
                     continue;
                 }
@@ -296,11 +298,7 @@ impl Matrix {
                 context: "Matrix::max_abs_diff",
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs())))
+        Ok(self.data.iter().zip(&other.data).fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs())))
     }
 
     /// Scales every entry in place.
@@ -589,10 +587,12 @@ mod parallel_tests {
         // against per-element dot products.
         let mut rng = StdRng::seed_from_u64(5);
         let n = 128;
-        let a = Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap();
-        let b = Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap();
+        let a =
+            Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .unwrap();
+        let b =
+            Matrix::from_col_major(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .unwrap();
         let c = a.matmul(&b).unwrap();
         for &(i, j) in &[(0usize, 0usize), (17, 93), (127, 127), (64, 1)] {
             let expect: f64 = (0..n).map(|k| a[(i, k)] * b[(k, j)]).sum();

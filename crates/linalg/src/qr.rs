@@ -119,6 +119,7 @@ impl Qr {
     pub fn rank(&self, rel_tol: f64) -> usize {
         let d = self.r_diag_abs();
         let dmax = d.iter().cloned().fold(0.0_f64, f64::max);
+        // lint: allow(float_cmp): exact-zero pivot column means exact rank deficiency
         if dmax == 0.0 {
             return 0;
         }
@@ -144,8 +145,12 @@ mod tests {
 
     #[test]
     fn q_has_orthonormal_columns() {
-        let a = Matrix::from_rows(4, 3, &[2.0, -1.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, -2.0, 4.0, 0.5, 1.5])
-            .unwrap();
+        let a = Matrix::from_rows(
+            4,
+            3,
+            &[2.0, -1.0, 0.5, 1.0, 3.0, 1.0, 0.0, 1.0, -2.0, 4.0, 0.5, 1.5],
+        )
+        .unwrap();
         let q = Qr::factor(&a).unwrap().q_thin();
         let g = q.gram();
         assert!(g.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-13);
@@ -189,12 +194,9 @@ mod tests {
     #[test]
     fn rank_detects_deficiency() {
         // Third column = first + second.
-        let a = Matrix::from_rows(
-            4,
-            3,
-            &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(4, 3, &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 1.0, 3.0])
+                .unwrap();
         let qr = Qr::factor(&a).unwrap();
         assert_eq!(qr.rank(1e-10), 2);
     }

@@ -96,12 +96,9 @@ mod tests {
     #[test]
     fn detects_rank_deficiency() {
         // col2 = col0 + col1
-        let a = Matrix::from_rows(
-            4,
-            3,
-            &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(4, 3, &[1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 3.0])
+                .unwrap();
         let res = qrcp(&a, 1e-10).unwrap();
         assert_eq!(res.rank, 2);
         assert_eq!(res.selected().len(), 2);
@@ -109,8 +106,9 @@ mod tests {
 
     #[test]
     fn duplicate_columns_collapse() {
-        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]])
-            .unwrap();
+        let a =
+            Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]])
+                .unwrap();
         let res = qrcp(&a, 1e-10).unwrap();
         assert_eq!(res.rank, 1);
     }

@@ -69,6 +69,7 @@ impl Default for SpQrcpParams {
 /// With `alpha == 0` the value is returned unchanged (no noise tolerance).
 #[inline]
 pub fn round_to_tolerance(u: f64, alpha: f64) -> f64 {
+    // lint: allow(float_cmp): alpha = 0 disables quantization exactly
     if alpha == 0.0 {
         return u;
     }
@@ -79,6 +80,7 @@ pub fn round_to_tolerance(u: f64, alpha: f64) -> f64 {
 #[inline]
 pub fn score_value(v: f64) -> f64 {
     let v = v.abs();
+    // lint: allow(float_cmp): exact-zero guard before the signum
     if v == 0.0 {
         0.0
     } else if v < 1.0 {
@@ -270,11 +272,9 @@ mod tests {
     fn prefers_expectation_like_columns_over_large_norm() {
         // Column 0: cycles-like, huge norm. Column 1: clean 0/1 pattern.
         // Classical QRCP would pick column 0 first; Algorithm 2 must pick 1.
-        let a = Matrix::from_columns(&[
-            vec![1000.0, 2000.0, 1500.0, 900.0],
-            vec![1.0, 0.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_columns(&[vec![1000.0, 2000.0, 1500.0, 900.0], vec![1.0, 0.0, 1.0, 0.0]])
+                .unwrap();
         let res = specialized_qrcp(&a, SpQrcpParams::new(1e-3)).unwrap();
         assert_eq!(res.permutation[0], 1);
         assert_eq!(res.steps[0].column, 1);
@@ -282,11 +282,7 @@ mod tests {
 
     #[test]
     fn near_zero_columns_never_pivot() {
-        let a = Matrix::from_columns(&[
-            vec![1e-6, -1e-6, 1e-6],
-            vec![1.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_columns(&[vec![1e-6, -1e-6, 1e-6], vec![1.0, 1.0, 0.0]]).unwrap();
         let res = specialized_qrcp(&a, SpQrcpParams::new(1e-3)).unwrap();
         assert_eq!(res.rank, 1);
         assert_eq!(res.selected(), &[1]);
@@ -303,12 +299,9 @@ mod tests {
     #[test]
     fn dependent_columns_screened_by_residual() {
         // col2 = col0 + col1: after two pivots its residual is ~0 < β.
-        let a = Matrix::from_columns(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![1.0, 1.0, 0.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_columns(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![1.0, 1.0, 0.0]])
+                .unwrap();
         let res = specialized_qrcp(&a, SpQrcpParams::new(1e-3)).unwrap();
         assert_eq!(res.rank, 2);
         let mut sel = res.selected().to_vec();
@@ -338,11 +331,7 @@ mod tests {
         // so craft a true tie: two unit basis vectors, identical score 1 and
         // identical norm 1; first candidate wins. Then check a genuine
         // norm tie-break: score-1 column with norm 1 vs score-1 with norm 1.
-        let a = Matrix::from_columns(&[
-            vec![0.0, 1.0, 0.0],
-            vec![1.0, 0.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_columns(&[vec![0.0, 1.0, 0.0], vec![1.0, 0.0, 0.0]]).unwrap();
         let res = specialized_qrcp(&a, SpQrcpParams::new(1e-3)).unwrap();
         assert_eq!(res.rank, 2);
         // Equal score and equal norm: first candidate (column 0) is kept.
@@ -360,7 +349,8 @@ mod tests {
 
     #[test]
     fn wide_matrix_selects_at_most_m_columns() {
-        let a = Matrix::from_rows(2, 5, &[1.0, 0.0, 1.0, 2.0, 0.5, 0.0, 1.0, 1.0, 2.0, 0.5]).unwrap();
+        let a =
+            Matrix::from_rows(2, 5, &[1.0, 0.0, 1.0, 2.0, 0.5, 0.0, 1.0, 1.0, 2.0, 0.5]).unwrap();
         let res = specialized_qrcp(&a, SpQrcpParams::new(1e-4)).unwrap();
         assert!(res.rank <= 2);
         assert_eq!(res.rank, 2);

@@ -31,6 +31,7 @@ impl Svd {
     /// is zero.
     pub fn condition_number(&self) -> f64 {
         let min = self.min_singular_value();
+        // lint: allow(float_cmp): exact-zero smallest singular value means infinite condition
         if min == 0.0 {
             f64::INFINITY
         } else {
@@ -41,6 +42,7 @@ impl Svd {
     /// Numerical rank: singular values above `rel_tol * sigma_max`.
     pub fn rank(&self, rel_tol: f64) -> usize {
         let smax = self.spectral_norm();
+        // lint: allow(float_cmp): exact-zero spectral norm only happens for the zero matrix
         if smax == 0.0 {
             return 0;
         }
@@ -75,6 +77,7 @@ pub fn singular_values(a: &Matrix) -> Result<Svd> {
                     let cq = u.col(q);
                     (vector::dot(cp, cp), vector::dot(cq, cq), vector::dot(cp, cq))
                 };
+                // lint: allow(float_cmp): exactly-orthogonal columns need no rotation
                 if apq == 0.0 {
                     continue;
                 }
@@ -135,7 +138,8 @@ mod tests {
     #[test]
     fn orthogonal_columns_norms() {
         // Columns orthogonal with norms sqrt(5) each -> all sv = sqrt(5).
-        let a = Matrix::from_columns(&[vec![1.0, 2.0, 0.0, 0.0], vec![0.0, 0.0, 2.0, 1.0]]).unwrap();
+        let a =
+            Matrix::from_columns(&[vec![1.0, 2.0, 0.0, 0.0], vec![0.0, 0.0, 2.0, 1.0]]).unwrap();
         let svd = singular_values(&a).unwrap();
         for s in &svd.singular_values {
             assert!((s - 5.0_f64.sqrt()).abs() < 1e-12);

@@ -27,6 +27,7 @@ pub fn solve_upper(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut x = b[..n].to_vec();
     for i in (0..n).rev() {
         let diag = r[(i, i)];
+        // lint: allow(float_cmp): exact-zero diagonal is exact singularity
         if diag == 0.0 {
             return Err(LinalgError::Singular { pivot: i, context: "solve_upper" });
         }
@@ -59,6 +60,7 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let mut x = b[..n].to_vec();
     for i in 0..n {
         let diag = l[(i, i)];
+        // lint: allow(float_cmp): exact-zero diagonal is exact singularity
         if diag == 0.0 {
             return Err(LinalgError::Singular { pivot: i, context: "solve_lower" });
         }

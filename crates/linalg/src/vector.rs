@@ -17,6 +17,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// so that vectors with entries near `f64::MAX.sqrt()` do not overflow.
 pub fn norm2(v: &[f64]) -> f64 {
     let maxabs = v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+    // lint: allow(float_cmp): exact-zero guard before scaling by 1/maxabs
     if maxabs == 0.0 || !maxabs.is_finite() {
         return maxabs;
     }
@@ -32,6 +33,7 @@ pub fn norm2(v: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    // lint: allow(float_cmp): axpy with exactly-zero alpha is a no-op
     if alpha == 0.0 {
         return;
     }
@@ -75,11 +77,7 @@ pub fn median(v: &[f64]) -> Option<f64> {
     let mut sorted = v.to_vec();
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
-    Some(if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-    })
+    Some(if n % 2 == 1 { sorted[n / 2] } else { 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]) })
 }
 
 /// Largest absolute entry; zero for an empty slice.
@@ -89,6 +87,7 @@ pub fn max_abs(v: &[f64]) -> f64 {
 
 /// True when every entry is exactly zero.
 pub fn is_zero(v: &[f64]) -> bool {
+    // lint: allow(float_cmp): the zero vector is exactly zero by definition
     v.iter().all(|&x| x == 0.0)
 }
 

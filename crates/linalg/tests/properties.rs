@@ -1,7 +1,7 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
 use catalyze_linalg::spqrcp::{round_to_tolerance, score_column, score_value};
-use catalyze_linalg::{lstsq, qrcp, specialized_qrcp, singular_values, Matrix, Qr, SpQrcpParams};
+use catalyze_linalg::{lstsq, qrcp, singular_values, specialized_qrcp, Matrix, Qr, SpQrcpParams};
 use proptest::prelude::*;
 
 /// Strategy: a well-scaled `rows x cols` matrix as row-major data.

@@ -57,7 +57,10 @@ impl CacheConfig {
         policy: ReplacementPolicy,
     ) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes % (line_bytes * u64::from(associativity)) == 0, "size must divide into sets");
+        assert!(
+            size_bytes % (line_bytes * u64::from(associativity)) == 0,
+            "size must divide into sets"
+        );
         if policy == ReplacementPolicy::TreePlru {
             assert!(associativity.is_power_of_two(), "tree pLRU needs power-of-two ways");
         }
@@ -455,7 +458,9 @@ mod policy_tests {
 
     #[test]
     fn working_set_within_capacity_hits_under_every_policy() {
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random] {
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
+        {
             let mut c = cache_with(policy);
             let lines: Vec<u64> = (0..8).map(|i| i * 64).collect(); // exactly capacity
             for _ in 0..4 {
@@ -477,7 +482,9 @@ mod policy_tests {
 
     #[test]
     fn oversized_set_thrashes_under_every_policy() {
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random] {
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
+        {
             let mut c = cache_with(policy);
             let lines: Vec<u64> = (0..32).map(|i| i * 64).collect(); // 4x capacity
             for _ in 0..4 {

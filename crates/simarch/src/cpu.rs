@@ -117,7 +117,8 @@ impl ExecStats {
     pub fn flops(&self, prec: Precision) -> u64 {
         let mut total = 0;
         for w in VecWidth::ALL {
-            for k in [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Div, FpKind::Sqrt, FpKind::Fma] {
+            for k in [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Div, FpKind::Sqrt, FpKind::Fma]
+            {
                 total += self.fp_class(prec, w, k) * w.lanes(prec) * k.ops_per_element();
             }
         }
@@ -282,7 +283,8 @@ impl Cpu {
             }
             Instruction::CondBranch(cb) => {
                 self.stats.uops += 1;
-                let mispredicted = self.predictor.retire_cond(cb.site, cb.taken, cb.forced_mispredict);
+                let mispredicted =
+                    self.predictor.retire_cond(cb.site, cb.taken, cb.forced_mispredict);
                 if mispredicted {
                     self.penalty_cycles += self.cfg.timing.mispredict_penalty;
                 }
@@ -337,10 +339,7 @@ mod tests {
     use crate::program::Block;
 
     fn fp_block(n: usize) -> Block {
-        Block::new().repeat(
-            Instruction::fp(Precision::Double, VecWidth::Scalar, FpKind::Add),
-            n,
-        )
+        Block::new().repeat(Instruction::fp(Precision::Double, VecWidth::Scalar, FpKind::Add), n)
     }
 
     #[test]
@@ -358,10 +357,8 @@ mod tests {
     #[test]
     fn fma_weighting() {
         let mut cpu = Cpu::new(CoreConfig::default_sim());
-        let b = Block::new().repeat(
-            Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma),
-            12,
-        );
+        let b = Block::new()
+            .repeat(Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma), 12);
         let p = Program::new().counted_loop(b, 1, 0);
         cpu.run(&p);
         let s = cpu.stats();

@@ -261,6 +261,7 @@ impl SetBuilder {
         noise: NoiseModel,
     ) {
         let info = EventInfo { name, description: desc.to_string(), domain };
+        // lint: allow(panic): the builder inserts a static, duplicate-free inventory
         self.catalog.add(info.clone()).expect("duplicate event in builder");
         self.defs.push(CpuEventDef { info, base, scale, noise });
     }
@@ -276,8 +277,11 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     let exact = NoiseModel::None;
 
     // --- Floating point: the FP_ARITH_INST_RETIRED family (exact). ---
-    let widths: [(&str, VecWidth); 3] =
-        [("128B_PACKED", VecWidth::V128), ("256B_PACKED", VecWidth::V256), ("512B_PACKED", VecWidth::V512)];
+    let widths: [(&str, VecWidth); 3] = [
+        ("128B_PACKED", VecWidth::V128),
+        ("256B_PACKED", VecWidth::V256),
+        ("512B_PACKED", VecWidth::V512),
+    ];
     for (prec_name, prec) in [("SINGLE", Precision::Single), ("DOUBLE", Precision::Double)] {
         b.add(
             EventName::cpu_q("FP_ARITH_INST_RETIRED", format!("SCALAR_{prec_name}")),
@@ -341,9 +345,30 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     // Instruction counters carry a whisper of jitter (interrupt handling
     // retires extra instructions on real machines) — enough to land above
     // the paper's τ = 1e-10 and below everything else.
-    b.add(EventName::cpu_q("INST_RETIRED", "ANY"), "Instructions retired", EventDomain::Other, CpuBase::Instructions, 1.0, NoiseModel::Multiplicative { sigma: 1e-8 });
-    b.add(EventName::cpu_q("INST_RETIRED", "ANY_P"), "Instructions retired (programmable counter)", EventDomain::Other, CpuBase::Instructions, 1.0, NoiseModel::Multiplicative { sigma: 2e-8 });
-    b.add(EventName::cpu_q("INST_RETIRED", "NOP"), "NOP instructions retired", EventDomain::Other, CpuBase::Nops, 1.0, NoiseModel::Multiplicative { sigma: 1e-8 });
+    b.add(
+        EventName::cpu_q("INST_RETIRED", "ANY"),
+        "Instructions retired",
+        EventDomain::Other,
+        CpuBase::Instructions,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 1e-8 },
+    );
+    b.add(
+        EventName::cpu_q("INST_RETIRED", "ANY_P"),
+        "Instructions retired (programmable counter)",
+        EventDomain::Other,
+        CpuBase::Instructions,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 2e-8 },
+    );
+    b.add(
+        EventName::cpu_q("INST_RETIRED", "NOP"),
+        "NOP instructions retired",
+        EventDomain::Other,
+        CpuBase::Nops,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 1e-8 },
+    );
     b.add(
         EventName::cpu_q("CPU_CLK_UNHALTED", "THREAD"),
         "Core cycles while the thread is unhalted",
@@ -386,11 +411,32 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
             NoiseModel::Multiplicative { sigma },
         );
     }
-    b.add(EventName::cpu_q("UOPS_RETIRED", "SLOTS"), "Micro-ops retired", EventDomain::Frontend, CpuBase::Uops, 1.0, NoiseModel::Multiplicative { sigma: 2e-7 });
-    b.add(EventName::cpu_q("UOPS_EXECUTED", "THREAD"), "Micro-ops executed", EventDomain::Frontend, CpuBase::Uops, 1.02, NoiseModel::Multiplicative { sigma: 1e-5 });
+    b.add(
+        EventName::cpu_q("UOPS_RETIRED", "SLOTS"),
+        "Micro-ops retired",
+        EventDomain::Frontend,
+        CpuBase::Uops,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 2e-7 },
+    );
+    b.add(
+        EventName::cpu_q("UOPS_EXECUTED", "THREAD"),
+        "Micro-ops executed",
+        EventDomain::Frontend,
+        CpuBase::Uops,
+        1.02,
+        NoiseModel::Multiplicative { sigma: 1e-5 },
+    );
 
     // --- Integer ALU. ---
-    b.add(EventName::cpu_q("INT_MISC", "ALL"), "Integer ALU instructions", EventDomain::Other, CpuBase::IntAll, 1.0, exact);
+    b.add(
+        EventName::cpu_q("INT_MISC", "ALL"),
+        "Integer ALU instructions",
+        EventDomain::Other,
+        CpuBase::IntAll,
+        1.0,
+        exact,
+    );
     for (i, umask) in ["ADD", "MUL", "CMP", "LOGIC"].iter().enumerate() {
         b.add(
             EventName::cpu_q("INT_ALU_RETIRED", *umask),
@@ -403,51 +449,284 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     }
 
     // --- Branches (all exact: architectural counts). ---
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "ALL_BRANCHES"), "All retired branch instructions", EventDomain::Branch, CpuBase::BrAll, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "COND"), "Retired conditional branches", EventDomain::Branch, CpuBase::BrCond, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "COND_TAKEN"), "Retired taken conditional branches", EventDomain::Branch, CpuBase::BrCondTaken, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "COND_NTAKEN"), "Retired not-taken conditional branches", EventDomain::Branch, CpuBase::BrCondNtaken, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "NEAR_CALL"), "Retired near calls", EventDomain::Branch, CpuBase::BrCall, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "NEAR_RETURN"), "Retired near returns", EventDomain::Branch, CpuBase::BrRet, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "NEAR_TAKEN"), "Retired taken branches", EventDomain::Branch, CpuBase::BrAllTaken, 1.0, exact);
-    b.add(EventName::cpu_q("BR_INST_RETIRED", "FAR_BRANCH"), "Retired far branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
-    b.add(EventName::cpu_q("BR_MISP_RETIRED", "ALL_BRANCHES"), "All mispredicted retired branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
-    b.add(EventName::cpu_q("BR_MISP_RETIRED", "COND"), "Mispredicted conditional branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
-    b.add(EventName::cpu_q("BR_MISP_RETIRED", "COND_TAKEN"), "Mispredicted taken conditional branches", EventDomain::Branch, CpuBase::MispCondTaken, 1.0, exact);
-    b.add(EventName::cpu_q("BR_MISP_RETIRED", "INDIRECT"), "Mispredicted indirect branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "ALL_BRANCHES"),
+        "All retired branch instructions",
+        EventDomain::Branch,
+        CpuBase::BrAll,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "COND"),
+        "Retired conditional branches",
+        EventDomain::Branch,
+        CpuBase::BrCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "COND_TAKEN"),
+        "Retired taken conditional branches",
+        EventDomain::Branch,
+        CpuBase::BrCondTaken,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "COND_NTAKEN"),
+        "Retired not-taken conditional branches",
+        EventDomain::Branch,
+        CpuBase::BrCondNtaken,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "NEAR_CALL"),
+        "Retired near calls",
+        EventDomain::Branch,
+        CpuBase::BrCall,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "NEAR_RETURN"),
+        "Retired near returns",
+        EventDomain::Branch,
+        CpuBase::BrRet,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "NEAR_TAKEN"),
+        "Retired taken branches",
+        EventDomain::Branch,
+        CpuBase::BrAllTaken,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_INST_RETIRED", "FAR_BRANCH"),
+        "Retired far branches",
+        EventDomain::Branch,
+        CpuBase::Zero,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_MISP_RETIRED", "ALL_BRANCHES"),
+        "All mispredicted retired branches",
+        EventDomain::Branch,
+        CpuBase::MispCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_MISP_RETIRED", "COND"),
+        "Mispredicted conditional branches",
+        EventDomain::Branch,
+        CpuBase::MispCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_MISP_RETIRED", "COND_TAKEN"),
+        "Mispredicted taken conditional branches",
+        EventDomain::Branch,
+        CpuBase::MispCondTaken,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu_q("BR_MISP_RETIRED", "INDIRECT"),
+        "Mispredicted indirect branches",
+        EventDomain::Branch,
+        CpuBase::Zero,
+        1.0,
+        exact,
+    );
 
     // --- Memory / caches (the noisy family). ---
-    b.add(EventName::cpu_q("MEM_INST_RETIRED", "ALL_LOADS"), "All retired load instructions (split loads replay and count twice)", EventDomain::Memory, CpuBase::Loads, 1.006, NoiseModel::Multiplicative { sigma: 1e-6 });
-    b.add(EventName::cpu_q("MEM_INST_RETIRED", "ALL_STORES"), "All retired store instructions", EventDomain::Memory, CpuBase::Stores, 1.0, NoiseModel::Multiplicative { sigma: 1e-6 });
-    b.add(EventName::cpu_q("MEM_INST_RETIRED", "ANY"), "All retired memory instructions", EventDomain::Memory, CpuBase::Loads, 1.01, NoiseModel::Multiplicative { sigma: 2e-6 });
+    b.add(
+        EventName::cpu_q("MEM_INST_RETIRED", "ALL_LOADS"),
+        "All retired load instructions (split loads replay and count twice)",
+        EventDomain::Memory,
+        CpuBase::Loads,
+        1.006,
+        NoiseModel::Multiplicative { sigma: 1e-6 },
+    );
+    b.add(
+        EventName::cpu_q("MEM_INST_RETIRED", "ALL_STORES"),
+        "All retired store instructions",
+        EventDomain::Memory,
+        CpuBase::Stores,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 1e-6 },
+    );
+    b.add(
+        EventName::cpu_q("MEM_INST_RETIRED", "ANY"),
+        "All retired memory instructions",
+        EventDomain::Memory,
+        CpuBase::Loads,
+        1.01,
+        NoiseModel::Multiplicative { sigma: 2e-6 },
+    );
     let cache_noise = |sigma: f64| NoiseModel::Multiplicative { sigma };
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L1_HIT"), "Retired loads that hit the L1 data cache", EventDomain::Memory, CpuBase::L1Hit, 1.0, cache_noise(1.5e-3));
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L1_MISS"), "Retired loads that missed the L1 data cache", EventDomain::Memory, CpuBase::L1Miss, 1.0, cache_noise(3e-3));
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L1_HIT"),
+        "Retired loads that hit the L1 data cache",
+        EventDomain::Memory,
+        CpuBase::L1Hit,
+        1.0,
+        cache_noise(1.5e-3),
+    );
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L1_MISS"),
+        "Retired loads that missed the L1 data cache",
+        EventDomain::Memory,
+        CpuBase::L1Miss,
+        1.0,
+        cache_noise(3e-3),
+    );
     // L2_HIT under-reports slightly: loads satisfied by fill-buffer
     // coalescing are not attributed to L2 (matching real-hardware caveats).
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L2_HIT"), "Retired loads that hit L2", EventDomain::Memory, CpuBase::L2Hit, 0.97, cache_noise(5e-3));
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L2_MISS"), "Retired loads that missed L2", EventDomain::Memory, CpuBase::L2Miss, 1.02, cache_noise(6e-3));
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L3_HIT"), "Retired loads that hit L3", EventDomain::Memory, CpuBase::L3Hit, 1.0, cache_noise(8e-3));
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "L3_MISS"), "Retired loads that missed L3", EventDomain::Memory, CpuBase::L3Miss, 1.02, cache_noise(1e-2));
-    b.add(EventName::cpu_q("MEM_LOAD_RETIRED", "FB_HIT"), "Retired loads that hit the fill buffer", EventDomain::Memory, CpuBase::L1Miss, 0.02, NoiseModel::Multiplicative { sigma: 3e-1 });
-    b.add(EventName::cpu_q("L2_RQSTS", "DEMAND_DATA_RD_HIT"), "L2 demand data reads that hit", EventDomain::Memory, CpuBase::L2RqstsDemandRdHit, 1.0, cache_noise(3e-3));
-    b.add(EventName::cpu_q("L2_RQSTS", "DEMAND_DATA_RD_MISS"), "L2 demand data reads that missed", EventDomain::Memory, CpuBase::L2RqstsDemandRdMiss, 1.015, cache_noise(7e-3));
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L2_HIT"),
+        "Retired loads that hit L2",
+        EventDomain::Memory,
+        CpuBase::L2Hit,
+        0.97,
+        cache_noise(5e-3),
+    );
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L2_MISS"),
+        "Retired loads that missed L2",
+        EventDomain::Memory,
+        CpuBase::L2Miss,
+        1.02,
+        cache_noise(6e-3),
+    );
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L3_HIT"),
+        "Retired loads that hit L3",
+        EventDomain::Memory,
+        CpuBase::L3Hit,
+        1.0,
+        cache_noise(8e-3),
+    );
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "L3_MISS"),
+        "Retired loads that missed L3",
+        EventDomain::Memory,
+        CpuBase::L3Miss,
+        1.02,
+        cache_noise(1e-2),
+    );
+    b.add(
+        EventName::cpu_q("MEM_LOAD_RETIRED", "FB_HIT"),
+        "Retired loads that hit the fill buffer",
+        EventDomain::Memory,
+        CpuBase::L1Miss,
+        0.02,
+        NoiseModel::Multiplicative { sigma: 3e-1 },
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "DEMAND_DATA_RD_HIT"),
+        "L2 demand data reads that hit",
+        EventDomain::Memory,
+        CpuBase::L2RqstsDemandRdHit,
+        1.0,
+        cache_noise(3e-3),
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "DEMAND_DATA_RD_MISS"),
+        "L2 demand data reads that missed",
+        EventDomain::Memory,
+        CpuBase::L2RqstsDemandRdMiss,
+        1.015,
+        cache_noise(7e-3),
+    );
     // ALL_DEMAND_DATA_RD over-counts slightly (includes L1 hardware
     // prefetcher requests that piggyback on the demand path).
-    b.add(EventName::cpu_q("L2_RQSTS", "ALL_DEMAND_DATA_RD"), "All L2 demand data reads", EventDomain::Memory, CpuBase::L2RqstsAllDemandRd, 1.03, cache_noise(6e-3));
-    b.add(EventName::cpu_q("L2_RQSTS", "RFO_HIT"), "L2 RFO requests that hit", EventDomain::Memory, CpuBase::L2RqstsRfoHit, 1.0, cache_noise(1e-2));
-    b.add(EventName::cpu_q("L2_RQSTS", "RFO_MISS"), "L2 RFO requests that missed", EventDomain::Memory, CpuBase::L2RqstsRfoMiss, 1.0, cache_noise(1e-2));
-    b.add(EventName::cpu_q("L2_RQSTS", "ALL_RFO"), "All L2 read-for-ownership requests (stores missing L1)", EventDomain::Memory, CpuBase::L2RqstsAllRfo, 1.0, cache_noise(8e-3));
-    b.add(EventName::cpu_q("L2_RQSTS", "REFERENCES"), "All L2 requests", EventDomain::Memory, CpuBase::L2RqstsAllDemandRd, 1.05, cache_noise(2e-2));
-    b.add(EventName::cpu_q("DTLB_LOAD_MISSES", "MISS_CAUSES_A_WALK"), "Load DTLB misses causing a page walk", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 1.0, cache_noise(4e-3));
-    b.add(EventName::cpu_q("DTLB_LOAD_MISSES", "WALK_COMPLETED"), "Completed page walks for loads", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 1.0, cache_noise(5e-3));
-    b.add(EventName::cpu_q("DTLB_LOAD_MISSES", "STLB_HIT"), "Load translations hitting the STLB", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 0.3, cache_noise(8e-2));
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "ALL_DEMAND_DATA_RD"),
+        "All L2 demand data reads",
+        EventDomain::Memory,
+        CpuBase::L2RqstsAllDemandRd,
+        1.03,
+        cache_noise(6e-3),
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "RFO_HIT"),
+        "L2 RFO requests that hit",
+        EventDomain::Memory,
+        CpuBase::L2RqstsRfoHit,
+        1.0,
+        cache_noise(1e-2),
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "RFO_MISS"),
+        "L2 RFO requests that missed",
+        EventDomain::Memory,
+        CpuBase::L2RqstsRfoMiss,
+        1.0,
+        cache_noise(1e-2),
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "ALL_RFO"),
+        "All L2 read-for-ownership requests (stores missing L1)",
+        EventDomain::Memory,
+        CpuBase::L2RqstsAllRfo,
+        1.0,
+        cache_noise(8e-3),
+    );
+    b.add(
+        EventName::cpu_q("L2_RQSTS", "REFERENCES"),
+        "All L2 requests",
+        EventDomain::Memory,
+        CpuBase::L2RqstsAllDemandRd,
+        1.05,
+        cache_noise(2e-2),
+    );
+    b.add(
+        EventName::cpu_q("DTLB_LOAD_MISSES", "MISS_CAUSES_A_WALK"),
+        "Load DTLB misses causing a page walk",
+        EventDomain::Tlb,
+        CpuBase::DtlbLoadMisses,
+        1.0,
+        cache_noise(4e-3),
+    );
+    b.add(
+        EventName::cpu_q("DTLB_LOAD_MISSES", "WALK_COMPLETED"),
+        "Completed page walks for loads",
+        EventDomain::Tlb,
+        CpuBase::DtlbLoadMisses,
+        1.0,
+        cache_noise(5e-3),
+    );
+    b.add(
+        EventName::cpu_q("DTLB_LOAD_MISSES", "STLB_HIT"),
+        "Load translations hitting the STLB",
+        EventDomain::Tlb,
+        CpuBase::DtlbLoadMisses,
+        0.3,
+        cache_noise(8e-2),
+    );
 
     // --- Generated families: frontend / backend activity (cycle-scaled,
     //     noisy) — correlate with work but match no expectation pattern. ---
-    for (i, umask) in ["DSB_UOPS", "MITE_UOPS", "MS_UOPS", "DSB_CYCLES_ANY", "MITE_CYCLES_ANY", "MS_SWITCHES", "BUBBLES_CORE", "BUBBLES_CYCLES"]
-        .iter()
-        .enumerate()
+    for (i, umask) in [
+        "DSB_UOPS",
+        "MITE_UOPS",
+        "MS_UOPS",
+        "DSB_CYCLES_ANY",
+        "MITE_CYCLES_ANY",
+        "MS_SWITCHES",
+        "BUBBLES_CORE",
+        "BUBBLES_CYCLES",
+    ]
+    .iter()
+    .enumerate()
     {
         b.add(
             EventName::cpu_q("IDQ", *umask),
@@ -458,7 +737,17 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
             NoiseModel::Multiplicative { sigma: 1e-4 * (i + 1) as f64 },
         );
     }
-    for (i, umask) in ["STALLS_TOTAL", "STALLS_L1D_MISS", "STALLS_L2_MISS", "STALLS_L3_MISS", "STALLS_MEM_ANY", "CYCLES_MEM_ANY"].iter().enumerate() {
+    for (i, umask) in [
+        "STALLS_TOTAL",
+        "STALLS_L1D_MISS",
+        "STALLS_L2_MISS",
+        "STALLS_L3_MISS",
+        "STALLS_MEM_ANY",
+        "CYCLES_MEM_ANY",
+    ]
+    .iter()
+    .enumerate()
+    {
         b.add(
             EventName::cpu_q("CYCLE_ACTIVITY", *umask),
             "Stall cycle accounting",
@@ -468,7 +757,17 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
             NoiseModel::Multiplicative { sigma: 5e-3 },
         );
     }
-    for (i, umask) in ["1_PORTS_UTIL", "2_PORTS_UTIL", "3_PORTS_UTIL", "4_PORTS_UTIL", "BOUND_ON_LOADS", "BOUND_ON_STORES"].iter().enumerate() {
+    for (i, umask) in [
+        "1_PORTS_UTIL",
+        "2_PORTS_UTIL",
+        "3_PORTS_UTIL",
+        "4_PORTS_UTIL",
+        "BOUND_ON_LOADS",
+        "BOUND_ON_STORES",
+    ]
+    .iter()
+    .enumerate()
+    {
         b.add(
             EventName::cpu_q("EXE_ACTIVITY", *umask),
             "Execution port utilization",
@@ -488,7 +787,9 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
             NoiseModel::Multiplicative { sigma: 5e-2 },
         );
     }
-    for (i, umask) in ["DRAM_BW_USE", "L3_MISS_DEMAND", "DATA_RD", "ALL_REQUESTS"].iter().enumerate() {
+    for (i, umask) in
+        ["DRAM_BW_USE", "L3_MISS_DEMAND", "DATA_RD", "ALL_REQUESTS"].iter().enumerate()
+    {
         b.add(
             EventName::cpu_q("OFFCORE_REQUESTS", *umask),
             "Offcore request traffic",
@@ -516,7 +817,14 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         }
     }
     // Divider / assists: zero on CAT kernels.
-    for (name, umask) in [("ARITH", "DIV_ACTIVE"), ("ARITH", "FPDIV_ACTIVE"), ("ASSISTS", "FP"), ("ASSISTS", "ANY"), ("MISC_RETIRED", "LBR_INSERTS"), ("MISC_RETIRED", "PAUSE_INST")] {
+    for (name, umask) in [
+        ("ARITH", "DIV_ACTIVE"),
+        ("ARITH", "FPDIV_ACTIVE"),
+        ("ASSISTS", "FP"),
+        ("ASSISTS", "ANY"),
+        ("MISC_RETIRED", "LBR_INSERTS"),
+        ("MISC_RETIRED", "PAUSE_INST"),
+    ] {
         b.add(
             EventName::cpu_q(name, umask),
             "Rare-path activity",
@@ -528,9 +836,18 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     }
 
     // Frontend retirement latency tags: tiny uops-scaled fractions.
-    for (i, umask) in ["LATENCY_GE_1", "LATENCY_GE_2", "LATENCY_GE_4", "LATENCY_GE_8", "LATENCY_GE_16", "LATENCY_GE_32", "DSB_MISS", "ITLB_MISS"]
-        .iter()
-        .enumerate()
+    for (i, umask) in [
+        "LATENCY_GE_1",
+        "LATENCY_GE_2",
+        "LATENCY_GE_4",
+        "LATENCY_GE_8",
+        "LATENCY_GE_16",
+        "LATENCY_GE_32",
+        "DSB_MISS",
+        "ITLB_MISS",
+    ]
+    .iter()
+    .enumerate()
     {
         b.add(
             EventName::cpu_q("FRONTEND_RETIRED", *umask),
@@ -564,9 +881,18 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         );
     }
     // Topdown slot accounting: cycle/uop-scaled with moderate noise.
-    for (i, umask) in ["SLOTS", "BACKEND_BOUND_SLOTS", "BAD_SPEC_SLOTS", "BR_MISPREDICT_SLOTS", "FRONTEND_BOUND_SLOTS", "HEAVY_OPERATIONS", "LIGHT_OPERATIONS", "RETIRING_SLOTS"]
-        .iter()
-        .enumerate()
+    for (i, umask) in [
+        "SLOTS",
+        "BACKEND_BOUND_SLOTS",
+        "BAD_SPEC_SLOTS",
+        "BR_MISPREDICT_SLOTS",
+        "FRONTEND_BOUND_SLOTS",
+        "HEAVY_OPERATIONS",
+        "LIGHT_OPERATIONS",
+        "RETIRING_SLOTS",
+    ]
+    .iter()
+    .enumerate()
     {
         b.add(
             EventName::cpu_q("TOPDOWN", *umask),
@@ -608,7 +934,9 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         );
     }
     // Page-walker fill attribution: fractions of the walk count.
-    for (umask, frac) in [("DTLB_L1_HIT", 0.55), ("DTLB_L2_HIT", 0.3), ("DTLB_L3_HIT", 0.1), ("DTLB_MEMORY", 0.05)] {
+    for (umask, frac) in
+        [("DTLB_L1_HIT", 0.55), ("DTLB_L2_HIT", 0.3), ("DTLB_L3_HIT", 0.1), ("DTLB_MEMORY", 0.05)]
+    {
         b.add(
             EventName::cpu_q("PAGE_WALKER_LOADS", umask),
             "Page-walker accesses by supplying level",
@@ -619,7 +947,9 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         );
     }
     // Turbo license / core power states: cycle-correlated, noisy.
-    for (i, umask) in ["LVL0_TURBO_LICENSE", "LVL1_TURBO_LICENSE", "LVL2_TURBO_LICENSE"].iter().enumerate() {
+    for (i, umask) in
+        ["LVL0_TURBO_LICENSE", "LVL1_TURBO_LICENSE", "LVL2_TURBO_LICENSE"].iter().enumerate()
+    {
         b.add(
             EventName::cpu_q("CORE_POWER", *umask),
             "Cycles under a turbo license level",
@@ -643,28 +973,45 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
 
     // --- Uncore: unrelated to any core workload (noisy cluster). ---
     for box_id in 0..4 {
-        for (i, base_name) in ["UNC_CHA_CLOCKTICKS", "UNC_CHA_LLC_LOOKUP", "UNC_CHA_DIR_UPDATE", "UNC_CHA_SF_EVICTION", "UNC_CHA_TOR_INSERTS", "UNC_CHA_TOR_OCCUPANCY"]
-            .iter()
-            .enumerate()
+        for (i, base_name) in [
+            "UNC_CHA_CLOCKTICKS",
+            "UNC_CHA_LLC_LOOKUP",
+            "UNC_CHA_DIR_UPDATE",
+            "UNC_CHA_SF_EVICTION",
+            "UNC_CHA_TOR_INSERTS",
+            "UNC_CHA_TOR_OCCUPANCY",
+        ]
+        .iter()
+        .enumerate()
         {
             b.add(
-                EventName::cpu(*base_name).with_qualifier(
-                    catalyze_events::Qualifier::with_value("unit", box_id.to_string()),
-                ),
+                EventName::cpu(*base_name).with_qualifier(catalyze_events::Qualifier::with_value(
+                    "unit",
+                    box_id.to_string(),
+                )),
                 "Caching/home agent activity (uncore)",
                 EventDomain::Uncore,
                 CpuBase::Zero,
                 1.0,
-                NoiseModel::Unrelated { mean: 1e6 * (1.0 + i as f64), spread: 0.02 * (1 + box_id) as f64 },
+                NoiseModel::Unrelated {
+                    mean: 1e6 * (1.0 + i as f64),
+                    spread: 0.02 * (1 + box_id) as f64,
+                },
             );
         }
     }
     for chan in 0..4 {
-        for base_name in ["UNC_IMC_CAS_COUNT_RD", "UNC_IMC_CAS_COUNT_WR", "UNC_IMC_ACT_COUNT", "UNC_IMC_PRE_COUNT"] {
+        for base_name in [
+            "UNC_IMC_CAS_COUNT_RD",
+            "UNC_IMC_CAS_COUNT_WR",
+            "UNC_IMC_ACT_COUNT",
+            "UNC_IMC_PRE_COUNT",
+        ] {
             b.add(
-                EventName::cpu(base_name).with_qualifier(
-                    catalyze_events::Qualifier::with_value("chan", chan.to_string()),
-                ),
+                EventName::cpu(base_name).with_qualifier(catalyze_events::Qualifier::with_value(
+                    "chan",
+                    chan.to_string(),
+                )),
                 "Integrated memory controller activity (uncore)",
                 EventDomain::Uncore,
                 CpuBase::Zero,
@@ -677,9 +1024,10 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     for chan in 0..4 {
         for base_name in ["UNC_M2M_IMC_READS", "UNC_M2M_IMC_WRITES", "UNC_M2M_DIRECTORY_HIT"] {
             b.add(
-                EventName::cpu(base_name).with_qualifier(
-                    catalyze_events::Qualifier::with_value("chan", chan.to_string()),
-                ),
+                EventName::cpu(base_name).with_qualifier(catalyze_events::Qualifier::with_value(
+                    "chan",
+                    chan.to_string(),
+                )),
                 "Mesh-to-memory traffic (uncore)",
                 EventDomain::Uncore,
                 CpuBase::Zero,
@@ -691,9 +1039,10 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
     for link in 0..3 {
         for base_name in ["UNC_UPI_TXL_FLITS", "UNC_UPI_RXL_FLITS", "UNC_UPI_CLOCKTICKS"] {
             b.add(
-                EventName::cpu(base_name).with_qualifier(
-                    catalyze_events::Qualifier::with_value("link", link.to_string()),
-                ),
+                EventName::cpu(base_name).with_qualifier(catalyze_events::Qualifier::with_value(
+                    "link",
+                    link.to_string(),
+                )),
                 "UPI cross-socket link traffic (uncore)",
                 EventDomain::Uncore,
                 CpuBase::Zero,
@@ -727,11 +1076,23 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         ("sde:::MIGRATIONS", 0.2, 2.0),
         ("sde:::SOFT_IRQS", 10.0, 0.6),
     ] {
+        // lint: allow(panic): static event-name literals parse
         let n: EventName = name.parse().expect("static name");
-        b.add(n, "Software-defined OS event", EventDomain::Software, CpuBase::Zero, 1.0, NoiseModel::Unrelated { mean, spread });
+        b.add(
+            n,
+            "Software-defined OS event",
+            EventDomain::Software,
+            CpuBase::Zero,
+            1.0,
+            NoiseModel::Unrelated { mean, spread },
+        );
     }
     // Additive-jitter variants of memory events: hybrid noise sources.
-    for (i, umask) in ["LOCK_LOADS", "SPLIT_LOADS", "SPLIT_STORES", "STLB_MISS_LOADS", "STLB_MISS_STORES"].iter().enumerate() {
+    for (i, umask) in
+        ["LOCK_LOADS", "SPLIT_LOADS", "SPLIT_STORES", "STLB_MISS_LOADS", "STLB_MISS_STORES"]
+            .iter()
+            .enumerate()
+    {
         b.add(
             EventName::cpu_q("MEM_INST_RETIRED", *umask),
             "Irregular memory instruction subset",
@@ -792,10 +1153,8 @@ mod tests {
     fn fp_events_count_fma_twice() {
         let set = sapphire_rapids_like();
         let mut cpu = Cpu::new(CoreConfig::default_sim());
-        let block = Block::new().repeat(
-            Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma),
-            12,
-        );
+        let block = Block::new()
+            .repeat(Instruction::fp(Precision::Double, VecWidth::V256, FpKind::Fma), 12);
         cpu.run(&Program::new().bare_loop(block, 1));
         let stats = cpu.stats();
         let id = set.id_of("FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE").unwrap();
@@ -826,7 +1185,11 @@ mod tests {
         for (_, def) in set.iter() {
             if matches!(def.noise, NoiseModel::Unrelated { .. }) {
                 found += 1;
-                assert_eq!(def.base.eval(&ExecStats::default()), 0.0, "unrelated events carry Zero base");
+                assert_eq!(
+                    def.base.eval(&ExecStats::default()),
+                    0.0,
+                    "unrelated events carry Zero base"
+                );
             }
         }
         assert!(found >= 30, "expect a large unrelated tail, got {found}");

@@ -37,6 +37,7 @@ impl Builder {
         noise: NoiseModel,
     ) {
         let info = EventInfo { name, description: desc.to_string(), domain };
+        // lint: allow(panic): the builder inserts a static, duplicate-free inventory
         self.catalog.add(info.clone()).expect("duplicate zen event");
         self.defs.push(CpuEventDef { info, base, scale, noise });
     }
@@ -90,23 +91,128 @@ pub fn zen_like() -> CpuEventSet {
     );
 
     // --- Branching: no direct taken-conditional event. ---
-    b.add(EventName::cpu("EX_RET_BRN"), "All retired branches", EventDomain::Branch, CpuBase::BrAll, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_BRN_TKN"), "All retired taken branches", EventDomain::Branch, CpuBase::BrAllTaken, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_COND"), "Retired conditional branches", EventDomain::Branch, CpuBase::BrCond, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_BRN_MISP"), "Retired mispredicted branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_COND_MISP"), "Retired mispredicted conditional branches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_NEAR_RET"), "Retired near returns", EventDomain::Branch, CpuBase::BrRet, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_BRN_FAR"), "Retired far branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_BRN_IND_MISP"), "Retired mispredicted indirect branches", EventDomain::Branch, CpuBase::Zero, 1.0, exact);
-    b.add(EventName::cpu("EX_RET_MSPRD_BRNCH_INSTR_DIR_MSMTCH"), "Mispredicted direction mismatches", EventDomain::Branch, CpuBase::MispCond, 1.0, exact);
+    b.add(
+        EventName::cpu("EX_RET_BRN"),
+        "All retired branches",
+        EventDomain::Branch,
+        CpuBase::BrAll,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_BRN_TKN"),
+        "All retired taken branches",
+        EventDomain::Branch,
+        CpuBase::BrAllTaken,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_COND"),
+        "Retired conditional branches",
+        EventDomain::Branch,
+        CpuBase::BrCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_BRN_MISP"),
+        "Retired mispredicted branches",
+        EventDomain::Branch,
+        CpuBase::MispCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_COND_MISP"),
+        "Retired mispredicted conditional branches",
+        EventDomain::Branch,
+        CpuBase::MispCond,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_NEAR_RET"),
+        "Retired near returns",
+        EventDomain::Branch,
+        CpuBase::BrRet,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_BRN_FAR"),
+        "Retired far branches",
+        EventDomain::Branch,
+        CpuBase::Zero,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_BRN_IND_MISP"),
+        "Retired mispredicted indirect branches",
+        EventDomain::Branch,
+        CpuBase::Zero,
+        1.0,
+        exact,
+    );
+    b.add(
+        EventName::cpu("EX_RET_MSPRD_BRNCH_INSTR_DIR_MSMTCH"),
+        "Mispredicted direction mismatches",
+        EventDomain::Branch,
+        CpuBase::MispCond,
+        1.0,
+        exact,
+    );
 
     // --- Retirement / cycles / uops. ---
-    b.add(EventName::cpu("EX_RET_INSTR"), "Instructions retired", EventDomain::Other, CpuBase::Instructions, 1.0, NoiseModel::Multiplicative { sigma: 1.5e-8 });
-    b.add(EventName::cpu("EX_RET_OPS"), "Macro-ops retired", EventDomain::Other, CpuBase::Uops, 1.0, NoiseModel::Multiplicative { sigma: 3e-7 });
-    b.add(EventName::cpu_q("LS_NOT_HALTED_CYC", "ALL"), "Core cycles not halted", EventDomain::Cycles, CpuBase::Cycles, 1.0, NoiseModel::Multiplicative { sigma: 3e-4 });
-    b.add(EventName::cpu("APERF"), "Actual performance clock", EventDomain::Cycles, CpuBase::Cycles, 1.0, NoiseModel::Multiplicative { sigma: 6e-4 });
-    b.add(EventName::cpu("MPERF"), "Maximum performance clock", EventDomain::Cycles, CpuBase::Cycles, 0.85, NoiseModel::Multiplicative { sigma: 5e-4 });
-    b.add(EventName::cpu_q("DE_SRC_OP_DISP", "ALL"), "Dispatched ops", EventDomain::Frontend, CpuBase::Uops, 1.05, NoiseModel::Multiplicative { sigma: 2e-5 });
+    b.add(
+        EventName::cpu("EX_RET_INSTR"),
+        "Instructions retired",
+        EventDomain::Other,
+        CpuBase::Instructions,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 1.5e-8 },
+    );
+    b.add(
+        EventName::cpu("EX_RET_OPS"),
+        "Macro-ops retired",
+        EventDomain::Other,
+        CpuBase::Uops,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 3e-7 },
+    );
+    b.add(
+        EventName::cpu_q("LS_NOT_HALTED_CYC", "ALL"),
+        "Core cycles not halted",
+        EventDomain::Cycles,
+        CpuBase::Cycles,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 3e-4 },
+    );
+    b.add(
+        EventName::cpu("APERF"),
+        "Actual performance clock",
+        EventDomain::Cycles,
+        CpuBase::Cycles,
+        1.0,
+        NoiseModel::Multiplicative { sigma: 6e-4 },
+    );
+    b.add(
+        EventName::cpu("MPERF"),
+        "Maximum performance clock",
+        EventDomain::Cycles,
+        CpuBase::Cycles,
+        0.85,
+        NoiseModel::Multiplicative { sigma: 5e-4 },
+    );
+    b.add(
+        EventName::cpu_q("DE_SRC_OP_DISP", "ALL"),
+        "Dispatched ops",
+        EventDomain::Frontend,
+        CpuBase::Uops,
+        1.05,
+        NoiseModel::Multiplicative { sigma: 2e-5 },
+    );
 
     // --- Memory / caches (AMD naming). ---
     let cache = |sigma: f64| NoiseModel::Multiplicative { sigma };
@@ -116,22 +222,116 @@ pub fn zen_like() -> CpuEventSet {
 impl Builder {
     fn finish_memory(mut self, cache: impl Fn(f64) -> NoiseModel) -> CpuEventSet {
         let exact = NoiseModel::None;
-        self.add(EventName::cpu_q("LS_DISPATCH", "LD_DISPATCH"), "Load uops dispatched", EventDomain::Memory, CpuBase::Loads, 1.004, NoiseModel::Multiplicative { sigma: 2e-6 });
-        self.add(EventName::cpu_q("LS_DISPATCH", "STORE_DISPATCH"), "Store uops dispatched", EventDomain::Memory, CpuBase::Stores, 1.0, NoiseModel::Multiplicative { sigma: 2e-6 });
-        self.add(EventName::cpu_q("LS_DC_ACCESSES", "ALL"), "L1 data cache accesses", EventDomain::Memory, CpuBase::Loads, 1.01, cache(1e-3));
-        self.add(EventName::cpu_q("LS_MAB_ALLOC", "LOADS"), "Miss address buffer allocations (L1D load misses)", EventDomain::Memory, CpuBase::L1Miss, 1.0, cache(3e-3));
-        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_L2"), "Demand fills sourced from L2", EventDomain::Memory, CpuBase::L2Hit, 1.0, cache(4e-3));
-        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_CCX"), "Demand fills sourced from L3", EventDomain::Memory, CpuBase::L3Hit, 1.0, cache(7e-3));
-        self.add(EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "DRAM_IO"), "Demand fills sourced from memory", EventDomain::Memory, CpuBase::L3Miss, 1.02, cache(1.2e-2));
-        self.add(EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_HIT"), "L2 demand read hits", EventDomain::Memory, CpuBase::L2RqstsDemandRdHit, 1.0, cache(3e-3));
-        self.add(EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_MISS"), "L2 demand read misses", EventDomain::Memory, CpuBase::L2RqstsDemandRdMiss, 1.015, cache(6e-3));
-        self.add(EventName::cpu_q("L2_PF_HIT_L2", "ALL"), "L2 prefetch hits", EventDomain::Memory, CpuBase::Zero, 1.0, NoiseModel::Additive { scale: 1.0 });
-        self.add(EventName::cpu_q("LS_L1_D_TLB_MISS", "ALL"), "L1 DTLB misses", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 1.0, cache(4e-3));
-        self.add(EventName::cpu_q("LS_TABLEWALKER", "DSIDE"), "Data-side table walks", EventDomain::Tlb, CpuBase::DtlbLoadMisses, 0.98, cache(6e-3));
+        self.add(
+            EventName::cpu_q("LS_DISPATCH", "LD_DISPATCH"),
+            "Load uops dispatched",
+            EventDomain::Memory,
+            CpuBase::Loads,
+            1.004,
+            NoiseModel::Multiplicative { sigma: 2e-6 },
+        );
+        self.add(
+            EventName::cpu_q("LS_DISPATCH", "STORE_DISPATCH"),
+            "Store uops dispatched",
+            EventDomain::Memory,
+            CpuBase::Stores,
+            1.0,
+            NoiseModel::Multiplicative { sigma: 2e-6 },
+        );
+        self.add(
+            EventName::cpu_q("LS_DC_ACCESSES", "ALL"),
+            "L1 data cache accesses",
+            EventDomain::Memory,
+            CpuBase::Loads,
+            1.01,
+            cache(1e-3),
+        );
+        self.add(
+            EventName::cpu_q("LS_MAB_ALLOC", "LOADS"),
+            "Miss address buffer allocations (L1D load misses)",
+            EventDomain::Memory,
+            CpuBase::L1Miss,
+            1.0,
+            cache(3e-3),
+        );
+        self.add(
+            EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_L2"),
+            "Demand fills sourced from L2",
+            EventDomain::Memory,
+            CpuBase::L2Hit,
+            1.0,
+            cache(4e-3),
+        );
+        self.add(
+            EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "LOCAL_CCX"),
+            "Demand fills sourced from L3",
+            EventDomain::Memory,
+            CpuBase::L3Hit,
+            1.0,
+            cache(7e-3),
+        );
+        self.add(
+            EventName::cpu_q("LS_ANY_FILLS_FROM_SYS", "DRAM_IO"),
+            "Demand fills sourced from memory",
+            EventDomain::Memory,
+            CpuBase::L3Miss,
+            1.02,
+            cache(1.2e-2),
+        );
+        self.add(
+            EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_HIT"),
+            "L2 demand read hits",
+            EventDomain::Memory,
+            CpuBase::L2RqstsDemandRdHit,
+            1.0,
+            cache(3e-3),
+        );
+        self.add(
+            EventName::cpu_q("L2_CACHE_REQ_STAT", "LS_RD_BLK_C_MISS"),
+            "L2 demand read misses",
+            EventDomain::Memory,
+            CpuBase::L2RqstsDemandRdMiss,
+            1.015,
+            cache(6e-3),
+        );
+        self.add(
+            EventName::cpu_q("L2_PF_HIT_L2", "ALL"),
+            "L2 prefetch hits",
+            EventDomain::Memory,
+            CpuBase::Zero,
+            1.0,
+            NoiseModel::Additive { scale: 1.0 },
+        );
+        self.add(
+            EventName::cpu_q("LS_L1_D_TLB_MISS", "ALL"),
+            "L1 DTLB misses",
+            EventDomain::Tlb,
+            CpuBase::DtlbLoadMisses,
+            1.0,
+            cache(4e-3),
+        );
+        self.add(
+            EventName::cpu_q("LS_TABLEWALKER", "DSIDE"),
+            "Data-side table walks",
+            EventDomain::Tlb,
+            CpuBase::DtlbLoadMisses,
+            0.98,
+            cache(6e-3),
+        );
 
         // Integer pipes.
-        for (i, name) in ["EX_RET_INT_ADD", "EX_RET_INT_MUL", "EX_RET_INT_CMP", "EX_RET_INT_LOGIC"].iter().enumerate() {
-            self.add(EventName::cpu(*name), "Integer pipe retirement", EventDomain::Other, CpuBase::IntKind(i), 1.0, exact);
+        for (i, name) in ["EX_RET_INT_ADD", "EX_RET_INT_MUL", "EX_RET_INT_CMP", "EX_RET_INT_LOGIC"]
+            .iter()
+            .enumerate()
+        {
+            self.add(
+                EventName::cpu(*name),
+                "Integer pipe retirement",
+                EventDomain::Other,
+                CpuBase::IntKind(i),
+                1.0,
+                exact,
+            );
         }
 
         // Noisy/unrelated tail: data-fabric, power, microcode.
@@ -166,7 +366,17 @@ impl Builder {
             );
         }
         // Frontend / stalls: cycle-scaled noise.
-        for (i, name) in ["DE_DIS_DISPATCH_TOKEN_STALLS", "DE_NO_DISPATCH_PER_SLOT", "EX_NO_RETIRE", "LS_INT_TAKEN", "IC_FETCH_STALL", "IC_CACHE_FILL_L2"].iter().enumerate() {
+        for (i, name) in [
+            "DE_DIS_DISPATCH_TOKEN_STALLS",
+            "DE_NO_DISPATCH_PER_SLOT",
+            "EX_NO_RETIRE",
+            "LS_INT_TAKEN",
+            "IC_FETCH_STALL",
+            "IC_CACHE_FILL_L2",
+        ]
+        .iter()
+        .enumerate()
+        {
             self.add(
                 EventName::cpu(*name),
                 "Pipeline stall accounting",

@@ -257,11 +257,13 @@ impl GpuEventSet {
 pub fn mi250x_like(num_devices: u32) -> GpuEventSet {
     let mut catalog = EventCatalog::new();
     let mut defs = Vec::new();
-    let mut add = |name: EventName, desc: &str, device: u32, base: GpuBase, scale: f64, noise: NoiseModel| {
-        let info = EventInfo { name, description: desc.to_string(), domain: EventDomain::Gpu };
-        catalog.add(info.clone()).expect("duplicate GPU event");
-        defs.push(GpuEventDef { info, device, base, scale, noise });
-    };
+    let mut add =
+        |name: EventName, desc: &str, device: u32, base: GpuBase, scale: f64, noise: NoiseModel| {
+            let info = EventInfo { name, description: desc.to_string(), domain: EventDomain::Gpu };
+            // lint: allow(panic): the builder inserts a static, duplicate-free inventory
+            catalog.add(info.clone()).expect("duplicate GPU event");
+            defs.push(GpuEventDef { info, device, base, scale, noise });
+        };
     let exact = NoiseModel::None;
 
     for dev in 0..num_devices {
@@ -276,7 +278,9 @@ pub fn mi250x_like(num_devices: u32) -> GpuEventSet {
             ("TRANS", GpuBase::ValuTrans as fn(Precision) -> GpuBase),
             ("FMA", GpuBase::ValuFma as fn(Precision) -> GpuBase),
         ] {
-            for (pname, prec) in [("16", Precision::Half), ("32", Precision::Single), ("64", Precision::Double)] {
+            for (pname, prec) in
+                [("16", Precision::Half), ("32", Precision::Single), ("64", Precision::Double)]
+            {
                 add(
                     dq(&format!("SQ_INSTS_VALU_{class}_F{pname}")),
                     "VALU instruction count by class and precision (ADD counts subs too)",

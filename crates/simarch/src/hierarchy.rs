@@ -189,9 +189,9 @@ mod tests {
 
     fn tiny() -> Hierarchy {
         Hierarchy::new(HierarchyConfig {
-            l1: CacheConfig::new(512, 64, 2),   // 8 lines
-            l2: CacheConfig::new(2048, 64, 4),  // 32 lines
-            l3: CacheConfig::new(8192, 64, 8),  // 128 lines
+            l1: CacheConfig::new(512, 64, 2),  // 8 lines
+            l2: CacheConfig::new(2048, 64, 4), // 32 lines
+            l3: CacheConfig::new(8192, 64, 8), // 128 lines
             prefetch_next_line: false,
         })
     }
@@ -255,10 +255,7 @@ mod tests {
 
     #[test]
     fn prefetcher_counts_fills() {
-        let mut h = Hierarchy::new(HierarchyConfig {
-            prefetch_next_line: true,
-            ..tiny().config()
-        });
+        let mut h = Hierarchy::new(HierarchyConfig { prefetch_next_line: true, ..tiny().config() });
         h.access(0, AccessKind::Read);
         assert!(h.stats.prefetch_fills >= 1);
         // The next line was prefetched into L1.

@@ -79,7 +79,8 @@ impl VecWidth {
     }
 
     /// All widths, scalar first.
-    pub const ALL: [VecWidth; 4] = [VecWidth::Scalar, VecWidth::V128, VecWidth::V256, VecWidth::V512];
+    pub const ALL: [VecWidth; 4] =
+        [VecWidth::Scalar, VecWidth::V128, VecWidth::V256, VecWidth::V512];
 }
 
 impl fmt::Display for VecWidth {

@@ -30,6 +30,7 @@
 //! and figure bit-for-bit.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod branch;
 pub mod cache;

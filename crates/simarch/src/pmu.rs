@@ -108,6 +108,7 @@ impl CpuPmu {
         for &id in events {
             let def = set
                 .def(id)
+                // lint: allow(panic): scheduling an id outside the event set is a programming error
                 .unwrap_or_else(|| panic!("unknown CPU event id {}", id.index()));
             let slot = slot_for(def);
             let fits = |g: &Group| match slot {
@@ -155,6 +156,7 @@ impl CpuPmu {
             .iter()
             .zip(&groups)
             .map(|(&id, &group)| {
+                // lint: allow(panic): ids were validated when the schedule was built
                 let def = set.def(id).expect("validated by schedule");
                 let truth = def.base.eval(stats) * def.scale;
                 let mut rng = event_rng(self.cfg.seed, id.index(), run * 1_000_003 + group);
@@ -177,10 +179,12 @@ impl CpuPmu {
             .map(|(pos, &id)| {
                 let def = set
                     .def(id)
+                    // lint: allow(panic): scheduling an id outside the event set is a programming error
                     .unwrap_or_else(|| panic!("unknown GPU event id {}", id.index()));
                 let truth = set.true_count(id, devices).unwrap_or(0.0);
                 let group = pos / self.cfg.counters.max(1);
-                let mut rng = event_rng(self.cfg.seed ^ 0x6770, id.index(), run * 1_000_003 + group);
+                let mut rng =
+                    event_rng(self.cfg.seed ^ 0x6770, id.index(), run * 1_000_003 + group);
                 def.noise.apply(truth, &mut rng)
             })
             .collect()
@@ -198,10 +202,8 @@ mod tests {
 
     fn flops_stats() -> ExecStats {
         let mut cpu = Cpu::new(CoreConfig::default_sim());
-        let b = Block::new().repeat(
-            Instruction::fp(Precision::Double, VecWidth::Scalar, FpKind::Add),
-            24,
-        );
+        let b = Block::new()
+            .repeat(Instruction::fp(Precision::Double, VecWidth::Scalar, FpKind::Add), 24);
         cpu.run(&Program::new().counted_loop(b, 100, 0));
         cpu.stats()
     }

@@ -59,7 +59,12 @@ impl Tlb {
         assert!(cfg.associativity > 0 && cfg.entries % cfg.associativity == 0);
         assert!(cfg.num_sets().is_power_of_two());
         assert!(cfg.page_bytes.is_power_of_two());
-        Self { cfg, entries: vec![Entry::default(); cfg.entries as usize], clock: 0, stats: TlbStats::default() }
+        Self {
+            cfg,
+            entries: vec![Entry::default(); cfg.entries as usize],
+            clock: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Translates an address; returns `true` on TLB hit. Misses install the
@@ -84,6 +89,7 @@ impl Tlb {
             .enumerate()
             .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
             .map(|(i, _)| base + i)
+            // lint: allow(panic): TlbConfig construction rejects zero associativity
             .expect("associativity > 0");
         self.entries[victim] = Entry { vpn, valid: true, lru: self.clock };
         false

@@ -36,7 +36,10 @@ fn main() {
     print!("{}", report::selection_table(&analysis));
 
     println!();
-    print!("{}", report::metrics_table("CPU Floating-Point Metrics (paper Table V)", &analysis.metrics));
+    print!(
+        "{}",
+        report::metrics_table("CPU Floating-Point Metrics (paper Table V)", &analysis.metrics)
+    );
 
     println!("\n== verdicts ==");
     for m in &analysis.metrics {

@@ -18,10 +18,7 @@ use catalyze_sim::{sapphire_rapids_like, FpKind, Precision, VecWidth};
 /// Computes what a dedicated FMA-instruction counter (one count per FMA
 /// instruction, unlike `FP_ARITH`'s double counting) would read.
 fn fma_instr_count(stats: &ExecStats, prec: Precision) -> f64 {
-    VecWidth::ALL
-        .iter()
-        .map(|&w| stats.fp_class(prec, w, FpKind::Fma) as f64)
-        .sum()
+    VecWidth::ALL.iter().map(|&w| stats.fp_class(prec, w, FpKind::Fma) as f64).sum()
 }
 
 fn main() {

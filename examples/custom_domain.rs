@@ -17,12 +17,14 @@
 
 use catalyze::basis::Basis;
 use catalyze::pipeline::{analyze, AnalysisConfig};
-use catalyze::signature::MetricSignature;
 use catalyze::report;
+use catalyze::signature::MetricSignature;
 use catalyze_events::EventId;
 use catalyze_linalg::Matrix;
 use catalyze_sim::program::Block;
-use catalyze_sim::{sapphire_rapids_like, CoreConfig, Cpu, CpuPmu, Instruction, IntKind, PmuConfig, Program};
+use catalyze_sim::{
+    sapphire_rapids_like, CoreConfig, Cpu, CpuPmu, Instruction, IntKind, PmuConfig, Program,
+};
 
 /// Instructions per loop iteration for the three loops of every kernel.
 const LOOP_SIZES: [u64; 3] = [24, 48, 96];

@@ -32,7 +32,10 @@ fn main() {
     println!();
     print!("{}", report::selection_table(&analysis));
     println!();
-    print!("{}", report::metrics_table("GPU Floating-Point Metrics (paper Table VI)", &analysis.metrics));
+    print!(
+        "{}",
+        report::metrics_table("GPU Floating-Point Metrics (paper Table VI)", &analysis.metrics)
+    );
 
     println!("\nNote the 0.5-coefficient / 4.1e-1-error definitions of HP Add and");
     println!("HP Sub: the hardware cannot separate them, and the analysis says so.");

@@ -30,7 +30,11 @@ fn dstore_pipeline_composes_write_metrics() {
         "L2 Store Misses.",
     ] {
         let m = d.analysis.metric(name).unwrap();
-        assert!(m.error < 1e-3, "{name} error {}", m.error);
+        // The RFO events carry multiplicative observation noise with
+        // sigma ~1e-2 and Scale::Fast takes the median of only three
+        // repetitions, so a few-1e-3 backward error is statistically
+        // expected; the non-composable contrast below sits near 1.0.
+        assert!(m.error < 5e-3, "{name} error {}", m.error);
     }
 
     // L1 Store Hits = stores - RFOs: positive stores coefficient, negative

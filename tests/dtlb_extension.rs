@@ -44,11 +44,11 @@ fn dtlb_measurements_have_clean_regions() {
     ms.validate().unwrap();
     let walks = ms.event_index("DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK").unwrap();
     let v = ms.mean_vector(walks);
-    for p in 0..5 {
-        assert!(v[p] < 0.01, "hit-region point {p} shows walks: {}", v[p]);
+    for (p, &walks_per_access) in v.iter().enumerate().take(5) {
+        assert!(walks_per_access < 0.01, "hit-region point {p} shows walks: {walks_per_access}");
     }
-    for p in 5..8 {
-        assert!(v[p] > 0.9, "miss-region point {p} lacks walks: {}", v[p]);
+    for (p, &walks_per_access) in v.iter().enumerate().take(8).skip(5) {
+        assert!(walks_per_access > 0.9, "miss-region point {p} lacks walks: {walks_per_access}");
     }
 }
 

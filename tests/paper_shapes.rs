@@ -175,10 +175,7 @@ fn gpu_selection_and_metrics_match_section_5b_and_table6() {
     for class in ["ADD", "MUL", "TRANS", "FMA"] {
         for prec in ["16", "32", "64"] {
             let name = format!("rocm:::SQ_INSTS_VALU_{class}_F{prec}:device=0");
-            assert!(
-                report.selection.events.iter().any(|e| e.name == name),
-                "missing {name}"
-            );
+            assert!(report.selection.events.iter().any(|e| e.name == name), "missing {name}");
         }
     }
 
@@ -187,11 +184,8 @@ fn gpu_selection_and_metrics_match_section_5b_and_table6() {
     for name in ["HP Add Ops.", "HP Sub Ops."] {
         let m = report.metric(name).unwrap();
         assert!((m.error - 0.414).abs() < 0.01, "{name} error {}", m.error);
-        let add_idx = m
-            .events
-            .iter()
-            .position(|e| e == "rocm:::SQ_INSTS_VALU_ADD_F16:device=0")
-            .unwrap();
+        let add_idx =
+            m.events.iter().position(|e| e == "rocm:::SQ_INSTS_VALU_ADD_F16:device=0").unwrap();
         assert!((m.coefficients[add_idx] - 0.5).abs() < 1e-6);
     }
     // HP Add and Sub together compose exactly.
@@ -237,7 +231,8 @@ fn dcache_selection_and_metrics_match_section_5d_and_table8() {
     for m in &report.metrics {
         assert!(m.error < 1e-3, "{} error {}", m.metric, m.error);
         for (c, r) in m.coefficients.iter().zip(&m.rounded) {
-            let rounded = r.unwrap_or_else(|| panic!("{}: coefficient {c} did not round", m.metric));
+            let rounded =
+                r.unwrap_or_else(|| panic!("{}: coefficient {c} did not round", m.metric));
             assert!((c - rounded).abs() <= 0.05, "{}: {c} vs {rounded}", m.metric);
         }
         assert!(

@@ -22,7 +22,8 @@ fn all_noisy_input_yields_no_metrics() {
             vec![vec![f; 11], vec![10.0 * f * f; 11]]
         })
         .collect();
-    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     assert!(report.noise.kept().is_empty());
     assert!(report.selection.events.is_empty());
     assert!(report.metrics.is_empty());
@@ -33,7 +34,8 @@ fn all_noisy_input_yields_no_metrics() {
 fn all_zero_input_yields_no_metrics() {
     let n = names(&["Z1", "Z2"]);
     let runs = vec![vec![vec![0.0; 11], vec![0.0; 11]]; 2];
-    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     assert_eq!(report.noise.discarded_zero().len(), 2);
     assert!(report.metrics.is_empty());
 }
@@ -44,7 +46,8 @@ fn unrepresentable_events_yield_empty_selection() {
     let n = names(&["C1", "C2"]);
     let ramp: Vec<f64> = (0..11).map(|i| (i * i) as f64).collect();
     let runs = vec![vec![vec![5.0; 11], ramp]; 2];
-    let report = analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     assert_eq!(report.noise.kept().len(), 2);
     assert_eq!(report.representation.rejected.len(), 2);
     assert!(report.selection.events.is_empty());
@@ -73,7 +76,8 @@ fn partial_coverage_reports_honest_errors() {
     let runs = vec![vec![t]; 2];
     let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
     assert!(report.metric("Conditional Branches Taken").unwrap().error < 1e-10);
-    for name in ["Mispredicted Branches", "Unconditional Branches", "Conditional Branches Executed"] {
+    for name in ["Mispredicted Branches", "Unconditional Branches", "Conditional Branches Executed"]
+    {
         let m = report.metric(name).unwrap();
         assert!(m.error > 0.5, "{name} must be non-composable, error {}", m.error);
     }
@@ -106,7 +110,8 @@ fn measurement_set_json_roundtrip_preserves_analysis() {
     let back: MeasurementSet = serde_json::from_str(&json).unwrap();
     assert_eq!(back, ms);
     let r1 = analyze("b", &ms.events, &ms.runs, &b, &branch_signatures(), AnalysisConfig::branch());
-    let r2 = analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let r2 =
+        analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch());
     assert_eq!(r1.metrics.len(), r2.metrics.len());
     for (a, b) in r1.metrics.iter().zip(&r2.metrics) {
         assert_eq!(a.coefficients, b.coefficients);

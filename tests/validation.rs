@@ -8,11 +8,7 @@ use catalyze_events::Preset;
 
 fn pipeline_presets(domain: &str, h: &Harness) -> Vec<Preset> {
     let d = h.domain(domain).expect("known domain");
-    d.analysis
-        .composable_metrics()
-        .iter()
-        .map(|m| m.to_preset(1e-6))
-        .collect()
+    d.analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect()
 }
 
 #[test]

@@ -40,22 +40,14 @@ fn per_precision_metrics_not_composable_on_zen() {
     // The selection comes from the RETIRED_SSE_AVX_FLOPS family.
     assert!(!report.selection.events.is_empty());
     for e in &report.selection.events {
-        assert!(
-            e.name.starts_with("RETIRED_SSE_AVX_FLOPS"),
-            "unexpected selection {}",
-            e.name
-        );
+        assert!(e.name.starts_with("RETIRED_SSE_AVX_FLOPS"), "unexpected selection {}", e.name);
     }
 
     // Per-precision metrics cannot be composed: the hardware merges
     // precisions.
     for name in ["SP Ops.", "DP Ops.", "SP Instrs.", "DP Instrs."] {
         let m = report.metric(name).unwrap();
-        assert!(
-            m.error > 0.05,
-            "{name} must be non-composable on Zen-like, error {}",
-            m.error
-        );
+        assert!(m.error > 0.05, "{name} must be non-composable on Zen-like, error {}", m.error);
     }
 
     // The precision-agnostic total IS composable — as 1 x ANY (or the
@@ -117,8 +109,7 @@ fn zen_flop_events_survive_noise_and_representation() {
         &signature::cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
     );
-    let kept: Vec<&str> =
-        report.representation.kept.iter().map(|e| e.name.as_str()).collect();
+    let kept: Vec<&str> = report.representation.kept.iter().map(|e| e.name.as_str()).collect();
     for name in [
         "RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS",
         "RETIRED_SSE_AVX_FLOPS:MULT_FLOPS",
@@ -170,7 +161,9 @@ fn zen_cache_metrics_compose_from_amd_events() {
         .events
         .iter()
         .zip(&hits.coefficients)
-        .find(|(e, _)| e.as_str() == "LS_DC_ACCESSES:ALL" || e.as_str() == "LS_DISPATCH:LD_DISPATCH")
+        .find(|(e, _)| {
+            e.as_str() == "LS_DC_ACCESSES:ALL" || e.as_str() == "LS_DISPATCH:LD_DISPATCH"
+        })
         .map(|(_, &c)| c)
         .expect("a loads counter is selected");
     let mab_coef = hits

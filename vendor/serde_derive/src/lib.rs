@@ -1,0 +1,491 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the item shapes this workspace
+//! declares: named structs, tuple structs, unit structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-like. External tagging and
+//! `#[serde(skip)]` follow real serde's conventions. The input item is
+//! parsed directly from the `proc_macro` token stream — the offline build
+//! container has no `syn`/`quote` — and the implementation is emitted as a
+//! source string parsed back into a token stream.
+//!
+//! Unsupported shapes (generic types, lifetimes, unions, other `#[serde]`
+//! attributes) produce a `compile_error!` naming the construct, so misuse
+//! fails loudly rather than silently misbehaving.
+
+// Vendored third-party stand-in: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    src.parse().unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal error message parses")
+}
+
+/// One field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemShape {
+    NamedStruct(Vec<Field>),
+    TupleStruct { arity: usize, skipped: Vec<bool> },
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+}
+
+/// True when an attribute group body is `serde(... skip ...)`.
+fn attr_is_serde_skip(body: &[TokenTree]) -> Result<bool, String> {
+    let mut it = body.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(false),
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) => {
+            let inner: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner.len() == 1 && inner[0] == "skip" {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "unsupported #[serde({})] — the vendored derive only knows `skip`",
+                    inner.join("")
+                ))
+            }
+        }
+        _ => Err("malformed #[serde] attribute".into()),
+    }
+}
+
+/// Consumes leading `#[...]` attributes, reporting whether any is
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                skip |= attr_is_serde_skip(&body)?;
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(skip)
+}
+
+/// Consumes a visibility marker (`pub`, `pub(crate)`, ...), if present.
+fn take_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type expression: everything up to a top-level `,` (angle-bracket
+/// depth tracked through `<`/`>`).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = take_attrs(&tokens, &mut pos)?;
+        take_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut pos);
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Result<Vec<bool>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut skipped = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = take_attrs(&tokens, &mut pos)?;
+        take_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        skipped.push(skip);
+    }
+    Ok(skipped)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        take_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+            None => break,
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match parse_tuple_fields(g)?.len() {
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                pos += 1;
+                while let Some(tok) = tokens.get(pos) {
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    take_attrs(&tokens, &mut pos)?;
+    take_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("the vendored serde derive cannot handle `{kind}` items"));
+    }
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let shape = if kind == "enum" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum(parse_variants(g)?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let skipped = parse_tuple_fields(g)?;
+                ItemShape::TupleStruct { arity: skipped.len(), skipped }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemShape::UnitStruct,
+            _ => return Err(format!("expected struct body for `{name}`")),
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "#[allow(unused_mut)] let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                 ::serde::Value::Object(fields)"
+            )
+        }
+        ItemShape::TupleStruct { arity, skipped } => {
+            let live: Vec<usize> = (0..*arity).filter(|i| !skipped[*i]).collect();
+            if live.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        ItemShape::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemShape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push(({:?}.to_string(), \
+                                 ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             #[allow(unused_mut)] let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}\
+                             ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Object(inner))])\n}},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: ::serde::derive_support::field(_fields, {:?}, {name:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "let _fields = ::serde::derive_support::as_object(v, {name:?})?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemShape::TupleStruct { arity, skipped } => {
+            let live: Vec<usize> = (0..*arity).filter(|i| !skipped[*i]).collect();
+            if skipped.iter().any(|&s| s) {
+                return format!(
+                    "compile_error!(\"#[serde(skip)] on tuple-struct fields is not supported \
+                     by the vendored derive ({name})\");"
+                );
+            }
+            if live.len() == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::derive_support::element(items, {i}, {name:?})?"))
+                    .collect();
+                format!(
+                    "let items = ::serde::derive_support::as_array(v, {name:?})?;\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+        }
+        ItemShape::UnitStruct => format!("Ok({name})"),
+        ItemShape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(_payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::derive_support::element(items, {i}, {name:?})?")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let items = ::serde::derive_support::as_array(_payload, {name:?})?;\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{}: ::serde::derive_support::field(_fields, {:?}, \
+                                     {name:?})?,\n",
+                                    f.name, f.name
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let _fields = ::serde::derive_support::as_object(_payload, {name:?})?;\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (variant, _payload) = ::serde::derive_support::variant(v, {name:?})?;\n\
+                 match variant {{\n{arms}\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"unknown {name} variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
