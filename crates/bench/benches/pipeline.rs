@@ -15,7 +15,7 @@ fn bench_full_analyze(c: &mut Criterion) {
     let mut g = c.benchmark_group("analyze_domain");
     g.sample_size(20);
     for name in ["branch", "cpu-flops", "gpu-flops"] {
-        let d = h.domain(name).expect("known domain");
+        let d = h.domain(name).expect("known domain").expect("domain analyzes");
         let cfg = d.analysis.config;
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -35,7 +35,7 @@ fn bench_full_analyze(c: &mut Criterion) {
 
 fn bench_stages(c: &mut Criterion) {
     let h = Harness::new(Scale::Fast);
-    let d = h.cpu_flops();
+    let d = h.cpu_flops().expect("cpu-flops analysis");
     let ms = &d.measurements;
 
     c.bench_function("stage_noise_filter", |b| {

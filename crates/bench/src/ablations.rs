@@ -70,7 +70,14 @@ pub struct AlphaRow {
 }
 
 /// Sweeps α over `values` and reports the selection at each setting.
-pub fn alpha_sweep(domain: &DomainResult, values: &[f64]) -> Vec<AlphaRow> {
+///
+/// # Errors
+///
+/// Propagates a selection failure (non-finite representation matrix).
+pub fn alpha_sweep(
+    domain: &DomainResult,
+    values: &[f64],
+) -> Result<Vec<AlphaRow>, catalyze::LinalgError> {
     let mut default: Vec<String> =
         domain.analysis.selection.events.iter().map(|e| e.name.clone()).collect();
     default.sort();
@@ -78,10 +85,10 @@ pub fn alpha_sweep(domain: &DomainResult, values: &[f64]) -> Vec<AlphaRow> {
         .iter()
         .map(|&alpha| {
             let rep = &domain.analysis.representation;
-            let sel = catalyze::select::select_events(rep, alpha);
+            let sel = catalyze::select::select_events(rep, alpha)?;
             let mut names: Vec<String> = sel.events.iter().map(|e| e.name.clone()).collect();
             names.sort();
-            AlphaRow { alpha, matches_default: names == default, selected: names }
+            Ok(AlphaRow { alpha, matches_default: names == default, selected: names })
         })
         .collect()
 }
@@ -154,7 +161,13 @@ pub fn median_ablation(h: &Harness) -> MedianAblation {
 /// Re-analyzes the cache domain *without* the per-thread median (first
 /// thread only) so the effect on the final metric definitions can be
 /// compared.
-pub fn dcache_without_median(h: &Harness) -> catalyze::AnalysisReport {
+///
+/// # Errors
+///
+/// Propagates analysis failures from the pipeline's linear-algebra stages.
+pub fn dcache_without_median(
+    h: &Harness,
+) -> Result<catalyze::AnalysisReport, catalyze::LinalgError> {
     let per_thread = run_dcache_per_thread(&h.cpu_events, &h.cfg);
     let ms = &per_thread[0];
     analyze(
@@ -175,7 +188,7 @@ mod tests {
     #[test]
     fn pivot_ablation_shows_divergence() {
         let h = Harness::new(Scale::Fast);
-        let d = h.dcache();
+        let d = h.dcache().unwrap();
         let ab = pivot_rule_ablation(&d);
         assert_eq!(ab.specialized.len(), 4);
         assert!(!ab.standard.is_empty());
@@ -198,8 +211,8 @@ mod tests {
     #[test]
     fn alpha_sweep_stable_over_decades() {
         let h = Harness::new(Scale::Fast);
-        let d = h.branch();
-        let rows = alpha_sweep(&d, &[1e-5, 5e-4, 1e-3, 1e-2]);
+        let d = h.branch().unwrap();
+        let rows = alpha_sweep(&d, &[1e-5, 5e-4, 1e-3, 1e-2]).unwrap();
         for r in &rows {
             assert!(r.matches_default, "alpha {} changed the selection", r.alpha);
         }
@@ -208,7 +221,7 @@ mod tests {
     #[test]
     fn tau_sweep_monotone() {
         let h = Harness::new(Scale::Fast);
-        let d = h.branch();
+        let d = h.branch().unwrap();
         let rows = tau_sweep(&d, &[1e-14, 1e-10, 1e-2, 1e2]);
         for w in rows.windows(2) {
             assert!(w[0].kept <= w[1].kept, "kept counts must grow with tau");

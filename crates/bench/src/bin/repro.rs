@@ -193,7 +193,7 @@ fn main() {
 
     // Lazily run only the domains the command needs.
     if all || matches!(cmd, "table5" | "fig2" | "fig2b" | "select-cpu") {
-        let d = h.cpu_flops();
+        let d = h.cpu_flops().expect("cpu-flops analysis");
         if all || cmd == "select-cpu" {
             selection(&opts, "select-cpu", &d);
         }
@@ -205,7 +205,7 @@ fn main() {
         }
     }
     if all || matches!(cmd, "table6" | "fig2" | "fig2c" | "select-gpu") {
-        let d = h.gpu_flops();
+        let d = h.gpu_flops().expect("gpu-flops analysis");
         if all || cmd == "select-gpu" {
             selection(&opts, "select-gpu", &d);
         }
@@ -222,7 +222,7 @@ fn main() {
             "table7" | "fig2" | "fig2a" | "select-branch" | "ablate-alpha" | "ablate-tau"
         )
     {
-        let d = h.branch();
+        let d = h.branch().expect("branch analysis");
         if all || cmd == "select-branch" {
             selection(&opts, "select-branch", &d);
         }
@@ -235,7 +235,9 @@ fn main() {
         if all || cmd == "ablate-alpha" {
             println!("-- alpha sensitivity (branch domain, §V.E) --");
             let mut text = String::new();
-            for row in ablations::alpha_sweep(&d, &[1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 1e-2, 5e-2]) {
+            let sweep = ablations::alpha_sweep(&d, &[1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 1e-2, 5e-2])
+                .expect("alpha sweep on a validated representation");
+            for row in sweep {
                 let line = format!(
                     "alpha {:>8.0e}: {} events, matches default: {}\n",
                     row.alpha,
@@ -266,7 +268,7 @@ fn main() {
     }
     if all || matches!(cmd, "table8" | "fig2d" | "fig2" | "fig3" | "select-cache" | "ablate-pivot")
     {
-        let d = h.dcache();
+        let d = h.dcache().expect("dcache analysis");
         if all || cmd == "select-cache" {
             selection(&opts, "select-cache", &d);
         }
@@ -296,12 +298,12 @@ fn main() {
         }
     }
     if all || matches!(cmd, "dtlb" | "select-dtlb") {
-        let d = h.dtlb();
+        let d = h.dtlb().expect("dtlb analysis");
         selection(&opts, "select-dtlb", &d);
         metric_table(&opts, "table-dtlb", "Extension: Data-TLB Metrics", &d);
     }
     if all || matches!(cmd, "dstore" | "select-dstore") {
-        let d = h.dstore();
+        let d = h.dstore().expect("dstore analysis");
         selection(&opts, "select-dstore", &d);
         metric_table(&opts, "table-dstore", "Extension: Store-Path (RFO) Metrics", &d);
     }

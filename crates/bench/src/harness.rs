@@ -4,6 +4,7 @@
 use catalyze::basis::{self, Basis, CacheRegion};
 use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
 use catalyze::signature::{self, MetricSignature};
+use catalyze::LinalgError;
 use catalyze_cat::{
     dcache, dstore, dtlb, run_branch, run_cpu_flops, run_dcache, run_dstore, run_dtlb,
     run_gpu_flops, MeasurementSet, RunnerConfig,
@@ -73,7 +74,7 @@ impl Harness {
 
     /// Runs the CPU-FLOPs benchmark and analysis (paper §V.A, Table V,
     /// Fig. 2b).
-    pub fn cpu_flops(&self) -> DomainResult {
+    pub fn cpu_flops(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_cpu_flops(&self.cpu_events, &self.cfg);
         let basis = basis::cpu_flops_basis();
         let signatures = signature::cpu_flops_signatures();
@@ -84,13 +85,13 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::cpu_flops(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs the branching benchmark and analysis (§V.C, Table VII,
     /// Fig. 2a).
-    pub fn branch(&self) -> DomainResult {
+    pub fn branch(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_branch(&self.cpu_events, &self.cfg);
         let basis = basis::branch_basis();
         let signatures = signature::branch_signatures();
@@ -101,13 +102,13 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::branch(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs the data-cache benchmark and analysis (§V.D, Table VIII,
     /// Figs. 2d and 3).
-    pub fn dcache(&self) -> DomainResult {
+    pub fn dcache(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_dcache(&self.cpu_events, &self.cfg);
         let basis = basis::dcache_basis(&self.cache_regions());
         let signatures = signature::dcache_signatures();
@@ -118,13 +119,13 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::dcache(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs the GPU-FLOPs benchmark and analysis (§V.B, Table VI,
     /// Fig. 2c).
-    pub fn gpu_flops(&self) -> DomainResult {
+    pub fn gpu_flops(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_gpu_flops(&self.gpu_events, &self.cfg);
         let basis = basis::gpu_flops_basis();
         let signatures = signature::gpu_flops_signatures();
@@ -135,14 +136,14 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::gpu_flops(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs the data-TLB extension benchmark and analysis (beyond the
     /// paper: its future-work direction of covering further hardware
     /// attributes).
-    pub fn dtlb(&self) -> DomainResult {
+    pub fn dtlb(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_dtlb(&self.cpu_events, &self.cfg);
         let hit_regions = dtlb::point_hit_regions(&self.cfg.core.tlb);
         let basis = basis::dtlb_basis(&hit_regions);
@@ -154,12 +155,12 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::dtlb(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs the store-path extension benchmark and analysis.
-    pub fn dstore(&self) -> DomainResult {
+    pub fn dstore(&self) -> Result<DomainResult, LinalgError> {
         let measurements = run_dstore(&self.cpu_events, &self.cfg);
         let regions: Vec<CacheRegion> = dstore::point_regions(&self.cfg.core.hierarchy)
             .into_iter()
@@ -179,13 +180,14 @@ impl Harness {
             &basis,
             &signatures,
             AnalysisConfig::dstore(),
-        );
-        DomainResult { measurements, basis, signatures, analysis }
+        )?;
+        Ok(DomainResult { measurements, basis, signatures, analysis })
     }
 
     /// Runs one domain by name (`cpu-flops`, `branch`, `dcache`,
-    /// `gpu-flops`).
-    pub fn domain(&self, name: &str) -> Option<DomainResult> {
+    /// `gpu-flops`). `None` for an unknown name; the inner `Result`
+    /// carries analysis failures.
+    pub fn domain(&self, name: &str) -> Option<Result<DomainResult, LinalgError>> {
         match name {
             "cpu-flops" => Some(self.cpu_flops()),
             "branch" => Some(self.branch()),
@@ -206,7 +208,7 @@ mod tests {
     fn fast_harness_runs_every_domain() {
         let h = Harness::new(Scale::Fast);
         for name in ["cpu-flops", "branch", "gpu-flops"] {
-            let d = h.domain(name).unwrap();
+            let d = h.domain(name).unwrap().unwrap();
             assert!(!d.analysis.metrics.is_empty(), "{name}");
             assert_eq!(d.basis.points(), d.measurements.num_points(), "{name}");
         }

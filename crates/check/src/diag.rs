@@ -26,6 +26,29 @@ impl fmt::Display for Severity {
     }
 }
 
+/// A machine-readable source span: half-open byte range `[start, end)`
+/// into the linted file, plus the 1-based line and column (in characters)
+/// of `start`. Produced by token-level linters (`cargo xtask lint`);
+/// data-validation linters (`catalyze check`) have no source text and
+/// leave the span empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first flagged byte.
+    pub start: usize,
+    /// Byte offset one past the last flagged byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based column (in characters, not bytes) of `start`.
+    pub column: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// One finding: a rule id, a severity, where it was found, what is wrong,
 /// and optionally how to fix it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,12 +58,15 @@ pub struct Diagnostic {
     /// Finding severity.
     pub severity: Severity,
     /// Human-oriented location: `basis cpu-flops, column 7 (D256)` or
-    /// `crates/linalg/src/svd.rs:142`.
+    /// `crates/linalg/src/svd.rs:142:9`.
     pub location: String,
     /// What is wrong.
     pub message: String,
     /// Optional remediation hint.
     pub suggestion: Option<String>,
+    /// Precise source span, when the finding points into a source file
+    /// (serialized as `null` otherwise).
+    pub span: Option<Span>,
 }
 
 impl Diagnostic {
@@ -57,12 +83,19 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             suggestion: None,
+            span: None,
         }
     }
 
     /// Attaches a remediation hint.
     pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
         self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Attaches a precise source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
         self
     }
 }
@@ -191,6 +224,27 @@ mod tests {
         assert_eq!(v["diagnostics"][0]["rule"].as_str(), Some("C004"));
         assert_eq!(v["diagnostics"][0]["severity"].as_str(), Some("Error"));
         // Unknown summary keys are ignored on the way back in.
+        let back: Report = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn span_serializes_and_roundtrips() {
+        let d = Diagnostic::new("R001", Severity::Error, "crates/x/src/lib.rs:3:5", "boom")
+            .with_span(Span { start: 40, end: 49, line: 3, column: 5 });
+        assert_eq!(d.span.map(|s| s.to_string()), Some("3:5".to_string()));
+        let mut r = Report::new();
+        r.push(d.clone());
+        let json = r.render_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(v["diagnostics"][0]["span"]["start"].as_u64(), Some(40));
+        assert_eq!(v["diagnostics"][0]["span"]["line"].as_u64(), Some(3));
+        // A span-less diagnostic serializes the field as null, keeping the
+        // JSON shape stable for schema validation.
+        let mut r2 = Report::new();
+        r2.push(Diagnostic::new("B001", Severity::Error, "basis x", "dup"));
+        let v2: serde_json::Value = serde_json::from_str(&r2.render_json()).expect("valid json");
+        assert_eq!(v2["diagnostics"][0]["span"], serde_json::Value::Null);
         let back: Report = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back, r);
     }

@@ -24,6 +24,6 @@ pub mod shipped;
 
 pub use basis::check_basis;
 pub use config::check_config;
-pub use diag::{Diagnostic, Report, Severity};
+pub use diag::{Diagnostic, Report, Severity, Span};
 pub use events::{check_catalog, check_preset_file, check_presets};
 pub use shipped::{check_shipped, shipped_domains};

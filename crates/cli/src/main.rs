@@ -140,7 +140,13 @@ fn analyze_domain(
     if let Some(a) = alpha {
         acfg.alpha = a;
     }
-    Some(analyze(domain, &ms.events, &ms.runs, &basis, &signatures, acfg))
+    match analyze(domain, &ms.events, &ms.runs, &basis, &signatures, acfg) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("analysis failed for {domain}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

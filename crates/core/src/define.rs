@@ -146,8 +146,9 @@ mod tests {
                 (3, "BR_INST_RETIRED:ALL_BRANCHES".into(), all),
             ],
             1e-6,
-        );
-        select_events(&rep, 5e-4)
+        )
+        .unwrap();
+        select_events(&rep, 5e-4).unwrap()
     }
 
     #[test]

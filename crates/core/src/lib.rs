@@ -37,7 +37,8 @@
 //! let report = analyze(
 //!     "branch", &names, &runs, &basis, &branch_signatures(),
 //!     AnalysisConfig::branch(),
-//! );
+//! )
+//! .expect("synthetic measurements are finite and well shaped");
 //! let retired = report.metric("Conditional Branches Retired").unwrap();
 //! assert!(retired.error < 1e-10);
 //! ```
@@ -57,6 +58,7 @@ pub mod signature;
 pub mod validate_basis;
 
 pub use basis::{Basis, CacheRegion};
+pub use catalyze_linalg::LinalgError;
 pub use define::DefinedMetric;
 pub use noise::{max_rnmse, NoiseReport};
 pub use normalize::Representation;

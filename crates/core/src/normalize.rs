@@ -2,7 +2,7 @@
 //! event in the expectation basis by solving `E · x_e = m_e`.
 
 use crate::basis::Basis;
-use catalyze_linalg::{lstsq, Matrix};
+use catalyze_linalg::{lstsq, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// One event successfully represented in the expectation basis.
@@ -63,21 +63,21 @@ impl Representation {
 /// Events whose relative residual exceeds `threshold` are rejected — they
 /// measure something the benchmark's ideal-event space does not span (e.g.
 /// loop-header integer traffic under the FLOPs basis).
+///
+/// # Errors
+///
+/// Propagates the least-squares error when a measurement vector's length
+/// does not match the basis points, contains non-finite values, or the
+/// basis matrix is rank deficient.
 pub fn represent(
     basis: &Basis,
     events: &[(usize, String, Vec<f64>)],
     threshold: f64,
-) -> Representation {
+) -> Result<Representation, LinalgError> {
     let mut kept = Vec::new();
     let mut rejected = Vec::new();
     for (index, name, m) in events {
-        assert_eq!(
-            m.len(),
-            basis.points(),
-            "measurement vector length must match basis points for {name}"
-        );
-        // lint: allow(panic): the shipped bases are full column rank (catalyze check enforces it)
-        let sol = lstsq(&basis.matrix, m).expect("basis is full column rank by construction");
+        let sol = lstsq(&basis.matrix, m)?;
         if sol.relative_residual <= threshold {
             kept.push(RepresentedEvent {
                 index: *index,
@@ -93,7 +93,7 @@ pub fn represent(
             });
         }
     }
-    Representation { kept, rejected, threshold }
+    Ok(Representation { kept, rejected, threshold })
 }
 
 #[cfg(test)]
@@ -106,7 +106,7 @@ mod tests {
         let b = branch_basis();
         // The CR column itself.
         let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
-        let rep = represent(&b, &[(0, "COND".into(), cr)], 1e-6);
+        let rep = represent(&b, &[(0, "COND".into(), cr)], 1e-6).unwrap();
         assert_eq!(rep.kept.len(), 1);
         let coords = &rep.kept[0].coords;
         assert!((coords[1] - 1.0).abs() < 1e-10);
@@ -123,7 +123,7 @@ mod tests {
         let b = branch_basis();
         // ALL_BRANCHES = CR + D.
         let all: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)] + b.matrix[(i, 3)]).collect();
-        let rep = represent(&b, &[(3, "ALL".into(), all)], 1e-6);
+        let rep = represent(&b, &[(3, "ALL".into(), all)], 1e-6).unwrap();
         assert_eq!(rep.kept.len(), 1);
         let c = &rep.kept[0].coords;
         assert!((c[1] - 1.0).abs() < 1e-10);
@@ -135,7 +135,7 @@ mod tests {
         let b = cpu_flops_basis();
         // Constant loop-overhead vector: not in the span of 24/48/96 triples.
         let constant = vec![2.0; 48];
-        let rep = represent(&b, &[(7, "INT".into(), constant)], 0.05);
+        let rep = represent(&b, &[(7, "INT".into(), constant)], 0.05).unwrap();
         assert!(rep.kept.is_empty());
         assert_eq!(rep.rejected.len(), 1);
         assert!(rep.rejected[0].residual > 0.1);
@@ -153,7 +153,7 @@ mod tests {
             m[3 * dscal + l] = *v;
             m[3 * dscal_fma + l] = *v;
         }
-        let rep = represent(&b, &[(0, "SCALAR_DOUBLE".into(), m)], 1e-6);
+        let rep = represent(&b, &[(0, "SCALAR_DOUBLE".into(), m)], 1e-6).unwrap();
         assert_eq!(rep.kept.len(), 1);
         let c = &rep.kept[0].coords;
         assert!((c[dscal] - 1.0).abs() < 1e-10);
@@ -165,7 +165,7 @@ mod tests {
         let b = branch_basis();
         let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
         let t: Vec<f64> = (0..11).map(|i| b.matrix[(i, 2)]).collect();
-        let rep = represent(&b, &[(0, "CR".into(), cr), (1, "T".into(), t)], 1e-6);
+        let rep = represent(&b, &[(0, "CR".into(), cr), (1, "T".into(), t)], 1e-6).unwrap();
         let x = rep.x_matrix().unwrap();
         assert_eq!(x.shape(), (5, 2));
         assert_eq!(rep.kept_names(), vec!["CR", "T"]);
@@ -174,9 +174,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length must match")]
-    fn wrong_length_panics() {
+    fn wrong_length_is_an_error() {
         let b = branch_basis();
-        represent(&b, &[(0, "bad".into(), vec![1.0; 3])], 0.1);
+        let err = represent(&b, &[(0, "bad".into(), vec![1.0; 3])], 0.1).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }), "got {err:?}");
     }
 }

@@ -8,6 +8,7 @@ use crate::noise::{analyze_noise, NoiseReport};
 use crate::normalize::{represent, Representation};
 use crate::select::{select_events, Selection};
 use crate::signature::MetricSignature;
+use catalyze_linalg::LinalgError;
 use serde::{Deserialize, Serialize};
 
 /// Tuning of the four pipeline stages.
@@ -122,6 +123,13 @@ impl AnalysisReport {
 ///   `MeasurementSet`);
 /// * `basis` — the domain's expectation basis (`points` must match `p`);
 /// * `signatures` — the metrics to define.
+///
+/// # Errors
+///
+/// Propagates linear-algebra failures from the representation and
+/// selection stages (shape mismatches, non-finite measurements, a
+/// rank-deficient basis). Mis-shaped `names`/`runs` arguments are a
+/// programming error and still panic.
 pub fn analyze(
     domain: &str,
     names: &[String],
@@ -129,7 +137,7 @@ pub fn analyze(
     basis: &Basis,
     signatures: &[MetricSignature],
     config: AnalysisConfig,
-) -> AnalysisReport {
+) -> Result<AnalysisReport, LinalgError> {
     assert!(!runs.is_empty(), "analyze: no measurement runs");
     assert_eq!(runs[0].len(), names.len(), "analyze: names/runs event mismatch");
 
@@ -157,17 +165,17 @@ pub fn analyze(
     };
     let inputs: Vec<(usize, String, Vec<f64>)> =
         kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
-    let representation = represent(basis, &inputs, config.representation_threshold);
+    let representation = represent(basis, &inputs, config.representation_threshold)?;
 
     // Stage 3: specialized QRCP.
-    let selection = select_events(&representation, config.alpha);
+    let selection = select_events(&representation, config.alpha)?;
     let selected_mean_vectors: Vec<Vec<f64>> =
         selection.events.iter().map(|e| mean_of(e.index)).collect();
 
     // Stage 4: least-squares metric definitions.
     let metrics = define_metrics(&selection, signatures, config.rounding_tol);
 
-    AnalysisReport {
+    Ok(AnalysisReport {
         domain: domain.to_string(),
         config,
         noise,
@@ -175,7 +183,7 @@ pub fn analyze(
         selection,
         selected_mean_vectors,
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -230,7 +238,8 @@ mod tests {
             &branch_basis(),
             &branch_signatures(),
             AnalysisConfig::branch(),
-        );
+        )
+        .unwrap();
         // Noise stage: noisy and zero events gone.
         assert_eq!(report.noise.kept().len(), 5);
         assert_eq!(report.noise.discarded_zero(), vec![5]);
@@ -253,7 +262,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "no measurement runs")]
     fn empty_runs_panics() {
-        analyze("x", &[], &[], &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+        let _ =
+            analyze("x", &[], &[], &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     }
 
     #[test]

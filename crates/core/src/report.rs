@@ -48,7 +48,9 @@ pub fn signatures_table(title: &str, basis: &Basis, signatures: &[MetricSignatur
 }
 
 fn format_coeff(c: f64) -> String {
-    if c == c.trunc() {
+    // lint: allow(float_cmp): trunc-equality is the exact whole-number test
+    if c == c.trunc() && c.abs() < 1e15 {
+        // lint: allow(lossy_cast): whole-number check above makes the cast exact
         format!("{}", c as i64)
     } else {
         format!("{c}")
@@ -202,6 +204,7 @@ mod tests {
         .collect();
         let runs = vec![vec![col(4), col(1), col(2), all]];
         analyze("branch", &names, &runs, &b, &branch_signatures(), AnalysisConfig::branch())
+            .unwrap()
     }
 
     #[test]

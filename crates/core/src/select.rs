@@ -2,7 +2,7 @@
 //! the representation matrix `X`.
 
 use crate::normalize::Representation;
-use catalyze_linalg::{singular_values, specialized_qrcp, Matrix, SpQrcpParams};
+use catalyze_linalg::{singular_values, specialized_qrcp, LinalgError, Matrix, SpQrcpParams};
 use serde::{Deserialize, Serialize};
 
 /// One selected event with its selection diagnostics.
@@ -60,13 +60,16 @@ impl Selection {
 /// Runs the specialized QRCP over a representation's `X` matrix.
 ///
 /// Returns an empty selection when the representation kept no events.
-pub fn select_events(rep: &Representation, alpha: f64) -> Selection {
+///
+/// # Errors
+///
+/// Propagates the QRCP error when `X` contains non-finite values (a
+/// representation assembled from unvalidated coordinates).
+pub fn select_events(rep: &Representation, alpha: f64) -> Result<Selection, LinalgError> {
     let Some(x) = rep.x_matrix() else {
-        return Selection { events: Vec::new(), alpha, candidates: 0 };
+        return Ok(Selection { events: Vec::new(), alpha, candidates: 0 });
     };
-    let result = specialized_qrcp(&x, SpQrcpParams::new(alpha))
-        // lint: allow(panic): X is validated finite by the representation stage
-        .expect("X is validated finite by the representation stage");
+    let result = specialized_qrcp(&x, SpQrcpParams::new(alpha))?;
     let events = result
         .steps
         .iter()
@@ -81,7 +84,7 @@ pub fn select_events(rep: &Representation, alpha: f64) -> Selection {
             }
         })
         .collect();
-    Selection { events, alpha, candidates: x.cols() }
+    Ok(Selection { events, alpha, candidates: x.cols() })
 }
 
 #[cfg(test)]
@@ -106,12 +109,13 @@ mod tests {
             ],
             1e-6,
         )
+        .unwrap()
     }
 
     #[test]
     fn selects_the_four_independent_branch_events() {
         let rep = branch_rep();
-        let sel = select_events(&rep, 5e-4);
+        let sel = select_events(&rep, 5e-4).unwrap();
         assert_eq!(sel.candidates, 5);
         assert_eq!(sel.events.len(), 4, "scaled duplicate must be rejected");
         let names = sel.names();
@@ -125,7 +129,7 @@ mod tests {
     #[test]
     fn unit_basis_events_selected_before_combinations() {
         let rep = branch_rep();
-        let sel = select_events(&rep, 5e-4);
+        let sel = select_events(&rep, 5e-4).unwrap();
         // The three unit-vector representations (score 1) come first;
         // ALL_BRANCHES (score 2 initially, reduced to the D direction after
         // COND is taken) comes last.
@@ -135,7 +139,7 @@ mod tests {
     #[test]
     fn x_hat_shape() {
         let rep = branch_rep();
-        let sel = select_events(&rep, 5e-4);
+        let sel = select_events(&rep, 5e-4).unwrap();
         let xh = sel.x_hat().unwrap();
         assert_eq!(xh.shape(), (5, 4));
         assert!(xh.rows() >= xh.cols(), "square or overdetermined, per §V");
@@ -144,7 +148,7 @@ mod tests {
     #[test]
     fn empty_representation_empty_selection() {
         let rep = Representation { kept: vec![], rejected: vec![], threshold: 0.1 };
-        let sel = select_events(&rep, 5e-4);
+        let sel = select_events(&rep, 5e-4).unwrap();
         assert!(sel.events.is_empty());
         assert!(sel.x_hat().is_none());
         assert_eq!(sel.candidates, 0);
@@ -169,8 +173,9 @@ mod condition_tests {
                 (3, "ALL".into(), all),
             ],
             1e-6,
-        );
-        let sel = select_events(&rep, 5e-4);
+        )
+        .unwrap();
+        let sel = select_events(&rep, 5e-4).unwrap();
         let kappa = sel.condition_number().unwrap();
         assert!(kappa < 10.0, "clean selections are well conditioned, got {kappa}");
         assert!(kappa >= 1.0);

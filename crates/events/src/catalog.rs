@@ -2,7 +2,7 @@
 
 use crate::name::EventName;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Opaque, catalog-local event identifier (a dense index).
@@ -74,11 +74,15 @@ pub struct EventInfo {
 }
 
 /// An immutable, indexable inventory of events.
+///
+/// The name index is an ordered map so that every view of the catalog —
+/// id-order iteration, name-order iteration, serialized form — is
+/// deterministic across processes.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EventCatalog {
     events: Vec<EventInfo>,
     #[serde(skip)]
-    by_name: HashMap<String, EventId>,
+    by_name: BTreeMap<String, EventId>,
 }
 
 impl EventCatalog {
@@ -127,6 +131,12 @@ impl EventCatalog {
     /// Ids of events in the given domain.
     pub fn ids_in_domain(&self, domain: EventDomain) -> Vec<EventId> {
         self.iter().filter(|(_, e)| e.domain == domain).map(|(id, _)| id).collect()
+    }
+
+    /// Iterates `(name, id)` pairs in lexicographic name order — the
+    /// stable order for rendered listings.
+    pub fn iter_by_name(&self) -> impl Iterator<Item = (&str, EventId)> {
+        self.by_name.iter().map(|(n, &id)| (n.as_str(), id))
     }
 
     /// Rebuilds the name index (needed after deserialization, where the
@@ -215,5 +225,49 @@ mod tests {
         }
         let names: Vec<String> = cat.iter().map(|(_, e)| e.name.to_string()).collect();
         assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn name_order_iteration_is_lexicographic() {
+        let mut cat = EventCatalog::new();
+        for n in ["CYCLES", "A:B", "BR_MISP"] {
+            cat.add(info(n, EventDomain::Other)).unwrap();
+        }
+        let names: Vec<&str> = cat.iter_by_name().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A:B", "BR_MISP", "CYCLES"]);
+    }
+
+    /// Renders the same catalog repeatedly through every view and demands
+    /// byte-identical output each time — the determinism contract that a
+    /// hash-ordered index silently breaks.
+    #[test]
+    fn repeated_renders_are_byte_identical() {
+        let build = || {
+            let mut cat = EventCatalog::new();
+            for (n, d) in [
+                ("CPU_CLK_UNHALTED:THREAD", EventDomain::Cycles),
+                ("BR_INST_RETIRED:COND", EventDomain::Branch),
+                ("MEM_LOAD_RETIRED:L1_HIT", EventDomain::Memory),
+                ("FP_ARITH:SCALAR_DOUBLE", EventDomain::FloatingPoint),
+            ] {
+                cat.add(info(n, d)).unwrap();
+            }
+            cat
+        };
+        let render = |cat: &EventCatalog| -> String {
+            let mut out = String::new();
+            for (id, e) in cat.iter() {
+                out.push_str(&format!("{} {} {}\n", id.index(), e.name, e.domain));
+            }
+            for (n, id) in cat.iter_by_name() {
+                out.push_str(&format!("{n} -> {}\n", id.index()));
+            }
+            out.push_str(&serde_json::to_string(cat).unwrap());
+            out
+        };
+        let first = render(&build());
+        for _ in 0..8 {
+            assert_eq!(render(&build()), first, "catalog render must be reproducible");
+        }
     }
 }

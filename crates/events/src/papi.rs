@@ -83,7 +83,9 @@ pub fn to_papi_format(architecture: &str, table: &PresetTable) -> String {
 }
 
 fn format_coeff(c: f64) -> String {
+    // lint: allow(float_cmp): trunc-equality is the exact whole-number test
     if c == c.trunc() && c.abs() < 1e15 {
+        // lint: allow(lossy_cast): whole-number check above makes the cast exact
         format!("{}", c as i64)
     } else {
         format!("{c}")

@@ -1,0 +1,62 @@
+//! Adversarial fixture: everything here LOOKS like a finding to a
+//! line-based scanner but is clean at the token level. The lint engine
+//! must report nothing for this file.
+//!
+//! Doc-comment mention of `.unwrap()` and `panic!("boom")` — not code.
+//! A doc-comment annotation example is not an annotation either:
+//! `// lint: allow(panic): doc comments never count`.
+
+/// Returns vendor prose that merely talks about panicking.
+pub fn strings_and_comments() -> String {
+    // A comment saying x.unwrap() or 1.0 == y is not code.
+    /* Block comment: total == 2.5 as i64, m.keys().join(",")
+       /* nested: still inside the comment: todo!() */
+       and still closed correctly. */
+    let s = "call .unwrap() then panic!(\"no\")";
+    let raw = r#"raw: x.expect("msg") // lint: allow(panic): inside a string"#;
+    let raw2 = r##"deeper r#"nesting"# with 1.0 == 2.0"##;
+    let byte = b"bytes with todo!() inside";
+    format!("{s}{raw}{raw2}{}", byte.len())
+}
+
+/// Integer suffixes contain the letter `e`; they are not exponents.
+pub fn integer_suffixes(n: usize) -> usize {
+    let mut depth = 0usize;
+    let mut angle = 0isize;
+    for _ in 0..n {
+        if depth == 0 {
+            depth += 1;
+        }
+        if angle == 0isize {
+            angle += 1;
+        }
+    }
+    depth + angle as usize
+}
+
+/// Chars and lifetimes must not confuse the string lexer.
+pub fn chars_and_lifetimes<'a>(x: &'a str) -> (&'a str, char, char) {
+    let quote = '"';
+    let escaped = '\'';
+    (x, quote, escaped)
+}
+
+/// Hash membership (no iteration into output) is fine, as is sorted
+/// rendering through a Vec.
+pub fn membership(keys: &[String]) -> String {
+    let mut set = std::collections::HashSet::new();
+    for k in keys {
+        set.insert(k.clone());
+    }
+    let mut sorted: Vec<String> = keys.to_vec();
+    sorted.sort();
+    sorted.join(",")
+}
+
+/// Float arithmetic without exact comparison is fine; so are widening or
+/// value-preserving casts.
+pub fn arithmetic(a: f64, b: f64, n: u32) -> f64 {
+    let widened = n as u64;
+    let back = widened as f64;
+    (a - b).abs() + back
+}

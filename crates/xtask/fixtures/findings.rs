@@ -1,0 +1,40 @@
+//! Fixture: one representative finding per rule, each at a known line, so
+//! the integration tests can assert rule ids AND exact spans. Keep the
+//! line numbers in sync with `tests/lints.rs` when editing.
+
+use std::collections::HashMap;
+
+pub fn r001_panic(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn r002_literal(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn r002_variables(a: f64) -> bool {
+    let b = 2.5;
+    a != b
+}
+
+pub fn r005_cast(ratio: f64) -> u64 {
+    ratio as u64
+}
+
+pub fn r006_render(m: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}
+
+pub fn r004_stale(x: u32) -> u32 {
+    // lint: allow(panic): nothing panics on the next line anymore
+    x + 1
+}
+
+pub fn suppressed_is_silent(v: &[u32]) -> u32 {
+    // lint: allow(panic): fixture exercises a used annotation
+    *v.first().expect("non-empty by contract")
+}

@@ -1,0 +1,46 @@
+//! Fixture: test items are exempt wherever they appear in the file — a
+//! `#[cfg(test)]` module in the middle, a bare `#[test]` function at the
+//! top, and non-test code continuing afterwards. The engine must report
+//! nothing here: every would-be finding sits inside a test item.
+
+#[test]
+fn leading_test_function() {
+    let v: Vec<u32> = vec![1];
+    assert_eq!(*v.first().unwrap(), 1);
+    assert!(1.0 == 1.0);
+}
+
+pub fn clean_library_code(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod mid_file_tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_here() {
+        let m: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut out = String::new();
+        for k in m.keys() {
+            out.push_str(k);
+        }
+        let big = 3.5_f64;
+        let truncated = big as i64;
+        assert!(clean_library_code(0) == 1 || truncated == 3);
+        panic!("tests may panic");
+    }
+}
+
+pub fn more_clean_code_after_the_test_module(y: u64) -> u64 {
+    y.saturating_add(1)
+}
+
+#[cfg(test)]
+mod trailing_tests {
+    #[test]
+    fn unwrap_in_tail_module() {
+        let v: Vec<u32> = vec![2];
+        assert_eq!(*v.first().unwrap(), 2);
+    }
+}

@@ -1,0 +1,474 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! Produces a **lossless** token stream: concatenating every token's source
+//! slice reproduces the input byte-for-byte (whitespace and comments are
+//! tokens too). Every token carries a byte span plus the 1-based line and
+//! column of its first byte, so rules built on top can emit diagnostics
+//! that point at the exact flagged token rather than a whole line.
+//!
+//! The lexer understands the constructs that defeat line-based scanning:
+//!
+//! * line comments vs. doc comments (`//`, `///`, `//!`);
+//! * block comments, **nested** block comments, and block doc comments;
+//! * string, raw-string (`r"…"`, `r#"…"#`, any number of hashes), byte-,
+//!   raw-byte-, and C-string literals — a `panic!` inside any of them is
+//!   literal text, not code;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * numeric literals with underscores, exponents, radix prefixes, and
+//!   type suffixes (float-ness is exposed via [`Token::is_float_literal`]);
+//! * multi-character operators (`==`, `!=`, `->`, `::`, …) as single
+//!   tokens, so `<=` can never be mistaken for `=`.
+//!
+//! It does **not** parse: there is no AST, no name resolution, no types.
+//! The rule layer (`crate::rules`) adds the small amount of context it
+//! needs (attribute tracking, local let-binding type inference) on top of
+//! this stream.
+
+use catalyze_check::Span;
+
+/// What a token is. `Whitespace` and the comment kinds make the stream
+/// lossless; rules usually iterate "code tokens" (everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers `r#move`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Integer or float literal, including suffix (`1_000u64`, `2.5e-3`).
+    Number,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`, or a char/byte-char literal `'x'` / `b'x'`.
+    Literal,
+    /// `//` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` comment (nesting handled), including `/** … */`.
+    BlockComment,
+    /// One operator or delimiter, maximal-munch (`==` is one token).
+    Punct,
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+}
+
+/// One token: a kind plus the byte/line/column span of its source slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the slice.
+    pub kind: TokenKind,
+    /// Where the slice sits in the source (byte offsets, 1-based line/col).
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.start..self.span.end]
+    }
+
+    /// True for `Number` tokens that are float literals: a decimal point,
+    /// a decimal exponent, or an explicit `f32`/`f64` suffix (radix-prefixed
+    /// integers like `0x1e5` are not floats).
+    pub fn is_float_literal(&self, src: &str) -> bool {
+        if self.kind != TokenKind::Number {
+            return false;
+        }
+        let t = self.text(src);
+        if t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0b") || t.starts_with("0o")
+        {
+            return false;
+        }
+        // `e`/`E` only marks an exponent when followed by an optional sign
+        // and a digit; the `e` in integer suffixes (`0usize`) does not.
+        t.contains('.') || has_exponent(t)
+    }
+}
+
+/// True when `t` contains a decimal exponent: `e`/`E` followed by an
+/// optional `+`/`-` and at least one digit (`2e5`, `1E-3`).
+fn has_exponent(t: &str) -> bool {
+    let b = t.as_bytes();
+    b.iter().enumerate().any(|(i, &c)| {
+        (c == b'e' || c == b'E')
+            && match b.get(i + 1) {
+                Some(b'+' | b'-') => b.get(i + 2).is_some_and(u8::is_ascii_digit),
+                Some(d) => d.is_ascii_digit(),
+                None => false,
+            }
+    })
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "!",
+];
+
+/// Tokenizes `src` into a lossless stream. The lexer never fails: bytes it
+/// cannot classify become single-character `Punct` tokens, so rules stay
+/// robust on adversarial input.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let kind = self.next_kind();
+            self.push(kind, start);
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Classifies and consumes one token starting at `self.pos`.
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|c| c.is_ascii_whitespace()) {
+                    self.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.pos += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.bytes.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                self.pos += 1;
+                self.consume_quoted(b'"');
+                TokenKind::Literal
+            }
+            b'\'' => self.lex_quote(),
+            b if b.is_ascii_digit() => self.lex_number(),
+            b if is_ident_start(b) => {
+                if let Some(kind) = self.try_prefixed_literal() {
+                    return kind;
+                }
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                for op in OPERATORS {
+                    if self.src[self.pos..].starts_with(op) {
+                        self.pos += op.len();
+                        return TokenKind::Punct;
+                    }
+                }
+                // One char (not byte): keep multi-byte UTF-8 intact.
+                let ch_len = self.src[self.pos..].chars().next().map(char::len_utf8).unwrap_or(1);
+                self.pos += ch_len;
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Tries to lex a prefixed literal at an identifier-start position:
+    /// raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// byte chars (`b'x'`), C strings (`c"…"`, `cr"…"`), and raw
+    /// identifiers (`r#move`). Returns `None` when the identifier is just
+    /// an identifier — nothing has been consumed in that case.
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let rest = &self.src[self.pos..];
+        let (prefix_len, raw) = if rest.starts_with("br") || rest.starts_with("cr") {
+            (2, true)
+        } else if rest.starts_with('r') {
+            (1, true)
+        } else if rest.starts_with('b') || rest.starts_with('c') {
+            (1, false)
+        } else {
+            return None;
+        };
+
+        if !raw {
+            // b"…" / c"…" with escapes, or b'x'.
+            match self.bytes.get(self.pos + prefix_len) {
+                Some(b'"') => {
+                    self.pos += prefix_len + 1;
+                    self.consume_quoted(b'"');
+                    Some(TokenKind::Literal)
+                }
+                Some(b'\'') if rest.starts_with('b') => {
+                    self.pos += prefix_len + 1;
+                    self.consume_quoted(b'\'');
+                    Some(TokenKind::Literal)
+                }
+                _ => None,
+            }
+        } else {
+            let mut hashes = 0usize;
+            while self.bytes.get(self.pos + prefix_len + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            match self.bytes.get(self.pos + prefix_len + hashes) {
+                Some(b'"') => {
+                    self.pos += prefix_len + hashes + 1;
+                    self.consume_raw_string(hashes);
+                    Some(TokenKind::Literal)
+                }
+                Some(&b) if prefix_len == 1 && hashes == 1 && is_ident_start(b) => {
+                    // r#ident raw identifier.
+                    self.pos += 2;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    Some(TokenKind::Ident)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: ends at `"` followed by `hashes` `#`s.
+    /// No escapes exist inside raw strings.
+    fn consume_raw_string(&mut self, hashes: usize) {
+        while let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'"' {
+                let mut k = 0;
+                while k < hashes && self.peek(0) == Some(b'#') {
+                    self.pos += 1;
+                    k += 1;
+                }
+                if k == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes to the closing `delim`, honoring backslash escapes.
+    fn consume_quoted(&mut self, delim: u8) {
+        while let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'\\' {
+                self.pos += 1; // skip the escaped byte
+            } else if b == delim {
+                break;
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+    }
+
+    /// `'a'` is a char literal, `'a` a lifetime, `'outer` a label.
+    fn lex_quote(&mut self) -> TokenKind {
+        self.pos += 1; // the opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal.
+                self.pos += 1;
+                self.consume_quoted(b'\'');
+                TokenKind::Literal
+            }
+            Some(b) if is_ident_start(b) => {
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                    TokenKind::Literal // 'x'
+                } else {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                self.pos += 1; // degenerate '' — treat as literal
+                TokenKind::Literal
+            }
+            _ => {
+                // Char literal with non-ident content, e.g. '+' or a
+                // multi-byte char like 'τ'.
+                self.consume_quoted(b'\'');
+                TokenKind::Literal
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let radix_prefixed =
+            self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'o'));
+        if radix_prefixed {
+            self.pos += 2;
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+            return TokenKind::Number;
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        // A decimal point only belongs to the number when it is not the
+        // start of a range (`1..10`) or a method call (`1.max(2)`).
+        if self.peek(0) == Some(b'.')
+            && self.peek(1) != Some(b'.')
+            && !self.peek(1).is_some_and(is_ident_start)
+        {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            self.pos += 1;
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`, …).
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+
+    /// Emits the token covering `[start, self.pos)` and advances the
+    /// line/column bookkeeping over its text.
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let span = Span { start, end: self.pos, line: self.line, column: self.col };
+        for ch in self.src[start..self.pos].chars() {
+            if ch == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.out.push(Token { kind, span });
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_reassembly() {
+        let src = r##"fn f() -> u64 { let s = r#"panic!("x")"#; s.len() as u64 } // tail"##;
+        let toks = tokenize(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn raw_string_swallows_panic() {
+        let src = r##"let s = r#"panic!("boom") // not code"#;"##;
+        let toks = texts(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t.contains("panic!")));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        let toks = texts(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "let".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'x'; let t = '\\n'; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        let src = "1.5 2e3 0.5f32 7 1_000u64 0x1e5 1..2 0usize 7isize 1E-3";
+        let toks: Vec<Token> =
+            tokenize(src).into_iter().filter(|t| t.kind == TokenKind::Number).collect();
+        let flags: Vec<bool> = toks.iter().map(|t| t.is_float_literal(src)).collect();
+        // The `e` in `0usize`/`7isize` is an integer suffix, not an exponent.
+        assert_eq!(
+            flags,
+            vec![true, true, true, false, false, false, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = texts("a == b != c <= d >= e .. f ..= g :: h -> i");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">=", "..", "..=", "::", "->"]);
+    }
+
+    #[test]
+    fn spans_carry_lines_and_columns() {
+        let src = "let a = 1;\n  let b = 2.5;";
+        let toks = tokenize(src);
+        let b25 = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Number && t.text(src) == "2.5")
+            .expect("2.5 token");
+        assert_eq!((b25.span.line, b25.span.column), (2, 11));
+        assert_eq!(&src[b25.span.start..b25.span.end], "2.5");
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = texts("/// doc == 0.0\n//! inner\n// lint: allow(panic): reason");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::LineComment).count(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # xtask — the repository lint engine
+//!
+//! Token-level static analysis of the workspace's own sources, exposed to
+//! the `cargo xtask lint` binary and to the fixture-based integration
+//! tests. The engine is a hand-rolled, dependency-free [`lexer`] (lossless
+//! token stream with byte/line spans) plus a [`rules`] layer that walks the
+//! stream with a little shared context: a `#[cfg(test)]` mask computed by
+//! attribute tracking, the `// lint: allow(…)` annotation table, and local
+//! let-binding/parameter type inference.
+//!
+//! Rules (all `Error` severity, all reported as
+//! [`catalyze_check::Diagnostic`]s with precise spans):
+//!
+//! | Rule | Finding |
+//! |------|---------|
+//! | R001 | panic-family call (`.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`) in library non-test code without a `panic` annotation |
+//! | R002 | exact float `==`/`!=` — against a literal or between float-typed variables — without a `float_cmp` annotation |
+//! | R003 | crate root missing the lint header (`#![warn(missing_docs)]` + `#![forbid(unsafe_code)]` for libraries, forbid-only for binaries) |
+//! | R004 | stale `// lint: allow(…)` annotation that suppresses nothing |
+//! | R005 | lossy numeric `as` cast (`f64→f32`, float→int, `u64→usize`/narrower) without a `lossy_cast` annotation |
+//! | R006 | `HashMap`/`HashSet` iteration feeding rendered output without a `nondet_iter` annotation |
+//!
+//! Annotations are `// lint: allow(<kind>): <reason>` with a mandatory
+//! reason, on the flagged line or the line above. Test items
+//! (`#[cfg(test)]`, `#[test]`) are exempt wherever they appear in a file;
+//! `src/main.rs` and `src/bin/` are additionally exempt from R001/R005.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_repo, lint_source, role_of, FileRole};

@@ -1,60 +1,76 @@
 //! `cargo xtask` — repository maintenance tasks.
 //!
 //! ```text
-//! cargo xtask lint [--format json]
+//! cargo xtask lint [--format <human|json>]
 //! ```
 //!
-//! `lint` enforces source policies that `clippy` cannot express, reporting
-//! violations as the same structured [`Diagnostic`]s `catalyze check`
-//! emits (`R…` rule namespace):
-//!
-//! | Rule | Severity | Finding |
-//! |------|----------|---------|
-//! | R001 | Error    | panic-family call (`unwrap`, `expect`, `panic!`, …) in library non-test code without a `// lint: allow(panic): <reason>` annotation |
-//! | R002 | Error    | float `==`/`!=` against a float literal in non-test code without a `// lint: allow(float_cmp): <reason>` annotation |
-//! | R003 | Error    | crate root missing the agreed lint header (`#![warn(missing_docs)]` + `#![forbid(unsafe_code)]` for libraries, `#![forbid(unsafe_code)]` for binaries) |
-//!
-//! The scanner is line-based, not a full parser. Test code is recognized
-//! by the repository convention that `#[cfg(test)]` modules sit at the end
-//! of a file: everything after the first `#[cfg(test)]` is exempt, as is
-//! everything under `tests/`, `benches/`, and `src/bin/` (binaries may
-//! panic at top level). Doc comments and line comments are stripped before
-//! token matching. R002 looks for a decimal float literal on either side
-//! of `==`/`!=`; comparisons between two float *variables* are out of its
-//! reach — `clippy::float_cmp` (kept at `warn`) still surfaces those in
-//! editors.
+//! `lint` runs the token-level rule engine (see the `xtask` library crate
+//! docs for the R001–R006 rule table) over every workspace crate and
+//! reports findings as the same structured `Diagnostic`s `catalyze check`
+//! emits. Exit codes: `0` clean, `1` any error-severity finding, `2`
+//! usage error. Unknown arguments are rejected — `--format` must be
+//! followed by `human` or `json`.
 
 #![forbid(unsafe_code)]
 
-use catalyze_check::{Diagnostic, Report, Severity};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Panic-family tokens R001 looks for.
-const PANIC_TOKENS: [&str; 6] =
-    [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--format <human|json>]");
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {
-            let repo = repo_root();
-            let report = lint_repo(&repo);
-            if args.iter().any(|a| a == "--format") && args.iter().any(|a| a == "json") {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_human());
-            }
-            if report.has_errors() {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
+    if args.first().map(String::as_str) != Some("lint") {
+        return usage();
+    }
+
+    let mut format = Format::Human;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => match args.get(i + 1).map(String::as_str) {
+                Some("human") => {
+                    format = Format::Human;
+                    i += 2;
+                }
+                Some("json") => {
+                    format = Format::Json;
+                    i += 2;
+                }
+                Some(other) => {
+                    eprintln!("unknown --format `{other}` (expected human or json)");
+                    return usage();
+                }
+                None => {
+                    eprintln!("--format requires a value (human or json)");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
             }
         }
-        _ => {
-            eprintln!("usage: cargo xtask lint [--format json]");
-            ExitCode::from(2)
-        }
+    }
+
+    let report = xtask::lint_repo(&repo_root());
+    match format {
+        Format::Json => println!("{}", report.render_json()),
+        Format::Human => print!("{}", report.render_human()),
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -65,264 +81,4 @@ fn repo_root() -> PathBuf {
         .nth(2)
         .expect("xtask sits two levels under the repo root")
         .to_path_buf()
-}
-
-/// Lints every workspace crate under `crates/`.
-fn lint_repo(repo: &Path) -> Report {
-    let mut report = Report::new();
-    let crates_dir = repo.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
-        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
-        Err(e) => {
-            report.push(Diagnostic::new(
-                "R000",
-                Severity::Error,
-                crates_dir.display().to_string(),
-                format!("cannot enumerate crates: {e}"),
-            ));
-            return report;
-        }
-    };
-    crate_dirs.sort();
-
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
-        }
-        report.extend(check_crate_root(repo, &src));
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        files.sort();
-        for file in files {
-            report.extend(lint_file(repo, &file));
-        }
-    }
-    report
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = std::fs::read_dir(dir) else { return };
-    for entry in rd.filter_map(Result::ok) {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// R003: crate roots must opt into the agreed header.
-fn check_crate_root(repo: &Path, src: &Path) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    let mut require = |root: PathBuf, attrs: &[&str]| {
-        let Ok(text) = std::fs::read_to_string(&root) else { return };
-        let rel = relative(repo, &root);
-        for attr in attrs {
-            if !text.lines().any(|l| l.trim().starts_with(attr)) {
-                out.push(
-                    Diagnostic::new(
-                        "R003",
-                        Severity::Error,
-                        rel.clone(),
-                        format!("crate root is missing `{attr}`"),
-                    )
-                    .with_suggestion("add the attribute to the crate-root lint header"),
-                );
-            }
-        }
-    };
-    let lib = src.join("lib.rs");
-    if lib.is_file() {
-        require(lib, &["#![warn(missing_docs)]", "#![forbid(unsafe_code)]"]);
-    }
-    let main = src.join("main.rs");
-    if main.is_file() {
-        require(main, &["#![forbid(unsafe_code)]"]);
-    }
-    out
-}
-
-fn relative(repo: &Path, path: &Path) -> String {
-    path.strip_prefix(repo).unwrap_or(path).display().to_string()
-}
-
-/// Whether R001 applies to this file: library code only — binary entry
-/// points (`src/main.rs`, `src/bin/`) may panic at top level.
-fn panic_rule_applies(file: &Path) -> bool {
-    let s = file.to_string_lossy();
-    !s.ends_with("src/main.rs") && !s.contains("/src/bin/")
-}
-
-fn lint_file(repo: &Path, file: &Path) -> Vec<Diagnostic> {
-    let Ok(text) = std::fs::read_to_string(file) else { return Vec::new() };
-    let rel = relative(repo, file);
-    let check_panics = panic_rule_applies(file);
-    let mut out = Vec::new();
-    let mut prev_line = "";
-    for (idx, line) in text.lines().enumerate() {
-        let trimmed = line.trim();
-        if trimmed.starts_with("#[cfg(test)]") {
-            break; // repository convention: test module is the file's tail
-        }
-        let code = strip_comments(line);
-        let lineno = idx + 1;
-        let loc = format!("{rel}:{lineno}");
-
-        if check_panics {
-            let annotated = has_annotation(line, prev_line, "allow(panic)");
-            for token in PANIC_TOKENS {
-                if code.contains(token) && !annotated {
-                    out.push(
-                        Diagnostic::new(
-                            "R001",
-                            Severity::Error,
-                            loc.clone(),
-                            format!("`{token}` in library code"),
-                        )
-                        .with_suggestion(
-                            "return a Result, or annotate the line with \
-                             `// lint: allow(panic): <reason>`",
-                        ),
-                    );
-                }
-            }
-        }
-
-        if compares_float_literal(&code) && !has_annotation(line, prev_line, "allow(float_cmp)") {
-            out.push(
-                Diagnostic::new(
-                    "R002",
-                    Severity::Error,
-                    loc,
-                    "exact float comparison against a literal",
-                )
-                .with_suggestion(
-                    "compare with a tolerance, or annotate the line with \
-                     `// lint: allow(float_cmp): <reason>`",
-                ),
-            );
-        }
-        prev_line = line;
-    }
-    out
-}
-
-/// An annotation counts when it sits on the flagged line or the one above:
-/// `// lint: allow(<what>): <reason>` — the reason is mandatory.
-fn has_annotation(line: &str, prev_line: &str, what: &str) -> bool {
-    let marker = format!("// lint: {what}:");
-    for l in [line, prev_line] {
-        if let Some(pos) = l.find(&marker) {
-            if !l[pos + marker.len()..].trim().is_empty() {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Strips `//` line comments (doc comments included), respecting string
-/// literals so a `//` inside a string does not truncate the code.
-fn strip_comments(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut in_string = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_string => i += 1, // skip the escaped character
-            b'"' => in_string = !in_string,
-            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return line[..i].to_string();
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line.to_string()
-}
-
-/// True when the line compares something against a decimal float literal
-/// with `==` or `!=`.
-fn compares_float_literal(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    for i in 0..bytes.len().saturating_sub(1) {
-        // Byte-level match keeps the later slicing on char boundaries even
-        // when the line contains multi-byte characters (τ, X̂, …).
-        if !matches!(bytes[i], b'=' | b'!') || bytes[i + 1] != b'=' {
-            continue;
-        }
-        // Exclude <=, >=, and the == tail of a previous == (===- is not Rust,
-        // but `<=`/`>=`/`!=` share the '=' byte).
-        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
-            continue;
-        }
-        if i + 2 < bytes.len() && bytes[i + 2] == b'=' {
-            continue;
-        }
-        let lhs = code[..i].trim_end();
-        let rhs = code[i + 2..].trim_start();
-        if ends_with_float_literal(lhs) || starts_with_float_literal(rhs) {
-            return true;
-        }
-    }
-    false
-}
-
-fn starts_with_float_literal(s: &str) -> bool {
-    let token: String =
-        s.chars().take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | '-')).collect();
-    token.contains('.') && token.chars().any(|c| c.is_ascii_digit())
-}
-
-fn ends_with_float_literal(s: &str) -> bool {
-    let token: String =
-        s.chars().rev().take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '_')).collect();
-    token.contains('.') && token.chars().any(|c| c.is_ascii_digit())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn float_literal_comparisons_are_detected() {
-        assert!(compares_float_literal("if x == 0.0 {"));
-        assert!(compares_float_literal("if 1.5 != y {"));
-        assert!(compares_float_literal("a[i] == 0.25"));
-        assert!(!compares_float_literal("if x == 0 {"));
-        assert!(!compares_float_literal("if x <= 0.5 {"));
-        assert!(!compares_float_literal("if x >= 0.5 {"));
-        assert!(!compares_float_literal("let y = x != n;"));
-    }
-
-    #[test]
-    fn comments_are_stripped_with_string_awareness() {
-        assert_eq!(strip_comments("let x = 1; // x == 0.0"), "let x = 1; ");
-        assert_eq!(strip_comments(r#"let s = "a//b"; // tail"#), r#"let s = "a//b"; "#);
-        assert_eq!(strip_comments("/// doc == 0.0"), "");
-    }
-
-    #[test]
-    fn annotations_need_a_reason() {
-        assert!(has_annotation(
-            "x == 0.0 // lint: allow(float_cmp): exact sentinel",
-            "",
-            "allow(float_cmp)"
-        ));
-        assert!(has_annotation(
-            "x == 0.0",
-            "// lint: allow(float_cmp): exact sentinel",
-            "allow(float_cmp)"
-        ));
-        assert!(!has_annotation("x == 0.0 // lint: allow(float_cmp):", "", "allow(float_cmp)"));
-        assert!(!has_annotation("x == 0.0", "", "allow(float_cmp)"));
-    }
-
-    #[test]
-    fn repo_passes_its_own_lint() {
-        let report = lint_repo(&repo_root());
-        assert!(!report.has_errors(), "repository lint must be clean:\n{}", report.render_human());
-    }
 }

@@ -1,0 +1,89 @@
+//! R001 — panic-family calls in library non-test code.
+//!
+//! Flags `.unwrap()` / `.expect(…)` method calls and `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!` macro invocations. Because
+//! the scan runs on the token stream, a `panic!` inside a string literal,
+//! raw string, or comment is never a finding — the lexer already
+//! classified it as non-code.
+
+use super::{FileContext, Finding};
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one file. Suppression kind: `panic`.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if ctx.code_in_test(c) {
+            continue;
+        }
+        let name = ctx.code_text(c);
+        let prev = if c == 0 { "" } else { ctx.code_text(c - 1) };
+        if PANIC_METHODS.contains(&name) && prev == "." && ctx.code_text(c + 1) == "(" {
+            out.push(Finding {
+                kind: "panic",
+                diag: ctx
+                    .diagnostic_at(c, "R001", format!("`.{name}()` in library code"))
+                    .with_suggestion(
+                        "return a Result, or annotate the line with \
+                         `// lint: allow(panic): <reason>`",
+                    ),
+            });
+        }
+        if PANIC_MACROS.contains(&name) && ctx.code_text(c + 1) == "!" && prev != "." {
+            out.push(Finding {
+                kind: "panic",
+                diag: ctx
+                    .diagnostic_at(c, "R001", format!("`{name}!` in library code"))
+                    .with_suggestion(
+                        "return a Result, or annotate the line with \
+                         `// lint: allow(panic): <reason>`",
+                    ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_macros_are_flagged() {
+        assert_eq!(rules("fn f() { x.unwrap(); }"), vec!["R001"]);
+        assert_eq!(rules("fn f() { panic!(\"boom\"); }"), vec!["R001"]);
+        assert_eq!(rules("fn f() { core::unreachable!(); }"), vec!["R001"]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_count() {
+        assert!(rules("fn f() -> &'static str { \"panic!(.unwrap())\" }").is_empty());
+        assert!(rules("// panic! in a comment\nfn f() {}").is_empty());
+        assert!(rules("fn f() -> String { format!(\"x{}\", r#\"panic!\"#) }").is_empty());
+    }
+
+    #[test]
+    fn related_names_do_not_count() {
+        assert!(rules("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+        assert!(rules("#[should_panic]\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn annotation_with_reason_suppresses() {
+        let src = "fn f() { x.unwrap(); // lint: allow(panic): cannot fail\n}";
+        assert!(rules(src).is_empty());
+        let above = "fn f() {\n  // lint: allow(panic): cannot fail\n  x.unwrap();\n}";
+        assert!(rules(above).is_empty());
+        let bare = "fn f() { x.unwrap(); // lint: allow(panic):\n}";
+        assert_eq!(rules(bare), vec!["R001"]);
+    }
+}

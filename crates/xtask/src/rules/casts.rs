@@ -1,0 +1,121 @@
+//! R005 — lossy numeric `as` casts in library non-test code.
+//!
+//! Flags the three silent-truncation families on positive type evidence:
+//!
+//! * `f64 → f32` (precision loss),
+//! * float → integer (truncation toward zero, saturation on overflow),
+//! * `u64 → usize` / narrower integers (truncation on 32-bit targets or
+//!   always).
+//!
+//! The source type comes from a float literal directly before `as`, or
+//! from an identifier the inference pass resolved. Unknown sources are
+//! never flagged — the rule prefers false negatives over annotation
+//! noise.
+
+use super::{FileContext, Finding, TokenKind, Ty};
+
+/// Integer target types a float or `u64` cannot round-trip through.
+const NARROW_INTS: [&str; 9] = ["i8", "i16", "i32", "i64", "isize", "u8", "u16", "u32", "usize"];
+
+fn is_int_target(name: &str) -> bool {
+    NARROW_INTS.contains(&name) || matches!(name, "u64" | "u128" | "i128")
+}
+
+/// Scans one file. Suppression kind: `lossy_cast`.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 1..ctx.code.len() {
+        if ctx.code_text(c) != "as" || ctx.code_in_test(c) {
+            continue;
+        }
+        // `use path as alias;` is not a cast.
+        if ctx.code_text(c.saturating_sub(2)) == "use" {
+            continue;
+        }
+        let target = ctx.code_text(c + 1);
+        let Some(prev) = ctx.code_token(c - 1) else { continue };
+        let source: Option<(&str, Ty)> = match prev.kind {
+            TokenKind::Number if prev.is_float_literal(ctx.src) => Some(("float literal", Ty::F64)),
+            TokenKind::Ident => ctx.code_type(c - 1).map(|ty| ("value", ty)),
+            _ => None,
+        };
+        let Some((what, ty)) = source else { continue };
+        let lossy = match ty {
+            Ty::F64 if target == "f32" => {
+                Some(format!("`f64 as f32` halves the {what}'s precision"))
+            }
+            Ty::F32 | Ty::F64 if is_int_target(target) => {
+                Some(format!("float {what} truncated by `as {target}`"))
+            }
+            Ty::U64 if NARROW_INTS.contains(&target) => {
+                Some(format!("`u64 as {target}` can truncate the {what}"))
+            }
+            _ => None,
+        };
+        if let Some(message) = lossy {
+            out.push(Finding {
+                kind: "lossy_cast",
+                diag: ctx.diagnostic_at(c, "R005", message).with_suggestion(
+                    "use a checked conversion (`try_from`, `round`), or annotate the \
+                     line with `// lint: allow(lossy_cast): <reason>`",
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn f64_to_f32_is_flagged() {
+        assert_eq!(rules("fn f(x: f64) -> f32 { x as f32 }"), vec!["R005"]);
+    }
+
+    #[test]
+    fn float_to_int_is_flagged() {
+        assert_eq!(rules("fn f(x: f64) -> i64 { x as i64 }"), vec!["R005"]);
+        assert_eq!(rules("fn f() -> u32 { 2.5 as u32 }"), vec!["R005"]);
+    }
+
+    #[test]
+    fn u64_to_usize_is_flagged() {
+        assert_eq!(rules("fn f(n: u64) -> usize { n as usize }"), vec!["R005"]);
+        assert_eq!(rules("fn f(n: u64) -> u32 { n as u32 }"), vec!["R005"]);
+    }
+
+    #[test]
+    fn lossless_and_unknown_casts_pass() {
+        assert!(rules("fn f(n: u32) -> usize { n as usize }").is_empty());
+        assert!(rules("fn f(n: u64) -> u128 { n as u128 }").is_empty());
+        assert!(rules("fn f(x: f32) -> f64 { x as f64 }").is_empty());
+        // Unknown source: no positive evidence, no finding.
+        assert!(rules("fn f() -> usize { g() as usize }").is_empty());
+        assert!(rules("pub use core::fmt as formatting;").is_empty());
+    }
+
+    #[test]
+    fn binary_code_and_tests_are_exempt() {
+        let src = "fn main() { let x: f64 = 1.5; let _ = x as f32; }";
+        assert!(lint_source("crates/x/src/main.rs", src, FileRole::BinaryRoot)
+            .iter()
+            .all(|d| d.rule != "R005"));
+        let test = "#[cfg(test)]\nmod t { fn f(x: f64) -> f32 { x as f32 } }\nfn g() {}";
+        assert!(rules(test).is_empty());
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = "fn f(x: f64) -> f32 { x as f32 // lint: allow(lossy_cast): display only\n}";
+        assert!(rules(src).is_empty());
+    }
+}

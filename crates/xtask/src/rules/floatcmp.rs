@@ -1,0 +1,112 @@
+//! R002 — exact float comparisons (`==` / `!=`), literals *and* variables.
+//!
+//! The line-based scanner could only see float literals next to the
+//! operator. With the token stream plus local type inference, a comparison
+//! whose operand is a float-typed variable (`fn f(x: f64)`,
+//! `let c = 0.5;`, `const TAU: f64`) is flagged too — the cases
+//! `clippy::float_cmp` catches but the old scanner documented as
+//! unreachable.
+
+use super::{FileContext, Finding, TokenKind};
+
+/// Scans one file. Suppression kind: `float_cmp`.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        let op = ctx.code_text(c);
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        if ctx.code_in_test(c) {
+            continue;
+        }
+        let left = if c == 0 { None } else { operand_kind(ctx, c - 1) };
+        // A negated literal on the right: `x == -1.5`.
+        let right_at = if ctx.code_text(c + 1) == "-" { c + 2 } else { c + 1 };
+        let right = operand_kind(ctx, right_at);
+        let Some(what) = left.or(right) else { continue };
+        let message = match what {
+            Operand::Literal => "exact float comparison against a literal",
+            Operand::Variable => "exact float comparison between float-typed values",
+        };
+        out.push(Finding {
+            kind: "float_cmp",
+            diag: ctx.diagnostic_at(c, "R002", message).with_suggestion(
+                "compare with a tolerance, or annotate the line with \
+                 `// lint: allow(float_cmp): <reason>`",
+            ),
+        });
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum Operand {
+    Literal,
+    Variable,
+}
+
+/// Float evidence for the operand token at code index `c`:
+/// a float literal, or an identifier the inference pass resolved to
+/// `f32`/`f64`.
+fn operand_kind(ctx: &FileContext<'_>, c: usize) -> Option<Operand> {
+    let tok = ctx.code_token(c)?;
+    match tok.kind {
+        TokenKind::Number if tok.is_float_literal(ctx.src) => Some(Operand::Literal),
+        TokenKind::Ident if ctx.code_type(c).is_some_and(super::Ty::is_float) => {
+            Some(Operand::Variable)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn literal_comparisons_are_flagged() {
+        assert_eq!(rules("fn f(x: u8) -> bool { x as f64 == 0.5 }"), vec!["R002"]);
+        assert_eq!(rules("fn f() -> bool { g() != -2.5 }"), vec!["R002"]);
+        assert!(rules("fn f(x: u8) -> bool { x == 0 }").is_empty());
+        assert!(rules("fn f(x: u8) -> bool { x <= 1 }").is_empty());
+    }
+
+    #[test]
+    fn float_variables_are_flagged() {
+        // Parameter with an explicit float type.
+        assert_eq!(rules("fn f(a: f64, b: f64) -> bool { a == b }"), vec!["R002"]);
+        // Let binding with a literal initializer.
+        assert_eq!(rules("fn f(n: i64) -> bool { let c = 0.5; g(n) == c }"), vec!["R002"]);
+        // Module const.
+        assert_eq!(rules("const T: f64 = 0.5;\nfn f() -> bool { g() == T }"), vec!["R002"]);
+    }
+
+    #[test]
+    fn integer_variables_are_not_flagged() {
+        assert!(rules("fn f(a: usize, b: usize) -> bool { a == b }").is_empty());
+        assert!(rules("fn f() -> bool { let n = 3; n == m() }").is_empty());
+    }
+
+    #[test]
+    fn shadowing_masks_the_outer_float() {
+        // The inner `let c` rebinds to an unknown type; only positive
+        // float evidence may fire.
+        let src = "fn f() -> bool { let c = 0.5; { let c = g(); c == h() } }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn comments_doc_comments_and_strings_never_fire() {
+        assert!(rules("/// doc says x == 0.0\nfn f() {}").is_empty());
+        assert!(rules("fn f() -> &'static str { \"x == 0.5\" }").is_empty());
+        assert!(rules("fn f() { let x = 1; /* 0.5 == y */ }").is_empty());
+    }
+}

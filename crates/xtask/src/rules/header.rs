@@ -1,0 +1,87 @@
+//! R003 — crate-root lint headers.
+//!
+//! Library roots (`lib.rs`) must carry `#![warn(missing_docs)]` and
+//! `#![forbid(unsafe_code)]`; binary roots (`main.rs`) must carry
+//! `#![forbid(unsafe_code)]`. The check reads the file's leading inner
+//! attributes from the token stream, so a commented-out attribute or one
+//! quoted in a doc comment never satisfies it (both defeated the
+//! line-based scanner's `starts_with` test).
+
+use super::{FileContext, FileRole, Finding};
+use catalyze_check::{Diagnostic, Severity};
+
+/// Scans a crate root. Suppression kind: `crate_header` (in practice the
+/// header is added, not annotated away).
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let required: &[&str] = match ctx.role {
+        FileRole::LibraryRoot => &["warn(missing_docs)", "forbid(unsafe_code)"],
+        FileRole::BinaryRoot => &["forbid(unsafe_code)"],
+        _ => return Vec::new(),
+    };
+    let present = leading_inner_attributes(ctx);
+    let mut out = Vec::new();
+    for attr in required {
+        if !present.iter().any(|p| p == attr) {
+            out.push(Finding {
+                kind: "crate_header",
+                diag: Diagnostic::new(
+                    "R003",
+                    Severity::Error,
+                    format!("{}:1:1", ctx.rel),
+                    format!("crate root is missing `#![{attr}]`"),
+                )
+                .with_suggestion("add the attribute to the crate-root lint header"),
+            });
+        }
+    }
+    out
+}
+
+/// The file's leading `#![…]` attributes, whitespace-normalized (code
+/// token texts concatenated).
+fn leading_inner_attributes(ctx: &FileContext<'_>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut c = 0;
+    while ctx.code_text(c) == "#" && ctx.code_text(c + 1) == "!" && ctx.code_text(c + 2) == "[" {
+        let Some(end) = super::matching(ctx.src, &ctx.tokens, &ctx.code, c + 2, "[", "]") else {
+            break;
+        };
+        let body: String = (c + 3..end).map(|b| ctx.code_text(b)).collect();
+        out.push(body);
+        c = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn r003_count(src: &str, role: FileRole) -> usize {
+        lint_source("crates/x/src/lib.rs", src, role).iter().filter(|d| d.rule == "R003").count()
+    }
+
+    #[test]
+    fn complete_library_header_passes() {
+        let src = "//! Docs.\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}";
+        assert_eq!(r003_count(src, FileRole::LibraryRoot), 0);
+    }
+
+    #[test]
+    fn missing_attributes_are_counted() {
+        assert_eq!(r003_count("pub fn f() {}", FileRole::LibraryRoot), 2);
+        assert_eq!(r003_count("#![forbid(unsafe_code)]\npub fn f() {}", FileRole::LibraryRoot), 1);
+        assert_eq!(r003_count("fn main() {}", FileRole::BinaryRoot), 1);
+    }
+
+    #[test]
+    fn commented_out_attribute_does_not_satisfy() {
+        let src = "// #![forbid(unsafe_code)]\n//! #![warn(missing_docs)]\nfn main() {}";
+        assert_eq!(r003_count(src, FileRole::BinaryRoot), 1);
+    }
+
+    #[test]
+    fn non_roots_are_not_checked() {
+        assert_eq!(r003_count("pub fn f() {}", FileRole::Library), 0);
+    }
+}

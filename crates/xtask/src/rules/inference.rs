@@ -1,0 +1,301 @@
+//! Local let-binding / parameter type inference.
+//!
+//! A single forward pass over the code tokens maintains a stack of
+//! lexical scopes (pushed at `{`, popped at `}`) mapping binding names to
+//! the small set of types the rules care about ([`Ty`]). Bindings come
+//! from three places:
+//!
+//! * `fn` parameters with an explicit type (`fn f(x: f64, n: usize)`);
+//! * `let` / `const` / `static` with an explicit type annotation;
+//! * `let` with an evident initializer: a bare literal (`let c = 0.5;`)
+//!   or a `HashMap::…` / `HashSet::…` constructor call.
+//!
+//! Every identifier *use* (not preceded by `.` or `::`, so fields and
+//! paths don't leak) is then resolved against the scope stack and the
+//! result recorded per token index. Patterns the pass cannot read
+//! (tuples, closures, `if let`) simply bind nothing or bind [`Ty::Other`]
+//! — a deliberate "shadow without evidence" so stale outer bindings are
+//! masked rather than misattributed.
+
+use super::Ty;
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Runs the pass; returns resolved types keyed by token index.
+pub fn run(src: &str, tokens: &[Token], code: &[usize]) -> BTreeMap<usize, Ty> {
+    Pass {
+        src,
+        tokens,
+        code,
+        scopes: vec![BTreeMap::new()],
+        pending: Vec::new(),
+        awaiting_body: false,
+        out: BTreeMap::new(),
+    }
+    .run()
+}
+
+struct Pass<'s> {
+    src: &'s str,
+    tokens: &'s [Token],
+    code: &'s [usize],
+    /// Innermost scope last.
+    scopes: Vec<BTreeMap<String, Ty>>,
+    /// Parameter bindings waiting for the function body's `{`.
+    pending: Vec<(String, Ty)>,
+    awaiting_body: bool,
+    out: BTreeMap<usize, Ty>,
+}
+
+impl Pass<'_> {
+    fn txt(&self, c: usize) -> &str {
+        match self.code.get(c) {
+            Some(&i) => self.tokens[i].text(self.src),
+            None => "",
+        }
+    }
+
+    fn kind(&self, c: usize) -> Option<TokenKind> {
+        self.code.get(c).map(|&i| self.tokens[i].kind)
+    }
+
+    fn run(mut self) -> BTreeMap<usize, Ty> {
+        let mut c = 0;
+        while c < self.code.len() {
+            match self.txt(c) {
+                "{" => {
+                    let mut scope = BTreeMap::new();
+                    if self.awaiting_body {
+                        for (name, ty) in self.pending.drain(..) {
+                            scope.insert(name, ty);
+                        }
+                        self.awaiting_body = false;
+                    }
+                    self.scopes.push(scope);
+                    c += 1;
+                }
+                "}" => {
+                    if self.scopes.len() > 1 {
+                        self.scopes.pop();
+                    }
+                    c += 1;
+                }
+                ";" if self.awaiting_body => {
+                    // Trait method declaration without a body: drop params.
+                    self.pending.clear();
+                    self.awaiting_body = false;
+                    c += 1;
+                }
+                "fn" => c = self.parse_fn_signature(c + 1),
+                "let" => c = self.parse_let(c + 1),
+                "const" | "static" => c = self.parse_typed_item(c + 1),
+                "for" => {
+                    // `for x in …` masks any outer `x` inside the loop.
+                    if self.kind(c + 1) == Some(TokenKind::Ident) && self.txt(c + 2) == "in" {
+                        self.pending.push((self.txt(c + 1).to_string(), Ty::Other));
+                        self.awaiting_body = true;
+                    }
+                    c += 1;
+                }
+                _ => {
+                    if self.kind(c) == Some(TokenKind::Ident)
+                        && self.txt(c.wrapping_sub(1)) != "."
+                        && (c == 0 || self.txt(c - 1) != "::")
+                    {
+                        let name = self.txt(c);
+                        if let Some(ty) = self.lookup(name) {
+                            if let Some(&ti) = self.code.get(c) {
+                                let _ = &self.tokens[ti];
+                                self.out.insert(ti, ty);
+                            }
+                        }
+                    }
+                    c += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn lookup(&self, name: &str) -> Option<Ty> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&ty) = scope.get(name) {
+                return Some(ty);
+            }
+        }
+        None
+    }
+
+    fn bind(&mut self, name: &str, ty: Ty) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), ty);
+        }
+    }
+
+    /// Parses `name [<generics>] ( params )`, queueing typed parameters
+    /// for the body scope. Returns the code index to resume from.
+    fn parse_fn_signature(&mut self, mut c: usize) -> usize {
+        // Function name (or nothing, for `fn(` pointer types — bail).
+        if self.kind(c) != Some(TokenKind::Ident) {
+            return c;
+        }
+        c += 1;
+        if self.txt(c) == "<" {
+            c = self.skip_generics(c);
+        }
+        if self.txt(c) != "(" {
+            return c;
+        }
+        let mut depth = 0usize;
+        let mut angle = 0isize;
+        let mut param_start = true;
+        while c < self.code.len() {
+            let t = self.txt(c);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        c += 1;
+                        break;
+                    }
+                }
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "," if depth == 1 && angle <= 0 => {
+                    param_start = true;
+                    angle = 0;
+                    c += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            // `name: Type` at parameter position.
+            if param_start
+                && depth == 1
+                && self.kind(c) == Some(TokenKind::Ident)
+                && self.txt(c + 1) == ":"
+            {
+                let name = self.txt(c).to_string();
+                if let Some(ty) = self.read_type(c + 2) {
+                    self.pending.push((name, ty));
+                }
+                param_start = false;
+            } else if t != "(" {
+                param_start = false;
+            }
+            c += 1;
+        }
+        self.awaiting_body = true;
+        c
+    }
+
+    /// Parses `let [mut] name (: Type)? (= init)?`, binding what it can.
+    fn parse_let(&mut self, mut c: usize) -> usize {
+        if self.txt(c) == "mut" {
+            c += 1;
+        }
+        if self.kind(c) != Some(TokenKind::Ident) {
+            return c; // tuple / struct pattern: bind nothing
+        }
+        let name = self.txt(c).to_string();
+        let after = self.txt(c + 1);
+        let ty = if after == ":" {
+            self.read_type(c + 2).unwrap_or(Ty::Other)
+        } else if after == "=" {
+            self.infer_init(c + 2)
+        } else {
+            Ty::Other
+        };
+        self.bind(&name, ty);
+        c + 1
+    }
+
+    /// Parses `NAME: Type` after `const` / `static` (skipping `mut`).
+    fn parse_typed_item(&mut self, mut c: usize) -> usize {
+        if self.txt(c) == "mut" {
+            c += 1;
+        }
+        if self.kind(c) == Some(TokenKind::Ident) && self.txt(c + 1) == ":" {
+            let name = self.txt(c).to_string();
+            let ty = self.read_type(c + 2).unwrap_or(Ty::Other);
+            self.bind(&name, ty);
+        }
+        c + 1
+    }
+
+    /// Reads the head of a type at `c`, skipping references, `mut`, and
+    /// lifetimes: the first path identifier decides.
+    fn read_type(&self, mut c: usize) -> Option<Ty> {
+        loop {
+            match self.txt(c) {
+                "&" | "&&" | "mut" => c += 1,
+                _ if self.kind(c) == Some(TokenKind::Lifetime) => c += 1,
+                _ => break,
+            }
+        }
+        if self.kind(c) != Some(TokenKind::Ident) {
+            return None;
+        }
+        Some(ty_of_ident(self.txt(c)))
+    }
+
+    /// Infers the type of a `let` initializer when it is evident: a bare
+    /// (possibly negated) literal ending the statement, or a
+    /// `HashMap::…` / `HashSet::…` constructor.
+    fn infer_init(&self, mut c: usize) -> Ty {
+        if self.txt(c) == "-" {
+            c += 1;
+        }
+        if self.kind(c) == Some(TokenKind::Number) && self.txt(c + 1) == ";" {
+            if let Some(&ti) = self.code.get(c) {
+                let tok = self.tokens[ti];
+                let text = tok.text(self.src);
+                if text.ends_with("f32") {
+                    return Ty::F32;
+                }
+                if text.ends_with("u64") {
+                    return Ty::U64;
+                }
+                if tok.is_float_literal(self.src) {
+                    return Ty::F64;
+                }
+            }
+            return Ty::Other;
+        }
+        if matches!(self.txt(c), "HashMap" | "HashSet") && self.txt(c + 1) == "::" {
+            return Ty::Hash;
+        }
+        Ty::Other
+    }
+
+    /// Skips a `<…>` generics list starting at `c` (which holds `<`).
+    fn skip_generics(&self, mut c: usize) -> usize {
+        let mut angle = 0isize;
+        while c < self.code.len() {
+            match self.txt(c) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            c += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+        c
+    }
+}
+
+/// Maps a type-head identifier to the rule-relevant type set.
+fn ty_of_ident(name: &str) -> Ty {
+    match name {
+        "f32" => Ty::F32,
+        "f64" => Ty::F64,
+        "u64" => Ty::U64,
+        "HashMap" | "HashSet" => Ty::Hash,
+        _ => Ty::Other,
+    }
+}

@@ -1,0 +1,428 @@
+//! The rule engine: shared per-file context plus the `R…` rules.
+//!
+//! Each rule walks the token stream produced by [`crate::lexer`] and emits
+//! [`Finding`]s — a candidate diagnostic tagged with the annotation kind
+//! that may suppress it. The engine then resolves suppressions against the
+//! file's `// lint: allow(<kind>): <reason>` annotations: a finding on
+//! line *L* is suppressed by a matching annotation on line *L* (trailing)
+//! or *L−1* (preceding comment). Annotations that suppress nothing are
+//! themselves findings (R004), which is what keeps the allowlist honest.
+//!
+//! Context shared by the rules:
+//!
+//! * **Test mask** — tokens inside any item carrying `#[cfg(test)]` (or
+//!   `#[test]`) are exempt, wherever the item sits in the file. The mask
+//!   is computed by attribute tracking + brace matching, not by the old
+//!   "everything after the first `#[cfg(test)]` line" convention.
+//! * **Local type inference** — a forward pass resolves identifier uses
+//!   to the type of their nearest `let` binding or `fn` parameter when
+//!   that type is evident (explicit `f64`/`f32`/`u64` annotation, a
+//!   literal initializer, or a `HashMap`/`HashSet` constructor). This is
+//!   what lets R002 flag float *variable* comparisons and R005/R006 see
+//!   through variable names without a full type checker. Unresolved names
+//!   stay unresolved — rules only act on positive evidence, so the
+//!   inference can be incomplete but never inventive.
+
+pub mod calls;
+pub mod casts;
+pub mod floatcmp;
+pub mod header;
+mod inference;
+pub mod nondet;
+pub mod stale;
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use catalyze_check::{Diagnostic, Report, Severity, Span};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// A library source file: all rules apply.
+    Library,
+    /// A crate-root `lib.rs`: all rules plus the library R003 header.
+    LibraryRoot,
+    /// Binary code (`src/main.rs`, `src/bin/…`): exempt from R001/R005 —
+    /// entry points may panic and cast at the edge of the process.
+    Binary,
+    /// A crate-root `main.rs`: binary exemptions plus the binary R003
+    /// header requirement.
+    BinaryRoot,
+}
+
+impl FileRole {
+    fn panic_and_cast_rules_apply(self) -> bool {
+        matches!(self, FileRole::Library | FileRole::LibraryRoot)
+    }
+}
+
+/// A type the local inference pass can establish for a binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// `f32`
+    F32,
+    /// `f64`
+    F64,
+    /// `u64`
+    U64,
+    /// `HashMap<…>` or `HashSet<…>`
+    Hash,
+    /// Known binding of some other type (shadows outer bindings without
+    /// contributing evidence to any rule).
+    Other,
+}
+
+impl Ty {
+    /// Whether the type is a floating-point scalar.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+}
+
+/// One `// lint: allow(<kind>): <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// The suppression kind: `panic`, `float_cmp`, `lossy_cast`, ….
+    pub kind: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Span of the comment token.
+    pub span: Span,
+    /// Set when some finding was suppressed by this annotation.
+    pub used: bool,
+}
+
+/// A candidate diagnostic plus the annotation kind that may suppress it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Annotation kind that suppresses this finding (`panic`, …).
+    pub kind: &'static str,
+    /// The assembled diagnostic (location, span, message already set).
+    pub diag: Diagnostic,
+}
+
+/// Everything a rule needs to know about one source file.
+pub struct FileContext<'s> {
+    /// Repo-relative path used in diagnostic locations.
+    pub rel: String,
+    /// The source text.
+    pub src: &'s str,
+    /// The lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of code tokens (not whitespace, not comments).
+    pub code: Vec<usize>,
+    /// Per-token flag: true inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+    /// Resolved type per token index, for `Ident` tokens the inference
+    /// pass could bind.
+    pub types: BTreeMap<usize, Ty>,
+    /// The file's suppression annotations, in source order.
+    pub annotations: Vec<Annotation>,
+    /// The file's lint role.
+    pub role: FileRole,
+}
+
+impl<'s> FileContext<'s> {
+    /// Lexes and analyzes one file.
+    pub fn new(rel: impl Into<String>, src: &'s str, role: FileRole) -> Self {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = test_mask(src, &tokens, &code);
+        let annotations = collect_annotations(src, &tokens);
+        let types = inference::run(src, &tokens, &code);
+        FileContext { rel: rel.into(), src, tokens, code, in_test, types, annotations, role }
+    }
+
+    /// The `c`-th code token (by position in `self.code`).
+    pub fn code_token(&self, c: usize) -> Option<&Token> {
+        self.code.get(c).map(|&i| &self.tokens[i])
+    }
+
+    /// Source text of the `c`-th code token (empty past the end).
+    pub fn code_text(&self, c: usize) -> &str {
+        match self.code_token(c) {
+            Some(t) => t.text(self.src),
+            None => "",
+        }
+    }
+
+    /// True when the `c`-th code token sits inside a test item.
+    pub fn code_in_test(&self, c: usize) -> bool {
+        self.code.get(c).is_some_and(|&i| self.in_test[i])
+    }
+
+    /// Resolved type of the `c`-th code token, when it is an identifier
+    /// bound by local inference.
+    pub fn code_type(&self, c: usize) -> Option<Ty> {
+        self.code.get(c).and_then(|i| self.types.get(i)).copied()
+    }
+
+    /// Builds an error diagnostic pointing at the `c`-th code token.
+    pub fn diagnostic_at(&self, c: usize, rule: &str, message: impl Into<String>) -> Diagnostic {
+        let span = match self.code_token(c) {
+            Some(t) => t.span,
+            None => Span { start: 0, end: 0, line: 1, column: 1 },
+        };
+        Diagnostic::new(
+            rule,
+            Severity::Error,
+            format!("{}:{}:{}", self.rel, span.line, span.column),
+            message,
+        )
+        .with_span(span)
+    }
+}
+
+/// Runs every applicable rule over one file and resolves suppressions.
+/// This is the per-file engine behind [`lint_repo`]; fixture tests call it
+/// directly with synthetic paths.
+pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
+    let mut ctx = FileContext::new(rel, src, role);
+    let mut findings: Vec<Finding> = Vec::new();
+    if matches!(role, FileRole::LibraryRoot | FileRole::BinaryRoot) {
+        findings.extend(header::check(&ctx));
+    }
+    if ctx.role.panic_and_cast_rules_apply() {
+        findings.extend(calls::check(&ctx));
+        findings.extend(casts::check(&ctx));
+    }
+    findings.extend(floatcmp::check(&ctx));
+    findings.extend(nondet::check(&ctx));
+
+    let mut out = Vec::new();
+    for f in findings {
+        if suppress(&mut ctx.annotations, f.kind, &f.diag) {
+            continue;
+        }
+        out.push(f.diag);
+    }
+    out.extend(stale::check(&ctx));
+    out.sort_by_key(|d| d.span.map(|s| s.start).unwrap_or(0));
+    out
+}
+
+/// Marks matching annotations used and reports whether one was found.
+fn suppress(annotations: &mut [Annotation], kind: &str, diag: &Diagnostic) -> bool {
+    let Some(span) = diag.span else { return false };
+    let mut hit = false;
+    for a in annotations.iter_mut() {
+        if a.kind == kind && (a.line == span.line || a.line + 1 == span.line) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// Lints every workspace crate under `crates/`: each `crates/*/src` tree,
+/// crate roots getting the R003 header check, `src/main.rs` and `src/bin/`
+/// exempt from the panic/cast rules. `tests/`, `benches/`, fixtures, and
+/// `vendor/` stand-ins are outside the walk entirely.
+pub fn lint_repo(repo: &Path) -> Report {
+    let mut report = Report::new();
+    let crates_dir = repo.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "R000",
+                Severity::Error,
+                crates_dir.display().to_string(),
+                format!("cannot enumerate crates: {e}"),
+            ));
+            return report;
+        }
+    };
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        files.sort();
+        for file in files {
+            let Ok(text) = std::fs::read_to_string(&file) else { continue };
+            let rel = relative(repo, &file);
+            report.extend(lint_source(&rel, &text, role_of(&rel)));
+        }
+    }
+    report
+}
+
+/// Lint role derived from a repo-relative path.
+pub fn role_of(rel: &str) -> FileRole {
+    if rel.ends_with("src/main.rs") {
+        FileRole::BinaryRoot
+    } else if rel.contains("/src/bin/") {
+        FileRole::Binary
+    } else if rel.ends_with("src/lib.rs") {
+        FileRole::LibraryRoot
+    } else {
+        FileRole::Library
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else { return };
+    for entry in rd.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative(repo: &Path, path: &Path) -> String {
+    path.strip_prefix(repo).unwrap_or(path).display().to_string()
+}
+
+/// Computes the per-token test mask: true for every token inside an item
+/// annotated `#[cfg(test)]` (any cfg predicate mentioning `test`) or
+/// `#[test]`. Works at any position in the file — mid-file test modules
+/// are exempt, and code *after* a test module is linted again.
+fn test_mask(src: &str, tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut c = 0;
+    while c < code.len() {
+        if code_text_at(src, tokens, code, c) != "#"
+            || code_text_at(src, tokens, code, c + 1) != "["
+        {
+            c += 1;
+            continue;
+        }
+        let attr_start = c;
+        let Some(attr_end) = matching(src, tokens, code, c + 1, "[", "]") else { break };
+        if !attr_marks_test(src, tokens, code, c + 2, attr_end) {
+            c = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut item = attr_end + 1;
+        while code_text_at(src, tokens, code, item) == "#"
+            && code_text_at(src, tokens, code, item + 1) == "["
+        {
+            match matching(src, tokens, code, item + 1, "[", "]") {
+                Some(e) => item = e + 1,
+                None => break,
+            }
+        }
+        // The item ends at the first `;` before any `{` (e.g. `mod t;`),
+        // or at the brace matching its first `{`.
+        let mut end = None;
+        let mut d = item;
+        while d < code.len() {
+            let t = code_text_at(src, tokens, code, d);
+            if t == ";" {
+                end = Some(d);
+                break;
+            }
+            if t == "{" {
+                end = matching(src, tokens, code, d, "{", "}");
+                break;
+            }
+            d += 1;
+        }
+        let end = match end {
+            Some(e) => e,
+            None => code.len().saturating_sub(1), // unterminated: mask to EOF
+        };
+        for ci in attr_start..=end {
+            if let Some(&ti) = code.get(ci) {
+                mask[ti] = true;
+            }
+        }
+        c = end + 1;
+    }
+    mask
+}
+
+/// Text of the `c`-th code token, or `""` past the end.
+fn code_text_at<'s>(src: &'s str, tokens: &[Token], code: &[usize], c: usize) -> &'s str {
+    match code.get(c) {
+        Some(&i) => tokens[i].text(src),
+        None => "",
+    }
+}
+
+/// Whether the attribute body `(from..to)` marks a test item: `#[test]`
+/// exactly, or a `cfg(…)` predicate mentioning `test`.
+fn attr_marks_test(src: &str, tokens: &[Token], code: &[usize], from: usize, to: usize) -> bool {
+    if to == from + 1 && code_text_at(src, tokens, code, from) == "test" {
+        return true;
+    }
+    code_text_at(src, tokens, code, from) == "cfg"
+        && (from..to).any(|c| code_text_at(src, tokens, code, c) == "test")
+}
+
+/// Code-index of the delimiter matching `open` at code-index `at` (which
+/// must hold `open`).
+fn matching(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    at: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut c = at;
+    while c < code.len() {
+        let t = code_text_at(src, tokens, code, c);
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(c);
+            }
+        }
+        c += 1;
+    }
+    None
+}
+
+/// Collects `// lint: allow(<kind>): <reason>` annotations. Doc comments
+/// (`///`, `//!`) never count — the marker must open a plain `//` comment.
+/// Annotations without a reason are ignored (they do not suppress), same
+/// as the line-based scanner's contract.
+fn collect_annotations(src: &str, tokens: &[Token]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(rest) = text.strip_prefix("// lint:") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let kind = &rest[..close];
+        let Some(reason) = rest[close + 1..].strip_prefix(':') else { continue };
+        if kind.is_empty() || reason.trim().is_empty() {
+            continue;
+        }
+        out.push(Annotation {
+            kind: kind.to_string(),
+            line: t.span.line,
+            span: t.span,
+            used: false,
+        });
+    }
+    out
+}

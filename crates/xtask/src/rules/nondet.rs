@@ -1,0 +1,205 @@
+//! R006 — `HashMap`/`HashSet` iteration feeding ordered or rendered
+//! output.
+//!
+//! Hash iteration order is randomized per process; a report, table, or
+//! serialized artifact built by iterating a hash container differs from
+//! run to run, which breaks the repository's bit-for-bit reproducibility
+//! contract. The rule fires on positive evidence only:
+//!
+//! * a `for … in <hash>` loop whose body contains a rendering sink
+//!   (`push_str`, `write!`/`writeln!`, `print!`/`println!`, `format!`,
+//!   `join`, …), or
+//! * a method chain `<hash>.iter()/.keys()/.values()` that reaches a
+//!   rendering sink in the same statement.
+//!
+//! Collecting into a `Vec` and sorting, or collecting into a `BTreeMap`,
+//! never matches — those are the deterministic fixes the suggestion
+//! recommends.
+
+use super::{FileContext, Finding, Ty};
+
+/// Identifiers that turn iteration output into rendered/ordered artifacts.
+const SINKS: [&str; 10] = [
+    "push_str",
+    "write_str",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "format",
+    "join",
+];
+
+/// Hash iteration entry points.
+const ITERATORS: [&str; 5] = ["iter", "keys", "values", "into_iter", "drain"];
+
+/// Scans one file. Suppression kind: `nondet_iter`.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if ctx.code_in_test(c) {
+            continue;
+        }
+        if ctx.code_text(c) == "for" {
+            if let Some(f) = check_for_loop(ctx, c) {
+                out.push(f);
+            }
+        } else if is_hash_ident(ctx, c) && ctx.code_text(c + 1) == "." {
+            if let Some(f) = check_chain(ctx, c) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+fn is_hash_ident(ctx: &FileContext<'_>, c: usize) -> bool {
+    ctx.code_type(c) == Some(Ty::Hash)
+}
+
+fn finding(ctx: &FileContext<'_>, c: usize) -> Finding {
+    Finding {
+        kind: "nondet_iter",
+        diag: ctx
+            .diagnostic_at(
+                c,
+                "R006",
+                "HashMap/HashSet iteration feeds rendered output; hash order is \
+                 nondeterministic across runs",
+            )
+            .with_suggestion(
+                "use a BTreeMap/BTreeSet, sort before rendering, or annotate with \
+                 `// lint: allow(nondet_iter): <reason>`",
+            ),
+    }
+}
+
+/// `for <pat> in <expr> { <body> }` where `<expr>` mentions a hash
+/// container and `<body>` contains a sink.
+fn check_for_loop(ctx: &FileContext<'_>, at: usize) -> Option<Finding> {
+    // Locate `in`, then the loop brace at bracket depth 0.
+    let mut c = at + 1;
+    while c < ctx.code.len() && ctx.code_text(c) != "in" {
+        if ctx.code_text(c) == "{" {
+            return None; // no `in`: malformed or not a for loop
+        }
+        c += 1;
+    }
+    let expr_start = c + 1;
+    let mut depth = 0usize;
+    let mut brace = None;
+    let mut hash_at = None;
+    let mut d = expr_start;
+    while d < ctx.code.len() {
+        let t = ctx.code_text(d);
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                brace = Some(d);
+                break;
+            }
+            _ => {}
+        }
+        if hash_at.is_none() && (is_hash_ident(ctx, d) || t == "HashMap" || t == "HashSet") {
+            hash_at = Some(d);
+        }
+        d += 1;
+    }
+    let brace = brace?;
+    let hash_at = hash_at?;
+    let body_end = super::matching(ctx.src, &ctx.tokens, &ctx.code, brace, "{", "}")
+        .unwrap_or(ctx.code.len().saturating_sub(1));
+    let has_sink = (brace + 1..body_end).any(|b| SINKS.contains(&ctx.code_text(b)));
+    has_sink.then(|| finding(ctx, hash_at))
+}
+
+/// `<hash>.iter()…` chains: flagged when the same statement reaches a
+/// sink. A statement that opens a block before its `;` (a `for`/`if`
+/// header) is left to the loop form above.
+fn check_chain(ctx: &FileContext<'_>, at: usize) -> Option<Finding> {
+    if !ITERATORS.contains(&ctx.code_text(at + 2)) {
+        return None;
+    }
+    let mut c = at + 2;
+    let mut saw_sink = false;
+    while c < ctx.code.len() {
+        let t = ctx.code_text(c);
+        if t == ";" {
+            break;
+        }
+        if t == "{" {
+            return None; // header of a block construct: loop form owns it
+        }
+        if SINKS.contains(&t) {
+            saw_sink = true;
+        }
+        c += 1;
+    }
+    saw_sink.then(|| finding(ctx, at))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn rendering_for_loop_is_flagged() {
+        let src = "fn f() -> String {\n\
+                   let m: HashMap<String, u32> = HashMap::new();\n\
+                   let mut out = String::new();\n\
+                   for (k, v) in &m { out.push_str(k); }\n\
+                   out\n}";
+        assert_eq!(rules(src), vec!["R006"]);
+    }
+
+    #[test]
+    fn chain_into_join_is_flagged() {
+        let src = "fn f() -> String {\n\
+                   let s = HashSet::new();\n\
+                   s.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(\",\")\n}";
+        assert_eq!(rules(src), vec!["R006"]);
+    }
+
+    #[test]
+    fn membership_and_sorted_uses_pass() {
+        // Insert/lookup only: no iteration, no finding.
+        let src = "fn f(x: &str) -> bool {\n\
+                   let mut s = HashSet::new();\n\
+                   s.insert(x.to_string());\n\
+                   s.contains(x)\n}";
+        assert!(rules(src).is_empty());
+        // Collect to a Vec (caller sorts): no sink in the statement.
+        let collect = "fn f() -> Vec<String> {\n\
+                       let m = HashMap::new();\n\
+                       let v: Vec<String> = m.keys().cloned().collect();\n\
+                       v\n}";
+        assert!(rules(collect).is_empty());
+        // Vec iteration with a sink: not a hash container.
+        let vec_render = "fn f(v: &[String]) -> String {\n\
+                          let mut out = String::new();\n\
+                          for s in v { out.push_str(s); }\n\
+                          out\n}";
+        assert!(rules(vec_render).is_empty());
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = "fn f() -> String {\n\
+                   let m = HashMap::new();\n\
+                   let mut out = String::new();\n\
+                   // lint: allow(nondet_iter): debug dump, order is irrelevant\n\
+                   for k in m.keys() { out.push_str(k); }\n\
+                   out\n}";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! R004 — stale `// lint: allow(…)` annotations.
+//!
+//! An annotation earns its keep by suppressing a finding on its own line
+//! or the line below. After every other rule has run, any annotation that
+//! suppressed nothing is dead weight: the code it excused was fixed or
+//! moved, the rule no longer fires there, or the kind is misspelled. Dead
+//! annotations rot into misinformation, so they are errors — the mirror
+//! of clippy's `unfulfilled_lint_expectations` for `#[expect]`.
+
+use super::FileContext;
+use catalyze_check::{Diagnostic, Severity};
+
+/// Reports every unused annotation in the file. Runs after suppression
+/// resolution; R004 itself cannot be annotated away.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    ctx.annotations
+        .iter()
+        .filter(|a| !a.used)
+        .map(|a| {
+            Diagnostic::new(
+                "R004",
+                Severity::Error,
+                format!("{}:{}:{}", ctx.rel, a.span.line, a.span.column),
+                format!(
+                    "stale `// lint: allow({})` annotation: nothing on this or the next \
+                     line for it to suppress",
+                    a.kind
+                ),
+            )
+            .with_suggestion("delete the annotation, or fix its kind if a finding was intended")
+            .with_span(a.span)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unused_annotation_is_stale() {
+        let src = "fn f() -> u8 {\n  // lint: allow(panic): nothing panics here anymore\n  0\n}";
+        assert_eq!(rules(src), vec!["R004"]);
+    }
+
+    #[test]
+    fn wrong_kind_is_stale_and_the_finding_still_fires() {
+        let src = "fn f() { x.unwrap(); // lint: allow(float_cmp): wrong kind\n}";
+        let got = rules(src);
+        assert!(got.contains(&"R001".to_string()));
+        assert!(got.contains(&"R004".to_string()));
+    }
+
+    #[test]
+    fn used_annotation_is_not_stale() {
+        let src = "fn f() { x.unwrap(); // lint: allow(panic): infallible by construction\n}";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn annotation_inside_test_code_is_stale() {
+        // Rules skip test items, so an annotation there suppresses nothing.
+        let src = "#[cfg(test)]\nmod t {\n  fn f() { x.unwrap(); // lint: allow(panic): in a test\n  }\n}\nfn g() {}";
+        assert_eq!(rules(src), vec!["R004"]);
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_annotations() {
+        let src = "/// Use `// lint: allow(panic): reason` to excuse a panic.\nfn f() {}";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the token-level lint engine: the adversarial
+//! fixture corpus under `fixtures/`, the self-check that the repository
+//! lints clean, and the `cargo xtask lint` CLI contract (exit codes,
+//! `--format` handling, JSON shape).
+
+use catalyze_check::Diagnostic;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::lexer::tokenize;
+use xtask::{lint_source, FileRole};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    lint_source(&format!("fixtures/{name}"), &fixture(name), FileRole::Library)
+}
+
+#[test]
+fn lexer_is_lossless_on_every_fixture() {
+    for name in ["clean_tricky.rs", "test_exempt.rs", "findings.rs"] {
+        let src = fixture(name);
+        let rebuilt: String = tokenize(&src).iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "{name}: concatenated tokens must reproduce the source");
+    }
+}
+
+#[test]
+fn lexer_is_lossless_on_the_engine_itself() {
+    // The engine's own sources are a convenient corpus of real-world Rust.
+    for entry in std::fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("src")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            let rebuilt: String = tokenize(&src).iter().map(|t| t.text(&src)).collect();
+            assert_eq!(rebuilt, src, "{}", path.display());
+        }
+    }
+}
+
+#[test]
+fn tricky_clean_fixture_produces_zero_findings() {
+    let diags = lint_fixture("clean_tricky.rs");
+    assert!(
+        diags.is_empty(),
+        "raw strings / comments / suffixed ints must not trip any rule:\n{:#?}",
+        diags.iter().map(|d| format!("{} {}", d.rule, d.location)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn test_items_are_exempt_anywhere_in_the_file() {
+    let diags = lint_fixture("test_exempt.rs");
+    assert!(
+        diags.is_empty(),
+        "findings inside #[test]/#[cfg(test)] items must be masked:\n{:#?}",
+        diags.iter().map(|d| format!("{} {}", d.rule, d.location)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn findings_fixture_reports_every_rule_with_spans() {
+    let diags = lint_fixture("findings.rs");
+    let got: Vec<(String, usize)> = diags
+        .iter()
+        .map(|d| (d.rule.clone(), d.span.expect("engine findings carry spans").line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("R001".into(), 8),
+            ("R002".into(), 12),
+            ("R002".into(), 17),
+            ("R005".into(), 21),
+            ("R006".into(), 26),
+            ("R004".into(), 33),
+        ],
+        "full diagnostics: {:#?}",
+        diags.iter().map(|d| format!("{} {}", d.rule, d.location)).collect::<Vec<_>>()
+    );
+    // Spot-check column accuracy: the R001 span must start exactly at
+    // `unwrap`, and the byte range must slice that text out of the source.
+    let src = fixture("findings.rs");
+    let r001 = diags[0].span.unwrap();
+    assert_eq!(r001.column, 16);
+    assert_eq!(&src[r001.start..r001.end], "unwrap");
+    let r002 = diags[1].span.unwrap();
+    assert_eq!(&src[r002.start..r002.end], "==");
+}
+
+#[test]
+fn float_variable_comparison_is_flagged_not_just_literals() {
+    let diags = lint_fixture("findings.rs");
+    let var_cmp = diags.iter().find(|d| d.rule == "R002" && d.span.unwrap().line == 17).unwrap();
+    assert!(
+        var_cmp.message.contains("between float-typed values"),
+        "line 17 compares two float variables: {}",
+        var_cmp.message
+    );
+}
+
+#[test]
+fn repository_lints_clean() {
+    let report = xtask::lint_repo(&repo_root());
+    assert!(
+        !report.has_errors(),
+        "the repository must self-lint clean:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_arguments_with_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--bogus"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2), "--format without a value is a usage error");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "xml"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2), "--format xml is a usage error");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask")).output().expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2), "missing subcommand is a usage error");
+}
+
+#[test]
+fn cli_json_output_matches_the_diagnostic_schema() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "json"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(0), "repo lints clean");
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is a single JSON document");
+    assert!(v.get("diagnostics").is_some());
+    assert_eq!(v["errors"].as_u64(), Some(0));
+    assert_eq!(v["warnings"].as_u64(), Some(0));
+}

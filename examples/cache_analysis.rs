@@ -47,7 +47,8 @@ fn main() {
         &basis,
         &dcache_signatures(),
         AnalysisConfig::dcache(),
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -25,7 +25,8 @@ fn main() {
         &cpu_flops_basis(),
         &cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!(

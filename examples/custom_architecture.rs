@@ -58,7 +58,8 @@ fn main() {
         &cpu_flops_basis(),
         &cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     println!("selected events:");
     for e in &analysis.selection.events {

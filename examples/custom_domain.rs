@@ -132,7 +132,8 @@ fn main() {
         &int_basis(),
         &int_signatures(),
         AnalysisConfig::cpu_flops(), // exact counters: the strict thresholds apply
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -26,7 +26,8 @@ fn main() {
         &gpu_flops_basis(),
         &gpu_flops_signatures(),
         AnalysisConfig::gpu_flops(),
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -13,7 +13,7 @@ fn main() {
         ("cpu-flops", "Figure 2b: CPU-FLOPs benchmark"),
         ("dcache", "Figure 2d: data-cache benchmark"),
     ] {
-        let d = h.domain(name).expect("known domain");
+        let d = h.domain(name).expect("known domain").expect("domain analyzes");
         println!("== {caption} ==");
         print!("{}", report::noise_summary(&d.analysis.noise));
         println!("{}", report::figure2_ascii(&d.analysis.noise, 70));

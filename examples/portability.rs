@@ -27,6 +27,7 @@ fn flops_report(set: &CpuEventSet, label: &str, cfg: &RunnerConfig) -> AnalysisR
         &signatures,
         AnalysisConfig::cpu_flops(),
     )
+    .expect("simulated measurements analyze cleanly")
 }
 
 fn verdict(r: &AnalysisReport, metric: &str) -> String {
@@ -72,6 +73,7 @@ fn main() {
             &signature::branch_signatures(),
             AnalysisConfig::branch(),
         )
+        .expect("simulated measurements analyze cleanly")
     };
     for (label, report) in [("SPR-like", branch(&spr, "spr")), ("Zen-like", branch(&zen, "zen"))] {
         let taken = report.metric("Conditional Branches Taken").unwrap();

@@ -37,7 +37,8 @@ fn main() {
         &branch_basis(),
         &branch_signatures(),
         AnalysisConfig::branch(),
-    );
+    )
+    .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -10,7 +10,7 @@ fn main() {
     let h = Harness::new(Scale::Full);
 
     for domain in ["cpu-flops", "branch", "dcache"] {
-        let d = h.domain(domain).expect("known domain");
+        let d = h.domain(domain).expect("known domain").expect("domain analyzes");
         let presets: Vec<_> =
             d.analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect();
         println!("== {domain}: validating {} composable metrics ==", presets.len());

@@ -69,6 +69,7 @@ fn analysis_is_a_pure_function_of_measurements() {
             &signature::branch_signatures(),
             AnalysisConfig::branch(),
         )
+        .unwrap()
     };
     let a = run();
     let b = run();

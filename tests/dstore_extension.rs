@@ -5,7 +5,7 @@ use catalyze_bench::{Harness, Scale};
 #[test]
 fn dstore_pipeline_composes_write_metrics() {
     let h = Harness::new(Scale::Fast);
-    let d = h.dstore();
+    let d = h.dstore().unwrap();
 
     assert_eq!(d.measurements.num_points(), 8);
     assert_eq!(d.basis.dim(), 4);
@@ -56,7 +56,7 @@ fn dstore_load_events_stay_out() {
     // The store benchmark performs no loads; the load-side events must be
     // discarded as all-zero, never selected.
     let h = Harness::new(Scale::Fast);
-    let d = h.dstore();
+    let d = h.dstore().unwrap();
     for e in &d.analysis.selection.events {
         assert!(
             !e.name.starts_with("MEM_LOAD_RETIRED"),

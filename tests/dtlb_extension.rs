@@ -7,7 +7,7 @@ use catalyze_bench::{Harness, Scale};
 #[test]
 fn dtlb_pipeline_composes_tlb_metrics() {
     let h = Harness::new(Scale::Fast);
-    let d = h.dtlb();
+    let d = h.dtlb().unwrap();
 
     // The benchmark: 6 points, 3 per region.
     assert_eq!(d.measurements.num_points(), 8);
@@ -58,7 +58,7 @@ fn dtlb_cache_events_do_not_masquerade() {
     // cache events must be rejected by the representation stage (their
     // curves do not match the 2-dimensional TLB basis), not selected.
     let h = Harness::new(Scale::Fast);
-    let d = h.dtlb();
+    let d = h.dtlb().unwrap();
     for e in &d.analysis.selection.events {
         assert!(
             !e.name.starts_with("MEM_LOAD_RETIRED") && !e.name.starts_with("L2_RQSTS"),

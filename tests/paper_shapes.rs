@@ -44,6 +44,7 @@ fn cpu_flops_report() -> AnalysisReport {
         &signature::cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
     )
+    .unwrap()
 }
 
 #[test]
@@ -116,7 +117,8 @@ fn branch_selection_and_metrics_match_section_5c_and_table7() {
         &basis::branch_basis(),
         &signature::branch_signatures(),
         AnalysisConfig::branch(),
-    );
+    )
+    .unwrap();
     let mut selected: Vec<String> =
         report.selection.events.iter().map(|e| e.name.clone()).collect();
     selected.sort();
@@ -169,7 +171,8 @@ fn gpu_selection_and_metrics_match_section_5b_and_table6() {
         &basis::gpu_flops_basis(),
         &signature::gpu_flops_signatures(),
         AnalysisConfig::gpu_flops(),
-    );
+    )
+    .unwrap();
     // §V.B: SQ_INSTS_VALU_[ADD|MUL|TRANS|FMA]_F[16|32|64], device 0.
     assert_eq!(report.selection.events.len(), 12);
     for class in ["ADD", "MUL", "TRANS", "FMA"] {
@@ -210,7 +213,8 @@ fn dcache_selection_and_metrics_match_section_5d_and_table8() {
         &basis::dcache_basis(&regions(&c.core)),
         &signature::dcache_signatures(),
         AnalysisConfig::dcache(),
-    );
+    )
+    .unwrap();
     let mut selected: Vec<String> =
         report.selection.events.iter().map(|e| e.name.clone()).collect();
     selected.sort();

@@ -23,7 +23,8 @@ fn all_noisy_input_yields_no_metrics() {
         })
         .collect();
     let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
+            .unwrap();
     assert!(report.noise.kept().is_empty());
     assert!(report.selection.events.is_empty());
     assert!(report.metrics.is_empty());
@@ -35,7 +36,8 @@ fn all_zero_input_yields_no_metrics() {
     let n = names(&["Z1", "Z2"]);
     let runs = vec![vec![vec![0.0; 11], vec![0.0; 11]]; 2];
     let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
+            .unwrap();
     assert_eq!(report.noise.discarded_zero().len(), 2);
     assert!(report.metrics.is_empty());
 }
@@ -47,7 +49,8 @@ fn unrepresentable_events_yield_empty_selection() {
     let ramp: Vec<f64> = (0..11).map(|i| (i * i) as f64).collect();
     let runs = vec![vec![vec![5.0; 11], ramp]; 2];
     let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
+        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
+            .unwrap();
     assert_eq!(report.noise.kept().len(), 2);
     assert_eq!(report.representation.rejected.len(), 2);
     assert!(report.selection.events.is_empty());
@@ -60,7 +63,8 @@ fn duplicated_events_collapse_to_one() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND_A", "COND_B", "COND_C"]);
     let runs = vec![vec![cr.clone(), cr.clone(), cr]; 2];
-    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
     assert_eq!(report.selection.events.len(), 1, "duplicates must not inflate rank");
     // Retired is composable from the single survivor; Taken is not.
     assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
@@ -74,7 +78,8 @@ fn partial_coverage_reports_honest_errors() {
     let t: Vec<f64> = (0..11).map(|i| b.matrix[(i, 2)]).collect();
     let n = names(&["BR_INST_RETIRED:COND_TAKEN"]);
     let runs = vec![vec![t]; 2];
-    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
     assert!(report.metric("Conditional Branches Taken").unwrap().error < 1e-10);
     for name in ["Mispredicted Branches", "Unconditional Branches", "Conditional Branches Executed"]
     {
@@ -90,7 +95,8 @@ fn single_repetition_is_accepted() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND"]);
     let runs = vec![vec![cr]];
-    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
     assert_eq!(report.noise.kept().len(), 1);
     assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
 }
@@ -109,9 +115,11 @@ fn measurement_set_json_roundtrip_preserves_analysis() {
     let json = serde_json::to_string(&ms).unwrap();
     let back: MeasurementSet = serde_json::from_str(&json).unwrap();
     assert_eq!(back, ms);
-    let r1 = analyze("b", &ms.events, &ms.runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let r1 = analyze("b", &ms.events, &ms.runs, &b, &branch_signatures(), AnalysisConfig::branch())
+        .unwrap();
     let r2 =
-        analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch());
+        analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch())
+            .unwrap();
     assert_eq!(r1.metrics.len(), r2.metrics.len());
     for (a, b) in r1.metrics.iter().zip(&r2.metrics) {
         assert_eq!(a.coefficients, b.coefficients);
@@ -125,7 +133,8 @@ fn analysis_report_serializes() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND"]);
     let runs = vec![vec![cr]];
-    let report = analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch());
+    let report =
+        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
     let json = serde_json::to_string(&report).unwrap();
     assert!(json.contains("Conditional Branches Retired"));
 }

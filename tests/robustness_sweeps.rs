@@ -31,7 +31,8 @@ fn branch_selection_is_seed_invariant() {
             &basis::branch_basis(),
             &signature::branch_signatures(),
             AnalysisConfig::branch(),
-        );
+        )
+        .unwrap();
         let mut names: Vec<String> =
             report.selection.events.iter().map(|e| e.name.clone()).collect();
         names.sort();
@@ -70,6 +71,7 @@ fn dcache_report_under(policy: ReplacementPolicy) -> catalyze::AnalysisReport {
         &signature::dcache_signatures(),
         AnalysisConfig::dcache(),
     )
+    .unwrap()
 }
 
 fn sorted_selection(report: &catalyze::AnalysisReport) -> Vec<String> {

@@ -7,7 +7,7 @@ use catalyze_cat::validate_presets;
 use catalyze_events::Preset;
 
 fn pipeline_presets(domain: &str, h: &Harness) -> Vec<Preset> {
-    let d = h.domain(domain).expect("known domain");
+    let d = h.domain(domain).expect("known domain").expect("domain analyzes");
     d.analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect()
 }
 

@@ -35,7 +35,8 @@ fn per_precision_metrics_not_composable_on_zen() {
         &basis::cpu_flops_basis(),
         &signatures,
         AnalysisConfig::cpu_flops(),
-    );
+    )
+    .unwrap();
 
     // The selection comes from the RETIRED_SSE_AVX_FLOPS family.
     assert!(!report.selection.events.is_empty());
@@ -67,7 +68,8 @@ fn branch_metrics_use_different_combinations_on_zen() {
         &basis::branch_basis(),
         &signature::branch_signatures(),
         AnalysisConfig::branch(),
-    );
+    )
+    .unwrap();
 
     let coef = |m: &catalyze::DefinedMetric, ev: &str| {
         m.events.iter().position(|e| e == ev).map(|i| m.coefficients[i]).unwrap_or(0.0)
@@ -108,7 +110,8 @@ fn zen_flop_events_survive_noise_and_representation() {
         &basis::cpu_flops_basis(),
         &signature::cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
-    );
+    )
+    .unwrap();
     let kept: Vec<&str> = report.representation.kept.iter().map(|e| e.name.as_str()).collect();
     for name in [
         "RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS",
@@ -147,7 +150,8 @@ fn zen_cache_metrics_compose_from_amd_events() {
         &basis::dcache_basis(&regions),
         &signature::dcache_signatures(),
         AnalysisConfig::dcache(),
-    );
+    )
+    .unwrap();
     assert_eq!(report.selection.events.len(), 4, "{:?}", report.selection.names());
 
     for m in &report.metrics {
