@@ -1,10 +1,10 @@
 //! Criterion benches for the analysis pipeline itself: the per-stage costs
 //! (noise filtering, representation, selection, definition) and the full
-//! `analyze` pass on each benchmark domain.
+//! analysis pass on each benchmark domain.
 
 use catalyze::noise::analyze_noise;
 use catalyze::normalize::represent;
-use catalyze::pipeline::analyze;
+use catalyze::pipeline::AnalysisRequest;
 use catalyze::select::select_events;
 use catalyze_bench::{Harness, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -19,14 +19,14 @@ fn bench_full_analyze(c: &mut Criterion) {
         let cfg = d.analysis.config;
         g.bench_function(name, |b| {
             b.iter(|| {
-                analyze(
-                    black_box(name),
-                    &d.measurements.events,
-                    &d.measurements.runs,
-                    &d.basis,
-                    &d.signatures,
-                    cfg,
-                )
+                AnalysisRequest::new()
+                    .domain(black_box(name))
+                    .events(&d.measurements.events)
+                    .runs(&d.measurements.runs)
+                    .basis(&d.basis)
+                    .signatures(&d.signatures)
+                    .config(cfg)
+                    .run()
             })
         });
     }

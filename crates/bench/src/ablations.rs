@@ -11,7 +11,7 @@
 
 use crate::harness::{DomainResult, Harness};
 use catalyze::noise::max_rnmse;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze_cat::{median_across_threads, run_dcache_per_thread};
 use catalyze_linalg::{qrcp, specialized_qrcp, SpQrcpParams};
 
@@ -167,17 +167,19 @@ pub fn median_ablation(h: &Harness) -> MedianAblation {
 /// Propagates analysis failures from the pipeline's linear-algebra stages.
 pub fn dcache_without_median(
     h: &Harness,
-) -> Result<catalyze::AnalysisReport, catalyze::LinalgError> {
+) -> Result<catalyze::AnalysisReport, catalyze::AnalysisError> {
     let per_thread = run_dcache_per_thread(&h.cpu_events, &h.cfg);
     let ms = &per_thread[0];
-    analyze(
-        "dcache (single thread)",
-        &ms.events,
-        &ms.runs,
-        &catalyze::basis::dcache_basis(&h.cache_regions()),
-        &catalyze::signature::dcache_signatures(),
-        AnalysisConfig::dcache(),
-    )
+    let basis = catalyze::basis::dcache_basis(&h.cache_regions());
+    let signatures = catalyze::signature::dcache_signatures();
+    AnalysisRequest::new()
+        .domain("dcache (single thread)")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::dcache())
+        .run()
 }
 
 #[cfg(test)]

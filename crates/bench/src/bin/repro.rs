@@ -13,6 +13,7 @@
 //! repro ablate-median        # per-thread median suppression (A3)
 //! repro dtlb                 # extension domain: data-TLB metrics
 //! repro dstore               # extension domain: store-path (RFO) metrics
+//! repro perf                 # BENCH_pipeline.json performance snapshot
 //! ```
 //!
 //! Add `--fast` for a down-scaled run and `--out DIR` to also write
@@ -49,7 +50,7 @@ fn parse_args() -> Opts {
                 println!("usage: repro [COMMAND] [--fast] [--out DIR]");
                 println!("commands: all, table1..table8, fig2, fig3, select-cpu,");
                 println!("  select-gpu, select-branch, select-cache, ablate-pivot,");
-                println!("  ablate-alpha, ablate-tau, ablate-median, dtlb, dstore");
+                println!("  ablate-alpha, ablate-tau, ablate-median, dtlb, dstore, perf");
                 std::process::exit(0);
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -306,6 +307,13 @@ fn main() {
         let d = h.dstore().expect("dstore analysis");
         selection(&opts, "select-dstore", &d);
         metric_table(&opts, "table-dstore", "Extension: Store-Path (RFO) Metrics", &d);
+    }
+    if cmd == "perf" {
+        // Re-runs every domain under a trace collector; not part of `all`
+        // because the domains above already ran once without tracing.
+        let snapshot = h.perf_snapshot(opts.scale).expect("perf snapshot");
+        print!("{snapshot}");
+        write_out(&opts, "BENCH_pipeline.json", &snapshot);
     }
     if all || cmd == "ablate-median" {
         let ab = ablations::median_ablation(&h);

@@ -2,14 +2,18 @@
 //! ablations, and the Criterion benches.
 
 use catalyze::basis::{self, Basis, CacheRegion};
-use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature::{self, MetricSignature};
-use catalyze::LinalgError;
+use catalyze::AnalysisError;
 use catalyze_cat::{
-    dcache, dstore, dtlb, run_branch, run_cpu_flops, run_dcache, run_dstore, run_dtlb,
-    run_gpu_flops, MeasurementSet, RunnerConfig,
+    dcache, dstore, dtlb, run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_dstore_obs,
+    run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
 };
+use catalyze_obs::{NoopObserver, Observer, TraceCollector};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like, CpuEventSet, GpuEventSet};
+
+/// Every benchmark domain the harness can run, in reproduction order.
+pub const DOMAINS: [&str; 6] = ["cpu-flops", "branch", "dcache", "gpu-flops", "dtlb", "dstore"];
 
 /// Harness scale: the full paper-size runs or a down-scaled smoke variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +22,16 @@ pub enum Scale {
     Full,
     /// Reduced trip counts and repetitions for quick iteration and tests.
     Fast,
+}
+
+impl Scale {
+    /// Stable lowercase label (`full`/`fast`) for machine-readable output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Fast => "fast",
+        }
+    }
 }
 
 /// A benchmark domain's measurements together with its analysis.
@@ -72,131 +86,173 @@ impl Harness {
             .collect()
     }
 
+    /// The expectation basis, metric signatures, and stage configuration of
+    /// one domain. `None` for an unknown name.
+    pub fn domain_inputs(
+        &self,
+        name: &str,
+    ) -> Option<(Basis, Vec<MetricSignature>, AnalysisConfig)> {
+        match name {
+            "cpu-flops" => Some((
+                basis::cpu_flops_basis(),
+                signature::cpu_flops_signatures(),
+                AnalysisConfig::cpu_flops(),
+            )),
+            "branch" => Some((
+                basis::branch_basis(),
+                signature::branch_signatures(),
+                AnalysisConfig::branch(),
+            )),
+            "dcache" => Some((
+                basis::dcache_basis(&self.cache_regions()),
+                signature::dcache_signatures(),
+                AnalysisConfig::dcache(),
+            )),
+            "gpu-flops" => Some((
+                basis::gpu_flops_basis(),
+                signature::gpu_flops_signatures(),
+                AnalysisConfig::gpu_flops(),
+            )),
+            "dtlb" => Some((
+                basis::dtlb_basis(&dtlb::point_hit_regions(&self.cfg.core.tlb)),
+                signature::dtlb_signatures(),
+                AnalysisConfig::dtlb(),
+            )),
+            "dstore" => {
+                let regions: Vec<CacheRegion> = dstore::point_regions(&self.cfg.core.hierarchy)
+                    .into_iter()
+                    .map(|r| match r {
+                        dstore::Region::L1 => CacheRegion::L1,
+                        dstore::Region::L2 => CacheRegion::L2,
+                        dstore::Region::L3 => CacheRegion::L3,
+                        dstore::Region::Memory => CacheRegion::Memory,
+                    })
+                    .collect();
+                Some((
+                    basis::dstore_basis(&regions),
+                    signature::dstore_signatures(),
+                    AnalysisConfig::dstore(),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs one domain's benchmark under the observer. `None` for an
+    /// unknown name.
+    pub fn measure(&self, name: &str, obs: &dyn Observer) -> Option<MeasurementSet> {
+        match name {
+            "cpu-flops" => Some(run_cpu_flops_obs(&self.cpu_events, &self.cfg, obs)),
+            "branch" => Some(run_branch_obs(&self.cpu_events, &self.cfg, obs)),
+            "dcache" => Some(run_dcache_obs(&self.cpu_events, &self.cfg, obs)),
+            "gpu-flops" => Some(run_gpu_flops_obs(&self.gpu_events, &self.cfg, obs)),
+            "dtlb" => Some(run_dtlb_obs(&self.cpu_events, &self.cfg, obs)),
+            "dstore" => Some(run_dstore_obs(&self.cpu_events, &self.cfg, obs)),
+            _ => None,
+        }
+    }
+
+    /// Runs one domain by name — benchmark plus analysis — threading the
+    /// observer through both. This is the single implementation the six
+    /// named wrappers and [`Harness::domain`] share. `None` for an unknown
+    /// name; the inner `Result` carries analysis failures.
+    pub fn domain_obs(
+        &self,
+        name: &str,
+        obs: &dyn Observer,
+    ) -> Option<Result<DomainResult, AnalysisError>> {
+        let measurements = self.measure(name, obs)?;
+        let (basis, signatures, config) = self.domain_inputs(name)?;
+        let analysis = AnalysisRequest::new()
+            .domain(name)
+            .events(&measurements.events)
+            .runs(&measurements.runs)
+            .basis(&basis)
+            .signatures(&signatures)
+            .config(config)
+            .observer(obs)
+            .run();
+        match analysis {
+            Ok(analysis) => Some(Ok(DomainResult { measurements, basis, signatures, analysis })),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Runs one domain by name (`cpu-flops`, `branch`, `dcache`,
+    /// `gpu-flops`, `dtlb`, `dstore`) without instrumentation. `None` for
+    /// an unknown name; the inner `Result` carries analysis failures.
+    pub fn domain(&self, name: &str) -> Option<Result<DomainResult, AnalysisError>> {
+        self.domain_obs(name, &NoopObserver)
+    }
+
+    fn known(&self, name: &'static str) -> Result<DomainResult, AnalysisError> {
+        // lint: allow(panic): the named wrappers pass only DOMAINS members
+        self.domain(name).expect("known domain name")
+    }
+
     /// Runs the CPU-FLOPs benchmark and analysis (paper §V.A, Table V,
     /// Fig. 2b).
-    pub fn cpu_flops(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_cpu_flops(&self.cpu_events, &self.cfg);
-        let basis = basis::cpu_flops_basis();
-        let signatures = signature::cpu_flops_signatures();
-        let analysis = analyze(
-            "cpu-flops",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::cpu_flops(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn cpu_flops(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("cpu-flops")
     }
 
     /// Runs the branching benchmark and analysis (§V.C, Table VII,
     /// Fig. 2a).
-    pub fn branch(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_branch(&self.cpu_events, &self.cfg);
-        let basis = basis::branch_basis();
-        let signatures = signature::branch_signatures();
-        let analysis = analyze(
-            "branch",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::branch(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn branch(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("branch")
     }
 
     /// Runs the data-cache benchmark and analysis (§V.D, Table VIII,
     /// Figs. 2d and 3).
-    pub fn dcache(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_dcache(&self.cpu_events, &self.cfg);
-        let basis = basis::dcache_basis(&self.cache_regions());
-        let signatures = signature::dcache_signatures();
-        let analysis = analyze(
-            "dcache",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::dcache(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn dcache(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("dcache")
     }
 
     /// Runs the GPU-FLOPs benchmark and analysis (§V.B, Table VI,
     /// Fig. 2c).
-    pub fn gpu_flops(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_gpu_flops(&self.gpu_events, &self.cfg);
-        let basis = basis::gpu_flops_basis();
-        let signatures = signature::gpu_flops_signatures();
-        let analysis = analyze(
-            "gpu-flops",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::gpu_flops(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn gpu_flops(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("gpu-flops")
     }
 
     /// Runs the data-TLB extension benchmark and analysis (beyond the
     /// paper: its future-work direction of covering further hardware
     /// attributes).
-    pub fn dtlb(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_dtlb(&self.cpu_events, &self.cfg);
-        let hit_regions = dtlb::point_hit_regions(&self.cfg.core.tlb);
-        let basis = basis::dtlb_basis(&hit_regions);
-        let signatures = signature::dtlb_signatures();
-        let analysis = analyze(
-            "dtlb",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::dtlb(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn dtlb(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("dtlb")
     }
 
     /// Runs the store-path extension benchmark and analysis.
-    pub fn dstore(&self) -> Result<DomainResult, LinalgError> {
-        let measurements = run_dstore(&self.cpu_events, &self.cfg);
-        let regions: Vec<CacheRegion> = dstore::point_regions(&self.cfg.core.hierarchy)
-            .into_iter()
-            .map(|r| match r {
-                dstore::Region::L1 => CacheRegion::L1,
-                dstore::Region::L2 => CacheRegion::L2,
-                dstore::Region::L3 => CacheRegion::L3,
-                dstore::Region::Memory => CacheRegion::Memory,
-            })
-            .collect();
-        let basis = basis::dstore_basis(&regions);
-        let signatures = signature::dstore_signatures();
-        let analysis = analyze(
-            "dstore",
-            &measurements.events,
-            &measurements.runs,
-            &basis,
-            &signatures,
-            AnalysisConfig::dstore(),
-        )?;
-        Ok(DomainResult { measurements, basis, signatures, analysis })
+    pub fn dstore(&self) -> Result<DomainResult, AnalysisError> {
+        self.known("dstore")
     }
 
-    /// Runs one domain by name (`cpu-flops`, `branch`, `dcache`,
-    /// `gpu-flops`). `None` for an unknown name; the inner `Result`
-    /// carries analysis failures.
-    pub fn domain(&self, name: &str) -> Option<Result<DomainResult, LinalgError>> {
-        match name {
-            "cpu-flops" => Some(self.cpu_flops()),
-            "branch" => Some(self.branch()),
-            "dcache" => Some(self.dcache()),
-            "gpu-flops" => Some(self.gpu_flops()),
-            "dtlb" => Some(self.dtlb()),
-            "dstore" => Some(self.dstore()),
-            _ => None,
+    /// Runs every domain under a fresh trace collector and renders the
+    /// `BENCH_pipeline.json` performance snapshot: per-domain span timings,
+    /// funnel records, and linalg solve counters in the `catalyze-obs`
+    /// trace schema, wrapped in a versioned envelope:
+    ///
+    /// ```json
+    /// {"version": 1, "scale": "fast", "domains": [
+    ///   {"domain": "cpu-flops", "trace": { ... }}
+    /// ]}
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing domain analysis.
+    pub fn perf_snapshot(&self, scale: Scale) -> Result<String, AnalysisError> {
+        let mut domains = Vec::new();
+        for name in DOMAINS {
+            let trace = TraceCollector::new();
+            // lint: allow(panic): DOMAINS lists only known domain names
+            self.domain_obs(name, &trace).expect("known domain name")?;
+            domains.push(format!("{{\"domain\":\"{name}\",\"trace\":{}}}", trace.render_json()));
         }
+        Ok(format!(
+            "{{\"version\":1,\"scale\":\"{}\",\"domains\":[{}]}}\n",
+            scale.label(),
+            domains.join(",")
+        ))
     }
 }
 
@@ -220,5 +276,34 @@ mod tests {
         let h = Harness::new(Scale::Fast);
         let regions = h.cache_regions();
         assert_eq!(regions.len(), 16);
+    }
+
+    #[test]
+    fn traced_domain_produces_identical_report() {
+        let h = Harness::new(Scale::Fast);
+        let trace = TraceCollector::new();
+        let traced = h.domain_obs("branch", &trace).unwrap().unwrap();
+        let plain = h.branch().unwrap();
+        // Instrumentation must not perturb the analysis.
+        let a = serde_json::to_string(&traced.analysis).unwrap();
+        let b = serde_json::to_string(&plain.analysis).unwrap();
+        assert_eq!(a, b);
+        assert!(trace.span_count() >= 7, "runner + pipeline spans, got {}", trace.span_count());
+        assert!(trace.funnel_records().iter().all(|f| f.reconciles()));
+    }
+
+    #[test]
+    fn perf_snapshot_is_valid_versioned_json() {
+        let h = Harness::new(Scale::Fast);
+        let snapshot = h.perf_snapshot(Scale::Fast).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&snapshot).unwrap();
+        assert_eq!(parsed["version"].as_u64(), Some(1));
+        assert_eq!(parsed["scale"].as_str(), Some("fast"));
+        let domains = parsed["domains"].as_array().unwrap();
+        assert_eq!(domains.len(), DOMAINS.len());
+        for d in domains {
+            assert_eq!(d["trace"]["version"].as_u64(), Some(1));
+            assert!(!d["trace"]["spans"].as_array().unwrap().is_empty());
+        }
     }
 }

@@ -11,4 +11,4 @@
 pub mod ablations;
 pub mod harness;
 
-pub use harness::{DomainResult, Harness, Scale};
+pub use harness::{DomainResult, Harness, Scale, DOMAINS};

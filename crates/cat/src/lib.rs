@@ -35,7 +35,8 @@ pub use runner::{
     median_across_threads, run_branch, run_cpu_flops, run_dcache, run_dcache_per_thread,
     run_gpu_flops, RunnerConfig,
 };
-pub use runner::{run_dstore, run_dtlb};
+pub use runner::{run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_gpu_flops_obs};
+pub use runner::{run_dstore, run_dstore_obs, run_dtlb, run_dtlb_obs};
 pub use validate::{
     validate_gpu_presets, validate_presets, validation_workload, ValidationOutcome,
 };

@@ -17,6 +17,7 @@
 use crate::data::MeasurementSet;
 use crate::{branch, dcache, flops_cpu, flops_gpu};
 use catalyze_events::EventId;
+use catalyze_obs::{NoopObserver, Observer, Span};
 use catalyze_sim::{
     CoreConfig, Cpu, CpuEventSet, CpuPmu, ExecStats, GpuConfig, GpuDevice, GpuEventSet, GpuStats,
     PmuConfig,
@@ -83,6 +84,14 @@ fn run_key(rep: usize, point: usize) -> usize {
     rep * 100_000 + point
 }
 
+/// Publishes the sweep shape of a finished benchmark run. Observer calls
+/// stay on the calling thread, outside the rayon sections.
+fn record_runner_counters(obs: &dyn Observer, points: usize, events: usize, repetitions: usize) {
+    obs.counter("runner.points", u64::try_from(points).unwrap_or(u64::MAX));
+    obs.counter("runner.events", u64::try_from(events).unwrap_or(u64::MAX));
+    obs.counter("runner.repetitions", u64::try_from(repetitions).unwrap_or(u64::MAX));
+}
+
 /// Collects per-point stats and reads all events, normalized by `norm`.
 fn read_all_cpu(
     set: &CpuEventSet,
@@ -109,52 +118,101 @@ fn read_all_cpu(
 
 /// Runs the CPU-FLOPs benchmark.
 pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    run_cpu_flops_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_cpu_flops`] with structured observability: spans around the
+/// simulation and counter-read phases, sweep-shape counters.
+pub fn run_cpu_flops_obs(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/cpu-flops");
     let kernels = flops_cpu::kernel_space();
     let points: Vec<(usize, usize)> =
         (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
-    let stats: Vec<ExecStats> = points
-        .par_iter()
-        .map(|&(k, l)| {
-            let mut cpu = Cpu::new(cfg.core);
-            cpu.run(&kernels[k].program(l, cfg.flops_trips));
-            cpu.stats()
-        })
-        .collect();
+    let stats: Vec<ExecStats> = {
+        let _s = Span::enter(obs, "simulate");
+        points
+            .par_iter()
+            .map(|&(k, l)| {
+                let mut cpu = Cpu::new(cfg.core);
+                cpu.run(&kernels[k].program(l, cfg.flops_trips));
+                cpu.stats()
+            })
+            .collect()
+    };
     let norms = vec![cfg.flops_trips as f64; points.len()];
     let pmu = CpuPmu::new(cfg.pmu);
+    let runs = {
+        let _s = Span::enter(obs, "read-counters");
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+    };
+    record_runner_counters(obs, points.len(), set.len(), cfg.repetitions);
     MeasurementSet {
         domain: "cpu-flops".into(),
         point_labels: flops_cpu::point_labels(),
         events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
-        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+        runs,
     }
 }
 
 /// Runs the branching benchmark.
 pub fn run_branch(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    run_branch_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_branch`] with structured observability.
+pub fn run_branch_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/branch");
     let kernels = branch::kernel_space();
-    let stats: Vec<ExecStats> = kernels
-        .par_iter()
-        .map(|k| {
-            let mut cpu = Cpu::new(cfg.core);
-            cpu.run(&k.program(cfg.branch_iterations));
-            cpu.stats()
-        })
-        .collect();
+    let stats: Vec<ExecStats> = {
+        let _s = Span::enter(obs, "simulate");
+        kernels
+            .par_iter()
+            .map(|k| {
+                let mut cpu = Cpu::new(cfg.core);
+                cpu.run(&k.program(cfg.branch_iterations));
+                cpu.stats()
+            })
+            .collect()
+    };
     let norms = vec![cfg.branch_iterations as f64; kernels.len()];
     let pmu = CpuPmu::new(cfg.pmu);
+    let runs = {
+        let _s = Span::enter(obs, "read-counters");
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+    };
+    record_runner_counters(obs, kernels.len(), set.len(), cfg.repetitions);
     MeasurementSet {
         domain: "branch".into(),
         point_labels: branch::point_labels(),
         events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
-        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+        runs,
     }
 }
 
 /// Runs the data-cache benchmark with per-thread medians (the default).
 pub fn run_dcache(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    let per_thread = run_dcache_per_thread(set, cfg);
-    median_across_threads(&per_thread)
+    run_dcache_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_dcache`] with structured observability: the per-thread sweeps run
+/// under a `simulate` span, the median reduction under `median`.
+pub fn run_dcache_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/dcache");
+    let per_thread = {
+        let _s = Span::enter(obs, "simulate");
+        run_dcache_per_thread(set, cfg)
+    };
+    let median = {
+        let _s = Span::enter(obs, "median");
+        median_across_threads(&per_thread)
+    };
+    record_runner_counters(obs, median.num_points(), set.len(), cfg.repetitions);
+    obs.counter("runner.dcache_threads", u64::try_from(cfg.dcache_threads).unwrap_or(u64::MAX));
+    median
 }
 
 /// Runs the data-cache benchmark and keeps every thread's measurements
@@ -230,55 +288,83 @@ pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
 
 /// Runs the data-TLB benchmark (the extension domain).
 pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    run_dtlb_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_dtlb`] with structured observability.
+pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/dtlb");
     let tlb = cfg.core.tlb;
     let configs = crate::dtlb::sweep(&tlb);
-    let stats: Vec<ExecStats> = configs
-        .par_iter()
-        .enumerate()
-        .map(|(p, c)| {
-            let seed = 4242 + p as u64;
-            let mut cpu = Cpu::new(cfg.core);
-            cpu.run(&c.program(0, seed, crate::dtlb::WARMUP_PASSES));
-            cpu.reset_stats();
-            cpu.run(&c.program(0, seed, crate::dtlb::MEASURE_PASSES));
-            cpu.stats()
-        })
-        .collect();
+    let stats: Vec<ExecStats> = {
+        let _s = Span::enter(obs, "simulate");
+        configs
+            .par_iter()
+            .enumerate()
+            .map(|(p, c)| {
+                let seed = 4242 + p as u64;
+                let mut cpu = Cpu::new(cfg.core);
+                cpu.run(&c.program(0, seed, crate::dtlb::WARMUP_PASSES));
+                cpu.reset_stats();
+                cpu.run(&c.program(0, seed, crate::dtlb::MEASURE_PASSES));
+                cpu.stats()
+            })
+            .collect()
+    };
     let norms: Vec<f64> =
         configs.iter().map(|c| (c.slots() * crate::dtlb::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
+    let runs = {
+        let _s = Span::enter(obs, "read-counters");
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+    };
+    record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
     MeasurementSet {
         domain: "dtlb".into(),
         point_labels: crate::dtlb::point_labels(&tlb),
         events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
-        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+        runs,
     }
 }
 
 /// Runs the store-path (write) cache benchmark (extension domain).
 pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    run_dstore_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_dstore`] with structured observability.
+pub fn run_dstore_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/dstore");
     let h = cfg.core.hierarchy;
     let configs = crate::dstore::sweep(&h);
-    let stats: Vec<ExecStats> = configs
-        .par_iter()
-        .enumerate()
-        .map(|(p, c)| {
-            let seed = 9000 + p as u64;
-            let mut cpu = Cpu::new(cfg.core);
-            cpu.run(&c.program(0, seed, crate::dstore::WARMUP_PASSES));
-            cpu.reset_stats();
-            cpu.run(&c.program(0, seed, crate::dstore::MEASURE_PASSES));
-            cpu.stats()
-        })
-        .collect();
+    let stats: Vec<ExecStats> = {
+        let _s = Span::enter(obs, "simulate");
+        configs
+            .par_iter()
+            .enumerate()
+            .map(|(p, c)| {
+                let seed = 9000 + p as u64;
+                let mut cpu = Cpu::new(cfg.core);
+                cpu.run(&c.program(0, seed, crate::dstore::WARMUP_PASSES));
+                cpu.reset_stats();
+                cpu.run(&c.program(0, seed, crate::dstore::MEASURE_PASSES));
+                cpu.stats()
+            })
+            .collect()
+    };
     let norms: Vec<f64> =
         configs.iter().map(|c| (c.lines * crate::dstore::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
+    let runs = {
+        let _s = Span::enter(obs, "read-counters");
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+    };
+    record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
     MeasurementSet {
         domain: "dstore".into(),
         point_labels: crate::dstore::point_labels(&h),
         events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
-        runs: read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions),
+        runs,
     }
 }
 
@@ -286,34 +372,51 @@ pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
 /// `cfg.gpu_devices`; events bound to other devices read their idle
 /// telemetry.
 pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    run_gpu_flops_obs(set, cfg, &NoopObserver)
+}
+
+/// [`run_gpu_flops`] with structured observability.
+pub fn run_gpu_flops_obs(
+    set: &GpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+) -> MeasurementSet {
+    let _root = Span::enter(obs, "run/gpu-flops");
     let kernels = flops_gpu::kernel_space();
     let points: Vec<(usize, usize)> =
         (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
-    let device_stats: Vec<Vec<GpuStats>> = points
-        .par_iter()
-        .map(|&(k, l)| {
-            let mut dev = GpuDevice::new(GpuConfig::default_sim());
-            dev.launch(&kernels[k].kernel(l, cfg.gpu_wavefronts));
-            let mut all = vec![GpuStats::default(); cfg.gpu_devices as usize];
-            all[0] = dev.stats;
-            all
-        })
-        .collect();
+    let device_stats: Vec<Vec<GpuStats>> = {
+        let _s = Span::enter(obs, "simulate");
+        points
+            .par_iter()
+            .map(|&(k, l)| {
+                let mut dev = GpuDevice::new(GpuConfig::default_sim());
+                dev.launch(&kernels[k].kernel(l, cfg.gpu_wavefronts));
+                let mut all = vec![GpuStats::default(); cfg.gpu_devices as usize];
+                all[0] = dev.stats;
+                all
+            })
+            .collect()
+    };
     let events = all_ids(set.len());
     let pmu = CpuPmu::new(cfg.pmu);
     let norm = cfg.gpu_wavefronts as f64;
-    let runs = (0..cfg.repetitions)
-        .map(|rep| {
-            let per_point: Vec<Vec<f64>> = device_stats
-                .iter()
-                .enumerate()
-                .map(|(p, devs)| pmu.read_gpu(set, devs, &events, run_key(rep, p)))
-                .collect();
-            (0..events.len())
-                .map(|e| per_point.iter().map(|counts| counts[e] / norm).collect())
-                .collect()
-        })
-        .collect();
+    let runs = {
+        let _s = Span::enter(obs, "read-counters");
+        (0..cfg.repetitions)
+            .map(|rep| {
+                let per_point: Vec<Vec<f64>> = device_stats
+                    .iter()
+                    .enumerate()
+                    .map(|(p, devs)| pmu.read_gpu(set, devs, &events, run_key(rep, p)))
+                    .collect();
+                (0..events.len())
+                    .map(|e| per_point.iter().map(|counts| counts[e] / norm).collect())
+                    .collect()
+            })
+            .collect()
+    };
+    record_runner_counters(obs, points.len(), set.len(), cfg.repetitions);
     MeasurementSet {
         domain: "gpu-flops".into(),
         point_labels: flops_gpu::point_labels(),
@@ -404,6 +507,24 @@ mod tests {
                 assert!(m >= lo && m <= hi);
             }
         }
+    }
+
+    #[test]
+    fn traced_runner_records_spans_and_counters() {
+        use catalyze_obs::TraceCollector;
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let trace = TraceCollector::new();
+        let ms = run_branch_obs(&set, &cfg, &trace);
+        ms.validate().unwrap();
+        // Root + simulate + read-counters spans.
+        assert_eq!(trace.span_count(), 3);
+        assert_eq!(trace.counter_value("runner.points"), Some(11));
+        assert_eq!(trace.counter_value("runner.repetitions"), Some(3));
+        assert!(trace.counter_value("runner.events").unwrap() > 0);
+        // The noop-observer entry point produces the same measurements.
+        let plain = run_branch(&set, &cfg);
+        assert_eq!(plain.runs, ms.runs);
     }
 
     #[test]

@@ -3,13 +3,22 @@
 //!
 //! ```text
 //! catalyze events [--gpu]                      list the raw-event inventory
-//! catalyze run <domain> [--out FILE]           run a benchmark, save JSON
-//! catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]
-//! catalyze presets <domain> [--json]           end-to-end preset export
+//! catalyze run <domain> [--out FILE] [--trace [FILE]]
+//! catalyze analyze <domain> [--in FILE] [--set k=v ...] [--trace [FILE]]
+//! catalyze presets <domain> [--json] [--set k=v ...]
 //! catalyze check [--format json] [--presets FILE [--arch spr|zen|gpu]]
 //! ```
 //!
 //! Domains: `cpu-flops`, `branch`, `dcache`, `gpu-flops`, `dtlb`, `dstore`.
+//!
+//! `--set key=value` overrides a stage threshold (`tau`, `alpha`,
+//! `representation_threshold`, `rounding_tol`, `composability_threshold`);
+//! unknown keys are a usage error (exit 2). `--tau T` / `--alpha A` are
+//! shorthands for the two most common overrides.
+//!
+//! `--trace` records structured observability (nested timed spans, event
+//! funnel, linalg solve counters) and prints a human summary; with a FILE
+//! argument the schema-stable JSON trace is written there too.
 //!
 //! `check` validates every shipped analysis input (bases, catalogs, stage
 //! configurations) and, with `--presets`, a PAPI-style preset file against
@@ -19,14 +28,15 @@
 #![forbid(unsafe_code)]
 
 use catalyze::basis::{self, Basis, CacheRegion};
-use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::{self, MetricSignature};
 use catalyze_cat::{
-    dcache, dstore, dtlb, run_branch, run_cpu_flops, run_dcache, run_dstore, run_dtlb,
-    run_gpu_flops, MeasurementSet, RunnerConfig,
+    dcache, dstore, dtlb, run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_dstore_obs,
+    run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
 };
 use catalyze_events::PresetTable;
+use catalyze_obs::{NoopObserver, Observer, TraceCollector};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like, zen_like, CpuEventSet};
 use std::process::ExitCode;
 
@@ -35,12 +45,14 @@ const DOMAINS: [&str; 6] = ["cpu-flops", "branch", "dcache", "gpu-flops", "dtlb"
 fn usage() -> ExitCode {
     eprintln!("usage: catalyze <events|run|analyze|presets> [args]");
     eprintln!("  catalyze events [--gpu]");
-    eprintln!("  catalyze run <domain> [--out FILE]");
+    eprintln!("  catalyze run <domain> [--out FILE] [--trace [FILE]]");
     eprintln!("  catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]");
-    eprintln!("  catalyze presets <domain> [--json]");
+    eprintln!("                            [--set key=value ...] [--trace [FILE]]");
+    eprintln!("  catalyze presets <domain> [--json] [--set key=value ...]");
     eprintln!("  catalyze papi <domain>");
     eprintln!("  catalyze check [--format human|json] [--presets FILE [--arch spr|zen|gpu]]");
     eprintln!("domains: {}", DOMAINS.join(", "));
+    eprintln!("threshold keys for --set: {}", AnalysisConfig::keys().join(", "));
     ExitCode::from(2)
 }
 
@@ -55,14 +67,19 @@ fn cpu_inventory(args: &[String]) -> CpuEventSet {
     }
 }
 
-fn run_domain(domain: &str, cfg: &RunnerConfig, cpu: &CpuEventSet) -> Option<MeasurementSet> {
+fn run_domain(
+    domain: &str,
+    cfg: &RunnerConfig,
+    cpu: &CpuEventSet,
+    obs: &dyn Observer,
+) -> Option<MeasurementSet> {
     match domain {
-        "cpu-flops" => Some(run_cpu_flops(cpu, cfg)),
-        "branch" => Some(run_branch(cpu, cfg)),
-        "dcache" => Some(run_dcache(cpu, cfg)),
-        "gpu-flops" => Some(run_gpu_flops(&mi250x_like(cfg.gpu_devices), cfg)),
-        "dtlb" => Some(run_dtlb(cpu, cfg)),
-        "dstore" => Some(run_dstore(cpu, cfg)),
+        "cpu-flops" => Some(run_cpu_flops_obs(cpu, cfg, obs)),
+        "branch" => Some(run_branch_obs(cpu, cfg, obs)),
+        "dcache" => Some(run_dcache_obs(cpu, cfg, obs)),
+        "gpu-flops" => Some(run_gpu_flops_obs(&mi250x_like(cfg.gpu_devices), cfg, obs)),
+        "dtlb" => Some(run_dtlb_obs(cpu, cfg, obs)),
+        "dstore" => Some(run_dstore_obs(cpu, cfg, obs)),
         _ => None,
     }
 }
@@ -130,17 +147,28 @@ fn analyze_domain(
     domain: &str,
     ms: &MeasurementSet,
     cfg: &RunnerConfig,
-    tau: Option<f64>,
-    alpha: Option<f64>,
+    overrides: &[(String, f64)],
+    obs: &dyn Observer,
 ) -> Option<AnalysisReport> {
     let (basis, signatures, mut acfg) = domain_analysis_inputs(domain, cfg)?;
-    if let Some(t) = tau {
-        acfg.tau = t;
+    for (key, value) in overrides {
+        if !acfg.set(key, *value) {
+            eprintln!(
+                "unknown threshold key {key} (expected one of: {})",
+                AnalysisConfig::keys().join(", ")
+            );
+            std::process::exit(2);
+        }
     }
-    if let Some(a) = alpha {
-        acfg.alpha = a;
-    }
-    match analyze(domain, &ms.events, &ms.runs, &basis, &signatures, acfg) {
+    let request = AnalysisRequest::new()
+        .domain(domain)
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(acfg)
+        .observer(obs);
+    match request.run() {
         Ok(report) => Some(report),
         Err(e) => {
             eprintln!("analysis failed for {domain}: {e}");
@@ -151,6 +179,64 @@ fn analyze_domain(
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Collects `--set key=value` threshold overrides plus the `--tau`/`--alpha`
+/// shorthands, in command-line order. Malformed pairs are a usage error.
+fn parse_overrides(args: &[String]) -> Vec<(String, f64)> {
+    let mut overrides = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let (key, raw) = match args[i].as_str() {
+            "--set" => {
+                let Some(pair) = args.get(i + 1) else {
+                    eprintln!("--set requires a key=value argument");
+                    std::process::exit(2);
+                };
+                let Some((key, raw)) = pair.split_once('=') else {
+                    eprintln!("malformed --set {pair} (expected key=value)");
+                    std::process::exit(2);
+                };
+                (key.to_string(), raw.to_string())
+            }
+            "--tau" | "--alpha" => {
+                let key = args[i].trim_start_matches('-').to_string();
+                let Some(raw) = args.get(i + 1) else {
+                    eprintln!("{} requires a numeric argument", args[i]);
+                    std::process::exit(2);
+                };
+                (key, raw.clone())
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let Ok(value) = raw.parse::<f64>() else {
+            eprintln!("non-numeric threshold value {raw} for {key}");
+            std::process::exit(2);
+        };
+        overrides.push((key, value));
+        i += 2;
+    }
+    overrides
+}
+
+/// `--trace` handling: `None` when absent, `Some(None)` for the bare flag,
+/// `Some(Some(path))` when followed by a file name.
+fn trace_request(args: &[String]) -> Option<Option<String>> {
+    let i = args.iter().position(|a| a == "--trace")?;
+    Some(args.get(i + 1).filter(|v| !v.starts_with('-')).cloned())
+}
+
+/// Writes the JSON trace when a file was requested and returns the human
+/// summary for the caller to print on its preferred stream.
+fn emit_trace(trace: &TraceCollector, file: Option<&str>) -> String {
+    if let Some(path) = file {
+        std::fs::write(path, trace.render_json()).expect("write trace file");
+        eprintln!("wrote trace {path}");
+    }
+    trace.render_human()
 }
 
 fn main() -> ExitCode {
@@ -182,7 +268,10 @@ fn main() -> ExitCode {
         }
         "run" => {
             let Some(domain) = args.get(1) else { return usage() };
-            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+            let trace_to = trace_request(&args);
+            let trace = TraceCollector::new();
+            let obs: &dyn Observer = if trace_to.is_some() { &trace } else { &NoopObserver };
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args), obs) else {
                 eprintln!("unknown domain {domain}");
                 return usage();
             };
@@ -200,6 +289,11 @@ fn main() -> ExitCode {
                 }
                 None => println!("{json}"),
             }
+            if let Some(file) = trace_to {
+                // stdout carries the measurement JSON; the summary goes to
+                // stderr so pipelines stay clean.
+                eprint!("{}", emit_trace(&trace, file.as_deref()));
+            }
             ExitCode::SUCCESS
         }
         "analyze" => {
@@ -208,6 +302,9 @@ fn main() -> ExitCode {
                 eprintln!("unknown domain {domain}");
                 return usage();
             }
+            let trace_to = trace_request(&args);
+            let trace = TraceCollector::new();
+            let obs: &dyn Observer = if trace_to.is_some() { &trace } else { &NoopObserver };
             let ms = match flag_value(&args, "--in") {
                 Some(path) => {
                     let data = std::fs::read_to_string(&path).expect("read measurement file");
@@ -216,27 +313,32 @@ fn main() -> ExitCode {
                     ms.validate().expect("consistent measurement file");
                     ms
                 }
-                None => {
-                    run_domain(domain, &cfg, &cpu_inventory(&args)).expect("domain checked above")
-                }
+                None => run_domain(domain, &cfg, &cpu_inventory(&args), obs)
+                    .expect("domain checked above"),
             };
-            let tau = flag_value(&args, "--tau").map(|v| v.parse().expect("numeric --tau"));
-            let alpha = flag_value(&args, "--alpha").map(|v| v.parse().expect("numeric --alpha"));
-            let analysis = analyze_domain(domain, &ms, &cfg, tau, alpha).expect("known domain");
+            let overrides = parse_overrides(&args);
+            let analysis =
+                analyze_domain(domain, &ms, &cfg, &overrides, obs).expect("known domain");
             print!("{}", report::noise_summary(&analysis.noise));
             println!();
             print!("{}", report::selection_table(&analysis));
             println!();
             print!("{}", report::metrics_table(&format!("{domain} metrics"), &analysis.metrics));
+            if let Some(file) = trace_to {
+                println!();
+                print!("{}", emit_trace(&trace, file.as_deref()));
+            }
             ExitCode::SUCCESS
         }
         "presets" => {
             let Some(domain) = args.get(1) else { return usage() };
-            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args), &NoopObserver) else {
                 eprintln!("unknown domain {domain}");
                 return usage();
             };
-            let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
+            let overrides = parse_overrides(&args);
+            let analysis =
+                analyze_domain(domain, &ms, &cfg, &overrides, &NoopObserver).expect("known domain");
             let table = PresetTable {
                 title: format!("{domain} presets"),
                 presets: analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect(),
@@ -252,11 +354,12 @@ fn main() -> ExitCode {
         }
         "papi" => {
             let Some(domain) = args.get(1) else { return usage() };
-            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args)) else {
+            let Some(ms) = run_domain(domain, &cfg, &cpu_inventory(&args), &NoopObserver) else {
                 eprintln!("unknown domain {domain}");
                 return usage();
             };
-            let analysis = analyze_domain(domain, &ms, &cfg, None, None).expect("known domain");
+            let analysis =
+                analyze_domain(domain, &ms, &cfg, &[], &NoopObserver).expect("known domain");
             let table = PresetTable {
                 title: format!("{domain} presets (auto-generated by catalyze)"),
                 presets: analysis.composable_metrics().iter().map(|m| m.to_preset(1e-6)).collect(),

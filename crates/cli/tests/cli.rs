@@ -77,6 +77,97 @@ fn analyze_accepts_threshold_overrides() {
 }
 
 #[test]
+fn analyze_set_overrides_and_rejects_unknown_keys() {
+    // --set spellings of the --tau/--alpha shorthands.
+    let out = catalyze(&["analyze", "branch", "--set", "tau=1e6", "--set", "alpha=1e-3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kept"), "{text}");
+
+    // Unknown keys and malformed pairs are usage errors (exit 2) on both
+    // subcommands that take overrides.
+    for cmd in ["analyze", "presets"] {
+        let out = catalyze(&[cmd, "branch", "--set", "bogus=1"]);
+        assert_eq!(out.status.code(), Some(2), "{cmd} must reject unknown keys");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown threshold key bogus"), "{err}");
+    }
+    let out = catalyze(&["analyze", "branch", "--set", "tau"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["analyze", "branch", "--set", "tau=abc"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn presets_accepts_set_overrides() {
+    // Impossible composability bar: every metric becomes non-composable,
+    // so the preset table must come back empty but the command succeed.
+    let out = catalyze(&["presets", "branch", "--json", "--set", "composability_threshold=1e-30"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(parsed["presets"].as_array().expect("presets array").len(), 0);
+}
+
+#[test]
+fn analyze_trace_writes_schema_stable_json() {
+    let dir = std::env::temp_dir().join(format!("catalyze-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("trace.json");
+    let file_str = file.to_str().unwrap();
+
+    let out = catalyze(&["analyze", "branch", "--trace", file_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The human summary lands on stdout after the tables.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("trace\n"), "{text}");
+    assert!(text.contains("funnel"), "{text}");
+    assert!(text.contains("analyze/branch"), "{text}");
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&file).unwrap()).expect("valid trace JSON");
+    assert_eq!(parsed["version"].as_u64(), Some(1));
+    let spans = parsed["spans"].as_array().expect("spans array");
+    assert!(!spans.is_empty());
+    // The benchmark run and the analysis both appear as root spans, each
+    // with closed children.
+    let names: Vec<&str> = spans.iter().filter_map(|s| s["name"].as_str()).collect();
+    assert!(names.contains(&"run/branch"), "{names:?}");
+    assert!(names.contains(&"analyze/branch"), "{names:?}");
+    for span in spans {
+        assert!(span["duration_ns"].as_u64().is_some(), "closed span: {span:?}");
+    }
+    // Every funnel stage reconciles: kept + sum(dropped) == in.
+    let funnel = parsed["funnel"].as_array().expect("funnel array");
+    assert_eq!(funnel.len(), 4);
+    for stage in funnel {
+        let kept = stage["kept"].as_u64().unwrap();
+        let input = stage["in"].as_u64().unwrap();
+        let dropped: u64 =
+            stage["dropped"].as_array().unwrap().iter().map(|d| d["count"].as_u64().unwrap()).sum();
+        assert_eq!(kept + dropped, input, "{stage:?}");
+    }
+    // Linalg counters made it through the stats bridge.
+    let counters = parsed["counters"].as_array().expect("counters array");
+    let names: Vec<&str> = counters.iter().filter_map(|c| c["name"].as_str()).collect();
+    assert!(names.contains(&"linalg.lstsq_solves"), "{names:?}");
+    assert!(names.contains(&"runner.points"), "{names:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_trace_summary_goes_to_stderr() {
+    let out = catalyze(&["run", "branch", "--out", "/dev/null", "--trace"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("run/branch"), "{err}");
+    assert!(err.contains("counters"), "{err}");
+    // stdout stays reserved for measurement JSON (here redirected to --out).
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("run/branch"), "{text}");
+}
+
+#[test]
 fn presets_json_is_valid() {
     let out = catalyze(&["presets", "branch", "--json"]);
     assert!(out.status.success());

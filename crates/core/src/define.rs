@@ -2,6 +2,7 @@
 //! events into metric signatures, with the backward-error fitness measure
 //! and the coefficient-rounding step used for noisy (cache) events.
 
+use crate::error::AnalysisError;
 use crate::select::Selection;
 use crate::signature::MetricSignature;
 use catalyze_events::{Preset, PresetTerm};
@@ -75,24 +76,26 @@ pub fn round_coefficient(c: f64, tol: f64) -> Option<f64> {
 
 /// Defines one metric over the selection by solving `X̂ · y = s`.
 ///
-/// # Panics
-/// Panics when the signature dimension does not match the selection's
-/// basis dimension (a programming error — they come from the same basis).
+/// # Errors
+/// [`AnalysisError::Shape`] when the signature dimension does not match the
+/// selection's basis dimension; [`AnalysisError::Linalg`] when the solve
+/// fails (cannot happen for a QRCP-produced `X̂`, whose columns are
+/// independent by construction, but callers with hand-built selections get
+/// the error back instead of a panic).
 pub fn define_metric(
     selection: &Selection,
     x_hat: &Matrix,
     signature: &MetricSignature,
     rounding_tol: f64,
-) -> DefinedMetric {
-    assert_eq!(
-        signature.coefficients.len(),
-        x_hat.rows(),
-        "signature/basis dimension mismatch for {}",
-        signature.name
-    );
-    let sol = lstsq(x_hat, &signature.coefficients)
-        // lint: allow(panic): X-hat has independent columns by construction (QRCP selected them)
-        .expect("X̂ has independent columns by construction");
+) -> Result<DefinedMetric, AnalysisError> {
+    if signature.coefficients.len() != x_hat.rows() {
+        return Err(AnalysisError::Shape {
+            context: "signature coefficients vs basis dimension",
+            expected: x_hat.rows(),
+            got: signature.coefficients.len(),
+        });
+    }
+    let sol = lstsq(x_hat, &signature.coefficients)?;
     let rounded: Vec<Option<f64>> =
         sol.x.iter().map(|&c| round_coefficient(c, rounding_tol)).collect();
     let rounded_error = if rounded.iter().all(|r| r.is_some()) {
@@ -102,25 +105,28 @@ pub fn define_metric(
     } else {
         None
     };
-    DefinedMetric {
+    Ok(DefinedMetric {
         metric: signature.name.clone(),
         coefficients: sol.x,
         events: selection.names().iter().map(|s| s.to_string()).collect(),
         error: sol.backward_error,
         rounded,
         rounded_error,
-    }
+    })
 }
 
 /// Defines every signature over the selection. Returns an empty list when
 /// the selection is empty.
+///
+/// # Errors
+/// Propagates the first [`define_metric`] failure.
 pub fn define_metrics(
     selection: &Selection,
     signatures: &[MetricSignature],
     rounding_tol: f64,
-) -> Vec<DefinedMetric> {
+) -> Result<Vec<DefinedMetric>, AnalysisError> {
     let Some(x_hat) = selection.x_hat() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     signatures.iter().map(|s| define_metric(selection, &x_hat, s, rounding_tol)).collect()
 }
@@ -154,7 +160,7 @@ mod tests {
     #[test]
     fn composable_branch_metrics_reproduce_table7() {
         let sel = branch_selection();
-        let metrics = define_metrics(&sel, &branch_signatures(), 0.02);
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.02).unwrap();
         assert_eq!(metrics.len(), 7);
 
         let get = |name: &str| metrics.iter().find(|m| m.metric.starts_with(name)).unwrap();
@@ -195,7 +201,7 @@ mod tests {
     #[test]
     fn rounded_error_present_when_all_round() {
         let sel = branch_selection();
-        let metrics = define_metrics(&sel, &branch_signatures(), 0.05);
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.05).unwrap();
         let taken = metrics.iter().find(|m| m.metric.contains("Taken.")).unwrap();
         assert!(taken.rounded.iter().all(|r| r.is_some()));
         assert!(taken.rounded_error.unwrap() < 1e-10);
@@ -204,7 +210,7 @@ mod tests {
     #[test]
     fn preset_export_drops_zero_terms() {
         let sel = branch_selection();
-        let metrics = define_metrics(&sel, &branch_signatures(), 0.02);
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.02).unwrap();
         let misp = metrics.iter().find(|m| m.metric.starts_with("Mispredicted")).unwrap();
         let preset = misp.to_preset(1e-6);
         assert_eq!(preset.terms.len(), 1);
@@ -239,8 +245,20 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_signature_dimension_is_an_error() {
+        let sel = branch_selection();
+        let x_hat = sel.x_hat().unwrap();
+        let bad = MetricSignature::new("Bad", vec![1.0; 3]);
+        let err = define_metric(&sel, &x_hat, &bad, 0.02).unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::Shape { expected, got: 3, .. } if expected == x_hat.rows()),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn empty_selection_defines_nothing() {
         let sel = Selection { events: vec![], alpha: 5e-4, candidates: 0 };
-        assert!(define_metrics(&sel, &branch_signatures(), 0.02).is_empty());
+        assert!(define_metrics(&sel, &branch_signatures(), 0.02).unwrap().is_empty());
     }
 }

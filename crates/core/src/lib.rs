@@ -20,12 +20,13 @@
 //! 4. [`define`] — solve `X̂·y = s` for each metric [`signature`]
 //!    (Tables I–IV) and judge composability by the backward error (Eq. 5).
 //!
-//! [`pipeline::analyze`] runs all four stages; [`report`] renders
+//! [`pipeline::AnalysisRequest`] runs all four stages (with optional
+//! structured observability via `catalyze-obs`); [`report`] renders
 //! paper-style tables and figure data.
 //!
 //! ```
 //! use catalyze::basis::branch_basis;
-//! use catalyze::pipeline::{analyze, AnalysisConfig};
+//! use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 //! use catalyze::signature::branch_signatures;
 //!
 //! // Synthetic measurements: one event that behaves exactly like the
@@ -34,11 +35,16 @@
 //! let cr: Vec<f64> = (0..11).map(|i| basis.matrix[(i, 1)]).collect();
 //! let names = vec!["BR_INST_RETIRED:COND".to_string()];
 //! let runs = vec![vec![cr]];
-//! let report = analyze(
-//!     "branch", &names, &runs, &basis, &branch_signatures(),
-//!     AnalysisConfig::branch(),
-//! )
-//! .expect("synthetic measurements are finite and well shaped");
+//! let signatures = branch_signatures();
+//! let report = AnalysisRequest::new()
+//!     .domain("branch")
+//!     .events(&names)
+//!     .runs(&runs)
+//!     .basis(&basis)
+//!     .signatures(&signatures)
+//!     .config(AnalysisConfig::branch())
+//!     .run()
+//!     .expect("synthetic measurements are finite and well shaped");
 //! let retired = report.metric("Conditional Branches Retired").unwrap();
 //! assert!(retired.error < 1e-10);
 //! ```
@@ -48,6 +54,7 @@
 
 pub mod basis;
 pub mod define;
+pub mod error;
 pub mod noise;
 pub mod normalize;
 pub mod pipeline;
@@ -60,9 +67,10 @@ pub mod validate_basis;
 pub use basis::{Basis, CacheRegion};
 pub use catalyze_linalg::LinalgError;
 pub use define::DefinedMetric;
+pub use error::AnalysisError;
 pub use noise::{max_rnmse, NoiseReport};
 pub use normalize::Representation;
-pub use pipeline::{analyze, AnalysisConfig, AnalysisReport};
+pub use pipeline::{analyze, AnalysisConfig, AnalysisReport, AnalysisRequest};
 pub use select::Selection;
 pub use signature::MetricSignature;
 pub use validate_basis::{validate_basis, BasisIssue};

@@ -1,14 +1,22 @@
 //! The end-to-end analysis pipeline: noise filter → expectation-basis
 //! representation → specialized-QRCP selection → least-squares metric
 //! definition.
+//!
+//! [`AnalysisRequest`] is the primary entry point — a borrowing builder
+//! that validates its input shapes, threads an [`Observer`] through every
+//! stage (spans, per-stage funnel records, linalg solve counters), and
+//! returns recoverable [`AnalysisError`]s. [`analyze`] remains as the
+//! original thin entry point over it.
 
 use crate::basis::Basis;
 use crate::define::{define_metrics, DefinedMetric};
+use crate::error::AnalysisError;
 use crate::noise::{analyze_noise, NoiseReport};
 use crate::normalize::{represent, Representation};
 use crate::select::{select_events, Selection};
 use crate::signature::MetricSignature;
-use catalyze_linalg::LinalgError;
+use catalyze_linalg::{stats, LinalgError};
+use catalyze_obs::{FunnelRecord, NoopObserver, Observer, Span};
 use serde::{Deserialize, Serialize};
 
 /// Tuning of the four pipeline stages.
@@ -25,6 +33,13 @@ pub struct AnalysisConfig {
     pub rounding_tol: f64,
     /// Backward error below which a metric counts as composable.
     pub composability_threshold: f64,
+}
+
+impl Default for AnalysisConfig {
+    /// The paper's CPU-side settings ([`AnalysisConfig::cpu_flops`]).
+    fn default() -> Self {
+        Self::cpu_flops()
+    }
 }
 
 impl AnalysisConfig {
@@ -76,6 +91,27 @@ impl AnalysisConfig {
     pub fn dtlb() -> Self {
         Self::dcache()
     }
+
+    /// Applies one `key=value`-style threshold override. Recognized keys:
+    /// `tau`, `alpha`, `representation_threshold`, `rounding_tol`,
+    /// `composability_threshold`. Returns `false` for an unknown key (the
+    /// CLI turns that into a usage error).
+    pub fn set(&mut self, key: &str, value: f64) -> bool {
+        match key {
+            "tau" => self.tau = value,
+            "alpha" => self.alpha = value,
+            "representation_threshold" => self.representation_threshold = value,
+            "rounding_tol" => self.rounding_tol = value,
+            "composability_threshold" => self.composability_threshold = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// The override keys [`AnalysisConfig::set`] accepts, for usage texts.
+    pub fn keys() -> [&'static str; 5] {
+        ["tau", "alpha", "representation_threshold", "rounding_tol", "composability_threshold"]
+    }
 }
 
 /// Everything the pipeline produced for one benchmark domain.
@@ -114,7 +150,255 @@ impl AnalysisReport {
     }
 }
 
-/// Runs the full pipeline.
+/// A borrowing description of one pipeline invocation, built incrementally:
+///
+/// ```
+/// use catalyze::basis::branch_basis;
+/// use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
+/// use catalyze::signature::branch_signatures;
+///
+/// let basis = branch_basis();
+/// let cr: Vec<f64> = (0..11).map(|i| basis.matrix[(i, 1)]).collect();
+/// let names = vec!["BR_INST_RETIRED:COND".to_string()];
+/// let runs = vec![vec![cr]];
+/// let signatures = branch_signatures();
+/// let report = AnalysisRequest::new()
+///     .domain("branch")
+///     .events(&names)
+///     .runs(&runs)
+///     .basis(&basis)
+///     .signatures(&signatures)
+///     .config(AnalysisConfig::branch())
+///     .run()
+///     .expect("well-formed request");
+/// assert_eq!(report.domain, "branch");
+/// ```
+///
+/// [`AnalysisRequest::run`] validates every shape up front and returns an
+/// [`AnalysisError`] instead of panicking; attach a
+/// [`catalyze_obs::TraceCollector`] with
+/// [`observer`](AnalysisRequest::observer) to record per-stage spans,
+/// funnel records, and linalg solve counters.
+#[derive(Clone, Copy)]
+pub struct AnalysisRequest<'a> {
+    domain: &'a str,
+    events: &'a [String],
+    runs: &'a [Vec<Vec<f64>>],
+    basis: Option<&'a Basis>,
+    signatures: &'a [MetricSignature],
+    config: AnalysisConfig,
+    observer: &'a dyn Observer,
+}
+
+impl Default for AnalysisRequest<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> AnalysisRequest<'a> {
+    /// An empty request: no events, no runs, no basis, default
+    /// configuration, noop observer.
+    pub fn new() -> Self {
+        Self {
+            domain: "",
+            events: &[],
+            runs: &[],
+            basis: None,
+            signatures: &[],
+            config: AnalysisConfig::default(),
+            observer: &NoopObserver,
+        }
+    }
+
+    /// Label for the report.
+    pub fn domain(mut self, domain: &'a str) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Event names, aligned with the event axis of the runs.
+    pub fn events(mut self, events: &'a [String]) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Measurements: `runs[r][e][p]` is the normalized measurement of event
+    /// `e` at point `p` in repetition `r` (the layout of `catalyze-cat`'s
+    /// `MeasurementSet`).
+    pub fn runs(mut self, runs: &'a [Vec<Vec<f64>>]) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// The domain's expectation basis (its `points` must match the
+    /// measurement-point axis).
+    pub fn basis(mut self, basis: &'a Basis) -> Self {
+        self.basis = Some(basis);
+        self
+    }
+
+    /// The metric signatures to define.
+    pub fn signatures(mut self, signatures: &'a [MetricSignature]) -> Self {
+        self.signatures = signatures;
+        self
+    }
+
+    /// Stage thresholds (defaults to [`AnalysisConfig::cpu_flops`]).
+    pub fn config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Instrumentation sink for spans, funnel records, and solve counters
+    /// (defaults to the zero-cost [`NoopObserver`]).
+    pub fn observer(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Checks every request axis before any stage runs.
+    fn validate(&self) -> Result<&'a Basis, AnalysisError> {
+        let basis = self.basis.ok_or(AnalysisError::MissingBasis)?;
+        if self.runs.is_empty() {
+            return Err(AnalysisError::EmptyRuns);
+        }
+        let points = basis.points();
+        for run in self.runs {
+            if run.len() != self.events.len() {
+                return Err(AnalysisError::Shape {
+                    context: "events per run",
+                    expected: self.events.len(),
+                    got: run.len(),
+                });
+            }
+            for vector in run {
+                if vector.len() != points {
+                    return Err(AnalysisError::Shape {
+                        context: "measurement points per event (basis rows)",
+                        expected: points,
+                        got: vector.len(),
+                    });
+                }
+            }
+        }
+        Ok(basis)
+    }
+
+    /// Runs the full pipeline: variability filter, expectation-basis
+    /// representation, specialized-QRCP selection, and least-squares metric
+    /// definition.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::MissingBasis`] / [`AnalysisError::EmptyRuns`] /
+    /// [`AnalysisError::Shape`] when the request is incomplete or its axes
+    /// disagree; [`AnalysisError::Linalg`] when a kernel fails on the data
+    /// (non-finite measurements, a rank-deficient basis).
+    pub fn run(self) -> Result<AnalysisReport, AnalysisError> {
+        let basis = self.validate()?;
+        let obs = self.observer;
+        let config = self.config;
+        let names = self.events;
+        let runs = self.runs;
+        let before = stats::snapshot();
+        let _root = Span::enter(obs, &format!("analyze/{}", self.domain));
+
+        // Stage 1: variability filter (Eq. 4, threshold τ).
+        let noise = {
+            let _s = Span::enter(obs, "noise");
+            let vectors_by_event: Vec<Vec<&[f64]>> =
+                (0..names.len()).map(|e| runs.iter().map(|r| r[e].as_slice()).collect()).collect();
+            analyze_noise(names, &vectors_by_event, config.tau)
+        };
+        let kept = noise.kept();
+        obs.funnel(
+            FunnelRecord::new("noise", names.len(), kept.len())
+                .dropped("noisy", noise.discarded_noisy().len())
+                .dropped("zero", noise.discarded_zero().len()),
+        );
+
+        // Stage 2: represent surviving events in the expectation basis,
+        // using the mean measurement vector across repetitions (for
+        // noise-free events all repetitions are identical; for noisy ones
+        // the mean is the natural summary).
+        let mean_of = |e: usize| -> Vec<f64> {
+            let np = runs[0][e].len();
+            let mut mean = vec![0.0; np];
+            for run in runs {
+                for (m, &v) in mean.iter_mut().zip(&run[e]) {
+                    *m += v;
+                }
+            }
+            let n = runs.len() as f64;
+            mean.iter_mut().for_each(|m| *m /= n);
+            mean
+        };
+        let at_represent = stats::snapshot();
+        let representation = {
+            let _s = Span::enter(obs, "represent");
+            let inputs: Vec<(usize, String, Vec<f64>)> =
+                kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
+            represent(basis, &inputs, config.representation_threshold)?
+        };
+        obs.counter(
+            "represent.lstsq_solves",
+            stats::snapshot().delta_since(&at_represent).lstsq_solves,
+        );
+        obs.funnel(
+            FunnelRecord::new("represent", kept.len(), representation.kept.len())
+                .dropped("unrepresentable", representation.rejected.len()),
+        );
+
+        // Stage 3: specialized QRCP.
+        let selection = {
+            let _s = Span::enter(obs, "select");
+            select_events(&representation, config.alpha)?
+        };
+        let selected_mean_vectors: Vec<Vec<f64>> =
+            selection.events.iter().map(|e| mean_of(e.index)).collect();
+        obs.funnel(
+            FunnelRecord::new("select", selection.candidates, selection.events.len())
+                .dropped("dependent", selection.candidates.saturating_sub(selection.events.len())),
+        );
+
+        // Stage 4: least-squares metric definitions.
+        let at_define = stats::snapshot();
+        let metrics = {
+            let _s = Span::enter(obs, "define");
+            define_metrics(&selection, self.signatures, config.rounding_tol)?
+        };
+        obs.counter("define.lstsq_solves", stats::snapshot().delta_since(&at_define).lstsq_solves);
+        let composable =
+            metrics.iter().filter(|m| m.is_composable(config.composability_threshold)).count();
+        obs.funnel(
+            FunnelRecord::new("define", self.signatures.len(), composable)
+                .dropped("non-composable", self.signatures.len().saturating_sub(composable)),
+        );
+
+        // Pipeline-total linalg counters.
+        let delta = stats::snapshot().delta_since(&before);
+        obs.counter("linalg.lstsq_solves", delta.lstsq_solves);
+        obs.counter("linalg.lstsq_nanos", delta.lstsq_nanos);
+        obs.counter("linalg.qr_factorizations", delta.qr_factorizations);
+        obs.counter("linalg.qr_nanos", delta.qr_nanos);
+        obs.counter("linalg.spqrcp_runs", delta.spqrcp_runs);
+        obs.counter("linalg.spqrcp_nanos", delta.spqrcp_nanos);
+
+        Ok(AnalysisReport {
+            domain: self.domain.to_string(),
+            config,
+            noise,
+            representation,
+            selection,
+            selected_mean_vectors,
+            metrics,
+        })
+    }
+}
+
+/// Runs the full pipeline (the original entry point, now a thin shim over
+/// [`AnalysisRequest`]).
 ///
 /// * `domain` — label for the report;
 /// * `names` — event names, aligned with the event axis of `runs`;
@@ -128,8 +412,13 @@ impl AnalysisReport {
 ///
 /// Propagates linear-algebra failures from the representation and
 /// selection stages (shape mismatches, non-finite measurements, a
-/// rank-deficient basis). Mis-shaped `names`/`runs` arguments are a
-/// programming error and still panic.
+/// rank-deficient basis).
+///
+/// # Panics
+///
+/// Keeps the legacy contract: mis-shaped `names`/`runs` arguments panic.
+/// Use [`AnalysisRequest`] to get every shape problem back as a
+/// recoverable [`AnalysisError`] instead.
 pub fn analyze(
     domain: &str,
     names: &[String],
@@ -138,52 +427,19 @@ pub fn analyze(
     signatures: &[MetricSignature],
     config: AnalysisConfig,
 ) -> Result<AnalysisReport, LinalgError> {
-    assert!(!runs.is_empty(), "analyze: no measurement runs");
-    assert_eq!(runs[0].len(), names.len(), "analyze: names/runs event mismatch");
-
-    // Stage 1: variability filter (Eq. 4, threshold τ).
-    let vectors_by_event: Vec<Vec<&[f64]>> =
-        (0..names.len()).map(|e| runs.iter().map(|r| r[e].as_slice()).collect()).collect();
-    let noise = analyze_noise(names, &vectors_by_event, config.tau);
-
-    // Stage 2: represent surviving events in the expectation basis, using
-    // the mean measurement vector across repetitions (for noise-free events
-    // all repetitions are identical; for noisy ones the mean is the natural
-    // summary).
-    let kept = noise.kept();
-    let mean_of = |e: usize| -> Vec<f64> {
-        let np = runs[0][e].len();
-        let mut mean = vec![0.0; np];
-        for run in runs {
-            for (m, &v) in mean.iter_mut().zip(&run[e]) {
-                *m += v;
-            }
-        }
-        let n = runs.len() as f64;
-        mean.iter_mut().for_each(|m| *m /= n);
-        mean
-    };
-    let inputs: Vec<(usize, String, Vec<f64>)> =
-        kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
-    let representation = represent(basis, &inputs, config.representation_threshold)?;
-
-    // Stage 3: specialized QRCP.
-    let selection = select_events(&representation, config.alpha)?;
-    let selected_mean_vectors: Vec<Vec<f64>> =
-        selection.events.iter().map(|e| mean_of(e.index)).collect();
-
-    // Stage 4: least-squares metric definitions.
-    let metrics = define_metrics(&selection, signatures, config.rounding_tol);
-
-    Ok(AnalysisReport {
-        domain: domain.to_string(),
-        config,
-        noise,
-        representation,
-        selection,
-        selected_mean_vectors,
-        metrics,
-    })
+    let request = AnalysisRequest::new()
+        .domain(domain)
+        .events(names)
+        .runs(runs)
+        .basis(basis)
+        .signatures(signatures)
+        .config(config);
+    match request.run() {
+        Ok(report) => Ok(report),
+        Err(AnalysisError::Linalg(e)) => Err(e),
+        // lint: allow(panic): the legacy entry point documents its panic on mis-shaped input
+        Err(e) => panic!("analyze: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +447,7 @@ mod tests {
     use super::*;
     use crate::basis::branch_basis;
     use crate::signature::branch_signatures;
+    use catalyze_obs::TraceCollector;
 
     /// Synthetic branch-domain measurements: the four real events plus a
     /// noisy event, an all-zero event, and an unrepresentable constant.
@@ -231,15 +488,15 @@ mod tests {
     #[test]
     fn full_pipeline_on_synthetic_branch_data() {
         let (names, runs) = synthetic_branch_runs();
-        let report = analyze(
-            "branch",
-            &names,
-            &runs,
-            &branch_basis(),
-            &branch_signatures(),
-            AnalysisConfig::branch(),
-        )
-        .unwrap();
+        let report = AnalysisRequest::new()
+            .domain("branch")
+            .events(&names)
+            .runs(&runs)
+            .basis(&branch_basis())
+            .signatures(&branch_signatures())
+            .config(AnalysisConfig::branch())
+            .run()
+            .unwrap();
         // Noise stage: noisy and zero events gone.
         assert_eq!(report.noise.kept().len(), 5);
         assert_eq!(report.noise.discarded_zero(), vec![5]);
@@ -260,8 +517,75 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_records_spans_funnel_and_counters() {
+        let (names, runs) = synthetic_branch_runs();
+        let trace = TraceCollector::new();
+        let report = AnalysisRequest::new()
+            .domain("branch")
+            .events(&names)
+            .runs(&runs)
+            .basis(&branch_basis())
+            .signatures(&branch_signatures())
+            .config(AnalysisConfig::branch())
+            .observer(&trace)
+            .run()
+            .unwrap();
+        // Root + four stage spans.
+        assert_eq!(trace.span_count(), 5);
+        // Every funnel record reconciles: kept + dropped == in.
+        let funnel = trace.funnel_records();
+        assert_eq!(funnel.len(), 4);
+        assert!(funnel.iter().all(|f| f.reconciles()), "{funnel:?}");
+        assert_eq!(funnel[0].stage, "noise");
+        assert_eq!(funnel[0].events_in, names.len());
+        assert_eq!(funnel[0].kept, 5);
+        // The representation stage solves one least-squares system per
+        // surviving event; define solves one per signature.
+        assert_eq!(trace.counter_value("represent.lstsq_solves"), Some(5));
+        assert_eq!(trace.counter_value("define.lstsq_solves"), Some(7));
+        assert!(trace.counter_value("linalg.lstsq_solves").unwrap() >= 12);
+        assert_eq!(trace.counter_value("linalg.spqrcp_runs"), Some(1));
+        // Tracing must not change the analysis itself.
+        assert_eq!(report.metrics.len(), 7);
+    }
+
+    #[test]
+    fn builder_shape_errors_are_recoverable() {
+        let (names, runs) = synthetic_branch_runs();
+        let b = branch_basis();
+        let sigs = branch_signatures();
+
+        let err = AnalysisRequest::new().events(&names).runs(&runs).run().unwrap_err();
+        assert_eq!(err, AnalysisError::MissingBasis);
+
+        let err = AnalysisRequest::new().events(&names).basis(&b).run().unwrap_err();
+        assert_eq!(err, AnalysisError::EmptyRuns);
+
+        let short = vec![names[0].clone()];
+        let err = AnalysisRequest::new()
+            .events(&short)
+            .runs(&runs)
+            .basis(&b)
+            .signatures(&sigs)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::Shape { context: "events per run", expected: 1, got: 7 }),
+            "{err:?}"
+        );
+
+        let ragged = vec![vec![vec![1.0; 4]]];
+        let one = vec!["X".to_string()];
+        let err = AnalysisRequest::new().events(&one).runs(&ragged).basis(&b).run().unwrap_err();
+        assert!(
+            matches!(err, AnalysisError::Shape { expected: 11, got: 4, .. }),
+            "points vs basis rows: {err:?}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "no measurement runs")]
-    fn empty_runs_panics() {
+    fn legacy_analyze_keeps_panicking_on_empty_runs() {
         let _ =
             analyze("x", &[], &[], &branch_basis(), &branch_signatures(), AnalysisConfig::branch());
     }
@@ -273,5 +597,23 @@ mod tests {
         assert_eq!(AnalysisConfig::dcache().alpha, 5e-2);
         assert_eq!(AnalysisConfig::branch().alpha, 5e-4);
         assert_eq!(AnalysisConfig::gpu_flops().alpha, 5e-4);
+        assert_eq!(AnalysisConfig::default(), AnalysisConfig::cpu_flops());
+    }
+
+    #[test]
+    fn config_set_overrides() {
+        let mut c = AnalysisConfig::branch();
+        assert!(c.set("tau", 1e-3));
+        assert!(c.set("alpha", 2e-2));
+        assert!(c.set("representation_threshold", 0.5));
+        assert!(c.set("rounding_tol", 0.1));
+        assert!(c.set("composability_threshold", 1e-2));
+        assert_eq!(c.tau, 1e-3);
+        assert_eq!(c.alpha, 2e-2);
+        assert_eq!(c.representation_threshold, 0.5);
+        assert_eq!(c.rounding_tol, 0.1);
+        assert_eq!(c.composability_threshold, 1e-2);
+        assert!(!c.set("not_a_key", 1.0));
+        assert_eq!(AnalysisConfig::keys().len(), 5);
     }
 }

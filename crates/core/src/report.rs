@@ -186,7 +186,7 @@ mod tests {
     use super::*;
     use crate::basis::branch_basis;
     use crate::noise::{analyze_noise, EventVariability};
-    use crate::pipeline::{analyze, AnalysisConfig};
+    use crate::pipeline::{AnalysisConfig, AnalysisRequest};
     use crate::signature::branch_signatures;
 
     fn report() -> AnalysisReport {
@@ -203,7 +203,15 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let runs = vec![vec![col(4), col(1), col(2), all]];
-        analyze("branch", &names, &runs, &b, &branch_signatures(), AnalysisConfig::branch())
+        let signatures = branch_signatures();
+        AnalysisRequest::new()
+            .domain("branch")
+            .events(&names)
+            .runs(&runs)
+            .basis(&b)
+            .signatures(&signatures)
+            .config(AnalysisConfig::branch())
+            .run()
             .unwrap()
     }
 

@@ -17,7 +17,10 @@
 //! * [`mod@lstsq`] — least squares plus the backward-error fitness measure
 //!   (Eq. 5) that decides whether a metric is composable on an architecture;
 //! * [`svd`] — one-sided Jacobi singular values (spectral norms, condition
-//!   numbers, rank checks).
+//!   numbers, rank checks);
+//! * [`stats`] — relaxed-atomic run counters and wall-time accumulators for
+//!   the kernels above, snapshot/delta-read by the pipeline's observability
+//!   layer.
 //!
 //! Everything is implemented directly on `f64` slices with no external
 //! linear-algebra dependencies.
@@ -32,6 +35,7 @@ pub mod matrix;
 pub mod qr;
 pub mod qrcp;
 pub mod spqrcp;
+pub mod stats;
 pub mod svd;
 pub mod tri;
 pub mod vector;
@@ -42,4 +46,5 @@ pub use matrix::Matrix;
 pub use qr::Qr;
 pub use qrcp::{qrcp, QrcpResult};
 pub use spqrcp::{specialized_qrcp, SpQrcpParams, SpQrcpResult};
+pub use stats::{snapshot as stats_snapshot, Snapshot as StatsSnapshot};
 pub use svd::{singular_values, spectral_norm, Svd};

@@ -25,6 +25,7 @@ pub struct LstsqSolution {
 /// this: `X̂` comes out of the specialized QRCP). Returns the solution with
 /// residual and backward-error diagnostics.
 pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<LstsqSolution> {
+    let _timer = crate::stats::time(crate::stats::Kernel::Lstsq);
     if b.len() != a.rows() {
         return Err(LinalgError::ShapeMismatch {
             expected: (a.rows(), 1),

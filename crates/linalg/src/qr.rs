@@ -18,6 +18,7 @@ pub struct Qr {
 impl Qr {
     /// Factors `a`. Requires `m >= n >= 1` and finite entries.
     pub fn factor(a: &Matrix) -> Result<Qr> {
+        let _timer = crate::stats::time(crate::stats::Kernel::Qr);
         let (m, n) = a.shape();
         if m == 0 || n == 0 {
             return Err(LinalgError::Empty { context: "Qr::factor" });

@@ -38,6 +38,7 @@ impl QrcpResult {
 /// drops below `rel_tol * (largest initial column norm)` — the usual
 /// numerical-rank criterion.
 pub fn qrcp(a: &Matrix, rel_tol: f64) -> Result<QrcpResult> {
+    let _timer = crate::stats::time(crate::stats::Kernel::Qrcp);
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(LinalgError::Empty { context: "qrcp" });

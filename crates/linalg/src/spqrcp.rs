@@ -149,6 +149,7 @@ impl SpQrcpResult {
 /// assert!(!result.selected().contains(&2));
 /// ```
 pub fn specialized_qrcp(a: &Matrix, params: SpQrcpParams) -> Result<SpQrcpResult> {
+    let _timer = crate::stats::time(crate::stats::Kernel::SpQrcp);
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
         return Err(LinalgError::Empty { context: "specialized_qrcp" });

@@ -1,0 +1,73 @@
+//! Golden-file test for the trace JSON schema: a deterministic trace built
+//! on the manual clock must render byte-for-byte what
+//! `tests/golden_trace.json` pins. Any schema drift — key order, nesting,
+//! indentation, the `version` field — fails here first.
+//!
+//! To regenerate the golden file after an *intentional* schema change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p catalyze-obs --test golden
+//! ```
+
+use catalyze_obs::{FunnelRecord, Observer, Span, TraceCollector};
+
+/// Builds the reference trace: a root analysis span with two stage
+/// children, two funnel records, and counters — the same shapes the
+/// pipeline emits.
+fn reference_trace() -> TraceCollector {
+    let t = TraceCollector::manual();
+    {
+        let obs: &dyn Observer = &t;
+        let _root = Span::enter(obs, "analyze/golden");
+        t.advance_ns(10);
+        {
+            let _noise = Span::enter(obs, "noise");
+            t.advance_ns(100);
+        }
+        obs.funnel(FunnelRecord::new("noise", 12, 9).dropped("noisy", 2).dropped("zero", 1));
+        {
+            let _represent = Span::enter(obs, "represent");
+            t.advance_ns(50);
+            obs.counter("represent.lstsq_solves", 9);
+        }
+        obs.funnel(FunnelRecord::new("represent", 9, 7).dropped("unrepresentable", 2));
+        obs.counter("linalg.lstsq_solves", 16);
+    }
+    t
+}
+
+#[test]
+fn trace_json_matches_golden_file() {
+    let t = reference_trace();
+    let json = t.render_json();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.json");
+        std::fs::write(path, &json).unwrap();
+        return;
+    }
+    let expected = include_str!("golden_trace.json");
+    assert_eq!(
+        json, expected,
+        "trace JSON schema drifted from tests/golden_trace.json; \
+         regenerate with GOLDEN_REGEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn reference_trace_is_well_formed() {
+    let t = reference_trace();
+    // Both stage spans nest under the root; nothing is left open.
+    assert_eq!(t.span_count(), 3);
+    let json = t.render_json();
+    assert!(!json.contains("null"), "all spans closed: {json}");
+    // Every funnel record reconciles: kept + dropped == in.
+    let funnel = t.funnel_records();
+    assert_eq!(funnel.len(), 2);
+    assert!(funnel.iter().all(|f| f.reconciles()));
+    // Counters are summed and sorted by name.
+    assert_eq!(t.counter_value("linalg.lstsq_solves"), Some(16));
+    let names: Vec<String> = t.counters().into_iter().map(|(n, _)| n).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}

@@ -291,8 +291,11 @@ impl Lexer<'_> {
         self.pos += 1; // the opening quote
         match self.peek(0) {
             Some(b'\\') => {
-                // Escaped char literal.
-                self.pos += 1;
+                // Escaped char literal. Do not consume the backslash here:
+                // `consume_quoted` skips escape pairs itself, and eating the
+                // backslash first would make it treat the *escaped* byte as
+                // a fresh escape — `'\\'` would then swallow its closing
+                // quote and the rest of the line.
                 self.consume_quoted(b'\'');
                 TokenKind::Literal
             }
@@ -431,6 +434,17 @@ mod tests {
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'x'"));
         assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'\\n'"));
+    }
+
+    #[test]
+    fn backslash_and_quote_char_literals_terminate() {
+        // `'\\'` must not treat its escaped backslash as a fresh escape
+        // (which would swallow the closing quote and the code after it).
+        let toks = texts(r#"let bs = '\\'; let q = '\''; let d = '"'; let x = 1;"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == r"'\\'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == r"'\''"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Literal && t == "'\"'"));
+        assert_eq!(toks.iter().filter(|(_, t)| t == "x").count(), 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! behavior.
 
 use catalyze::basis::{dcache_basis, CacheRegion};
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::dcache_signatures;
 use catalyze_cat::{dcache, run_dcache, RunnerConfig};
@@ -40,15 +40,16 @@ fn main() {
         .collect();
     let basis = dcache_basis(&regions);
 
-    let analysis = analyze(
-        "dcache",
-        &ms.events,
-        &ms.runs,
-        &basis,
-        &dcache_signatures(),
-        AnalysisConfig::dcache(),
-    )
-    .expect("simulated measurements analyze cleanly");
+    let signatures = dcache_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("dcache")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::dcache())
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -5,7 +5,7 @@
 //! *not* composable on this (Sapphire-Rapids-like) machine.
 
 use catalyze::basis::cpu_flops_basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::cpu_flops_signatures;
 use catalyze_cat::{run_cpu_flops, RunnerConfig};
@@ -18,15 +18,17 @@ fn main() {
     println!("running the CAT CPU-FLOPs benchmark (16 kernels x 3 loops)...\n");
     let ms = run_cpu_flops(&events, &cfg);
 
-    let analysis = analyze(
-        "cpu-flops",
-        &ms.events,
-        &ms.runs,
-        &cpu_flops_basis(),
-        &cpu_flops_signatures(),
-        AnalysisConfig::cpu_flops(),
-    )
-    .expect("simulated measurements analyze cleanly");
+    let basis = cpu_flops_basis();
+    let signatures = cpu_flops_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("cpu-flops")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::cpu_flops())
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!(

@@ -8,7 +8,7 @@
 //! composes it exactly.
 
 use catalyze::basis::cpu_flops_basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature::cpu_flops_signatures;
 use catalyze_cat::{run_cpu_flops, RunnerConfig};
 use catalyze_events::EventName;
@@ -51,15 +51,17 @@ fn main() {
         }
     }
 
-    let analysis = analyze(
-        "cpu-flops (custom arch with FMA counters)",
-        &ms.events,
-        &ms.runs,
-        &cpu_flops_basis(),
-        &cpu_flops_signatures(),
-        AnalysisConfig::cpu_flops(),
-    )
-    .expect("simulated measurements analyze cleanly");
+    let basis = cpu_flops_basis();
+    let signatures = cpu_flops_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("cpu-flops (custom arch with FMA counters)")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::cpu_flops())
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     println!("selected events:");
     for e in &analysis.selection.events {

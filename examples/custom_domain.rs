@@ -16,7 +16,7 @@
 //! the SPR-like machine's `INT_ALU_RETIRED:*` events.
 
 use catalyze::basis::Basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::MetricSignature;
 use catalyze_events::EventId;
@@ -125,15 +125,17 @@ fn main() {
     let names: Vec<String> = set.iter().map(|(_, d)| d.info.name.to_string()).collect();
 
     // Step 5: analyze.
-    let analysis = analyze(
-        "integer-alu (custom domain)",
-        &names,
-        &runs,
-        &int_basis(),
-        &int_signatures(),
-        AnalysisConfig::cpu_flops(), // exact counters: the strict thresholds apply
-    )
-    .expect("simulated measurements analyze cleanly");
+    let basis = int_basis();
+    let signatures = int_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("integer-alu (custom domain)")
+        .events(&names)
+        .runs(&runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::cpu_flops()) // exact counters: the strict thresholds apply
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

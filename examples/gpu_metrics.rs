@@ -4,7 +4,7 @@
 //! "HP Add and Sub" is.
 
 use catalyze::basis::gpu_flops_basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::gpu_flops_signatures;
 use catalyze_cat::{run_gpu_flops, RunnerConfig};
@@ -19,15 +19,17 @@ fn main() {
     println!("running the GPU-FLOPs benchmark (15 kernels x 3 sizes) on device 0...\n");
     let ms = run_gpu_flops(&events, &cfg);
 
-    let analysis = analyze(
-        "gpu-flops",
-        &ms.events,
-        &ms.runs,
-        &gpu_flops_basis(),
-        &gpu_flops_signatures(),
-        AnalysisConfig::gpu_flops(),
-    )
-    .expect("simulated measurements analyze cleanly");
+    let basis = gpu_flops_basis();
+    let signatures = gpu_flops_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("gpu-flops")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::gpu_flops())
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -10,7 +10,7 @@
 //!   metric needs a three-event combination.
 
 use catalyze::basis;
-use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature;
 use catalyze_cat::{run_branch, run_cpu_flops, RunnerConfig};
 use catalyze_sim::{sapphire_rapids_like, zen_like, CpuEventSet};
@@ -19,15 +19,16 @@ fn flops_report(set: &CpuEventSet, label: &str, cfg: &RunnerConfig) -> AnalysisR
     let ms = run_cpu_flops(set, cfg);
     let mut signatures = signature::cpu_flops_signatures();
     signatures.push(signature::all_fp_ops_signature());
-    analyze(
-        label,
-        &ms.events,
-        &ms.runs,
-        &basis::cpu_flops_basis(),
-        &signatures,
-        AnalysisConfig::cpu_flops(),
-    )
-    .expect("simulated measurements analyze cleanly")
+    let basis = basis::cpu_flops_basis();
+    AnalysisRequest::new()
+        .domain(label)
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::cpu_flops())
+        .run()
+        .expect("simulated measurements analyze cleanly")
 }
 
 fn verdict(r: &AnalysisReport, metric: &str) -> String {
@@ -65,15 +66,17 @@ fn main() {
     println!("\nbranching: the same metric, different raw-event combinations --");
     let branch = |set: &CpuEventSet, label: &str| {
         let ms = run_branch(set, &cfg);
-        analyze(
-            label,
-            &ms.events,
-            &ms.runs,
-            &basis::branch_basis(),
-            &signature::branch_signatures(),
-            AnalysisConfig::branch(),
-        )
-        .expect("simulated measurements analyze cleanly")
+        let basis = basis::branch_basis();
+        let signatures = signature::branch_signatures();
+        AnalysisRequest::new()
+            .domain(label)
+            .events(&ms.events)
+            .runs(&ms.runs)
+            .basis(&basis)
+            .signatures(&signatures)
+            .config(AnalysisConfig::branch())
+            .run()
+            .expect("simulated measurements analyze cleanly")
     };
     for (label, report) in [("SPR-like", branch(&spr, "spr")), ("Zen-like", branch(&zen, "zen"))] {
         let taken = report.metric("Conditional Branches Taken").unwrap();

@@ -6,7 +6,7 @@
 //! ```
 
 use catalyze::basis::branch_basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::branch_signatures;
 use catalyze_cat::{run_branch, RunnerConfig};
@@ -30,15 +30,17 @@ fn main() {
 
     // 3. Analyze: noise filter -> expectation basis -> specialized QRCP ->
     //    least-squares metric definitions.
-    let analysis = analyze(
-        "branch",
-        &measurements.events,
-        &measurements.runs,
-        &branch_basis(),
-        &branch_signatures(),
-        AnalysisConfig::branch(),
-    )
-    .expect("simulated measurements analyze cleanly");
+    let basis = branch_basis();
+    let signatures = branch_signatures();
+    let analysis = AnalysisRequest::new()
+        .domain("branch")
+        .events(&measurements.events)
+        .runs(&measurements.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::branch())
+        .run()
+        .expect("simulated measurements analyze cleanly");
 
     print!("{}", report::noise_summary(&analysis.noise));
     println!();

@@ -3,7 +3,7 @@
 //! makes the `repro` harness trustworthy.
 
 use catalyze::basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature;
 use catalyze_cat::{run_branch, run_cpu_flops, run_gpu_flops, RunnerConfig};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like};
@@ -60,16 +60,18 @@ fn different_pmu_seed_changes_noisy_reads_only() {
 fn analysis_is_a_pure_function_of_measurements() {
     let set = sapphire_rapids_like();
     let ms = run_branch(&set, &cfg());
+    let basis = basis::branch_basis();
+    let signatures = signature::branch_signatures();
     let run = || {
-        analyze(
-            "branch",
-            &ms.events,
-            &ms.runs,
-            &basis::branch_basis(),
-            &signature::branch_signatures(),
-            AnalysisConfig::branch(),
-        )
-        .unwrap()
+        AnalysisRequest::new()
+            .domain("branch")
+            .events(&ms.events)
+            .runs(&ms.runs)
+            .basis(&basis)
+            .signatures(&signatures)
+            .config(AnalysisConfig::branch())
+            .run()
+            .unwrap()
     };
     let a = run();
     let b = run();

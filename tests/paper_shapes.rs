@@ -6,7 +6,7 @@
 //! 1.0) that are analytic properties of the event semantics.
 
 use catalyze::basis::{self, CacheRegion};
-use catalyze::pipeline::{analyze, AnalysisConfig, AnalysisReport};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature;
 use catalyze_cat::{dcache, run_branch, run_cpu_flops, run_dcache, run_gpu_flops, RunnerConfig};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like};
@@ -32,19 +32,36 @@ fn regions(core: &catalyze_sim::CoreConfig) -> Vec<CacheRegion> {
         .collect()
 }
 
+/// Runs one domain's pipeline over `ms` via the request builder.
+fn run_request(
+    domain: &str,
+    ms: &catalyze_cat::MeasurementSet,
+    basis: &basis::Basis,
+    signatures: &[signature::MetricSignature],
+    config: AnalysisConfig,
+) -> AnalysisReport {
+    AnalysisRequest::new()
+        .domain(domain)
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(basis)
+        .signatures(signatures)
+        .config(config)
+        .run()
+        .unwrap()
+}
+
 fn cpu_flops_report() -> AnalysisReport {
     let set = sapphire_rapids_like();
     let c = cfg();
     let ms = run_cpu_flops(&set, &c);
-    analyze(
+    run_request(
         "cpu-flops",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::cpu_flops_basis(),
         &signature::cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
     )
-    .unwrap()
 }
 
 #[test]
@@ -110,15 +127,13 @@ fn branch_selection_and_metrics_match_section_5c_and_table7() {
     let set = sapphire_rapids_like();
     let c = cfg();
     let ms = run_branch(&set, &c);
-    let report = analyze(
+    let report = run_request(
         "branch",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::branch_basis(),
         &signature::branch_signatures(),
         AnalysisConfig::branch(),
-    )
-    .unwrap();
+    );
     let mut selected: Vec<String> =
         report.selection.events.iter().map(|e| e.name.clone()).collect();
     selected.sort();
@@ -164,15 +179,13 @@ fn gpu_selection_and_metrics_match_section_5b_and_table6() {
     let set = mi250x_like(2);
     let c = cfg();
     let ms = run_gpu_flops(&set, &c);
-    let report = analyze(
+    let report = run_request(
         "gpu-flops",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::gpu_flops_basis(),
         &signature::gpu_flops_signatures(),
         AnalysisConfig::gpu_flops(),
-    )
-    .unwrap();
+    );
     // §V.B: SQ_INSTS_VALU_[ADD|MUL|TRANS|FMA]_F[16|32|64], device 0.
     assert_eq!(report.selection.events.len(), 12);
     for class in ["ADD", "MUL", "TRANS", "FMA"] {
@@ -206,15 +219,13 @@ fn dcache_selection_and_metrics_match_section_5d_and_table8() {
     let set = sapphire_rapids_like();
     let c = cfg();
     let ms = run_dcache(&set, &c);
-    let report = analyze(
+    let report = run_request(
         "dcache",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::dcache_basis(&regions(&c.core)),
         &signature::dcache_signatures(),
         AnalysisConfig::dcache(),
-    )
-    .unwrap();
+    );
     let mut selected: Vec<String> =
         report.selection.events.iter().map(|e| e.name.clone()).collect();
     selected.sort();

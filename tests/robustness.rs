@@ -2,13 +2,27 @@
 //! degenerate inputs must degrade gracefully, never silently produce wrong
 //! metric definitions.
 
-use catalyze::basis::branch_basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::basis::{branch_basis, Basis};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature::branch_signatures;
 use catalyze_cat::MeasurementSet;
 
 fn names(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Runs the branch-domain pipeline over ad-hoc inputs via the builder.
+fn branch_analysis(events: &[String], runs: &[Vec<Vec<f64>>], basis: &Basis) -> AnalysisReport {
+    let signatures = branch_signatures();
+    AnalysisRequest::new()
+        .domain("x")
+        .events(events)
+        .runs(runs)
+        .basis(basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::branch())
+        .run()
+        .unwrap()
 }
 
 #[test]
@@ -22,9 +36,7 @@ fn all_noisy_input_yields_no_metrics() {
             vec![vec![f; 11], vec![10.0 * f * f; 11]]
         })
         .collect();
-    let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
-            .unwrap();
+    let report = branch_analysis(&n, &runs, &branch_basis());
     assert!(report.noise.kept().is_empty());
     assert!(report.selection.events.is_empty());
     assert!(report.metrics.is_empty());
@@ -35,9 +47,7 @@ fn all_noisy_input_yields_no_metrics() {
 fn all_zero_input_yields_no_metrics() {
     let n = names(&["Z1", "Z2"]);
     let runs = vec![vec![vec![0.0; 11], vec![0.0; 11]]; 2];
-    let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
-            .unwrap();
+    let report = branch_analysis(&n, &runs, &branch_basis());
     assert_eq!(report.noise.discarded_zero().len(), 2);
     assert!(report.metrics.is_empty());
 }
@@ -48,9 +58,7 @@ fn unrepresentable_events_yield_empty_selection() {
     let n = names(&["C1", "C2"]);
     let ramp: Vec<f64> = (0..11).map(|i| (i * i) as f64).collect();
     let runs = vec![vec![vec![5.0; 11], ramp]; 2];
-    let report =
-        analyze("x", &n, &runs, &branch_basis(), &branch_signatures(), AnalysisConfig::branch())
-            .unwrap();
+    let report = branch_analysis(&n, &runs, &branch_basis());
     assert_eq!(report.noise.kept().len(), 2);
     assert_eq!(report.representation.rejected.len(), 2);
     assert!(report.selection.events.is_empty());
@@ -63,8 +71,7 @@ fn duplicated_events_collapse_to_one() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND_A", "COND_B", "COND_C"]);
     let runs = vec![vec![cr.clone(), cr.clone(), cr]; 2];
-    let report =
-        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
+    let report = branch_analysis(&n, &runs, &b);
     assert_eq!(report.selection.events.len(), 1, "duplicates must not inflate rank");
     // Retired is composable from the single survivor; Taken is not.
     assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
@@ -78,8 +85,7 @@ fn partial_coverage_reports_honest_errors() {
     let t: Vec<f64> = (0..11).map(|i| b.matrix[(i, 2)]).collect();
     let n = names(&["BR_INST_RETIRED:COND_TAKEN"]);
     let runs = vec![vec![t]; 2];
-    let report =
-        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
+    let report = branch_analysis(&n, &runs, &b);
     assert!(report.metric("Conditional Branches Taken").unwrap().error < 1e-10);
     for name in ["Mispredicted Branches", "Unconditional Branches", "Conditional Branches Executed"]
     {
@@ -95,8 +101,7 @@ fn single_repetition_is_accepted() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND"]);
     let runs = vec![vec![cr]];
-    let report =
-        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
+    let report = branch_analysis(&n, &runs, &b);
     assert_eq!(report.noise.kept().len(), 1);
     assert!(report.metric("Conditional Branches Retired").unwrap().error < 1e-10);
 }
@@ -115,11 +120,8 @@ fn measurement_set_json_roundtrip_preserves_analysis() {
     let json = serde_json::to_string(&ms).unwrap();
     let back: MeasurementSet = serde_json::from_str(&json).unwrap();
     assert_eq!(back, ms);
-    let r1 = analyze("b", &ms.events, &ms.runs, &b, &branch_signatures(), AnalysisConfig::branch())
-        .unwrap();
-    let r2 =
-        analyze("b", &back.events, &back.runs, &b, &branch_signatures(), AnalysisConfig::branch())
-            .unwrap();
+    let r1 = branch_analysis(&ms.events, &ms.runs, &b);
+    let r2 = branch_analysis(&back.events, &back.runs, &b);
     assert_eq!(r1.metrics.len(), r2.metrics.len());
     for (a, b) in r1.metrics.iter().zip(&r2.metrics) {
         assert_eq!(a.coefficients, b.coefficients);
@@ -133,8 +135,7 @@ fn analysis_report_serializes() {
     let cr: Vec<f64> = (0..11).map(|i| b.matrix[(i, 1)]).collect();
     let n = names(&["COND"]);
     let runs = vec![vec![cr]];
-    let report =
-        analyze("x", &n, &runs, &b, &branch_signatures(), AnalysisConfig::branch()).unwrap();
+    let report = branch_analysis(&n, &runs, &b);
     let json = serde_json::to_string(&report).unwrap();
     assert!(json.contains("Conditional Branches Retired"));
 }

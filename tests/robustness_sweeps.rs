@@ -3,7 +3,7 @@
 //! "day" on the machine) and the caches' replacement policy.
 
 use catalyze::basis::{self, CacheRegion};
-use catalyze::pipeline::{analyze, AnalysisConfig};
+use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature;
 use catalyze_cat::{dcache, run_branch, run_dcache, RunnerConfig};
 use catalyze_sim::cache::{CacheConfig, ReplacementPolicy};
@@ -24,15 +24,17 @@ fn branch_selection_is_seed_invariant() {
         let mut cfg = fast();
         cfg.pmu.seed = seed;
         let ms = run_branch(&set, &cfg);
-        let report = analyze(
-            "branch",
-            &ms.events,
-            &ms.runs,
-            &basis::branch_basis(),
-            &signature::branch_signatures(),
-            AnalysisConfig::branch(),
-        )
-        .unwrap();
+        let basis = basis::branch_basis();
+        let signatures = signature::branch_signatures();
+        let report = AnalysisRequest::new()
+            .domain("branch")
+            .events(&ms.events)
+            .runs(&ms.runs)
+            .basis(&basis)
+            .signatures(&signatures)
+            .config(AnalysisConfig::branch())
+            .run()
+            .unwrap();
         let mut names: Vec<String> =
             report.selection.events.iter().map(|e| e.name.clone()).collect();
         names.sort();
@@ -63,15 +65,17 @@ fn dcache_report_under(policy: ReplacementPolicy) -> catalyze::AnalysisReport {
             dcache::Region::Memory => CacheRegion::Memory,
         })
         .collect();
-    analyze(
-        "dcache",
-        &ms.events,
-        &ms.runs,
-        &basis::dcache_basis(&regions),
-        &signature::dcache_signatures(),
-        AnalysisConfig::dcache(),
-    )
-    .unwrap()
+    let basis = basis::dcache_basis(&regions);
+    let signatures = signature::dcache_signatures();
+    AnalysisRequest::new()
+        .domain("dcache")
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(&basis)
+        .signatures(&signatures)
+        .config(AnalysisConfig::dcache())
+        .run()
+        .unwrap()
 }
 
 fn sorted_selection(report: &catalyze::AnalysisReport) -> Vec<String> {

@@ -9,10 +9,10 @@
 //! composable on the SPR-like machine become non-composable here and vice
 //! versa, with no configuration change beyond the event inventory.
 
-use catalyze::basis;
-use catalyze::pipeline::{analyze, AnalysisConfig};
-use catalyze::signature;
-use catalyze_cat::{run_branch, run_cpu_flops, RunnerConfig};
+use catalyze::basis::{self, Basis};
+use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
+use catalyze::signature::{self, MetricSignature};
+use catalyze_cat::{run_branch, run_cpu_flops, MeasurementSet, RunnerConfig};
 use catalyze_sim::zen_like;
 
 fn cfg() -> RunnerConfig {
@@ -22,21 +22,38 @@ fn cfg() -> RunnerConfig {
     c
 }
 
+/// Runs one Zen-domain analysis over `ms` via the request builder.
+fn run_request(
+    domain: &str,
+    ms: &MeasurementSet,
+    basis: &Basis,
+    signatures: &[MetricSignature],
+    config: AnalysisConfig,
+) -> AnalysisReport {
+    AnalysisRequest::new()
+        .domain(domain)
+        .events(&ms.events)
+        .runs(&ms.runs)
+        .basis(basis)
+        .signatures(signatures)
+        .config(config)
+        .run()
+        .unwrap()
+}
+
 #[test]
 fn per_precision_metrics_not_composable_on_zen() {
     let set = zen_like();
     let ms = run_cpu_flops(&set, &cfg());
     let mut signatures = signature::cpu_flops_signatures();
     signatures.push(signature::all_fp_ops_signature());
-    let report = analyze(
+    let report = run_request(
         "cpu-flops/zen",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::cpu_flops_basis(),
         &signatures,
         AnalysisConfig::cpu_flops(),
-    )
-    .unwrap();
+    );
 
     // The selection comes from the RETIRED_SSE_AVX_FLOPS family.
     assert!(!report.selection.events.is_empty());
@@ -61,15 +78,13 @@ fn per_precision_metrics_not_composable_on_zen() {
 fn branch_metrics_use_different_combinations_on_zen() {
     let set = zen_like();
     let ms = run_branch(&set, &cfg());
-    let report = analyze(
+    let report = run_request(
         "branch/zen",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::branch_basis(),
         &signature::branch_signatures(),
         AnalysisConfig::branch(),
-    )
-    .unwrap();
+    );
 
     let coef = |m: &catalyze::DefinedMetric, ev: &str| {
         m.events.iter().position(|e| e == ev).map(|i| m.coefficients[i]).unwrap_or(0.0)
@@ -103,15 +118,13 @@ fn branch_metrics_use_different_combinations_on_zen() {
 fn zen_flop_events_survive_noise_and_representation() {
     let set = zen_like();
     let ms = run_cpu_flops(&set, &cfg());
-    let report = analyze(
+    let report = run_request(
         "cpu-flops/zen",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::cpu_flops_basis(),
         &signature::cpu_flops_signatures(),
         AnalysisConfig::cpu_flops(),
-    )
-    .unwrap();
+    );
     let kept: Vec<&str> = report.representation.kept.iter().map(|e| e.name.as_str()).collect();
     for name in [
         "RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS",
@@ -143,15 +156,13 @@ fn zen_cache_metrics_compose_from_amd_events() {
             dcache::Region::Memory => CacheRegion::Memory,
         })
         .collect();
-    let report = analyze(
+    let report = run_request(
         "dcache/zen",
-        &ms.events,
-        &ms.runs,
+        &ms,
         &basis::dcache_basis(&regions),
         &signature::dcache_signatures(),
         AnalysisConfig::dcache(),
-    )
-    .unwrap();
+    );
     assert_eq!(report.selection.events.len(), 4, "{:?}", report.selection.names());
 
     for m in &report.metrics {
