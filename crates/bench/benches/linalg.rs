@@ -2,7 +2,9 @@
 //! factorizations (including the paper's specialized pivoting), least
 //! squares, and the Jacobi SVD, across representative matrix shapes.
 
-use catalyze_linalg::{lstsq, qrcp, singular_values, specialized_qrcp, Matrix, Qr, SpQrcpParams};
+use catalyze_linalg::{
+    lstsq, qrcp, singular_values, specialized_qrcp, FactoredLstsq, Matrix, Qr, SpQrcpParams,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,6 +80,34 @@ fn bench_lstsq(c: &mut Criterion) {
     g.finish();
 }
 
+/// Repeated one-shot solves against one matrix vs a single
+/// [`FactoredLstsq`] workspace serving the batch — the analysis hot path's
+/// factor-once/solve-many trade, on the CPU-FLOPs basis shape (48x16).
+fn bench_lstsq_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstsq_batch");
+    let a = random_matrix(48, 16, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    for &k in &[16usize, 64, 256] {
+        let rhs: Vec<Vec<f64>> =
+            (0..k).map(|_| (0..48).map(|_| rng.gen_range(-100.0..100.0)).collect()).collect();
+        g.bench_with_input(BenchmarkId::new("per_call", k), &rhs, |b, rhs| {
+            b.iter(|| {
+                for r in rhs {
+                    black_box(lstsq(black_box(&a), r).expect("full rank"));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("factored", k), &rhs, |b, rhs| {
+            b.iter(|| {
+                let f = FactoredLstsq::factor(black_box(&a)).expect("full rank");
+                let refs: Vec<&[f64]> = rhs.iter().map(|r| r.as_slice()).collect();
+                black_box(f.solve_many(&refs).expect("full rank"))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_svd(c: &mut Criterion) {
     let mut g = c.benchmark_group("jacobi_svd");
     for &n in &[8usize, 16, 48] {
@@ -89,5 +119,12 @@ fn bench_svd(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_qr, bench_pivoting_rules, bench_lstsq, bench_svd);
+criterion_group!(
+    benches,
+    bench_qr,
+    bench_pivoting_rules,
+    bench_lstsq,
+    bench_lstsq_batch,
+    bench_svd
+);
 criterion_main!(benches);

@@ -314,6 +314,9 @@ fn main() {
         let snapshot = h.perf_snapshot(opts.scale).expect("perf snapshot");
         print!("{snapshot}");
         write_out(&opts, "BENCH_pipeline.json", &snapshot);
+        let linalg = catalyze_bench::linalg_perf::linalg_snapshot(opts.scale);
+        print!("{linalg}");
+        write_out(&opts, "BENCH_linalg.json", &linalg);
     }
     if all || cmd == "ablate-median" {
         let ab = ablations::median_ablation(&h);

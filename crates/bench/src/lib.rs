@@ -10,5 +10,6 @@
 
 pub mod ablations;
 pub mod harness;
+pub mod linalg_perf;
 
 pub use harness::{DomainResult, Harness, Scale, DOMAINS};

@@ -6,7 +6,7 @@ use crate::error::AnalysisError;
 use crate::select::Selection;
 use crate::signature::MetricSignature;
 use catalyze_events::{Preset, PresetTerm};
-use catalyze_linalg::{backward_error, lstsq, Matrix};
+use catalyze_linalg::{FactoredLstsq, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// A metric defined (or shown non-composable) over raw events.
@@ -88,6 +88,23 @@ pub fn define_metric(
     signature: &MetricSignature,
     rounding_tol: f64,
 ) -> Result<DefinedMetric, AnalysisError> {
+    let factored = FactoredLstsq::factor(x_hat)?;
+    define_metric_factored(selection, &factored, signature, rounding_tol)
+}
+
+/// [`define_metric`] against an already-factored `X̂` — the batched entry
+/// point [`define_metrics`] uses so one QR factorization and one spectral
+/// norm serve every signature. Results are bit-identical to the one-shot
+/// path.
+///
+/// # Errors
+/// The [`define_metric`] errors.
+pub fn define_metric_factored(
+    selection: &Selection,
+    x_hat: &FactoredLstsq<'_>,
+    signature: &MetricSignature,
+    rounding_tol: f64,
+) -> Result<DefinedMetric, AnalysisError> {
     if signature.coefficients.len() != x_hat.rows() {
         return Err(AnalysisError::Shape {
             context: "signature coefficients vs basis dimension",
@@ -95,13 +112,13 @@ pub fn define_metric(
             got: signature.coefficients.len(),
         });
     }
-    let sol = lstsq(x_hat, &signature.coefficients)?;
+    let sol = x_hat.solve(&signature.coefficients)?;
     let rounded: Vec<Option<f64>> =
         sol.x.iter().map(|&c| round_coefficient(c, rounding_tol)).collect();
     let rounded_error = if rounded.iter().all(|r| r.is_some()) {
         // lint: allow(panic): all-Some checked by the surrounding if
         let y: Vec<f64> = rounded.iter().map(|r| r.expect("checked")).collect();
-        backward_error(x_hat, &y, &signature.coefficients).ok()
+        x_hat.backward_error(&y, &signature.coefficients).ok()
     } else {
         None
     };
@@ -116,7 +133,8 @@ pub fn define_metric(
 }
 
 /// Defines every signature over the selection. Returns an empty list when
-/// the selection is empty.
+/// the selection is empty. `X̂` is factored once and shared by every
+/// signature's solve and rounded-error evaluation.
 ///
 /// # Errors
 /// Propagates the first [`define_metric`] failure.
@@ -128,7 +146,11 @@ pub fn define_metrics(
     let Some(x_hat) = selection.x_hat() else {
         return Ok(Vec::new());
     };
-    signatures.iter().map(|s| define_metric(selection, &x_hat, s, rounding_tol)).collect()
+    let factored = FactoredLstsq::factor(&x_hat)?;
+    signatures
+        .iter()
+        .map(|s| define_metric_factored(selection, &factored, s, rounding_tol))
+        .collect()
 }
 
 #[cfg(test)]

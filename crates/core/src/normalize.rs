@@ -2,7 +2,7 @@
 //! event in the expectation basis by solving `E · x_e = m_e`.
 
 use crate::basis::Basis;
-use catalyze_linalg::{lstsq, LinalgError, Matrix};
+use catalyze_linalg::{FactoredLstsq, LinalgError, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// One event successfully represented in the expectation basis.
@@ -64,6 +64,11 @@ impl Representation {
 /// measure something the benchmark's ideal-event space does not span (e.g.
 /// loop-header integer traffic under the FLOPs basis).
 ///
+/// The basis matrix `E` is factored once for the whole event set
+/// ([`FactoredLstsq`]) and every measurement vector is solved against the
+/// shared factorization — the same coordinates, bit for bit, as solving
+/// each event independently, at one QR and one spectral norm total.
+///
 /// # Errors
 ///
 /// Propagates the least-squares error when a measurement vector's length
@@ -76,21 +81,25 @@ pub fn represent(
 ) -> Result<Representation, LinalgError> {
     let mut kept = Vec::new();
     let mut rejected = Vec::new();
-    for (index, name, m) in events {
-        let sol = lstsq(&basis.matrix, m)?;
-        if sol.relative_residual <= threshold {
-            kept.push(RepresentedEvent {
-                index: *index,
-                name: name.clone(),
-                coords: sol.x,
-                residual: sol.relative_residual,
-            });
-        } else {
-            rejected.push(RejectedEvent {
-                index: *index,
-                name: name.clone(),
-                residual: sol.relative_residual,
-            });
+    if !events.is_empty() {
+        let factored = FactoredLstsq::factor(&basis.matrix)?;
+        let rhs: Vec<&[f64]> = events.iter().map(|(_, _, m)| m.as_slice()).collect();
+        let solutions = factored.solve_many(&rhs)?;
+        for ((index, name, _), sol) in events.iter().zip(solutions) {
+            if sol.relative_residual <= threshold {
+                kept.push(RepresentedEvent {
+                    index: *index,
+                    name: name.clone(),
+                    coords: sol.x,
+                    residual: sol.relative_residual,
+                });
+            } else {
+                rejected.push(RejectedEvent {
+                    index: *index,
+                    name: name.clone(),
+                    residual: sol.relative_residual,
+                });
+            }
         }
     }
     Ok(Representation { kept, rejected, threshold })

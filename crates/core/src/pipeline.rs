@@ -334,17 +334,20 @@ impl<'a> AnalysisRequest<'a> {
             mean.iter_mut().for_each(|m| *m /= n);
             mean
         };
+        // The per-event means double as stage 3's selected-event curves, so
+        // they are kept alive past the represent stage instead of being
+        // recomputed.
+        let inputs: Vec<(usize, String, Vec<f64>)> =
+            kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
         let at_represent = stats::snapshot();
         let representation = {
             let _s = Span::enter(obs, "represent");
-            let inputs: Vec<(usize, String, Vec<f64>)> =
-                kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
             represent(basis, &inputs, config.representation_threshold)?
         };
-        obs.counter(
-            "represent.lstsq_solves",
-            stats::snapshot().delta_since(&at_represent).lstsq_solves,
-        );
+        let represent_delta = stats::snapshot().delta_since(&at_represent);
+        obs.counter("represent.lstsq_solves", represent_delta.lstsq_solves);
+        obs.counter("represent.qr_factorizations", represent_delta.qr_factorizations);
+        obs.counter("represent.spectral_norms", represent_delta.spectral_norms);
         obs.funnel(
             FunnelRecord::new("represent", kept.len(), representation.kept.len())
                 .dropped("unrepresentable", representation.rejected.len()),
@@ -355,8 +358,20 @@ impl<'a> AnalysisRequest<'a> {
             let _s = Span::enter(obs, "select");
             select_events(&representation, config.alpha)?
         };
-        let selected_mean_vectors: Vec<Vec<f64>> =
-            selection.events.iter().map(|e| mean_of(e.index)).collect();
+        // Selected events all survived the noise filter, so their means are
+        // already in `inputs`; the fallback only covers a (hypothetical)
+        // selection outside the kept set and computes the identical vector.
+        let selected_mean_vectors: Vec<Vec<f64>> = selection
+            .events
+            .iter()
+            .map(|e| {
+                inputs
+                    .iter()
+                    .find(|(idx, _, _)| *idx == e.index)
+                    .map(|(_, _, m)| m.clone())
+                    .unwrap_or_else(|| mean_of(e.index))
+            })
+            .collect();
         obs.funnel(
             FunnelRecord::new("select", selection.candidates, selection.events.len())
                 .dropped("dependent", selection.candidates.saturating_sub(selection.events.len())),
@@ -368,7 +383,10 @@ impl<'a> AnalysisRequest<'a> {
             let _s = Span::enter(obs, "define");
             define_metrics(&selection, self.signatures, config.rounding_tol)?
         };
-        obs.counter("define.lstsq_solves", stats::snapshot().delta_since(&at_define).lstsq_solves);
+        let define_delta = stats::snapshot().delta_since(&at_define);
+        obs.counter("define.lstsq_solves", define_delta.lstsq_solves);
+        obs.counter("define.qr_factorizations", define_delta.qr_factorizations);
+        obs.counter("define.spectral_norms", define_delta.spectral_norms);
         let composable =
             metrics.iter().filter(|m| m.is_composable(config.composability_threshold)).count();
         obs.funnel(
@@ -384,6 +402,9 @@ impl<'a> AnalysisRequest<'a> {
         obs.counter("linalg.qr_nanos", delta.qr_nanos);
         obs.counter("linalg.spqrcp_runs", delta.spqrcp_runs);
         obs.counter("linalg.spqrcp_nanos", delta.spqrcp_nanos);
+        obs.counter("linalg.spectral_norms", delta.spectral_norms);
+        obs.counter("linalg.qr_factorizations_avoided", delta.qr_factorizations_avoided);
+        obs.counter("linalg.spectral_norms_cached", delta.spectral_norms_cached);
 
         Ok(AnalysisReport {
             domain: self.domain.to_string(),
@@ -545,6 +566,15 @@ mod tests {
         assert_eq!(trace.counter_value("define.lstsq_solves"), Some(7));
         assert!(trace.counter_value("linalg.lstsq_solves").unwrap() >= 12);
         assert_eq!(trace.counter_value("linalg.spqrcp_runs"), Some(1));
+        // Each hot stage factors its matrix and takes its spectral norm
+        // exactly once; every further solve reuses both.
+        assert_eq!(trace.counter_value("represent.qr_factorizations"), Some(1));
+        assert_eq!(trace.counter_value("represent.spectral_norms"), Some(1));
+        assert_eq!(trace.counter_value("define.qr_factorizations"), Some(1));
+        assert_eq!(trace.counter_value("define.spectral_norms"), Some(1));
+        // 4 reuses in represent (5 solves) + 6 in define (7 solves).
+        assert!(trace.counter_value("linalg.qr_factorizations_avoided").unwrap() >= 10);
+        assert!(trace.counter_value("linalg.spectral_norms_cached").unwrap() >= 10);
         // Tracing must not change the analysis itself.
         assert_eq!(report.metrics.len(), 7);
     }

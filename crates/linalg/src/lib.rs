@@ -16,6 +16,9 @@
 //!   α-quantization, expectation-affinity scoring, β norm floor;
 //! * [`mod@lstsq`] — least squares plus the backward-error fitness measure
 //!   (Eq. 5) that decides whether a metric is composable on an architecture;
+//! * [`factored`] — the factor-once/solve-many workspace
+//!   ([`FactoredLstsq`]) both pipeline hot stages use to amortize QR and
+//!   spectral-norm work across a batch of right-hand sides;
 //! * [`svd`] — one-sided Jacobi singular values (spectral norms, condition
 //!   numbers, rank checks);
 //! * [`stats`] — relaxed-atomic run counters and wall-time accumulators for
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod factored;
 pub mod householder;
 pub mod lstsq;
 pub mod matrix;
@@ -41,6 +45,7 @@ pub mod tri;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
+pub use factored::FactoredLstsq;
 pub use lstsq::{backward_error, lstsq, LstsqSolution};
 pub use matrix::Matrix;
 pub use qr::Qr;

@@ -2,7 +2,6 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
-use crate::qr::Qr;
 use crate::svd;
 use crate::vector;
 
@@ -13,7 +12,8 @@ pub struct LstsqSolution {
     pub x: Vec<f64>,
     /// `‖A x − b‖₂`.
     pub residual_norm: f64,
-    /// `‖A x − b‖₂ / ‖b‖₂` (1.0 when `b = 0` and the residual is zero).
+    /// `‖A x − b‖₂ / ‖b‖₂` (for `b = 0`: 0.0 when the residual is also
+    /// zero, 1.0 otherwise).
     pub relative_residual: f64,
     /// The paper's Eq. 5: `‖A x − b‖₂ / (‖A‖₂·‖x‖₂ + ‖b‖₂)`.
     pub backward_error: f64,
@@ -24,37 +24,14 @@ pub struct LstsqSolution {
 /// `A` must be square or tall with full column rank (the pipeline guarantees
 /// this: `X̂` comes out of the specialized QRCP). Returns the solution with
 /// residual and backward-error diagnostics.
+///
+/// This is the one-shot entry point: it factors `A` and computes `‖A‖₂`
+/// fresh on every call. Callers that solve several right-hand sides against
+/// the same matrix should build a [`crate::FactoredLstsq`] workspace
+/// instead — this function is a thin shim over a single-use workspace, so
+/// the solutions are bit-identical either way.
 pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<LstsqSolution> {
-    let _timer = crate::stats::time(crate::stats::Kernel::Lstsq);
-    if b.len() != a.rows() {
-        return Err(LinalgError::ShapeMismatch {
-            expected: (a.rows(), 1),
-            got: (b.len(), 1),
-            context: "lstsq",
-        });
-    }
-    if b.iter().any(|v| !v.is_finite()) {
-        return Err(LinalgError::NonFinite { context: "lstsq (rhs)" });
-    }
-    let qr = Qr::factor(a)?;
-    let x = qr.solve(b)?;
-    let ax = a.matvec(&x)?;
-    let residual: Vec<f64> = ax.iter().zip(b).map(|(&p, &q)| p - q).collect();
-    let residual_norm = vector::norm2(&residual);
-    let bnorm = vector::norm2(b);
-    // lint: allow(float_cmp): exact-zero guard before forming the residual ratio
-    let relative_residual = if bnorm == 0.0 {
-        // lint: allow(float_cmp): exact-zero guard before forming the residual ratio
-        if residual_norm == 0.0 {
-            0.0
-        } else {
-            1.0
-        }
-    } else {
-        residual_norm / bnorm
-    };
-    let backward_error = backward_error(a, &x, b)?;
-    Ok(LstsqSolution { x, residual_norm, relative_residual, backward_error })
+    crate::factored::FactoredLstsq::factor(a)?.solve(b)
 }
 
 /// The paper's backward error (Eq. 5):

@@ -237,14 +237,37 @@ impl Matrix {
     }
 
     /// Gram matrix `self^T * self` (symmetric `cols x cols`).
+    ///
+    /// Column-parallel above the same `1 << 20` work threshold
+    /// (`rows · cols²`) as [`Matrix::matmul`]: the upper-triangle entries of
+    /// output column `j` depend only on input columns `0..=j`, so columns
+    /// fill independently; the lower triangle is mirrored afterwards. Both
+    /// paths compute each dot product identically, so the result does not
+    /// depend on which path ran.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
-        for j in 0..n {
-            for i in 0..=j {
-                let v = vector::dot(self.col(i), self.col(j));
-                g[(i, j)] = v;
-                g[(j, i)] = v;
+        let work = self.rows as u64 * n as u64 * n as u64;
+        if work < 1 << 20 {
+            for j in 0..n {
+                for i in 0..=j {
+                    let v = vector::dot(self.col(i), self.col(j));
+                    g[(i, j)] = v;
+                    g[(j, i)] = v;
+                }
+            }
+        } else {
+            use rayon::prelude::*;
+            g.data.par_chunks_mut(n).enumerate().for_each(|(j, gcol)| {
+                let cj = self.col(j);
+                for (i, slot) in gcol.iter_mut().take(j + 1).enumerate() {
+                    *slot = vector::dot(self.col(i), cj);
+                }
+            });
+            for j in 0..n {
+                for i in 0..j {
+                    g[(j, i)] = g[(i, j)];
+                }
             }
         }
         g
@@ -318,6 +341,12 @@ impl Matrix {
     /// Raw column-major storage.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable raw column-major storage (crate-internal: column-parallel
+    /// kernels split it into per-column chunks).
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// True when every entry is finite.
@@ -520,6 +549,33 @@ mod tests {
         assert_eq!(g[(0, 0)], 1.0 + 16.0);
         assert_eq!(g[(0, 1)], g[(1, 0)]);
         assert_eq!(g[(0, 1)], 1.0 * 2.0 + 4.0 * 5.0);
+    }
+
+    #[test]
+    fn gram_parallel_path_matches_sequential() {
+        // 64 rows x 128 cols puts rows·cols² exactly at the 1 << 20 work
+        // threshold, so this gram runs column-parallel; check it against
+        // the sequential arithmetic dot by dot.
+        let rows = 64;
+        let cols = 128;
+        let mut m = Matrix::zeros(rows, cols);
+        let mut seed = 0x9e3779b97f4a7c15_u64;
+        for v in m.as_mut_slice().iter_mut() {
+            // splitmix64, mapped into [-1, 1).
+            seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            *v = (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0;
+        }
+        let g = m.gram();
+        for j in 0..cols {
+            for i in 0..cols {
+                let want = vector::dot(m.col(i), m.col(j));
+                assert_eq!(g[(i, j)], want, "entry ({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -105,6 +105,43 @@ impl Qr {
         Ok(y)
     }
 
+    /// Applies `Q^T` to every column of an `m x k` right-hand-side panel in
+    /// place.
+    ///
+    /// Each column goes through exactly the arithmetic of
+    /// [`Qr::apply_qt`] (the same reflector sequence, the same dot/axpy
+    /// order), so a panel column's result is bit-identical to a
+    /// single-vector application. Panels above the `1 << 20` work threshold
+    /// (`m · n · k`, mirroring [`Matrix::matmul`]'s cutoff) are transformed
+    /// column-parallel across the rayon pool; smaller ones sweep the
+    /// reflectors over the whole panel sequentially.
+    pub fn apply_qt_panel(&self, panel: &mut Matrix) -> Result<()> {
+        let m = self.rows();
+        if panel.rows() != m {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (m, panel.cols()),
+                got: panel.shape(),
+                context: "Qr::apply_qt_panel",
+            });
+        }
+        let work = m as u64 * self.cols() as u64 * panel.cols() as u64;
+        if work < 1 << 20 {
+            // Blocked sweep: each reflector crosses the whole panel once.
+            for (k, h) in self.reflectors.iter().enumerate() {
+                h.apply_left(panel, k, 0);
+            }
+        } else {
+            use rayon::prelude::*;
+            let reflectors = &self.reflectors;
+            panel.as_mut_slice().par_chunks_mut(m).for_each(|col| {
+                for (k, h) in reflectors.iter().enumerate() {
+                    h.apply_vec(&mut col[k..k + h.v.len()]);
+                }
+            });
+        }
+        Ok(())
+    }
+
     /// Solves the least-squares problem `min ‖A x - b‖₂` for full-rank `A`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let y = self.apply_qt(b)?;

@@ -24,6 +24,10 @@ static SPQRCP_COUNT: AtomicU64 = AtomicU64::new(0);
 static SPQRCP_NANOS: AtomicU64 = AtomicU64::new(0);
 static LSTSQ_COUNT: AtomicU64 = AtomicU64::new(0);
 static LSTSQ_NANOS: AtomicU64 = AtomicU64::new(0);
+static SPECTRAL_COUNT: AtomicU64 = AtomicU64::new(0);
+static SPECTRAL_NANOS: AtomicU64 = AtomicU64::new(0);
+static QR_AVOIDED: AtomicU64 = AtomicU64::new(0);
+static SPECTRAL_CACHED: AtomicU64 = AtomicU64::new(0);
 
 /// The instrumented kernel families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,8 +39,12 @@ pub enum Kernel {
     Qrcp,
     /// The paper's specialized column-pivoted QR ([`crate::specialized_qrcp`]).
     SpQrcp,
-    /// Least-squares solve with diagnostics ([`crate::lstsq`]).
+    /// Least-squares solve with diagnostics ([`crate::lstsq`]), whether
+    /// one-shot or through a [`crate::FactoredLstsq`] workspace.
     Lstsq,
+    /// Spectral-norm computation ([`crate::spectral_norm`]), the Jacobi-SVD
+    /// part of the backward-error measure.
+    SpectralNorm,
 }
 
 impl Kernel {
@@ -46,6 +54,7 @@ impl Kernel {
             Kernel::Qrcp => (&QRCP_COUNT, &QRCP_NANOS),
             Kernel::SpQrcp => (&SPQRCP_COUNT, &SPQRCP_NANOS),
             Kernel::Lstsq => (&LSTSQ_COUNT, &LSTSQ_NANOS),
+            Kernel::SpectralNorm => (&SPECTRAL_COUNT, &SPECTRAL_NANOS),
         }
     }
 }
@@ -67,9 +76,22 @@ pub struct Snapshot {
     pub spqrcp_nanos: u64,
     /// Least-squares solves.
     pub lstsq_solves: u64,
-    /// Nanoseconds spent in least-squares solves (includes their inner QR
-    /// time, which is therefore counted in `qr_nanos` as well).
+    /// Nanoseconds spent in least-squares solves. One-shot [`crate::lstsq`]
+    /// factors inside [`crate::FactoredLstsq::factor`] before the solve
+    /// timer starts, so QR time is accumulated in `qr_nanos` only.
     pub lstsq_nanos: u64,
+    /// Spectral-norm computations (the Jacobi-SVD part of the
+    /// backward-error measure).
+    pub spectral_norms: u64,
+    /// Nanoseconds spent computing spectral norms.
+    pub spectral_nanos: u64,
+    /// QR factorizations a [`crate::FactoredLstsq`] workspace *avoided* by
+    /// reusing its factorization: one per solve beyond the first, compared
+    /// against the naive one-factorization-per-solve baseline.
+    pub qr_factorizations_avoided: u64,
+    /// Spectral-norm computations answered from a [`crate::FactoredLstsq`]
+    /// workspace's cache instead of re-running the Jacobi SVD.
+    pub spectral_norms_cached: u64,
 }
 
 impl Snapshot {
@@ -85,6 +107,14 @@ impl Snapshot {
             spqrcp_nanos: self.spqrcp_nanos.saturating_sub(earlier.spqrcp_nanos),
             lstsq_solves: self.lstsq_solves.saturating_sub(earlier.lstsq_solves),
             lstsq_nanos: self.lstsq_nanos.saturating_sub(earlier.lstsq_nanos),
+            spectral_norms: self.spectral_norms.saturating_sub(earlier.spectral_norms),
+            spectral_nanos: self.spectral_nanos.saturating_sub(earlier.spectral_nanos),
+            qr_factorizations_avoided: self
+                .qr_factorizations_avoided
+                .saturating_sub(earlier.qr_factorizations_avoided),
+            spectral_norms_cached: self
+                .spectral_norms_cached
+                .saturating_sub(earlier.spectral_norms_cached),
         }
     }
 }
@@ -100,7 +130,31 @@ pub fn snapshot() -> Snapshot {
         spqrcp_nanos: SPQRCP_NANOS.load(Ordering::Relaxed),
         lstsq_solves: LSTSQ_COUNT.load(Ordering::Relaxed),
         lstsq_nanos: LSTSQ_NANOS.load(Ordering::Relaxed),
+        spectral_norms: SPECTRAL_COUNT.load(Ordering::Relaxed),
+        spectral_nanos: SPECTRAL_NANOS.load(Ordering::Relaxed),
+        qr_factorizations_avoided: QR_AVOIDED.load(Ordering::Relaxed),
+        spectral_norms_cached: SPECTRAL_CACHED.load(Ordering::Relaxed),
     }
+}
+
+/// Records `runs` kernel runs that together took `nanos` wall nanoseconds —
+/// the batched analogue of [`time`], used by
+/// [`crate::FactoredLstsq::solve_many`] where per-solve timers inside the
+/// parallel region would double-count overlapping wall time.
+pub(crate) fn record_batch(kernel: Kernel, runs: u64, nanos: u64) {
+    let (count, total) = kernel.cells();
+    count.fetch_add(runs, Ordering::Relaxed);
+    total.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Records `n` QR factorizations avoided through factorization reuse.
+pub(crate) fn record_qr_factorizations_avoided(n: u64) {
+    QR_AVOIDED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` spectral norms served from a workspace cache.
+pub(crate) fn record_spectral_norms_cached(n: u64) {
+    SPECTRAL_CACHED.fetch_add(n, Ordering::Relaxed);
 }
 
 /// RAII timer: created at kernel entry, records one run and its wall time
@@ -136,6 +190,19 @@ mod tests {
         }
         let delta = snapshot().delta_since(&before);
         assert!(delta.qrcp_runs >= 1);
+    }
+
+    #[test]
+    fn batch_recorder_adds_counts_and_reuse_counters() {
+        let before = snapshot();
+        record_batch(Kernel::Lstsq, 8, 1234);
+        record_qr_factorizations_avoided(7);
+        record_spectral_norms_cached(7);
+        let delta = snapshot().delta_since(&before);
+        assert!(delta.lstsq_solves >= 8);
+        assert!(delta.lstsq_nanos >= 1234);
+        assert!(delta.qr_factorizations_avoided >= 7);
+        assert!(delta.spectral_norms_cached >= 7);
     }
 
     #[test]

@@ -115,7 +115,14 @@ pub fn singular_values(a: &Matrix) -> Result<Svd> {
 }
 
 /// Spectral norm ‖a‖₂ of a matrix (largest singular value).
+///
+/// Every call runs a fresh Jacobi SVD and increments the
+/// [`crate::stats::Kernel::SpectralNorm`] counter; callers that need the
+/// norm of one matrix repeatedly should go through
+/// [`crate::FactoredLstsq`], which computes it once and serves the rest
+/// from its cache.
 pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+    let _timer = crate::stats::time(crate::stats::Kernel::SpectralNorm);
     Ok(singular_values(a)?.spectral_norm())
 }
 

@@ -1,7 +1,10 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
 use catalyze_linalg::spqrcp::{round_to_tolerance, score_column, score_value};
-use catalyze_linalg::{lstsq, qrcp, singular_values, specialized_qrcp, Matrix, Qr, SpQrcpParams};
+use catalyze_linalg::{
+    lstsq, qrcp, singular_values, specialized_qrcp, FactoredLstsq, LinalgError, LstsqSolution,
+    Matrix, Qr, SpQrcpParams,
+};
 use proptest::prelude::*;
 
 /// Strategy: a well-scaled `rows x cols` matrix as row-major data.
@@ -17,6 +20,103 @@ fn tall_matrix() -> impl Strategy<Value = Matrix> {
         let n = n.max(1);
         matrix_strategy(m, n)
     })
+}
+
+/// Strategy: a tall matrix together with one conforming right-hand side.
+fn tall_system() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    tall_matrix().prop_flat_map(|a| {
+        let m = a.rows();
+        proptest::collection::vec(-50.0..50.0f64, m).prop_map(move |b| (a.clone(), b))
+    })
+}
+
+/// Strategy: a tall matrix together with a small batch of right-hand sides.
+fn tall_batch() -> impl Strategy<Value = (Matrix, Vec<Vec<f64>>)> {
+    tall_matrix().prop_flat_map(|a| {
+        let m = a.rows();
+        proptest::collection::vec(proptest::collection::vec(-50.0..50.0f64, m), 1..6)
+            .prop_map(move |bs| (a.clone(), bs))
+    })
+}
+
+/// Both solutions must agree to the bit, diagnostics included.
+fn assert_solutions_identical(
+    got: &LstsqSolution,
+    want: &LstsqSolution,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.x.len(), want.x.len());
+    for (g, w) in got.x.iter().zip(&want.x) {
+        prop_assert_eq!(g.to_bits(), w.to_bits(), "x: {} vs {}", g, w);
+    }
+    prop_assert_eq!(got.residual_norm.to_bits(), want.residual_norm.to_bits());
+    prop_assert_eq!(got.relative_residual.to_bits(), want.relative_residual.to_bits());
+    prop_assert_eq!(got.backward_error.to_bits(), want.backward_error.to_bits());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn factored_solve_is_bit_identical_to_one_shot(sys in tall_system()) {
+        let (a, b) = sys;
+        let factored = FactoredLstsq::factor(&a).unwrap();
+        // Solve twice: the second call answers from the cached spectral
+        // norm and must not drift either.
+        for _ in 0..2 {
+            match (lstsq(&a, &b), factored.solve(&b)) {
+                (Ok(want), Ok(got)) => assert_solutions_identical(&got, &want)?,
+                (Err(want), Err(got)) => prop_assert_eq!(got, want),
+                (want, got) => prop_assert!(false, "diverged: {:?} vs {:?}", want, got),
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_is_bit_identical_to_repeated_one_shots(sys in tall_batch()) {
+        let (a, bs) = sys;
+        let factored = FactoredLstsq::factor(&a).unwrap();
+        let rhs: Vec<&[f64]> = bs.iter().map(|b| b.as_slice()).collect();
+        match factored.solve_many(&rhs) {
+            Ok(batch) => {
+                prop_assert_eq!(batch.len(), bs.len());
+                for (got, b) in batch.iter().zip(&bs) {
+                    assert_solutions_identical(got, &lstsq(&a, b).unwrap())?;
+                }
+            }
+            Err(e) => {
+                // The batch may only fail if some one-shot solve fails the
+                // same way.
+                let first =
+                    bs.iter().find_map(|b| lstsq(&a, b).err()).expect("a failing one-shot");
+                prop_assert_eq!(e, first);
+            }
+        }
+    }
+}
+
+#[test]
+fn factored_error_paths_match_one_shot_variants() {
+    let a = Matrix::from_rows(3, 2, &[1.0, 0.0, 1.0, 1.0, 1.0, 2.0]).unwrap();
+    let factored = FactoredLstsq::factor(&a).unwrap();
+
+    // Shape mismatch: same variant and payload on both paths.
+    let short = [1.0, 2.0];
+    assert_eq!(factored.solve(&short).unwrap_err(), lstsq(&a, &short).unwrap_err());
+    assert!(matches!(factored.solve(&short).unwrap_err(), LinalgError::ShapeMismatch { .. }));
+
+    // Non-finite right-hand side.
+    let nan = [1.0, f64::NAN, 0.0];
+    assert_eq!(factored.solve(&nan).unwrap_err(), lstsq(&a, &nan).unwrap_err());
+    assert!(matches!(factored.solve(&nan).unwrap_err(), LinalgError::NonFinite { .. }));
+    let inf = [f64::INFINITY, 0.0, 0.0];
+    let good = [1.0, 1.0, 1.0];
+    assert_eq!(factored.solve_many(&[&good, &inf]).unwrap_err(), lstsq(&a, &inf).unwrap_err());
+
+    // Rank deficiency: an exactly-zero column hits an exactly-zero pivot in
+    // the triangular solve of both paths.
+    let singular = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]).unwrap();
+    let f = FactoredLstsq::factor(&singular).unwrap();
+    assert_eq!(f.solve(&good).unwrap_err(), lstsq(&singular, &good).unwrap_err());
+    assert!(matches!(f.solve(&good).unwrap_err(), LinalgError::Singular { .. }));
 }
 
 proptest! {

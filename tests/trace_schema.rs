@@ -77,6 +77,17 @@ fn trace_funnel_reconciles_and_counters_cover_linalg() {
     let total = get("linalg.lstsq_solves").unwrap();
     let staged = get("represent.lstsq_solves").unwrap() + get("define.lstsq_solves").unwrap();
     assert!(staged <= total, "staged {staged} vs total {total}");
+    // Factorization reuse: each hot stage factors its matrix and computes
+    // its spectral norm exactly once, no matter how many systems it solves.
+    assert_eq!(get("represent.qr_factorizations"), Some(1));
+    assert_eq!(get("represent.spectral_norms"), Some(1));
+    assert_eq!(get("define.qr_factorizations"), Some(1));
+    assert_eq!(get("define.spectral_norms"), Some(1));
+    // Every solve past each stage's first reused a factorization and a
+    // cached norm.
+    let solves = staged;
+    assert!(get("linalg.qr_factorizations_avoided").unwrap() >= solves - 2);
+    assert!(get("linalg.spectral_norms_cached").unwrap() >= solves - 2);
 }
 
 #[test]
