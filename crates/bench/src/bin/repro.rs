@@ -13,7 +13,7 @@
 //! repro ablate-median        # per-thread median suppression (A3)
 //! repro dtlb                 # extension domain: data-TLB metrics
 //! repro dstore               # extension domain: store-path (RFO) metrics
-//! repro perf                 # BENCH_pipeline.json performance snapshot
+//! repro perf                 # BENCH_{pipeline,linalg,obs}.json snapshots
 //! ```
 //!
 //! Add `--fast` for a down-scaled run and `--out DIR` to also write
@@ -317,6 +317,10 @@ fn main() {
         let linalg = catalyze_bench::linalg_perf::linalg_snapshot(opts.scale);
         print!("{linalg}");
         write_out(&opts, "BENCH_linalg.json", &linalg);
+        let obs =
+            h.obs_snapshot(opts.scale, Harness::obs_repeats(opts.scale)).expect("obs snapshot");
+        print!("{obs}");
+        write_out(&opts, "BENCH_obs.json", &obs);
     }
     if all || cmd == "ablate-median" {
         let ab = ablations::median_ablation(&h);

@@ -9,7 +9,7 @@ use catalyze_cat::{
     dcache, dstore, dtlb, run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_dstore_obs,
     run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
 };
-use catalyze_obs::{NoopObserver, Observer, TraceCollector};
+use catalyze_obs::{render_metrics_json, MetricsRegistry, NoopObserver, Observer, TraceCollector};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like, CpuEventSet, GpuEventSet};
 
 /// Every benchmark domain the harness can run, in reproduction order.
@@ -254,6 +254,46 @@ impl Harness {
             domains.join(",")
         ))
     }
+
+    /// Runs every domain `repeats` times, folds each run's trace into one
+    /// [`MetricsRegistry`], and renders the `BENCH_obs.json` aggregate:
+    /// the `metrics.v1` document wrapped in a versioned envelope that
+    /// `catalyze trace diff` loads directly:
+    ///
+    /// ```json
+    /// {"version": 1, "scale": "fast", "repeats": 2, "metrics": { ... }}
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing domain analysis.
+    pub fn obs_snapshot(&self, scale: Scale, repeats: u32) -> Result<String, AnalysisError> {
+        let mut registry = MetricsRegistry::new();
+        for _ in 0..repeats.max(1) {
+            for name in DOMAINS {
+                let trace = TraceCollector::new();
+                // lint: allow(panic): DOMAINS lists only known domain names
+                self.domain_obs(name, &trace).expect("known domain name")?;
+                registry.fold(&trace);
+            }
+        }
+        Ok(format!(
+            "{{\"version\":1,\"scale\":\"{}\",\"repeats\":{},\"metrics\":{}}}\n",
+            scale.label(),
+            repeats.max(1),
+            render_metrics_json(&registry)
+        ))
+    }
+
+    /// The repeat count `repro perf` uses for [`Harness::obs_snapshot`]:
+    /// enough runs for the histograms to carry a spread without tripling
+    /// the full-scale wall time.
+    pub fn obs_repeats(scale: Scale) -> u32 {
+        match scale {
+            Scale::Full => 3,
+            Scale::Fast => 2,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +330,28 @@ mod tests {
         assert_eq!(a, b);
         assert!(trace.span_count() >= 7, "runner + pipeline spans, got {}", trace.span_count());
         assert!(trace.funnel_records().iter().all(|f| f.reconciles()));
+    }
+
+    #[test]
+    fn obs_snapshot_aggregates_every_domain() {
+        let h = Harness::new(Scale::Fast);
+        let snapshot = h.obs_snapshot(Scale::Fast, 2).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&snapshot).unwrap();
+        assert_eq!(parsed["version"].as_u64(), Some(1));
+        assert_eq!(parsed["scale"].as_str(), Some("fast"));
+        assert_eq!(parsed["repeats"].as_u64(), Some(2));
+        let metrics = &parsed["metrics"];
+        assert_eq!(metrics["schema"].as_str(), Some("metrics.v1"));
+        assert_eq!(metrics["runs"].as_u64(), Some(12), "6 domains x 2 repeats");
+        let spans = metrics["spans"].as_array().unwrap();
+        let names: Vec<&str> = spans.iter().filter_map(|s| s["name"].as_str()).collect();
+        for domain in DOMAINS {
+            assert!(names.contains(&format!("analyze/{domain}").as_str()), "{names:?}");
+        }
+        // The diff loader reads the envelope without unwrapping.
+        let loaded = catalyze_obs::Snapshot::from_json(&snapshot).unwrap();
+        assert!(loaded.spans.contains_key("analyze/branch"));
+        assert!(!loaded.counters.is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn random_rhs(rows: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
 fn best_of(n: usize, mut f: impl FnMut()) -> u64 {
     let mut best = u64::MAX;
     for _ in 0..n {
+        // lint: allow(raw_timing): best-of benchmark loop; its result is the artifact itself
         let start = Instant::now();
         f();
         let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

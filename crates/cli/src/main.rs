@@ -5,6 +5,9 @@
 //! catalyze events [--gpu]                      list the raw-event inventory
 //! catalyze run <domain> [--out FILE] [--trace [FILE]]
 //! catalyze analyze <domain> [--in FILE] [--set k=v ...] [--trace [FILE]]
+//!                           [--metrics [FILE]]
+//! catalyze metrics <domain> [--repeat N] [--json FILE] [--expo FILE]
+//! catalyze trace diff <baseline.json> <candidate.json> [--json FILE]
 //! catalyze presets <domain> [--json] [--set k=v ...]
 //! catalyze check [--format json] [--presets FILE [--arch spr|zen|gpu]]
 //! ```
@@ -18,7 +21,13 @@
 //!
 //! `--trace` records structured observability (nested timed spans, event
 //! funnel, linalg solve counters) and prints a human summary; with a FILE
-//! argument the schema-stable JSON trace is written there too.
+//! argument the schema-stable JSON trace is written there too. `--metrics`
+//! folds the same run into a metrics registry and prints the
+//! Prometheus-style exposition (with a FILE, the `metrics.v1` JSON is
+//! written there). `catalyze metrics` aggregates `--repeat N` runs into
+//! one registry; `catalyze trace diff` compares two observability
+//! artifacts and exits 1 when a span regresses beyond
+//! `--set diff.max_span_regression` (see `DiffConfig`).
 //!
 //! `check` validates every shipped analysis input (bases, catalogs, stage
 //! configurations) and, with `--presets`, a PAPI-style preset file against
@@ -36,23 +45,32 @@ use catalyze_cat::{
     run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
 };
 use catalyze_events::PresetTable;
-use catalyze_obs::{NoopObserver, Observer, TraceCollector};
+use catalyze_obs::{
+    diff, render_exposition, render_metrics_json, DiffConfig, MetricsRegistry, NoopObserver,
+    Observer, Snapshot, TraceCollector,
+};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like, zen_like, CpuEventSet};
 use std::process::ExitCode;
 
 const DOMAINS: [&str; 6] = ["cpu-flops", "branch", "dcache", "gpu-flops", "dtlb", "dstore"];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: catalyze <events|run|analyze|presets> [args]");
+    eprintln!("usage: catalyze <events|run|analyze|metrics|presets|trace> [args]");
     eprintln!("  catalyze events [--gpu]");
     eprintln!("  catalyze run <domain> [--out FILE] [--trace [FILE]]");
     eprintln!("  catalyze analyze <domain> [--in FILE] [--tau T] [--alpha A]");
     eprintln!("                            [--set key=value ...] [--trace [FILE]]");
+    eprintln!("                            [--metrics [FILE]]");
+    eprintln!("  catalyze metrics <domain> [--repeat N] [--json FILE] [--expo FILE]");
+    eprintln!("                            [--set key=value ...]");
+    eprintln!("  catalyze trace diff <baseline.json> <candidate.json> [--json FILE]");
+    eprintln!("                            [--set diff.key=value ...]");
     eprintln!("  catalyze presets <domain> [--json] [--set key=value ...]");
     eprintln!("  catalyze papi <domain>");
     eprintln!("  catalyze check [--format human|json] [--presets FILE [--arch spr|zen|gpu]]");
     eprintln!("domains: {}", DOMAINS.join(", "));
     eprintln!("threshold keys for --set: {}", AnalysisConfig::keys().join(", "));
+    eprintln!("diff keys for --set: {}", DiffConfig::keys().join(", "));
     ExitCode::from(2)
 }
 
@@ -222,11 +240,28 @@ fn parse_overrides(args: &[String]) -> Vec<(String, f64)> {
     overrides
 }
 
-/// `--trace` handling: `None` when absent, `Some(None)` for the bare flag,
-/// `Some(Some(path))` when followed by a file name.
-fn trace_request(args: &[String]) -> Option<Option<String>> {
-    let i = args.iter().position(|a| a == "--trace")?;
+/// Optional-file flag handling (`--trace`, `--metrics`): `None` when
+/// absent, `Some(None)` for the bare flag, `Some(Some(path))` when followed
+/// by a file name.
+fn optional_file_flag(args: &[String], flag: &str) -> Option<Option<String>> {
+    let i = args.iter().position(|a| a == flag)?;
     Some(args.get(i + 1).filter(|v| !v.starts_with('-')).cloned())
+}
+
+fn trace_request(args: &[String]) -> Option<Option<String>> {
+    optional_file_flag(args, "--trace")
+}
+
+/// Folds a finished run's trace into a one-run registry and renders the
+/// exposition; writes the `metrics.v1` JSON when a file was requested.
+fn emit_metrics(trace: &TraceCollector, file: Option<&str>) -> String {
+    let mut reg = MetricsRegistry::new();
+    reg.fold(trace);
+    if let Some(path) = file {
+        std::fs::write(path, render_metrics_json(&reg)).expect("write metrics file");
+        eprintln!("wrote metrics {path}");
+    }
+    render_exposition(&reg)
 }
 
 /// Writes the JSON trace when a file was requested and returns the human
@@ -303,8 +338,10 @@ fn main() -> ExitCode {
                 return usage();
             }
             let trace_to = trace_request(&args);
+            let metrics_to = optional_file_flag(&args, "--metrics");
             let trace = TraceCollector::new();
-            let obs: &dyn Observer = if trace_to.is_some() { &trace } else { &NoopObserver };
+            let obs: &dyn Observer =
+                if trace_to.is_some() || metrics_to.is_some() { &trace } else { &NoopObserver };
             let ms = match flag_value(&args, "--in") {
                 Some(path) => {
                     let data = std::fs::read_to_string(&path).expect("read measurement file");
@@ -328,7 +365,93 @@ fn main() -> ExitCode {
                 println!();
                 print!("{}", emit_trace(&trace, file.as_deref()));
             }
+            if let Some(file) = metrics_to {
+                println!();
+                print!("{}", emit_metrics(&trace, file.as_deref()));
+            }
             ExitCode::SUCCESS
+        }
+        "metrics" => {
+            let Some(domain) = args.get(1) else { return usage() };
+            if !DOMAINS.contains(&domain.as_str()) {
+                eprintln!("unknown domain {domain}");
+                return usage();
+            }
+            let repeat = match flag_value(&args, "--repeat") {
+                Some(raw) => match raw.parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--repeat expects a positive integer, got {raw}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => 1,
+            };
+            let overrides = parse_overrides(&args);
+            let cpu = cpu_inventory(&args);
+            let mut reg = MetricsRegistry::new();
+            for _ in 0..repeat {
+                let trace = TraceCollector::new();
+                let obs: &dyn Observer = &trace;
+                let ms = run_domain(domain, &cfg, &cpu, obs).expect("domain checked above");
+                analyze_domain(domain, &ms, &cfg, &overrides, obs).expect("known domain");
+                reg.fold(&trace);
+            }
+            if let Some(path) = flag_value(&args, "--json") {
+                std::fs::write(&path, render_metrics_json(&reg)).expect("write metrics file");
+                eprintln!("wrote metrics {path}");
+            }
+            let expo = render_exposition(&reg);
+            if let Some(path) = flag_value(&args, "--expo") {
+                std::fs::write(&path, &expo).expect("write exposition file");
+                eprintln!("wrote exposition {path}");
+            }
+            print!("{expo}");
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            if args.get(1).map(String::as_str) != Some("diff") {
+                return usage();
+            }
+            let paths: Vec<&String> =
+                args.iter().skip(2).take_while(|a| !a.starts_with('-')).collect();
+            if paths.len() != 2 {
+                return usage();
+            }
+            let (base_path, cand_path) = (paths[0].as_str(), paths[1].as_str());
+            let mut diff_cfg = DiffConfig::default();
+            for (key, value) in parse_overrides(&args) {
+                if !diff_cfg.set(&key, value) {
+                    eprintln!(
+                        "unknown diff key {key} (expected one of: {})",
+                        DiffConfig::keys().join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            let load = |path: &str| -> Snapshot {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                Snapshot::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("cannot load {path}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            let baseline = load(base_path);
+            let candidate = load(cand_path);
+            let report = diff(&baseline, &candidate, diff_cfg);
+            if let Some(path) = flag_value(&args, "--json") {
+                std::fs::write(&path, report.render_json()).expect("write diff file");
+                eprintln!("wrote diff {path}");
+            }
+            print!("{}", report.render_human());
+            if report.regressed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         "presets" => {
             let Some(domain) = args.get(1) else { return usage() };

@@ -248,6 +248,226 @@ fn check_rejects_bad_flags() {
 }
 
 #[test]
+fn metrics_aggregates_repeated_runs() {
+    let dir = std::env::temp_dir().join(format!("catalyze-metrics-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("metrics.json");
+    let expo = dir.join("metrics.prom");
+
+    let out = catalyze(&[
+        "metrics",
+        "branch",
+        "--repeat",
+        "2",
+        "--json",
+        json.to_str().unwrap(),
+        "--expo",
+        expo.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("catalyze_runs_total 2"), "{text}");
+    assert!(text.contains("# TYPE catalyze_span_duration_ns histogram"), "{text}");
+    assert!(text.contains("catalyze_funnel_drop_rate{stage=\"noise\"}"), "{text}");
+    // The --expo file holds exactly what was printed.
+    assert_eq!(std::fs::read_to_string(&expo).unwrap(), text);
+
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).expect("valid metrics JSON");
+    assert_eq!(parsed["version"].as_u64(), Some(1));
+    assert_eq!(parsed["schema"].as_str(), Some("metrics.v1"));
+    assert_eq!(parsed["runs"].as_u64(), Some(2));
+    let spans = parsed["spans"].as_array().expect("spans array");
+    let names: Vec<&str> = spans.iter().filter_map(|s| s["name"].as_str()).collect();
+    assert!(names.contains(&"analyze/branch"), "{names:?}");
+    for span in spans {
+        assert_eq!(span["count"].as_u64(), Some(2), "two runs folded: {span:?}");
+        let (p50, p99) = (span["p50_ns"].as_u64().unwrap(), span["p99_ns"].as_u64().unwrap());
+        assert!(p50 <= p99, "{span:?}");
+    }
+    // Counters are exactly double a single run's (the simulation is
+    // deterministic at fixed scale).
+    let counters = parsed["counters"].as_array().expect("counters array");
+    let runner_points = counters
+        .iter()
+        .find(|c| c["name"].as_str() == Some("runner.points"))
+        .expect("runner.points counter");
+    assert_eq!(runner_points["total"].as_u64(), Some(22), "11 points x 2 runs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_rejects_bad_repeat_and_unknown_domain() {
+    let out = catalyze(&["metrics", "branch", "--repeat", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["metrics", "branch", "--repeat", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["metrics", "not-a-domain"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn analyze_metrics_flag_prints_exposition_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("catalyze-anmetrics-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("metrics.json");
+
+    let out = catalyze(&["analyze", "branch", "--metrics", file.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("selected events"), "analysis tables still print: {text}");
+    assert!(text.contains("catalyze_runs_total 1"), "{text}");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&file).unwrap()).expect("valid metrics JSON");
+    assert_eq!(parsed["schema"].as_str(), Some("metrics.v1"));
+    assert_eq!(parsed["runs"].as_u64(), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A handcrafted `metrics.v1` document with one span and one counter, so
+/// the diff tests are independent of machine timing.
+fn metrics_doc(span_ns: u64, counter: u64) -> String {
+    format!(
+        concat!(
+            "{{\"version\": 1, \"schema\": \"metrics.v1\", \"runs\": 1,\n",
+            "  \"spans\": [{{\"name\": \"analyze/branch\", \"count\": 1, \"sum_ns\": {ns},\n",
+            "    \"min_ns\": {ns}, \"max_ns\": {ns}, \"p50_ns\": {ns}, \"p90_ns\": {ns},\n",
+            "    \"p99_ns\": {ns}}}],\n",
+            "  \"counters\": [{{\"name\": \"linalg.lstsq_solves\", \"total\": {c}}}],\n",
+            "  \"funnel\": []}}\n"
+        ),
+        ns = span_ns,
+        c = counter
+    )
+}
+
+#[test]
+fn trace_diff_passes_identical_artifacts_and_fails_regressions() {
+    let dir = std::env::temp_dir().join(format!("catalyze-diff-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let slow = dir.join("slow.json");
+    let report = dir.join("diff.json");
+    std::fs::write(&base, metrics_doc(1_000_000, 10)).unwrap();
+    std::fs::write(&slow, metrics_doc(2_000_000, 10)).unwrap();
+
+    // Identical artifacts pass.
+    let out = catalyze(&["trace", "diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // A 2x slower span breaks the default 25% gate: exit 1.
+    let out = catalyze(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--json",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("analyze/branch"), "{text}");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).expect("valid diff JSON");
+    assert_eq!(parsed["schema"].as_str(), Some("trace-diff.v1"));
+    assert_eq!(parsed["regressions"].as_u64(), Some(1));
+
+    // Raising the threshold lets the same pair pass.
+    let out = catalyze(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--set",
+        "diff.max_span_regression=1.5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_diff_counter_gate_is_opt_in() {
+    let dir = std::env::temp_dir().join(format!("catalyze-diffctr-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let cand = dir.join("cand.json");
+    std::fs::write(&base, metrics_doc(1_000_000, 10)).unwrap();
+    std::fs::write(&cand, metrics_doc(1_000_000, 11)).unwrap();
+
+    // Counters are report-only by default.
+    let out = catalyze(&["trace", "diff", base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    // Strict equality makes the drifted counter fatal.
+    let out = catalyze(&[
+        "trace",
+        "diff",
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--set",
+        "diff.max_counter_delta=0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("linalg.lstsq_solves"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_diff_accepts_raw_trace_files() {
+    // The --trace artifact (trace schema v1) loads directly.
+    let dir = std::env::temp_dir().join(format!("catalyze-difftrace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("trace.json");
+    let out = catalyze(&["analyze", "branch", "--trace", file.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = catalyze(&[
+        "trace",
+        "diff",
+        file.to_str().unwrap(),
+        file.to_str().unwrap(),
+        "--set",
+        "diff.max_counter_delta=0",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_diff_rejects_bad_usage() {
+    let out = catalyze(&["trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["trace", "diff", "/tmp/only-one.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = catalyze(&["trace", "diff", "/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = std::env::temp_dir().join(format!("catalyze-diffbad-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+    std::fs::write(&good, metrics_doc(1000, 1)).unwrap();
+    std::fs::write(&bad, "not json at all").unwrap();
+    let out = catalyze(&["trace", "diff", good.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = catalyze(&[
+        "trace",
+        "diff",
+        good.to_str().unwrap(),
+        good.to_str().unwrap(),
+        "--set",
+        "diff.bogus=1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_papi_pipeline_output_passes_check() {
     // End-to-end: presets the tool itself exports must pass its own check.
     let dir = std::env::temp_dir().join(format!("catalyze-check-test-{}", std::process::id()));

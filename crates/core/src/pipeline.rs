@@ -19,6 +19,13 @@ use catalyze_linalg::{stats, LinalgError};
 use catalyze_obs::{FunnelRecord, NoopObserver, Observer, Span};
 use serde::{Deserialize, Serialize};
 
+/// The four pipeline stages, in execution order. These are the canonical
+/// labels for the stage spans and funnel records every run emits, and the
+/// keys under which `catalyze-obs`'s `MetricsRegistry` aggregates
+/// per-stage duration histograms and drop rates — downstream consumers
+/// (exposition labels, `trace diff` rows) key on exactly these strings.
+pub const STAGES: [&str; 4] = ["noise", "represent", "select", "define"];
+
 /// Tuning of the four pipeline stages.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisConfig {
@@ -306,14 +313,14 @@ impl<'a> AnalysisRequest<'a> {
 
         // Stage 1: variability filter (Eq. 4, threshold τ).
         let noise = {
-            let _s = Span::enter(obs, "noise");
+            let _s = Span::enter(obs, STAGES[0]);
             let vectors_by_event: Vec<Vec<&[f64]>> =
                 (0..names.len()).map(|e| runs.iter().map(|r| r[e].as_slice()).collect()).collect();
             analyze_noise(names, &vectors_by_event, config.tau)
         };
         let kept = noise.kept();
         obs.funnel(
-            FunnelRecord::new("noise", names.len(), kept.len())
+            FunnelRecord::new(STAGES[0], names.len(), kept.len())
                 .dropped("noisy", noise.discarded_noisy().len())
                 .dropped("zero", noise.discarded_zero().len()),
         );
@@ -341,7 +348,7 @@ impl<'a> AnalysisRequest<'a> {
             kept.iter().map(|&e| (e, names[e].clone(), mean_of(e))).collect();
         let at_represent = stats::snapshot();
         let representation = {
-            let _s = Span::enter(obs, "represent");
+            let _s = Span::enter(obs, STAGES[1]);
             represent(basis, &inputs, config.representation_threshold)?
         };
         let represent_delta = stats::snapshot().delta_since(&at_represent);
@@ -349,13 +356,13 @@ impl<'a> AnalysisRequest<'a> {
         obs.counter("represent.qr_factorizations", represent_delta.qr_factorizations);
         obs.counter("represent.spectral_norms", represent_delta.spectral_norms);
         obs.funnel(
-            FunnelRecord::new("represent", kept.len(), representation.kept.len())
+            FunnelRecord::new(STAGES[1], kept.len(), representation.kept.len())
                 .dropped("unrepresentable", representation.rejected.len()),
         );
 
         // Stage 3: specialized QRCP.
         let selection = {
-            let _s = Span::enter(obs, "select");
+            let _s = Span::enter(obs, STAGES[2]);
             select_events(&representation, config.alpha)?
         };
         // Selected events all survived the noise filter, so their means are
@@ -373,14 +380,14 @@ impl<'a> AnalysisRequest<'a> {
             })
             .collect();
         obs.funnel(
-            FunnelRecord::new("select", selection.candidates, selection.events.len())
+            FunnelRecord::new(STAGES[2], selection.candidates, selection.events.len())
                 .dropped("dependent", selection.candidates.saturating_sub(selection.events.len())),
         );
 
         // Stage 4: least-squares metric definitions.
         let at_define = stats::snapshot();
         let metrics = {
-            let _s = Span::enter(obs, "define");
+            let _s = Span::enter(obs, STAGES[3]);
             define_metrics(&selection, self.signatures, config.rounding_tol)?
         };
         let define_delta = stats::snapshot().delta_since(&at_define);
@@ -390,7 +397,7 @@ impl<'a> AnalysisRequest<'a> {
         let composable =
             metrics.iter().filter(|m| m.is_composable(config.composability_threshold)).count();
         obs.funnel(
-            FunnelRecord::new("define", self.signatures.len(), composable)
+            FunnelRecord::new(STAGES[3], self.signatures.len(), composable)
                 .dropped("non-composable", self.signatures.len().saturating_sub(composable)),
         );
 
@@ -555,8 +562,16 @@ mod tests {
         assert_eq!(trace.span_count(), 5);
         // Every funnel record reconciles: kept + dropped == in.
         let funnel = trace.funnel_records();
-        assert_eq!(funnel.len(), 4);
+        assert_eq!(funnel.len(), STAGES.len());
         assert!(funnel.iter().all(|f| f.reconciles()), "{funnel:?}");
+        // One record per stage, emitted in STAGES order under exactly the
+        // canonical labels (the registry and the diff tool key on them).
+        let stages: Vec<&str> = funnel.iter().map(|f| f.stage.as_str()).collect();
+        assert_eq!(stages, STAGES.to_vec());
+        let span_names: Vec<String> = trace.span_records().iter().map(|s| s.name.clone()).collect();
+        for stage in STAGES {
+            assert!(span_names.iter().any(|n| n == stage), "span for {stage}: {span_names:?}");
+        }
         assert_eq!(funnel[0].stage, "noise");
         assert_eq!(funnel[0].events_in, names.len());
         assert_eq!(funnel[0].kept, 5);

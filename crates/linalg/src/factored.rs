@@ -202,6 +202,7 @@ impl<'a> FactoredLstsq<'a> {
         if rhs.is_empty() {
             return Ok(Vec::new());
         }
+        // lint: allow(raw_timing): batched-solve wall time lands in the lstsq_nanos stats counter
         let start = Instant::now();
         for b in rhs {
             self.validate_rhs(b)?;

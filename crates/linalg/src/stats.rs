@@ -166,6 +166,7 @@ pub(crate) struct KernelTimer {
 
 /// Starts timing one run of `kernel`.
 pub(crate) fn time(kernel: Kernel) -> KernelTimer {
+    // lint: allow(raw_timing): feeds the relaxed-atomic kernel counters behind stats::snapshot()
     KernelTimer { kernel, start: Instant::now() }
 }
 

@@ -25,6 +25,20 @@ struct SpanNode {
     children: Vec<usize>,
 }
 
+/// One recorded span, flattened out of the trace tree — the shape the
+/// aggregation layer ([`crate::MetricsRegistry`]) folds over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name as passed to [`Observer::span_start`].
+    pub name: String,
+    /// Nesting depth at start time (roots are 0).
+    pub depth: usize,
+    /// Start stamp relative to the collector's epoch.
+    pub start_ns: u64,
+    /// Wall time, or `None` while the span is still open.
+    pub duration_ns: Option<u64>,
+}
+
 #[derive(Debug)]
 struct Inner {
     clock: Clock,
@@ -121,6 +135,21 @@ impl TraceCollector {
         self.inner.borrow().spans.len()
     }
 
+    /// All recorded spans in start order, flattened out of the tree.
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.inner
+            .borrow()
+            .spans
+            .iter()
+            .map(|s| SpanRecord {
+                name: s.name.clone(),
+                depth: s.depth,
+                start_ns: s.start_ns,
+                duration_ns: s.duration_ns,
+            })
+            .collect()
+    }
+
     /// Renders the schema-stable JSON trace:
     ///
     /// ```json
@@ -195,13 +224,15 @@ impl TraceCollector {
         if !inner.funnel.is_empty() {
             out.push_str("funnel\n");
             for rec in &inner.funnel {
-                let drops = if rec.dropped.is_empty() {
-                    String::from("-")
-                } else {
-                    let parts: Vec<String> =
-                        rec.dropped.iter().map(|(r, n)| format!("{r} {n}")).collect();
-                    parts.join(", ")
-                };
+                // Zero-count reasons stay in the JSON (a stage that *could*
+                // drop is information) but would only be noise here.
+                let parts: Vec<String> = rec
+                    .dropped
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(r, n)| format!("{r} {n}"))
+                    .collect();
+                let drops = if parts.is_empty() { String::from("-") } else { parts.join(", ") };
                 let _ = writeln!(
                     out,
                     "  {:<12} in {:>5}  kept {:>5}  dropped: {}",
@@ -325,8 +356,9 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
-/// Escapes `s` as a JSON string literal, including the quotes.
-fn json_string(s: &str) -> String {
+/// Escapes `s` as a JSON string literal, including the quotes. (Shared
+/// with the exposition and diff renderers.)
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -436,6 +468,45 @@ mod tests {
         assert!(human.contains("noisy 1"));
         assert!(human.contains("counters"));
         assert!(human.contains("solves"));
+    }
+
+    #[test]
+    fn zero_count_drop_reasons_stay_out_of_the_human_tree() {
+        let t = TraceCollector::manual();
+        t.funnel(FunnelRecord::new("select", 4, 4).dropped("dependent", 0));
+        t.funnel(FunnelRecord::new("noise", 5, 4).dropped("noisy", 1).dropped("zero", 0));
+        let human = t.render_human();
+        assert!(!human.contains("dependent"), "{human}");
+        assert!(!human.contains("zero 0"), "{human}");
+        assert!(human.contains("dropped: -"), "all-zero stage renders a dash: {human}");
+        assert!(human.contains("noisy 1"), "{human}");
+        // The JSON keeps every reason, zero counts included.
+        let json = t.render_json();
+        assert!(json.contains("\"reason\": \"dependent\", \"count\": 0"), "{json}");
+    }
+
+    #[test]
+    fn span_records_flatten_the_tree_in_start_order() {
+        let t = TraceCollector::manual();
+        {
+            let obs: &dyn Observer = &t;
+            let _root = Span::enter(obs, "root");
+            t.advance_ns(2);
+            let _child = Span::enter(obs, "child");
+            t.advance_ns(3);
+        }
+        let open = t.span_start("open");
+        let records = t.span_records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "root");
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[0].duration_ns, Some(5));
+        assert_eq!(records[1].name, "child");
+        assert_eq!(records[1].depth, 1);
+        assert_eq!(records[1].start_ns, 2);
+        assert_eq!(records[1].duration_ns, Some(3));
+        assert_eq!(records[2].duration_ns, None, "still open");
+        t.span_end(open);
     }
 
     #[test]

@@ -1,0 +1,635 @@
+//! `trace diff`: span-by-span and counter-by-counter comparison of two
+//! observability artifacts, with a configurable regression gate.
+//!
+//! A [`Snapshot`] is the common denominator the loader extracts from any
+//! of the crate's artifacts — a single trace (trace schema v1, the
+//! `--trace` output), an aggregated `metrics.v1` document (`--metrics`,
+//! `catalyze metrics`), or the bench envelope that wraps one
+//! (`BENCH_obs.json`). [`diff`] then compares baseline and candidate and
+//! produces a [`DiffReport`] with a human table, a versioned JSON delta
+//! document, and a pass/fail verdict.
+//!
+//! # Gate semantics
+//!
+//! * **Spans** regress when the candidate's duration statistic (p50 when
+//!   the artifact carries quantiles, mean otherwise) exceeds the
+//!   baseline's by more than [`DiffConfig::max_span_regression`]
+//!   (relative, default **0.25** = +25 %). Spans where both sides sit
+//!   below [`DiffConfig::min_span_ns`] are too fast to gate meaningfully
+//!   and are reported as `skipped`.
+//! * **Counters** fail when their relative change exceeds
+//!   [`DiffConfig::max_counter_delta`] in either direction (default
+//!   `+inf`, i.e. report-only; CI sets `0` because the simulated runs are
+//!   deterministic at a fixed scale). Counters whose name ends in
+//!   `nanos`/`_ns` carry wall-clock time, which is *not* deterministic, so
+//!   they are gated like spans (threshold + floor) instead of exactly.
+//! * Spans or counters present on only one side are reported (`added` /
+//!   `removed`) but never gate — scale or instrumentation changes should
+//!   be visible, not fatal.
+
+use crate::collector::json_string;
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Thresholds for the regression gate, overridable through the CLI's
+/// `--set diff.<key>=<value>` plumbing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Maximum tolerated relative span-time growth before the diff fails
+    /// (0.25 = +25 %).
+    pub max_span_regression: f64,
+    /// Noise floor in nanoseconds: spans (and timing counters) where both
+    /// sides are below this are skipped, not gated.
+    pub min_span_ns: u64,
+    /// Maximum tolerated relative change of a (non-timing) counter in
+    /// either direction; `f64::INFINITY` means report-only.
+    pub max_counter_delta: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self { max_span_regression: 0.25, min_span_ns: 0, max_counter_delta: f64::INFINITY }
+    }
+}
+
+impl DiffConfig {
+    /// Applies one `diff.<key>=<value>` override. Recognized keys:
+    /// `diff.max_span_regression`, `diff.min_span_ns`,
+    /// `diff.max_counter_delta`. Returns `false` for an unknown key.
+    pub fn set(&mut self, key: &str, value: f64) -> bool {
+        match key {
+            "diff.max_span_regression" => self.max_span_regression = value,
+            "diff.min_span_ns" => self.min_span_ns = value.max(0.0) as u64,
+            "diff.max_counter_delta" => self.max_counter_delta = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// The override keys [`DiffConfig::set`] accepts, for usage texts.
+    pub fn keys() -> [&'static str; 3] {
+        ["diff.max_span_regression", "diff.min_span_ns", "diff.max_counter_delta"]
+    }
+}
+
+/// One span's duration statistics inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStat {
+    /// Observations folded into this span.
+    pub count: u64,
+    /// Total nanoseconds across observations.
+    pub sum_ns: u64,
+    /// Median estimate, when the artifact carries quantiles.
+    pub p50_ns: Option<u64>,
+}
+
+impl SpanStat {
+    /// The statistic the gate compares: p50 when available, mean
+    /// otherwise.
+    pub fn stat_ns(&self) -> f64 {
+        match self.p50_ns {
+            Some(p) => p as f64,
+            None if self.count > 0 => self.sum_ns as f64 / self.count as f64,
+            None => 0.0,
+        }
+    }
+}
+
+/// The comparable content of one observability artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Per-span-name duration statistics.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Loads a snapshot from any supported artifact: trace schema v1,
+    /// `metrics.v1`, or an envelope object wrapping either under a
+    /// `"metrics"` or `"trace"` key.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not JSON or is JSON in
+    /// none of the supported shapes.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, String> {
+        if let Some(inner) = value.get("metrics").or_else(|| value.get("trace")) {
+            return Self::from_value(inner);
+        }
+        match value.get("schema").and_then(Value::as_str) {
+            Some("metrics.v1") => Self::from_metrics(value),
+            Some(other) => Err(format!("unsupported schema `{other}`")),
+            None if value.get("spans").is_some() => Self::from_trace(value),
+            None => Err("neither a metrics.v1 document nor a v1 trace".to_string()),
+        }
+    }
+
+    fn from_metrics(value: &Value) -> Result<Self, String> {
+        let mut snap = Snapshot::default();
+        for span in value.get("spans").and_then(Value::as_arr).unwrap_or(&[]) {
+            let name = span
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("metrics span without a name")?
+                .to_string();
+            snap.spans.insert(
+                name,
+                SpanStat {
+                    count: span.get("count").and_then(Value::as_u64).unwrap_or(0),
+                    sum_ns: span.get("sum_ns").and_then(Value::as_u64).unwrap_or(0),
+                    p50_ns: span.get("p50_ns").and_then(Value::as_u64),
+                },
+            );
+        }
+        for counter in value.get("counters").and_then(Value::as_arr).unwrap_or(&[]) {
+            let name = counter
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("metrics counter without a name")?
+                .to_string();
+            let total = counter.get("total").and_then(Value::as_u64).unwrap_or(0);
+            snap.counters.insert(name, total);
+        }
+        Ok(snap)
+    }
+
+    fn from_trace(value: &Value) -> Result<Self, String> {
+        if value.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err("trace document is not schema version 1".to_string());
+        }
+        let mut snap = Snapshot::default();
+        fn walk(spans: &[Value], snap: &mut Snapshot) -> Result<(), String> {
+            for span in spans {
+                let name =
+                    span.get("name").and_then(Value::as_str).ok_or("trace span without a name")?;
+                if let Some(d) = span.get("duration_ns").and_then(Value::as_u64) {
+                    let stat = snap.spans.entry(name.to_string()).or_insert(SpanStat {
+                        count: 0,
+                        sum_ns: 0,
+                        p50_ns: None,
+                    });
+                    stat.count += 1;
+                    stat.sum_ns = stat.sum_ns.saturating_add(d);
+                }
+                if let Some(children) = span.get("children").and_then(Value::as_arr) {
+                    walk(children, snap)?;
+                }
+            }
+            Ok(())
+        }
+        walk(value.get("spans").and_then(Value::as_arr).unwrap_or(&[]), &mut snap)?;
+        for counter in value.get("counters").and_then(Value::as_arr).unwrap_or(&[]) {
+            let name = counter
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("trace counter without a name")?
+                .to_string();
+            let total = counter.get("value").and_then(Value::as_u64).unwrap_or(0);
+            snap.counters.insert(name, total);
+        }
+        Ok(snap)
+    }
+}
+
+/// Verdict of one compared row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Within the threshold.
+    Ok,
+    /// Beyond the threshold in the slow/changed direction — gates.
+    Regressed,
+    /// Faster than baseline by more than the threshold (informational).
+    Improved,
+    /// Present only in the candidate.
+    Added,
+    /// Present only in the baseline.
+    Removed,
+    /// Below the noise floor on both sides.
+    Skipped,
+}
+
+impl RowStatus {
+    fn label(self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Regressed => "regressed",
+            RowStatus::Improved => "improved",
+            RowStatus::Added => "added",
+            RowStatus::Removed => "removed",
+            RowStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// One compared span or counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Span or counter name.
+    pub name: String,
+    /// Baseline statistic (ns for spans, total for counters); `None` when
+    /// the row is `added`.
+    pub base: Option<f64>,
+    /// Candidate statistic; `None` when the row is `removed`.
+    pub cand: Option<f64>,
+    /// Relative change `(cand - base) / base`, when both sides exist and
+    /// the baseline is nonzero.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub status: RowStatus,
+}
+
+/// The full comparison: every span row, every counter row, and the
+/// configuration that judged them.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    config: DiffConfig,
+    spans: Vec<DiffRow>,
+    counters: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Rows that regressed (spans and counters).
+    pub fn regressions(&self) -> Vec<&DiffRow> {
+        self.spans
+            .iter()
+            .chain(&self.counters)
+            .filter(|r| r.status == RowStatus::Regressed)
+            .collect()
+    }
+
+    /// True when any row regressed beyond its threshold — the CLI exit
+    /// verdict.
+    pub fn regressed(&self) -> bool {
+        !self.regressions().is_empty()
+    }
+
+    /// Span rows, sorted by name.
+    pub fn span_rows(&self) -> &[DiffRow] {
+        &self.spans
+    }
+
+    /// Counter rows, sorted by name.
+    pub fn counter_rows(&self) -> &[DiffRow] {
+        &self.counters
+    }
+
+    /// Renders the human delta table.
+    pub fn render_human(&self) -> String {
+        let mut out = String::from("trace diff\n");
+        let _ = writeln!(
+            out,
+            "  gate: span regression > {:.0}% (floor {} ns), counter delta {}",
+            self.config.max_span_regression * 100.0,
+            self.config.min_span_ns,
+            if self.config.max_counter_delta.is_finite() {
+                format!("> {:.0}%", self.config.max_counter_delta * 100.0)
+            } else {
+                "report-only".to_string()
+            }
+        );
+        out.push_str("spans\n");
+        for row in &self.spans {
+            let _ = writeln!(out, "{}", Self::row_line(row, "ns"));
+        }
+        out.push_str("counters\n");
+        for row in &self.counters {
+            let _ = writeln!(out, "{}", Self::row_line(row, ""));
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            out.push_str("verdict: PASS (no regressions)\n");
+        } else {
+            let _ = writeln!(out, "verdict: FAIL ({} regression(s))", regressions.len());
+        }
+        out
+    }
+
+    fn row_line(row: &DiffRow, unit: &str) -> String {
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{:>14}", format!("{v:.0}{unit}")),
+            None => format!("{:>14}", "-"),
+        };
+        let ratio = match row.ratio {
+            Some(r) => format!("{:>+8.1}%", r * 100.0),
+            None => format!("{:>9}", "-"),
+        };
+        format!(
+            "  {:<40} {} -> {}  {}  {}",
+            row.name,
+            fmt(row.base),
+            fmt(row.cand),
+            ratio,
+            row.status.label()
+        )
+    }
+
+    /// Renders the versioned JSON delta document (`trace-diff.v1`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"schema\": \"trace-diff.v1\",\n");
+        let _ = write!(
+            out,
+            "  \"max_span_regression\": {},\n  \"min_span_ns\": {},\n",
+            fmt_f64(self.config.max_span_regression),
+            self.config.min_span_ns
+        );
+        let _ =
+            writeln!(out, "  \"max_counter_delta\": {},", fmt_f64(self.config.max_counter_delta));
+        let _ = write!(out, "  \"regressions\": {},\n  \"spans\": [", self.regressions().len());
+        Self::render_rows(&mut out, &self.spans);
+        out.push_str("],\n  \"counters\": [");
+        Self::render_rows(&mut out, &self.counters);
+        out.push_str("]\n}\n");
+        out
+    }
+
+    fn render_rows(out: &mut String, rows: &[DiffRow]) {
+        for (i, row) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let opt = |v: Option<f64>| match v {
+                Some(v) => fmt_f64(v),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"base\": {}, \"cand\": {}, \"ratio\": {}, \
+                 \"status\": \"{}\"}}",
+                json_string(&row.name),
+                opt(row.base),
+                opt(row.cand),
+                opt(row.ratio),
+                row.status.label()
+            );
+        }
+        if !rows.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+}
+
+/// Formats an `f64` as JSON: finite values in shortest-round-trip form,
+/// infinities as the strings jq can still compare against.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // lint: allow(float_cmp): trunc() round-trips exactly for integral values
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// True when a counter carries wall-clock time (nanosecond totals), which
+/// is never deterministic and therefore gated like a span.
+fn is_timing_counter(name: &str) -> bool {
+    name.ends_with("nanos") || name.ends_with("_ns")
+}
+
+/// Judges one timed pair against the span threshold and floor.
+fn judge_timed(base: f64, cand: f64, cfg: &DiffConfig) -> (Option<f64>, RowStatus) {
+    if base < cfg.min_span_ns as f64 && cand < cfg.min_span_ns as f64 {
+        return (ratio_of(base, cand), RowStatus::Skipped);
+    }
+    let ratio = ratio_of(base, cand);
+    match ratio {
+        Some(r) if r > cfg.max_span_regression => (ratio, RowStatus::Regressed),
+        Some(r) if r < -cfg.max_span_regression => (ratio, RowStatus::Improved),
+        Some(_) => (ratio, RowStatus::Ok),
+        // Baseline of zero: any nonzero candidate is growth we cannot
+        // express as a ratio; treat appearing time as a regression only
+        // when it clears the floor.
+        // lint: allow(float_cmp): zero baseline is an exact sentinel, not a measurement
+        None if cand >= cfg.min_span_ns.max(1) as f64 && base == 0.0 => {
+            (None, RowStatus::Regressed)
+        }
+        None => (None, RowStatus::Ok),
+    }
+}
+
+fn ratio_of(base: f64, cand: f64) -> Option<f64> {
+    (base > 0.0).then(|| (cand - base) / base)
+}
+
+/// Compares two snapshots under `config`.
+pub fn diff(baseline: &Snapshot, candidate: &Snapshot, config: DiffConfig) -> DiffReport {
+    let mut spans = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        baseline.spans.keys().chain(candidate.spans.keys()).collect();
+    for name in names {
+        let row = match (baseline.spans.get(name), candidate.spans.get(name)) {
+            (Some(b), Some(c)) => {
+                let (base, cand) = (b.stat_ns(), c.stat_ns());
+                let (ratio, status) = judge_timed(base, cand, &config);
+                DiffRow { name: name.clone(), base: Some(base), cand: Some(cand), ratio, status }
+            }
+            (Some(b), None) => DiffRow {
+                name: name.clone(),
+                base: Some(b.stat_ns()),
+                cand: None,
+                ratio: None,
+                status: RowStatus::Removed,
+            },
+            (None, Some(c)) => DiffRow {
+                name: name.clone(),
+                base: None,
+                cand: Some(c.stat_ns()),
+                ratio: None,
+                status: RowStatus::Added,
+            },
+            (None, None) => continue,
+        };
+        spans.push(row);
+    }
+
+    let mut counters = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        baseline.counters.keys().chain(candidate.counters.keys()).collect();
+    for name in names {
+        let row = match (baseline.counters.get(name), candidate.counters.get(name)) {
+            (Some(&b), Some(&c)) => {
+                let (base, cand) = (b as f64, c as f64);
+                if is_timing_counter(name) {
+                    let (ratio, status) = judge_timed(base, cand, &config);
+                    DiffRow {
+                        name: name.clone(),
+                        base: Some(base),
+                        cand: Some(cand),
+                        ratio,
+                        status,
+                    }
+                } else {
+                    let ratio = ratio_of(base, cand);
+                    let status = match ratio {
+                        Some(r) if r.abs() > config.max_counter_delta => RowStatus::Regressed,
+                        Some(_) => RowStatus::Ok,
+                        None if cand > 0.0 && config.max_counter_delta.is_finite() => {
+                            RowStatus::Regressed
+                        }
+                        None => RowStatus::Ok,
+                    };
+                    DiffRow {
+                        name: name.clone(),
+                        base: Some(base),
+                        cand: Some(cand),
+                        ratio,
+                        status,
+                    }
+                }
+            }
+            (Some(&b), None) => DiffRow {
+                name: name.clone(),
+                base: Some(b as f64),
+                cand: None,
+                ratio: None,
+                status: RowStatus::Removed,
+            },
+            (None, Some(&c)) => DiffRow {
+                name: name.clone(),
+                base: None,
+                cand: Some(c as f64),
+                ratio: None,
+                status: RowStatus::Added,
+            },
+            (None, None) => continue,
+        };
+        counters.push(row);
+    }
+
+    DiffReport { config, spans, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(spans: &[(&str, u64)], counters: &[(&str, u64)]) -> Snapshot {
+        let mut s = Snapshot::default();
+        for &(name, ns) in spans {
+            s.spans.insert(name.to_string(), SpanStat { count: 1, sum_ns: ns, p50_ns: None });
+        }
+        for &(name, total) in counters {
+            s.counters.insert(name.to_string(), total);
+        }
+        s
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = snap(&[("analyze", 1000)], &[("solves", 10)]);
+        let cand = snap(&[("analyze", 1200)], &[("solves", 10)]);
+        let report = diff(&base, &cand, DiffConfig::default());
+        assert!(!report.regressed(), "{}", report.render_human());
+        assert_eq!(report.span_rows()[0].status, RowStatus::Ok);
+    }
+
+    #[test]
+    fn span_regression_beyond_threshold_fails() {
+        let base = snap(&[("analyze", 1000)], &[]);
+        let cand = snap(&[("analyze", 1300)], &[]);
+        let report = diff(&base, &cand, DiffConfig::default());
+        assert!(report.regressed());
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.render_human().contains("FAIL"), "{}", report.render_human());
+        assert!(report.render_json().contains("\"regressions\": 1"));
+    }
+
+    #[test]
+    fn improvement_and_noise_floor() {
+        let base = snap(&[("fast", 100), ("big", 10_000)], &[]);
+        let cand = snap(&[("fast", 900), ("big", 5_000)], &[]);
+        let mut cfg = DiffConfig::default();
+        assert!(cfg.set("diff.min_span_ns", 1000.0));
+        let report = diff(&base, &cand, cfg);
+        assert!(!report.regressed(), "sub-floor span skipped: {}", report.render_human());
+        assert_eq!(report.span_rows()[1].status, RowStatus::Skipped, "fast");
+        assert_eq!(report.span_rows()[0].status, RowStatus::Improved, "big");
+    }
+
+    #[test]
+    fn counter_gate_and_timing_exemption() {
+        let base = snap(&[], &[("linalg.lstsq_solves", 10), ("linalg.lstsq_nanos", 1_000_000)]);
+        let cand = snap(&[], &[("linalg.lstsq_solves", 11), ("linalg.lstsq_nanos", 9_000_000)]);
+        // The nanos counter is wall-clock time, so it is gated like a
+        // span: the default 25% threshold catches its 9x blowup even
+        // while plain counters stay report-only.
+        let default_report = diff(&base, &cand, DiffConfig::default());
+        let failed: Vec<&str> =
+            default_report.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(failed, vec!["linalg.lstsq_nanos"], "{}", default_report.render_human());
+        // Strict counters + loose span gate: now only the solve count
+        // fails; the timing counter rides the span threshold instead of
+        // the exact-delta rule.
+        let mut cfg = DiffConfig::default();
+        assert!(cfg.set("diff.max_counter_delta", 0.0));
+        assert!(cfg.set("diff.max_span_regression", 100.0));
+        let report = diff(&base, &cand, cfg);
+        let failed: Vec<&str> = report.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(failed, vec!["linalg.lstsq_solves"], "{}", report.render_human());
+    }
+
+    #[test]
+    fn added_and_removed_rows_report_but_do_not_gate() {
+        let base = snap(&[("old", 1000)], &[("gone", 5)]);
+        let cand = snap(&[("new", 1000)], &[("fresh", 5)]);
+        let mut cfg = DiffConfig::default();
+        assert!(cfg.set("diff.max_counter_delta", 0.0));
+        let report = diff(&base, &cand, cfg);
+        assert!(!report.regressed(), "{}", report.render_human());
+        let statuses: Vec<RowStatus> = report.span_rows().iter().map(|r| r.status).collect();
+        assert_eq!(statuses, vec![RowStatus::Added, RowStatus::Removed]);
+    }
+
+    #[test]
+    fn unknown_config_keys_are_rejected() {
+        let mut cfg = DiffConfig::default();
+        assert!(!cfg.set("diff.bogus", 1.0));
+        assert!(!cfg.set("tau", 1.0));
+        assert_eq!(DiffConfig::keys().len(), 3);
+    }
+
+    #[test]
+    fn loads_trace_v1_and_metrics_v1_and_envelopes() {
+        use crate::{MetricsRegistry, Observer, TraceCollector};
+        let t = TraceCollector::manual();
+        let root = t.span_start("analyze/x");
+        let child = t.span_start("noise");
+        t.advance_ns(40);
+        t.span_end(child);
+        t.advance_ns(2);
+        t.span_end(root);
+        t.counter("solves", 6);
+
+        let from_trace = Snapshot::from_json(&t.render_json()).unwrap();
+        assert_eq!(from_trace.spans["noise"].sum_ns, 40);
+        assert_eq!(from_trace.spans["analyze/x"].sum_ns, 42);
+        assert_eq!(from_trace.counters["solves"], 6);
+
+        let mut reg = MetricsRegistry::new();
+        reg.fold(&t);
+        let metrics_doc = crate::render_metrics_json(&reg);
+        let from_metrics = Snapshot::from_json(&metrics_doc).unwrap();
+        assert_eq!(from_metrics.spans["noise"].p50_ns, Some(40));
+        assert_eq!(from_metrics.counters["solves"], 6);
+
+        let envelope = format!("{{\"version\":1,\"scale\":\"fast\",\"metrics\":{metrics_doc}}}");
+        let from_envelope = Snapshot::from_json(&envelope).unwrap();
+        assert_eq!(from_envelope, from_metrics);
+
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{\"version\": 2, \"spans\": []}").is_err());
+        assert!(Snapshot::from_json("{\"schema\": \"metrics.v2\"}").is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Dependency-free renderers for a folded [`MetricsRegistry`]: a
+//! Prometheus-style text exposition and the versioned `metrics.v1` JSON
+//! document.
+//!
+//! Both renderings are deterministic — the registry keeps everything in
+//! sorted `BTreeMap`s and the histogram buckets have fixed boundaries — so
+//! a manual-clock trace renders byte-identically on every run (the golden
+//! test in `tests/golden_expo.rs` pins exactly that).
+//!
+//! The exposition format follows the Prometheus text conventions
+//! (`# HELP`/`# TYPE` headers, cumulative `_bucket{le="…"}` series with a
+//! closing `+Inf`, `_sum`/`_count` pairs) without claiming full spec
+//! compliance; empty buckets are skipped to keep the output proportional
+//! to what was actually observed.
+
+use crate::collector::json_string;
+use crate::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+fn label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a rate so the exposition stays byte-stable: fixed six decimal
+/// places, which is plenty for a `0.0..=1.0` drop rate.
+fn rate(r: f64) -> String {
+    format!("{r:.6}")
+}
+
+/// Renders the Prometheus-style text exposition of a registry: run count,
+/// per-span duration histograms, counter totals, and per-stage funnel
+/// series.
+pub fn render_exposition(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP catalyze_runs_total Trace runs folded into this registry.\n");
+    out.push_str("# TYPE catalyze_runs_total counter\n");
+    let _ = writeln!(out, "catalyze_runs_total {}", reg.runs());
+
+    if !reg.span_names().is_empty() {
+        out.push_str(
+            "# HELP catalyze_span_duration_ns Span wall-time distribution in nanoseconds.\n",
+        );
+        out.push_str("# TYPE catalyze_span_duration_ns histogram\n");
+        for (name, h) in reg.spans() {
+            let span = label_value(name);
+            for (le, cum) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "catalyze_span_duration_ns_bucket{{span=\"{span}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "catalyze_span_duration_ns_bucket{{span=\"{span}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(out, "catalyze_span_duration_ns_sum{{span=\"{span}\"}} {}", h.sum());
+            let _ =
+                writeln!(out, "catalyze_span_duration_ns_count{{span=\"{span}\"}} {}", h.count());
+        }
+    }
+
+    if reg.counters().next().is_some() {
+        out.push_str("# HELP catalyze_counter_total Observer counter totals across runs.\n");
+        out.push_str("# TYPE catalyze_counter_total counter\n");
+        for (name, total) in reg.counters() {
+            let _ =
+                writeln!(out, "catalyze_counter_total{{name=\"{}\"}} {total}", label_value(name));
+        }
+    }
+
+    if reg.funnel().next().is_some() {
+        out.push_str(
+            "# HELP catalyze_funnel_events_total Events entering and surviving each stage.\n",
+        );
+        out.push_str("# TYPE catalyze_funnel_events_total counter\n");
+        for (stage, agg) in reg.funnel() {
+            let stage = label_value(stage);
+            let _ = writeln!(
+                out,
+                "catalyze_funnel_events_total{{stage=\"{stage}\",disposition=\"in\"}} {}",
+                agg.events_in
+            );
+            let _ = writeln!(
+                out,
+                "catalyze_funnel_events_total{{stage=\"{stage}\",disposition=\"kept\"}} {}",
+                agg.kept
+            );
+        }
+        out.push_str("# HELP catalyze_funnel_dropped_total Per-reason drop totals per stage.\n");
+        out.push_str("# TYPE catalyze_funnel_dropped_total counter\n");
+        for (stage, agg) in reg.funnel() {
+            for (reason, count) in &agg.dropped {
+                let _ = writeln!(
+                    out,
+                    "catalyze_funnel_dropped_total{{stage=\"{}\",reason=\"{}\"}} {count}",
+                    label_value(stage),
+                    label_value(reason)
+                );
+            }
+        }
+        out.push_str("# HELP catalyze_funnel_drop_rate Aggregate drop rate per stage.\n");
+        out.push_str("# TYPE catalyze_funnel_drop_rate gauge\n");
+        for (stage, agg) in reg.funnel() {
+            let _ = writeln!(
+                out,
+                "catalyze_funnel_drop_rate{{stage=\"{}\"}} {}",
+                label_value(stage),
+                rate(agg.drop_rate())
+            );
+        }
+    }
+    out
+}
+
+/// Renders the versioned `metrics.v1` JSON document:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "schema": "metrics.v1",
+///   "runs": 3,
+///   "spans": [
+///     {"name": "...", "count": 3, "sum_ns": 360, "min_ns": 100,
+///      "max_ns": 140, "p50_ns": 120, "p90_ns": 140, "p99_ns": 140}
+///   ],
+///   "counters": [{"name": "...", "total": 9}],
+///   "funnel": [
+///     {"stage": "...", "records": 3, "in": 30, "kept": 24,
+///      "drop_rate": 0.200000,
+///      "dropped": [{"reason": "...", "count": 6}]}
+///   ]
+/// }
+/// ```
+///
+/// Key order is fixed and every map is sorted by name, mirroring the trace
+/// schema's conventions; quantiles carry the histogram's documented
+/// 12.5 % error bound. This is a *separate artifact* from the trace v1
+/// schema — aggregating never bumps the trace schema version.
+pub fn render_metrics_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"schema\": \"metrics.v1\",\n");
+    let _ = write!(out, "  \"runs\": {},\n  \"spans\": [", reg.runs());
+    for (i, (name, h)) in reg.spans().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+             \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+            json_string(name),
+            h.count(),
+            h.sum(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+            h.p50().unwrap_or(0),
+            h.p90().unwrap_or(0),
+            h.p99().unwrap_or(0)
+        );
+    }
+    if reg.spans().next().is_some() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"counters\": [");
+    for (i, (name, total)) in reg.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{\"name\": {}, \"total\": {total}}}", json_string(name));
+    }
+    if reg.counters().next().is_some() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"funnel\": [");
+    for (i, (stage, agg)) in reg.funnel().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"stage\": {}, \"records\": {}, \"in\": {}, \"kept\": {}, \
+             \"drop_rate\": {}, \"dropped\": [",
+            json_string(stage),
+            agg.records,
+            agg.events_in,
+            agg.kept,
+            rate(agg.drop_rate())
+        );
+        for (j, (reason, count)) in agg.dropped.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"reason\": {}, \"count\": {count}}}", json_string(reason));
+        }
+        out.push_str("]}");
+    }
+    if reg.funnel().next().is_some() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunnelRecord, Observer, TraceCollector};
+
+    fn registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for scale in [1u64, 2] {
+            let t = TraceCollector::manual();
+            let id = t.span_start("analyze/x");
+            t.advance_ns(1000 * scale);
+            t.span_end(id);
+            t.counter("solves", 5);
+            t.funnel(FunnelRecord::new("noise", 10, 8).dropped("noisy", 2).dropped("zero", 0));
+            reg.fold(&t);
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_has_all_families_and_is_deterministic() {
+        let reg = registry();
+        let expo = render_exposition(&reg);
+        assert!(expo.contains("catalyze_runs_total 2\n"), "{expo}");
+        assert!(expo.contains("# TYPE catalyze_span_duration_ns histogram"), "{expo}");
+        assert!(
+            expo.contains("catalyze_span_duration_ns_bucket{span=\"analyze/x\",le=\"+Inf\"} 2"),
+            "{expo}"
+        );
+        assert!(expo.contains("catalyze_span_duration_ns_sum{span=\"analyze/x\"} 3000"), "{expo}");
+        assert!(expo.contains("catalyze_counter_total{name=\"solves\"} 10"), "{expo}");
+        assert!(
+            expo.contains("catalyze_funnel_events_total{stage=\"noise\",disposition=\"in\"} 20"),
+            "{expo}"
+        );
+        assert!(
+            expo.contains("catalyze_funnel_dropped_total{stage=\"noise\",reason=\"noisy\"} 4"),
+            "{expo}"
+        );
+        assert!(expo.contains("catalyze_funnel_drop_rate{stage=\"noise\"} 0.200000"), "{expo}");
+        assert_eq!(expo, render_exposition(&registry()), "byte-stable");
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_count_before_inf() {
+        let reg = registry();
+        let expo = render_exposition(&reg);
+        // The last finite bucket's cumulative count equals _count.
+        let lines: Vec<&str> = expo
+            .lines()
+            .filter(|l| l.starts_with("catalyze_span_duration_ns_bucket{span=\"analyze/x\""))
+            .collect();
+        assert!(lines.len() >= 2, "{expo}");
+        assert!(lines[lines.len() - 2].ends_with(" 2"), "{lines:?}");
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let reg = registry();
+        let json = render_metrics_json(&reg);
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"schema\": \"metrics.v1\""), "{json}");
+        assert!(json.contains("\"runs\": 2"), "{json}");
+        assert!(json.contains("\"name\": \"analyze/x\", \"count\": 2, \"sum_ns\": 3000"), "{json}");
+        assert!(json.contains("\"drop_rate\": 0.200000"), "{json}");
+        assert!(json.contains("{\"reason\": \"zero\", \"count\": 0}"), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let reg = MetricsRegistry::new();
+        let expo = render_exposition(&reg);
+        assert!(expo.contains("catalyze_runs_total 0\n"), "{expo}");
+        assert!(!expo.contains("histogram"), "{expo}");
+        let json = render_metrics_json(&reg);
+        assert!(json.contains("\"spans\": [],"), "{json}");
+        assert!(json.ends_with("\"funnel\": []\n}\n"), "{json}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_value("plain"), "plain");
+        assert_eq!(label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,302 @@
+//! Log-bucketed duration histogram: fixed bucket boundaries, mergeable,
+//! with documented quantile error bounds.
+//!
+//! The bucket layout is fixed for every histogram (which is what makes two
+//! histograms mergeable by element-wise addition):
+//!
+//! * values `0..=15` land in sixteen singleton buckets — one value per
+//!   bucket, so small durations are recorded exactly;
+//! * values `>= 16` land in log₂ octaves, each split into four equal-width
+//!   linear sub-buckets: octave `k = floor(log2 v)` covers
+//!   `[2^k, 2^(k+1))` and its sub-buckets each span `2^(k-2)` values.
+//!
+//! That gives [`NUM_BUCKETS`] = 16 + 60·4 = 256 buckets covering the whole
+//! `u64` range with no configuration and no allocation growth.
+//!
+//! # Quantile error bound
+//!
+//! [`Histogram::quantile`] locates the bucket holding the requested rank
+//! and returns the bucket midpoint, clamped to the exact observed
+//! `[min, max]`. For values `< 16` the answer is exact. For values
+//! `>= 16` the true value and the estimate share a sub-bucket of width
+//! `2^(k-2)` whose lower bound is at least `2^k`, so the relative error is
+//! at most `(width/2) / lo = 2^(k-3) / 2^k` = **12.5 %**. `quantile(0.0)`
+//! and `quantile(1.0)` return the exact `min`/`max`.
+
+use std::fmt;
+
+/// Total number of buckets: 16 singletons + 60 octaves × 4 sub-buckets.
+pub const NUM_BUCKETS: usize = 256;
+
+/// Sub-buckets per octave (a power of two; controls the error bound).
+const SUBS: u64 = 4;
+
+/// First octave that uses sub-bucketing (`2^4 = 16`).
+const FIRST_OCTAVE: u32 = 4;
+
+/// Bucket index for a value, per the layout documented at module level.
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        // lint: allow(lossy_cast): v < 16 fits any usize
+        return v as usize;
+    }
+    let k = 63 - v.leading_zeros(); // floor(log2 v), >= FIRST_OCTAVE
+    let sub = (v - (1u64 << k)) >> (k - 2); // 0..SUBS
+                                            // lint: allow(lossy_cast): SUBS = 4 and sub < 4 fit any usize
+    16 + ((k - FIRST_OCTAVE) as usize) * SUBS as usize + sub as usize
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 16 {
+        return (i as u64, i as u64);
+    }
+    // lint: allow(lossy_cast): SUBS = 4 fits any usize
+    let k = FIRST_OCTAVE + ((i - 16) / SUBS as usize) as u32;
+    // lint: allow(lossy_cast): SUBS = 4 fits any usize
+    let sub = ((i - 16) % SUBS as usize) as u64;
+    let width = 1u64 << (k - 2);
+    let lo = (1u64 << k) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-boundary log-bucketed histogram of `u64` samples (span
+/// durations in nanoseconds, in this crate's use), tracking exact
+/// `count`/`sum`/`min`/`max` alongside the bucket counts.
+///
+/// Two histograms always share the same boundaries, so [`Histogram::merge`]
+/// is element-wise addition — associative, commutative, and
+/// count-preserving (see the property tests in `tests/`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: Box::new([0; NUM_BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. Saturates (rather than wraps) on `count`/`sum`
+    /// overflow.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] = self.counts[bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` (element-wise bucket addition plus
+    /// `count`/`sum`/`min`/`max` combination). Because the boundaries are
+    /// fixed, merging is associative and count-preserving.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) with the module-level error
+    /// bound: exact for samples `< 16` and within 12.5 % relative error
+    /// otherwise; `q <= 0` returns the exact minimum and `q >= 1` the
+    /// exact maximum. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        // 1-based rank of the requested sample.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let mid = lo + (hi - lo) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max) // unreachable in practice: counts sum to count
+    }
+
+    /// Estimated median (`quantile(0.5)`).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Occupied buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending bound order — the shape a Prometheus-style `_bucket{le=…}`
+    /// series wants. Empty buckets are skipped; the caller appends the
+    /// `+Inf` bucket (which equals [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum = cum.saturating_add(c);
+            out.push((bucket_bounds(i).1, cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_exhaustive_and_ordered() {
+        // Every bucket's bounds are contiguous with its neighbour's and
+        // every value maps back into its own bucket.
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi, "bucket {i}");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if i + 1 < NUM_BUCKETS {
+                let (next_lo, _) = bucket_bounds(i + 1);
+                assert_eq!(hi + 1, next_lo, "gap after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.p50(), Some(2));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 25);
+    }
+
+    #[test]
+    fn quantiles_respect_the_error_bound() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| 100 + i * 97).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1] as f64;
+            let got = h.quantile(q).unwrap() as f64;
+            assert!((got - truth).abs() / truth <= 0.125, "q={q}: got {got}, truth {truth}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [5u64, 1_000, 40_000] {
+            a.record(v);
+        }
+        for v in [2u64, 9_999_999] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(9_999_999));
+        assert_eq!(a.sum(), 5 + 1_000 + 40_000 + 2 + 9_999_999);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 17, 900, 900, 900, 1 << 40] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+}

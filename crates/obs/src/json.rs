@@ -1,0 +1,291 @@
+//! A minimal recursive-descent JSON reader, just big enough for the diff
+//! loader to consume the crate's own artifacts (trace v1, `metrics.v1`,
+//! and the bench envelopes around them).
+//!
+//! The crate stays dependency-free, so it cannot lean on `serde_json`;
+//! this parser accepts standard JSON (RFC 8259) with two deliberate
+//! simplifications: numbers are read as `f64` (the artifacts' counters and
+//! nanosecond sums fit well inside the integers `f64` represents exactly
+//! for any realistic trace), and `\uXXXX` escapes outside the BMP are
+//! accepted pair-wise without surrogate validation.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys are sorted (duplicate keys: last one
+/// wins), which is fine for reading the crate's own deterministic
+/// artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value at `key`, when `self` is an object holding it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, when `self` is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The text, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when `self` is numeric. (The artifact loaders only read
+    /// unsigned integers; this is for tests and future signed fields.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer (truncating), when `self` is
+    /// a finite non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if n.is_finite() && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected `{}` at byte {}", *c as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape `{hex}`: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar from the source text.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_crate_s_own_trace_rendering() {
+        use crate::{FunnelRecord, Observer, TraceCollector};
+        let t = TraceCollector::manual();
+        let id = t.span_start("analyze/\"quoted\"");
+        t.advance_ns(42);
+        t.span_end(id);
+        t.counter("linalg.lstsq_solves", 7);
+        t.funnel(FunnelRecord::new("noise", 3, 2).dropped("noisy", 1));
+        let parsed = parse(&t.render_json()).unwrap();
+        assert_eq!(parsed.get("version").and_then(Value::as_u64), Some(1));
+        let spans = parsed.get("spans").and_then(Value::as_arr).unwrap();
+        assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("analyze/\"quoted\""));
+        assert_eq!(spans[0].get("duration_ns").and_then(Value::as_u64), Some(42));
+        let counters = parsed.get("counters").and_then(Value::as_arr).unwrap();
+        assert_eq!(counters[0].get("total"), None);
+        assert_eq!(counters[0].get("value").and_then(Value::as_u64), Some(7));
+    }
+
+    #[test]
+    fn scalars_arrays_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e3, true, false, null, "x\nA"], "b": {}}"#).unwrap();
+        let a = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2], Value::Bool(true));
+        assert_eq!(a[3], Value::Bool(false));
+        assert_eq!(a[4], Value::Null);
+        assert_eq!(a[5].as_str(), Some("x\nA"));
+        assert_eq!(v.get("b"), Some(&Value::Obj(BTreeMap::new())));
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("12 34").is_err(), "trailing data");
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_not_u64() {
+        let v = parse("-3").unwrap();
+        assert_eq!(v.as_f64(), Some(-3.0));
+        assert_eq!(v.as_u64(), None);
+    }
+}

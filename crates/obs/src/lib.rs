@@ -41,8 +41,19 @@
 #![forbid(unsafe_code)]
 
 mod collector;
+mod diff;
+mod expo;
+mod histogram;
+mod json;
+mod registry;
+mod shared;
 
-pub use collector::TraceCollector;
+pub use collector::{SpanRecord, TraceCollector};
+pub use diff::{diff, DiffConfig, DiffReport, Snapshot};
+pub use expo::{render_exposition, render_metrics_json};
+pub use histogram::{Histogram, NUM_BUCKETS};
+pub use registry::{FunnelAggregate, MetricsRegistry};
+pub use shared::SharedObserver;
 
 /// Opaque handle to a started span, returned by [`Observer::span_start`]
 /// and consumed by [`Observer::span_end`].
@@ -79,15 +90,41 @@ impl FunnelRecord {
         self
     }
 
-    /// Total measurements dropped across all reasons.
+    /// Total measurements dropped across all reasons (saturating, so a
+    /// corrupt record cannot panic the accounting).
     pub fn total_dropped(&self) -> usize {
-        self.dropped.iter().map(|(_, n)| n).sum()
+        self.dropped.iter().fold(0usize, |acc, (_, n)| acc.saturating_add(*n))
     }
 
     /// True when `kept + dropped == events_in` — every input is accounted
-    /// for.
+    /// for. Well-defined on the edges: a zero-event stage
+    /// (`in == kept == 0`, any number of zero-count reasons) reconciles,
+    /// and an over-reporting record (`kept + dropped > events_in`, even at
+    /// the brink of `usize` overflow) is `false` rather than a panic.
     pub fn reconciles(&self) -> bool {
-        self.kept + self.total_dropped() == self.events_in
+        self.kept.checked_add(self.total_dropped()) == Some(self.events_in)
+    }
+
+    /// True when the record claims more outcomes than inputs
+    /// (`kept + dropped > events_in`) — the specific way a stage's
+    /// bookkeeping goes wrong that [`FunnelRecord::reconciles`] cannot
+    /// distinguish from under-reporting.
+    pub fn over_reported(&self) -> bool {
+        match self.kept.checked_add(self.total_dropped()) {
+            Some(total) => total > self.events_in,
+            None => true,
+        }
+    }
+
+    /// Fraction of inputs the stage discarded, in `0.0..=1.0`. A
+    /// zero-event stage has a drop rate of `0.0` (nothing entered, so
+    /// nothing was lost); the rate is capped at `1.0` for over-reporting
+    /// records.
+    pub fn drop_rate(&self) -> f64 {
+        if self.events_in == 0 {
+            return 0.0;
+        }
+        (self.total_dropped() as f64 / self.events_in as f64).min(1.0)
     }
 }
 
@@ -168,6 +205,38 @@ mod tests {
         assert!(!bad.reconciles());
         let exact = FunnelRecord::new("select", 5, 5).dropped("dependent", 0);
         assert!(exact.reconciles());
+    }
+
+    #[test]
+    fn zero_event_stages_are_well_defined() {
+        let empty = FunnelRecord::new("gpu", 0, 0);
+        assert!(empty.reconciles());
+        assert!(!empty.over_reported());
+        assert_eq!(empty.drop_rate(), 0.0);
+        let with_reasons = FunnelRecord::new("gpu", 0, 0).dropped("nan", 0).dropped("zero", 0);
+        assert!(with_reasons.reconciles());
+        assert_eq!(with_reasons.drop_rate(), 0.0);
+        // Outcomes claimed out of thin air: not reconciled, over-reported.
+        let phantom = FunnelRecord::new("gpu", 0, 1);
+        assert!(!phantom.reconciles());
+        assert!(phantom.over_reported());
+    }
+
+    #[test]
+    fn over_reporting_is_detected_without_overflow() {
+        let over = FunnelRecord::new("noise", 5, 4).dropped("noisy", 3);
+        assert!(!over.reconciles());
+        assert!(over.over_reported());
+        assert_eq!(over.drop_rate(), 0.6);
+        // kept + dropped overflows usize: still false/true, never a panic.
+        let huge = FunnelRecord::new("noise", 10, usize::MAX).dropped("noisy", usize::MAX);
+        assert!(!huge.reconciles());
+        assert!(huge.over_reported());
+        assert_eq!(huge.drop_rate(), 1.0, "capped");
+        // Under-reporting is not over-reporting.
+        let under = FunnelRecord::new("noise", 7, 5).dropped("noisy", 1);
+        assert!(!under.reconciles());
+        assert!(!under.over_reported());
     }
 
     #[test]

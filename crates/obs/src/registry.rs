@@ -1,0 +1,205 @@
+//! Aggregation across runs: fold any number of [`TraceCollector`]s into
+//! per-span duration histograms, counter totals, and per-stage funnel
+//! aggregates.
+//!
+//! One [`TraceCollector`] describes a single run; production health is a
+//! *distribution* over many. [`MetricsRegistry::fold`] walks a collector's
+//! recorded spans (closed ones contribute their wall time to a
+//! [`Histogram`] keyed by span name), sums its counters, and accumulates
+//! its funnel records by stage, so repeated runs — a `--repeat N` sweep, a
+//! CI matrix, a long-lived service — collapse into one scrape-able view
+//! (see [`crate::render_exposition`] and [`crate::render_metrics_json`]).
+
+use crate::histogram::Histogram;
+use crate::{FunnelRecord, TraceCollector};
+use std::collections::BTreeMap;
+
+/// Per-stage funnel totals across every folded run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunnelAggregate {
+    /// Number of [`FunnelRecord`]s folded for this stage.
+    pub records: u64,
+    /// Total measurements entering the stage across runs.
+    pub events_in: u64,
+    /// Total measurements surviving the stage across runs.
+    pub kept: u64,
+    /// Per-reason drop totals, sorted by reason.
+    pub dropped: BTreeMap<String, u64>,
+}
+
+impl FunnelAggregate {
+    fn fold(&mut self, rec: &FunnelRecord) {
+        self.records = self.records.saturating_add(1);
+        self.events_in = self.events_in.saturating_add(rec.events_in as u64);
+        self.kept = self.kept.saturating_add(rec.kept as u64);
+        for (reason, count) in &rec.dropped {
+            let slot = self.dropped.entry(reason.clone()).or_insert(0);
+            *slot = slot.saturating_add(*count as u64);
+        }
+    }
+
+    /// Total drops across all reasons.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().fold(0u64, |acc, &n| acc.saturating_add(n))
+    }
+
+    /// Aggregate drop rate in `0.0..=1.0`; `0.0` when no events entered
+    /// (same zero-event semantics as [`FunnelRecord::drop_rate`]).
+    pub fn drop_rate(&self) -> f64 {
+        if self.events_in == 0 {
+            return 0.0;
+        }
+        (self.total_dropped() as f64 / self.events_in as f64).min(1.0)
+    }
+}
+
+/// Folds [`TraceCollector`] runs into aggregate metrics: span-duration
+/// histograms, counter totals, and funnel aggregates, all keyed by name in
+/// sorted order so every rendering of the registry is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    runs: u64,
+    spans: BTreeMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+    funnel: BTreeMap<String, FunnelAggregate>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run into the registry. Closed spans contribute their wall
+    /// time to the histogram keyed by their name; spans still open when
+    /// the collector is folded have no duration and are skipped.
+    pub fn fold(&mut self, trace: &TraceCollector) {
+        self.runs = self.runs.saturating_add(1);
+        for span in trace.span_records() {
+            if let Some(d) = span.duration_ns {
+                self.spans.entry(span.name).or_default().record(d);
+            }
+        }
+        for (name, value) in trace.counters() {
+            let slot = self.counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(value);
+        }
+        for rec in trace.funnel_records() {
+            self.funnel.entry(rec.stage.clone()).or_default().fold(&rec);
+        }
+    }
+
+    /// Number of runs folded so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Span names with at least one closed observation, sorted.
+    pub fn span_names(&self) -> Vec<&str> {
+        self.spans.keys().map(String::as_str).collect()
+    }
+
+    /// The duration histogram of one span name, if observed.
+    pub fn histogram(&self, span: &str) -> Option<&Histogram> {
+        self.spans.get(span)
+    }
+
+    /// All span histograms, sorted by name.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total of one counter across every folded run.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// All counter totals, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// One stage's funnel aggregate, if observed.
+    pub fn funnel_stage(&self, stage: &str) -> Option<&FunnelAggregate> {
+        self.funnel.get(stage)
+    }
+
+    /// All funnel aggregates, sorted by stage name.
+    pub fn funnel(&self) -> impl Iterator<Item = (&str, &FunnelAggregate)> {
+        self.funnel.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been folded.
+    pub fn is_empty(&self) -> bool {
+        self.runs == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Observer, Span};
+
+    fn one_run(scale: u64) -> TraceCollector {
+        let t = TraceCollector::manual();
+        {
+            let obs: &dyn Observer = &t;
+            let _root = Span::enter(obs, "analyze/demo");
+            {
+                let _s = Span::enter(obs, "noise");
+                t.advance_ns(100 * scale);
+            }
+            obs.counter("solves", 3);
+            obs.funnel(FunnelRecord::new("noise", 10, 8).dropped("noisy", 2));
+            t.advance_ns(7);
+        }
+        t
+    }
+
+    #[test]
+    fn folding_accumulates_spans_counters_and_funnel() {
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.fold(&one_run(1));
+        reg.fold(&one_run(3));
+        assert_eq!(reg.runs(), 2);
+        assert_eq!(reg.span_names(), vec!["analyze/demo", "noise"]);
+        let noise = reg.histogram("noise").unwrap();
+        assert_eq!(noise.count(), 2);
+        assert_eq!(noise.min(), Some(100));
+        assert_eq!(noise.max(), Some(300));
+        assert_eq!(reg.counter_total("solves"), Some(6));
+        let f = reg.funnel_stage("noise").unwrap();
+        assert_eq!(f.records, 2);
+        assert_eq!(f.events_in, 20);
+        assert_eq!(f.kept, 16);
+        assert_eq!(f.dropped.get("noisy"), Some(&4));
+        assert_eq!(f.drop_rate(), 0.2);
+    }
+
+    #[test]
+    fn open_spans_are_skipped() {
+        let t = TraceCollector::manual();
+        let _open = t.span_start("open");
+        t.advance_ns(5);
+        let mut reg = MetricsRegistry::new();
+        reg.fold(&t);
+        assert_eq!(reg.runs(), 1);
+        assert!(reg.histogram("open").is_none(), "open span has no duration to record");
+    }
+
+    #[test]
+    fn same_name_spans_in_one_run_all_count() {
+        let t = TraceCollector::manual();
+        for ns in [10u64, 20, 30] {
+            let id = t.span_start("kernel");
+            t.advance_ns(ns);
+            t.span_end(id);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.fold(&t);
+        let h = reg.histogram("kernel").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+    }
+}

@@ -1,0 +1,138 @@
+//! [`SharedObserver`]: a thread-safe wrapper that lets one
+//! [`TraceCollector`] receive events from rayon-parallel sections.
+//!
+//! [`TraceCollector`] is deliberately `!Sync` — it records through a
+//! `RefCell` so the single-threaded hot path pays no synchronization.
+//! Parallel sections therefore cannot share `&TraceCollector` directly.
+//! [`SharedObserver`] closes that gap by serializing every [`Observer`]
+//! call through a `Mutex`.
+//!
+//! # When to use which
+//!
+//! * **`SharedObserver`** when you need the *full* event stream — spans,
+//!   counters, and funnel records — from inside a parallel region, and can
+//!   afford a lock per event. Span nesting under contention reflects
+//!   arrival order at the lock, so prefer recording spans around the
+//!   parallel region and only counters/funnels inside it.
+//! * **`catalyze_linalg`'s relaxed-atomic `stats_snapshot()`** when you
+//!   only need monotonic counters from a hot parallel loop. Relaxed
+//!   atomics cost a few nanoseconds and never serialize the workers, but
+//!   they cannot carry spans or structured funnel records.
+
+use crate::{FunnelRecord, Observer, SpanId, TraceCollector};
+use std::sync::Mutex;
+
+/// A `Sync` adapter around [`TraceCollector`] for parallel sections: every
+/// [`Observer`] method takes the internal mutex, forwards to the wrapped
+/// collector, and releases it.
+///
+/// A panic while the lock is held (e.g. a worker thread dying mid-record)
+/// poisons the mutex; `SharedObserver` recovers the inner collector anyway
+/// — a partially recorded trace is still worth rendering.
+#[derive(Debug, Default)]
+pub struct SharedObserver {
+    inner: Mutex<TraceCollector>,
+}
+
+impl SharedObserver {
+    /// Wraps a collector for shared use.
+    pub fn new(collector: TraceCollector) -> Self {
+        Self { inner: Mutex::new(collector) }
+    }
+
+    /// Runs `f` with the wrapped collector while holding the lock — for
+    /// mid-flight reads like rendering a progress snapshot.
+    pub fn with<R>(&self, f: impl FnOnce(&TraceCollector) -> R) -> R {
+        f(&self.lock())
+    }
+
+    /// Unwraps the collector once the parallel section is done.
+    pub fn into_inner(self) -> TraceCollector {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceCollector> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Observer for SharedObserver {
+    fn span_start(&self, name: &str) -> SpanId {
+        self.lock().span_start(name)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        self.lock().span_end(id)
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.lock().counter(name, delta)
+    }
+
+    fn funnel(&self, record: FunnelRecord) {
+        self.lock().funnel(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn is_sync_and_usable_as_dyn_observer() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SharedObserver>();
+        let shared = SharedObserver::new(TraceCollector::manual());
+        let obs: &dyn Observer = &shared;
+        let id = obs.span_start("parallel");
+        obs.counter("work_items", 2);
+        obs.span_end(id);
+        let trace = shared.into_inner();
+        assert_eq!(trace.counters(), vec![("work_items".to_string(), 2)]);
+    }
+
+    #[test]
+    fn concurrent_counters_all_land() {
+        let shared = Arc::new(SharedObserver::new(TraceCollector::new()));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        shared.counter("hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let shared = Arc::try_unwrap(shared).expect("all workers joined");
+        let trace = shared.into_inner();
+        assert_eq!(trace.counters(), vec![("hits".to_string(), 1000)]);
+    }
+
+    #[test]
+    fn with_reads_mid_flight() {
+        let shared = SharedObserver::new(TraceCollector::manual());
+        shared.counter("seen", 5);
+        let total = shared.with(|t| t.counters().iter().map(|(_, v)| *v).sum::<u64>());
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn poisoned_lock_still_yields_the_trace() {
+        let shared = Arc::new(SharedObserver::new(TraceCollector::manual()));
+        shared.counter("before_panic", 1);
+        let clone = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            clone.with(|_| panic!("worker dies holding the lock"));
+        })
+        .join();
+        // The mutex is now poisoned; recording and unwrapping still work.
+        shared.counter("after_panic", 1);
+        let trace = Arc::try_unwrap(shared).expect("worker joined").into_inner();
+        assert_eq!(trace.counters().len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Golden-file test for the Prometheus-style exposition format: a
+//! deterministic registry built on the manual clock must render
+//! byte-for-byte what `tests/golden_expo.txt` pins. Any format drift —
+//! metric naming, label quoting, bucket bounds, line order — fails here
+//! first, before a scraper or the CI jq gate sees it.
+//!
+//! To regenerate the golden file after an *intentional* format change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p catalyze-obs --test golden_expo
+//! ```
+
+use catalyze_obs::{FunnelRecord, MetricsRegistry, Observer, Span, TraceCollector};
+
+/// One deterministic pipeline-shaped run: a root span, two stage children
+/// with distinct durations, a funnel with drops, and counters.
+fn reference_run(base_ns: u64) -> TraceCollector {
+    let t = TraceCollector::manual();
+    {
+        let obs: &dyn Observer = &t;
+        let _root = Span::enter(obs, "analyze/golden");
+        {
+            let _noise = Span::enter(obs, "noise");
+            t.advance_ns(base_ns);
+        }
+        obs.funnel(FunnelRecord::new("noise", 12, 9).dropped("noisy", 2).dropped("zero", 1));
+        {
+            let _represent = Span::enter(obs, "represent");
+            t.advance_ns(base_ns * 3);
+            obs.counter("represent.lstsq_solves", 9);
+        }
+        obs.funnel(FunnelRecord::new("represent", 9, 7).dropped("unrepresentable", 2));
+        obs.counter("linalg.lstsq_solves", 16);
+    }
+    t
+}
+
+/// Two runs with different timings folded into one registry, so the
+/// golden file exercises multi-run aggregation, not just a single trace.
+fn reference_registry() -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.fold(&reference_run(100));
+    reg.fold(&reference_run(700));
+    reg
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let expo = catalyze_obs::render_exposition(&reference_registry());
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_expo.txt");
+        std::fs::write(path, &expo).unwrap();
+        return;
+    }
+    let expected = include_str!("golden_expo.txt");
+    assert_eq!(
+        expo, expected,
+        "exposition format drifted from tests/golden_expo.txt; \
+         regenerate with GOLDEN_REGEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn reference_registry_is_well_formed() {
+    let reg = reference_registry();
+    assert_eq!(reg.runs(), 2);
+    // Every span from the reference runs aggregates with two samples.
+    for name in ["analyze/golden", "noise", "represent"] {
+        let h = reg.histogram(name).unwrap_or_else(|| panic!("missing span {name}"));
+        assert_eq!(h.count(), 2);
+    }
+    assert_eq!(reg.counter_total("linalg.lstsq_solves"), Some(32));
+    let noise = reg.funnel_stage("noise").expect("noise stage aggregated");
+    assert_eq!(noise.records, 2);
+    assert_eq!(noise.events_in, 24);
+    assert_eq!(noise.kept, 18);
+}

@@ -1,0 +1,137 @@
+//! Property tests for the log-bucketed [`Histogram`]: merging two
+//! histograms must be indistinguishable from recording every sample into
+//! one, merge order must not matter, and quantile estimates must honour
+//! the documented error bound — exact below 16, within 12.5 % relative
+//! error at or above it.
+
+use catalyze_obs::Histogram;
+use proptest::prelude::*;
+
+/// Records every sample of `vals` into a fresh histogram.
+fn hist(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+/// Observable fingerprint of a histogram: everything a caller can read.
+/// Two histograms with equal fingerprints are interchangeable.
+type Fingerprint = (u64, u64, Option<u64>, Option<u64>, Vec<(u64, u64)>);
+
+fn fingerprint(h: &Histogram) -> Fingerprint {
+    (h.count(), h.sum(), h.min(), h.max(), h.cumulative_buckets())
+}
+
+/// The exact `q`-quantile of `vals` under the histogram's rank rule:
+/// 1-based rank `ceil(q * n)` clamped to `1..=n`, over the sorted samples.
+fn exact_quantile(vals: &[u64], q: f64) -> u64 {
+    let mut sorted = vals.to_vec();
+    sorted.sort_unstable();
+    if q <= 0.0 {
+        return sorted[0];
+    }
+    if q >= 1.0 {
+        return *sorted.last().unwrap();
+    }
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning the singleton range, several octaves, and large
+/// magnitudes where bucket widths are widest.
+fn sample() -> impl Strategy<Value = u64> {
+    (0usize..4).prop_flat_map(|band| match band {
+        0 => 0u64..16,
+        1 => 16u64..4096,
+        2 => 4096u64..1_000_000,
+        _ => 1_000_000u64..(1u64 << 40),
+    })
+}
+
+fn samples(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(sample(), 0..max)
+}
+
+proptest! {
+    /// Merging `hist(a)` with `hist(b)` must equal `hist(a ++ b)` on every
+    /// observable surface — count, sum, min, max, and the full cumulative
+    /// bucket series.
+    #[test]
+    fn merge_matches_bulk_recording(a in samples(150), b in samples(150)) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(fingerprint(&merged), fingerprint(&hist(&both)));
+    }
+
+    /// Merge is associative and commutative: folding three shards in any
+    /// grouping or order yields the same histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(80),
+        b in samples(80),
+        c in samples(80),
+    ) {
+        // (a + b) + c
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+        // a + (b + c)
+        let mut right_inner = hist(&b);
+        right_inner.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&right_inner);
+        // c + b + a
+        let mut reversed = hist(&c);
+        reversed.merge(&hist(&b));
+        reversed.merge(&hist(&a));
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+        prop_assert_eq!(fingerprint(&left), fingerprint(&reversed));
+    }
+
+    /// Quantile estimates stay within the documented bound relative to the
+    /// exact rank statistic: equal below 16 (singleton buckets), and within
+    /// 12.5 % of the true value at or above 16 (bucket width is at most a
+    /// quarter of the bucket's base, so the midpoint is off by at most an
+    /// eighth).
+    #[test]
+    fn quantile_error_is_bounded(
+        vals in proptest::collection::vec(sample(), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&vals);
+        let est = h.quantile(q).expect("non-empty histogram");
+        let truth = exact_quantile(&vals, q);
+        if truth < 16 {
+            prop_assert_eq!(est, truth, "singleton buckets must be exact");
+        } else {
+            let err = est.abs_diff(truth);
+            // err <= truth / 8, in integer arithmetic.
+            prop_assert!(
+                err * 8 <= truth,
+                "quantile({}) = {} drifted more than 12.5% from exact {}",
+                q, est, truth
+            );
+        }
+    }
+
+    /// The extreme quantiles are always exact, and estimates never leave
+    /// the observed value range.
+    #[test]
+    fn quantiles_are_clamped_to_observed_range(
+        vals in proptest::collection::vec(sample(), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist(&vals);
+        let min = *vals.iter().min().unwrap();
+        let max = *vals.iter().max().unwrap();
+        prop_assert_eq!(h.quantile(0.0).unwrap(), min);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), max);
+        let est = h.quantile(q).unwrap();
+        prop_assert!(est >= min && est <= max);
+    }
+}

@@ -38,3 +38,8 @@ pub fn suppressed_is_silent(v: &[u32]) -> u32 {
     // lint: allow(panic): fixture exercises a used annotation
     *v.first().expect("non-empty by contract")
 }
+
+pub fn r007_raw_timing() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

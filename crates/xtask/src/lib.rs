@@ -19,6 +19,7 @@
 //! | R004 | stale `// lint: allow(…)` annotation that suppresses nothing |
 //! | R005 | lossy numeric `as` cast (`f64→f32`, float→int, `u64→usize`/narrower) without a `lossy_cast` annotation |
 //! | R006 | `HashMap`/`HashSet` iteration feeding rendered output without a `nondet_iter` annotation |
+//! | R007 | raw `Instant::now()` outside `crates/obs/` without a `raw_timing` annotation |
 //!
 //! Annotations are `// lint: allow(<kind>): <reason>` with a mandatory
 //! reason, on the flagged line or the line above. Test items

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `lint` runs the token-level rule engine (see the `xtask` library crate
-//! docs for the R001–R006 rule table) over every workspace crate and
+//! docs for the R001–R007 rule table) over every workspace crate and
 //! reports findings as the same structured `Diagnostic`s `catalyze check`
 //! emits. Exit codes: `0` clean, `1` any error-severity finding, `2`
 //! usage error. Unknown arguments are rejected — `--format` must be

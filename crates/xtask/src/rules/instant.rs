@@ -1,0 +1,112 @@
+//! R007 — raw `Instant::now()` outside the observability crate.
+//!
+//! Wall-clock reads scattered through library code bypass the repository's
+//! instrumentation layer: they cannot be aggregated by the metrics
+//! registry, they make functions untestable against the manual clock, and
+//! they tempt ad-hoc `println!` timing that drifts out of the artifacts CI
+//! gates on. Timing belongs in `catalyze-obs` (spans, `TraceCollector`) or
+//! behind one of the few audited counters.
+//!
+//! The rule fires on the token sequence `Instant :: now (` anywhere
+//! outside `crates/obs/` (which *is* the clock abstraction) and outside
+//! test code. Justified sites — the relaxed-atomic kernel timers feeding
+//! `stats::snapshot()`, the benchmark harness's best-of loop — carry a
+//! `// lint: allow(raw_timing): <reason>` annotation.
+
+use super::{FileContext, Finding};
+
+/// Scans one file. Suppression kind: `raw_timing`.
+pub fn check(ctx: &FileContext<'_>) -> Vec<Finding> {
+    if ctx.rel.starts_with("crates/obs/") {
+        return Vec::new(); // the clock abstraction itself
+    }
+    let mut out = Vec::new();
+    for c in 0..ctx.code.len() {
+        if ctx.code_in_test(c) {
+            continue;
+        }
+        if ctx.code_text(c) == "Instant"
+            && ctx.code_text(c + 1) == "::"
+            && ctx.code_text(c + 2) == "now"
+            && ctx.code_text(c + 3) == "("
+        {
+            out.push(Finding {
+                kind: "raw_timing",
+                diag: ctx
+                    .diagnostic_at(
+                        c,
+                        "R007",
+                        "raw Instant::now() outside crates/obs bypasses the \
+                         observability layer",
+                    )
+                    .with_suggestion(
+                        "time the section with a catalyze-obs span (or counter) so it \
+                         aggregates and diffs, or annotate with \
+                         `// lint: allow(raw_timing): <reason>`",
+                    ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(rel: &str, src: &str) -> Vec<String> {
+        lint_source(rel, src, FileRole::Library).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn raw_now_is_flagged_in_library_and_binary_code() {
+        let src = "use std::time::Instant;\n\
+                   fn f() -> u128 {\n\
+                   let start = Instant::now();\n\
+                   start.elapsed().as_nanos()\n}";
+        assert_eq!(rules("crates/x/src/a.rs", src), vec!["R007"]);
+        // Binaries are not exempt: ad-hoc timing in `repro` would still
+        // drift from the gated artifacts.
+        let bin: Vec<String> = lint_source("crates/x/src/bin/tool.rs", src, FileRole::Binary)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(bin, vec!["R007"]);
+        // Fully qualified paths still end in the same token sequence.
+        let qualified = "fn f() -> std::time::Instant {\n\
+                         std::time::Instant::now()\n}";
+        assert_eq!(rules("crates/x/src/a.rs", qualified), vec!["R007"]);
+    }
+
+    #[test]
+    fn obs_crate_and_tests_are_exempt() {
+        let src = "use std::time::Instant;\n\
+                   fn f() -> Instant {\n\
+                   Instant::now()\n}";
+        assert!(rules("crates/obs/src/collector.rs", src).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n\
+                         #[test]\nfn t() {\n\
+                         let _ = std::time::Instant::now();\n}\n}";
+        assert!(rules("crates/x/src/a.rs", test_code).is_empty());
+    }
+
+    #[test]
+    fn other_instant_uses_pass() {
+        // Mentioning the type, storing one, or calling elapsed is fine —
+        // only the raw clock read fires.
+        let src = "use std::time::Instant;\n\
+                   pub fn since(epoch: Instant) -> u128 {\n\
+                   epoch.elapsed().as_nanos()\n}";
+        assert!(rules("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = "use std::time::Instant;\n\
+                   fn f() -> u128 {\n\
+                   // lint: allow(raw_timing): feeds the relaxed-atomic kernel counters\n\
+                   let start = Instant::now();\n\
+                   start.elapsed().as_nanos()\n}";
+        assert!(rules("crates/x/src/a.rs", src).is_empty());
+    }
+}

@@ -28,6 +28,7 @@ pub mod casts;
 pub mod floatcmp;
 pub mod header;
 mod inference;
+pub mod instant;
 pub mod nondet;
 pub mod stale;
 
@@ -199,6 +200,7 @@ pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
     }
     findings.extend(floatcmp::check(&ctx));
     findings.extend(nondet::check(&ctx));
+    findings.extend(instant::check(&ctx));
 
     let mut out = Vec::new();
     for f in findings {

@@ -80,6 +80,7 @@ fn findings_fixture_reports_every_rule_with_spans() {
             ("R005".into(), 21),
             ("R006".into(), 26),
             ("R004".into(), 33),
+            ("R007".into(), 43),
         ],
         "full diagnostics: {:#?}",
         diags.iter().map(|d| format!("{} {}", d.rule, d.location)).collect::<Vec<_>>()
