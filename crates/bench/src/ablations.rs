@@ -17,6 +17,7 @@ use catalyze_linalg::{qrcp, specialized_qrcp, SpQrcpParams};
 
 /// Outcome of the pivot-rule ablation on one domain.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): returned by the ablation API; fields are read by the repro binary via Debug/serde-style dumps
 pub struct PivotAblation {
     /// Events chosen by the paper's specialized scheme, in pivot order.
     pub specialized: Vec<String>,
@@ -60,6 +61,7 @@ pub fn pivot_rule_ablation(domain: &DomainResult) -> PivotAblation {
 
 /// One row of the α-sensitivity sweep.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): row type returned by alpha_sweep; part of the ablation result surface
 pub struct AlphaRow {
     /// The tolerance value.
     pub alpha: f64,
@@ -95,6 +97,7 @@ pub fn alpha_sweep(
 
 /// One row of the τ-sensitivity sweep.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): row type returned by tau_sweep; part of the ablation result surface
 pub struct TauRow {
     /// The threshold value.
     pub tau: f64,
@@ -127,6 +130,7 @@ pub fn tau_sweep(domain: &DomainResult, values: &[f64]) -> Vec<TauRow> {
 
 /// Outcome of the per-thread-median ablation.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): returned by median_ablation, which the repro binary calls
 pub struct MedianAblation {
     /// Max-RNMSE of the key cache events using a single thread's readings.
     pub single_thread: Vec<(String, f64)>,
@@ -165,6 +169,7 @@ pub fn median_ablation(h: &Harness) -> MedianAblation {
 /// # Errors
 ///
 /// Propagates analysis failures from the pipeline's linear-algebra stages.
+// lint: allow(dead_api): ablation entry point kept for table reproduction alongside median_ablation
 pub fn dcache_without_median(
     h: &Harness,
 ) -> Result<catalyze::AnalysisReport, catalyze::AnalysisError> {

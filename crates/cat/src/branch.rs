@@ -215,7 +215,7 @@ pub fn point_labels() -> Vec<String> {
 }
 
 /// Iterations per kernel measurement.
-pub const ITERATIONS: u64 = 8192;
+pub(crate) const ITERATIONS: u64 = 8192;
 
 #[cfg(test)]
 mod tests {

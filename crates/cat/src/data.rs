@@ -25,6 +25,7 @@ pub struct MeasurementSet {
 
 /// Error for malformed measurement sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead_api): error type of MeasurementSet::validate; callers must be able to name it
 pub struct ShapeError(pub String);
 
 impl fmt::Display for ShapeError {

@@ -153,7 +153,7 @@ pub const WARMUP_PASSES: u64 = 2;
 /// Measured passes.
 pub const MEASURE_PASSES: u64 = 2;
 /// Concurrent chasing threads (disjoint buffers).
-pub const THREADS: usize = 4;
+pub(crate) const THREADS: usize = 4;
 
 #[cfg(test)]
 mod tests {

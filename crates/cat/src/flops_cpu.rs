@@ -65,6 +65,7 @@ impl FlopsKernel {
 
     /// Builds the program for one of the three loops.
     pub fn program(&self, loop_index: usize, trips: u64) -> Program {
+        // lint: allow(reachable_panic): the runner only passes loop indices 0..3
         let n = self.loop_sizes()[loop_index];
         let mut block = Block::new();
         for slot in 0..n {

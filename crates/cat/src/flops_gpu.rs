@@ -44,6 +44,7 @@ impl GpuFlopsKernel {
             name: self.symbol(),
             op: self.op,
             prec: self.prec,
+            // lint: allow(reachable_panic): the runner sweeps size_index over 0..SIZES.len()
             instructions: SIZES[size_index],
             wavefronts,
         }
@@ -54,7 +55,7 @@ impl GpuFlopsKernel {
 pub const SIZES: [u64; 3] = [256, 512, 1024];
 
 /// Wavefronts dispatched per kernel launch.
-pub const WAVEFRONTS: u64 = 880;
+pub(crate) const WAVEFRONTS: u64 = 880;
 
 /// The fifteen kernels in expectation-basis order:
 /// `AH, AS, AD, SH, SS, SD, MH, MS, MD, SQH, SQS, SQD, FH, FS, FD`

@@ -27,7 +27,7 @@ pub mod dstore;
 pub mod dtlb;
 pub mod flops_cpu;
 pub mod flops_gpu;
-pub mod runner;
+pub(crate) mod runner;
 pub mod validate;
 
 pub use data::MeasurementSet;

@@ -278,7 +278,7 @@ pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
             for p in 0..first.num_points() {
                 let vals: Vec<f64> = threads.iter().map(|t| t.runs[r][e][p]).collect();
                 out.runs[r][e][p] =
-                    // lint: allow(panic): per-thread runs always produce at least one sample
+                    // lint: allow(panic, reachable_panic): per-thread runs always produce at least one sample
                     catalyze_linalg::vector::median(&vals).expect("non-empty thread set");
             }
         }
@@ -328,6 +328,7 @@ pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -
 }
 
 /// Runs the store-path (write) cache benchmark (extension domain).
+// lint: allow(dead_api): sync runner kept for parity with run_dtlb and the *_obs variants
 pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_dstore_obs(set, cfg, &NoopObserver)
 }

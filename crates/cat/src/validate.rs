@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// Result of validating one metric definition on a workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): re-exported result type of validate_presets; fields are the CLI's report surface
 pub struct ValidationOutcome {
     /// Metric name.
     pub metric: String,
@@ -149,7 +150,7 @@ pub fn validate_presets(
 
 /// Builds a mixed GPU validation workload: several kernels of different
 /// classes and precisions launched back to back on one device.
-pub fn gpu_validation_workload(seed: u64) -> Vec<catalyze_sim::GpuKernel> {
+pub(crate) fn gpu_validation_workload(seed: u64) -> Vec<catalyze_sim::GpuKernel> {
     let mut rng = StdRng::seed_from_u64(seed);
     let ops = [FpKind::Add, FpKind::Sub, FpKind::Mul, FpKind::Sqrt, FpKind::Fma];
     // Coverage floor: every precision sees an Add and an Fma kernel, so all
@@ -184,7 +185,7 @@ pub fn gpu_validation_workload(seed: u64) -> Vec<catalyze_sim::GpuKernel> {
 
 /// Ground truth for the GPU metric names, per-instruction granularity with
 /// FMA counted as two operations (the convention the signatures encode).
-pub fn gpu_ground_truth(metric: &str, stats: &catalyze_sim::GpuStats) -> Option<f64> {
+pub(crate) fn gpu_ground_truth(metric: &str, stats: &catalyze_sim::GpuStats) -> Option<f64> {
     let prec_index = |p: char| match p {
         'H' => 0usize,
         'S' => 1,

@@ -19,10 +19,10 @@ use catalyze_linalg::singular_values;
 
 /// Condition-number ceiling above which B008 fires. Least squares in f64
 /// loses roughly `log10(cond)` digits; 1e8 leaves half the mantissa.
-pub const CONDITION_LIMIT: f64 = 1e8;
+pub(crate) const CONDITION_LIMIT: f64 = 1e8;
 
 /// Relative tolerance for the SVD rank decision in B007.
-pub const RANK_REL_TOL: f64 = 1e-10;
+pub(crate) const RANK_REL_TOL: f64 = 1e-10;
 
 /// Validates one expectation basis. `name` labels the diagnostics;
 /// `expected_rows` is the measurement-point count declared by the

@@ -22,7 +22,7 @@ use crate::diag::{Diagnostic, Severity};
 use catalyze::pipeline::AnalysisConfig;
 
 /// Inclusive upper bound of the validated threshold regime.
-pub const THRESHOLD_MAX: f64 = 0.5;
+pub(crate) const THRESHOLD_MAX: f64 = 0.5;
 
 fn in_range(v: f64) -> bool {
     v > 0.0 && v <= THRESHOLD_MAX

@@ -170,6 +170,102 @@ impl Report {
         out
     }
 
+    /// SARIF 2.1.0 rendering — the static-analysis interchange format
+    /// consumed by code-scanning UIs. One run, one driver named
+    /// `tool_name`, one `results` entry per diagnostic. Findings with a
+    /// [`Span`] carry a `physicalLocation` (the file part of the location
+    /// string plus a region with line/column and byte offsets); span-less
+    /// findings (data validation) carry a `logicalLocations` entry with
+    /// the human-oriented location text instead.
+    pub fn render_sarif(&self, tool_name: &str) -> String {
+        use serde_json::Value;
+        let s = |t: &str| Value::Str(t.to_string());
+        let n = |v: usize| Value::U64(v as u64);
+        let obj = |pairs: Vec<(&str, Value)>| {
+            Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+
+        let mut rule_ids: Vec<&str> = Vec::new();
+        let mut results = Vec::new();
+        for d in &self.diagnostics {
+            if !rule_ids.contains(&d.rule.as_str()) {
+                rule_ids.push(&d.rule);
+            }
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Note => "note",
+            };
+            let mut message = d.message.clone();
+            if let Some(sugg) = &d.suggestion {
+                message.push_str("\nhelp: ");
+                message.push_str(sugg);
+            }
+            let location = match d.span {
+                Some(span) => {
+                    // `path:line:col` — strip the positional suffix to get
+                    // the artifact URI.
+                    let uri = d
+                        .location
+                        .strip_suffix(&format!(":{}:{}", span.line, span.column))
+                        .unwrap_or(&d.location);
+                    obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            ("artifactLocation", obj(vec![("uri", s(uri))])),
+                            (
+                                "region",
+                                obj(vec![
+                                    ("startLine", n(span.line)),
+                                    ("startColumn", n(span.column)),
+                                    ("charOffset", n(span.start)),
+                                    ("charLength", n(span.end.saturating_sub(span.start))),
+                                ]),
+                            ),
+                        ]),
+                    )])
+                }
+                None => obj(vec![(
+                    "logicalLocations",
+                    Value::Array(vec![obj(vec![("fullyQualifiedName", s(&d.location))])]),
+                )]),
+            };
+            results.push(obj(vec![
+                ("ruleId", s(&d.rule)),
+                ("level", s(level)),
+                ("message", obj(vec![("text", s(&message))])),
+                ("locations", Value::Array(vec![location])),
+            ]));
+        }
+        let rules: Vec<Value> = rule_ids
+            .iter()
+            .map(|id| {
+                obj(vec![
+                    ("id", s(id)),
+                    ("shortDescription", obj(vec![("text", s(&format!("{tool_name} rule {id}")))])),
+                ])
+            })
+            .collect();
+        let sarif = obj(vec![
+            ("$schema", s("https://json.schemastore.org/sarif-2.1.0.json")),
+            ("version", s("2.1.0")),
+            (
+                "runs",
+                Value::Array(vec![obj(vec![
+                    (
+                        "tool",
+                        obj(vec![(
+                            "driver",
+                            obj(vec![("name", s(tool_name)), ("rules", Value::Array(rules))]),
+                        )]),
+                    ),
+                    ("results", Value::Array(results)),
+                ])]),
+            ),
+        ]);
+        serde_json::to_string_pretty(&sarif).unwrap_or_default()
+    }
+
     /// JSON rendering (stable shape: `{"diagnostics": [...], "errors": n,
     /// "warnings": n}`).
     pub fn render_json(&self) -> String {
@@ -226,6 +322,41 @@ mod tests {
         // Unknown summary keys are ignored on the way back in.
         let back: Report = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn sarif_rendering_has_the_standard_shape() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new("R001", Severity::Error, "crates/x/src/lib.rs:3:5", "boom")
+                .with_suggestion("do not boom")
+                .with_span(Span { start: 40, end: 49, line: 3, column: 5 }),
+        );
+        r.push(Diagnostic::new("B001", Severity::Warning, "basis x, column 1", "duplicate"));
+        let sarif = r.render_sarif("xtask-lint");
+        let v: serde_json::Value = serde_json::from_str(&sarif).expect("valid json");
+        assert_eq!(v["version"].as_str(), Some("2.1.0"));
+        assert!(v["$schema"].as_str().unwrap_or("").contains("sarif-2.1.0"));
+        let run = &v["runs"][0];
+        assert_eq!(run["tool"]["driver"]["name"].as_str(), Some("xtask-lint"));
+        let rules = run["tool"]["driver"]["rules"].as_array().expect("rules array");
+        assert_eq!(rules.len(), 2, "one rule entry per distinct rule id");
+        assert_eq!(rules[0]["id"].as_str(), Some("R001"));
+        let results = run["results"].as_array().expect("results array");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0]["ruleId"].as_str(), Some("R001"));
+        assert_eq!(results[0]["level"].as_str(), Some("error"));
+        assert!(results[0]["message"]["text"].as_str().unwrap().contains("help: do not boom"));
+        let phys = &results[0]["locations"][0]["physicalLocation"];
+        assert_eq!(phys["artifactLocation"]["uri"].as_str(), Some("crates/x/src/lib.rs"));
+        assert_eq!(phys["region"]["startLine"].as_u64(), Some(3));
+        assert_eq!(phys["region"]["startColumn"].as_u64(), Some(5));
+        assert_eq!(phys["region"]["charOffset"].as_u64(), Some(40));
+        assert_eq!(phys["region"]["charLength"].as_u64(), Some(9));
+        // Span-less diagnostics fall back to a logical location.
+        assert_eq!(results[1]["level"].as_str(), Some("warning"));
+        let logical = &results[1]["locations"][0]["logicalLocations"][0];
+        assert_eq!(logical["fullyQualifiedName"].as_str(), Some("basis x, column 1"));
     }
 
     #[test]

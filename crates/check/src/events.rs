@@ -19,7 +19,7 @@ use std::collections::HashSet;
 
 /// Coefficients below this magnitude are numerically indistinguishable from
 /// the zero terms the definition stage is supposed to prune.
-pub const COEFF_EPS: f64 = 1e-12;
+pub(crate) const COEFF_EPS: f64 = 1e-12;
 
 /// Validates one event catalog. `name` labels the diagnostics.
 pub fn check_catalog(name: &str, catalog: &EventCatalog) -> Vec<Diagnostic> {

@@ -9,7 +9,7 @@
 //! catalyze metrics <domain> [--repeat N] [--json FILE] [--expo FILE]
 //! catalyze trace diff <baseline.json> <candidate.json> [--json FILE]
 //! catalyze presets <domain> [--json] [--set k=v ...]
-//! catalyze check [--format json] [--presets FILE [--arch spr|zen|gpu]]
+//! catalyze check [--format json|sarif] [--presets FILE [--arch spr|zen|gpu]]
 //! ```
 //!
 //! Domains: `cpu-flops`, `branch`, `dcache`, `gpu-flops`, `dtlb`, `dstore`.
@@ -67,7 +67,7 @@ fn usage() -> ExitCode {
     eprintln!("                            [--set diff.key=value ...]");
     eprintln!("  catalyze presets <domain> [--json] [--set key=value ...]");
     eprintln!("  catalyze papi <domain>");
-    eprintln!("  catalyze check [--format human|json] [--presets FILE [--arch spr|zen|gpu]]");
+    eprintln!("  catalyze check [--format human|json|sarif] [--presets FILE [--arch spr|zen|gpu]]");
     eprintln!("domains: {}", DOMAINS.join(", "));
     eprintln!("threshold keys for --set: {}", AnalysisConfig::keys().join(", "));
     eprintln!("diff keys for --set: {}", DiffConfig::keys().join(", "));
@@ -493,8 +493,8 @@ fn main() -> ExitCode {
         }
         "check" => {
             let format = flag_value(&args, "--format").unwrap_or_else(|| "human".into());
-            if format != "human" && format != "json" {
-                eprintln!("unknown --format {format} (expected human or json)");
+            if format != "human" && format != "json" && format != "sarif" {
+                eprintln!("unknown --format {format} (expected human, json, or sarif)");
                 return usage();
             }
             let mut report = catalyze_check::check_shipped();
@@ -519,6 +519,8 @@ fn main() -> ExitCode {
             }
             if format == "json" {
                 println!("{}", report.render_json());
+            } else if format == "sarif" {
+                println!("{}", report.render_sarif("catalyze-check"));
             } else {
                 print!("{}", report.render_human());
             }

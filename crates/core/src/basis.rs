@@ -95,7 +95,7 @@ pub fn cpu_flops_basis() -> Basis {
 
 /// Branching expectation labels: Conditional Executed, Conditional Retired,
 /// Taken, Unconditional (Direct), Mispredicted.
-pub fn branch_labels() -> Vec<String> {
+pub(crate) fn branch_labels() -> Vec<String> {
     ["CE", "CR", "T", "D", "M"].iter().map(|s| s.to_string()).collect()
 }
 
@@ -118,7 +118,7 @@ pub fn branch_basis() -> Basis {
     let flat: Vec<f64> = rows.iter().flatten().copied().collect();
     Basis {
         labels: branch_labels(),
-        // lint: allow(panic): static 11x5 expectation table
+        // lint: allow(panic, reachable_panic): static 11x5 expectation table
         matrix: Matrix::from_rows(11, 5, &flat).expect("static shape"),
     }
 }
@@ -153,7 +153,7 @@ pub fn gpu_flops_basis() -> Basis {
 
 /// Data-cache expectation labels: L1 Demand Misses, L1 Demand Hits, L2
 /// Demand Hits, L3 Demand Hits.
-pub fn dcache_labels() -> Vec<String> {
+pub(crate) fn dcache_labels() -> Vec<String> {
     ["L1DM", "L1DH", "L2DH", "L3DH"].iter().map(|s| s.to_string()).collect()
 }
 
@@ -181,7 +181,7 @@ pub fn dcache_basis(regions: &[CacheRegion]) -> Basis {
 
 /// Store-path expectation labels (extension domain): per-store L1 write
 /// misses (RFOs), L1 write hits, L2 write hits, L3 write hits.
-pub fn dstore_labels() -> Vec<String> {
+pub(crate) fn dstore_labels() -> Vec<String> {
     ["S1M", "S1H", "S2H", "S3H"].iter().map(|s| s.to_string()).collect()
 }
 
@@ -195,7 +195,7 @@ pub fn dstore_basis(regions: &[CacheRegion]) -> Basis {
 
 /// Data-TLB expectation labels (extension domain): per-access TLB misses
 /// and TLB hits.
-pub fn dtlb_labels() -> Vec<String> {
+pub(crate) fn dtlb_labels() -> Vec<String> {
     ["TLBM", "TLBH"].iter().map(|s| s.to_string()).collect()
 }
 

@@ -53,7 +53,7 @@ impl DefinedMetric {
                 } else {
                     Some(PresetTerm {
                         coefficient: c,
-                        // lint: allow(panic): selection names originate from catalog events, which parse
+                        // lint: allow(panic, reachable_panic): selection names originate from catalog events, which parse
                         event: name.parse().expect("selection names are valid event names"),
                     })
                 }
@@ -99,7 +99,7 @@ pub fn define_metric(
 ///
 /// # Errors
 /// The [`define_metric`] errors.
-pub fn define_metric_factored(
+pub(crate) fn define_metric_factored(
     selection: &Selection,
     x_hat: &FactoredLstsq<'_>,
     signature: &MetricSignature,
@@ -115,13 +115,13 @@ pub fn define_metric_factored(
     let sol = x_hat.solve(&signature.coefficients)?;
     let rounded: Vec<Option<f64>> =
         sol.x.iter().map(|&c| round_coefficient(c, rounding_tol)).collect();
-    let rounded_error = if rounded.iter().all(|r| r.is_some()) {
-        // lint: allow(panic): all-Some checked by the surrounding if
-        let y: Vec<f64> = rounded.iter().map(|r| r.expect("checked")).collect();
-        x_hat.backward_error(&y, &signature.coefficients).ok()
-    } else {
-        None
-    };
+    // Collecting through Option<Vec<_>> short-circuits on any unrounded
+    // coefficient, so the all-Some case needs no panic site at all.
+    let rounded_error = rounded
+        .iter()
+        .copied()
+        .collect::<Option<Vec<f64>>>()
+        .and_then(|y| x_hat.backward_error(&y, &signature.coefficients).ok());
     Ok(DefinedMetric {
         metric: signature.name.clone(),
         coefficients: sol.x,
@@ -227,6 +227,25 @@ mod tests {
         let taken = metrics.iter().find(|m| m.metric.contains("Taken.")).unwrap();
         assert!(taken.rounded.iter().all(|r| r.is_some()));
         assert!(taken.rounded_error.unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn unrounded_coefficients_yield_no_rounded_error() {
+        // Regression for the reachable-panic fix: the all-Some check used
+        // to be an `if all()` guarding an `.expect()`; it is now a
+        // short-circuiting Option collection. A zero tolerance leaves
+        // inexact coefficients unrounded, and every such metric must
+        // simply skip the rounded-error computation.
+        let sel = branch_selection();
+        let metrics = define_metrics(&sel, &branch_signatures(), 0.0).unwrap();
+        assert!(!metrics.is_empty());
+        for m in &metrics {
+            if m.rounded.iter().any(|r| r.is_none()) {
+                assert!(m.rounded_error.is_none(), "{}", m.metric);
+            } else {
+                assert!(m.rounded_error.is_some(), "{}", m.metric);
+            }
+        }
     }
 
     #[test]

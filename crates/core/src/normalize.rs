@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// One event successfully represented in the expectation basis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): row type in Representation's public fields; part of the normalize result surface
 pub struct RepresentedEvent {
     /// Index into the original measurement set's event axis.
     pub index: usize,
@@ -20,6 +21,7 @@ pub struct RepresentedEvent {
 
 /// An event rejected because the basis cannot express it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): row type in Representation's public fields; records why an event was dropped
 pub struct RejectedEvent {
     /// Index into the original measurement set's event axis.
     pub index: usize,
@@ -48,7 +50,7 @@ impl Representation {
             return None;
         }
         let cols: Vec<Vec<f64>> = self.kept.iter().map(|e| e.coords.clone()).collect();
-        // lint: allow(panic): representation coordinates share the basis dimension
+        // lint: allow(panic, reachable_panic): representation coordinates share the basis dimension
         Some(Matrix::from_columns(&cols).expect("uniform coordinate length"))
     }
 

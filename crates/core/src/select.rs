@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// One selected event with its selection diagnostics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): row type in Selection's public fields; part of the select result surface
 pub struct SelectedEvent {
     /// Index into the original measurement set's event axis.
     pub index: usize,
@@ -38,7 +39,7 @@ impl Selection {
             return None;
         }
         let cols: Vec<Vec<f64>> = self.events.iter().map(|e| e.coords.clone()).collect();
-        // lint: allow(panic): representation coordinates share the basis dimension
+        // lint: allow(panic, reachable_panic): representation coordinates share the basis dimension
         Some(Matrix::from_columns(&cols).expect("uniform coordinate length"))
     }
 

@@ -153,6 +153,7 @@ impl EventCatalog {
 
 /// Error: an event with the same name already exists in the catalog.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead_api): error type of EventCatalog::add; callers must be able to name it
 pub struct DuplicateEvent {
     /// The duplicated name.
     pub name: String,

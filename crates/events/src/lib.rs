@@ -10,7 +10,7 @@
 
 pub mod catalog;
 pub mod name;
-pub mod papi;
+pub(crate) mod papi;
 pub mod preset;
 
 pub use catalog::{EventCatalog, EventDomain, EventId, EventInfo};

@@ -58,6 +58,7 @@ pub struct EventName {
 
 /// Error produced when parsing an event name string.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead_api): FromStr::Err of EventName; callers must be able to name it
 pub struct ParseNameError {
     /// Human-readable reason.
     pub reason: String,

@@ -94,6 +94,7 @@ fn format_coeff(c: f64) -> String {
 
 /// Error from parsing a preset file.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead_api): error type of from_papi_format; callers must be able to name it
 pub struct PapiParseError {
     /// 1-based line number.
     pub line: usize,

@@ -60,6 +60,7 @@ impl Preset {
 
 /// Result of evaluating a preset against measured counts.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead_api): result type of Preset evaluation; fields are the caller's read surface
 pub struct EvaluatedPreset {
     /// The combined metric value.
     pub value: f64,

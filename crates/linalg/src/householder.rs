@@ -69,6 +69,7 @@ impl Reflector {
         }
         let len = self.v.len();
         for j in j0..a.cols() {
+            // lint: allow(reachable_panic): QRCP applies reflectors at their own pivot offsets
             let col = &mut a.col_mut(j)[i0..i0 + len];
             let w = vector::dot(&self.v, col);
             vector::axpy(-self.tau * w, &self.v, col);

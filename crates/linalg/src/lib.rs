@@ -33,7 +33,7 @@
 
 pub mod error;
 pub mod factored;
-pub mod householder;
+pub(crate) mod householder;
 pub mod lstsq;
 pub mod matrix;
 pub mod qr;
@@ -41,6 +41,7 @@ pub mod qrcp;
 pub mod spqrcp;
 pub mod stats;
 pub mod svd;
+// lint: allow(dead_api): triangular-solve surface; solve_lower has no in-crate caller
 pub mod tri;
 pub mod vector;
 

@@ -67,6 +67,7 @@ impl Matrix {
         let mut m = Self::zeros(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
+                // lint: allow(reachable_panic): data.len() == rows * cols is checked above
                 m[(i, j)] = data[i * cols + j];
             }
         }
@@ -124,12 +125,14 @@ impl Matrix {
     /// Borrows column `j` as a contiguous slice.
     #[inline]
     pub fn col(&self, j: usize) -> &[f64] {
+        // lint: allow(reachable_panic): documented contract: j < cols, the slice op bounds-checks
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Mutably borrows column `j` as a contiguous slice.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        // lint: allow(reachable_panic): documented contract: j < cols, the slice op bounds-checks
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
@@ -296,6 +299,7 @@ impl Matrix {
         let mut m = Matrix::zeros(rr, cc);
         for j in 0..cc {
             for i in 0..rr {
+                // lint: allow(reachable_panic): submatrix asserts the window fits before copying
                 m[(i, j)] = self[(r0 + i, c0 + j)];
             }
         }

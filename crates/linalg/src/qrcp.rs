@@ -13,6 +13,7 @@ use crate::vector;
 
 /// Result of a column-pivoted QR factorization.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): re-exported result type of qrcp; fields are the caller's read surface
 pub struct QrcpResult {
     /// Column permutation: `permutation[k]` is the original index of the
     /// column moved to position `k`. The first `rank` entries are the

@@ -97,6 +97,7 @@ pub fn score_column(col: &[f64], alpha: f64) -> f64 {
 
 /// One accepted pivot step, for diagnostics and reporting.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead_api): trace row in SpQrcpResult's public fields
 pub struct PivotStep {
     /// Original column index chosen at this step.
     pub column: usize,
@@ -108,6 +109,7 @@ pub struct PivotStep {
 
 /// Result of the specialized column-pivoted QR.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): re-exported result type of specialized_qrcp; fields are the caller's read surface
 pub struct SpQrcpResult {
     /// Column permutation (`permutation[k]` = original index at position `k`).
     pub permutation: Vec<usize>,
@@ -207,6 +209,7 @@ fn get_pivot(
     let mut best: Option<(usize, f64, f64)> = None;
     let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
     for j in i..n {
+        // lint: allow(reachable_panic): i < rows by the factorization loop bounds
         let residual = &work.col(j)[i..];
         let norm = vector::norm2(residual);
         if norm < beta {

@@ -11,6 +11,7 @@ use crate::vector;
 
 /// Singular values of `a`, in descending order.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): re-exported result type of the SVD entry points
 pub struct Svd {
     /// Singular values, descending.
     pub singular_values: Vec<f64>,

@@ -28,6 +28,7 @@ struct SpanNode {
 /// One recorded span, flattened out of the trace tree — the shape the
 /// aggregation layer ([`crate::MetricsRegistry`]) folds over.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead_api): record type returned by the collector's drain API
 pub struct SpanRecord {
     /// Span name as passed to [`Observer::span_start`].
     pub name: String,
@@ -330,6 +331,7 @@ fn render_span_list(out: &mut String, spans: &[SpanNode], ids: &[usize], indent:
 }
 
 fn render_human_span(out: &mut String, spans: &[SpanNode], id: usize, now: u64) {
+    // lint: allow(reachable_panic): ids come from the collector's own span table
     let node = &spans[id];
     let label = format!("{}{}", "  ".repeat(node.depth + 1), node.name);
     let time = match node.duration_ns {

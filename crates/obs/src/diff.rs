@@ -230,6 +230,7 @@ impl RowStatus {
 
 /// One compared span or counter.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead_api): row type in DiffReport's public fields
 pub struct DiffRow {
     /// Span or counter name.
     pub name: String,
@@ -248,6 +249,7 @@ pub struct DiffRow {
 /// The full comparison: every span row, every counter row, and the
 /// configuration that judged them.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): result type of the trace diff API; fields are the gate's read surface
 pub struct DiffReport {
     config: DiffConfig,
     spans: Vec<DiffRow>,

@@ -102,7 +102,11 @@ impl Histogram {
     /// Records one sample. Saturates (rather than wraps) on `count`/`sum`
     /// overflow.
     pub fn record(&mut self, v: u64) {
-        self.counts[bucket_index(v)] = self.counts[bucket_index(v)].saturating_add(1);
+        // `bucket_index` is total over u64, but clamp anyway: `v` is
+        // caller-controlled, and an index bug here must cost accuracy in
+        // the last bucket, not a panic in the metrics path.
+        let b = bucket_index(v).min(NUM_BUCKETS - 1);
+        self.counts[b] = self.counts[b].saturating_add(1);
         self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
@@ -229,6 +233,21 @@ mod tests {
         assert_eq!(bucket_bounds(0).0, 0);
         assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
         assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_is_total_over_the_u64_range() {
+        // Regression for the reachable-panic fix: `record` indexes through
+        // a clamped local, so no caller-supplied value can reach an
+        // out-of-bounds bucket.
+        let mut h = Histogram::new();
+        for v in [0u64, 15, 16, 1u64 << 40, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    // lint: allow(reachable_panic): *pos < bytes.len() guards the index
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
@@ -118,6 +119,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
 }
 
 fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
+    // lint: allow(reachable_panic): parse_value dispatched on bytes[*pos], so pos is in range
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -132,10 +134,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 1;
     }
     while *pos < bytes.len()
+        // lint: allow(reachable_panic): *pos < bytes.len() guards the index
         && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
     {
         *pos += 1;
     }
+    // lint: allow(reachable_panic): start <= *pos <= bytes.len() by the scan loop
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
     text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number `{text}`: {e}"))
 }
@@ -177,6 +181,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar from the source text.
+                // lint: allow(reachable_panic): the match arm saw a byte at *pos
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
                 let c = rest.chars().next().ok_or("unterminated string")?;
                 out.push(c);

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 
 /// Per-stage funnel totals across every folded run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+// lint: allow(dead_api): aggregate type returned by the registry's funnel view
 pub struct FunnelAggregate {
     /// Number of [`FunnelRecord`]s folded for this stage.
     pub records: u64,

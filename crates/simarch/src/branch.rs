@@ -24,6 +24,7 @@ impl PredictorConfig {
 
 /// Branch statistics accumulated during execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+// lint: allow(dead_api): stats type returned by the branch unit; fields are the catalog's read surface
 pub struct BranchStats {
     /// Conditional branches retired.
     pub cond_retired: u64,

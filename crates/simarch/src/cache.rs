@@ -77,6 +77,7 @@ impl CacheConfig {
 
 /// Per-level hit/miss statistics, split by demand reads and writes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+// lint: allow(dead_api): stats type returned by the cache model; fields are the catalog's read surface
 pub struct CacheStats {
     /// Demand-read hits.
     pub read_hits: u64,

@@ -81,6 +81,7 @@ impl Default for ExecStats {
 impl ExecStats {
     /// Retired FP instructions of one exact class.
     pub fn fp_class(&self, prec: Precision, width: VecWidth, kind: FpKind) -> u64 {
+        // lint: allow(reachable_panic): fp_index enumerates the fixed class grid
         self.fp[fp_index(prec, width, kind)]
     }
 
@@ -149,6 +150,7 @@ impl ExecStats {
 
 /// Latency/width parameters of the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): config type embedded in CoreConfig's public fields
 pub struct TimingConfig {
     /// Sustained issue width (instructions per cycle upper bound).
     pub issue_width: u64,

@@ -173,6 +173,7 @@ impl CpuBase {
 
 /// Full definition of one raw CPU event.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// lint: allow(dead_api): re-exported event-definition type in CpuEventSet's public surface
 pub struct CpuEventDef {
     /// Catalog entry (name, description, domain).
     pub info: EventInfo,
@@ -261,7 +262,7 @@ impl SetBuilder {
         noise: NoiseModel,
     ) {
         let info = EventInfo { name, description: desc.to_string(), domain };
-        // lint: allow(panic): the builder inserts a static, duplicate-free inventory
+        // lint: allow(panic, reachable_panic): the builder inserts a static, duplicate-free inventory
         self.catalog.add(info.clone()).expect("duplicate event in builder");
         self.defs.push(CpuEventDef { info, base, scale, noise });
     }
@@ -1076,7 +1077,7 @@ pub fn sapphire_rapids_like() -> CpuEventSet {
         ("sde:::MIGRATIONS", 0.2, 2.0),
         ("sde:::SOFT_IRQS", 10.0, 0.6),
     ] {
-        // lint: allow(panic): static event-name literals parse
+        // lint: allow(panic, reachable_panic): static event-name literals parse
         let n: EventName = name.parse().expect("static name");
         b.add(
             n,

@@ -37,7 +37,7 @@ impl Builder {
         noise: NoiseModel,
     ) {
         let info = EventInfo { name, description: desc.to_string(), domain };
-        // lint: allow(panic): the builder inserts a static, duplicate-free inventory
+        // lint: allow(panic, reachable_panic): the builder inserts a static, duplicate-free inventory
         self.catalog.add(info.clone()).expect("duplicate zen event");
         self.defs.push(CpuEventDef { info, base, scale, noise });
     }

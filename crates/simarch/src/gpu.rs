@@ -143,6 +143,7 @@ impl GpuDevice {
 
 /// Base semantic of a GPU raw event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// lint: allow(dead_api): base-event discriminant in GpuEventDef's public fields
 pub enum GpuBase {
     /// `SQ_INSTS_VALU_ADD_F*`: adds and subtracts of one precision.
     ValuAdd(Precision),
@@ -193,6 +194,7 @@ impl GpuBase {
 
 /// Full definition of one GPU raw event (bound to one device).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// lint: allow(dead_api): event-definition type in GpuEventSet's public surface
 pub struct GpuEventDef {
     /// Catalog entry.
     pub info: EventInfo,
@@ -260,7 +262,7 @@ pub fn mi250x_like(num_devices: u32) -> GpuEventSet {
     let mut add =
         |name: EventName, desc: &str, device: u32, base: GpuBase, scale: f64, noise: NoiseModel| {
             let info = EventInfo { name, description: desc.to_string(), domain: EventDomain::Gpu };
-            // lint: allow(panic): the builder inserts a static, duplicate-free inventory
+            // lint: allow(panic, reachable_panic): the builder inserts a static, duplicate-free inventory
             catalog.add(info.clone()).expect("duplicate GPU event");
             defs.push(GpuEventDef { info, device, base, scale, noise });
         };

@@ -47,6 +47,7 @@ impl HierarchyConfig {
 
 /// Per-level demand statistics plus derived counters the PMU exposes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+// lint: allow(dead_api): stats type returned by the hierarchy model
 pub struct HierarchyStats {
     /// L1 statistics.
     pub l1: CacheStats,

@@ -36,7 +36,7 @@ pub mod branch;
 pub mod cache;
 pub mod cpu;
 pub mod events_cpu;
-pub mod events_zen;
+pub(crate) mod events_zen;
 pub mod gpu;
 pub mod hierarchy;
 pub mod isa;

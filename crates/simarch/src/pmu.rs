@@ -108,7 +108,7 @@ impl CpuPmu {
         for &id in events {
             let def = set
                 .def(id)
-                // lint: allow(panic): scheduling an id outside the event set is a programming error
+                // lint: allow(panic, reachable_panic): scheduling an id outside the event set is a programming error
                 .unwrap_or_else(|| panic!("unknown CPU event id {}", id.index()));
             let slot = slot_for(def);
             let fits = |g: &Group| match slot {
@@ -156,7 +156,7 @@ impl CpuPmu {
             .iter()
             .zip(&groups)
             .map(|(&id, &group)| {
-                // lint: allow(panic): ids were validated when the schedule was built
+                // lint: allow(panic, reachable_panic): ids were validated when the schedule was built
                 let def = set.def(id).expect("validated by schedule");
                 let truth = def.base.eval(stats) * def.scale;
                 let mut rng = event_rng(self.cfg.seed, id.index(), run * 1_000_003 + group);
@@ -179,7 +179,7 @@ impl CpuPmu {
             .map(|(pos, &id)| {
                 let def = set
                     .def(id)
-                    // lint: allow(panic): scheduling an id outside the event set is a programming error
+                    // lint: allow(panic, reachable_panic): scheduling an id outside the event set is a programming error
                     .unwrap_or_else(|| panic!("unknown GPU event id {}", id.index()));
                 let truth = set.true_count(id, devices).unwrap_or(0.0);
                 let group = pos / self.cfg.counters.max(1);

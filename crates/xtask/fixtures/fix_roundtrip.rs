@@ -1,0 +1,21 @@
+//! Fixture for the `--fix` round trip: one live annotation (kept), one
+//! stale standalone annotation (line deleted), one stale trailing
+//! annotation (comment deleted, code kept), and one mixed-kind annotation
+//! (stale kind dropped, live kind kept).
+
+fn live(input: Option<u8>) -> u8 {
+    input.unwrap() // lint: allow(panic): fixture exercises a kept annotation
+}
+
+fn stale_standalone() -> u8 {
+    // lint: allow(panic): nothing panics here anymore
+    7
+}
+
+fn stale_trailing() -> u8 {
+    9 // lint: allow(lossy_cast): the cast was removed long ago
+}
+
+fn mixed(input: Option<u8>) -> u8 {
+    input.unwrap() // lint: allow(panic, float_cmp): only the panic is real
+}

@@ -1,0 +1,5 @@
+//! Injected layering violation: `core` must never import `cli`.
+
+use catalyze_cli::Args;
+
+fn touch(_args: Args) {}

@@ -1,0 +1,3 @@
+//! Synthetic dead public API for the graph corpus.
+
+pub fn nobody_calls() {}

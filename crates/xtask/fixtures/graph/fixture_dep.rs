@@ -1,0 +1,5 @@
+//! Synthetic reachable panic site for the graph corpus.
+
+fn deep_unwrap(input: Option<f64>) -> f64 {
+    input.unwrap()
+}

@@ -1,0 +1,11 @@
+//! Synthetic CAT runner entry for the graph corpus: `run_fixture` is an
+//! R010 entry point (a `cat` crate function named `run_*`), and the call
+//! chain crosses into the `linalg` fixture file.
+
+fn run_fixture() {
+    helper();
+}
+
+fn helper() {
+    deep_unwrap(Some(1.0));
+}

@@ -1,0 +1,7 @@
+//! Injected lock-hygiene hazard: a Mutex guard held live across a
+//! rayon parallel call.
+
+fn broadcast(shared: &std::sync::Mutex<Vec<f64>>, xs: &[f64]) -> f64 {
+    let guard = shared.lock().unwrap_or_else(|e| e.into_inner());
+    xs.par_iter().map(|x| x * guard[0]).sum()
+}

@@ -1,0 +1,27 @@
+//! Adversarial parser fixture: `#[cfg(test)]` modules and `#[test]`
+//! functions interleaved with production items.
+
+pub fn production() -> u32 {
+    11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::production;
+
+    #[test]
+    fn production_is_eleven() {
+        assert_eq!(production(), 11);
+    }
+
+    mod nested {
+        #[test]
+        fn nested_case() {
+            assert!(true);
+        }
+    }
+}
+
+pub fn also_production() -> u32 {
+    13
+}

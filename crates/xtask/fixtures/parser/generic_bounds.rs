@@ -1,0 +1,35 @@
+//! Adversarial parser fixture: generic bounds with nested angle brackets,
+//! where clauses, const generics, lifetimes, and impl-Trait returns.
+
+use std::fmt::Debug;
+
+pub struct Matrix<const R: usize, const C: usize> {
+    pub cells: [[f64; C]; R],
+}
+
+impl<const R: usize, const C: usize> Matrix<R, C> {
+    pub fn zero() -> Self {
+        Matrix { cells: [[0.0; C]; R] }
+    }
+}
+
+pub fn collect_sorted<I, T>(input: I) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    T: Ord + Debug,
+{
+    let mut out: Vec<T> = input.into_iter().collect();
+    out.sort();
+    out
+}
+
+pub fn pairs<'a, T: Clone + 'a>(xs: &'a [T]) -> impl Iterator<Item = (T, T)> + 'a {
+    xs.windows(2).map(|w| (w[0].clone(), w[1].clone()))
+}
+
+pub trait Reducer<A, B = A>
+where
+    B: From<A>,
+{
+    fn reduce(&self, items: Vec<A>) -> B;
+}

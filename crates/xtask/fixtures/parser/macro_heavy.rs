@@ -1,0 +1,31 @@
+//! Adversarial parser fixture: macro definitions whose bodies contain
+//! item-like keywords (`fn`, `impl`, `struct`) that must NOT be parsed
+//! as items, plus brace-, bracket- and paren-style invocations.
+
+macro_rules! fake_items {
+    () => {
+        fn not_a_real_item() {}
+        struct NotARealStruct;
+        impl NotARealStruct {
+            fn also_fake(&self) {}
+        }
+    };
+}
+
+macro_rules! dispatch {
+    ($name:ident => $body:block) => {
+        pub fn $name() $body
+    };
+}
+
+fn uses_macros() -> Vec<u8> {
+    let xs = vec![1u8, 2, 3];
+    let flag = matches!(xs.len(), 3);
+    assert!(flag, "fixture invariant");
+    println!("len = {}", xs.len());
+    xs
+}
+
+fn after_macros() -> u8 {
+    7
+}

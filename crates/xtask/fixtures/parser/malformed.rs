@@ -1,0 +1,25 @@
+//! Adversarial parser fixture: deliberately broken code. The parser must
+//! never panic here and must recover well enough to see `recovered_fn`
+//! and `recovered_mod` after the garbage. This file is NOT valid Rust.
+
+??? !! garbage ;
+
+pub struct ;
+
+impl {
+    fn orphan(&self);
+}
+
+enum 42 { }
+
+pub fn recovered_fn() -> u8 {
+    1
+}
+
+mod recovered_mod {
+    pub fn inside() -> u8 {
+        2
+    }
+}
+
+fn trailing_unterminated() { if true { let x = (1 +

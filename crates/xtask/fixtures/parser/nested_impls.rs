@@ -1,0 +1,50 @@
+//! Adversarial parser fixture: deeply nested modules, inherent and trait
+//! impls, unsafe impls, and an impl for a generic type.
+
+mod outer {
+    pub mod middle {
+        pub struct Gadget {
+            pub id: u32,
+        }
+
+        impl Gadget {
+            pub fn id(&self) -> u32 {
+                self.id
+            }
+
+            fn secret(&self) -> u32 {
+                self.id ^ 0xdead_beef
+            }
+        }
+
+        pub mod inner {
+            pub trait Frob {
+                fn frob(&self) -> u8;
+            }
+
+            pub struct Widget;
+
+            impl Frob for Widget {
+                fn frob(&self) -> u8 {
+                    42
+                }
+            }
+
+            unsafe impl Send for Widget {}
+        }
+    }
+}
+
+pub struct Holder<T>(pub Vec<T>);
+
+impl<T: Clone> Holder<T> {
+    pub fn first(&self) -> Option<T> {
+        self.0.first().cloned()
+    }
+}
+
+impl<T> Default for Holder<T> {
+    fn default() -> Self {
+        Holder(Vec::new())
+    }
+}

@@ -1,0 +1,140 @@
+//! `cargo xtask lint --fix` — mechanical repair of R004 stale
+//! annotations.
+//!
+//! The fixer runs the full workspace lint (per-file rules *and* graph
+//! rules, so `reachable_panic`/`lock_hygiene` annotations resolve
+//! correctly), then rewrites every annotation comment that suppressed
+//! nothing:
+//!
+//! * a comment whose kinds are **all** stale is deleted — the whole line
+//!   when the comment stands alone, just the trailing comment (plus the
+//!   whitespace before it) when it follows code;
+//! * a multi-kind comment with a **mix** of live and stale kinds keeps its
+//!   live kinds (`allow(panic, reachable_panic)` → `allow(panic)`).
+//!
+//! The rewrite is a pure function of the lint result, so it is idempotent
+//! by construction: after one pass every surviving annotation suppresses
+//! something, R004 has nothing left to report, and a second pass edits
+//! nothing. The fixture round-trip test in `tests/lints.rs` pins that.
+
+use crate::graph::FileAnalysis;
+use crate::rules::Annotation;
+
+/// One planned byte edit (replace `range` with `text`).
+struct Edit {
+    start: usize,
+    end: usize,
+    text: String,
+}
+
+/// Computes the fixed source for one analyzed file, or `None` when there
+/// is nothing to fix.
+pub fn fixed_source(fa: &FileAnalysis<'_>) -> Option<String> {
+    let src = fa.ctx.src;
+    let mut edits: Vec<Edit> = Vec::new();
+
+    // Annotations sharing one comment share a span; group them.
+    let mut groups: Vec<(usize, usize, Vec<&Annotation>)> = Vec::new();
+    for a in &fa.ctx.annotations {
+        match groups.last_mut() {
+            Some((start, _, group)) if *start == a.span.start => group.push(a),
+            _ => groups.push((a.span.start, a.span.end, vec![a])),
+        }
+    }
+
+    for (start, end, group) in groups {
+        let live: Vec<&str> = group.iter().filter(|a| a.used).map(|a| a.kind.as_str()).collect();
+        if live.len() == group.len() {
+            continue; // fully earning its keep
+        }
+        if live.is_empty() {
+            edits.push(delete_comment(src, start, end));
+        } else {
+            // Rewrite the kind list in place, keeping the reason.
+            let comment = &src[start..end];
+            let (Some(open), Some(close)) = (comment.find('('), comment.find(')')) else {
+                continue;
+            };
+            edits.push(Edit { start: start + open + 1, end: start + close, text: live.join(", ") });
+        }
+    }
+
+    if edits.is_empty() {
+        return None;
+    }
+    edits.sort_by_key(|e| e.start);
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0;
+    for e in edits {
+        out.push_str(&src[cursor..e.start]);
+        out.push_str(&e.text);
+        cursor = e.end;
+    }
+    out.push_str(&src[cursor..]);
+    Some(out)
+}
+
+/// Plans the deletion of a whole comment: the full line (including its
+/// newline) when the comment stands alone on it, otherwise the comment
+/// plus the padding that separated it from the code before it.
+fn delete_comment(src: &str, start: usize, end: usize) -> Edit {
+    let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let standalone = src[line_start..start].chars().all(char::is_whitespace);
+    if standalone {
+        let line_end = src[end..].find('\n').map(|i| end + i + 1).unwrap_or(src.len());
+        Edit { start: line_start, end: line_end, text: String::new() }
+    } else {
+        let code_end = src[line_start..start].trim_end().len() + line_start;
+        Edit { start: code_end, end, text: String::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::WorkspaceFile;
+    use crate::rules::layering::LayeringPolicy;
+    use crate::rules::{lint_workspace_full, role_of};
+
+    fn fix_one(src: &str) -> Option<String> {
+        let files = vec![WorkspaceFile {
+            rel: "crates/x/src/a.rs".to_string(),
+            src: src.to_string(),
+            role: role_of("crates/x/src/a.rs"),
+        }];
+        let policy = LayeringPolicy::parse("x ix ->\n").unwrap();
+        let lint = lint_workspace_full(&files, &[], &policy);
+        let fixed = super::fixed_source(&lint.analyses[0]);
+        drop(lint);
+        fixed
+    }
+
+    #[test]
+    fn standalone_stale_annotation_line_is_deleted() {
+        let src = "fn f() -> u8 {\n    // lint: allow(panic): long gone\n    0\n}\n";
+        assert_eq!(fix_one(src).as_deref(), Some("fn f() -> u8 {\n    0\n}\n"));
+    }
+
+    #[test]
+    fn trailing_stale_annotation_keeps_the_code() {
+        let src = "fn f() -> u8 {\n    0 // lint: allow(panic): long gone\n}\n";
+        assert_eq!(fix_one(src).as_deref(), Some("fn f() -> u8 {\n    0\n}\n"));
+    }
+
+    #[test]
+    fn mixed_kinds_keep_the_live_one() {
+        let src = "fn f() { x.unwrap(); // lint: allow(panic, float_cmp): partly wrong\n}\n";
+        assert_eq!(
+            fix_one(src).as_deref(),
+            Some("fn f() { x.unwrap(); // lint: allow(panic): partly wrong\n}\n")
+        );
+    }
+
+    #[test]
+    fn live_annotations_are_untouched_and_fix_is_idempotent() {
+        let src = "fn f() { x.unwrap(); // lint: allow(panic): infallible here\n}\n";
+        assert_eq!(fix_one(src), None);
+        let stale = "fn f() -> u8 {\n    // lint: allow(panic): long gone\n    0\n}\n";
+        let once = fix_one(stale).unwrap();
+        assert_eq!(fix_one(&once), None, "second pass must be a no-op");
+    }
+}

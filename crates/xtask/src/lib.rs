@@ -20,16 +20,29 @@
 //! | R005 | lossy numeric `as` cast (`f64→f32`, float→int, `u64→usize`/narrower) without a `lossy_cast` annotation |
 //! | R006 | `HashMap`/`HashSet` iteration feeding rendered output without a `nondet_iter` annotation |
 //! | R007 | raw `Instant::now()` outside `crates/obs/` without a `raw_timing` annotation |
+//! | R008 | `Mutex`/`RwLock` guard held across a rayon call, re-acquired, or acquired in inconsistent order (`lock_hygiene`) |
+//! | R009 | crate import outside the declarative layering DAG in `crates/xtask/layering.lint` (`layering`) |
+//! | R010 | panic site or caller-controlled index reachable from a service entry point (`reachable_panic`) |
+//! | R011 | `pub` item referenced by no other crate, test, example, or bench (`dead_api`) |
 //!
-//! Annotations are `// lint: allow(<kind>): <reason>` with a mandatory
-//! reason, on the flagged line or the line above. Test items
+//! R001–R007 are per-file token rules; R008–R011 run on the workspace
+//! graph built by [`parser`] (per-file item trees) and [`graph`]
+//! (cross-crate module inventory plus approximate call graph).
+//!
+//! Annotations are `// lint: allow(<kinds>): <reason>` with a mandatory
+//! reason, on the flagged line or the line above; the kind list may be
+//! comma-separated when several rules flag one site. Test items
 //! (`#[cfg(test)]`, `#[test]`) are exempt wherever they appear in a file;
-//! `src/main.rs` and `src/bin/` are additionally exempt from R001/R005.
+//! `src/main.rs` and `src/bin/` are additionally exempt from
+//! R001/R005/R010/R011.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fix;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-pub use rules::{lint_repo, lint_source, role_of, FileRole};
+pub use rules::{lint_repo, lint_source, lint_workspace, role_of, FileRole};

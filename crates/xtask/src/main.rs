@@ -1,15 +1,19 @@
 //! `cargo xtask` — repository maintenance tasks.
 //!
 //! ```text
-//! cargo xtask lint [--format <human|json>]
+//! cargo xtask lint [--format <human|json|sarif>] [--fix]
 //! ```
 //!
-//! `lint` runs the token-level rule engine (see the `xtask` library crate
-//! docs for the R001–R007 rule table) over every workspace crate and
-//! reports findings as the same structured `Diagnostic`s `catalyze check`
-//! emits. Exit codes: `0` clean, `1` any error-severity finding, `2`
-//! usage error. Unknown arguments are rejected — `--format` must be
-//! followed by `human` or `json`.
+//! `lint` runs the workspace rule engine (see the `xtask` library crate
+//! docs for the R001–R011 rule table) over every workspace crate — the
+//! per-file token rules plus the module/call-graph rules — and reports
+//! findings as the same structured `Diagnostic`s `catalyze check` emits.
+//! `--fix` rewrites stale `// lint: allow(…)` annotations (R004) in place
+//! before reporting: comments whose kinds all suppress nothing are
+//! deleted, mixed comments keep their live kinds; the pass is idempotent.
+//! Exit codes: `0` clean, `1` any error-severity finding, `2` usage
+//! error. Unknown arguments are rejected — `--format` must be followed by
+//! `human`, `json`, or `sarif`.
 
 #![forbid(unsafe_code)]
 
@@ -20,10 +24,11 @@ use std::process::ExitCode;
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--format <human|json>]");
+    eprintln!("usage: cargo xtask lint [--format <human|json|sarif>] [--fix]");
     ExitCode::from(2)
 }
 
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
     }
 
     let mut format = Format::Human;
+    let mut fix = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,15 +52,23 @@ fn main() -> ExitCode {
                     format = Format::Json;
                     i += 2;
                 }
+                Some("sarif") => {
+                    format = Format::Sarif;
+                    i += 2;
+                }
                 Some(other) => {
-                    eprintln!("unknown --format `{other}` (expected human or json)");
+                    eprintln!("unknown --format `{other}` (expected human, json, or sarif)");
                     return usage();
                 }
                 None => {
-                    eprintln!("--format requires a value (human or json)");
+                    eprintln!("--format requires a value (human, json, or sarif)");
                     return usage();
                 }
             },
+            "--fix" => {
+                fix = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 return usage();
@@ -62,9 +76,23 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = xtask::lint_repo(&repo_root());
+    let root = repo_root();
+    if fix {
+        match apply_fixes(&root) {
+            Ok(fixed) => {
+                for rel in &fixed {
+                    eprintln!("fixed: {rel}");
+                }
+                eprintln!("{} file(s) rewritten", fixed.len());
+            }
+            Err(code) => return code,
+        }
+    }
+
+    let report = xtask::lint_repo(&root);
     match format {
         Format::Json => println!("{}", report.render_json()),
+        Format::Sarif => println!("{}", report.render_sarif("xtask-lint")),
         Format::Human => print!("{}", report.render_human()),
     }
     if report.has_errors() {
@@ -72,6 +100,29 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Runs the full workspace lint once, rewrites every file with stale
+/// annotations, and returns the repo-relative paths it changed.
+fn apply_fixes(root: &Path) -> Result<Vec<String>, ExitCode> {
+    let (files, references, policy) = match xtask::rules::load_repo_inputs(root) {
+        Ok(inputs) => inputs,
+        Err(report) => {
+            print!("{}", report.render_human());
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let lint = xtask::rules::lint_workspace_full(&files, &references, &policy);
+    let mut fixed = Vec::new();
+    for fa in &lint.analyses {
+        let Some(new_src) = xtask::fix::fixed_source(fa) else { continue };
+        if let Err(e) = std::fs::write(root.join(&fa.file.rel), new_src) {
+            eprintln!("cannot rewrite {}: {e}", fa.file.rel);
+            return Err(ExitCode::FAILURE);
+        }
+        fixed.push(fa.file.rel.clone());
+    }
+    Ok(fixed)
 }
 
 fn repo_root() -> PathBuf {

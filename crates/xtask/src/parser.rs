@@ -1,0 +1,912 @@
+//! A lightweight recursive-descent *item* parser over the lossless token
+//! stream from [`crate::lexer`].
+//!
+//! The parser recognizes the subset of Rust's item grammar the graph rules
+//! need — `mod`, `fn`, `struct`, `enum`, `union`, `trait`, `type`, `const`,
+//! `static`, `impl`, `use`, `extern crate`, `macro_rules!` — and records,
+//! for each item, its name, visibility, the span of its name token, its
+//! body as a range of *code-token* indices, and (for functions) the list
+//! of parameter binding names. `mod … { … }` and `impl … { … }` bodies are
+//! parsed recursively into child items; function bodies are left as opaque
+//! token ranges for the call scanner.
+//!
+//! Two properties are load-bearing and tested:
+//!
+//! * **Total.** The parser never panics and never loops: every token is
+//!   read through bounds-checked accessors, and every parse step makes
+//!   progress. Unmatched delimiters run to end-of-file.
+//! * **Recovering.** An item head the grammar does not cover (or malformed
+//!   input mid-item) is skipped to the next plausible item boundary — the
+//!   next `;` or the close of the next balanced `{…}` block — and parsing
+//!   resumes. One broken item never hides the rest of the file.
+//!
+//! The parser deliberately does **not** expand macros, resolve names, or
+//! look inside function bodies for nested items; those are documented
+//! false-negative classes of the graph layer (DESIGN.md §7).
+
+use crate::lexer::{Token, TokenKind};
+use catalyze_check::Span;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name;` or `mod name { … }` (children populated for the latter).
+    Mod,
+    /// `fn name(…) { … }` (including `unsafe`/`async`/`const`/`extern` fns).
+    Fn,
+    /// `struct Name …`
+    Struct,
+    /// `enum Name { … }`
+    Enum,
+    /// `union Name { … }`
+    Union,
+    /// `trait Name { … }`
+    Trait,
+    /// `type Name = …;`
+    TypeAlias,
+    /// `const NAME: … = …;`
+    Const,
+    /// `static NAME: … = …;`
+    Static,
+    /// `impl Type { … }` or `impl Trait for Type { … }`; methods are
+    /// children.
+    Impl {
+        /// Head identifier of the implemented-on type (`Matrix` for
+        /// `impl<'a> ops::Index<usize> for Matrix`).
+        self_ty: String,
+        /// Head identifier of the trait, for trait impls.
+        trait_ty: Option<String>,
+    },
+    /// `use path::to::thing;` — `path` holds the use tree's code tokens
+    /// joined by single spaces (`catalyze_linalg :: Matrix`).
+    Use {
+        /// Space-joined text of the use tree.
+        path: String,
+    },
+    /// `extern crate name;`
+    ExternCrate,
+    /// `macro_rules! name { … }` or a `macro` 2.0 definition.
+    MacroDef,
+    /// `extern "C" { … }` foreign block (children not parsed).
+    ForeignMod,
+    /// An item head the grammar does not cover; skipped by recovery.
+    Unknown,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item's kind (and kind-specific payload).
+    pub kind: ItemKind,
+    /// The item's name (`""` for `impl`, `use`, and foreign blocks).
+    pub name: String,
+    /// True when the item carries any `pub` visibility (including
+    /// restricted forms like `pub(crate)`).
+    pub is_pub: bool,
+    /// Span of the name token (or of the introducing keyword for unnamed
+    /// items) — what diagnostics anchor to.
+    pub span: Span,
+    /// Code-token index of the name (or introducing keyword). Rules use
+    /// this to consult per-token context such as the test mask.
+    pub name_code: usize,
+    /// For brace-bodied items: the code-token indices of the opening and
+    /// closing brace, inclusive.
+    pub body: Option<(usize, usize)>,
+    /// Child items, populated for inline `mod` and `impl` bodies.
+    pub children: Vec<Item>,
+    /// For `Fn` items: parameter binding names in order (`self` excluded).
+    pub params: Vec<String>,
+}
+
+/// A parsed file: the top-level items in source order.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTree {
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+impl ItemTree {
+    /// Depth-first walk over all items (pre-order), with the chain of
+    /// enclosing items passed as `path`.
+    pub fn walk<'t>(&'t self, mut visit: impl FnMut(&[&'t Item], &'t Item)) {
+        fn go<'t>(
+            items: &'t [Item],
+            path: &mut Vec<&'t Item>,
+            visit: &mut impl FnMut(&[&'t Item], &'t Item),
+        ) {
+            for item in items {
+                visit(path, item);
+                path.push(item);
+                go(&item.children, path, visit);
+                path.pop();
+            }
+        }
+        go(&self.items, &mut Vec::new(), &mut visit);
+    }
+}
+
+/// Parses the top-level items of one file. `tokens` is the lossless stream
+/// from [`crate::lexer::tokenize`]; `code` the indices of its code tokens
+/// (no whitespace, no comments) as computed by the rule engine.
+pub fn parse_items(src: &str, tokens: &[Token], code: &[usize]) -> ItemTree {
+    let p = Parser { src, tokens, code };
+    ItemTree { items: p.items_in(0, code.len()) }
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    tokens: &'s [Token],
+    code: &'s [usize],
+}
+
+/// Keywords that can prefix `fn` (and other items) as modifiers.
+const FN_MODIFIERS: [&str; 4] = ["default", "unsafe", "async", "const"];
+
+impl Parser<'_> {
+    fn txt(&self, c: usize) -> &str {
+        match self.code.get(c) {
+            Some(&i) => self.tokens[i].text(self.src),
+            None => "",
+        }
+    }
+
+    fn kind(&self, c: usize) -> Option<TokenKind> {
+        self.code.get(c).map(|&i| self.tokens[i].kind)
+    }
+
+    fn span(&self, c: usize) -> Span {
+        match self.code.get(c) {
+            Some(&i) => self.tokens[i].span,
+            None => Span { start: 0, end: 0, line: 1, column: 1 },
+        }
+    }
+
+    /// Code index of the delimiter matching `open` at `at` (which must
+    /// hold `open`), bounded by `end`. `None` when unbalanced.
+    fn matching(&self, at: usize, end: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut c = at;
+        while c < end {
+            let t = self.txt(c);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(c);
+                }
+            }
+            c += 1;
+        }
+        None
+    }
+
+    /// Skips a generics list starting at `c` (which holds `<`), handling
+    /// `<<`/`>>` shift tokens as double brackets. Returns the index one
+    /// past the closing `>`.
+    fn skip_angles(&self, mut c: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        while c < end {
+            match self.txt(c) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            c += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        c
+    }
+
+    /// Parses items in the code-index range `[from, end)`.
+    fn items_in(&self, from: usize, end: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut c = from;
+        while c < end {
+            let before = c;
+            if let Some(item) = self.parse_item(&mut c, end) {
+                out.push(item);
+            }
+            if c <= before {
+                c = before + 1; // guarantee progress on any parser bug
+            }
+        }
+        out
+    }
+
+    /// Parses one item starting at `*c`, advancing `*c` past it. Returns
+    /// `None` for attribute-only tails and stray tokens consumed by
+    /// recovery.
+    fn parse_item(&self, c: &mut usize, end: usize) -> Option<Item> {
+        // Attributes (inner and outer) before the item.
+        while *c < end && self.txt(*c) == "#" {
+            let open = if self.txt(*c + 1) == "!" { *c + 2 } else { *c + 1 };
+            if self.txt(open) == "[" {
+                match self.matching(open, end, "[", "]") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        return None;
+                    }
+                }
+            } else {
+                *c += 1; // stray `#`: recovery
+                return None;
+            }
+        }
+        if *c >= end {
+            return None;
+        }
+
+        let head = *c;
+        let mut is_pub = false;
+        if self.txt(*c) == "pub" {
+            is_pub = true;
+            *c += 1;
+            if self.txt(*c) == "(" {
+                match self.matching(*c, end, "(", ")") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // Modifier run before `fn` (`const` doubles as an item keyword:
+        // it is a modifier only when more modifiers or `fn` follow).
+        let mut m = *c;
+        while FN_MODIFIERS.contains(&self.txt(m))
+            || (self.txt(m) == "extern" && self.kind(m + 1) == Some(TokenKind::Literal))
+        {
+            if self.txt(m) == "const" && self.txt(m + 1) != "fn" && !self.is_modifier_run(m + 1) {
+                break; // a `const NAME: …` item, not a `const fn`
+            }
+            m += if self.txt(m) == "extern" { 2 } else { 1 };
+        }
+        if self.txt(m) == "fn" {
+            *c = m + 1;
+            return Some(self.parse_fn(c, end, head, is_pub));
+        }
+        // `unsafe impl`, `unsafe trait`, `unsafe mod`, … — modifiers that
+        // prefix a non-fn item keyword.
+        if m > *c && matches!(self.txt(m), "impl" | "trait" | "mod" | "extern") {
+            *c = m;
+        }
+
+        match self.txt(*c) {
+            "mod" => {
+                *c += 1;
+                let (name, name_code) = self.expect_name(c);
+                if self.txt(*c) == "{" {
+                    let (body, children) = self.brace_body(c, end, true);
+                    Some(self.item(ItemKind::Mod, name, is_pub, name_code, body, children))
+                } else {
+                    self.skip_past_semi(c, end);
+                    Some(self.item(ItemKind::Mod, name, is_pub, name_code, None, Vec::new()))
+                }
+            }
+            "struct" => {
+                *c += 1;
+                let (name, name_code) = self.expect_name(c);
+                if self.txt(*c) == "<" {
+                    *c = self.skip_angles(*c, end);
+                }
+                // Unit `;`, tuple `(…);`, or record `{…}` — `where` clauses
+                // may precede the terminator in all three forms.
+                let body = loop {
+                    match self.txt(*c) {
+                        "{" => break self.brace_body(c, end, false).0,
+                        ";" => {
+                            *c += 1;
+                            break None;
+                        }
+                        "(" => match self.matching(*c, end, "(", ")") {
+                            Some(close) => *c = close + 1,
+                            None => {
+                                *c = end;
+                                break None;
+                            }
+                        },
+                        "" => break None,
+                        _ => *c += 1,
+                    }
+                };
+                Some(self.item(ItemKind::Struct, name, is_pub, name_code, body, Vec::new()))
+            }
+            kw @ ("enum" | "union" | "trait") => {
+                let kind = match kw {
+                    "enum" => ItemKind::Enum,
+                    "union" => ItemKind::Union,
+                    _ => ItemKind::Trait,
+                };
+                *c += 1;
+                if kw == "trait" && self.txt(*c) == "auto" {
+                    *c += 1;
+                }
+                let (name, name_code) = self.expect_name(c);
+                let body = self.seek_brace_or_semi(c, end);
+                Some(self.item(kind, name, is_pub, name_code, body, Vec::new()))
+            }
+            "type" => {
+                *c += 1;
+                let (name, name_code) = self.expect_name(c);
+                self.skip_past_semi(c, end);
+                Some(self.item(ItemKind::TypeAlias, name, is_pub, name_code, None, Vec::new()))
+            }
+            kw @ ("const" | "static") => {
+                let kind = if kw == "const" { ItemKind::Const } else { ItemKind::Static };
+                *c += 1;
+                if self.txt(*c) == "mut" {
+                    *c += 1;
+                }
+                let (name, name_code) = self.expect_name(c);
+                self.skip_past_semi(c, end);
+                Some(self.item(kind, name, is_pub, name_code, None, Vec::new()))
+            }
+            "use" => {
+                *c += 1;
+                let name_code = *c;
+                let mut path = String::new();
+                while *c < end && self.txt(*c) != ";" {
+                    if !path.is_empty() {
+                        path.push(' ');
+                    }
+                    path.push_str(self.txt(*c));
+                    *c += 1;
+                }
+                *c += 1; // past `;`
+                Some(self.item(
+                    ItemKind::Use { path },
+                    String::new(),
+                    is_pub,
+                    name_code,
+                    None,
+                    Vec::new(),
+                ))
+            }
+            "impl" => {
+                *c += 1;
+                Some(self.parse_impl(c, end, head, is_pub))
+            }
+            "extern" => {
+                if self.txt(*c + 1) == "crate" {
+                    *c += 2;
+                    let (name, name_code) = self.expect_name(c);
+                    self.skip_past_semi(c, end);
+                    Some(self.item(
+                        ItemKind::ExternCrate,
+                        name,
+                        is_pub,
+                        name_code,
+                        None,
+                        Vec::new(),
+                    ))
+                } else {
+                    // `extern "C" { … }` foreign block.
+                    let name_code = *c;
+                    *c += 1;
+                    let body = self.seek_brace_or_semi(c, end);
+                    Some(self.item(
+                        ItemKind::ForeignMod,
+                        String::new(),
+                        is_pub,
+                        name_code,
+                        body,
+                        Vec::new(),
+                    ))
+                }
+            }
+            "macro_rules" => {
+                *c += 1;
+                if self.txt(*c) == "!" {
+                    *c += 1;
+                }
+                let (name, name_code) = self.expect_name(c);
+                self.skip_macro_body(c, end);
+                Some(self.item(ItemKind::MacroDef, name, is_pub, name_code, None, Vec::new()))
+            }
+            "macro" => {
+                *c += 1;
+                let (name, name_code) = self.expect_name(c);
+                self.skip_macro_body(c, end);
+                Some(self.item(ItemKind::MacroDef, name, is_pub, name_code, None, Vec::new()))
+            }
+            ";" => {
+                *c += 1; // stray empty item
+                None
+            }
+            _ => {
+                // Recovery: a macro invocation at item position
+                // (`lazy_static! { … }`) or anything else the grammar does
+                // not cover. Skip to the next `;` or past the next balanced
+                // `{…}`, whichever comes first.
+                let name_code = *c;
+                let mut d = *c;
+                while d < end {
+                    match self.txt(d) {
+                        ";" => {
+                            *c = d + 1;
+                            return Some(self.item(
+                                ItemKind::Unknown,
+                                String::new(),
+                                is_pub,
+                                name_code,
+                                None,
+                                Vec::new(),
+                            ));
+                        }
+                        "{" => {
+                            let close =
+                                self.matching(d, end, "{", "}").unwrap_or(end.saturating_sub(1));
+                            *c = close + 1;
+                            return Some(self.item(
+                                ItemKind::Unknown,
+                                String::new(),
+                                is_pub,
+                                name_code,
+                                Some((d, close)),
+                                Vec::new(),
+                            ));
+                        }
+                        _ => d += 1,
+                    }
+                }
+                *c = end;
+                Some(self.item(
+                    ItemKind::Unknown,
+                    String::new(),
+                    is_pub,
+                    name_code,
+                    None,
+                    Vec::new(),
+                ))
+            }
+        }
+    }
+
+    /// True when the tokens at `c` continue a modifier run ending in `fn`.
+    fn is_modifier_run(&self, mut c: usize) -> bool {
+        loop {
+            let t = self.txt(c);
+            if t == "fn" {
+                return true;
+            }
+            if FN_MODIFIERS.contains(&t) {
+                c += 1;
+            } else if t == "extern" && self.kind(c + 1) == Some(TokenKind::Literal) {
+                c += 2;
+            } else {
+                return false;
+            }
+        }
+    }
+
+    /// Reads the item name at `*c` when present, advancing past it.
+    fn expect_name(&self, c: &mut usize) -> (String, usize) {
+        let name_code = *c;
+        if self.kind(*c) == Some(TokenKind::Ident) || self.txt(*c) == "_" {
+            let name = self.txt(*c).to_string();
+            *c += 1;
+            (name, name_code)
+        } else {
+            (String::new(), name_code)
+        }
+    }
+
+    /// Skips to just past the next `;`, stepping over balanced `{…}`,
+    /// `(…)`, and `[…]` groups (initializer expressions may contain
+    /// blocks, e.g. `const A: i32 = { 1 };`).
+    fn skip_past_semi(&self, c: &mut usize, end: usize) {
+        while *c < end {
+            match self.txt(*c) {
+                ";" => {
+                    *c += 1;
+                    return;
+                }
+                "{" | "(" | "[" => {
+                    let (open, close) = match self.txt(*c) {
+                        "{" => ("{", "}"),
+                        "(" => ("(", ")"),
+                        _ => ("[", "]"),
+                    };
+                    match self.matching(*c, end, open, close) {
+                        Some(m) => *c = m + 1,
+                        None => {
+                            *c = end;
+                            return;
+                        }
+                    }
+                }
+                _ => *c += 1,
+            }
+        }
+    }
+
+    /// Advances to the item's `{…}` body (skipping generics, bounds, and
+    /// `where` clauses) or its terminating `;`, and returns the body range.
+    fn seek_brace_or_semi(&self, c: &mut usize, end: usize) -> Option<(usize, usize)> {
+        while *c < end {
+            match self.txt(*c) {
+                "{" => return self.brace_body(c, end, false).0,
+                ";" => {
+                    *c += 1;
+                    return None;
+                }
+                "<" => *c = self.skip_angles(*c, end),
+                "(" => match self.matching(*c, end, "(", ")") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        return None;
+                    }
+                },
+                _ => *c += 1,
+            }
+        }
+        None
+    }
+
+    /// Consumes the `{…}` at `*c`; returns its range and (optionally) the
+    /// items parsed from its interior.
+    fn brace_body(
+        &self,
+        c: &mut usize,
+        end: usize,
+        parse_children: bool,
+    ) -> (Option<(usize, usize)>, Vec<Item>) {
+        let open = *c;
+        let close = self.matching(open, end, "{", "}").unwrap_or_else(|| end.saturating_sub(1));
+        *c = close + 1;
+        let children = if parse_children && close > open {
+            self.items_in(open + 1, close)
+        } else {
+            Vec::new()
+        };
+        (Some((open, close)), children)
+    }
+
+    /// Skips a macro definition body: `{…}` (no trailing `;`) or `(…);` /
+    /// `[…];`.
+    fn skip_macro_body(&self, c: &mut usize, end: usize) {
+        match self.txt(*c) {
+            "{" => {
+                let close = self.matching(*c, end, "{", "}").unwrap_or(end.saturating_sub(1));
+                *c = close + 1;
+            }
+            "(" | "[" => {
+                let (open, closer) = if self.txt(*c) == "(" { ("(", ")") } else { ("[", "]") };
+                match self.matching(*c, end, open, closer) {
+                    Some(close) => {
+                        *c = close + 1;
+                        if self.txt(*c) == ";" {
+                            *c += 1;
+                        }
+                    }
+                    None => *c = end,
+                }
+            }
+            _ => self.skip_past_semi(c, end),
+        }
+    }
+
+    /// Parses a function item with `*c` positioned just past `fn`.
+    fn parse_fn(&self, c: &mut usize, end: usize, _head: usize, is_pub: bool) -> Item {
+        let (name, name_code) = self.expect_name(c);
+        if self.txt(*c) == "<" {
+            *c = self.skip_angles(*c, end);
+        }
+        let mut params = Vec::new();
+        if self.txt(*c) == "(" {
+            let close = self.matching(*c, end, "(", ")").unwrap_or(end.saturating_sub(1));
+            params = self.param_names(*c + 1, close);
+            *c = close + 1;
+        }
+        // Return type and where clause, up to the body or `;` (trait
+        // method declarations and extern fns have no body).
+        let mut body = None;
+        while *c < end {
+            match self.txt(*c) {
+                "{" => {
+                    body = self.brace_body(c, end, false).0;
+                    break;
+                }
+                ";" => {
+                    *c += 1;
+                    break;
+                }
+                "<" => *c = self.skip_angles(*c, end),
+                "(" => match self.matching(*c, end, "(", ")") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        break;
+                    }
+                },
+                _ => *c += 1,
+            }
+        }
+        let mut item = self.item(ItemKind::Fn, name, is_pub, name_code, body, Vec::new());
+        item.params = params;
+        item
+    }
+
+    /// Collects parameter binding names in the paren group `(from…close)`:
+    /// the `name` of every top-level `name: Type` pair (`mut` stripped,
+    /// `self` receivers excluded, destructuring patterns contribute
+    /// nothing).
+    fn param_names(&self, from: usize, close: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0usize; // nesting of (), [], {} inside the params
+        let mut angle = 0isize;
+        let mut param_start = true;
+        let mut c = from;
+        while c < close {
+            let t = self.txt(c);
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "," if depth == 0 && angle <= 0 => {
+                    param_start = true;
+                    angle = 0;
+                    c += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if param_start && depth == 0 {
+                if t == "mut" {
+                    c += 1;
+                    continue;
+                }
+                if self.kind(c) == Some(TokenKind::Ident) && self.txt(c + 1) == ":" && t != "self" {
+                    names.push(t.to_string());
+                }
+                param_start = false;
+            }
+            c += 1;
+        }
+        names
+    }
+
+    /// Parses an impl item with `*c` positioned just past `impl`.
+    fn parse_impl(&self, c: &mut usize, end: usize, head: usize, is_pub: bool) -> Item {
+        if self.txt(*c) == "<" {
+            *c = self.skip_angles(*c, end);
+        }
+        if self.txt(*c) == "!" {
+            *c += 1; // negative impl
+        }
+        let first = self.type_head(c, end);
+        let (self_ty, trait_ty) = if self.txt(*c) == "for" {
+            *c += 1;
+            if self.txt(*c) == "!" {
+                *c += 1;
+            }
+            (self.type_head(c, end), Some(first))
+        } else {
+            (first, None)
+        };
+        // Skip any `where` clause to the body.
+        let (body, children) = loop {
+            match self.txt(*c) {
+                "{" => break self.brace_body(c, end, true),
+                ";" | "" => {
+                    if self.txt(*c) == ";" {
+                        *c += 1;
+                    }
+                    break (None, Vec::new());
+                }
+                "<" => *c = self.skip_angles(*c, end),
+                _ => *c += 1,
+            }
+        };
+        self.item(ItemKind::Impl { self_ty, trait_ty }, String::new(), is_pub, head, body, children)
+    }
+
+    /// Reads a type path at `*c` and returns its head identifier: the last
+    /// path-segment identifier at angle-depth 0 before `for`, `where`,
+    /// `{`, or `;`. Handles references, slices, and generic arguments by
+    /// skipping them.
+    fn type_head(&self, c: &mut usize, end: usize) -> String {
+        let mut head = String::new();
+        while *c < end {
+            match self.txt(*c) {
+                "for" | "where" | "{" | ";" => break,
+                "<" => *c = self.skip_angles(*c, end),
+                "(" => match self.matching(*c, end, "(", ")") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        break;
+                    }
+                },
+                "[" => match self.matching(*c, end, "[", "]") {
+                    Some(close) => *c = close + 1,
+                    None => {
+                        *c = end;
+                        break;
+                    }
+                },
+                _ => {
+                    if self.kind(*c) == Some(TokenKind::Ident) {
+                        head = self.txt(*c).to_string();
+                    }
+                    *c += 1;
+                }
+            }
+        }
+        head
+    }
+
+    fn item(
+        &self,
+        kind: ItemKind,
+        name: String,
+        is_pub: bool,
+        name_code: usize,
+        body: Option<(usize, usize)>,
+        children: Vec<Item>,
+    ) -> Item {
+        Item {
+            kind,
+            name,
+            is_pub,
+            span: self.span(name_code),
+            name_code,
+            body,
+            children,
+            params: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> ItemTree {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        parse_items(src, &tokens, &code)
+    }
+
+    fn names(tree: &ItemTree) -> Vec<String> {
+        tree.items.iter().map(|i| i.name.clone()).collect()
+    }
+
+    #[test]
+    fn parses_basic_items() {
+        let tree = parse(
+            "pub mod m { pub fn f(x: u64) -> u64 { x } }\n\
+             struct S { a: u8 }\n\
+             pub enum E { A, B }\n\
+             pub use std::collections::HashMap;\n\
+             const N: usize = 3;\n\
+             pub fn top(a: f64, mut b: f64) -> f64 { a + b }",
+        );
+        assert_eq!(names(&tree), vec!["m", "S", "E", "", "N", "top"]);
+        assert_eq!(tree.items[0].children.len(), 1);
+        assert_eq!(tree.items[0].children[0].name, "f");
+        assert_eq!(tree.items[0].children[0].params, vec!["x"]);
+        let top = &tree.items[5];
+        assert_eq!(top.kind, ItemKind::Fn);
+        assert!(top.is_pub);
+        assert_eq!(top.params, vec!["a", "b"]);
+        assert!(top.body.is_some());
+    }
+
+    #[test]
+    fn impl_blocks_expose_self_and_trait_types() {
+        let tree = parse(
+            "impl Matrix { pub fn get(&self, i: usize) -> f64 { self.data[i] } }\n\
+             impl fmt::Display for Span { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }",
+        );
+        match &tree.items[0].kind {
+            ItemKind::Impl { self_ty, trait_ty } => {
+                assert_eq!(self_ty, "Matrix");
+                assert!(trait_ty.is_none());
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+        assert_eq!(tree.items[0].children[0].name, "get");
+        assert_eq!(tree.items[0].children[0].params, vec!["i"]);
+        match &tree.items[1].kind {
+            ItemKind::Impl { self_ty, trait_ty } => {
+                assert_eq!(self_ty, "Span");
+                assert_eq!(trait_ty.as_deref(), Some("Display"));
+            }
+            other => panic!("expected trait impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_bounds_and_where_clauses_do_not_derail() {
+        let tree = parse(
+            "pub fn g<T: Iterator<Item = Vec<u8>>, const N: usize>(xs: T, seed: [u8; N]) -> usize\n\
+             where T: Clone { xs.count() }\n\
+             pub struct Wrap<T>(pub Vec<Vec<T>>) where T: Default;",
+        );
+        assert_eq!(names(&tree), vec!["g", "Wrap"]);
+        assert_eq!(tree.items[0].params, vec!["xs", "seed"]);
+    }
+
+    #[test]
+    fn recovery_resumes_at_the_next_item() {
+        // `???` is not an item head; the parser must skip it and still see
+        // the following function.
+        let tree =
+            parse("??? !! garbage ;\npub fn alive() {}\nmacro_rules! m { () => {} }\nfn tail() {}");
+        let kinds: Vec<&ItemKind> = tree.items.iter().map(|i| &i.kind).collect();
+        assert!(matches!(kinds[0], ItemKind::Unknown));
+        assert_eq!(tree.items[1].name, "alive");
+        assert_eq!(tree.items[2].name, "m");
+        assert_eq!(tree.items[3].name, "tail");
+    }
+
+    #[test]
+    fn unterminated_input_never_panics() {
+        for src in [
+            "fn f(",
+            "impl Foo {",
+            "mod m { fn g(",
+            "pub struct S<",
+            "use a::{b, c",
+            "fn f() { let x = [1,2",
+            "#[derive(Debug",
+            "const X: usize = {",
+        ] {
+            let _ = parse(src); // must not panic
+        }
+    }
+
+    #[test]
+    fn const_fn_vs_const_item() {
+        let tree = parse(
+            "const fn f() -> u8 { 1 }\nconst X: u8 = 2;\npub const unsafe extern \"C\" fn g() {}",
+        );
+        assert_eq!(tree.items[0].kind, ItemKind::Fn);
+        assert_eq!(tree.items[0].name, "f");
+        assert_eq!(tree.items[1].kind, ItemKind::Const);
+        assert_eq!(tree.items[2].kind, ItemKind::Fn);
+        assert_eq!(tree.items[2].name, "g");
+    }
+
+    #[test]
+    fn use_items_capture_their_path() {
+        let tree = parse("use catalyze_linalg::{Matrix, lstsq};");
+        match &tree.items[0].kind {
+            ItemKind::Use { path } => assert!(path.starts_with("catalyze_linalg ::")),
+            other => panic!("expected use, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_point_at_names() {
+        let src = "mod outer {\n    pub fn inner() {}\n}";
+        let tree = parse(src);
+        let inner = &tree.items[0].children[0];
+        assert_eq!(inner.span.line, 2);
+        assert_eq!(&src[inner.span.start..inner.span.end], "inner");
+    }
+}

@@ -1,0 +1,195 @@
+//! R011 — dead public API.
+//!
+//! A `pub` item widens the crate's contract; if nothing outside the crate
+//! exercises it, the visibility is a lie the compiler can never call out.
+//! This rule flags top-level `pub` items (functions, types, traits,
+//! consts, statics, modules, macros) in library code whose *name* is
+//! referenced by no other workspace crate, no test code, and no reference
+//! file (top-level `tests/`/`examples/`, crate `benches/`/`examples/`).
+//!
+//! Resolution is name-based on purpose — over-inclusive on the usage side
+//! (any mention of the identifier anywhere justifies the `pub`), which
+//! keeps false positives near zero at the cost of missing dead items that
+//! share a name with a live one. Items are exempt when:
+//!
+//! * they carry restricted visibility (`pub(crate)`, `pub(super)`) —
+//!   already narrowed;
+//! * they sit inside an `impl` or `trait` block (method visibility is
+//!   part of the type's contract, and trait items are required by the
+//!   trait);
+//! * they are test-masked.
+//!
+//! Suppression kind: `dead_api` — for items that are deliberate public
+//! surface ahead of planned callers.
+
+use super::Finding;
+use crate::graph::{FileAnalysis, UsageSets};
+use crate::parser::{Item, ItemKind};
+
+/// Runs R011 over the analyzed files against the collected usage sets.
+pub fn check(analyses: &[FileAnalysis<'_>], usage: &UsageSets) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    for (fi, fa) in analyses.iter().enumerate() {
+        let krate = fa.crate_name();
+        if krate.is_empty() || !fa.file.role.panic_and_cast_rules_apply() {
+            continue;
+        }
+        fa.tree.walk(|path, item| {
+            if !item.is_pub || item.name.is_empty() {
+                return;
+            }
+            if path
+                .iter()
+                .any(|p| matches!(p.kind, ItemKind::Impl { .. }) || p.kind == ItemKind::Trait)
+            {
+                return;
+            }
+            let Some(kind_word) = kind_word(&item.kind) else { return };
+            if is_test_item(fa, item) || has_restricted_visibility(fa, item) {
+                return;
+            }
+            if usage.justifies_pub(krate, &item.name) {
+                return;
+            }
+            out.push((
+                fi,
+                Finding {
+                    kind: "dead_api",
+                    diag: fa
+                        .ctx
+                        .diagnostic_at(
+                            item.name_code,
+                            "R011",
+                            format!(
+                                "`pub {kind_word} {}` is referenced by no other workspace \
+                                 crate, test, example, or bench",
+                                item.name
+                            ),
+                        )
+                        .with_suggestion(
+                            "narrow it to pub(crate), remove it, or annotate with \
+                             `// lint: allow(dead_api): <reason>` if it is deliberate \
+                             public surface",
+                        ),
+                },
+            ));
+        });
+    }
+    out
+}
+
+/// The keyword to print for a flaggable item kind; `None` for kinds R011
+/// does not police (`use`, `impl`, foreign blocks, recovery items).
+fn kind_word(kind: &ItemKind) -> Option<&'static str> {
+    Some(match kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Union => "union",
+        ItemKind::Trait => "trait",
+        ItemKind::TypeAlias => "type",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::Mod => "mod",
+        ItemKind::MacroDef => "macro",
+        _ => return None,
+    })
+}
+
+/// Whether the item's name token sits inside the file's test mask.
+fn is_test_item(fa: &FileAnalysis<'_>, item: &Item) -> bool {
+    fa.ctx.code.get(item.name_code).is_some_and(|&ti| fa.ctx.in_test[ti])
+}
+
+/// Whether the item's visibility is a restricted `pub(…)` form. The
+/// parser records only "has pub"; the restriction is read back from the
+/// tokens preceding the name.
+fn has_restricted_visibility(fa: &FileAnalysis<'_>, item: &Item) -> bool {
+    let start = item.name_code.saturating_sub(12);
+    for c in start..item.name_code {
+        if fa.ctx.code_text(c) == "pub" && fa.ctx.code_text(c + 1) == "(" {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{FileAnalysis, UsageSets, WorkspaceFile};
+    use crate::rules::role_of;
+
+    fn run(files: &[(&str, &str)], references: &[(&str, &str)]) -> Vec<(usize, String)> {
+        let files: Vec<WorkspaceFile> = files
+            .iter()
+            .map(|(rel, src)| WorkspaceFile {
+                rel: rel.to_string(),
+                src: src.to_string(),
+                role: role_of(rel),
+            })
+            .collect();
+        let refs: Vec<WorkspaceFile> = references
+            .iter()
+            .map(|(rel, src)| WorkspaceFile {
+                rel: rel.to_string(),
+                src: src.to_string(),
+                role: role_of(rel),
+            })
+            .collect();
+        let analyses: Vec<FileAnalysis<'_>> = files.iter().map(FileAnalysis::new).collect();
+        let usage = UsageSets::collect(&analyses, &refs);
+        super::check(&analyses, &usage)
+            .into_iter()
+            .map(|(_, f)| (f.diag.span.map(|s| s.line).unwrap_or(0), f.diag.message))
+            .collect()
+    }
+
+    #[test]
+    fn unreferenced_pub_fn_is_flagged_referenced_one_is_not() {
+        let got = run(
+            &[
+                ("crates/a/src/lib.rs", "pub fn used_elsewhere() {}\npub fn orphan() {}"),
+                ("crates/b/src/lib.rs", "pub fn f() { catalyze_a::used_elsewhere(); }"),
+            ],
+            &[],
+        );
+        let orphans: Vec<&(usize, String)> =
+            got.iter().filter(|f| f.1.contains("orphan")).collect();
+        assert_eq!(orphans.len(), 1, "{got:?}");
+        assert_eq!(orphans[0].0, 2);
+        assert!(!got.iter().any(|f| f.1.contains("used_elsewhere")), "{got:?}");
+    }
+
+    #[test]
+    fn tests_benches_and_examples_justify_pub() {
+        let got = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub fn from_bench() {}\npub fn from_test() {}\n\
+                 #[cfg(test)]\nmod t { fn f() { super::from_test(); } }",
+            )],
+            &[("crates/a/benches/b.rs", "fn main() { catalyze_a::from_bench(); }")],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn restricted_visibility_and_impl_methods_are_exempt() {
+        let got = run(
+            &[(
+                "crates/a/src/lib.rs",
+                "pub(crate) fn narrow() {}\n\
+                 pub struct S;\nimpl S { pub fn method_only_here(&self) {} }\n\
+                 pub trait T { fn item(&self); }",
+            )],
+            &[("tests/t.rs", "fn f() { use catalyze_a::{S, T}; }")],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn binary_files_are_exempt() {
+        let got = run(&[("crates/a/src/main.rs", "pub fn helper() {}\nfn main() {}")], &[]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

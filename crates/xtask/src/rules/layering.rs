@@ -1,0 +1,346 @@
+//! R009 — crate-layering enforcement from a declarative dependency DAG.
+//!
+//! The policy file (`crates/xtask/layering.lint`) declares, for every
+//! workspace crate, the crate directories it is allowed to depend on:
+//!
+//! ```text
+//! # <dir> <import-ident> -> <allowed dep dirs…>
+//! events catalyze_events ->
+//! core   catalyze        -> linalg events obs
+//! ```
+//!
+//! The format is deliberately plain text parsed by hand — no config-file
+//! dependency. [`LayeringPolicy::parse`] validates the declaration itself
+//! (duplicate rows, unknown dependency directories, self-dependencies,
+//! cycles — the allowed-dependency relation must stay a DAG), and
+//! [`check`] then flags every non-test reference to another workspace
+//! crate's import identifier (`use catalyze_cli…`, `catalyze_cli::…`) that
+//! the declaration does not allow. Crates present in the workspace but
+//! absent from the policy are themselves findings: the DAG must stay
+//! total.
+
+use super::Finding;
+use crate::graph::FileAnalysis;
+use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One crate row of the layering declaration.
+#[derive(Debug, Clone)]
+// lint: allow(dead_api): entry type in LayeringPolicy's public accessors, which the lint tests use
+pub struct LayerEntry {
+    /// Crate directory under `crates/` (`core`, `cli`, …).
+    pub dir: String,
+    /// The identifier other crates import it by (`catalyze`,
+    /// `catalyze_cli`, …).
+    pub import: String,
+    /// Crate directories this crate may depend on (direct deps only).
+    pub allowed: BTreeSet<String>,
+}
+
+/// The parsed allowed-dependency DAG.
+#[derive(Debug, Clone, Default)]
+pub struct LayeringPolicy {
+    entries: Vec<LayerEntry>,
+}
+
+impl LayeringPolicy {
+    /// Parses and validates the declaration text. On failure, returns
+    /// human-readable problems (one per line-level or graph-level error).
+    pub fn parse(text: &str) -> Result<LayeringPolicy, Vec<String>> {
+        let mut entries: Vec<LayerEntry> = Vec::new();
+        let mut problems = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((head, deps)) = line.split_once("->") else {
+                problems.push(format!("line {}: expected `<dir> <import> -> <deps…>`", ln + 1));
+                continue;
+            };
+            let head: Vec<&str> = head.split_whitespace().collect();
+            let [dir, import] = head[..] else {
+                problems.push(format!(
+                    "line {}: expected exactly `<dir> <import>` before `->`",
+                    ln + 1
+                ));
+                continue;
+            };
+            if entries.iter().any(|e| e.dir == dir) {
+                problems.push(format!("line {}: duplicate crate `{dir}`", ln + 1));
+                continue;
+            }
+            if entries.iter().any(|e| e.import == import) {
+                problems.push(format!("line {}: duplicate import ident `{import}`", ln + 1));
+                continue;
+            }
+            let allowed: BTreeSet<String> = deps.split_whitespace().map(str::to_string).collect();
+            if allowed.contains(dir) {
+                problems.push(format!("line {}: `{dir}` lists itself as a dependency", ln + 1));
+                continue;
+            }
+            entries.push(LayerEntry { dir: dir.to_string(), import: import.to_string(), allowed });
+        }
+        let dirs: BTreeSet<&str> = entries.iter().map(|e| e.dir.as_str()).collect();
+        for e in &entries {
+            for d in &e.allowed {
+                if !dirs.contains(d.as_str()) {
+                    problems.push(format!("crate `{}` allows unknown dependency `{d}`", e.dir));
+                }
+            }
+        }
+        if let Some(cycle) = find_cycle(&entries) {
+            problems.push(format!(
+                "allowed-dependency graph is not a DAG: cycle {}",
+                cycle.join(" -> ")
+            ));
+        }
+        if problems.is_empty() {
+            Ok(LayeringPolicy { entries })
+        } else {
+            Err(problems)
+        }
+    }
+
+    /// Row for a crate directory.
+    pub fn entry(&self, dir: &str) -> Option<&LayerEntry> {
+        self.entries.iter().find(|e| e.dir == dir)
+    }
+
+    /// Row matching an import identifier.
+    pub fn by_import(&self, import: &str) -> Option<&LayerEntry> {
+        self.entries.iter().find(|e| e.import == import)
+    }
+
+    /// All declared crate rows.
+    pub fn entries(&self) -> &[LayerEntry] {
+        &self.entries
+    }
+}
+
+/// DFS cycle detection over the allowed-dependency edges.
+fn find_cycle(entries: &[LayerEntry]) -> Option<Vec<String>> {
+    let index: BTreeMap<&str, usize> =
+        entries.iter().enumerate().map(|(i, e)| (e.dir.as_str(), i)).collect();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; entries.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    fn dfs(
+        i: usize,
+        entries: &[LayerEntry],
+        index: &BTreeMap<&str, usize>,
+        state: &mut [u8],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<String>> {
+        state[i] = 1;
+        stack.push(i);
+        for d in &entries[i].allowed {
+            let Some(&j) = index.get(d.as_str()) else { continue };
+            match state[j] {
+                1 => {
+                    let from = stack.iter().position(|&s| s == j).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[from..].iter().map(|&s| entries[s].dir.clone()).collect();
+                    cycle.push(entries[j].dir.clone());
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(c) = dfs(j, entries, index, state, stack) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        state[i] = 2;
+        None
+    }
+    for i in 0..entries.len() {
+        if state[i] == 0 {
+            if let Some(c) = dfs(i, entries, &index, &mut state, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Runs R009 over the analyzed files. Findings carry suppression kind
+/// `layering`.
+pub(crate) fn check(
+    analyses: &[FileAnalysis<'_>],
+    policy: &LayeringPolicy,
+) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    let mut missing_reported: BTreeSet<String> = BTreeSet::new();
+    for (fi, fa) in analyses.iter().enumerate() {
+        let dir = fa.crate_name();
+        if dir.is_empty() {
+            continue;
+        }
+        let Some(entry) = policy.entry(dir) else {
+            if missing_reported.insert(dir.to_string()) {
+                out.push((
+                    fi,
+                    Finding {
+                        kind: "layering",
+                        diag: fa
+                            .ctx
+                            .diagnostic_at(
+                                0,
+                                "R009",
+                                format!(
+                                    "crate `{dir}` is missing from the layering policy \
+                                     (crates/xtask/layering.lint)"
+                                ),
+                            )
+                            .with_suggestion("add a `<dir> <import> -> <deps…>` row for it"),
+                    },
+                ));
+            }
+            continue;
+        };
+        for c in 0..fa.ctx.code.len() {
+            if fa.ctx.code_in_test(c) {
+                continue;
+            }
+            if fa.ctx.code_token(c).map(|t| t.kind) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let ident = fa.ctx.code_text(c);
+            let Some(target) = policy.by_import(ident) else { continue };
+            if target.dir == dir {
+                continue;
+            }
+            // Only import positions count: `use <ident>…` or `<ident>::…`.
+            let prev = if c == 0 { "" } else { fa.ctx.code_text(c - 1) };
+            let is_import = prev == "use" || fa.ctx.code_text(c + 1) == "::";
+            if !is_import || prev == "::" || prev == "." {
+                continue;
+            }
+            if entry.allowed.contains(&target.dir) {
+                continue;
+            }
+            let allowed = if entry.allowed.is_empty() {
+                "none (leaf crate)".to_string()
+            } else {
+                entry.allowed.iter().cloned().collect::<Vec<_>>().join(", ")
+            };
+            out.push((
+                fi,
+                Finding {
+                    kind: "layering",
+                    diag: fa
+                        .ctx
+                        .diagnostic_at(
+                            c,
+                            "R009",
+                            format!(
+                                "layering violation: crate `{dir}` must not depend on \
+                                 `{}` (`{ident}`); allowed dependencies: {allowed}",
+                                target.dir
+                            ),
+                        )
+                        .with_suggestion(
+                            "move the code to a crate that may take this dependency, or \
+                             change the layering DAG deliberately",
+                        ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkspaceFile;
+    use crate::rules::role_of;
+
+    const POLICY: &str = "\
+        # workspace layering\n\
+        events catalyze_events ->\n\
+        obs    catalyze_obs    ->\n\
+        core   catalyze        -> events obs\n\
+        cli    catalyze_cli    -> core events obs\n";
+
+    fn run(policy: &str, files: &[(&str, &str)]) -> Vec<(String, usize, usize, String)> {
+        let policy = LayeringPolicy::parse(policy).expect("policy parses");
+        let files: Vec<WorkspaceFile> = files
+            .iter()
+            .map(|(rel, src)| WorkspaceFile {
+                rel: rel.to_string(),
+                src: src.to_string(),
+                role: role_of(rel),
+            })
+            .collect();
+        let analyses: Vec<FileAnalysis<'_>> = files.iter().map(FileAnalysis::new).collect();
+        check(&analyses, &policy)
+            .into_iter()
+            .map(|(_, f)| {
+                let s = f.diag.span.unwrap();
+                (f.diag.rule, s.line, s.column, f.diag.message)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn allowed_and_own_crate_imports_are_silent() {
+        let got = run(
+            POLICY,
+            &[(
+                "crates/core/src/lib.rs",
+                "use catalyze_events::Event;\nuse catalyze_obs::Observer;\n\
+                 pub fn f() { catalyze_events::emit(); }",
+            )],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn forbidden_import_is_flagged_with_exact_span() {
+        let got = run(POLICY, &[("crates/core/src/pipeline.rs", "use catalyze_cli::Args;\n")]);
+        assert_eq!(got.len(), 1);
+        let (rule, line, column, msg) = &got[0];
+        assert_eq!((rule.as_str(), *line, *column), ("R009", 1, 5));
+        assert!(msg.contains("must not depend on `cli`"), "{msg}");
+    }
+
+    #[test]
+    fn leaf_crate_may_import_nothing() {
+        let got =
+            run(POLICY, &[("crates/events/src/lib.rs", "pub fn f() { catalyze_obs::tick(); }")]);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].3.contains("none (leaf crate)"), "{}", got[0].3);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let got = run(
+            POLICY,
+            &[("crates/events/src/lib.rs", "#[cfg(test)]\nmod t { use catalyze_cli::Args; }")],
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn undeclared_crate_is_flagged_once() {
+        let got = run(POLICY, &[("crates/mystery/src/lib.rs", "pub fn f() {}")]);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].3.contains("missing from the layering policy"), "{}", got[0].3);
+    }
+
+    #[test]
+    fn policy_validation_catches_cycles_and_unknowns() {
+        let err = LayeringPolicy::parse("a ia -> b\nb ib -> a\n").unwrap_err();
+        assert!(err.iter().any(|p| p.contains("cycle")), "{err:?}");
+        let err = LayeringPolicy::parse("a ia -> ghost\n").unwrap_err();
+        assert!(err.iter().any(|p| p.contains("unknown dependency `ghost`")), "{err:?}");
+        let err = LayeringPolicy::parse("a ia -> a\n").unwrap_err();
+        assert!(err.iter().any(|p| p.contains("lists itself")), "{err:?}");
+        let err = LayeringPolicy::parse("a ia -> \na ib ->\n").unwrap_err();
+        assert!(err.iter().any(|p| p.contains("duplicate crate")), "{err:?}");
+    }
+}

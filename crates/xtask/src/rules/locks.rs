@@ -1,0 +1,451 @@
+//! R008 — lock hygiene across parallelism and nested acquisition.
+//!
+//! Tracks every `Mutex`/`RwLock` acquisition (`.lock()`, `.read()`,
+//! `.write()`) in non-test code together with the range over which its
+//! guard stays live:
+//!
+//! * a `let`-bound guard (`let g = m.lock();`) lives to the end of its
+//!   enclosing block — or to an explicit `drop(g)`;
+//! * a temporary guard (`m.lock().unwrap().push(x)`) lives to the end of
+//!   its statement.
+//!
+//! Three hazards are flagged, all as R008 with suppression kind
+//! `lock_hygiene`:
+//!
+//! 1. **Guard live across a rayon call** — `.par_iter()` and friends, or
+//!    `rayon::join`/`rayon::scope`/`rayon::spawn`, while a guard is live.
+//!    Worker threads that touch the same lock deadlock against the
+//!    blocked pool, and even when they do not, the serial section is
+//!    silently as long as the whole parallel region.
+//! 2. **Re-acquiring a held lock** — a second acquisition whose receiver
+//!    chain is identical to a live guard's (`self.inner.lock()` twice) is
+//!    a self-deadlock with `std::sync::Mutex`.
+//! 3. **Inconsistent acquisition order** — when somewhere in the
+//!    workspace lock *B* is acquired while *A* is held, and somewhere else
+//!    *A* is acquired while *B* is held, the two sites can deadlock
+//!    against each other. Both sites are flagged, each pointing at the
+//!    other.
+//!
+//! Receivers are identified by their canonicalized source text
+//! (`self.inner`, `CACHE`) — a deliberate approximation: two different
+//! objects reached through the same field path are conflated (false
+//! positive risk), and the same lock reached through different aliases is
+//! missed (false negative). Both classes are documented in DESIGN.md §7.
+
+use super::Finding;
+use crate::graph::FileAnalysis;
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// Methods that acquire a guard.
+const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
+/// Rayon parallel-iterator adaptors (called as methods).
+const PAR_METHODS: [&str; 8] = [
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+    "par_extend",
+    "par_sort",
+];
+/// Rayon free functions (called as `rayon::<name>` paths).
+const PAR_FREE: [&str; 3] = ["join", "scope", "spawn"];
+
+/// One lock acquisition and the liveness range of its guard.
+struct Acquisition {
+    /// Code index of the `lock`/`read`/`write` identifier.
+    site: usize,
+    /// Canonicalized receiver chain (`self.inner`, `CACHE`).
+    receiver: String,
+    /// Code index (exclusive) where the guard's liveness ends.
+    end: usize,
+}
+
+/// Runs R008 over every analyzed file, including the workspace-wide
+/// acquisition-order check. Returns findings tagged with their file index.
+pub fn check(analyses: &[FileAnalysis<'_>]) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    // (first-held, then-acquired) -> acquisition sites, for the global
+    // ordering pass.
+    let mut order: BTreeMap<(String, String), Vec<(usize, usize)>> = BTreeMap::new();
+
+    for (fi, fa) in analyses.iter().enumerate() {
+        let acqs = collect_acquisitions(fa);
+        for a in &acqs {
+            // Scan the guard's live range for rayon calls.
+            let mut c = a.site + 2; // past `lock` and `(`
+            while c < a.end {
+                if fa.ctx.code_in_test(c) {
+                    c += 1;
+                    continue;
+                }
+                let t = fa.ctx.code_text(c);
+                let prev = if c == 0 { "" } else { fa.ctx.code_text(c - 1) };
+                if (PAR_METHODS.contains(&t) && prev == ".")
+                    || (PAR_FREE.contains(&t)
+                        && prev == "::"
+                        && c >= 2
+                        && fa.ctx.code_text(c - 2) == "rayon")
+                {
+                    out.push((
+                        fi,
+                        Finding {
+                            kind: "lock_hygiene",
+                            diag: fa
+                                .ctx
+                                .diagnostic_at(
+                                    c,
+                                    "R008",
+                                    format!(
+                                        "`{t}` runs while the guard on `{}` (acquired at line \
+                                         {}) is still live",
+                                        a.receiver,
+                                        line_of(fa, a.site),
+                                    ),
+                                )
+                                .with_suggestion(
+                                    "drop the guard (narrow scope or explicit drop()) before \
+                                     entering the parallel region, or annotate with \
+                                     `// lint: allow(lock_hygiene): <reason>`",
+                                ),
+                        },
+                    ));
+                }
+                c += 1;
+            }
+            // Nested acquisitions inside the live range.
+            for b in &acqs {
+                if b.site <= a.site || b.site >= a.end {
+                    continue;
+                }
+                if b.receiver == a.receiver {
+                    out.push((
+                        fi,
+                        Finding {
+                            kind: "lock_hygiene",
+                            diag: fa
+                                .ctx
+                                .diagnostic_at(
+                                    b.site,
+                                    "R008",
+                                    format!(
+                                        "`{}` is re-acquired while its own guard (line {}) is \
+                                         still live — self-deadlock with std::sync locks",
+                                        a.receiver,
+                                        line_of(fa, a.site),
+                                    ),
+                                )
+                                .with_suggestion("reuse the existing guard or end its scope first"),
+                        },
+                    ));
+                } else {
+                    order
+                        .entry((a.receiver.clone(), b.receiver.clone()))
+                        .or_default()
+                        .push((fi, b.site));
+                }
+            }
+        }
+    }
+
+    // Workspace-wide ordering: (a then b) and (b then a) both observed.
+    for ((a, b), sites) in &order {
+        let Some(reverse) = order.get(&(b.clone(), a.clone())) else { continue };
+        let Some(&(rfi, rsite)) = reverse.first() else { continue };
+        let rloc = analyses[rfi].ctx.diagnostic_at(rsite, "R008", "").location.clone();
+        for &(fi, site) in sites {
+            let fa = &analyses[fi];
+            out.push((
+                fi,
+                Finding {
+                    kind: "lock_hygiene",
+                    diag: fa
+                        .ctx
+                        .diagnostic_at(
+                            site,
+                            "R008",
+                            format!(
+                                "inconsistent lock order: `{b}` is acquired while `{a}` is \
+                                 held here, but `{a}` is acquired while `{b}` is held at {rloc}"
+                            ),
+                        )
+                        .with_suggestion(
+                            "pick one global acquisition order for these locks and use it at \
+                             both sites",
+                        ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// 1-based source line of a code token.
+fn line_of(fa: &FileAnalysis<'_>, c: usize) -> usize {
+    fa.ctx.code_token(c).map(|t| t.span.line).unwrap_or(0)
+}
+
+/// Collects every non-test lock acquisition in the file with its guard's
+/// liveness range.
+fn collect_acquisitions(fa: &FileAnalysis<'_>) -> Vec<Acquisition> {
+    let ctx = &fa.ctx;
+    let mut acqs: Vec<Acquisition> = Vec::new();
+    let mut brace_stack: Vec<usize> = Vec::new();
+    let mut c = 0;
+    while c < ctx.code.len() {
+        match ctx.code_text(c) {
+            "{" => brace_stack.push(c),
+            "}" => {
+                brace_stack.pop();
+            }
+            "let" if !ctx.code_in_test(c) => {
+                let stmt_end = statement_end(fa, c);
+                // Guard binding name: `let [mut] name = …`.
+                let mut n = c + 1;
+                if ctx.code_text(n) == "mut" {
+                    n += 1;
+                }
+                let name = if ctx.code_token(n).map(|t| t.kind) == Some(TokenKind::Ident) {
+                    ctx.code_text(n).to_string()
+                } else {
+                    String::new()
+                };
+                let mut first_in_stmt = true;
+                for d in n..stmt_end {
+                    if let Some(receiver) = acquisition_at(fa, d) {
+                        let end = if first_in_stmt && !name.is_empty() && name != "_" {
+                            // The binding holds the guard: live to the end
+                            // of the enclosing block, or to `drop(name)`.
+                            let scope_end = brace_stack
+                                .last()
+                                .and_then(|&open| matching_brace(fa, open))
+                                .unwrap_or(ctx.code.len());
+                            drop_site(fa, &name, stmt_end, scope_end).unwrap_or(scope_end)
+                        } else {
+                            stmt_end
+                        };
+                        acqs.push(Acquisition { site: d, receiver, end });
+                        first_in_stmt = false;
+                    }
+                }
+                c = stmt_end;
+                continue;
+            }
+            _ => {
+                if !ctx.code_in_test(c) && !already_seen(&acqs, c) {
+                    if let Some(receiver) = acquisition_at(fa, c) {
+                        let end = statement_end(fa, c);
+                        acqs.push(Acquisition { site: c, receiver, end });
+                    }
+                }
+            }
+        }
+        c += 1;
+    }
+    acqs
+}
+
+fn already_seen(acqs: &[Acquisition], c: usize) -> bool {
+    acqs.iter().any(|a| a.site == c)
+}
+
+/// When code index `c` holds an acquisition method call (`.lock(` /
+/// `.read(` / `.write(`), returns the canonicalized receiver chain.
+fn acquisition_at(fa: &FileAnalysis<'_>, c: usize) -> Option<String> {
+    let ctx = &fa.ctx;
+    if !ACQUIRE.contains(&ctx.code_text(c)) || ctx.code_text(c + 1) != "(" {
+        return None;
+    }
+    if c == 0 || ctx.code_text(c - 1) != "." {
+        return None;
+    }
+    // Walk the receiver chain backwards: identifiers joined by `.`/`::`.
+    let mut parts: Vec<&str> = Vec::new();
+    let mut d = c - 1; // the `.` before the method name
+    while d > 0 {
+        let prev = d - 1;
+        let t = ctx.code_text(prev);
+        let is_link = t == "." || t == "::";
+        let is_name = ctx.code_token(prev).map(|t| t.kind) == Some(TokenKind::Ident);
+        if is_link || is_name {
+            parts.push(t);
+            d = prev;
+        } else {
+            break;
+        }
+    }
+    // The walk stops on the token *before* the chain; parts are reversed.
+    parts.reverse();
+    // Trim a leading link token left by the walk (e.g. from `(x).lock()`).
+    while parts.first().is_some_and(|t| *t == "." || *t == "::") {
+        parts.remove(0);
+    }
+    // Drop the trailing `.` that separates receiver from method.
+    while parts.last().is_some_and(|t| *t == ".") {
+        parts.pop();
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    Some(parts.concat())
+}
+
+/// Code index one past the end of the statement containing `c`: the next
+/// `;` at or above the nesting level of `c`, or the `}` that closes the
+/// surrounding block.
+fn statement_end(fa: &FileAnalysis<'_>, from: usize) -> usize {
+    let ctx = &fa.ctx;
+    let mut depth = 0isize;
+    let mut c = from;
+    while c < ctx.code.len() {
+        match ctx.code_text(c) {
+            "{" | "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return c;
+                }
+            }
+            ";" if depth <= 0 => return c,
+            _ => {}
+        }
+        c += 1;
+    }
+    ctx.code.len()
+}
+
+/// Code index of the brace matching the `{` at `open`.
+fn matching_brace(fa: &FileAnalysis<'_>, open: usize) -> Option<usize> {
+    let ctx = &fa.ctx;
+    let mut depth = 0usize;
+    let mut c = open;
+    while c < ctx.code.len() {
+        match ctx.code_text(c) {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(c);
+                }
+            }
+            _ => {}
+        }
+        c += 1;
+    }
+    None
+}
+
+/// First `drop(name)` call in `[from, to)`, if any.
+fn drop_site(fa: &FileAnalysis<'_>, name: &str, from: usize, to: usize) -> Option<usize> {
+    let ctx = &fa.ctx;
+    (from..to).find(|&c| {
+        ctx.code_text(c) == "drop"
+            && ctx.code_text(c + 1) == "("
+            && ctx.code_text(c + 2) == name
+            && ctx.code_text(c + 3) == ")"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{FileAnalysis, WorkspaceFile};
+    use crate::rules::FileRole;
+
+    fn findings(src: &str) -> Vec<(String, usize, String)> {
+        let file = WorkspaceFile {
+            rel: "crates/x/src/a.rs".into(),
+            src: src.into(),
+            role: FileRole::Library,
+        };
+        let analyses = vec![FileAnalysis::new(&file)];
+        super::check(&analyses)
+            .into_iter()
+            .map(|(_, f)| {
+                (f.diag.rule.clone(), f.diag.span.map(|s| s.line).unwrap_or(0), f.diag.message)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn guard_across_par_iter_is_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<Vec<u8>>, xs: &[u8]) {\n\
+                   let g = m.lock().unwrap();\n\
+                   xs.par_iter().for_each(|x| consume(*x));\n\
+                   g.len();\n}";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].0.as_str(), got[0].1), ("R008", 3));
+        assert!(got[0].2.contains("par_iter"), "{}", got[0].2);
+        assert!(got[0].2.contains('m'), "{}", got[0].2);
+    }
+
+    #[test]
+    fn temporary_guard_in_par_statement_is_flagged() {
+        let src = "fn f(s: &Shared, xs: &[u8]) {\n\
+                   s.inner.lock().extend(xs.par_iter().map(|x| *x));\n}";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].2.contains("s.inner"), "{}", got[0].2);
+    }
+
+    #[test]
+    fn dropped_guard_is_not_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<Vec<u8>>, xs: &[u8]) {\n\
+                   let g = m.lock().unwrap();\n\
+                   drop(g);\n\
+                   xs.par_iter().for_each(|x| consume(*x));\n}";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_is_not_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<Vec<u8>>, xs: &[u8]) {\n\
+                   { let g = m.lock().unwrap(); g.len(); }\n\
+                   xs.par_iter().for_each(|x| consume(*x));\n}";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn self_deadlock_is_flagged() {
+        let src = "fn f(&self) {\n\
+                   let a = self.inner.lock().unwrap();\n\
+                   let b = self.inner.lock().unwrap();\n\
+                   use_both(a, b);\n}";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].2.contains("re-acquired"), "{}", got[0].2);
+        assert_eq!(got[0].1, 3);
+    }
+
+    #[test]
+    fn inconsistent_order_is_flagged_at_both_sites() {
+        let src = "fn f(a: &L, b: &L) {\n\
+                   let ga = a.lock();\n\
+                   let gb = b.lock();\n\
+                   use_both(ga, gb);\n}\n\
+                   fn g(a: &L, b: &L) {\n\
+                   let gb = b.lock();\n\
+                   let ga = a.lock();\n\
+                   use_both(ga, gb);\n}";
+        let got = findings(src);
+        let order: Vec<&(String, usize, String)> =
+            got.iter().filter(|f| f.2.contains("inconsistent lock order")).collect();
+        assert_eq!(order.len(), 2, "{got:?}");
+        assert_eq!(order[0].1, 3);
+        assert_eq!(order[1].1, 8);
+    }
+
+    #[test]
+    fn consistent_order_and_test_code_stay_silent() {
+        let src = "fn f(a: &L, b: &L) {\n\
+                   let ga = a.lock();\n\
+                   let gb = b.lock();\n\
+                   use_both(ga, gb);\n}\n\
+                   #[cfg(test)]\nmod t {\n\
+                   fn h(m: &L, xs: &[u8]) { let g = m.lock(); xs.par_iter().count(); }\n}";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -23,19 +23,28 @@
 //!   stay unresolved — rules only act on positive evidence, so the
 //!   inference can be incomplete but never inventive.
 
-pub mod calls;
-pub mod casts;
-pub mod floatcmp;
-pub mod header;
+pub(crate) mod calls;
+pub(crate) mod casts;
+pub(crate) mod deadpub;
+pub(crate) mod floatcmp;
+pub(crate) mod header;
 mod inference;
-pub mod instant;
-pub mod nondet;
-pub mod stale;
+pub(crate) mod instant;
+pub mod layering;
+pub(crate) mod locks;
+pub(crate) mod nondet;
+pub(crate) mod reach;
+pub(crate) mod stale;
 
+use crate::graph::{load_workspace, FileAnalysis, UsageSets, WorkspaceFile, WorkspaceGraph};
 use crate::lexer::{tokenize, Token, TokenKind};
 use catalyze_check::{Diagnostic, Report, Severity, Span};
+use layering::LayeringPolicy;
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+
+/// Repo-relative path of the layering declaration consumed by R009.
+pub(crate) const LAYERING_POLICY_PATH: &str = "crates/xtask/layering.lint";
 
 /// How a file participates in linting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +69,7 @@ impl FileRole {
 
 /// A type the local inference pass can establish for a binding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint: allow(dead_api): returned by FileContext::code_type, part of the context's public surface
 pub enum Ty {
     /// `f32`
     F32,
@@ -83,6 +93,7 @@ impl Ty {
 
 /// One `// lint: allow(<kind>): <reason>` annotation.
 #[derive(Debug, Clone)]
+// lint: allow(dead_api): annotation record in FileContext's public fields
 pub struct Annotation {
     /// The suppression kind: `panic`, `float_cmp`, `lossy_cast`, ….
     pub kind: String,
@@ -96,7 +107,7 @@ pub struct Annotation {
 
 /// A candidate diagnostic plus the annotation kind that may suppress it.
 #[derive(Debug, Clone)]
-pub struct Finding {
+pub(crate) struct Finding {
     /// Annotation kind that suppresses this finding (`panic`, …).
     pub kind: &'static str,
     /// The assembled diagnostic (location, span, message already set).
@@ -104,6 +115,7 @@ pub struct Finding {
 }
 
 /// Everything a rule needs to know about one source file.
+// lint: allow(dead_api): per-file context in FileAnalysis's public fields, which the tests build
 pub struct FileContext<'s> {
     /// Repo-relative path used in diagnostic locations.
     pub rel: String,
@@ -185,23 +197,26 @@ impl<'s> FileContext<'s> {
     }
 }
 
-/// Runs every applicable rule over one file and resolves suppressions.
-/// This is the per-file engine behind [`lint_repo`]; fixture tests call it
-/// directly with synthetic paths.
-pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
-    let mut ctx = FileContext::new(rel, src, role);
+/// Runs the per-file token rules (R001–R007) over one context.
+fn per_file_findings(ctx: &FileContext<'_>) -> Vec<Finding> {
     let mut findings: Vec<Finding> = Vec::new();
-    if matches!(role, FileRole::LibraryRoot | FileRole::BinaryRoot) {
-        findings.extend(header::check(&ctx));
+    if matches!(ctx.role, FileRole::LibraryRoot | FileRole::BinaryRoot) {
+        findings.extend(header::check(ctx));
     }
     if ctx.role.panic_and_cast_rules_apply() {
-        findings.extend(calls::check(&ctx));
-        findings.extend(casts::check(&ctx));
+        findings.extend(calls::check(ctx));
+        findings.extend(casts::check(ctx));
     }
-    findings.extend(floatcmp::check(&ctx));
-    findings.extend(nondet::check(&ctx));
-    findings.extend(instant::check(&ctx));
+    findings.extend(floatcmp::check(ctx));
+    findings.extend(nondet::check(ctx));
+    findings.extend(instant::check(ctx));
+    findings
+}
 
+/// Resolves suppressions for one file's findings, appends the stale-
+/// annotation diagnostics (R004), and returns the file's report in span
+/// order.
+fn resolve_file(ctx: &mut FileContext<'_>, findings: Vec<Finding>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for f in findings {
         if suppress(&mut ctx.annotations, f.kind, &f.diag) {
@@ -209,9 +224,80 @@ pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
         }
         out.push(f.diag);
     }
-    out.extend(stale::check(&ctx));
+    out.extend(stale::check(ctx));
     out.sort_by_key(|d| d.span.map(|s| s.start).unwrap_or(0));
     out
+}
+
+/// Runs every applicable per-file rule over one file and resolves
+/// suppressions. This is the per-file engine behind [`lint_workspace`];
+/// fixture tests call it directly with synthetic paths. The graph rules
+/// (R008–R011) need the whole workspace and only run in workspace mode.
+pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
+    let mut ctx = FileContext::new(rel, src, role);
+    let findings = per_file_findings(&ctx);
+    resolve_file(&mut ctx, findings)
+}
+
+/// The result of a full workspace lint: the report plus the analyzed
+/// files with their post-resolution annotation state (`used` flags), which
+/// is what `--fix` consumes to rewrite stale annotations.
+// lint: allow(dead_api): result type of lint_workspace_full, which the lint tests consume
+pub struct WorkspaceLint<'s> {
+    /// Per-file analyses, annotations carrying resolved `used` flags.
+    pub analyses: Vec<FileAnalysis<'s>>,
+    /// All diagnostics, in file order and span order within each file.
+    pub report: Report,
+}
+
+/// The whole-workspace engine: per-file rules plus the graph rules
+/// (R008 lock hygiene, R009 layering, R010 reachable panics, R011 dead
+/// public API) over the linked module/call graph.
+pub fn lint_workspace(
+    files: &[WorkspaceFile],
+    references: &[WorkspaceFile],
+    policy: &LayeringPolicy,
+) -> Report {
+    lint_workspace_full(files, references, policy).report
+}
+
+/// [`lint_workspace`], additionally returning the per-file analyses.
+pub fn lint_workspace_full<'s>(
+    files: &'s [WorkspaceFile],
+    references: &[WorkspaceFile],
+    policy: &LayeringPolicy,
+) -> WorkspaceLint<'s> {
+    let mut analyses: Vec<FileAnalysis<'s>> = files.iter().map(FileAnalysis::new).collect();
+    let mut buckets: Vec<Vec<Finding>> =
+        analyses.iter().map(|fa| per_file_findings(&fa.ctx)).collect();
+
+    // Call edges across crates are only believable when the dependency is
+    // allowed — the same DAG R009 enforces prunes false R010 witnesses.
+    let deps: BTreeMap<String, std::collections::BTreeSet<String>> = policy
+        .entries()
+        .iter()
+        .map(|e| (e.dir.clone(), e.allowed.iter().cloned().collect()))
+        .collect();
+    let graph = WorkspaceGraph::build_filtered(&analyses, &deps);
+    let usage = UsageSets::collect(&analyses, references);
+    for (fi, finding) in locks::check(&analyses) {
+        buckets[fi].push(finding);
+    }
+    for (fi, finding) in layering::check(&analyses, policy) {
+        buckets[fi].push(finding);
+    }
+    for (fi, finding) in reach::check(&analyses, &graph) {
+        buckets[fi].push(finding);
+    }
+    for (fi, finding) in deadpub::check(&analyses, &usage) {
+        buckets[fi].push(finding);
+    }
+
+    let mut report = Report::new();
+    for (fa, findings) in analyses.iter_mut().zip(buckets) {
+        report.extend(resolve_file(&mut fa.ctx, findings));
+    }
+    WorkspaceLint { analyses, report }
 }
 
 /// Marks matching annotations used and reports whether one was found.
@@ -227,42 +313,67 @@ fn suppress(annotations: &mut [Annotation], kind: &str, diag: &Diagnostic) -> bo
     hit
 }
 
-/// Lints every workspace crate under `crates/`: each `crates/*/src` tree,
-/// crate roots getting the R003 header check, `src/main.rs` and `src/bin/`
-/// exempt from the panic/cast rules. `tests/`, `benches/`, fixtures, and
-/// `vendor/` stand-ins are outside the walk entirely.
+/// Lints the whole workspace under `crates/`: every `crates/*/src` tree
+/// through the per-file rules, plus the graph rules (R008–R011) over the
+/// linked module/call graph, with `tests/`, `examples/`, and crate
+/// `benches/` trees loaded as usage references for R011. Fixtures and
+/// `vendor/` stand-ins are outside the walk entirely. The layering DAG is
+/// read from [`LAYERING_POLICY_PATH`]; a missing or invalid declaration is
+/// itself an error diagnostic.
 pub fn lint_repo(repo: &Path) -> Report {
+    let (files, references, policy) = match load_repo_inputs(repo) {
+        Ok(inputs) => inputs,
+        Err(report) => return report,
+    };
+    lint_workspace(&files, &references, &policy)
+}
+
+/// Loads everything [`lint_repo`] (and `--fix`) needs from disk: the lint
+/// and reference file sets plus the parsed layering policy. On failure,
+/// returns the error report to print instead.
+pub fn load_repo_inputs(
+    repo: &Path,
+) -> Result<(Vec<WorkspaceFile>, Vec<WorkspaceFile>, LayeringPolicy), Report> {
     let mut report = Report::new();
-    let crates_dir = repo.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
-        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+    let (files, references) = match load_workspace(repo) {
+        Ok(loaded) => loaded,
         Err(e) => {
             report.push(Diagnostic::new(
                 "R000",
                 Severity::Error,
-                crates_dir.display().to_string(),
+                repo.join("crates").display().to_string(),
                 format!("cannot enumerate crates: {e}"),
             ));
-            return report;
+            return Err(report);
         }
     };
-    crate_dirs.sort();
-
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        if !src.is_dir() {
-            continue;
+    let policy_path = repo.join(LAYERING_POLICY_PATH);
+    let policy = match std::fs::read_to_string(&policy_path) {
+        Ok(text) => match LayeringPolicy::parse(&text) {
+            Ok(policy) => policy,
+            Err(problems) => {
+                for p in problems {
+                    report.push(Diagnostic::new(
+                        "R009",
+                        Severity::Error,
+                        LAYERING_POLICY_PATH,
+                        format!("invalid layering policy: {p}"),
+                    ));
+                }
+                return Err(report);
+            }
+        },
+        Err(e) => {
+            report.push(Diagnostic::new(
+                "R009",
+                Severity::Error,
+                LAYERING_POLICY_PATH,
+                format!("cannot read layering policy: {e}"),
+            ));
+            return Err(report);
         }
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        files.sort();
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else { continue };
-            let rel = relative(repo, &file);
-            report.extend(lint_source(&rel, &text, role_of(&rel)));
-        }
-    }
-    report
+    };
+    Ok((files, references, policy))
 }
 
 /// Lint role derived from a repo-relative path.
@@ -276,22 +387,6 @@ pub fn role_of(rel: &str) -> FileRole {
     } else {
         FileRole::Library
     }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = std::fs::read_dir(dir) else { return };
-    for entry in rd.filter_map(Result::ok) {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-fn relative(repo: &Path, path: &Path) -> String {
-    path.strip_prefix(repo).unwrap_or(path).display().to_string()
 }
 
 /// Computes the per-token test mask: true for every token inside an item
@@ -399,10 +494,14 @@ fn matching(
     None
 }
 
-/// Collects `// lint: allow(<kind>): <reason>` annotations. Doc comments
+/// Collects `// lint: allow(<kinds>): <reason>` annotations. Doc comments
 /// (`///`, `//!`) never count — the marker must open a plain `//` comment.
 /// Annotations without a reason are ignored (they do not suppress), same
-/// as the line-based scanner's contract.
+/// as the line-based scanner's contract. The kind list may be
+/// comma-separated (`allow(panic, reachable_panic): …`) — each kind
+/// becomes its own [`Annotation`] sharing the comment's span, so a site
+/// flagged by several rules is suppressed (and tracked for staleness,
+/// R004) per kind.
 fn collect_annotations(src: &str, tokens: &[Token]) -> Vec<Annotation> {
     let mut out = Vec::new();
     for t in tokens {
@@ -414,17 +513,23 @@ fn collect_annotations(src: &str, tokens: &[Token]) -> Vec<Annotation> {
         let rest = rest.trim_start();
         let Some(rest) = rest.strip_prefix("allow(") else { continue };
         let Some(close) = rest.find(')') else { continue };
-        let kind = &rest[..close];
+        let kinds = &rest[..close];
         let Some(reason) = rest[close + 1..].strip_prefix(':') else { continue };
-        if kind.is_empty() || reason.trim().is_empty() {
+        if kinds.is_empty() || reason.trim().is_empty() {
             continue;
         }
-        out.push(Annotation {
-            kind: kind.to_string(),
-            line: t.span.line,
-            span: t.span,
-            used: false,
-        });
+        for kind in kinds.split(',') {
+            let kind = kind.trim();
+            if kind.is_empty() {
+                continue;
+            }
+            out.push(Annotation {
+                kind: kind.to_string(),
+                line: t.span.line,
+                span: t.span,
+                used: false,
+            });
+        }
     }
     out
 }

@@ -1,12 +1,15 @@
-//! Integration tests for the token-level lint engine: the adversarial
-//! fixture corpus under `fixtures/`, the self-check that the repository
-//! lints clean, and the `cargo xtask lint` CLI contract (exit codes,
-//! `--format` handling, JSON shape).
+//! Integration tests for the lint engine: the adversarial fixture corpus
+//! under `fixtures/`, the workspace graph rules (R008–R011) over the
+//! injected `fixtures/graph/` corpus, the `--fix` round trip, the
+//! self-check that the repository lints clean, and the `cargo xtask lint`
+//! CLI contract (exit codes, `--format` handling, JSON and SARIF shape).
 
 use catalyze_check::Diagnostic;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+use xtask::graph::WorkspaceFile;
 use xtask::lexer::tokenize;
+use xtask::rules::layering::LayeringPolicy;
 use xtask::{lint_source, FileRole};
 
 fn fixture(name: &str) -> String {
@@ -106,6 +109,119 @@ fn float_variable_comparison_is_flagged_not_just_literals() {
     );
 }
 
+/// Loads a `fixtures/graph/` file and rehomes it at a synthetic
+/// repo-relative path so the workspace engine sees a real crate layout.
+fn graph_fixture(fixture_name: &str, rel_as: &str) -> WorkspaceFile {
+    WorkspaceFile { rel: rel_as.into(), src: fixture(fixture_name), role: xtask::role_of(rel_as) }
+}
+
+/// The repo's own layering policy, as the graph tests' DAG.
+fn repo_policy() -> LayeringPolicy {
+    let text = std::fs::read_to_string(repo_root().join("crates/xtask/layering.lint"))
+        .expect("read crates/xtask/layering.lint");
+    LayeringPolicy::parse(&text).expect("the shipped layering policy must parse")
+}
+
+#[test]
+fn graph_rules_fire_on_the_injected_corpus_with_exact_spans() {
+    let files = vec![
+        graph_fixture("graph/bad_layer.rs", "crates/core/src/bad_layer.rs"),
+        graph_fixture("graph/guard_across_par.rs", "crates/core/src/guard_across_par.rs"),
+        graph_fixture("graph/fixture_runner.rs", "crates/cat/src/fixture_runner.rs"),
+        graph_fixture("graph/fixture_dep.rs", "crates/linalg/src/fixture_dep.rs"),
+        graph_fixture("graph/dead_surface.rs", "crates/events/src/dead_surface.rs"),
+    ];
+    let report = xtask::lint_workspace(&files, &[], &repo_policy());
+    let got: Vec<(String, String, usize, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let span = d.span.expect("graph findings carry spans");
+            (d.rule.clone(), d.location.clone(), span.line, span.column)
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("R009".into(), "crates/core/src/bad_layer.rs:3:5".into(), 3, 5),
+            ("R008".into(), "crates/core/src/guard_across_par.rs:6:8".into(), 6, 8),
+            ("R001".into(), "crates/linalg/src/fixture_dep.rs:4:11".into(), 4, 11),
+            ("R010".into(), "crates/linalg/src/fixture_dep.rs:4:11".into(), 4, 11),
+            ("R011".into(), "crates/events/src/dead_surface.rs:3:8".into(), 3, 8),
+        ],
+        "full report:\n{}",
+        report.render_human()
+    );
+
+    // The injected layering violation names the offending crate pair, and
+    // the R010 finding carries the full witness chain across the crates.
+    let r009 = &report.diagnostics[0];
+    assert!(r009.message.contains("cli"), "{}", r009.message);
+    let r008 = &report.diagnostics[1];
+    assert!(r008.message.contains("par_iter"), "{}", r008.message);
+    assert!(r008.message.contains("shared"), "{}", r008.message);
+    let r010 = &report.diagnostics[3];
+    assert!(
+        r010.message.contains("cat::run_fixture -> cat::helper -> linalg::deep_unwrap"),
+        "{}",
+        r010.message
+    );
+    let r011 = &report.diagnostics[4];
+    assert!(r011.message.contains("`pub fn nobody_calls`"), "{}", r011.message);
+}
+
+#[test]
+fn graph_corpus_byte_spans_slice_the_offending_tokens() {
+    let files = vec![
+        graph_fixture("graph/bad_layer.rs", "crates/core/src/bad_layer.rs"),
+        graph_fixture("graph/guard_across_par.rs", "crates/core/src/guard_across_par.rs"),
+    ];
+    let report = xtask::lint_workspace(&files, &[], &repo_policy());
+    let layer_src = fixture("graph/bad_layer.rs");
+    let s = report.diagnostics[0].span.unwrap();
+    assert_eq!(&layer_src[s.start..s.end], "catalyze_cli");
+    let par_src = fixture("graph/guard_across_par.rs");
+    let s = report.diagnostics[1].span.unwrap();
+    assert_eq!(&par_src[s.start..s.end], "par_iter");
+}
+
+#[test]
+fn fix_round_trip_on_the_fixture_reaches_a_fixed_point() {
+    let first = WorkspaceFile {
+        rel: "crates/core/src/fix_roundtrip.rs".into(),
+        src: fixture("fix_roundtrip.rs"),
+        role: FileRole::Library,
+    };
+    let lint = xtask::rules::lint_workspace_full(std::slice::from_ref(&first), &[], &repo_policy());
+    let fixed = xtask::fix::fixed_source(&lint.analyses[0])
+        .expect("the fixture has stale annotations to fix");
+
+    // The stale standalone annotation line is gone entirely; the stale
+    // trailing comment is trimmed but its code line survives; the mixed
+    // annotation keeps only its live kind; the live annotation is intact.
+    assert!(!fixed.contains("nothing panics here anymore"), "{fixed}");
+    assert!(!fixed.contains("lossy_cast"), "{fixed}");
+    assert!(fixed.contains("    9\n"), "{fixed}");
+    assert!(fixed.contains("// lint: allow(panic): fixture exercises a kept annotation"));
+    assert!(fixed.contains("// lint: allow(panic): only the panic is real"), "{fixed}");
+
+    // Round trip: fixing the fixed source changes nothing.
+    let second = WorkspaceFile { rel: first.rel.clone(), src: fixed, role: FileRole::Library };
+    let relint =
+        xtask::rules::lint_workspace_full(std::slice::from_ref(&second), &[], &repo_policy());
+    assert!(
+        xtask::fix::fixed_source(&relint.analyses[0]).is_none(),
+        "a second --fix pass must be a no-op"
+    );
+
+    // And the fixed source has no stale annotations left to report.
+    assert!(
+        !relint.report.diagnostics.iter().any(|d| d.rule == "R004"),
+        "{}",
+        relint.report.render_human()
+    );
+}
+
 #[test]
 fn repository_lints_clean() {
     let report = xtask::lint_repo(&repo_root());
@@ -154,4 +270,45 @@ fn cli_json_output_matches_the_diagnostic_schema() {
     assert!(v.get("diagnostics").is_some());
     assert_eq!(v["errors"].as_u64(), Some(0));
     assert_eq!(v["warnings"].as_u64(), Some(0));
+}
+
+#[test]
+fn cli_sarif_output_has_the_standard_shape() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "sarif"])
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(0), "repo lints clean");
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("stdout is a single SARIF document");
+    assert_eq!(v["version"].as_str(), Some("2.1.0"));
+    assert!(v["$schema"].as_str().unwrap_or("").contains("sarif-2.1.0"));
+    let runs = v["runs"].as_array().expect("runs array");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0]["tool"]["driver"]["name"].as_str(), Some("xtask-lint"));
+    assert!(runs[0]["results"].as_array().is_some(), "results must be present even when empty");
+}
+
+#[test]
+fn sarif_results_carry_physical_locations_with_regions() {
+    // Render a report with a known finding and check the location block.
+    let files = vec![graph_fixture("graph/bad_layer.rs", "crates/core/src/bad_layer.rs")];
+    let report = xtask::lint_workspace(&files, &[], &repo_policy());
+    assert!(report.has_errors(), "the injected violation must survive to SARIF");
+    let v: serde_json::Value =
+        serde_json::from_str(&report.render_sarif("xtask-lint")).expect("valid JSON");
+    let results = v["runs"][0]["results"].as_array().unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0]["ruleId"].as_str(), Some("R009"));
+    assert_eq!(results[0]["level"].as_str(), Some("error"));
+    let loc = &results[0]["locations"][0]["physicalLocation"];
+    assert_eq!(
+        loc["artifactLocation"]["uri"].as_str(),
+        Some("crates/core/src/bad_layer.rs"),
+        "the uri must be the bare path, line/column live in the region"
+    );
+    assert_eq!(loc["region"]["startLine"].as_u64(), Some(3));
+    assert_eq!(loc["region"]["startColumn"].as_u64(), Some(5));
+    let rules = v["runs"][0]["tool"]["driver"]["rules"].as_array().unwrap();
+    assert!(rules.iter().any(|r| r["id"].as_str() == Some("R009")), "rules are declared");
 }

@@ -1,0 +1,216 @@
+//! Integration tests for the item parser over the adversarial fixture
+//! corpus in `fixtures/parser/`: nested impls, macro-heavy files,
+//! `#[cfg(test)]` modules, gnarly generic bounds, and deliberately
+//! malformed input. Two properties are asserted throughout: the parser
+//! never panics, and one broken item never hides the rest of the file.
+
+use std::path::Path;
+use xtask::graph::{FileAnalysis, WorkspaceFile, WorkspaceGraph};
+use xtask::lexer::{tokenize, TokenKind};
+use xtask::parser::{parse_items, Item, ItemKind, ItemTree};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/parser").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn parse(src: &str) -> ItemTree {
+    let tokens = tokenize(src);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    parse_items(src, &tokens, &code)
+}
+
+/// All item names in the tree, at any depth.
+fn all_names(tree: &ItemTree) -> Vec<String> {
+    let mut names = Vec::new();
+    tree.walk(|_, item| {
+        if !item.name.is_empty() {
+            names.push(item.name.clone());
+        }
+    });
+    names
+}
+
+fn find<'t>(tree: &'t ItemTree, name: &str) -> &'t Item {
+    let mut found: Option<&'t Item> = None;
+    tree.walk(|_, item| {
+        if item.name == name && found.is_none() {
+            found = Some(item);
+        }
+    });
+    found.unwrap_or_else(|| panic!("item `{name}` not found in {:?}", all_names(tree)))
+}
+
+#[test]
+fn every_parser_fixture_lexes_losslessly_and_parses_without_panicking() {
+    for name in [
+        "nested_impls.rs",
+        "macro_heavy.rs",
+        "cfg_test_mods.rs",
+        "generic_bounds.rs",
+        "malformed.rs",
+    ] {
+        let src = fixture(name);
+        let rebuilt: String = tokenize(&src).iter().map(|t| t.text(&src)).collect();
+        assert_eq!(rebuilt, src, "{name}: tokens must reproduce the source");
+        let _ = parse(&src); // must not panic
+    }
+}
+
+#[test]
+fn nested_impls_are_parsed_to_full_depth() {
+    let tree = parse(&fixture("nested_impls.rs"));
+    // Three module levels deep: outer > middle > inner.
+    let outer = find(&tree, "outer");
+    assert_eq!(outer.kind, ItemKind::Mod);
+    let middle = &outer.children[0];
+    assert_eq!(middle.name, "middle");
+    assert!(middle.is_pub);
+
+    // Methods inside the nested inherent impl.
+    let id = find(&tree, "id");
+    assert_eq!(id.kind, ItemKind::Fn);
+    assert!(id.is_pub);
+    let secret = find(&tree, "secret");
+    assert!(!secret.is_pub);
+
+    // The trait impl and the unsafe auto-trait impl inside `inner`.
+    let mut impls: Vec<(String, Option<String>)> = Vec::new();
+    tree.walk(|_, item| {
+        if let ItemKind::Impl { self_ty, trait_ty } = &item.kind {
+            impls.push((self_ty.clone(), trait_ty.clone()));
+        }
+    });
+    assert!(impls.contains(&("Gadget".into(), None)), "{impls:?}");
+    assert!(impls.contains(&("Widget".into(), Some("Frob".into()))), "{impls:?}");
+    assert!(impls.contains(&("Widget".into(), Some("Send".into()))), "{impls:?}");
+    assert!(impls.contains(&("Holder".into(), None)), "{impls:?}");
+    assert!(impls.contains(&("Holder".into(), Some("Default".into()))), "{impls:?}");
+
+    // Methods of generic impls are children like any others.
+    assert_eq!(find(&tree, "first").kind, ItemKind::Fn);
+    assert_eq!(find(&tree, "default").kind, ItemKind::Fn);
+}
+
+#[test]
+fn macro_bodies_do_not_leak_fake_items() {
+    let tree = parse(&fixture("macro_heavy.rs"));
+    let names = all_names(&tree);
+    for fake in ["not_a_real_item", "NotARealStruct", "also_fake"] {
+        assert!(!names.contains(&fake.to_string()), "macro body leaked `{fake}`: {names:?}");
+    }
+    assert_eq!(find(&tree, "fake_items").kind, ItemKind::MacroDef);
+    assert_eq!(find(&tree, "dispatch").kind, ItemKind::MacroDef);
+    // Items around and after the macros still parse, including one whose
+    // body is full of macro invocations.
+    assert_eq!(find(&tree, "uses_macros").kind, ItemKind::Fn);
+    assert_eq!(find(&tree, "after_macros").kind, ItemKind::Fn);
+}
+
+#[test]
+fn cfg_test_modules_parse_and_their_functions_are_test_masked() {
+    let src = fixture("cfg_test_mods.rs");
+    let tree = parse(&src);
+    assert_eq!(find(&tree, "production").kind, ItemKind::Fn);
+    assert_eq!(find(&tree, "also_production").kind, ItemKind::Fn);
+    assert_eq!(find(&tree, "production_is_eleven").kind, ItemKind::Fn);
+    assert_eq!(find(&tree, "nested_case").kind, ItemKind::Fn);
+
+    // The graph layer must see the same split: test functions carry
+    // is_test, production functions do not.
+    let file = WorkspaceFile {
+        rel: "crates/core/src/cfg_test_mods.rs".into(),
+        src,
+        role: xtask::role_of("crates/core/src/cfg_test_mods.rs"),
+    };
+    let analyses = vec![FileAnalysis::new(&file)];
+    let graph = WorkspaceGraph::build(&analyses);
+    let is_test = |name: &str| {
+        graph
+            .fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn `{name}` not in graph"))
+            .is_test
+    };
+    assert!(!is_test("production"));
+    assert!(!is_test("also_production"));
+    assert!(is_test("production_is_eleven"));
+    assert!(is_test("nested_case"));
+}
+
+#[test]
+fn generic_bounds_do_not_derail_names_params_or_bodies() {
+    let tree = parse(&fixture("generic_bounds.rs"));
+    let matrix = find(&tree, "Matrix");
+    assert_eq!(matrix.kind, ItemKind::Struct);
+    assert!(matrix.body.is_some(), "record struct body must be captured");
+
+    let collect = find(&tree, "collect_sorted");
+    assert_eq!(collect.params, vec!["input"]);
+    assert!(collect.body.is_some(), "where clause must not eat the body");
+
+    let pairs = find(&tree, "pairs");
+    assert_eq!(pairs.params, vec!["xs"], "lifetimes and impl-Trait returns");
+
+    let reducer = find(&tree, "Reducer");
+    assert_eq!(reducer.kind, ItemKind::Trait);
+    assert_eq!(find(&tree, "zero").kind, ItemKind::Fn);
+}
+
+#[test]
+fn malformed_input_recovers_at_the_next_item_boundary() {
+    let tree = parse(&fixture("malformed.rs"));
+
+    // Items after the garbage are still fully parsed.
+    let recovered = find(&tree, "recovered_fn");
+    assert_eq!(recovered.kind, ItemKind::Fn);
+    assert!(recovered.is_pub);
+    assert!(recovered.body.is_some());
+    let module = find(&tree, "recovered_mod");
+    assert_eq!(module.kind, ItemKind::Mod);
+    assert_eq!(module.children[0].name, "inside");
+
+    // The leading garbage is consumed as recovery items, not silently
+    // dropped mid-file: the stray-token run shows up as Unknown.
+    assert!(
+        tree.items.iter().any(|i| i.kind == ItemKind::Unknown),
+        "recovery must leave an Unknown marker: {:?}",
+        tree.items.iter().map(|i| (&i.kind, &i.name)).collect::<Vec<_>>()
+    );
+
+    // An unterminated body at end-of-file is swallowed without panicking,
+    // and the item is still recorded.
+    assert_eq!(find(&tree, "trailing_unterminated").kind, ItemKind::Fn);
+}
+
+#[test]
+fn parser_never_panics_on_any_repo_source_file() {
+    // The whole workspace is a free corpus of real-world input.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap();
+    let mut stack = vec![root.join("crates")];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                let _ = parse(&src); // must not panic
+                seen += 1;
+            }
+        }
+    }
+    assert!(seen > 20, "expected to sweep the whole workspace, saw {seen} files");
+}
