@@ -117,6 +117,7 @@ fn read_all_cpu(
 }
 
 /// Runs the CPU-FLOPs benchmark.
+// lint: contract(deterministic)
 pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_cpu_flops_obs(set, cfg, &NoopObserver)
 }
@@ -159,6 +160,7 @@ pub fn run_cpu_flops_obs(
 }
 
 /// Runs the branching benchmark.
+// lint: contract(deterministic)
 pub fn run_branch(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_branch_obs(set, cfg, &NoopObserver)
 }
@@ -194,6 +196,7 @@ pub fn run_branch_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer)
 }
 
 /// Runs the data-cache benchmark with per-thread medians (the default).
+// lint: contract(deterministic)
 pub fn run_dcache(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_dcache_obs(set, cfg, &NoopObserver)
 }
@@ -287,6 +290,7 @@ pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
 }
 
 /// Runs the data-TLB benchmark (the extension domain).
+// lint: contract(deterministic)
 pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_dtlb_obs(set, cfg, &NoopObserver)
 }
@@ -328,7 +332,7 @@ pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -
 }
 
 /// Runs the store-path (write) cache benchmark (extension domain).
-// lint: allow(dead_api): sync runner kept for parity with run_dtlb and the *_obs variants
+// lint: contract(deterministic)
 pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_dstore_obs(set, cfg, &NoopObserver)
 }
@@ -372,6 +376,7 @@ pub fn run_dstore_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer)
 /// Runs the GPU-FLOPs benchmark. Kernels execute on device 0 of
 /// `cfg.gpu_devices`; events bound to other devices read their idle
 /// telemetry.
+// lint: contract(deterministic)
 pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
     run_gpu_flops_obs(set, cfg, &NoopObserver)
 }

@@ -178,6 +178,14 @@ impl Report {
     /// findings (data validation) carry a `logicalLocations` entry with
     /// the human-oriented location text instead.
     pub fn render_sarif(&self, tool_name: &str) -> String {
+        self.render_sarif_aliased(tool_name, &[])
+    }
+
+    /// [`Self::render_sarif`] with rule-id aliasing: each `(id, old_ids)`
+    /// pair adds a SARIF `deprecatedIds` list to that rule's descriptor,
+    /// which is how code-scanning UIs migrate findings across a rule
+    /// rename (e.g. the linter's R006 → R013) without dropping history.
+    pub fn render_sarif_aliased(&self, tool_name: &str, aliases: &[(&str, &[&str])]) -> String {
         use serde_json::Value;
         let s = |t: &str| Value::Str(t.to_string());
         let n = |v: usize| Value::U64(v as u64);
@@ -240,10 +248,15 @@ impl Report {
         let rules: Vec<Value> = rule_ids
             .iter()
             .map(|id| {
-                obj(vec![
+                let mut fields = vec![
                     ("id", s(id)),
                     ("shortDescription", obj(vec![("text", s(&format!("{tool_name} rule {id}")))])),
-                ])
+                ];
+                if let Some((_, old)) = aliases.iter().find(|(new, _)| new == id) {
+                    fields
+                        .push(("deprecatedIds", Value::Array(old.iter().map(|o| s(o)).collect())));
+                }
+                obj(fields)
             })
             .collect();
         let sarif = obj(vec![

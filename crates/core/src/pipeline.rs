@@ -302,6 +302,7 @@ impl<'a> AnalysisRequest<'a> {
     /// [`AnalysisError::Shape`] when the request is incomplete or its axes
     /// disagree; [`AnalysisError::Linalg`] when a kernel fails on the data
     /// (non-finite measurements, a rank-deficient basis).
+    // lint: contract(deterministic)
     pub fn run(self) -> Result<AnalysisReport, AnalysisError> {
         let basis = self.validate()?;
         let obs = self.observer;

@@ -145,6 +145,7 @@ impl<'a> FactoredLstsq<'a> {
     /// The one-shot [`crate::lstsq`] errors: [`LinalgError::ShapeMismatch`]
     /// / [`LinalgError::NonFinite`] for a mis-shaped or non-finite `b`,
     /// [`LinalgError::Singular`] when `A` is rank deficient.
+    // lint: contract(deterministic)
     pub fn solve(&self, b: &[f64]) -> Result<LstsqSolution> {
         let _timer = stats::time(stats::Kernel::Lstsq);
         self.validate_rhs(b)?;
@@ -198,6 +199,7 @@ impl<'a> FactoredLstsq<'a> {
     ///
     /// The [`FactoredLstsq::solve`] errors, for the first offending
     /// right-hand side.
+    // lint: contract(deterministic)
     pub fn solve_many(&self, rhs: &[&[f64]]) -> Result<Vec<LstsqSolution>> {
         if rhs.is_empty() {
             return Ok(Vec::new());

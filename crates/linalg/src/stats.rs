@@ -122,6 +122,7 @@ impl Snapshot {
 /// Reads every counter at once.
 pub fn snapshot() -> Snapshot {
     Snapshot {
+        // lint: allow(relaxed_result): telemetry tallies for perf reporting, never part of certified analysis values
         qr_factorizations: QR_COUNT.load(Ordering::Relaxed),
         qr_nanos: QR_NANOS.load(Ordering::Relaxed),
         qrcp_runs: QRCP_COUNT.load(Ordering::Relaxed),
@@ -166,7 +167,7 @@ pub(crate) struct KernelTimer {
 
 /// Starts timing one run of `kernel`.
 pub(crate) fn time(kernel: Kernel) -> KernelTimer {
-    // lint: allow(raw_timing): feeds the relaxed-atomic kernel counters behind stats::snapshot()
+    // lint: allow(raw_timing, nondet_time): feeds the relaxed-atomic kernel counters behind stats::snapshot()
     KernelTimer { kernel, start: Instant::now() }
 }
 

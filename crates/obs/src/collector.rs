@@ -83,6 +83,7 @@ impl Default for TraceCollector {
 impl TraceCollector {
     /// A collector stamping spans with the system monotonic clock.
     pub fn new() -> Self {
+        // lint: allow(nondet_time): span timestamps are observability metadata; certified payloads go through manual()
         Self::with_clock(Clock::Monotonic(Instant::now()))
     }
 

@@ -1,0 +1,29 @@
+//! Dataflow fixture: HashMap iteration feeding an accumulator that a
+//! certified entry point returns, the rendering form of the same defect,
+//! and a sorted control that must stay clean.
+
+use std::collections::HashMap;
+
+// lint: contract(deterministic)
+fn summed(m: &HashMap<String, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in m.iter() {
+        acc += v;
+    }
+    acc
+}
+
+fn rendered(m: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}
+
+// lint: contract(deterministic)
+fn sorted_total(m: &HashMap<String, u64>) -> u64 {
+    let mut vals: Vec<u64> = m.values().copied().collect();
+    vals.sort();
+    vals.iter().sum()
+}

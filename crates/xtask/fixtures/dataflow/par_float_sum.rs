@@ -1,0 +1,19 @@
+//! Dataflow fixture: a rayon float reduction leaking into a certified
+//! result through a helper, plus an integer control that must stay clean.
+
+use rayon::prelude::*;
+
+// lint: contract(deterministic)
+fn certified_total(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    let total = xs.par_iter().map(|x| x * 1.5).sum::<f64>();
+    total
+}
+
+// lint: contract(deterministic)
+fn exact_count(xs: &[u64]) -> u64 {
+    xs.iter().map(|x| x + 1).sum()
+}

@@ -1,0 +1,25 @@
+//! Dataflow fixture: an `Ordering::Relaxed` atomic load flowing into a
+//! stats struct returned from a deterministic contract, and an
+//! acquire-ordered control that must stay clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+struct Counts {
+    hits: u64,
+    misses: u64,
+}
+
+// lint: contract(deterministic)
+fn current_counts() -> Counts {
+    let hits = HITS.load(Ordering::Relaxed);
+    Counts { hits, misses: 0 }
+}
+
+// lint: contract(deterministic)
+fn acquired_counts() -> Counts {
+    let misses = MISSES.load(Ordering::Acquire);
+    Counts { hits: 0, misses }
+}

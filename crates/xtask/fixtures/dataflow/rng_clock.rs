@@ -1,0 +1,20 @@
+//! Dataflow fixture: thread-local RNG and wall-clock reads inside
+//! deterministic contracts, with a seeded control that must stay clean.
+
+// lint: contract(deterministic)
+fn jittered(base: f64) -> f64 {
+    let mut rng = rand::thread_rng();
+    base + rng.sample(&mut Standard)
+}
+
+// lint: contract(deterministic)
+fn stamped() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+// lint: contract(deterministic)
+fn seeded(seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.sample(&mut Standard)
+}

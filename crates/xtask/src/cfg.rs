@@ -1,0 +1,647 @@
+//! Per-function control-flow graphs over the item parser's opaque
+//! function bodies.
+//!
+//! The item parser ([`crate::parser`]) deliberately leaves `fn` bodies as
+//! raw code-token ranges. This module structures one such range into a
+//! small CFG for the dataflow rules (R012–R015): basic blocks of
+//! statements connected by edges that follow the statement-level subset of
+//! Rust's control flow the lint engine understands —
+//!
+//! * straight-line statements (`let`, assignments, expression statements,
+//!   `return`, the trailing tail expression);
+//! * `if` / `else if` / `else` chains and `if let` (branch + join);
+//! * `match` with one branch per arm, arm patterns binding from the
+//!   scrutinee;
+//! * `for` / `while` / `while let` / `loop` with a loop-head block, a back
+//!   edge, and an exit edge (so taint reaching the end of a loop body
+//!   flows back around);
+//! * bare `{ … }` and `unsafe { … }` blocks, flattened inline.
+//!
+//! Everything else — closures, `if`/`match` *inside* expressions,
+//! `break`/`continue` targets — stays inside a single statement whose
+//! token range the taint evaluator scans conservatively. Like the item
+//! parser, the builder is **total** (bounds-checked accessors, guaranteed
+//! progress) and **recovering**: a construct that does not parse (an `if`
+//! with no block, an unmatched delimiter) becomes an [`BlockKind::Unknown`]
+//! block covering the salvaged token range, and building resumes at the
+//! next statement boundary. One broken construct never hides the rest of
+//! the function.
+//!
+//! Edges are over-approximate on purpose (loops always have an exit edge,
+//! `break`/`continue` fall through) — extra paths can only add taint, and
+//! the dataflow rules act on positive evidence, so over-approximation is
+//! the safe direction.
+
+use crate::rules::FileContext;
+
+/// How a block participates in control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// An ordinary run of statements.
+    Basic,
+    /// The head of a `for`/`while`/`loop`; has a back edge into it.
+    LoopHead,
+    /// Recovery block for a construct the grammar subset does not cover.
+    Unknown,
+}
+
+/// What a statement is, as far as the taint transfer needs to know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let <pat>(: <ty>)? = <init>;` (including `let … else`).
+    Let,
+    /// `return <expr>?;`
+    Return,
+    /// The function's trailing tail expression — its value is returned.
+    Tail,
+    /// A pattern binding from an expression: `for <pat> in <expr>`,
+    /// `if let <pat> = <expr>`, or a match arm binding from its scrutinee.
+    BindFrom {
+        /// Code-token range `[lo, hi)` of the pattern.
+        pat: (usize, usize),
+        /// Code-token range `[lo, hi)` of the bound-from expression.
+        expr: (usize, usize),
+        /// True for `for` loops: the expression is *iterated*, so a bare
+        /// hash container in it is itself an unordered-iteration source.
+        iterates: bool,
+    },
+    /// Anything else: assignments, calls, condition expressions.
+    Expr,
+}
+
+/// One statement: a code-token range plus its classification.
+#[derive(Debug, Clone)]
+// lint: allow(dead_api): statement record in Block's public fields, walked by the dataflow rules
+pub struct Stmt {
+    /// First code-token index of the statement.
+    pub lo: usize,
+    /// One past the last code-token index (the terminating `;` excluded).
+    pub hi: usize,
+    /// The statement's classification.
+    pub kind: StmtKind,
+}
+
+/// One basic block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The block's kind.
+    pub kind: BlockKind,
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of one function body.
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` and `blocks[exit]` are empty sentinels.
+    pub blocks: Vec<Block>,
+    /// Index of the entry block.
+    pub entry: usize,
+    /// Index of the exit block.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Builds the CFG for a body given as the code-token indices of its
+    /// opening and closing braces (inclusive), as recorded by the item
+    /// parser.
+    pub fn build(ctx: &FileContext<'_>, open: usize, close: usize) -> Cfg {
+        let mut b = Builder { ctx, blocks: Vec::new() };
+        let entry = b.new_block(BlockKind::Basic);
+        let exit = b.new_block(BlockKind::Basic);
+        let first = b.new_block(BlockKind::Basic);
+        b.link(entry, first);
+        let lo = open + 1;
+        let hi = close.min(ctx.code.len());
+        let last = b.stmts(lo, hi, first, true, exit);
+        b.link(last, exit);
+        Cfg { blocks: b.blocks, entry, exit }
+    }
+
+    /// Reverse-post-order-ish visit order: block indices reachable from
+    /// the entry, breadth-first. Deterministic.
+    pub fn order(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut queue = std::collections::VecDeque::from([self.entry]);
+        seen[self.entry] = true;
+        let mut out = Vec::new();
+        while let Some(i) = queue.pop_front() {
+            out.push(i);
+            for &s in &self.blocks[i].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Builder<'a, 's> {
+    ctx: &'a FileContext<'s>,
+    blocks: Vec<Block>,
+}
+
+impl Builder<'_, '_> {
+    fn txt(&self, c: usize) -> &str {
+        self.ctx.code_text(c)
+    }
+
+    fn new_block(&mut self, kind: BlockKind) -> usize {
+        self.blocks.push(Block { kind, stmts: Vec::new(), succs: Vec::new() });
+        self.blocks.len() - 1
+    }
+
+    fn link(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push(&mut self, block: usize, stmt: Stmt) {
+        if stmt.lo < stmt.hi {
+            self.blocks[block].stmts.push(stmt);
+        }
+    }
+
+    /// Index of the first `what` at delimiter depth 0 in `[from, hi)`.
+    fn find_depth0(&self, from: usize, hi: usize, what: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for c in from..hi {
+            let t = self.txt(c);
+            match t {
+                "(" | "[" | "{" => {
+                    if depth == 0 && t == what {
+                        return Some(c);
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                _ => {
+                    if depth == 0 && t == what {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Matching `}` for the `{` at `at`, clamped to `hi - 1`.
+    fn match_brace(&self, at: usize, hi: usize) -> usize {
+        let mut depth = 0usize;
+        for c in at..hi {
+            match self.txt(c) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        hi.saturating_sub(1).max(at)
+    }
+
+    /// Parses the statements of `[lo, hi)` starting in block `cur`;
+    /// returns the block control falls out of. `tail_return` marks the
+    /// range as one whose trailing expression is the function's return
+    /// value.
+    fn stmts(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut cur: usize,
+        tail_return: bool,
+        exit: usize,
+    ) -> usize {
+        let mut c = lo;
+        while c < hi {
+            let start = c;
+            let (next_cur, end) = match self.txt(c) {
+                ";" => (cur, c + 1),
+                "if" => self.parse_if(c, hi, cur, tail_return, exit),
+                "match" => self.parse_match(c, hi, cur, tail_return, exit),
+                "for" => self.parse_for(c, hi, cur, exit),
+                "while" => self.parse_while(c, hi, cur, exit),
+                "loop" => self.parse_loop(c, hi, cur, exit),
+                "{" => {
+                    let cb = self.match_brace(c, hi);
+                    let is_tail = tail_return && cb + 1 >= hi;
+                    let b = self.stmts(c + 1, cb, cur, is_tail, exit);
+                    (b, cb + 1)
+                }
+                "unsafe" if self.txt(c + 1) == "{" => {
+                    let cb = self.match_brace(c + 1, hi);
+                    let is_tail = tail_return && cb + 1 >= hi;
+                    let b = self.stmts(c + 2, cb, cur, is_tail, exit);
+                    (b, cb + 1)
+                }
+                _ => self.parse_simple(c, hi, cur, tail_return, exit),
+            };
+            cur = next_cur;
+            c = end.max(start + 1);
+        }
+        cur
+    }
+
+    /// A `let`/`return`/expression statement ending at the next depth-0
+    /// `;` (or at `hi` for the trailing tail expression).
+    fn parse_simple(
+        &mut self,
+        c: usize,
+        hi: usize,
+        cur: usize,
+        tail_return: bool,
+        exit: usize,
+    ) -> (usize, usize) {
+        let head = self.txt(c);
+        match self.find_depth0(c, hi, ";") {
+            Some(s) => {
+                let kind = match head {
+                    "let" => StmtKind::Let,
+                    "return" => StmtKind::Return,
+                    _ => StmtKind::Expr,
+                };
+                let is_return = kind == StmtKind::Return;
+                self.push(cur, Stmt { lo: c, hi: s, kind });
+                if is_return {
+                    // Control leaves through the exit; following
+                    // statements land in a fresh (unreachable) block.
+                    self.link(cur, exit);
+                    let dead = self.new_block(BlockKind::Basic);
+                    return (dead, s + 1);
+                }
+                (cur, s + 1)
+            }
+            None => {
+                let kind = if head == "return" {
+                    StmtKind::Return
+                } else if head == "let" {
+                    StmtKind::Let
+                } else if tail_return {
+                    StmtKind::Tail
+                } else {
+                    StmtKind::Expr
+                };
+                self.push(cur, Stmt { lo: c, hi, kind });
+                (cur, hi)
+            }
+        }
+    }
+
+    /// Exclusive end of the `if`/`else if`/`else` chain starting at `c`.
+    fn if_end(&self, mut c: usize, hi: usize) -> usize {
+        loop {
+            let Some(ob) = self.find_depth0(c + 1, hi, "{") else { return hi };
+            let cb = self.match_brace(ob, hi);
+            let e = cb + 1;
+            if e < hi && self.txt(e) == "else" {
+                if self.txt(e + 1) == "if" {
+                    c = e + 1;
+                    continue;
+                }
+                if self.txt(e + 1) == "{" {
+                    let cb2 = self.match_brace(e + 1, hi);
+                    return (cb2 + 1).min(hi);
+                }
+                return (e + 1).min(hi);
+            }
+            return e.min(hi);
+        }
+    }
+
+    fn parse_if(
+        &mut self,
+        c: usize,
+        hi: usize,
+        cur: usize,
+        tail_return: bool,
+        exit: usize,
+    ) -> (usize, usize) {
+        let end = self.if_end(c, hi);
+        let is_tail = tail_return && end >= hi;
+        let join = self.new_block(BlockKind::Basic);
+        let mut c2 = c;
+        let mut head = cur;
+        loop {
+            let Some(ob) = self.find_depth0(c2 + 1, hi, "{") else {
+                return self.unknown(c2, hi, head, join);
+            };
+            let cb = self.match_brace(ob, hi);
+            let then_entry = self.new_block(BlockKind::Basic);
+            self.link(head, then_entry);
+            // `if let <pat> = <expr>` binds in the then-branch; a plain
+            // condition is just an evaluated expression.
+            if self.txt(c2 + 1) == "let" {
+                if let Some(eq) = self.find_depth0(c2 + 2, ob, "=") {
+                    self.push(
+                        then_entry,
+                        Stmt {
+                            lo: c2 + 2,
+                            hi: ob,
+                            kind: StmtKind::BindFrom {
+                                pat: (c2 + 2, eq),
+                                expr: (eq + 1, ob),
+                                iterates: false,
+                            },
+                        },
+                    );
+                }
+            } else {
+                self.push(head, Stmt { lo: c2 + 1, hi: ob, kind: StmtKind::Expr });
+            }
+            let then_exit = self.stmts(ob + 1, cb, then_entry, is_tail, exit);
+            self.link(then_exit, join);
+            let after = cb + 1;
+            if after < hi && self.txt(after) == "else" {
+                if self.txt(after + 1) == "if" {
+                    let elif = self.new_block(BlockKind::Basic);
+                    self.link(head, elif);
+                    head = elif;
+                    c2 = after + 1;
+                    continue;
+                }
+                if self.txt(after + 1) == "{" {
+                    let cb2 = self.match_brace(after + 1, hi);
+                    let else_entry = self.new_block(BlockKind::Basic);
+                    self.link(head, else_entry);
+                    let else_exit = self.stmts(after + 2, cb2, else_entry, is_tail, exit);
+                    self.link(else_exit, join);
+                    return (join, (cb2 + 1).min(hi));
+                }
+                self.link(head, join);
+                return (join, (after + 1).min(hi));
+            }
+            self.link(head, join);
+            return (join, after.min(hi));
+        }
+    }
+
+    fn parse_match(
+        &mut self,
+        c: usize,
+        hi: usize,
+        cur: usize,
+        tail_return: bool,
+        exit: usize,
+    ) -> (usize, usize) {
+        let join = self.new_block(BlockKind::Basic);
+        let Some(ob) = self.find_depth0(c + 1, hi, "{") else {
+            return self.unknown(c, hi, cur, join);
+        };
+        let scrutinee = (c + 1, ob);
+        self.push(cur, Stmt { lo: c + 1, hi: ob, kind: StmtKind::Expr });
+        let cb = self.match_brace(ob, hi);
+        let end = (cb + 1).min(hi);
+        let is_tail = tail_return && end >= hi;
+        let mut p = ob + 1;
+        let mut arms = 0usize;
+        while p < cb {
+            let Some(arrow) = self.find_depth0(p, cb, "=>") else { break };
+            arms += 1;
+            let pat = (p, arrow);
+            let arm = self.new_block(BlockKind::Basic);
+            self.link(cur, arm);
+            self.push(
+                arm,
+                Stmt {
+                    lo: pat.0,
+                    hi: pat.1,
+                    kind: StmtKind::BindFrom { pat, expr: scrutinee, iterates: false },
+                },
+            );
+            let arm_exit;
+            if self.txt(arrow + 1) == "{" {
+                let ab = self.match_brace(arrow + 1, cb);
+                arm_exit = self.stmts(arrow + 2, ab, arm, is_tail, exit);
+                p = if self.txt(ab + 1) == "," { ab + 2 } else { ab + 1 };
+            } else {
+                let aend = self.find_depth0(arrow + 1, cb, ",").unwrap_or(cb);
+                arm_exit = self.stmts(arrow + 1, aend, arm, is_tail, exit);
+                p = aend + 1;
+            }
+            self.link(arm_exit, join);
+        }
+        if arms == 0 {
+            // No arms parsed: fall through so the join is reachable.
+            self.link(cur, join);
+        }
+        (join, end)
+    }
+
+    fn parse_for(&mut self, c: usize, hi: usize, cur: usize, exit: usize) -> (usize, usize) {
+        let brace_guard = self.find_depth0(c + 1, hi, "{").unwrap_or(hi);
+        let Some(inpos) = self.find_depth0(c + 1, brace_guard, "in") else {
+            let join = self.new_block(BlockKind::Basic);
+            return self.unknown(c, hi, cur, join);
+        };
+        let Some(ob) = self.find_depth0(inpos + 1, hi, "{") else {
+            let join = self.new_block(BlockKind::Basic);
+            return self.unknown(c, hi, cur, join);
+        };
+        let cb = self.match_brace(ob, hi);
+        let head = self.new_block(BlockKind::LoopHead);
+        self.link(cur, head);
+        self.push(
+            head,
+            Stmt {
+                lo: c + 1,
+                hi: ob,
+                kind: StmtKind::BindFrom {
+                    pat: (c + 1, inpos),
+                    expr: (inpos + 1, ob),
+                    iterates: true,
+                },
+            },
+        );
+        let body = self.new_block(BlockKind::Basic);
+        self.link(head, body);
+        let body_exit = self.stmts(ob + 1, cb, body, false, exit);
+        self.link(body_exit, head);
+        let after = self.new_block(BlockKind::Basic);
+        self.link(head, after);
+        (after, (cb + 1).min(hi))
+    }
+
+    fn parse_while(&mut self, c: usize, hi: usize, cur: usize, exit: usize) -> (usize, usize) {
+        let Some(ob) = self.find_depth0(c + 1, hi, "{") else {
+            let join = self.new_block(BlockKind::Basic);
+            return self.unknown(c, hi, cur, join);
+        };
+        let cb = self.match_brace(ob, hi);
+        let head = self.new_block(BlockKind::LoopHead);
+        self.link(cur, head);
+        let body = self.new_block(BlockKind::Basic);
+        self.link(head, body);
+        if self.txt(c + 1) == "let" {
+            // `while let <pat> = <expr>`: the binding is live in the body.
+            if let Some(eq) = self.find_depth0(c + 2, ob, "=") {
+                self.push(
+                    body,
+                    Stmt {
+                        lo: c + 2,
+                        hi: ob,
+                        kind: StmtKind::BindFrom {
+                            pat: (c + 2, eq),
+                            expr: (eq + 1, ob),
+                            iterates: false,
+                        },
+                    },
+                );
+            }
+        } else {
+            self.push(head, Stmt { lo: c + 1, hi: ob, kind: StmtKind::Expr });
+        }
+        let body_exit = self.stmts(ob + 1, cb, body, false, exit);
+        self.link(body_exit, head);
+        let after = self.new_block(BlockKind::Basic);
+        self.link(head, after);
+        (after, (cb + 1).min(hi))
+    }
+
+    fn parse_loop(&mut self, c: usize, hi: usize, cur: usize, exit: usize) -> (usize, usize) {
+        let Some(ob) = self.find_depth0(c + 1, hi, "{") else {
+            let join = self.new_block(BlockKind::Basic);
+            return self.unknown(c, hi, cur, join);
+        };
+        let cb = self.match_brace(ob, hi);
+        let head = self.new_block(BlockKind::LoopHead);
+        self.link(cur, head);
+        let body = self.new_block(BlockKind::Basic);
+        self.link(head, body);
+        let body_exit = self.stmts(ob + 1, cb, body, false, exit);
+        self.link(body_exit, head);
+        // `break` values and infinite loops are over-approximated with an
+        // unconditional exit edge.
+        let after = self.new_block(BlockKind::Basic);
+        self.link(head, after);
+        (after, (cb + 1).min(hi))
+    }
+
+    /// Recovery: salvage `[c, …)` up to the next depth-0 `;` (or `hi`)
+    /// into an [`BlockKind::Unknown`] block and continue from `join`.
+    fn unknown(&mut self, c: usize, hi: usize, cur: usize, join: usize) -> (usize, usize) {
+        let (stmt_hi, end) = match self.find_depth0(c, hi, ";") {
+            Some(s) => (s, s + 1),
+            None => (hi, hi),
+        };
+        let ub = self.new_block(BlockKind::Unknown);
+        self.link(cur, ub);
+        self.push(ub, Stmt { lo: c, hi: stmt_hi, kind: StmtKind::Expr });
+        self.link(ub, join);
+        (join, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileRole;
+
+    fn cfg_of(body_src: &str) -> (Cfg, FileContext<'static>) {
+        let src = Box::leak(format!("fn f() {{ {body_src} }}").into_boxed_str());
+        let ctx = FileContext::new("crates/x/src/a.rs", src, FileRole::Library);
+        let tree = crate::parser::parse_items(src, &ctx.tokens, &ctx.code);
+        let (open, close) = tree.items[0].body.expect("fn body");
+        (Cfg::build(&ctx, open, close), ctx)
+    }
+
+    fn kinds(cfg: &Cfg) -> Vec<StmtKind> {
+        cfg.order()
+            .into_iter()
+            .flat_map(|b| cfg.blocks[b].stmts.iter().map(|s| s.kind.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_statements_split() {
+        let (cfg, _) = cfg_of("let a = 1; b(a); return a;");
+        let ks = kinds(&cfg);
+        assert_eq!(ks, vec![StmtKind::Let, StmtKind::Expr, StmtKind::Return]);
+    }
+
+    #[test]
+    fn tail_expression_is_marked() {
+        let (cfg, _) = cfg_of("let a = 1; a + 1");
+        assert!(kinds(&cfg).contains(&StmtKind::Tail));
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let (cfg, _) = cfg_of("if c { a(); } else { b(); } d();");
+        // entry, exit, first, join, then, else = 6 blocks.
+        assert!(cfg.blocks.len() >= 6);
+        // d() executes after the join: the join block (or a successor)
+        // holds an Expr statement containing d.
+        assert!(kinds(&cfg).len() >= 4, "cond + 2 branches + d()");
+    }
+
+    #[test]
+    fn tail_if_marks_branch_tails() {
+        let (cfg, _) = cfg_of("if c { a } else { b }");
+        let tails = kinds(&cfg).into_iter().filter(|k| *k == StmtKind::Tail).count();
+        assert_eq!(tails, 2, "both branch tails are return values");
+    }
+
+    #[test]
+    fn non_tail_if_has_no_tails() {
+        let (cfg, _) = cfg_of("if c { a() } else { b() } z();");
+        let tails = kinds(&cfg).into_iter().filter(|k| *k == StmtKind::Tail).count();
+        assert_eq!(tails, 0);
+    }
+
+    #[test]
+    fn for_loop_has_back_edge_and_binding() {
+        let (cfg, _) = cfg_of("for x in xs { use_it(x); }");
+        let head =
+            cfg.blocks.iter().position(|b| b.kind == BlockKind::LoopHead).expect("loop head block");
+        // Some block loops back to the head.
+        assert!(
+            (0..cfg.blocks.len()).any(|i| i != head && cfg.blocks[i].succs.contains(&head)),
+            "back edge"
+        );
+        assert!(kinds(&cfg).iter().any(|k| matches!(k, StmtKind::BindFrom { .. })));
+    }
+
+    #[test]
+    fn match_arms_bind_from_scrutinee() {
+        let (cfg, _) = cfg_of("match v { Some(x) => { a(x); } None => {} }");
+        let binds =
+            kinds(&cfg).into_iter().filter(|k| matches!(k, StmtKind::BindFrom { .. })).count();
+        assert_eq!(binds, 2, "one binding statement per arm");
+    }
+
+    #[test]
+    fn return_cuts_the_block() {
+        let (cfg, _) = cfg_of("if c { return 1; } after();");
+        // The statement after `return` is in a block that is still
+        // reachable via the non-taken branch.
+        assert!(kinds(&cfg).contains(&StmtKind::Return));
+    }
+
+    #[test]
+    fn malformed_constructs_recover() {
+        // `if` with no block: salvaged as Unknown, later statements kept.
+        let (cfg, _) = cfg_of("if c; let a = 1;");
+        assert!(cfg.blocks.iter().any(|b| b.kind == BlockKind::Unknown));
+        assert!(kinds(&cfg).contains(&StmtKind::Let), "recovery keeps later statements");
+    }
+
+    #[test]
+    fn builder_is_total_on_garbage() {
+        // Unbalanced delimiters and stray arrows must not hang or panic.
+        let (cfg, _) = cfg_of("match { => , } ( [ while");
+        assert!(!cfg.blocks.is_empty());
+    }
+
+    #[test]
+    fn while_let_binds_in_body() {
+        let (cfg, _) = cfg_of("while let Some(x) = it.next() { go(x); }");
+        assert!(kinds(&cfg).iter().any(|k| matches!(k, StmtKind::BindFrom { .. })));
+    }
+}

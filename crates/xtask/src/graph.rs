@@ -90,6 +90,10 @@ pub struct FnNode {
     pub params: Vec<String>,
     /// True when the function (or an enclosing item) is test-only.
     pub is_test: bool,
+    /// True when the function carries a `// lint: contract(deterministic)`
+    /// annotation (on its `fn` line or the line above) — a dataflow-rule
+    /// entry point (R012–R015).
+    pub is_contract: bool,
 }
 
 /// The linked workspace: all functions plus approximate call edges.
@@ -271,6 +275,9 @@ fn collect_fns(fa: &FileAnalysis<'_>, file_idx: usize, out: &mut Vec<FnNode>) {
         qual.push_str("::");
         qual.push_str(&item.name);
         let is_test = item_is_test(fa, item) || path.iter().any(|p| item_is_test(fa, p));
+        let is_contract = fa.ctx.contracts.iter().any(|a| {
+            a.kind == "deterministic" && (a.line == item.span.line || a.line + 1 == item.span.line)
+        });
         out.push(FnNode {
             file: file_idx,
             crate_name: crate_name.clone(),
@@ -281,6 +288,7 @@ fn collect_fns(fa: &FileAnalysis<'_>, file_idx: usize, out: &mut Vec<FnNode>) {
             body: item.body,
             params: item.params.clone(),
             is_test,
+            is_contract,
         });
     });
 }

@@ -18,27 +18,36 @@
 //! | R003 | crate root missing the lint header (`#![warn(missing_docs)]` + `#![forbid(unsafe_code)]` for libraries, forbid-only for binaries) |
 //! | R004 | stale `// lint: allow(…)` annotation that suppresses nothing |
 //! | R005 | lossy numeric `as` cast (`f64→f32`, float→int, `u64→usize`/narrower) without a `lossy_cast` annotation |
-//! | R006 | `HashMap`/`HashSet` iteration feeding rendered output without a `nondet_iter` annotation |
 //! | R007 | raw `Instant::now()` outside `crates/obs/` without a `raw_timing` annotation |
 //! | R008 | `Mutex`/`RwLock` guard held across a rayon call, re-acquired, or acquired in inconsistent order (`lock_hygiene`) |
 //! | R009 | crate import outside the declarative layering DAG in `crates/xtask/layering.lint` (`layering`) |
 //! | R010 | panic site or caller-controlled index reachable from a service entry point (`reachable_panic`) |
 //! | R011 | `pub` item referenced by no other crate, test, example, or bench (`dead_api`) |
+//! | R012 | rayon parallel float reduction (`par_iter().sum/product/fold/reduce` with float evidence) inside a deterministic contract (`nondet_reduce`) |
+//! | R013 | `HashMap`/`HashSet` iteration feeding rendered output anywhere, or numeric/result state inside a deterministic contract (`nondet_iter`; subsumes the retired R006, SARIF-aliased) |
+//! | R014 | `Ordering::Relaxed` atomic read feeding a certified result inside a deterministic contract (`relaxed_result`) |
+//! | R015 | wall-clock/unseeded-RNG/thread-id value feeding a result inside a deterministic contract (`nondet_time`) |
 //!
 //! R001–R007 are per-file token rules; R008–R011 run on the workspace
 //! graph built by [`parser`] (per-file item trees) and [`graph`]
-//! (cross-crate module inventory plus approximate call graph).
+//! (cross-crate module inventory plus approximate call graph). R012–R015
+//! are the determinism dataflow rules: a taint analysis over per-function
+//! control-flow graphs ([`cfg`]) whose contract-scoped forms fire in
+//! functions reachable from a `// lint: contract(deterministic)`
+//! annotation, with witness call chains in the message (same UX as R010).
 //!
 //! Annotations are `// lint: allow(<kinds>): <reason>` with a mandatory
 //! reason, on the flagged line or the line above; the kind list may be
-//! comma-separated when several rules flag one site. Test items
-//! (`#[cfg(test)]`, `#[test]`) are exempt wherever they appear in a file;
-//! `src/main.rs` and `src/bin/` are additionally exempt from
-//! R001/R005/R010/R011.
+//! comma-separated when several rules flag one site. Deterministic
+//! contracts are `// lint: contract(deterministic)` with the same
+//! placement. Test items (`#[cfg(test)]`, `#[test]`) are exempt wherever
+//! they appear in a file; `src/main.rs` and `src/bin/` are additionally
+//! exempt from R001/R005/R010/R011.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cfg;
 pub mod fix;
 pub mod graph;
 pub mod lexer;

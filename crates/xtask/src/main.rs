@@ -1,16 +1,22 @@
 //! `cargo xtask` — repository maintenance tasks.
 //!
 //! ```text
-//! cargo xtask lint [--format <human|json|sarif>] [--fix]
+//! cargo xtask lint [--format <human|json|sarif>] [--fix] [--timings <file>]
 //! ```
 //!
 //! `lint` runs the workspace rule engine (see the `xtask` library crate
-//! docs for the R001–R011 rule table) over every workspace crate — the
-//! per-file token rules plus the module/call-graph rules — and reports
-//! findings as the same structured `Diagnostic`s `catalyze check` emits.
+//! docs for the R001–R015 rule table) over every workspace crate — the
+//! per-file token rules, the module/call-graph rules, and the determinism
+//! dataflow rules — and reports findings as the same structured
+//! `Diagnostic`s `catalyze check` emits. The per-file scan runs in
+//! parallel; diagnostics are sorted by (path, span) so the output is
+//! byte-identical regardless of thread schedule.
 //! `--fix` rewrites stale `// lint: allow(…)` annotations (R004) in place
 //! before reporting: comments whose kinds all suppress nothing are
 //! deleted, mixed comments keep their live kinds; the pass is idempotent.
+//! `--timings <file>` writes per-rule/per-file wall-clock accounting
+//! (`lint-timings.v1` JSON) — the source of `results/BENCH_lint.json` and
+//! its CI regression gate.
 //! Exit codes: `0` clean, `1` any error-severity finding, `2` usage
 //! error. Unknown arguments are rejected — `--format` must be followed by
 //! `human`, `json`, or `sarif`.
@@ -20,6 +26,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// SARIF rule-id aliases: R013 subsumes the retired R006 heuristic.
+const SARIF_ALIASES: [(&str, &[&str]); 1] = [("R013", &["R006"])];
+
 #[derive(PartialEq)]
 enum Format {
     Human,
@@ -28,7 +37,7 @@ enum Format {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--format <human|json|sarif>] [--fix]");
+    eprintln!("usage: cargo xtask lint [--format <human|json|sarif>] [--fix] [--timings <file>]");
     ExitCode::from(2)
 }
 
@@ -40,6 +49,7 @@ fn main() -> ExitCode {
 
     let mut format = Format::Human;
     let mut fix = false;
+    let mut timings: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +79,16 @@ fn main() -> ExitCode {
                 fix = true;
                 i += 1;
             }
+            "--timings" => match args.get(i + 1) {
+                Some(path) => {
+                    timings = Some(PathBuf::from(path));
+                    i += 2;
+                }
+                None => {
+                    eprintln!("--timings requires an output file path");
+                    return usage();
+                }
+            },
             other => {
                 eprintln!("unknown argument `{other}`");
                 return usage();
@@ -89,10 +109,22 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = xtask::lint_repo(&root);
+    let report = match xtask::rules::load_repo_inputs(&root) {
+        Ok((files, references, policy)) => {
+            let lint = xtask::rules::lint_workspace_full(&files, &references, &policy);
+            if let Some(path) = &timings {
+                if let Err(e) = std::fs::write(path, lint.timings.render_json()) {
+                    eprintln!("cannot write timings to {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            lint.report
+        }
+        Err(report) => report,
+    };
     match format {
         Format::Json => println!("{}", report.render_json()),
-        Format::Sarif => println!("{}", report.render_sarif("xtask-lint")),
+        Format::Sarif => println!("{}", report.render_sarif_aliased("xtask-lint", &SARIF_ALIASES)),
         Format::Human => print!("{}", report.render_human()),
     }
     if report.has_errors() {

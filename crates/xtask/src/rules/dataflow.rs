@@ -1,0 +1,853 @@
+//! R012–R015 — the determinism dataflow rules.
+//!
+//! An intraprocedural taint analysis over the per-function CFGs built by
+//! [`crate::cfg`], plus interprocedural *contract scoping* over the
+//! approximate call graph in [`crate::graph`]. The taint lattice tracks,
+//! per local binding, which nondeterminism **sources** may have fed it:
+//!
+//! * `HashIter` — `HashMap`/`HashSet` iteration (order is randomized per
+//!   process);
+//! * `FloatReduce` — a rayon parallel-iterator reduction (`sum`, `product`,
+//!   `fold`, `reduce`) with float evidence (float literal, float-typed
+//!   binding, or an `::<f32|f64>` turbofish) — float addition is not
+//!   associative, so the split schedule changes the result bits;
+//! * `RelaxedLoad` — atomic reads at `Ordering::Relaxed` (`load`,
+//!   value-returning `fetch_*`);
+//! * `TimeRng` — wall-clock (`Instant::now`, `SystemTime::now`),
+//!   unseeded RNG (`thread_rng`, `from_entropy`), thread id, process id.
+//!   Seeded construction (`seed_from_u64`, `from_seed`) is *not* a source.
+//!
+//! **Sinks** are where a tainted value escapes the function: the returned
+//! value (trailing tail expression or `return`), writes through out-params
+//! (`*out = …`, `out.field = …`), writes to `self` fields, and — for
+//! `HashIter` only — rendering sinks (`push_str`, `format!`, `join`, …),
+//! which is the R006 behaviour this module subsumes as R013.
+//!
+//! Interprocedural propagation needs no call summaries: the returned value
+//! *is* a sink, so a tainted flow crossing a function boundary is flagged
+//! in the function where the source lives, and contract scoping makes that
+//! function's membership in a certified call tree explicit. A function is
+//! in scope when it is reachable (over the dependency-filtered call graph)
+//! from any function annotated `// lint: contract(deterministic)`;
+//! findings carry the witness call chain from the contract entry, same UX
+//! as R010. R013's rendering-sink form fires everywhere, contract or not,
+//! preserving R006's coverage.
+//!
+//! Sanitizers: binding into a `BTree*` collection and in-place `.sort*()`
+//! calls clear `HashIter` taint — those are exactly the deterministic
+//! fixes the suggestions recommend.
+
+use super::{FileContext, Finding, Ty};
+use crate::cfg::{Cfg, Stmt, StmtKind};
+use crate::graph::{FileAnalysis, WorkspaceGraph};
+use crate::lexer::TokenKind;
+use catalyze_check::{Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterminism source kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Source {
+    /// `HashMap`/`HashSet` iteration.
+    HashIter,
+    /// Parallel float reduction.
+    FloatReduce,
+    /// `Ordering::Relaxed` atomic read.
+    RelaxedLoad,
+    /// Wall-clock / unseeded RNG / thread- or process-id value.
+    TimeRng,
+}
+
+/// Where a tainted value escaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Sink {
+    /// The function's returned value.
+    Return,
+    /// A write through a caller-visible out-parameter.
+    OutParam,
+    /// A write to a field of `self`.
+    SelfField,
+    /// A rendering sink (`push_str`, `format!`, `join`, …).
+    Render,
+}
+
+/// One source-to-sink flow found in a function.
+#[derive(Debug, Clone)]
+pub(crate) struct Hit {
+    /// What kind of nondeterminism fed the sink.
+    pub source: Source,
+    /// How the value escaped.
+    pub sink: Sink,
+    /// Code-token index of the source site (what the diagnostic anchors
+    /// to).
+    pub origin: usize,
+    /// How many further flows of the same (source, sink) shape were
+    /// folded into this hit.
+    pub more: usize,
+}
+
+/// Per-binding taint: the code-token origin of the first evidence for
+/// each source kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Taints {
+    hash: Option<usize>,
+    reduce: Option<usize>,
+    relaxed: Option<usize>,
+    time: Option<usize>,
+}
+
+impl Taints {
+    fn set(&mut self, source: Source, origin: usize) {
+        let slot = self.slot(source);
+        *slot = Some(slot.map_or(origin, |o| o.min(origin)));
+    }
+
+    fn slot(&mut self, source: Source) -> &mut Option<usize> {
+        match source {
+            Source::HashIter => &mut self.hash,
+            Source::FloatReduce => &mut self.reduce,
+            Source::RelaxedLoad => &mut self.relaxed,
+            Source::TimeRng => &mut self.time,
+        }
+    }
+
+    fn union(&mut self, other: &Taints) {
+        for (source, origin) in other.iter() {
+            self.set(source, origin);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (Source, usize)> {
+        [
+            (Source::HashIter, self.hash),
+            (Source::FloatReduce, self.reduce),
+            (Source::RelaxedLoad, self.relaxed),
+            (Source::TimeRng, self.time),
+        ]
+        .into_iter()
+        .filter_map(|(s, o)| o.map(|o| (s, o)))
+    }
+}
+
+type State = BTreeMap<String, Taints>;
+
+/// Rendering sinks (kept in sync with the old R006 list).
+const RENDER_SINKS: [&str; 10] = [
+    "push_str",
+    "write_str",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "format",
+    "join",
+];
+
+/// Iteration entry points on a hash container.
+const ITER_METHODS: [&str; 8] =
+    ["iter", "keys", "values", "into_iter", "drain", "par_iter", "iter_mut", "values_mut"];
+
+/// Rayon parallel-iterator constructors.
+const PAR_ITERS: [&str; 6] =
+    ["par_iter", "into_par_iter", "par_iter_mut", "par_chunks", "par_chunks_mut", "par_bridge"];
+
+/// Order-sensitive reduction adapters.
+const REDUCERS: [&str; 4] = ["sum", "product", "fold", "reduce"];
+
+/// Atomic read methods whose result carries the relaxed-ordering value.
+const ATOMIC_READS: [&str; 8] = [
+    "load",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+];
+
+/// Unseeded RNG constructors.
+const RNG_CALLS: [&str; 2] = ["thread_rng", "from_entropy"];
+
+/// Assignment operators (single tokens, maximal munch).
+const ASSIGN_OPS: [&str; 11] = ["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="];
+
+/// Words that appear in patterns but never bind a value.
+const PAT_NON_BINDERS: [&str; 11] =
+    ["mut", "ref", "box", "if", "in", "as", "move", "self", "true", "false", "_"];
+
+/// Runs the taint analysis over one function body (`body` is the
+/// inclusive brace range from the item parser) and returns the deduplicated
+/// source-to-sink flows.
+pub(crate) fn analyze_fn(
+    ctx: &FileContext<'_>,
+    body: (usize, usize),
+    params: &[String],
+) -> Vec<Hit> {
+    let cfg = Cfg::build(ctx, body.0, body.1);
+    let nb = cfg.blocks.len();
+    let mut in_states: Vec<Option<State>> = vec![None; nb];
+    in_states[cfg.entry] = Some(State::new());
+    let mut work: VecDeque<usize> = VecDeque::from([cfg.entry]);
+    let mut steps = 0usize;
+    while let Some(b) = work.pop_front() {
+        steps += 1;
+        if steps > nb.saturating_mul(64) + 256 {
+            break; // defensive bound; the lattice converges long before this
+        }
+        let Some(state) = in_states[b].clone() else { continue };
+        let mut out = state;
+        let mut scratch = Vec::new();
+        for stmt in &cfg.blocks[b].stmts {
+            transfer(ctx, params, stmt, &mut out, &mut scratch);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let changed = if let Some(existing) = in_states[succ].as_mut() {
+                join_into(existing, &out)
+            } else {
+                in_states[succ] = Some(out.clone());
+                true
+            };
+            if changed && !work.contains(&succ) {
+                work.push_back(succ);
+            }
+        }
+    }
+    // Collection pass with the converged states.
+    let mut hits = Vec::new();
+    for b in cfg.order() {
+        let Some(state) = in_states[b].clone() else { continue };
+        let mut st = state;
+        for stmt in &cfg.blocks[b].stmts {
+            transfer(ctx, params, stmt, &mut st, &mut hits);
+        }
+    }
+    dedup(hits)
+}
+
+fn join_into(dst: &mut State, src: &State) -> bool {
+    let mut changed = false;
+    for (k, v) in src {
+        match dst.get_mut(k) {
+            Some(d) => {
+                let before = d.clone();
+                d.union(v);
+                if *d != before {
+                    changed = true;
+                }
+            }
+            None => {
+                dst.insert(k.clone(), v.clone());
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// One hit per (source, sink) for result sinks; one per (source, sink,
+/// origin) for rendering sinks (R006 parity: each render site reports).
+fn dedup(hits: Vec<Hit>) -> Vec<Hit> {
+    let mut best: BTreeMap<(Source, Sink, usize), Hit> = BTreeMap::new();
+    for h in hits {
+        let key = match h.sink {
+            Sink::Render => (h.source, h.sink, h.origin),
+            _ => (h.source, h.sink, 0),
+        };
+        match best.get_mut(&key) {
+            Some(b) => {
+                if h.origin < b.origin {
+                    b.origin = h.origin;
+                }
+                b.more += 1;
+            }
+            None => {
+                best.insert(key, h);
+            }
+        }
+    }
+    let mut out: Vec<Hit> = best.into_values().collect();
+    out.sort_by_key(|h| (h.origin, h.source, h.sink));
+    out
+}
+
+fn transfer(
+    ctx: &FileContext<'_>,
+    params: &[String],
+    stmt: &Stmt,
+    state: &mut State,
+    hits: &mut Vec<Hit>,
+) {
+    match &stmt.kind {
+        StmtKind::Let => transfer_let(ctx, stmt, state, hits),
+        StmtKind::Return => {
+            let t = eval(ctx, (stmt.lo + 1, stmt.hi), state, false, hits);
+            sink_all(&t, Sink::Return, hits);
+        }
+        StmtKind::Tail => {
+            let t = eval(ctx, (stmt.lo, stmt.hi), state, false, hits);
+            sink_all(&t, Sink::Return, hits);
+        }
+        StmtKind::BindFrom { pat, expr, iterates } => {
+            let mut t = eval(ctx, *expr, state, false, hits);
+            if *iterates {
+                // `for k in &m`: iterating the container itself.
+                for c in expr.0..expr.1 {
+                    if ctx.code_type(c) == Some(Ty::Hash)
+                        || matches!(ctx.code_text(c), "HashMap" | "HashSet")
+                    {
+                        t.set(Source::HashIter, c);
+                        break;
+                    }
+                }
+            }
+            bind_pattern(ctx, *pat, &t, state);
+        }
+        StmtKind::Expr => transfer_expr(ctx, params, stmt, state, hits),
+    }
+}
+
+fn sink_all(t: &Taints, sink: Sink, hits: &mut Vec<Hit>) {
+    for (source, origin) in t.iter() {
+        hits.push(Hit { source, sink, origin, more: 0 });
+    }
+}
+
+fn transfer_let(ctx: &FileContext<'_>, stmt: &Stmt, state: &mut State, hits: &mut Vec<Hit>) {
+    let lo = stmt.lo; // at `let`
+    let hi = stmt.hi;
+    match find_depth0(ctx, lo + 1, hi, "=") {
+        Some(eq) => {
+            let colon = find_depth0(ctx, lo + 1, eq, ":");
+            let pat = (lo + 1, colon.unwrap_or(eq));
+            let ty = colon.map(|c| (c + 1, eq));
+            let expect_float =
+                ty.is_some_and(|(a, b)| (a..b).any(|c| matches!(ctx.code_text(c), "f32" | "f64")));
+            let ty_sanitizes =
+                ty.is_some_and(|(a, b)| (a..b).any(|c| ctx.code_text(c).starts_with("BTree")));
+            let mut t = eval(ctx, (eq + 1, hi), state, expect_float, hits);
+            if ty_sanitizes || (eq + 1..hi).any(|c| ctx.code_text(c).starts_with("BTree")) {
+                // Collecting into an ordered container restores
+                // determinism for iteration order.
+                t.hash = None;
+            }
+            bind_pattern(ctx, pat, &t, state);
+        }
+        None => {
+            // `let x;` — declared, nothing known yet.
+            bind_pattern(ctx, (lo + 1, hi), &Taints::default(), state);
+        }
+    }
+}
+
+fn transfer_expr(
+    ctx: &FileContext<'_>,
+    params: &[String],
+    stmt: &Stmt,
+    state: &mut State,
+    hits: &mut Vec<Hit>,
+) {
+    // Sanitizer: an in-place `x.sort*(…)` makes x's order deterministic.
+    if is_ident(ctx, stmt.lo)
+        && ctx.code_text(stmt.lo + 1) == "."
+        && ctx.code_text(stmt.lo + 2).starts_with("sort")
+        && ctx.code_text(stmt.lo + 3) == "("
+    {
+        if let Some(t) = state.get_mut(ctx.code_text(stmt.lo)) {
+            t.hash = None;
+        }
+        return;
+    }
+    // Assignment: `[*]head(.field | [idx])* <op>= rhs`.
+    let mut i = stmt.lo;
+    let deref = ctx.code_text(i) == "*";
+    if deref {
+        i += 1;
+    }
+    if is_ident(ctx, i) {
+        let head = ctx.code_text(i).to_string();
+        let mut j = i + 1;
+        let mut saw_proj = false;
+        loop {
+            if ctx.code_text(j) == "." && is_ident(ctx, j + 1) && ctx.code_text(j + 2) != "(" {
+                saw_proj = true;
+                j += 2;
+            } else if ctx.code_text(j) == "[" {
+                saw_proj = true;
+                j = match_close(ctx, j, stmt.hi) + 1;
+            } else {
+                break;
+            }
+        }
+        if j < stmt.hi && ASSIGN_OPS.contains(&ctx.code_text(j)) {
+            let op = ctx.code_text(j).to_string();
+            let t = eval(ctx, (j + 1, stmt.hi), state, false, hits);
+            if head == "self" && saw_proj {
+                sink_all(&t, Sink::SelfField, hits);
+            } else if params.contains(&head) && (deref || saw_proj) {
+                sink_all(&t, Sink::OutParam, hits);
+            } else if !saw_proj && !deref && op == "=" {
+                state.insert(head, t);
+            } else {
+                let entry = state.entry(head).or_default();
+                entry.union(&t);
+            }
+            return;
+        }
+    }
+    let _ = eval(ctx, (stmt.lo, stmt.hi), state, false, hits);
+}
+
+/// Binds every plausible value binder in a pattern range to `t`.
+/// Lowercase-first identifiers only (enum variants and types start
+/// uppercase by convention); struct-pattern field names (`x:` …) and
+/// non-binding keywords are skipped.
+fn bind_pattern(ctx: &FileContext<'_>, pat: (usize, usize), t: &Taints, state: &mut State) {
+    for c in pat.0..pat.1 {
+        if !is_ident(ctx, c) {
+            continue;
+        }
+        let txt = ctx.code_text(c);
+        let prev = if c == 0 { "" } else { ctx.code_text(c - 1) };
+        // A struct-pattern field name (`Point { x: px }`) is the token
+        // before a `:` *inside* the pattern — a `:` just past the range is
+        // the binding's own type annotation, which must not skip it.
+        if prev == "::" || prev == "." || (c + 1 < pat.1 && ctx.code_text(c + 1) == ":") {
+            continue;
+        }
+        let Some(first) = txt.chars().next() else { continue };
+        if first.is_uppercase() || PAT_NON_BINDERS.contains(&txt) {
+            continue;
+        }
+        state.insert(txt.to_string(), t.clone());
+    }
+}
+
+/// Evaluates an expression range: unions the taints of every identifier
+/// use, adds source taints for source patterns in the range, and records
+/// a rendering-sink hit when hash-iteration taint meets a rendering sink
+/// in the same range.
+fn eval(
+    ctx: &FileContext<'_>,
+    range: (usize, usize),
+    state: &State,
+    expect_float: bool,
+    hits: &mut Vec<Hit>,
+) -> Taints {
+    let (lo, hi) = range;
+    let mut t = Taints::default();
+    // Float evidence pre-scan for the parallel-reduction source.
+    let mut float_evidence = expect_float;
+    for c in lo..hi {
+        if let Some(tok) = ctx.code_token(c) {
+            if tok.kind == TokenKind::Number && tok.is_float_literal(ctx.src) {
+                float_evidence = true;
+            }
+        }
+        if matches!(ctx.code_type(c), Some(ty) if ty.is_float())
+            || matches!(ctx.code_text(c), "f32" | "f64")
+        {
+            float_evidence = true;
+        }
+    }
+    let mut par_seen = false;
+    let mut render_at: Option<usize> = None;
+    for c in lo..hi {
+        if !is_ident(ctx, c) {
+            continue;
+        }
+        let txt = ctx.code_text(c);
+        let prev = if c == 0 { "" } else { ctx.code_text(c - 1) };
+        let next = ctx.code_text(c + 1);
+        // Identifier use resolving to a tainted binding.
+        if prev != "." && prev != "::" && next != ":" {
+            if let Some(vt) = state.get(txt) {
+                t.union(vt);
+            }
+        }
+        // Sources.
+        if (ctx.code_type(c) == Some(Ty::Hash) || matches!(txt, "HashMap" | "HashSet"))
+            && next == "."
+            && ITER_METHODS.contains(&ctx.code_text(c + 2))
+            && ctx.code_text(c + 3) == "("
+        {
+            t.set(Source::HashIter, c);
+        }
+        if prev == "." && ATOMIC_READS.contains(&txt) && next == "(" && mentions_relaxed(ctx, c + 1)
+        {
+            t.set(Source::RelaxedLoad, c);
+        }
+        if next == "(" {
+            if txt == "now"
+                && prev == "::"
+                && matches!(ctx.code_text(c.wrapping_sub(2)), "Instant" | "SystemTime")
+            {
+                t.set(Source::TimeRng, c - 2);
+            }
+            if RNG_CALLS.contains(&txt) {
+                t.set(Source::TimeRng, c);
+            }
+            if txt == "current" && prev == "::" && ctx.code_text(c.wrapping_sub(2)) == "thread" {
+                t.set(Source::TimeRng, c - 2);
+            }
+            if txt == "id" && prev == "::" && ctx.code_text(c.wrapping_sub(2)) == "process" {
+                t.set(Source::TimeRng, c - 2);
+            }
+        }
+        if prev == "." && PAR_ITERS.contains(&txt) && next == "(" {
+            par_seen = true;
+        }
+        if par_seen && prev == "." && REDUCERS.contains(&txt) && (next == "(" || next == "::") {
+            let turbo_float = next == "::"
+                && (c + 2..(c + 6).min(hi)).any(|d| matches!(ctx.code_text(d), "f32" | "f64"));
+            if float_evidence || turbo_float {
+                t.set(Source::FloatReduce, c);
+            }
+        }
+        if RENDER_SINKS.contains(&txt) && (next == "(" || next == "!") && render_at.is_none() {
+            render_at = Some(c);
+        }
+    }
+    if let (Some(origin), Some(_)) = (t.hash, render_at) {
+        hits.push(Hit { source: Source::HashIter, sink: Sink::Render, origin, more: 0 });
+    }
+    t
+}
+
+fn is_ident(ctx: &FileContext<'_>, c: usize) -> bool {
+    ctx.code_token(c).map(|t| t.kind) == Some(TokenKind::Ident)
+}
+
+/// Whether the call whose `(` sits at `open` mentions `Relaxed` in its
+/// arguments.
+fn mentions_relaxed(ctx: &FileContext<'_>, open: usize) -> bool {
+    let mut depth = 0usize;
+    let mut c = open;
+    while c < ctx.code.len() {
+        match ctx.code_text(c) {
+            "(" => depth += 1,
+            ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "Relaxed" => return true,
+            _ => {}
+        }
+        c += 1;
+    }
+    false
+}
+
+/// Index of the first `what` at delimiter depth 0 in `[from, hi)`.
+fn find_depth0(ctx: &FileContext<'_>, from: usize, hi: usize, what: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for c in from..hi {
+        let t = ctx.code_text(c);
+        match t {
+            "(" | "[" | "{" => {
+                if depth == 0 && t == what {
+                    return Some(c);
+                }
+                depth += 1;
+            }
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            _ => {
+                if depth == 0 && t == what {
+                    return Some(c);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Matching close bracket for the `[` at `at`, clamped to `hi`.
+fn match_close(ctx: &FileContext<'_>, at: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    for c in at..hi {
+        match ctx.code_text(c) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return c;
+                }
+            }
+            _ => {}
+        }
+    }
+    hi.saturating_sub(1).max(at)
+}
+
+// ---------------------------------------------------------------------------
+// Rule emitters.
+
+/// Per-file pass: R013's rendering-sink form (the old R006), contract or
+/// not. Suppression kind: `nondet_iter`.
+pub(crate) fn check_file(fa: &FileAnalysis<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    fa.tree.walk(|_path, item| {
+        if item.kind != crate::parser::ItemKind::Fn {
+            return;
+        }
+        let Some(body) = item.body else { return };
+        if fa.ctx.code_in_test(item.name_code) {
+            return;
+        }
+        for h in analyze_fn(&fa.ctx, body, &item.params) {
+            if h.sink != Sink::Render {
+                continue;
+            }
+            out.push(Finding {
+                kind: "nondet_iter",
+                diag: fa
+                    .ctx
+                    .diagnostic_at(
+                        h.origin,
+                        "R013",
+                        "HashMap/HashSet iteration feeds rendered output; hash order is \
+                         nondeterministic across runs",
+                    )
+                    .with_suggestion(
+                        "use a BTreeMap/BTreeSet, sort before rendering, or annotate with \
+                         `// lint: allow(nondet_iter): <reason>`",
+                    ),
+            });
+        }
+    });
+    out
+}
+
+/// The contract entry points: every function carrying a
+/// `// lint: contract(deterministic)` annotation.
+pub(crate) fn contract_entries(graph: &WorkspaceGraph) -> Vec<usize> {
+    graph.fns.iter().enumerate().filter(|(_, f)| f.is_contract).map(|(i, _)| i).collect()
+}
+
+/// Workspace pass: R012/R014/R015 and R013's result-sink form, scoped to
+/// functions reachable from a deterministic contract, with witness chains.
+/// Also reports contract annotations that attach to no function (R004
+/// family, kind `stale_contract`).
+pub(crate) fn check_workspace(
+    analyses: &[FileAnalysis<'_>],
+    graph: &WorkspaceGraph,
+) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    for (fi, fa) in analyses.iter().enumerate() {
+        for a in &fa.ctx.contracts {
+            let location = format!("{}:{}:{}", fa.ctx.rel, a.span.line, a.span.column);
+            if a.kind != "deterministic" {
+                out.push((
+                    fi,
+                    Finding {
+                        kind: "stale_contract",
+                        diag: Diagnostic::new(
+                            "R004",
+                            Severity::Error,
+                            location,
+                            format!(
+                                "unknown contract kind `{}` (the recognized kind is \
+                                 `deterministic`)",
+                                a.kind
+                            ),
+                        )
+                        .with_span(a.span),
+                    },
+                ));
+                continue;
+            }
+            let attached = graph
+                .fns
+                .iter()
+                .any(|f| f.file == fi && (f.span.line == a.line || f.span.line == a.line + 1));
+            if !attached {
+                out.push((
+                    fi,
+                    Finding {
+                        kind: "stale_contract",
+                        diag: Diagnostic::new(
+                            "R004",
+                            Severity::Error,
+                            location,
+                            "`// lint: contract(deterministic)` attaches to no function \
+                             (it must sit on the `fn` line or the line above)",
+                        )
+                        .with_span(a.span),
+                    },
+                ));
+            }
+        }
+    }
+    let entries = contract_entries(graph);
+    if entries.is_empty() {
+        return out;
+    }
+    let parent = graph.reachable_from(&entries);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if parent[i].is_none() || f.is_test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let fa = &analyses[f.file];
+        let hits = analyze_fn(&fa.ctx, body, &f.params);
+        let chain = graph.chain_to(&parent, i);
+        let render_origins: BTreeSet<usize> =
+            hits.iter().filter(|h| h.sink == Sink::Render).map(|h| h.origin).collect();
+        for h in &hits {
+            if h.sink == Sink::Render {
+                continue; // the per-file pass owns rendering sinks
+            }
+            if h.source == Source::HashIter && render_origins.contains(&h.origin) {
+                continue; // already flagged at this origin by the render form
+            }
+            let (rule, kind, what, sugg) = describe(h.source);
+            let sink_txt = match h.sink {
+                Sink::OutParam => "out-parameter",
+                Sink::SelfField => "written field",
+                // Render is filtered above; fold it with Return so this
+                // match stays total without a panic site.
+                Sink::Return | Sink::Render => "returned value",
+            };
+            let more =
+                if h.more > 0 { format!(" (+{} more such flows)", h.more) } else { String::new() };
+            out.push((
+                f.file,
+                Finding {
+                    kind,
+                    diag: fa
+                        .ctx
+                        .diagnostic_at(
+                            h.origin,
+                            rule,
+                            format!(
+                                "{what} reaches the {sink_txt}{more}; within deterministic \
+                                 contract: {chain}"
+                            ),
+                        )
+                        .with_suggestion(sugg),
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn describe(source: Source) -> (&'static str, &'static str, &'static str, &'static str) {
+    match source {
+        Source::FloatReduce => (
+            "R012",
+            "nondet_reduce",
+            "parallel float reduction (order-dependent rounding)",
+            "reduce sequentially over the parallel map's collected results, or annotate with \
+             `// lint: allow(nondet_reduce): <reason>`",
+        ),
+        Source::HashIter => (
+            "R013",
+            "nondet_iter",
+            "HashMap/HashSet iteration-order-dependent value",
+            "use a BTreeMap/BTreeSet or sort before accumulating, or annotate with \
+             `// lint: allow(nondet_iter): <reason>`",
+        ),
+        Source::RelaxedLoad => (
+            "R014",
+            "relaxed_result",
+            "Ordering::Relaxed atomic read",
+            "certified results need a stronger ordering or a deterministic data path; telemetry \
+             counters stay exempt via `// lint: allow(relaxed_result): <reason>`",
+        ),
+        Source::TimeRng => (
+            "R015",
+            "nondet_time",
+            "wall-clock/RNG-derived value",
+            "thread a seed or an explicit clock through the caller, or annotate with \
+             `// lint: allow(nondet_time): <reason>`",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileRole};
+
+    fn rules(src: &str) -> Vec<String> {
+        lint_source("crates/x/src/a.rs", src, FileRole::Library)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    // --- R013 rendering form: R006 parity ---------------------------------
+
+    #[test]
+    fn rendering_for_loop_is_flagged() {
+        let src = "fn f() -> String {\n\
+                   let m: HashMap<String, u32> = HashMap::new();\n\
+                   let mut out = String::new();\n\
+                   for (k, v) in &m { out.push_str(k); }\n\
+                   out\n}";
+        assert_eq!(rules(src), vec!["R013"]);
+    }
+
+    #[test]
+    fn chain_into_join_is_flagged() {
+        let src = "fn f() -> String {\n\
+                   let s = HashSet::new();\n\
+                   s.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(\",\")\n}";
+        assert_eq!(rules(src), vec!["R013"]);
+    }
+
+    #[test]
+    fn membership_and_sorted_uses_pass() {
+        // Insert/lookup only: no iteration, no finding.
+        let src = "fn f(x: &str) -> bool {\n\
+                   let mut s = HashSet::new();\n\
+                   s.insert(x.to_string());\n\
+                   s.contains(x)\n}";
+        assert!(rules(src).is_empty());
+        // Vec iteration with a sink: not a hash container.
+        let vec_render = "fn f(v: &[String]) -> String {\n\
+                          let mut out = String::new();\n\
+                          for s in v { out.push_str(s); }\n\
+                          out\n}";
+        assert!(rules(vec_render).is_empty());
+    }
+
+    #[test]
+    fn multi_statement_flow_is_caught_and_sort_sanitizes() {
+        // R006 could not see across statements; the dataflow form can.
+        let flow = "fn f() -> String {\n\
+                    let m = HashMap::new();\n\
+                    let v: Vec<String> = m.keys().cloned().collect();\n\
+                    v.join(\",\")\n}";
+        assert_eq!(rules(flow), vec!["R013"]);
+        // …and sorting in between is the sanctioned fix.
+        let sorted = "fn f() -> String {\n\
+                      let m = HashMap::new();\n\
+                      let mut v: Vec<String> = m.keys().cloned().collect();\n\
+                      v.sort();\n\
+                      v.join(\",\")\n}";
+        assert!(rules(sorted).is_empty(), "{:?}", rules(sorted));
+        // Collecting into a BTreeMap sanitizes too.
+        let btree = "fn f() -> String {\n\
+                     let m = HashMap::new();\n\
+                     let b: BTreeMap<String, u32> = m.iter().collect();\n\
+                     let mut out = String::new();\n\
+                     for (k, _v) in &b { out.push_str(k); }\n\
+                     out\n}";
+        assert!(rules(btree).is_empty(), "{:?}", rules(btree));
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = "fn f() -> String {\n\
+                   let m = HashMap::new();\n\
+                   let mut out = String::new();\n\
+                   // lint: allow(nondet_iter): debug dump, order is irrelevant\n\
+                   for k in m.keys() { out.push_str(k); }\n\
+                   out\n}";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub(crate) mod calls;
 pub(crate) mod casts;
+pub mod dataflow;
 pub(crate) mod deadpub;
 pub(crate) mod floatcmp;
 pub(crate) mod header;
@@ -32,7 +33,6 @@ mod inference;
 pub(crate) mod instant;
 pub mod layering;
 pub(crate) mod locks;
-pub(crate) mod nondet;
 pub(crate) mod reach;
 pub(crate) mod stale;
 
@@ -40,6 +40,7 @@ use crate::graph::{load_workspace, FileAnalysis, UsageSets, WorkspaceFile, Works
 use crate::lexer::{tokenize, Token, TokenKind};
 use catalyze_check::{Diagnostic, Report, Severity, Span};
 use layering::LayeringPolicy;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -115,7 +116,6 @@ pub(crate) struct Finding {
 }
 
 /// Everything a rule needs to know about one source file.
-// lint: allow(dead_api): per-file context in FileAnalysis's public fields, which the tests build
 pub struct FileContext<'s> {
     /// Repo-relative path used in diagnostic locations.
     pub rel: String,
@@ -132,6 +132,10 @@ pub struct FileContext<'s> {
     pub types: BTreeMap<usize, Ty>,
     /// The file's suppression annotations, in source order.
     pub annotations: Vec<Annotation>,
+    /// The file's `// lint: contract(<kind>)` annotations, in source
+    /// order. The recognized kind is `deterministic`; unknown kinds are
+    /// reported by the dataflow rules instead of being silently dropped.
+    pub contracts: Vec<Annotation>,
     /// The file's lint role.
     pub role: FileRole,
 }
@@ -153,8 +157,19 @@ impl<'s> FileContext<'s> {
             .collect();
         let in_test = test_mask(src, &tokens, &code);
         let annotations = collect_annotations(src, &tokens);
+        let contracts = collect_contracts(src, &tokens);
         let types = inference::run(src, &tokens, &code);
-        FileContext { rel: rel.into(), src, tokens, code, in_test, types, annotations, role }
+        FileContext {
+            rel: rel.into(),
+            src,
+            tokens,
+            code,
+            in_test,
+            types,
+            annotations,
+            contracts,
+            role,
+        }
     }
 
     /// The `c`-th code token (by position in `self.code`).
@@ -197,20 +212,55 @@ impl<'s> FileContext<'s> {
     }
 }
 
-/// Runs the per-file token rules (R001–R007) over one context.
-fn per_file_findings(ctx: &FileContext<'_>) -> Vec<Finding> {
+/// Single audited wall-clock read behind `--timings` — the linter measures
+/// itself, and `catalyze-obs` may not be a dependency of `xtask` (the
+/// layering DAG points the other way).
+fn clock() -> std::time::Instant {
+    // lint: allow(raw_timing): --timings measures the linter itself; obs is not an allowed xtask dependency
+    std::time::Instant::now()
+}
+
+/// Runs `f`, returning its result plus elapsed wall-clock nanoseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let t0 = clock();
+    let r = f();
+    (r, t0.elapsed().as_nanos())
+}
+
+/// Runs the per-file token rules (R001–R007 plus R013's rendering form)
+/// over one analyzed file, recording per-rule wall-clock for `--timings`.
+fn per_file_findings_timed(fa: &FileAnalysis<'_>) -> (Vec<Finding>, Vec<(&'static str, u128)>) {
+    let ctx = &fa.ctx;
     let mut findings: Vec<Finding> = Vec::new();
+    let mut rules: Vec<(&'static str, u128)> = Vec::new();
     if matches!(ctx.role, FileRole::LibraryRoot | FileRole::BinaryRoot) {
-        findings.extend(header::check(ctx));
+        let (f, ns) = timed(|| header::check(ctx));
+        findings.extend(f);
+        rules.push(("R003", ns));
     }
     if ctx.role.panic_and_cast_rules_apply() {
-        findings.extend(calls::check(ctx));
-        findings.extend(casts::check(ctx));
+        let (f, ns) = timed(|| calls::check(ctx));
+        findings.extend(f);
+        rules.push(("R001", ns));
+        let (f, ns) = timed(|| casts::check(ctx));
+        findings.extend(f);
+        rules.push(("R005", ns));
     }
-    findings.extend(floatcmp::check(ctx));
-    findings.extend(nondet::check(ctx));
-    findings.extend(instant::check(ctx));
-    findings
+    let (f, ns) = timed(|| floatcmp::check(ctx));
+    findings.extend(f);
+    rules.push(("R002", ns));
+    let (f, ns) = timed(|| instant::check(ctx));
+    findings.extend(f);
+    rules.push(("R007", ns));
+    let (f, ns) = timed(|| dataflow::check_file(fa));
+    findings.extend(f);
+    rules.push(("R013-render", ns));
+    (findings, rules)
+}
+
+/// [`per_file_findings_timed`] without the timing channel.
+fn per_file_findings(fa: &FileAnalysis<'_>) -> Vec<Finding> {
+    per_file_findings_timed(fa).0
 }
 
 /// Resolves suppressions for one file's findings, appends the stale-
@@ -234,9 +284,10 @@ fn resolve_file(ctx: &mut FileContext<'_>, findings: Vec<Finding>) -> Vec<Diagno
 /// fixture tests call it directly with synthetic paths. The graph rules
 /// (R008–R011) need the whole workspace and only run in workspace mode.
 pub fn lint_source(rel: &str, src: &str, role: FileRole) -> Vec<Diagnostic> {
-    let mut ctx = FileContext::new(rel, src, role);
-    let findings = per_file_findings(&ctx);
-    resolve_file(&mut ctx, findings)
+    let file = WorkspaceFile { rel: rel.to_string(), src: src.to_string(), role };
+    let mut fa = FileAnalysis::new(&file);
+    let findings = per_file_findings(&fa);
+    resolve_file(&mut fa.ctx, findings)
 }
 
 /// The result of a full workspace lint: the report plus the analyzed
@@ -248,6 +299,50 @@ pub struct WorkspaceLint<'s> {
     pub analyses: Vec<FileAnalysis<'s>>,
     /// All diagnostics, in file order and span order within each file.
     pub report: Report,
+    /// Wall-clock accounting for the run (`--timings`).
+    pub timings: LintTimings,
+}
+
+/// Per-rule and per-file wall-clock accounting for one lint run
+/// (`--timings`, schema `lint-timings.v1`).
+#[derive(Debug, Clone, Default)]
+// lint: allow(dead_api): public fields of WorkspaceLint::timings, consumed by the CLI and tests
+pub struct LintTimings {
+    /// Total wall-clock of the workspace lint, in nanoseconds.
+    pub total_nanos: u128,
+    /// Per-file wall-clock (lex + parse + per-file rules), input order.
+    pub files: Vec<(String, u128)>,
+    /// Per-rule wall-clock, summed across files, sorted by label.
+    pub rules: Vec<(String, u128)>,
+}
+
+impl LintTimings {
+    /// Renders the stable `lint-timings.v1` JSON document consumed by
+    /// `results/BENCH_lint.json` and the CI regression gate.
+    pub fn render_json(&self) -> String {
+        use serde_json::Value;
+        let nanos = |n: u128| Value::U64(u64::try_from(n).unwrap_or(u64::MAX));
+        let entries = |items: &[(String, u128)]| {
+            Value::Array(
+                items
+                    .iter()
+                    .map(|(name, ns)| {
+                        Value::Object(vec![
+                            ("name".to_string(), Value::Str(name.clone())),
+                            ("nanos".to_string(), nanos(*ns)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let doc = Value::Object(vec![
+            ("schema".to_string(), Value::Str("lint-timings.v1".to_string())),
+            ("total_nanos".to_string(), nanos(self.total_nanos)),
+            ("files".to_string(), entries(&self.files)),
+            ("rules".to_string(), entries(&self.rules)),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_default()
+    }
 }
 
 /// The whole-workspace engine: per-file rules plus the graph rules
@@ -261,15 +356,45 @@ pub fn lint_workspace(
     lint_workspace_full(files, references, policy).report
 }
 
+/// One file's parallel-scan result: analysis, findings, per-rule nanos,
+/// and the file's total wall-clock.
+type ScannedFile<'s> = (FileAnalysis<'s>, Vec<Finding>, Vec<(&'static str, u128)>, u128);
+
 /// [`lint_workspace`], additionally returning the per-file analyses.
 pub fn lint_workspace_full<'s>(
     files: &'s [WorkspaceFile],
     references: &[WorkspaceFile],
     policy: &LayeringPolicy,
 ) -> WorkspaceLint<'s> {
-    let mut analyses: Vec<FileAnalysis<'s>> = files.iter().map(FileAnalysis::new).collect();
-    let mut buckets: Vec<Vec<Finding>> =
-        analyses.iter().map(|fa| per_file_findings(&fa.ctx)).collect();
+    let run_t0 = clock();
+    // Lex + parse + per-file rules are embarrassingly parallel. The
+    // vendored rayon stub collects in input order, and the final report is
+    // explicitly re-sorted by (path, span) below, so the parallel schedule
+    // can never leak into the output — the linter holds itself to the
+    // determinism bar it enforces.
+    let scanned: Vec<ScannedFile<'s>> = files
+        .par_iter()
+        .map(|file| {
+            let ((fa, findings, rules), ns) = timed(|| {
+                let fa = FileAnalysis::new(file);
+                let (findings, rules) = per_file_findings_timed(&fa);
+                (fa, findings, rules)
+            });
+            (fa, findings, rules, ns)
+        })
+        .collect();
+    let mut analyses: Vec<FileAnalysis<'s>> = Vec::with_capacity(scanned.len());
+    let mut buckets: Vec<Vec<Finding>> = Vec::with_capacity(scanned.len());
+    let mut file_nanos: Vec<(String, u128)> = Vec::with_capacity(scanned.len());
+    let mut rule_nanos: BTreeMap<String, u128> = BTreeMap::new();
+    for (fa, findings, rules, ns) in scanned {
+        file_nanos.push((fa.ctx.rel.clone(), ns));
+        for (label, n) in rules {
+            *rule_nanos.entry(label.to_string()).or_default() += n;
+        }
+        analyses.push(fa);
+        buckets.push(findings);
+    }
 
     // Call edges across crates are only believable when the dependency is
     // allowed — the same DAG R009 enforces prunes false R010 witnesses.
@@ -278,26 +403,51 @@ pub fn lint_workspace_full<'s>(
         .iter()
         .map(|e| (e.dir.clone(), e.allowed.iter().cloned().collect()))
         .collect();
-    let graph = WorkspaceGraph::build_filtered(&analyses, &deps);
-    let usage = UsageSets::collect(&analyses, references);
-    for (fi, finding) in locks::check(&analyses) {
+    let (graph, ns) = timed(|| WorkspaceGraph::build_filtered(&analyses, &deps));
+    *rule_nanos.entry("graph-build".to_string()).or_default() += ns;
+    let (usage, ns) = timed(|| UsageSets::collect(&analyses, references));
+    *rule_nanos.entry("graph-build".to_string()).or_default() += ns;
+    let mut workspace_rule = |label: &str, found: (Vec<(usize, Finding)>, u128)| {
+        let (findings, ns) = found;
+        *rule_nanos.entry(label.to_string()).or_default() += ns;
+        findings
+    };
+    for (fi, finding) in workspace_rule("R008", timed(|| locks::check(&analyses))) {
         buckets[fi].push(finding);
     }
-    for (fi, finding) in layering::check(&analyses, policy) {
+    for (fi, finding) in workspace_rule("R009", timed(|| layering::check(&analyses, policy))) {
         buckets[fi].push(finding);
     }
-    for (fi, finding) in reach::check(&analyses, &graph) {
+    for (fi, finding) in workspace_rule("R010", timed(|| reach::check(&analyses, &graph))) {
         buckets[fi].push(finding);
     }
-    for (fi, finding) in deadpub::check(&analyses, &usage) {
+    for (fi, finding) in workspace_rule("R011", timed(|| deadpub::check(&analyses, &usage))) {
+        buckets[fi].push(finding);
+    }
+    for (fi, finding) in
+        workspace_rule("R012-R015", timed(|| dataflow::check_workspace(&analyses, &graph)))
+    {
         buckets[fi].push(finding);
     }
 
-    let mut report = Report::new();
+    // Resolve per file, then sort the whole report by (path, span start):
+    // the output order is a function of the sources alone, never of the
+    // file-walk or thread schedule.
+    let mut resolved: Vec<(String, Vec<Diagnostic>)> = Vec::with_capacity(analyses.len());
     for (fa, findings) in analyses.iter_mut().zip(buckets) {
-        report.extend(resolve_file(&mut fa.ctx, findings));
+        resolved.push((fa.ctx.rel.clone(), resolve_file(&mut fa.ctx, findings)));
     }
-    WorkspaceLint { analyses, report }
+    resolved.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut report = Report::new();
+    for (_, diags) in resolved {
+        report.extend(diags);
+    }
+    let timings = LintTimings {
+        total_nanos: run_t0.elapsed().as_nanos(),
+        files: file_nanos,
+        rules: rule_nanos.into_iter().collect(),
+    };
+    WorkspaceLint { analyses, report, timings }
 }
 
 /// Marks matching annotations used and reports whether one was found.
@@ -492,6 +642,39 @@ fn matching(
         c += 1;
     }
     None
+}
+
+/// Collects `// lint: contract(<kind>)` annotations — the determinism
+/// certification markers checked by the dataflow rules (R012–R015). The
+/// comment must sit on the `fn` line or the line directly above, same
+/// placement contract as `allow`. A trailing `: <reason>` is accepted and
+/// ignored (the contract itself is the reason). The parsed kind is kept
+/// verbatim — unknown kinds are *reported* by
+/// [`dataflow::check_workspace`], not silently dropped, so a typo'd
+/// contract can never silently certify nothing.
+fn collect_contracts(src: &str, tokens: &[Token]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(rest) = text.strip_prefix("// lint:") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("contract(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let kind = rest[..close].trim();
+        if kind.is_empty() {
+            continue;
+        }
+        out.push(Annotation {
+            kind: kind.to_string(),
+            line: t.span.line,
+            span: t.span,
+            used: false,
+        });
+    }
+    out
 }
 
 /// Collects `// lint: allow(<kinds>): <reason>` annotations. Doc comments

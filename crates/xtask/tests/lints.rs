@@ -81,7 +81,7 @@ fn findings_fixture_reports_every_rule_with_spans() {
             ("R002".into(), 12),
             ("R002".into(), 17),
             ("R005".into(), 21),
-            ("R006".into(), 26),
+            ("R013".into(), 26),
             ("R004".into(), 33),
             ("R007".into(), 43),
         ],
@@ -140,14 +140,15 @@ fn graph_rules_fire_on_the_injected_corpus_with_exact_spans() {
             (d.rule.clone(), d.location.clone(), span.line, span.column)
         })
         .collect();
+    // The report is sorted by (path, span): events sorts before linalg.
     assert_eq!(
         got,
         vec![
             ("R009".into(), "crates/core/src/bad_layer.rs:3:5".into(), 3, 5),
             ("R008".into(), "crates/core/src/guard_across_par.rs:6:8".into(), 6, 8),
+            ("R011".into(), "crates/events/src/dead_surface.rs:3:8".into(), 3, 8),
             ("R001".into(), "crates/linalg/src/fixture_dep.rs:4:11".into(), 4, 11),
             ("R010".into(), "crates/linalg/src/fixture_dep.rs:4:11".into(), 4, 11),
-            ("R011".into(), "crates/events/src/dead_surface.rs:3:8".into(), 3, 8),
         ],
         "full report:\n{}",
         report.render_human()
@@ -160,13 +161,13 @@ fn graph_rules_fire_on_the_injected_corpus_with_exact_spans() {
     let r008 = &report.diagnostics[1];
     assert!(r008.message.contains("par_iter"), "{}", r008.message);
     assert!(r008.message.contains("shared"), "{}", r008.message);
-    let r010 = &report.diagnostics[3];
+    let r010 = &report.diagnostics[4];
     assert!(
         r010.message.contains("cat::run_fixture -> cat::helper -> linalg::deep_unwrap"),
         "{}",
         r010.message
     );
-    let r011 = &report.diagnostics[4];
+    let r011 = &report.diagnostics[2];
     assert!(r011.message.contains("`pub fn nobody_calls`"), "{}", r011.message);
 }
 
