@@ -12,7 +12,7 @@
 use crate::harness::{DomainResult, Harness};
 use catalyze::noise::max_rnmse;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
-use catalyze_cat::{median_across_threads, run_dcache_per_thread};
+use catalyze_cat::{measure_dcache_threads, median_across_threads};
 use catalyze_linalg::{qrcp, specialized_qrcp, SpQrcpParams};
 
 /// Outcome of the pivot-rule ablation on one domain.
@@ -140,7 +140,7 @@ pub struct MedianAblation {
 
 /// Measures how much the per-thread median suppresses cache-event noise.
 pub fn median_ablation(h: &Harness) -> MedianAblation {
-    let per_thread = run_dcache_per_thread(&h.cpu_events, &h.cfg);
+    let per_thread = measure_dcache_threads(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
     let median = median_across_threads(&per_thread);
     let events = [
         "MEM_LOAD_RETIRED:L1_HIT",
@@ -173,7 +173,7 @@ pub fn median_ablation(h: &Harness) -> MedianAblation {
 pub fn dcache_without_median(
     h: &Harness,
 ) -> Result<catalyze::AnalysisReport, catalyze::AnalysisError> {
-    let per_thread = run_dcache_per_thread(&h.cpu_events, &h.cfg);
+    let per_thread = measure_dcache_threads(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
     let ms = &per_thread[0];
     let basis = catalyze::basis::dcache_basis(&h.cache_regions());
     let signatures = catalyze::signature::dcache_signatures();

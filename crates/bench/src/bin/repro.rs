@@ -317,6 +317,9 @@ fn main() {
         let linalg = catalyze_bench::linalg_perf::linalg_snapshot(opts.scale);
         print!("{linalg}");
         write_out(&opts, "BENCH_linalg.json", &linalg);
+        let sim = catalyze_bench::sim_perf::sim_snapshot(opts.scale);
+        print!("{sim}");
+        write_out(&opts, "BENCH_sim.json", &sim);
         let obs =
             h.obs_snapshot(opts.scale, Harness::obs_repeats(opts.scale)).expect("obs snapshot");
         print!("{obs}");

@@ -6,8 +6,8 @@ use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature::{self, MetricSignature};
 use catalyze::AnalysisError;
 use catalyze_cat::{
-    dcache, dstore, dtlb, run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_dstore_obs,
-    run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
+    dcache, dstore, dtlb, measure_branch, measure_cpu_flops, measure_dcache, measure_dstore,
+    measure_dtlb, measure_gpu_flops, MeasurementSet, RunnerConfig,
 };
 use catalyze_obs::{render_metrics_json, MetricsRegistry, NoopObserver, Observer, TraceCollector};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like, CpuEventSet, GpuEventSet};
@@ -142,12 +142,12 @@ impl Harness {
     /// unknown name.
     pub fn measure(&self, name: &str, obs: &dyn Observer) -> Option<MeasurementSet> {
         match name {
-            "cpu-flops" => Some(run_cpu_flops_obs(&self.cpu_events, &self.cfg, obs)),
-            "branch" => Some(run_branch_obs(&self.cpu_events, &self.cfg, obs)),
-            "dcache" => Some(run_dcache_obs(&self.cpu_events, &self.cfg, obs)),
-            "gpu-flops" => Some(run_gpu_flops_obs(&self.gpu_events, &self.cfg, obs)),
-            "dtlb" => Some(run_dtlb_obs(&self.cpu_events, &self.cfg, obs)),
-            "dstore" => Some(run_dstore_obs(&self.cpu_events, &self.cfg, obs)),
+            "cpu-flops" => Some(measure_cpu_flops(&self.cpu_events, &self.cfg, obs)),
+            "branch" => Some(measure_branch(&self.cpu_events, &self.cfg, obs)),
+            "dcache" => Some(measure_dcache(&self.cpu_events, &self.cfg, obs)),
+            "gpu-flops" => Some(measure_gpu_flops(&self.gpu_events, &self.cfg, obs)),
+            "dtlb" => Some(measure_dtlb(&self.cpu_events, &self.cfg, obs)),
+            "dstore" => Some(measure_dstore(&self.cpu_events, &self.cfg, obs)),
             _ => None,
         }
     }

@@ -11,5 +11,6 @@
 pub mod ablations;
 pub mod harness;
 pub mod linalg_perf;
+pub mod sim_perf;
 
 pub use harness::{DomainResult, Harness, Scale, DOMAINS};

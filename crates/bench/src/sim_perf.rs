@@ -1,0 +1,146 @@
+//! Simulator engine performance snapshot (`BENCH_sim.json`).
+//!
+//! Runs every CPU benchmark domain twice through [`SimRequest`] — once on
+//! the sequential `Direct` reference engine, once on the memoized parallel
+//! `Replay` engine — and reports, per domain, the best-of `simulate` span
+//! wall time of each engine, the `record`/`replay` phase split, the
+//! resulting speedup, and whether the two engines' `MeasurementSet`s are
+//! byte-identical. Timing comes from the span collector rather than ad-hoc
+//! clocks, so the snapshot measures exactly what traces attribute.
+//!
+//! CI gates on this artifact: `run/dcache` must not regress more than
+//! 1.3x over the committed snapshot and every `bit_identical` flag must
+//! hold.
+
+use crate::Scale;
+use catalyze_cat::{Domain, MeasurementSet, RunnerConfig, SimEngine, SimRequest};
+use catalyze_obs::TraceCollector;
+use catalyze_sim::{sapphire_rapids_like, CpuEventSet};
+
+/// Timing repetitions per engine; the minimum over them is reported.
+fn reps(scale: Scale) -> usize {
+    match scale {
+        Scale::Full => 5,
+        Scale::Fast => 3,
+    }
+}
+
+fn config(scale: Scale) -> RunnerConfig {
+    match scale {
+        Scale::Full => RunnerConfig::default_sim(),
+        Scale::Fast => RunnerConfig::fast_test(),
+    }
+}
+
+/// The CPU domains that have a direct/replay engine split.
+const DOMAINS: [Domain; 5] =
+    [Domain::CpuFlops, Domain::Branch, Domain::Dcache, Domain::Dtlb, Domain::Dstore];
+
+/// One engine run: the measurements plus the summed `simulate`, `record`,
+/// and `replay` span durations from its trace.
+struct EngineRun {
+    ms: MeasurementSet,
+    simulate_ns: u64,
+    record_ns: u64,
+    replay_ns: u64,
+}
+
+fn run_engine(
+    domain: Domain,
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    engine: SimEngine,
+) -> EngineRun {
+    let trace = TraceCollector::new();
+    let ms = SimRequest::new()
+        .domain(domain)
+        .events(set)
+        .config(cfg)
+        .engine(engine)
+        .observer(&trace)
+        .run()
+        // lint: allow(panic): domain and events are supplied above, so the request is valid
+        .expect("valid request");
+    let mut run = EngineRun { ms, simulate_ns: 0, record_ns: 0, replay_ns: 0 };
+    for s in trace.span_records() {
+        let d = s.duration_ns.unwrap_or(0);
+        match s.name.as_str() {
+            "simulate" => run.simulate_ns += d,
+            "record" => run.record_ns += d,
+            "replay" => run.replay_ns += d,
+            _ => {}
+        }
+    }
+    run
+}
+
+/// Best-of-`n` engine run, keyed on the `simulate` span time.
+fn best_engine_run(
+    n: usize,
+    domain: Domain,
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    engine: SimEngine,
+) -> EngineRun {
+    let mut best: Option<EngineRun> = None;
+    for _ in 0..n {
+        let run = run_engine(domain, set, cfg, engine);
+        if best.as_ref().map_or(true, |b| run.simulate_ns < b.simulate_ns) {
+            best = Some(run);
+        }
+    }
+    // lint: allow(panic): n >= 1 always produces a run
+    best.expect("at least one timing repetition")
+}
+
+/// Renders the versioned `BENCH_sim.json` snapshot.
+pub fn sim_snapshot(scale: Scale) -> String {
+    let set = sapphire_rapids_like();
+    let cfg = config(scale);
+    let n = reps(scale);
+    let mut rows = Vec::new();
+    for domain in DOMAINS {
+        let direct = best_engine_run(n, domain, &set, &cfg, SimEngine::Direct);
+        let replay = best_engine_run(n, domain, &set, &cfg, SimEngine::Replay);
+        let identical = serde_json::to_string(&direct.ms).unwrap_or_default()
+            == serde_json::to_string(&replay.ms).unwrap_or_default();
+        let speedup = direct.simulate_ns as f64 / replay.simulate_ns.max(1) as f64;
+        rows.push(format!(
+            "{{\"domain\":\"{}\",\"direct_ns\":{},\"replay_ns\":{},\
+             \"record_phase_ns\":{},\"replay_phase_ns\":{},\
+             \"speedup\":{speedup:.3},\"bit_identical\":{identical}}}",
+            domain.label(),
+            direct.simulate_ns,
+            replay.simulate_ns,
+            replay.record_ns,
+            replay.replay_ns,
+        ));
+    }
+    format!("{{\"version\":1,\"scale\":\"{}\",\"domains\":[{}]}}\n", scale.label(), rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_valid_versioned_json_with_identical_engines() {
+        let snapshot = sim_snapshot(Scale::Fast);
+        let parsed: serde_json::Value = serde_json::from_str(&snapshot).unwrap();
+        assert_eq!(parsed["version"].as_u64(), Some(1));
+        assert_eq!(parsed["scale"].as_str(), Some("fast"));
+        let rows = parsed["domains"].as_array().unwrap();
+        assert_eq!(rows.len(), DOMAINS.len());
+        for row in rows {
+            let domain = row["domain"].as_str().unwrap();
+            assert_eq!(row["bit_identical"].as_bool(), Some(true), "{domain} engines diverged");
+            assert!(row["direct_ns"].as_u64().unwrap() > 0);
+            assert!(row["replay_ns"].as_u64().unwrap() > 0);
+            assert!(row["speedup"].as_f64().unwrap() > 0.0);
+        }
+        // The replay engine's phase split is attributed on the hot domain.
+        let dcache = rows.iter().find(|r| r["domain"].as_str() == Some("dcache")).unwrap();
+        assert!(dcache["record_phase_ns"].as_u64().unwrap() > 0);
+        assert!(dcache["replay_phase_ns"].as_u64().unwrap() > 0);
+    }
+}

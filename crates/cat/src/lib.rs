@@ -13,9 +13,20 @@
 //!   and double precision (paper §III-C);
 //! * [`runner`] — the measurement orchestrator: warmup, counter-group
 //!   multiplexing, repetitions, per-thread medians, and normalization;
+//! * [`request`] — the unified [`SimRequest`] builder over all domains,
+//!   with typed configuration validation and engine selection;
 //! * [`data`] — the serializable measurement format handed to the analysis;
 //! * [`validate`] — end-to-end validation of defined metrics against the
 //!   simulator's architectural ground truth on an independent workload.
+//!
+//! Run a benchmark through [`SimRequest`]:
+//!
+//! ```
+//! use catalyze_cat::{Domain, RunnerConfig, SimRequest};
+//! let set = catalyze_sim::sapphire_rapids_like();
+//! let cfg = RunnerConfig::fast_test();
+//! let ms = SimRequest::new().domain(Domain::Branch).events(&set).config(&cfg).run().unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,16 +38,22 @@ pub mod dstore;
 pub mod dtlb;
 pub mod flops_cpu;
 pub mod flops_gpu;
+pub mod request;
 pub(crate) mod runner;
 pub mod validate;
 
 pub use data::MeasurementSet;
+pub use request::{ConfigError, Domain, RunError, RunnerConfigBuilder, SimEngine, SimRequest};
 pub use runner::{
-    median_across_threads, run_branch, run_cpu_flops, run_dcache, run_dcache_per_thread,
-    run_gpu_flops, RunnerConfig,
+    measure_branch, measure_cpu_flops, measure_dcache, measure_dcache_threads, measure_dstore,
+    measure_dtlb, measure_gpu_flops, median_across_threads, RunnerConfig,
 };
-pub use runner::{run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_gpu_flops_obs};
-pub use runner::{run_dstore, run_dstore_obs, run_dtlb, run_dtlb_obs};
+#[allow(deprecated)]
+pub use runner::{
+    run_branch, run_branch_obs, run_cpu_flops, run_cpu_flops_obs, run_dcache, run_dcache_obs,
+    run_dcache_per_thread, run_dstore, run_dstore_obs, run_dtlb, run_dtlb_obs, run_gpu_flops,
+    run_gpu_flops_obs,
+};
 pub use validate::{
     validate_gpu_presets, validate_presets, validation_workload, ValidationOutcome,
 };

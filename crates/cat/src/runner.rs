@@ -13,18 +13,34 @@
 //! * measurements are normalized per loop iteration (CPU), per wavefront
 //!   (GPU), or per access (cache), so they are directly comparable to the
 //!   expectation bases.
+//!
+//! The preferred entry point is [`crate::SimRequest`]; the `measure_*`
+//! functions here are the canonical per-domain runners it dispatches to.
+//! Each CPU domain runs on one of two engines ([`SimEngine`]): the default
+//! `Replay` engine records every sweep point's kernel once as a
+//! [`KernelTrace`] and replays the memoized trace, parallelizing the
+//! record/replay sweeps and the per-repetition counter reads; the `Direct`
+//! engine executes every dynamic instruction sequentially and is kept as
+//! the reference path for parity tests and the `BENCH_sim` speedup gate.
+//! Both produce bit-identical [`MeasurementSet`]s — the noise streams are
+//! keyed by `(event, repetition, point, group)`, never by wall-clock or
+//! thread identity.
 
 use crate::data::MeasurementSet;
+use crate::request::SimEngine;
 use crate::{branch, dcache, flops_cpu, flops_gpu};
 use catalyze_events::EventId;
 use catalyze_obs::{NoopObserver, Observer, Span};
 use catalyze_sim::{
     CoreConfig, Cpu, CpuEventSet, CpuPmu, ExecStats, GpuConfig, GpuDevice, GpuEventSet, GpuStats,
-    PmuConfig,
+    KernelTrace, PmuConfig, Program,
 };
 use rayon::prelude::*;
 
 /// Runner configuration.
+///
+/// Construct via [`RunnerConfig::default_sim`], [`RunnerConfig::fast_test`],
+/// or the validating [`RunnerConfig::builder`].
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerConfig {
     /// Simulated core configuration.
@@ -87,27 +103,37 @@ fn run_key(rep: usize, point: usize) -> usize {
 /// Publishes the sweep shape of a finished benchmark run. Observer calls
 /// stay on the calling thread, outside the rayon sections.
 fn record_runner_counters(obs: &dyn Observer, points: usize, events: usize, repetitions: usize) {
-    obs.counter("runner.points", u64::try_from(points).unwrap_or(u64::MAX));
-    obs.counter("runner.events", u64::try_from(events).unwrap_or(u64::MAX));
-    obs.counter("runner.repetitions", u64::try_from(repetitions).unwrap_or(u64::MAX));
+    obs.counter("runner.points", points as u64);
+    obs.counter("runner.events", events as u64);
+    obs.counter("runner.repetitions", repetitions as u64);
 }
 
 /// Collects per-point stats and reads all events, normalized by `norm`.
+///
+/// The greedy counter scheduling is deterministic in `(set, events)`, so
+/// it is computed once and the per-repetition reads — pure functions of
+/// the run key — proceed in parallel. `key_offset` separates noise streams
+/// that share a sweep (the per-thread cache chases).
 fn read_all_cpu(
     set: &CpuEventSet,
     pmu: &CpuPmu,
     stats: &[ExecStats],
     norms: &[f64],
     repetitions: usize,
+    key_offset: usize,
 ) -> Vec<Vec<Vec<f64>>> {
     let events = all_ids(set.len());
-    (0..repetitions)
-        .map(|rep| {
+    let groups = pmu.schedule(set, &events);
+    let reps: Vec<usize> = (0..repetitions).collect();
+    reps.par_iter()
+        .map(|&rep| {
             // counts[point][event] -> transpose into [event][point]
             let per_point: Vec<Vec<f64>> = stats
                 .iter()
                 .enumerate()
-                .map(|(p, s)| pmu.read_cpu(set, s, &events, run_key(rep, p)))
+                .map(|(p, s)| {
+                    pmu.read_cpu_scheduled(set, s, &events, &groups, run_key(rep, p) + key_offset)
+                })
                 .collect();
             (0..events.len())
                 .map(|e| per_point.iter().zip(norms).map(|(counts, &n)| counts[e] / n).collect())
@@ -116,39 +142,143 @@ fn read_all_cpu(
         .collect()
 }
 
-/// Runs the CPU-FLOPs benchmark.
-// lint: contract(deterministic)
-pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_cpu_flops_obs(set, cfg, &NoopObserver)
+/// Simulates one program per sweep point on the selected engine.
+///
+/// `Replay` records each point's kernel under a `record` span and replays
+/// the traces under a `replay` span, both point-parallel. `Direct` executes
+/// every point sequentially with no child spans.
+fn simulate_sweep<F>(
+    core: CoreConfig,
+    n_points: usize,
+    program_of: F,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> Vec<ExecStats>
+where
+    F: Fn(usize) -> Program + Sync,
+{
+    let points: Vec<usize> = (0..n_points).collect();
+    match engine {
+        SimEngine::Direct => points
+            .iter()
+            .map(|&p| {
+                let mut cpu = Cpu::new(core);
+                cpu.run(&program_of(p));
+                cpu.stats()
+            })
+            .collect(),
+        SimEngine::Replay => {
+            let traces: Vec<KernelTrace> = {
+                let _s = Span::enter(obs, "record");
+                points.par_iter().map(|&p| KernelTrace::record(&program_of(p))).collect()
+            };
+            let _s = Span::enter(obs, "replay");
+            traces
+                .par_iter()
+                .map(|t| {
+                    let mut cpu = Cpu::new(core);
+                    cpu.replay(t);
+                    cpu.stats()
+                })
+                .collect()
+        }
+    }
 }
 
-/// [`run_cpu_flops`] with structured observability: spans around the
-/// simulation and counter-read phases, sweep-shape counters.
-pub fn run_cpu_flops_obs(
+/// Simulates a warmup-then-measure sweep (the memory-chase domains) on the
+/// selected engine.
+///
+/// The warmup and measurement programs of a chase point differ only in the
+/// top-level pass count, so `Replay` records the measurement program once
+/// per point and drives both phases from the same trace via
+/// `Cpu::replay_passes`.
+fn simulate_chase_sweep<F>(
+    core: CoreConfig,
+    n_points: usize,
+    program_of: F,
+    warmup_passes: u64,
+    measure_passes: u64,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> Vec<ExecStats>
+where
+    F: Fn(usize, u64) -> Program + Sync,
+{
+    let points: Vec<usize> = (0..n_points).collect();
+    match engine {
+        SimEngine::Direct => points
+            .iter()
+            .map(|&p| {
+                let mut cpu = Cpu::new(core);
+                cpu.run(&program_of(p, warmup_passes));
+                cpu.reset_stats();
+                cpu.run(&program_of(p, measure_passes));
+                cpu.stats()
+            })
+            .collect(),
+        SimEngine::Replay => {
+            let traces: Vec<KernelTrace> = {
+                let _s = Span::enter(obs, "record");
+                points
+                    .par_iter()
+                    .map(|&p| KernelTrace::record(&program_of(p, measure_passes)))
+                    .collect()
+            };
+            let _s = Span::enter(obs, "replay");
+            traces
+                .par_iter()
+                .map(|t| {
+                    let mut cpu = Cpu::new(core);
+                    cpu.replay_passes(t, warmup_passes);
+                    cpu.reset_stats();
+                    cpu.replay_passes(t, measure_passes);
+                    cpu.stats()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Measures the CPU-FLOPs domain: spans around the simulation (with
+/// `record`/`replay` children on the default engine) and counter-read
+/// phases, sweep-shape counters on `obs`.
+// lint: contract(deterministic)
+pub fn measure_cpu_flops(
     set: &CpuEventSet,
     cfg: &RunnerConfig,
     obs: &dyn Observer,
+) -> MeasurementSet {
+    cpu_flops_with_engine(set, cfg, obs, SimEngine::default())
+}
+
+pub(crate) fn cpu_flops_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
 ) -> MeasurementSet {
     let _root = Span::enter(obs, "run/cpu-flops");
     let kernels = flops_cpu::kernel_space();
     let points: Vec<(usize, usize)> =
         (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
-    let stats: Vec<ExecStats> = {
+    let stats = {
         let _s = Span::enter(obs, "simulate");
-        points
-            .par_iter()
-            .map(|&(k, l)| {
-                let mut cpu = Cpu::new(cfg.core);
-                cpu.run(&kernels[k].program(l, cfg.flops_trips));
-                cpu.stats()
-            })
-            .collect()
+        simulate_sweep(
+            cfg.core,
+            points.len(),
+            |p| {
+                let (k, l) = points[p];
+                kernels[k].program(l, cfg.flops_trips)
+            },
+            obs,
+            engine,
+        )
     };
     let norms = vec![cfg.flops_trips as f64; points.len()];
     let pmu = CpuPmu::new(cfg.pmu);
     let runs = {
         let _s = Span::enter(obs, "read-counters");
-        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, points.len(), set.len(), cfg.repetitions);
     MeasurementSet {
@@ -159,32 +289,35 @@ pub fn run_cpu_flops_obs(
     }
 }
 
-/// Runs the branching benchmark.
+/// Measures the branching domain.
 // lint: contract(deterministic)
-pub fn run_branch(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_branch_obs(set, cfg, &NoopObserver)
+pub fn measure_branch(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    branch_with_engine(set, cfg, obs, SimEngine::default())
 }
 
-/// [`run_branch`] with structured observability.
-pub fn run_branch_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+pub(crate) fn branch_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> MeasurementSet {
     let _root = Span::enter(obs, "run/branch");
     let kernels = branch::kernel_space();
-    let stats: Vec<ExecStats> = {
+    let stats = {
         let _s = Span::enter(obs, "simulate");
-        kernels
-            .par_iter()
-            .map(|k| {
-                let mut cpu = Cpu::new(cfg.core);
-                cpu.run(&k.program(cfg.branch_iterations));
-                cpu.stats()
-            })
-            .collect()
+        simulate_sweep(
+            cfg.core,
+            kernels.len(),
+            |p| kernels[p].program(cfg.branch_iterations),
+            obs,
+            engine,
+        )
     };
     let norms = vec![cfg.branch_iterations as f64; kernels.len()];
     let pmu = CpuPmu::new(cfg.pmu);
     let runs = {
         let _s = Span::enter(obs, "read-counters");
-        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, kernels.len(), set.len(), cfg.repetitions);
     MeasurementSet {
@@ -195,77 +328,87 @@ pub fn run_branch_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer)
     }
 }
 
-/// Runs the data-cache benchmark with per-thread medians (the default).
+/// Measures the data-cache domain with per-thread medians (the default).
+///
+/// Span tree: `run/dcache` → `simulate` → one `thread=N` child per chasing
+/// thread (each with `record`/`replay` children on the default engine),
+/// then `read-counters` and `median`.
 // lint: contract(deterministic)
-pub fn run_dcache(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_dcache_obs(set, cfg, &NoopObserver)
+pub fn measure_dcache(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    dcache_with_engine(set, cfg, obs, SimEngine::default())
 }
 
-/// [`run_dcache`] with structured observability: the per-thread sweeps run
-/// under a `simulate` span, the median reduction under `median`.
-pub fn run_dcache_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+pub(crate) fn dcache_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> MeasurementSet {
     let _root = Span::enter(obs, "run/dcache");
-    let per_thread = {
-        let _s = Span::enter(obs, "simulate");
-        run_dcache_per_thread(set, cfg)
-    };
+    let per_thread = dcache_threads_with_engine(set, cfg, obs, engine);
     let median = {
         let _s = Span::enter(obs, "median");
         median_across_threads(&per_thread)
     };
     record_runner_counters(obs, median.num_points(), set.len(), cfg.repetitions);
-    obs.counter("runner.dcache_threads", u64::try_from(cfg.dcache_threads).unwrap_or(u64::MAX));
+    obs.counter("runner.dcache_threads", cfg.dcache_threads as u64);
     median
 }
 
-/// Runs the data-cache benchmark and keeps every thread's measurements
+/// Measures the data-cache domain keeping every thread's measurements
 /// (used by the median-suppression ablation). Result: one `MeasurementSet`
 /// per thread.
-pub fn run_dcache_per_thread(set: &CpuEventSet, cfg: &RunnerConfig) -> Vec<MeasurementSet> {
+// lint: contract(deterministic)
+pub fn measure_dcache_threads(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+) -> Vec<MeasurementSet> {
+    dcache_threads_with_engine(set, cfg, obs, SimEngine::default())
+}
+
+pub(crate) fn dcache_threads_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> Vec<MeasurementSet> {
     let h = cfg.core.hierarchy;
     let configs = dcache::sweep(&h);
-    let events = all_ids(set.len());
+    // Each thread chases its own permutation over a disjoint buffer.
+    let all_stats: Vec<Vec<ExecStats>> = {
+        let _s = Span::enter(obs, "simulate");
+        (0..cfg.dcache_threads)
+            .map(|thread| {
+                let _t = Span::enter(obs, &format!("thread={thread}"));
+                let base = (thread as u64 + 1) << 40;
+                simulate_chase_sweep(
+                    cfg.core,
+                    configs.len(),
+                    |p, passes| {
+                        let seed = (thread as u64) * 7919 + p as u64;
+                        configs[p].program(base, seed, passes)
+                    },
+                    dcache::WARMUP_PASSES,
+                    dcache::MEASURE_PASSES,
+                    obs,
+                    engine,
+                )
+            })
+            .collect()
+    };
+    let norms: Vec<f64> =
+        configs.iter().map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
-    (0..cfg.dcache_threads)
-        .map(|thread| {
-            // Each thread chases its own permutation over a disjoint buffer.
-            let stats: Vec<ExecStats> = configs
-                .par_iter()
-                .enumerate()
-                .map(|(p, c)| {
-                    let base = (thread as u64 + 1) << 40;
-                    let seed = (thread as u64) * 7919 + p as u64;
-                    let mut cpu = Cpu::new(cfg.core);
-                    cpu.run(&c.program(base, seed, dcache::WARMUP_PASSES));
-                    cpu.reset_stats();
-                    cpu.run(&c.program(base, seed, dcache::MEASURE_PASSES));
-                    cpu.stats()
-                })
-                .collect();
-            let norms: Vec<f64> =
-                configs.iter().map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64).collect();
-            let runs = (0..cfg.repetitions)
-                .map(|rep| {
-                    let per_point: Vec<Vec<f64>> = stats
-                        .iter()
-                        .enumerate()
-                        .map(|(p, s)| {
-                            pmu.read_cpu(set, s, &events, run_key(rep, p) + thread * 31_000_000)
-                        })
-                        .collect();
-                    (0..events.len())
-                        .map(|e| {
-                            per_point.iter().zip(&norms).map(|(counts, &n)| counts[e] / n).collect()
-                        })
-                        .collect()
-                })
-                .collect();
-            MeasurementSet {
-                domain: format!("dcache/thread={thread}"),
-                point_labels: dcache::point_labels(&h),
-                events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
-                runs,
-            }
+    let _s = Span::enter(obs, "read-counters");
+    all_stats
+        .iter()
+        .enumerate()
+        .map(|(thread, stats)| MeasurementSet {
+            domain: format!("dcache/thread={thread}"),
+            point_labels: dcache::point_labels(&h),
+            events: set.iter().map(|(_, d)| d.info.name.to_string()).collect(),
+            runs: read_all_cpu(set, &pmu, stats, &norms, cfg.repetitions, thread * 31_000_000),
         })
         .collect()
 }
@@ -289,38 +432,39 @@ pub fn median_across_threads(threads: &[MeasurementSet]) -> MeasurementSet {
     out
 }
 
-/// Runs the data-TLB benchmark (the extension domain).
+/// Measures the data-TLB domain (the extension domain).
 // lint: contract(deterministic)
-pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_dtlb_obs(set, cfg, &NoopObserver)
+pub fn measure_dtlb(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    dtlb_with_engine(set, cfg, obs, SimEngine::default())
 }
 
-/// [`run_dtlb`] with structured observability.
-pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+pub(crate) fn dtlb_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> MeasurementSet {
     let _root = Span::enter(obs, "run/dtlb");
     let tlb = cfg.core.tlb;
     let configs = crate::dtlb::sweep(&tlb);
-    let stats: Vec<ExecStats> = {
+    let stats = {
         let _s = Span::enter(obs, "simulate");
-        configs
-            .par_iter()
-            .enumerate()
-            .map(|(p, c)| {
-                let seed = 4242 + p as u64;
-                let mut cpu = Cpu::new(cfg.core);
-                cpu.run(&c.program(0, seed, crate::dtlb::WARMUP_PASSES));
-                cpu.reset_stats();
-                cpu.run(&c.program(0, seed, crate::dtlb::MEASURE_PASSES));
-                cpu.stats()
-            })
-            .collect()
+        simulate_chase_sweep(
+            cfg.core,
+            configs.len(),
+            |p, passes| configs[p].program(0, 4242 + p as u64, passes),
+            crate::dtlb::WARMUP_PASSES,
+            crate::dtlb::MEASURE_PASSES,
+            obs,
+            engine,
+        )
     };
     let norms: Vec<f64> =
         configs.iter().map(|c| (c.slots() * crate::dtlb::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
     let runs = {
         let _s = Span::enter(obs, "read-counters");
-        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
     MeasurementSet {
@@ -331,38 +475,39 @@ pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -
     }
 }
 
-/// Runs the store-path (write) cache benchmark (extension domain).
+/// Measures the store-path (write) cache domain (extension domain).
 // lint: contract(deterministic)
-pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_dstore_obs(set, cfg, &NoopObserver)
+pub fn measure_dstore(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    dstore_with_engine(set, cfg, obs, SimEngine::default())
 }
 
-/// [`run_dstore`] with structured observability.
-pub fn run_dstore_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+pub(crate) fn dstore_with_engine(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+    engine: SimEngine,
+) -> MeasurementSet {
     let _root = Span::enter(obs, "run/dstore");
     let h = cfg.core.hierarchy;
     let configs = crate::dstore::sweep(&h);
-    let stats: Vec<ExecStats> = {
+    let stats = {
         let _s = Span::enter(obs, "simulate");
-        configs
-            .par_iter()
-            .enumerate()
-            .map(|(p, c)| {
-                let seed = 9000 + p as u64;
-                let mut cpu = Cpu::new(cfg.core);
-                cpu.run(&c.program(0, seed, crate::dstore::WARMUP_PASSES));
-                cpu.reset_stats();
-                cpu.run(&c.program(0, seed, crate::dstore::MEASURE_PASSES));
-                cpu.stats()
-            })
-            .collect()
+        simulate_chase_sweep(
+            cfg.core,
+            configs.len(),
+            |p, passes| configs[p].program(0, 9000 + p as u64, passes),
+            crate::dstore::WARMUP_PASSES,
+            crate::dstore::MEASURE_PASSES,
+            obs,
+            engine,
+        )
     };
     let norms: Vec<f64> =
         configs.iter().map(|c| (c.lines * crate::dstore::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
     let runs = {
         let _s = Span::enter(obs, "read-counters");
-        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions)
+        read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
     MeasurementSet {
@@ -373,16 +518,12 @@ pub fn run_dstore_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer)
     }
 }
 
-/// Runs the GPU-FLOPs benchmark. Kernels execute on device 0 of
+/// Measures the GPU-FLOPs domain. Kernels execute on device 0 of
 /// `cfg.gpu_devices`; events bound to other devices read their idle
-/// telemetry.
+/// telemetry. GPU launches are analytic, so there is no record/replay
+/// split on this domain.
 // lint: contract(deterministic)
-pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
-    run_gpu_flops_obs(set, cfg, &NoopObserver)
-}
-
-/// [`run_gpu_flops`] with structured observability.
-pub fn run_gpu_flops_obs(
+pub fn measure_gpu_flops(
     set: &GpuEventSet,
     cfg: &RunnerConfig,
     obs: &dyn Observer,
@@ -409,8 +550,9 @@ pub fn run_gpu_flops_obs(
     let norm = cfg.gpu_wavefronts as f64;
     let runs = {
         let _s = Span::enter(obs, "read-counters");
-        (0..cfg.repetitions)
-            .map(|rep| {
+        let reps: Vec<usize> = (0..cfg.repetitions).collect();
+        reps.par_iter()
+            .map(|&rep| {
                 let per_point: Vec<Vec<f64>> = device_stats
                     .iter()
                     .enumerate()
@@ -431,6 +573,97 @@ pub fn run_gpu_flops_obs(
     }
 }
 
+// --- Deprecated pre-SimRequest entry points -------------------------------
+//
+// The twelve `run_*`/`run_*_obs` pairs collapsed into the observer-taking
+// `measure_*` functions above; these shims keep old callers compiling.
+
+/// Runs the CPU-FLOPs benchmark.
+#[deprecated(since = "0.9.0", note = "use `measure_cpu_flops` or `SimRequest`")]
+pub fn run_cpu_flops(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_cpu_flops(set, cfg, &NoopObserver)
+}
+
+/// Runs the CPU-FLOPs benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_cpu_flops` or `SimRequest`")]
+pub fn run_cpu_flops_obs(
+    set: &CpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+) -> MeasurementSet {
+    measure_cpu_flops(set, cfg, obs)
+}
+
+/// Runs the branching benchmark.
+#[deprecated(since = "0.9.0", note = "use `measure_branch` or `SimRequest`")]
+pub fn run_branch(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_branch(set, cfg, &NoopObserver)
+}
+
+/// Runs the branching benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_branch` or `SimRequest`")]
+pub fn run_branch_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    measure_branch(set, cfg, obs)
+}
+
+/// Runs the data-cache benchmark with per-thread medians.
+#[deprecated(since = "0.9.0", note = "use `measure_dcache` or `SimRequest`")]
+pub fn run_dcache(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_dcache(set, cfg, &NoopObserver)
+}
+
+/// Runs the data-cache benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_dcache` or `SimRequest`")]
+pub fn run_dcache_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    measure_dcache(set, cfg, obs)
+}
+
+/// Runs the data-cache benchmark keeping every thread's measurements.
+#[deprecated(since = "0.9.0", note = "use `measure_dcache_threads`")]
+pub fn run_dcache_per_thread(set: &CpuEventSet, cfg: &RunnerConfig) -> Vec<MeasurementSet> {
+    measure_dcache_threads(set, cfg, &NoopObserver)
+}
+
+/// Runs the data-TLB benchmark.
+#[deprecated(since = "0.9.0", note = "use `measure_dtlb` or `SimRequest`")]
+pub fn run_dtlb(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_dtlb(set, cfg, &NoopObserver)
+}
+
+/// Runs the data-TLB benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_dtlb` or `SimRequest`")]
+pub fn run_dtlb_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    measure_dtlb(set, cfg, obs)
+}
+
+/// Runs the store-path cache benchmark.
+#[deprecated(since = "0.9.0", note = "use `measure_dstore` or `SimRequest`")]
+pub fn run_dstore(set: &CpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_dstore(set, cfg, &NoopObserver)
+}
+
+/// Runs the store-path cache benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_dstore` or `SimRequest`")]
+pub fn run_dstore_obs(set: &CpuEventSet, cfg: &RunnerConfig, obs: &dyn Observer) -> MeasurementSet {
+    measure_dstore(set, cfg, obs)
+}
+
+/// Runs the GPU-FLOPs benchmark.
+#[deprecated(since = "0.9.0", note = "use `measure_gpu_flops` or `SimRequest`")]
+pub fn run_gpu_flops(set: &GpuEventSet, cfg: &RunnerConfig) -> MeasurementSet {
+    measure_gpu_flops(set, cfg, &NoopObserver)
+}
+
+/// Runs the GPU-FLOPs benchmark with structured observability.
+#[deprecated(since = "0.9.0", note = "use `measure_gpu_flops` or `SimRequest`")]
+pub fn run_gpu_flops_obs(
+    set: &GpuEventSet,
+    cfg: &RunnerConfig,
+    obs: &dyn Observer,
+) -> MeasurementSet {
+    measure_gpu_flops(set, cfg, obs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,7 +673,7 @@ mod tests {
     fn cpu_flops_measurements_are_exact_for_fp_events() {
         let set = sapphire_rapids_like();
         let cfg = RunnerConfig::fast_test();
-        let ms = run_cpu_flops(&set, &cfg);
+        let ms = measure_cpu_flops(&set, &cfg, &NoopObserver);
         ms.validate().unwrap();
         assert_eq!(ms.num_points(), 48);
         assert_eq!(ms.num_runs(), 3);
@@ -459,7 +692,7 @@ mod tests {
     fn branch_measurements_match_expectation_rows() {
         let set = sapphire_rapids_like();
         let cfg = RunnerConfig::fast_test();
-        let ms = run_branch(&set, &cfg);
+        let ms = measure_branch(&set, &cfg, &NoopObserver);
         ms.validate().unwrap();
         assert_eq!(ms.num_points(), 11);
         let cond = ms.event_index("BR_INST_RETIRED:COND").unwrap();
@@ -476,7 +709,7 @@ mod tests {
     fn gpu_measurements_structure() {
         let set = mi250x_like(2);
         let cfg = RunnerConfig::fast_test();
-        let ms = run_gpu_flops(&set, &cfg);
+        let ms = measure_gpu_flops(&set, &cfg, &NoopObserver);
         ms.validate().unwrap();
         assert_eq!(ms.num_points(), 45);
         let add = ms.event_index("rocm:::SQ_INSTS_VALU_ADD_F16:device=0").unwrap();
@@ -495,7 +728,7 @@ mod tests {
         let set = sapphire_rapids_like();
         let mut cfg = RunnerConfig::fast_test();
         cfg.dcache_threads = 3;
-        let per_thread = run_dcache_per_thread(&set, &cfg);
+        let per_thread = measure_dcache_threads(&set, &cfg, &NoopObserver);
         assert_eq!(per_thread.len(), 3);
         for t in &per_thread {
             t.validate().unwrap();
@@ -521,23 +754,37 @@ mod tests {
         let set = sapphire_rapids_like();
         let cfg = RunnerConfig::fast_test();
         let trace = TraceCollector::new();
-        let ms = run_branch_obs(&set, &cfg, &trace);
+        let ms = measure_branch(&set, &cfg, &trace);
         ms.validate().unwrap();
-        // Root + simulate + read-counters spans.
-        assert_eq!(trace.span_count(), 3);
+        // Root + simulate (+ record/replay children) + read-counters spans.
+        assert_eq!(trace.span_count(), 5);
         assert_eq!(trace.counter_value("runner.points"), Some(11));
         assert_eq!(trace.counter_value("runner.repetitions"), Some(3));
         assert!(trace.counter_value("runner.events").unwrap() > 0);
-        // The noop-observer entry point produces the same measurements.
-        let plain = run_branch(&set, &cfg);
+        // The noop-observer path produces the same measurements.
+        let plain = measure_branch(&set, &cfg, &NoopObserver);
         assert_eq!(plain.runs, ms.runs);
+    }
+
+    #[test]
+    fn traced_dcache_has_per_thread_spans() {
+        use catalyze_obs::TraceCollector;
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let trace = TraceCollector::new();
+        let ms = measure_dcache(&set, &cfg, &trace);
+        ms.validate().unwrap();
+        // run/dcache + simulate + 2 x (thread=N + record + replay)
+        // + read-counters + median.
+        assert_eq!(trace.span_count(), 10);
+        assert_eq!(trace.counter_value("runner.dcache_threads"), Some(2));
     }
 
     #[test]
     fn dcache_l1_region_hit_rate() {
         let set = sapphire_rapids_like();
         let cfg = RunnerConfig::fast_test();
-        let ms = run_dcache(&set, &cfg);
+        let ms = measure_dcache(&set, &cfg, &NoopObserver);
         let l1hit = ms.event_index("MEM_LOAD_RETIRED:L1_HIT").unwrap();
         let v = ms.mean_vector(l1hit);
         // First two points are L1-resident: ~1 hit per access.
@@ -545,5 +792,39 @@ mod tests {
         assert!(v[1] > 0.97);
         // Memory-sized points: near zero.
         assert!(v[7] < 0.05, "memory-resident L1 hit rate {}", v[7]);
+    }
+
+    #[test]
+    fn engines_agree_on_every_cpu_domain() {
+        use crate::request::SimEngine;
+        let set = sapphire_rapids_like();
+        let cfg = RunnerConfig::fast_test();
+        let obs = &NoopObserver;
+        let pairs = [
+            (
+                cpu_flops_with_engine(&set, &cfg, obs, SimEngine::Direct),
+                cpu_flops_with_engine(&set, &cfg, obs, SimEngine::Replay),
+            ),
+            (
+                branch_with_engine(&set, &cfg, obs, SimEngine::Direct),
+                branch_with_engine(&set, &cfg, obs, SimEngine::Replay),
+            ),
+            (
+                dcache_with_engine(&set, &cfg, obs, SimEngine::Direct),
+                dcache_with_engine(&set, &cfg, obs, SimEngine::Replay),
+            ),
+            (
+                dtlb_with_engine(&set, &cfg, obs, SimEngine::Direct),
+                dtlb_with_engine(&set, &cfg, obs, SimEngine::Replay),
+            ),
+            (
+                dstore_with_engine(&set, &cfg, obs, SimEngine::Direct),
+                dstore_with_engine(&set, &cfg, obs, SimEngine::Replay),
+            ),
+        ];
+        for (direct, replay) in &pairs {
+            assert_eq!(direct.domain, replay.domain);
+            assert_eq!(direct.runs, replay.runs, "{} engines disagree", direct.domain);
+        }
     }
 }

@@ -40,10 +40,7 @@ use catalyze::basis::{self, Basis, CacheRegion};
 use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::{self, MetricSignature};
-use catalyze_cat::{
-    dcache, dstore, dtlb, run_branch_obs, run_cpu_flops_obs, run_dcache_obs, run_dstore_obs,
-    run_dtlb_obs, run_gpu_flops_obs, MeasurementSet, RunnerConfig,
-};
+use catalyze_cat::{dcache, dstore, dtlb, Domain, MeasurementSet, RunnerConfig, SimRequest};
 use catalyze_events::PresetTable;
 use catalyze_obs::{
     diff, render_exposition, render_metrics_json, DiffConfig, MetricsRegistry, NoopObserver,
@@ -91,14 +88,21 @@ fn run_domain(
     cpu: &CpuEventSet,
     obs: &dyn Observer,
 ) -> Option<MeasurementSet> {
-    match domain {
-        "cpu-flops" => Some(run_cpu_flops_obs(cpu, cfg, obs)),
-        "branch" => Some(run_branch_obs(cpu, cfg, obs)),
-        "dcache" => Some(run_dcache_obs(cpu, cfg, obs)),
-        "gpu-flops" => Some(run_gpu_flops_obs(&mi250x_like(cfg.gpu_devices), cfg, obs)),
-        "dtlb" => Some(run_dtlb_obs(cpu, cfg, obs)),
-        "dstore" => Some(run_dstore_obs(cpu, cfg, obs)),
-        _ => None,
+    let parsed = Domain::parse(domain)?;
+    let request = SimRequest::new().domain(parsed).config(cfg).observer(obs);
+    let gpu_events;
+    let request = if parsed.is_gpu() {
+        gpu_events = mi250x_like(cfg.gpu_devices);
+        request.gpu_events(&gpu_events)
+    } else {
+        request.events(cpu)
+    };
+    match request.run() {
+        Ok(ms) => Some(ms),
+        Err(e) => {
+            eprintln!("run {domain}: {e}");
+            None
+        }
     }
 }
 

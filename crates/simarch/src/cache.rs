@@ -115,19 +115,28 @@ pub enum AccessKind {
     Write,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Monotone LRU stamp: larger = more recently used.
-    lru: u64,
-}
-
 /// One level of set-associative cache.
+///
+/// State is struct-of-arrays: parallel `tags`/`lru` vectors indexed by
+/// `set * ways + way`. A line is valid iff its LRU stamp is non-zero —
+/// the clock pre-increments before every touch or fill, so live lines
+/// always carry a stamp ≥ 1, and the sentinel doubles as the victim key
+/// (an invalid way is the unconditional LRU minimum). This keeps the hot
+/// lookup scanning two dense `u64` rows instead of a padded struct array.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
+    /// `log2(line_bytes)` — address decomposition runs on every probe, so
+    /// the power-of-two geometry is folded to shifts and masks up front.
+    line_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u64,
+    /// `log2(num_sets)`.
+    set_shift: u32,
+    /// Line tags, `set * ways + way` layout.
+    tags: Vec<u64>,
+    /// LRU stamps, same layout; 0 means the way is invalid.
+    lru: Vec<u64>,
     /// Tree-pLRU state: one bit-tree word per set.
     plru: Vec<u32>,
     /// Xorshift state for the random policy.
@@ -139,11 +148,22 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics when the line size or set count is not a power of two (the
+    /// [`CacheConfig`] constructors already enforce this; the assert guards
+    /// configs built as struct literals).
     pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.num_sets().is_power_of_two(), "set count must be a power of two");
         let n = (cfg.num_sets() * u64::from(cfg.associativity)) as usize;
         Self {
             cfg,
-            lines: vec![Line::default(); n],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
+            set_shift: cfg.num_sets().trailing_zeros(),
+            tags: vec![0; n],
+            lru: vec![0; n],
             plru: vec![0; cfg.num_sets() as usize],
             rng_state: 0x2545_F491_4F6C_DD1D,
             clock: 0,
@@ -158,9 +178,9 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, addr: u64) -> (usize, u64) {
-        let line_addr = addr / self.cfg.line_bytes;
-        let set = (line_addr % self.cfg.num_sets()) as usize;
-        let tag = line_addr / self.cfg.num_sets();
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_shift;
         (set * self.cfg.associativity as usize, tag)
     }
 
@@ -171,9 +191,9 @@ impl Cache {
         let (base, tag) = self.set_range(addr);
         let ways = self.cfg.associativity as usize;
         let mut hit = false;
-        for (w, line) in self.lines[base..base + ways].iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                line.lru = self.clock;
+        for w in 0..ways {
+            if self.lru[base + w] != 0 && self.tags[base + w] == tag {
+                self.lru[base + w] = self.clock;
                 hit = true;
                 let set = base / ways;
                 let ways_u32 = self.cfg.associativity;
@@ -199,57 +219,126 @@ impl Cache {
         let num_sets = self.cfg.num_sets();
         let set_index = (base / ways) as u64;
         // Prefer an invalid way; otherwise evict per the configured policy.
+        // Under true LRU the two collapse into one argmin scan: an invalid
+        // way's zero stamp is the unconditional minimum, and first-wins
+        // tiebreaking matches the old first-free-way preference.
         let set = base / ways;
-        let victim = match self.lines[base..base + ways].iter().position(|l| !l.valid) {
-            Some(free) => base + free,
-            None => {
-                let w = match self.cfg.policy {
-                    ReplacementPolicy::Lru => {
-                        let mut best = 0usize;
-                        let mut best_lru = u64::MAX;
-                        for (i, line) in self.lines[base..base + ways].iter().enumerate() {
-                            if line.lru < best_lru {
-                                best_lru = line.lru;
-                                best = i;
+        let victim = match self.cfg.policy {
+            ReplacementPolicy::Lru => {
+                let mut best = 0usize;
+                let mut best_lru = u64::MAX;
+                for (i, &stamp) in self.lru[base..base + ways].iter().enumerate() {
+                    if stamp < best_lru {
+                        best_lru = stamp;
+                        best = i;
+                    }
+                }
+                base + best
+            }
+            ReplacementPolicy::TreePlru | ReplacementPolicy::Random => {
+                match self.lru[base..base + ways].iter().position(|&s| s == 0) {
+                    Some(free) => base + free,
+                    None => {
+                        let w = match self.cfg.policy {
+                            ReplacementPolicy::TreePlru => {
+                                plru_victim(self.plru[set], self.cfg.associativity) as usize
                             }
-                        }
-                        best
+                            _ => {
+                                // xorshift64*
+                                self.rng_state ^= self.rng_state >> 12;
+                                self.rng_state ^= self.rng_state << 25;
+                                self.rng_state ^= self.rng_state >> 27;
+                                (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize
+                                    % ways
+                            }
+                        };
+                        base + w
                     }
-                    ReplacementPolicy::TreePlru => {
-                        plru_victim(self.plru[set], self.cfg.associativity) as usize
-                    }
-                    ReplacementPolicy::Random => {
-                        // xorshift64*
-                        self.rng_state ^= self.rng_state >> 12;
-                        self.rng_state ^= self.rng_state << 25;
-                        self.rng_state ^= self.rng_state >> 27;
-                        (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % ways
-                    }
-                };
-                base + w
+                }
             }
         };
-        let evicted = {
-            let line = &self.lines[victim];
-            if line.valid {
-                Some((line.tag * num_sets + set_index) * self.cfg.line_bytes)
-            } else {
-                None
-            }
+        let evicted = if self.lru[victim] != 0 {
+            Some((self.tags[victim] * num_sets + set_index) * self.cfg.line_bytes)
+        } else {
+            None
         };
-        self.lines[victim] = Line { tag, valid: true, lru: self.clock };
+        self.tags[victim] = tag;
+        self.lru[victim] = self.clock;
         touch_plru(&mut self.plru[set], (victim - base) as u32, self.cfg.associativity);
         evicted
     }
 
+    /// Fast-path lookup for the stream replay engine: the exact hit/stamp
+    /// behavior of [`Cache::access`] minus statistics (tallied in bulk by
+    /// the caller) and pLRU maintenance. Only valid under
+    /// [`ReplacementPolicy::Lru`], where the pLRU word is never consulted.
+    #[inline]
+    pub(crate) fn probe_fast(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.associativity as usize;
+        for w in 0..ways {
+            if self.lru[base + w] != 0 && self.tags[base + w] == tag {
+                self.lru[base + w] = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fast-path install: the exact victim choice and stamping of
+    /// [`Cache::fill`] under [`ReplacementPolicy::Lru`], minus the evicted
+    /// address reconstruction and pLRU touch.
+    #[inline]
+    pub(crate) fn fill_fast(&mut self, addr: u64) {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.associativity as usize;
+        let mut victim = base;
+        let mut best_lru = u64::MAX;
+        for (i, &stamp) in self.lru[base..base + ways].iter().enumerate() {
+            if stamp < best_lru {
+                best_lru = stamp;
+                victim = base + i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.lru[victim] = self.clock;
+    }
+
+    /// Appends this cache's behavioral state: per set, the number of valid
+    /// ways followed by their tags in LRU-to-MRU stamp order. Under pure
+    /// LRU, two caches with equal canonical state make identical hit and
+    /// victim decisions on any future stream — absolute stamp values and
+    /// way positions are unobservable.
+    pub(crate) fn canonical_into(&self, out: &mut Vec<u64>) {
+        let ways = self.cfg.associativity as usize;
+        let mut set_buf: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        for set in 0..self.cfg.num_sets() as usize {
+            let base = set * ways;
+            set_buf.clear();
+            for w in 0..ways {
+                if self.lru[base + w] != 0 {
+                    set_buf.push((self.lru[base + w], self.tags[base + w]));
+                }
+            }
+            set_buf.sort_unstable();
+            out.push(set_buf.len() as u64);
+            out.extend(set_buf.iter().map(|&(_, tag)| tag));
+        }
+    }
+
+    /// Advances the stamp clock as if `n` touches happened — used when
+    /// replay collapses steady-state passes without driving them.
+    pub(crate) fn advance_clock(&mut self, n: u64) {
+        self.clock += n;
+    }
+
     /// Invalidates everything and clears statistics.
     pub fn reset(&mut self) {
-        for l in &mut self.lines {
-            *l = Line::default();
-        }
-        for p in &mut self.plru {
-            *p = 0;
-        }
+        self.tags.fill(0);
+        self.lru.fill(0);
+        self.plru.fill(0);
         self.clock = 0;
         self.stats = CacheStats::default();
     }
@@ -261,7 +350,7 @@ impl Cache {
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.lru.iter().filter(|&&s| s != 0).count()
     }
 }
 

@@ -7,10 +7,11 @@ use crate::hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats};
 use crate::isa::{FpKind, Instruction, IntKind, Precision, VecWidth};
 use crate::program::Program;
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
+use crate::trace::{KernelTrace, Segment};
 use serde::{Deserialize, Serialize};
 
 /// Dense index for `(precision, width, kind)` FP instruction classes.
-fn fp_index(prec: Precision, width: VecWidth, kind: FpKind) -> usize {
+pub(crate) fn fp_index(prec: Precision, width: VecWidth, kind: FpKind) -> usize {
     let p = match prec {
         Precision::Half => 0,
         Precision::Single => 1,
@@ -34,7 +35,7 @@ fn fp_index(prec: Precision, width: VecWidth, kind: FpKind) -> usize {
 }
 
 /// Everything the PMU can observe after a program executes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Retired FP instructions per `(precision, width, kind)` class.
     fp: Vec<u64>,
@@ -150,7 +151,6 @@ impl ExecStats {
 
 /// Latency/width parameters of the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-// lint: allow(dead_api): config type embedded in CoreConfig's public fields
 pub struct TimingConfig {
     /// Sustained issue width (instructions per cycle upper bound).
     pub issue_width: u64,
@@ -215,6 +215,10 @@ pub struct Cpu {
     stats: ExecStats,
     /// Extra cycles accumulated from memory/branch penalties.
     penalty_cycles: u64,
+    /// The stream engine's cross-call memo of the last driven pass, which
+    /// lets a measure-phase replay collapse against the fixed point a
+    /// warmup-phase replay already witnessed.
+    stream_memo: crate::stream::StreamMemo,
 }
 
 impl Cpu {
@@ -227,6 +231,7 @@ impl Cpu {
             predictor: Predictor::new(cfg.predictor),
             stats: ExecStats::default(),
             penalty_cycles: 0,
+            stream_memo: crate::stream::StreamMemo::default(),
         }
     }
 
@@ -242,6 +247,124 @@ impl Cpu {
         // closure, so route through a raw method instead.
         program.visit(&mut visitor);
         self.finalize_cycles();
+    }
+
+    /// Replays a recorded trace at its recorded trip counts, producing
+    /// [`ExecStats`] bit-identical to [`Cpu::run`] on the source program.
+    ///
+    /// Analytic counts (FP/integer/nop retirement, uops, forced-outcome
+    /// branch verdicts) are multiplied by the trip count; only the
+    /// stateful units — TLB, cache hierarchy, and (when a branch consults
+    /// it) the predictor — are actually re-driven, in the original stream
+    /// order, so their statistics and penalties accumulate exactly as
+    /// under direct execution.
+    pub fn replay(&mut self, trace: &KernelTrace) {
+        for seg in &trace.segments {
+            self.replay_segment(seg, seg.trips);
+        }
+        self.finalize_cycles();
+    }
+
+    /// Replays a trace with every top-level loop's trip count overridden
+    /// to `passes` (straight-line segments are unaffected).
+    ///
+    /// This is how one recording serves both warmup and measurement when
+    /// the two differ only in pass count (the stream of one pass is
+    /// identical): record the kernel once, replay it at each pass count.
+    pub fn replay_passes(&mut self, trace: &KernelTrace, passes: u64) {
+        for seg in &trace.segments {
+            let trips = if seg.looped { passes } else { seg.trips };
+            self.replay_segment(seg, trips);
+        }
+        self.finalize_cycles();
+    }
+
+    fn replay_segment(&mut self, seg: &Segment, trips: u64) {
+        if trips == 0 {
+            return;
+        }
+        let c = &seg.counts;
+        for (slot, &n) in self.stats.fp.iter_mut().zip(&c.fp) {
+            *slot += n * trips;
+        }
+        for (slot, &n) in self.stats.int_ops.iter_mut().zip(&c.int_ops) {
+            *slot += n * trips;
+        }
+        self.stats.loads += c.loads * trips;
+        self.stats.stores += c.stores * trips;
+        self.stats.nops += c.nops * trips;
+        self.stats.instructions += c.instructions * trips;
+        self.stats.uops += c.uops * trips;
+        let bs = &mut self.predictor.stats;
+        bs.uncond_retired += c.uncond * trips;
+        bs.calls += c.calls * trips;
+        bs.rets += c.rets * trips;
+        if seg.overhead {
+            // Synthesized counted-loop control: add + cmp + back-edge per
+            // iteration; the back-edge is taken except on the last trip.
+            self.stats.int_ops[0] += trips;
+            self.stats.int_ops[2] += trips;
+            self.stats.instructions += 3 * trips;
+            self.stats.uops += 3 * trips;
+        }
+        if seg.needs_predictor {
+            // At least one branch consults the live predictor: replay every
+            // conditional branch in order (global history couples them all),
+            // including the synthesized back-edge.
+            for iter in 0..trips {
+                for cb in &seg.cond {
+                    if self.predictor.retire_cond(cb.site, cb.taken, cb.forced_mispredict) {
+                        self.penalty_cycles += self.cfg.timing.mispredict_penalty;
+                    }
+                }
+                if seg.overhead {
+                    self.predictor.retire_cond(seg.site, iter + 1 != trips, Some(false));
+                }
+            }
+        } else {
+            // All outcomes forced: verdicts and tallies are state-independent.
+            let bs = &mut self.predictor.stats;
+            bs.cond_retired += c.cond_retired * trips;
+            bs.cond_taken += c.cond_taken * trips;
+            bs.cond_not_taken += c.cond_not_taken * trips;
+            bs.mispredicted += c.mispredicted * trips;
+            bs.mispredicted_taken += c.mispredicted_taken * trips;
+            self.penalty_cycles += c.mispredicted * trips * self.cfg.timing.mispredict_penalty;
+            if seg.overhead {
+                bs.cond_retired += trips;
+                bs.cond_taken += trips - 1;
+                bs.cond_not_taken += 1;
+            }
+        }
+        // The stateful residue: drive TLB and hierarchy with the recorded
+        // stream, batched per same-kind run, preserving per-unit order.
+        // Pure-LRU hierarchies take the stream engine's fast path, which
+        // hoists per-access bookkeeping and collapses steady-state passes
+        // analytically; other configurations keep this reference loop.
+        let t = self.cfg.timing;
+        if self.hierarchy.lru_fast_path() {
+            self.penalty_cycles += crate::stream::replay_mem(
+                &mut self.tlb,
+                &mut self.hierarchy,
+                &seg.mem,
+                trips,
+                &t,
+                &mut self.stream_memo,
+            );
+            return;
+        }
+        for _ in 0..trips {
+            for run in &seg.mem {
+                let walks = self.tlb.translate_batch(&run.addrs);
+                self.penalty_cycles += walks * t.tlb_walk_latency;
+                let levels = self.hierarchy.access_batch(&run.addrs, run.kind);
+                if run.kind == AccessKind::Read {
+                    self.penalty_cycles += levels.l2 * t.l2_latency
+                        + levels.l3 * t.l3_latency
+                        + levels.memory * t.memory_latency;
+                }
+            }
+        }
     }
 
     fn execute(&mut self, i: Instruction) {
@@ -319,7 +442,7 @@ impl Cpu {
     pub fn stats(&self) -> ExecStats {
         let mut s = self.stats.clone();
         s.branch = self.predictor.stats;
-        s.memory = self.hierarchy.stats;
+        s.memory = self.hierarchy.stats();
         s.tlb = self.tlb.stats;
         s
     }
@@ -427,6 +550,103 @@ mod tests {
         let s = cpu.stats();
         assert_eq!(s.memory.loads_hit_l1, 1, "cache stayed warm across reset_stats");
         assert_eq!(s.loads, 1);
+    }
+
+    /// Runs `p` directly and via record/replay on two cold cores and
+    /// asserts the resulting statistics are bit-identical.
+    fn assert_replay_parity(p: &Program) {
+        let mut direct = Cpu::new(CoreConfig::default_sim());
+        direct.run(p);
+        let mut replayed = Cpu::new(CoreConfig::default_sim());
+        replayed.replay(&KernelTrace::record(p));
+        assert_eq!(direct.stats(), replayed.stats());
+    }
+
+    #[test]
+    fn replay_matches_run_for_fp_kernels() {
+        assert_replay_parity(&Program::new().counted_loop(fp_block(24), 10, 0));
+    }
+
+    #[test]
+    fn replay_matches_run_for_memory_kernels() {
+        let mut b = Block::new();
+        for i in 0..300u64 {
+            // Stride past L1 capacity so every level and the TLB engage.
+            b = b.push(Instruction::Load { addr: (i * 97 % 256) * 4096, size: 8 });
+        }
+        b = b.push(Instruction::Store { addr: 64, size: 8 });
+        b = b.push(Instruction::Load { addr: 128, size: 8 });
+        assert_replay_parity(&Program::new().counted_loop(b, 3, 5));
+    }
+
+    #[test]
+    fn replay_matches_run_for_predictor_branches() {
+        let mut b = Block::new();
+        for i in 0..32u32 {
+            // Live predictor branches with a data-like pattern plus forced
+            // ones interleaved: the whole stream must replay in order.
+            b = b.push(Instruction::cond(i % 5, i % 3 == 0));
+            b = b.push(Instruction::cond_forced(9, i % 2 == 0, i % 7 == 0));
+        }
+        assert_replay_parity(&Program::new().counted_loop(b, 7, 2));
+    }
+
+    #[test]
+    fn replay_matches_run_for_nested_loops_and_misc() {
+        let inner = crate::program::Item::Loop {
+            body: vec![crate::program::Item::Block(
+                Block::new()
+                    .push(Instruction::Load { addr: 0, size: 8 })
+                    .push(Instruction::Call)
+                    .push(Instruction::Ret)
+                    .push(Instruction::UncondBranch)
+                    .push(Instruction::Nop),
+            )],
+            trips: 4,
+            overhead: true,
+            site: 1,
+        };
+        let p = Program::new().item(crate::program::Item::Loop {
+            body: vec![inner],
+            trips: 6,
+            overhead: true,
+            site: 0,
+        });
+        assert_replay_parity(&p);
+    }
+
+    #[test]
+    fn replay_passes_overrides_loop_trips() {
+        let mut b = Block::new();
+        for i in 0..16u64 {
+            b = b.push(Instruction::Load { addr: i * 4096, size: 8 });
+        }
+        let trace = KernelTrace::record(&Program::new().counted_loop(b.clone(), 4, 0));
+        let mut direct = Cpu::new(CoreConfig::default_sim());
+        direct.run(&Program::new().counted_loop(b, 9, 0));
+        let mut replayed = Cpu::new(CoreConfig::default_sim());
+        replayed.replay_passes(&trace, 9);
+        assert_eq!(direct.stats(), replayed.stats());
+    }
+
+    #[test]
+    fn replay_preserves_warm_state_across_reset_stats() {
+        let mut b = Block::new();
+        for i in 0..64u64 {
+            b = b.push(Instruction::Load { addr: i * 64, size: 8 });
+        }
+        let warm = Program::new().counted_loop(b.clone(), 2, 0);
+        let meas = Program::new().counted_loop(b, 2, 0);
+        let mut direct = Cpu::new(CoreConfig::default_sim());
+        direct.run(&warm);
+        direct.reset_stats();
+        direct.run(&meas);
+        let trace = KernelTrace::record(&meas);
+        let mut replayed = Cpu::new(CoreConfig::default_sim());
+        replayed.replay_passes(&trace, 2);
+        replayed.reset_stats();
+        replayed.replay_passes(&trace, 2);
+        assert_eq!(direct.stats(), replayed.stats());
     }
 
     #[test]

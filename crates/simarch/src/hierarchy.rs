@@ -72,15 +72,35 @@ pub struct HierarchyStats {
     pub prefetch_fills: u64,
 }
 
+/// Demand accesses from one [`Hierarchy::access_batch`] call, bucketed by
+/// the level that satisfied them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+// lint: allow(dead_api): batched-lookup result consumed by the replay engine's penalty model
+pub struct LevelCounts {
+    /// Accesses satisfied in L1.
+    pub l1: u64,
+    /// Accesses satisfied in L2.
+    pub l2: u64,
+    /// Accesses satisfied in L3.
+    pub l3: u64,
+    /// Accesses that went to main memory.
+    pub memory: u64,
+}
+
 /// A private three-level hierarchy (one per simulated core).
+///
+/// Per-level [`CacheStats`] live inside the member caches and are copied
+/// into the returned snapshot only when [`Hierarchy::stats`] is called —
+/// not on every access, which used to dominate the lookup cost.
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     l1: Cache,
     l2: Cache,
     l3: Cache,
     prefetch: bool,
-    /// Accumulated statistics.
-    pub stats: HierarchyStats,
+    /// Load-attribution counters; the per-level fields are stale until
+    /// [`Hierarchy::stats`] syncs them.
+    stats: HierarchyStats,
 }
 
 impl Hierarchy {
@@ -157,14 +177,106 @@ impl Hierarchy {
                 self.l1.stats.read_misses -= 1;
             }
         }
-        self.sync_level_stats();
         level
     }
 
-    fn sync_level_stats(&mut self) {
-        self.stats.l1 = self.l1.stats;
-        self.stats.l2 = self.l2.stats;
-        self.stats.l3 = self.l3.stats;
+    /// Performs a batch of same-kind demand accesses in order, returning
+    /// how many were satisfied at each level. State-equivalent to calling
+    /// [`Hierarchy::access`] per address — hierarchy state depends only on
+    /// the (address, kind) sequence.
+    pub fn access_batch(&mut self, addrs: &[u64], kind: AccessKind) -> LevelCounts {
+        let mut counts = LevelCounts::default();
+        for &addr in addrs {
+            match self.access(addr, kind) {
+                MemLevel::L1 => counts.l1 += 1,
+                MemLevel::L2 => counts.l2 += 1,
+                MemLevel::L3 => counts.l3 += 1,
+                MemLevel::Memory => counts.memory += 1,
+            }
+        }
+        counts
+    }
+
+    /// True when every level is pure LRU and the prefetcher is disabled —
+    /// the precondition for the stream replay engine's fast path (pLRU
+    /// state and the prefetch probe are the only things that path skips).
+    pub(crate) fn lru_fast_path(&self) -> bool {
+        !self.prefetch
+            && self.l1.config().policy == crate::cache::ReplacementPolicy::Lru
+            && self.l2.config().policy == crate::cache::ReplacementPolicy::Lru
+            && self.l3.config().policy == crate::cache::ReplacementPolicy::Lru
+    }
+
+    /// Fast-path access: the exact lookup/fill/clock sequence of
+    /// [`Hierarchy::access`] minus statistics (tallied in bulk by the
+    /// stream replay engine via [`Hierarchy::add_bulk_stats`]).
+    #[inline]
+    pub(crate) fn access_fast(&mut self, addr: u64) -> MemLevel {
+        if self.l1.probe_fast(addr) {
+            return MemLevel::L1;
+        }
+        if self.l2.probe_fast(addr) {
+            self.l1.fill_fast(addr);
+            return MemLevel::L2;
+        }
+        if self.l3.probe_fast(addr) {
+            self.l2.fill_fast(addr);
+            self.l1.fill_fast(addr);
+            return MemLevel::L3;
+        }
+        self.l3.fill_fast(addr);
+        self.l2.fill_fast(addr);
+        self.l1.fill_fast(addr);
+        MemLevel::Memory
+    }
+
+    /// Appends all three levels' canonical state (see
+    /// `Cache::canonical_into`).
+    pub(crate) fn canonical_into(&self, out: &mut Vec<u64>) {
+        self.l1.canonical_into(out);
+        self.l2.canonical_into(out);
+        self.l3.canonical_into(out);
+    }
+
+    /// Advances each level's stamp clock — used when replay collapses
+    /// steady-state passes without driving them.
+    pub(crate) fn advance_clocks(&mut self, l1: u64, l2: u64, l3: u64) {
+        self.l1.advance_clock(l1);
+        self.l2.advance_clock(l2);
+        self.l3.advance_clock(l3);
+    }
+
+    /// Bulk statistics flush from the stream replay engine: accesses
+    /// satisfied per level, split by kind. Produces exactly the per-level
+    /// hit/miss splits and retired-load attribution that the per-access
+    /// path accumulates incrementally.
+    pub(crate) fn add_bulk_stats(&mut self, read_lv: [u64; 4], write_lv: [u64; 4]) {
+        let r = read_lv;
+        let w = write_lv;
+        self.l1.stats.read_hits += r[0];
+        self.l1.stats.read_misses += r[1] + r[2] + r[3];
+        self.l1.stats.write_hits += w[0];
+        self.l1.stats.write_misses += w[1] + w[2] + w[3];
+        self.l2.stats.read_hits += r[1];
+        self.l2.stats.read_misses += r[2] + r[3];
+        self.l2.stats.write_hits += w[1];
+        self.l2.stats.write_misses += w[2] + w[3];
+        self.l3.stats.read_hits += r[2];
+        self.l3.stats.read_misses += r[3];
+        self.l3.stats.write_hits += w[2];
+        self.l3.stats.write_misses += w[3];
+        self.stats.loads_hit_l1 += r[0];
+        self.stats.loads_miss_l1 += r[1] + r[2] + r[3];
+        self.stats.loads_hit_l2 += r[1];
+        self.stats.loads_miss_l2 += r[2] + r[3];
+        self.stats.loads_hit_l3 += r[2];
+        self.stats.loads_miss_l3 += r[3];
+    }
+
+    /// A snapshot of accumulated statistics with the per-level cache stats
+    /// synced from the member caches.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats { l1: self.l1.stats, l2: self.l2.stats, l3: self.l3.stats, ..self.stats }
     }
 
     /// Clears statistics but keeps cache contents (post-warmup).
@@ -202,8 +314,8 @@ mod tests {
         let mut h = tiny();
         assert_eq!(h.access(0x40, AccessKind::Read), MemLevel::Memory);
         assert_eq!(h.access(0x40, AccessKind::Read), MemLevel::L1);
-        assert_eq!(h.stats.loads_miss_l3, 1);
-        assert_eq!(h.stats.loads_hit_l1, 1);
+        assert_eq!(h.stats().loads_miss_l3, 1);
+        assert_eq!(h.stats().loads_hit_l1, 1);
     }
 
     #[test]
@@ -215,7 +327,7 @@ mod tests {
         }
         // First line was LRU-evicted from L1 but still lives in L2.
         assert_eq!(h.access(0, AccessKind::Read), MemLevel::L2);
-        assert_eq!(h.stats.loads_hit_l2, 1);
+        assert_eq!(h.stats().loads_hit_l2, 1);
     }
 
     #[test]
@@ -232,7 +344,7 @@ mod tests {
                 assert_eq!(h.access(a, AccessKind::Read), MemLevel::L1);
             }
         }
-        assert_eq!(h.stats.loads_miss_l1, 0);
+        assert_eq!(h.stats().loads_miss_l1, 0);
 
         // Working set of 16 lines (fits L2, exceeds L1 capacity 8): a
         // sequential LRU sweep always misses L1 but hits L2 after warmup.
@@ -250,15 +362,15 @@ mod tests {
                 assert!(lvl == MemLevel::L2 || lvl == MemLevel::L1, "got {lvl:?}");
             }
         }
-        assert!(h.stats.loads_hit_l2 > 0);
-        assert_eq!(h.stats.loads_miss_l2, 0);
+        assert!(h.stats().loads_hit_l2 > 0);
+        assert_eq!(h.stats().loads_miss_l2, 0);
     }
 
     #[test]
     fn prefetcher_counts_fills() {
         let mut h = Hierarchy::new(HierarchyConfig { prefetch_next_line: true, ..tiny().config() });
         h.access(0, AccessKind::Read);
-        assert!(h.stats.prefetch_fills >= 1);
+        assert!(h.stats().prefetch_fills >= 1);
         // The next line was prefetched into L1.
         assert_eq!(h.access(64, AccessKind::Read), MemLevel::L1);
     }
@@ -268,7 +380,7 @@ mod tests {
         let mut h = tiny();
         h.access(0, AccessKind::Read);
         h.reset_stats();
-        assert_eq!(h.stats.loads_miss_l3, 0);
+        assert_eq!(h.stats().loads_miss_l3, 0);
         assert_eq!(h.access(0, AccessKind::Read), MemLevel::L1);
     }
 
@@ -284,8 +396,8 @@ mod tests {
     fn writes_do_not_count_as_retired_loads() {
         let mut h = tiny();
         h.access(0, AccessKind::Write);
-        assert_eq!(h.stats.loads_miss_l1, 0);
-        assert_eq!(h.stats.loads_hit_l1, 0);
-        assert_eq!(h.stats.l1.write_misses, 1);
+        assert_eq!(h.stats().loads_miss_l1, 0);
+        assert_eq!(h.stats().loads_hit_l1, 0);
+        assert_eq!(h.stats().l1.write_misses, 1);
     }
 }

@@ -21,6 +21,7 @@
 //!   units whose behavior the data-cache and branching benchmarks probe;
 //! * [`cpu`] — the core model tying the units together and producing
 //!   [`cpu::ExecStats`];
+//! * [`trace`] — memoized kernel record/replay ([`KernelTrace`]);
 //! * [`gpu`] — the MI250X-like device model and its event inventory;
 //! * [`events_cpu`] — the Sapphire-Rapids-like event inventory;
 //! * [`noise`], [`pmu`] — observation-noise models and the measurement
@@ -43,7 +44,9 @@ pub mod isa;
 pub mod noise;
 pub mod pmu;
 pub mod program;
+pub(crate) mod stream;
 pub mod tlb;
+pub mod trace;
 
 pub use cpu::{CoreConfig, Cpu, ExecStats};
 pub use events_cpu::{sapphire_rapids_like, CpuBase, CpuEventDef, CpuEventSet};
@@ -54,3 +57,4 @@ pub use isa::{FpKind, Instruction, IntKind, Precision, VecWidth};
 pub use noise::NoiseModel;
 pub use pmu::{CpuPmu, PmuConfig};
 pub use program::{Block, Item, Program};
+pub use trace::KernelTrace;

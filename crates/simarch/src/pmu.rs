@@ -152,9 +152,24 @@ impl CpuPmu {
         run: usize,
     ) -> Vec<f64> {
         let groups = self.schedule(set, events);
+        self.read_cpu_scheduled(set, stats, events, &groups, run)
+    }
+
+    /// [`CpuPmu::read_cpu`] against a precomputed group assignment from
+    /// [`CpuPmu::schedule`]. Scheduling is deterministic in `(set, events)`,
+    /// so hoisting it out of a repetition/point sweep reads the exact same
+    /// values while paying the greedy-scheduling pass once.
+    pub fn read_cpu_scheduled(
+        &self,
+        set: &CpuEventSet,
+        stats: &ExecStats,
+        events: &[EventId],
+        groups: &[usize],
+        run: usize,
+    ) -> Vec<f64> {
         events
             .iter()
-            .zip(&groups)
+            .zip(groups)
             .map(|(&id, &group)| {
                 // lint: allow(panic, reachable_panic): ids were validated when the schedule was built
                 let def = set.def(id).expect("validated by schedule");

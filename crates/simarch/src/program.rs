@@ -124,7 +124,7 @@ impl Program {
     }
 }
 
-fn visit_item<F: FnMut(Instruction)>(item: &Item, visit: &mut F) {
+pub(crate) fn visit_item<F: FnMut(Instruction)>(item: &Item, visit: &mut F) {
     match item {
         Item::Block(b) => {
             for &i in &b.instructions {

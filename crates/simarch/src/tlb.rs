@@ -34,18 +34,24 @@ pub struct TlbStats {
     pub misses: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    vpn: u64,
-    valid: bool,
-    lru: u64,
-}
-
 /// A data TLB.
+///
+/// Like [`crate::cache::Cache`], state is struct-of-arrays: parallel
+/// `vpns`/`lru` vectors indexed by `set * ways + way`, with `lru == 0`
+/// marking an invalid entry (the clock pre-increments, so live entries
+/// always stamp ≥ 1 and the sentinel is the natural eviction minimum).
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    entries: Vec<Entry>,
+    /// `log2(page_bytes)` — folded from the power-of-two geometry so the
+    /// per-translation address decomposition is shifts and masks.
+    page_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u64,
+    /// Virtual page numbers, `set * ways + way` layout.
+    vpns: Vec<u64>,
+    /// LRU stamps, same layout; 0 means the entry is invalid.
+    lru: Vec<u64>,
     clock: u64,
     /// Accumulated statistics.
     pub stats: TlbStats,
@@ -62,7 +68,10 @@ impl Tlb {
         assert!(cfg.page_bytes.is_power_of_two());
         Self {
             cfg,
-            entries: vec![Entry::default(); cfg.entries as usize],
+            page_shift: cfg.page_bytes.trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
+            vpns: vec![0; cfg.entries as usize],
+            lru: vec![0; cfg.entries as usize],
             clock: 0,
             stats: TlbStats::default(),
         }
@@ -72,28 +81,103 @@ impl Tlb {
     /// translation (after the implied page walk).
     pub fn translate(&mut self, addr: u64) -> bool {
         self.clock += 1;
-        let vpn = addr / self.cfg.page_bytes;
-        let set = (vpn % self.cfg.num_sets()) as usize;
+        let vpn = addr >> self.page_shift;
+        let set = (vpn & self.set_mask) as usize;
         let ways = self.cfg.associativity as usize;
         let base = set * ways;
-        for e in &mut self.entries[base..base + ways] {
-            if e.valid && e.vpn == vpn {
-                e.lru = self.clock;
+        for w in 0..ways {
+            if self.lru[base + w] != 0 && self.vpns[base + w] == vpn {
+                self.lru[base + w] = self.clock;
                 self.stats.hits += 1;
                 return true;
             }
         }
         self.stats.misses += 1;
-        // Install, evicting LRU.
-        let victim = self.entries[base..base + ways]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-            .map(|(i, _)| base + i)
-            // lint: allow(panic, reachable_panic): TlbConfig construction rejects zero associativity
-            .expect("associativity > 0");
-        self.entries[victim] = Entry { vpn, valid: true, lru: self.clock };
+        // Install, evicting the LRU way; an invalid way's zero stamp makes
+        // it the unconditional first-wins minimum.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            if self.lru[base + w] < best {
+                best = self.lru[base + w];
+                victim = base + w;
+            }
+        }
+        self.vpns[victim] = vpn;
+        self.lru[victim] = self.clock;
         false
+    }
+
+    /// Translates a batch of addresses in order, returning the number of
+    /// misses added. Equivalent to calling [`Tlb::translate`] per address —
+    /// translation state depends only on the address sequence — but keeps
+    /// the loop over the dense SoA rows in one place.
+    pub fn translate_batch(&mut self, addrs: &[u64]) -> u64 {
+        let before = self.stats.misses;
+        for &addr in addrs {
+            self.translate(addr);
+        }
+        self.stats.misses - before
+    }
+
+    /// Fast-path translation for the stream replay engine: the exact
+    /// hit/install/stamp behavior of [`Tlb::translate`] minus statistics
+    /// (tallied in bulk by the caller).
+    #[inline]
+    pub(crate) fn translate_fast(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let vpn = addr >> self.page_shift;
+        let set = (vpn & self.set_mask) as usize;
+        let ways = self.cfg.associativity as usize;
+        let base = set * ways;
+        for w in 0..ways {
+            if self.lru[base + w] != 0 && self.vpns[base + w] == vpn {
+                self.lru[base + w] = self.clock;
+                return true;
+            }
+        }
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            if self.lru[base + w] < best {
+                best = self.lru[base + w];
+                victim = base + w;
+            }
+        }
+        self.vpns[victim] = vpn;
+        self.lru[victim] = self.clock;
+        false
+    }
+
+    /// Appends the behavioral state: per set, the valid-entry count then
+    /// VPNs in LRU-to-MRU stamp order (see `Cache::canonical_into`).
+    pub(crate) fn canonical_into(&self, out: &mut Vec<u64>) {
+        let ways = self.cfg.associativity as usize;
+        let mut set_buf: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        for set in 0..self.cfg.num_sets() as usize {
+            let base = set * ways;
+            set_buf.clear();
+            for w in 0..ways {
+                if self.lru[base + w] != 0 {
+                    set_buf.push((self.lru[base + w], self.vpns[base + w]));
+                }
+            }
+            set_buf.sort_unstable();
+            out.push(set_buf.len() as u64);
+            out.extend(set_buf.iter().map(|&(_, vpn)| vpn));
+        }
+    }
+
+    /// Advances the stamp clock as if `n` translations happened — used
+    /// when replay collapses steady-state passes without driving them.
+    pub(crate) fn advance_clock(&mut self, n: u64) {
+        self.clock += n;
+    }
+
+    /// Bulk statistics flush from the stream replay engine.
+    pub(crate) fn add_stats(&mut self, hits: u64, misses: u64) {
+        self.stats.hits += hits;
+        self.stats.misses += misses;
     }
 
     /// Clears statistics, keeping translations (post-warmup).
@@ -103,9 +187,8 @@ impl Tlb {
 
     /// Invalidates everything.
     pub fn reset(&mut self) {
-        for e in &mut self.entries {
-            *e = Entry::default();
-        }
+        self.vpns.fill(0);
+        self.lru.fill(0);
         self.clock = 0;
         self.stats = TlbStats::default();
     }

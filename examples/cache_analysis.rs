@@ -8,7 +8,7 @@ use catalyze::basis::{dcache_basis, CacheRegion};
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::dcache_signatures;
-use catalyze_cat::{dcache, run_dcache, RunnerConfig};
+use catalyze_cat::{dcache, Domain, RunnerConfig, SimRequest};
 use catalyze_sim::sapphire_rapids_like;
 
 fn main() {
@@ -27,7 +27,12 @@ fn main() {
         cfg.dcache_threads
     );
 
-    let ms = run_dcache(&events, &cfg);
+    let ms = SimRequest::new()
+        .domain(Domain::Dcache)
+        .events(&events)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
 
     let regions: Vec<CacheRegion> = dcache::point_regions(&hier)
         .into_iter()

@@ -8,7 +8,7 @@ use catalyze::basis::cpu_flops_basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::cpu_flops_signatures;
-use catalyze_cat::{run_cpu_flops, RunnerConfig};
+use catalyze_cat::{Domain, RunnerConfig, SimRequest};
 use catalyze_sim::sapphire_rapids_like;
 
 fn main() {
@@ -16,7 +16,12 @@ fn main() {
     let cfg = RunnerConfig::default_sim();
 
     println!("running the CAT CPU-FLOPs benchmark (16 kernels x 3 loops)...\n");
-    let ms = run_cpu_flops(&events, &cfg);
+    let ms = SimRequest::new()
+        .domain(Domain::CpuFlops)
+        .events(&events)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
 
     let basis = cpu_flops_basis();
     let signatures = cpu_flops_signatures();

@@ -10,7 +10,7 @@
 use catalyze::basis::cpu_flops_basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature::cpu_flops_signatures;
-use catalyze_cat::{run_cpu_flops, RunnerConfig};
+use catalyze_cat::{Domain, RunnerConfig, SimRequest};
 use catalyze_events::EventName;
 use catalyze_sim::cpu::ExecStats;
 use catalyze_sim::{sapphire_rapids_like, FpKind, Precision, VecWidth};
@@ -26,7 +26,12 @@ fn main() {
     let cfg = RunnerConfig::default_sim();
 
     // Measure on the stock machine...
-    let mut ms = run_cpu_flops(&base_events, &cfg);
+    let mut ms = SimRequest::new()
+        .domain(Domain::CpuFlops)
+        .events(&base_events)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
 
     // ...then graft on the hypothetical architecture's two extra events by
     // recomputing their ideal measurements from the same kernels. (On a

@@ -7,7 +7,7 @@ use catalyze::basis::gpu_flops_basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::gpu_flops_signatures;
-use catalyze_cat::{run_gpu_flops, RunnerConfig};
+use catalyze_cat::{Domain, RunnerConfig, SimRequest};
 use catalyze_sim::mi250x_like;
 
 fn main() {
@@ -17,7 +17,12 @@ fn main() {
 
     let cfg = RunnerConfig::default_sim();
     println!("running the GPU-FLOPs benchmark (15 kernels x 3 sizes) on device 0...\n");
-    let ms = run_gpu_flops(&events, &cfg);
+    let ms = SimRequest::new()
+        .domain(Domain::GpuFlops)
+        .gpu_events(&events)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
 
     let basis = gpu_flops_basis();
     let signatures = gpu_flops_signatures();

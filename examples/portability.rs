@@ -12,11 +12,16 @@
 use catalyze::basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature;
-use catalyze_cat::{run_branch, run_cpu_flops, RunnerConfig};
+use catalyze_cat::{Domain, RunnerConfig, SimRequest};
 use catalyze_sim::{sapphire_rapids_like, zen_like, CpuEventSet};
 
 fn flops_report(set: &CpuEventSet, label: &str, cfg: &RunnerConfig) -> AnalysisReport {
-    let ms = run_cpu_flops(set, cfg);
+    let ms = SimRequest::new()
+        .domain(Domain::CpuFlops)
+        .events(set)
+        .config(cfg)
+        .run()
+        .expect("valid request");
     let mut signatures = signature::cpu_flops_signatures();
     signatures.push(signature::all_fp_ops_signature());
     let basis = basis::cpu_flops_basis();
@@ -65,7 +70,12 @@ fn main() {
 
     println!("\nbranching: the same metric, different raw-event combinations --");
     let branch = |set: &CpuEventSet, label: &str| {
-        let ms = run_branch(set, &cfg);
+        let ms = SimRequest::new()
+            .domain(Domain::Branch)
+            .events(set)
+            .config(&cfg)
+            .run()
+            .expect("valid request");
         let basis = basis::branch_basis();
         let signatures = signature::branch_signatures();
         AnalysisRequest::new()

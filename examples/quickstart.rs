@@ -9,7 +9,7 @@ use catalyze::basis::branch_basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::report;
 use catalyze::signature::branch_signatures;
-use catalyze_cat::{run_branch, RunnerConfig};
+use catalyze_cat::{Domain, RunnerConfig, SimRequest};
 use catalyze_sim::sapphire_rapids_like;
 
 fn main() {
@@ -20,7 +20,12 @@ fn main() {
     // 2. Run the CAT branching benchmark (11 microkernels, 5 repetitions),
     //    measuring every event.
     let cfg = RunnerConfig::default_sim();
-    let measurements = run_branch(&events, &cfg);
+    let measurements = SimRequest::new()
+        .domain(Domain::Branch)
+        .events(&events)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
     println!(
         "measured {} events over {} kernels, {} repetitions\n",
         measurements.num_events(),

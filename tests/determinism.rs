@@ -5,7 +5,7 @@
 use catalyze::basis;
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature;
-use catalyze_cat::{run_branch, run_cpu_flops, run_gpu_flops, RunnerConfig};
+use catalyze_cat::{measure_branch, measure_cpu_flops, measure_gpu_flops, RunnerConfig};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like};
 
 fn cfg() -> RunnerConfig {
@@ -18,24 +18,24 @@ fn cfg() -> RunnerConfig {
 #[test]
 fn branch_measurements_bitwise_reproducible() {
     let set = sapphire_rapids_like();
-    let a = run_branch(&set, &cfg());
-    let b = run_branch(&set, &cfg());
+    let a = measure_branch(&set, &cfg(), &catalyze_obs::NoopObserver);
+    let b = measure_branch(&set, &cfg(), &catalyze_obs::NoopObserver);
     assert_eq!(a, b);
 }
 
 #[test]
 fn cpu_flops_measurements_bitwise_reproducible() {
     let set = sapphire_rapids_like();
-    let a = run_cpu_flops(&set, &cfg());
-    let b = run_cpu_flops(&set, &cfg());
+    let a = measure_cpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
+    let b = measure_cpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
     assert_eq!(a, b);
 }
 
 #[test]
 fn gpu_measurements_bitwise_reproducible() {
     let set = mi250x_like(2);
-    let a = run_gpu_flops(&set, &cfg());
-    let b = run_gpu_flops(&set, &cfg());
+    let a = measure_gpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
+    let b = measure_gpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
     assert_eq!(a, b);
 }
 
@@ -46,8 +46,8 @@ fn different_pmu_seed_changes_noisy_reads_only() {
     let mut c2 = cfg();
     c1.pmu.seed = 1;
     c2.pmu.seed = 2;
-    let a = run_branch(&set, &c1);
-    let b = run_branch(&set, &c2);
+    let a = measure_branch(&set, &c1, &catalyze_obs::NoopObserver);
+    let b = measure_branch(&set, &c2, &catalyze_obs::NoopObserver);
     // Architectural counters identical...
     let cond = a.event_index("BR_INST_RETIRED:COND").unwrap();
     assert_eq!(a.runs[0][cond], b.runs[0][cond]);
@@ -59,7 +59,7 @@ fn different_pmu_seed_changes_noisy_reads_only() {
 #[test]
 fn analysis_is_a_pure_function_of_measurements() {
     let set = sapphire_rapids_like();
-    let ms = run_branch(&set, &cfg());
+    let ms = measure_branch(&set, &cfg(), &catalyze_obs::NoopObserver);
     let basis = basis::branch_basis();
     let signatures = signature::branch_signatures();
     let run = || {

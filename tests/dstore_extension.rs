@@ -53,14 +53,14 @@ fn dstore_pipeline_composes_write_metrics() {
 
 #[test]
 fn dstore_sync_runner_matches_the_observed_variant() {
-    // `run_dstore` is a certified-deterministic entry point
+    // `measure_dstore` is a certified-deterministic entry point
     // (`// lint: contract(deterministic)`): two runs, and the observed
     // variant under a noop observer, must agree bit for bit.
     let h = Harness::new(Scale::Fast);
-    let first = catalyze_cat::run_dstore(&h.cpu_events, &h.cfg);
+    let first = catalyze_cat::measure_dstore(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
     first.validate().unwrap();
-    let second = catalyze_cat::run_dstore(&h.cpu_events, &h.cfg);
-    let observed = catalyze_cat::run_dstore_obs(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
+    let second = catalyze_cat::measure_dstore(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
+    let observed = catalyze_cat::measure_dstore(&h.cpu_events, &h.cfg, &catalyze_obs::NoopObserver);
     assert_eq!(first, second, "repeated sync runs must be bit-identical");
     assert_eq!(first, observed, "observation must not perturb the measurements");
 }

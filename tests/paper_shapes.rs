@@ -8,7 +8,9 @@
 use catalyze::basis::{self, CacheRegion};
 use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature;
-use catalyze_cat::{dcache, run_branch, run_cpu_flops, run_dcache, run_gpu_flops, RunnerConfig};
+use catalyze_cat::{
+    dcache, measure_branch, measure_cpu_flops, measure_dcache, measure_gpu_flops, RunnerConfig,
+};
 use catalyze_sim::{mi250x_like, sapphire_rapids_like};
 
 fn cfg() -> RunnerConfig {
@@ -54,7 +56,7 @@ fn run_request(
 fn cpu_flops_report() -> AnalysisReport {
     let set = sapphire_rapids_like();
     let c = cfg();
-    let ms = run_cpu_flops(&set, &c);
+    let ms = measure_cpu_flops(&set, &c, &catalyze_obs::NoopObserver);
     run_request(
         "cpu-flops",
         &ms,
@@ -126,7 +128,7 @@ fn cpu_flops_metrics_match_table5() {
 fn branch_selection_and_metrics_match_section_5c_and_table7() {
     let set = sapphire_rapids_like();
     let c = cfg();
-    let ms = run_branch(&set, &c);
+    let ms = measure_branch(&set, &c, &catalyze_obs::NoopObserver);
     let report = run_request(
         "branch",
         &ms,
@@ -178,7 +180,7 @@ fn branch_selection_and_metrics_match_section_5c_and_table7() {
 fn gpu_selection_and_metrics_match_section_5b_and_table6() {
     let set = mi250x_like(2);
     let c = cfg();
-    let ms = run_gpu_flops(&set, &c);
+    let ms = measure_gpu_flops(&set, &c, &catalyze_obs::NoopObserver);
     let report = run_request(
         "gpu-flops",
         &ms,
@@ -218,7 +220,7 @@ fn gpu_selection_and_metrics_match_section_5b_and_table6() {
 fn dcache_selection_and_metrics_match_section_5d_and_table8() {
     let set = sapphire_rapids_like();
     let c = cfg();
-    let ms = run_dcache(&set, &c);
+    let ms = measure_dcache(&set, &c, &catalyze_obs::NoopObserver);
     let report = run_request(
         "dcache",
         &ms,

@@ -5,7 +5,7 @@
 use catalyze::basis::{self, CacheRegion};
 use catalyze::pipeline::{AnalysisConfig, AnalysisRequest};
 use catalyze::signature;
-use catalyze_cat::{dcache, run_branch, run_dcache, RunnerConfig};
+use catalyze_cat::{dcache, measure_branch, measure_dcache, RunnerConfig};
 use catalyze_sim::cache::{CacheConfig, ReplacementPolicy};
 use catalyze_sim::hierarchy::HierarchyConfig;
 use catalyze_sim::sapphire_rapids_like;
@@ -23,7 +23,7 @@ fn branch_selection_is_seed_invariant() {
     for seed in [1u64, 0xDEAD_BEEF, 42_424_242] {
         let mut cfg = fast();
         cfg.pmu.seed = seed;
-        let ms = run_branch(&set, &cfg);
+        let ms = measure_branch(&set, &cfg, &catalyze_obs::NoopObserver);
         let basis = basis::branch_basis();
         let signatures = signature::branch_signatures();
         let report = AnalysisRequest::new()
@@ -55,7 +55,7 @@ fn dcache_report_under(policy: ReplacementPolicy) -> catalyze::AnalysisReport {
         prefetch_next_line: false,
     };
     let set = sapphire_rapids_like();
-    let ms = run_dcache(&set, &cfg);
+    let ms = measure_dcache(&set, &cfg, &catalyze_obs::NoopObserver);
     let regions: Vec<CacheRegion> = dcache::point_regions(&cfg.core.hierarchy)
         .into_iter()
         .map(|r| match r {

@@ -1,0 +1,121 @@
+//! `SimRequest` end-to-end guarantees:
+//!
+//! * the unified builder produces byte-identical `MeasurementSet`s to the
+//!   deprecated `run_*` / `run_*_obs` shims it replaced, for all six
+//!   domains;
+//! * the parallel `Replay` engine matches the sequential `Direct`
+//!   reference engine through the public API;
+//! * the validating `RunnerConfig` builder round-trips into requests.
+
+#![allow(deprecated)]
+
+use catalyze_cat::{
+    measure_dcache_threads, run_branch, run_branch_obs, run_cpu_flops, run_cpu_flops_obs,
+    run_dcache, run_dcache_obs, run_dcache_per_thread, run_dstore, run_dstore_obs, run_dtlb,
+    run_dtlb_obs, run_gpu_flops, run_gpu_flops_obs, Domain, MeasurementSet, RunnerConfig,
+    RunnerConfigBuilder, SimEngine, SimRequest,
+};
+use catalyze_obs::NoopObserver;
+use catalyze_sim::{mi250x_like, sapphire_rapids_like};
+
+fn request(domain: Domain, cfg: &RunnerConfig) -> MeasurementSet {
+    let cpu = sapphire_rapids_like();
+    let gpu = mi250x_like(cfg.gpu_devices);
+    let req = SimRequest::new().domain(domain).config(cfg);
+    let req = if domain.is_gpu() { req.gpu_events(&gpu) } else { req.events(&cpu) };
+    req.run().expect("valid request")
+}
+
+fn bytes(ms: &MeasurementSet) -> Vec<u8> {
+    serde_json::to_string(ms).expect("measurement sets serialize").into_bytes()
+}
+
+#[test]
+fn request_matches_legacy_shims_for_all_six_domains() {
+    let cpu = sapphire_rapids_like();
+    let cfg = RunnerConfig::fast_test();
+    let gpu = mi250x_like(cfg.gpu_devices);
+    let legacy: [(Domain, MeasurementSet); 6] = [
+        (Domain::CpuFlops, run_cpu_flops(&cpu, &cfg)),
+        (Domain::Branch, run_branch(&cpu, &cfg)),
+        (Domain::Dcache, run_dcache(&cpu, &cfg)),
+        (Domain::Dtlb, run_dtlb(&cpu, &cfg)),
+        (Domain::Dstore, run_dstore(&cpu, &cfg)),
+        (Domain::GpuFlops, run_gpu_flops(&gpu, &cfg)),
+    ];
+    for (domain, shim) in &legacy {
+        let new = request(*domain, &cfg);
+        assert_eq!(bytes(&new), bytes(shim), "{domain}: SimRequest differs from legacy shim");
+    }
+}
+
+#[test]
+fn observer_shims_delegate_to_the_same_runners() {
+    let cpu = sapphire_rapids_like();
+    let cfg = RunnerConfig::fast_test();
+    let gpu = mi250x_like(cfg.gpu_devices);
+    let obs = &NoopObserver;
+    let legacy: [(Domain, MeasurementSet); 6] = [
+        (Domain::CpuFlops, run_cpu_flops_obs(&cpu, &cfg, obs)),
+        (Domain::Branch, run_branch_obs(&cpu, &cfg, obs)),
+        (Domain::Dcache, run_dcache_obs(&cpu, &cfg, obs)),
+        (Domain::Dtlb, run_dtlb_obs(&cpu, &cfg, obs)),
+        (Domain::Dstore, run_dstore_obs(&cpu, &cfg, obs)),
+        (Domain::GpuFlops, run_gpu_flops_obs(&gpu, &cfg, obs)),
+    ];
+    for (domain, shim) in &legacy {
+        let new = request(*domain, &cfg);
+        assert_eq!(bytes(&new), bytes(shim), "{domain}: SimRequest differs from _obs shim");
+    }
+}
+
+#[test]
+fn per_thread_shim_matches_measure_dcache_threads() {
+    let cpu = sapphire_rapids_like();
+    let cfg = RunnerConfig::fast_test();
+    let shim = run_dcache_per_thread(&cpu, &cfg);
+    let new = measure_dcache_threads(&cpu, &cfg, &NoopObserver);
+    assert_eq!(shim.len(), new.len());
+    for (a, b) in shim.iter().zip(&new) {
+        assert_eq!(bytes(a), bytes(b));
+    }
+}
+
+#[test]
+fn parallel_replay_engine_matches_direct_reference_byte_for_byte() {
+    let cfg = RunnerConfig::fast_test();
+    let cpu = sapphire_rapids_like();
+    for domain in [Domain::CpuFlops, Domain::Branch, Domain::Dcache, Domain::Dtlb, Domain::Dstore] {
+        let direct = SimRequest::new()
+            .domain(domain)
+            .events(&cpu)
+            .config(&cfg)
+            .engine(SimEngine::Direct)
+            .run()
+            .expect("valid request");
+        let replay = SimRequest::new()
+            .domain(domain)
+            .events(&cpu)
+            .config(&cfg)
+            .engine(SimEngine::Replay)
+            .run()
+            .expect("valid request");
+        assert_eq!(bytes(&direct), bytes(&replay), "{domain}: engines disagree");
+    }
+}
+
+#[test]
+fn config_builder_feeds_requests() {
+    let cpu = sapphire_rapids_like();
+    let builder: RunnerConfigBuilder =
+        RunnerConfig::builder().repetitions(2).branch_iterations(128).dcache_threads(1);
+    let cfg = builder.build().expect("valid config");
+    let ms = SimRequest::new()
+        .domain(Domain::Branch)
+        .events(&cpu)
+        .config(&cfg)
+        .run()
+        .expect("valid request");
+    assert_eq!(ms.num_runs(), 2);
+    assert!(RunnerConfig::builder().repetitions(0).build().is_err());
+}

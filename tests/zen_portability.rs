@@ -12,7 +12,7 @@
 use catalyze::basis::{self, Basis};
 use catalyze::pipeline::{AnalysisConfig, AnalysisReport, AnalysisRequest};
 use catalyze::signature::{self, MetricSignature};
-use catalyze_cat::{run_branch, run_cpu_flops, MeasurementSet, RunnerConfig};
+use catalyze_cat::{measure_branch, measure_cpu_flops, MeasurementSet, RunnerConfig};
 use catalyze_sim::zen_like;
 
 fn cfg() -> RunnerConfig {
@@ -44,7 +44,7 @@ fn run_request(
 #[test]
 fn per_precision_metrics_not_composable_on_zen() {
     let set = zen_like();
-    let ms = run_cpu_flops(&set, &cfg());
+    let ms = measure_cpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
     let mut signatures = signature::cpu_flops_signatures();
     signatures.push(signature::all_fp_ops_signature());
     let report = run_request(
@@ -77,7 +77,7 @@ fn per_precision_metrics_not_composable_on_zen() {
 #[test]
 fn branch_metrics_use_different_combinations_on_zen() {
     let set = zen_like();
-    let ms = run_branch(&set, &cfg());
+    let ms = measure_branch(&set, &cfg(), &catalyze_obs::NoopObserver);
     let report = run_request(
         "branch/zen",
         &ms,
@@ -117,7 +117,7 @@ fn branch_metrics_use_different_combinations_on_zen() {
 #[test]
 fn zen_flop_events_survive_noise_and_representation() {
     let set = zen_like();
-    let ms = run_cpu_flops(&set, &cfg());
+    let ms = measure_cpu_flops(&set, &cfg(), &catalyze_obs::NoopObserver);
     let report = run_request(
         "cpu-flops/zen",
         &ms,
@@ -142,11 +142,11 @@ fn zen_cache_metrics_compose_from_amd_events() {
     // so L1 hits compose as `LS_DC_ACCESSES − LS_MAB_ALLOC` (accesses minus
     // miss-buffer allocations).
     use catalyze::basis::CacheRegion;
-    use catalyze_cat::{dcache, run_dcache};
+    use catalyze_cat::{dcache, measure_dcache};
 
     let set = zen_like();
     let cfg = cfg();
-    let ms = run_dcache(&set, &cfg);
+    let ms = measure_dcache(&set, &cfg, &catalyze_obs::NoopObserver);
     let regions: Vec<CacheRegion> = dcache::point_regions(&cfg.core.hierarchy)
         .into_iter()
         .map(|r| match r {
