@@ -8,14 +8,23 @@
 //! byte-identical. Timing comes from the span collector rather than ad-hoc
 //! clocks, so the snapshot measures exactly what traces attribute.
 //!
-//! CI gates on this artifact: `run/dcache` must not regress more than
-//! 1.3x over the committed snapshot and every `bit_identical` flag must
-//! hold.
+//! A second section sweeps the replacement-policy × prefetch matrix
+//! (lru/plru/random × off/on) on the data-cache domain with the stock
+//! geometry rebuilt per policy, reporting per configuration whether the
+//! replay engine took the stream fast path (`fast_path`) and whether the
+//! engines stayed byte-identical — the robustness-sweep configurations
+//! that used to fall back to the reference loop.
+//!
+//! CI gates on this artifact: `run/dcache` and `run/dstore` must not
+//! regress more than 1.3x over the committed snapshot, the dstore replay
+//! speedup must stay ≥ 5x, and every `bit_identical` flag (domain and
+//! policy rows) plus every policy row's `fast_path` flag must hold.
 
 use crate::Scale;
 use catalyze_cat::{Domain, MeasurementSet, RunnerConfig, SimEngine, SimRequest};
 use catalyze_obs::TraceCollector;
-use catalyze_sim::{sapphire_rapids_like, CpuEventSet};
+use catalyze_sim::cache::{CacheConfig, ReplacementPolicy};
+use catalyze_sim::{sapphire_rapids_like, CoreConfig, CpuEventSet};
 
 /// Timing repetitions per engine; the minimum over them is reported.
 fn reps(scale: Scale) -> usize {
@@ -93,6 +102,31 @@ fn best_engine_run(
     best.expect("at least one timing repetition")
 }
 
+/// The replacement-policy × prefetch matrix swept on the data-cache
+/// domain — the robustness-sweep configurations.
+const POLICIES: [(ReplacementPolicy, &str); 3] = [
+    (ReplacementPolicy::Lru, "lru"),
+    (ReplacementPolicy::TreePlru, "plru"),
+    (ReplacementPolicy::Random, "random"),
+];
+
+/// Rebuilds the core's hierarchy with every level on `policy` and the
+/// prefetcher set to `prefetch`, keeping the stock geometry.
+fn core_with_policy(mut core: CoreConfig, policy: ReplacementPolicy, prefetch: bool) -> CoreConfig {
+    let mut h = core.hierarchy;
+    for level in [&mut h.l1, &mut h.l2, &mut h.l3] {
+        *level = CacheConfig::with_policy(
+            level.size_bytes,
+            level.line_bytes,
+            level.associativity,
+            policy,
+        );
+    }
+    h.prefetch_next_line = prefetch;
+    core.hierarchy = h;
+    core
+}
+
 /// Renders the versioned `BENCH_sim.json` snapshot.
 pub fn sim_snapshot(scale: Scale) -> String {
     let set = sapphire_rapids_like();
@@ -116,7 +150,33 @@ pub fn sim_snapshot(scale: Scale) -> String {
             replay.replay_ns,
         ));
     }
-    format!("{{\"version\":1,\"scale\":\"{}\",\"domains\":[{}]}}\n", scale.label(), rows.join(","))
+    // Policy rows certify engine choice and parity, not timing precision,
+    // so a single repetition per configuration suffices.
+    let mut policy_rows = Vec::new();
+    for (policy, label) in POLICIES {
+        for prefetch in [false, true] {
+            let mut pcfg = cfg;
+            pcfg.core = core_with_policy(cfg.core, policy, prefetch);
+            let fast_path = pcfg.core.hierarchy.fast_path_eligible().is_ok();
+            let direct = best_engine_run(1, Domain::Dcache, &set, &pcfg, SimEngine::Direct);
+            let replay = best_engine_run(1, Domain::Dcache, &set, &pcfg, SimEngine::Replay);
+            let identical = serde_json::to_string(&direct.ms).unwrap_or_default()
+                == serde_json::to_string(&replay.ms).unwrap_or_default();
+            let speedup = direct.simulate_ns as f64 / replay.simulate_ns.max(1) as f64;
+            policy_rows.push(format!(
+                "{{\"policy\":\"{label}\",\"prefetch\":{prefetch},\
+                 \"fast_path\":{fast_path},\"direct_ns\":{},\"replay_ns\":{},\
+                 \"speedup\":{speedup:.3},\"bit_identical\":{identical}}}",
+                direct.simulate_ns, replay.simulate_ns,
+            ));
+        }
+    }
+    format!(
+        "{{\"version\":2,\"scale\":\"{}\",\"domains\":[{}],\"policies\":[{}]}}\n",
+        scale.label(),
+        rows.join(","),
+        policy_rows.join(","),
+    )
 }
 
 #[cfg(test)]
@@ -127,7 +187,7 @@ mod tests {
     fn snapshot_is_valid_versioned_json_with_identical_engines() {
         let snapshot = sim_snapshot(Scale::Fast);
         let parsed: serde_json::Value = serde_json::from_str(&snapshot).unwrap();
-        assert_eq!(parsed["version"].as_u64(), Some(1));
+        assert_eq!(parsed["version"].as_u64(), Some(2));
         assert_eq!(parsed["scale"].as_str(), Some("fast"));
         let rows = parsed["domains"].as_array().unwrap();
         assert_eq!(rows.len(), DOMAINS.len());
@@ -142,5 +202,20 @@ mod tests {
         let dcache = rows.iter().find(|r| r["domain"].as_str() == Some("dcache")).unwrap();
         assert!(dcache["record_phase_ns"].as_u64().unwrap() > 0);
         assert!(dcache["replay_phase_ns"].as_u64().unwrap() > 0);
+        // Every robustness-sweep configuration takes the fast path and
+        // keeps the engines byte-identical.
+        let policies = parsed["policies"].as_array().unwrap();
+        assert_eq!(policies.len(), POLICIES.len() * 2);
+        for row in policies {
+            let tag = format!(
+                "{}/prefetch={}",
+                row["policy"].as_str().unwrap(),
+                row["prefetch"].as_bool().unwrap()
+            );
+            assert_eq!(row["fast_path"].as_bool(), Some(true), "{tag} fell off the fast path");
+            assert_eq!(row["bit_identical"].as_bool(), Some(true), "{tag} engines diverged");
+            assert!(row["direct_ns"].as_u64().unwrap() > 0, "{tag}");
+            assert!(row["replay_ns"].as_u64().unwrap() > 0, "{tag}");
+        }
     }
 }

@@ -104,8 +104,13 @@ pub fn point_regions(h: &HierarchyConfig) -> Vec<Region> {
 
 /// Warmup passes.
 pub const WARMUP_PASSES: u64 = 2;
-/// Measured passes.
-pub const MEASURE_PASSES: u64 = 2;
+/// Measured passes. Normalized per-store rates are window-independent in
+/// steady state, and the replay engine's keyed memo collapses measured
+/// passes without re-driving the stream, so a longer window costs replay
+/// nothing while amortizing the direct engine's per-pass work — the same
+/// lever the dcache domain uses, stretched further because this domain's
+/// footprints are smaller.
+pub const MEASURE_PASSES: u64 = 16;
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,7 @@ use catalyze_events::EventId;
 use catalyze_obs::{NoopObserver, Observer, Span};
 use catalyze_sim::{
     CoreConfig, Cpu, CpuEventSet, CpuPmu, ExecStats, GpuConfig, GpuDevice, GpuEventSet, GpuStats,
-    KernelTrace, PmuConfig, Program,
+    KernelTrace, PmuConfig, Program, StreamStats,
 };
 use rayon::prelude::*;
 
@@ -108,6 +108,35 @@ fn record_runner_counters(obs: &dyn Observer, points: usize, events: usize, repe
     obs.counter("runner.repetitions", repetitions as u64);
 }
 
+/// Publishes which engine actually served a CPU runner, plus the stream
+/// engine's memo counters summed over the sweep's cores.
+///
+/// `runner.engine` encodes `0` = `Direct` reference execution, `1` =
+/// `Replay` taking the stream fast path, `2` = `Replay` falling back to
+/// the reference per-access loop (the hierarchy failed
+/// `fast_path_eligible`, e.g. pseudo-LRU wider than 32 ways).
+fn record_engine_counters(
+    obs: &dyn Observer,
+    core: &CoreConfig,
+    engine: SimEngine,
+    stream: StreamStats,
+) {
+    let code = match engine {
+        SimEngine::Direct => 0,
+        SimEngine::Replay => {
+            if core.hierarchy.fast_path_eligible().is_ok() {
+                1
+            } else {
+                2
+            }
+        }
+    };
+    obs.counter("runner.engine", code);
+    obs.counter("stream.memo_hits", stream.memo_hits);
+    obs.counter("stream.memo_misses", stream.memo_misses);
+    obs.counter("stream.passes_collapsed", stream.passes_collapsed);
+}
+
 /// Collects per-point stats and reads all events, normalized by `norm`.
 ///
 /// The greedy counter scheduling is deterministic in `(set, events)`, so
@@ -153,36 +182,55 @@ fn simulate_sweep<F>(
     program_of: F,
     obs: &dyn Observer,
     engine: SimEngine,
-) -> Vec<ExecStats>
+) -> (Vec<ExecStats>, StreamStats)
 where
     F: Fn(usize) -> Program + Sync,
 {
     let points: Vec<usize> = (0..n_points).collect();
     match engine {
-        SimEngine::Direct => points
-            .iter()
-            .map(|&p| {
-                let mut cpu = Cpu::new(core);
-                cpu.run(&program_of(p));
-                cpu.stats()
-            })
-            .collect(),
+        SimEngine::Direct => (
+            points
+                .iter()
+                .map(|&p| {
+                    let mut cpu = Cpu::new(core);
+                    cpu.run(&program_of(p));
+                    cpu.stats()
+                })
+                .collect(),
+            StreamStats::default(),
+        ),
         SimEngine::Replay => {
             let traces: Vec<KernelTrace> = {
                 let _s = Span::enter(obs, "record");
                 points.par_iter().map(|&p| KernelTrace::record(&program_of(p))).collect()
             };
             let _s = Span::enter(obs, "replay");
-            traces
+            let results: Vec<(ExecStats, StreamStats)> = traces
                 .par_iter()
                 .map(|t| {
                     let mut cpu = Cpu::new(core);
                     cpu.replay(t);
-                    cpu.stats()
+                    (cpu.stats(), cpu.stream_stats())
                 })
-                .collect()
+                .collect();
+            fold_stream_stats(results)
         }
     }
+}
+
+/// Splits per-core (stats, stream-counter) pairs, summing the counters in
+/// input order — a deterministic sequential fold over the already-collected
+/// parallel results.
+fn fold_stream_stats(results: Vec<(ExecStats, StreamStats)>) -> (Vec<ExecStats>, StreamStats) {
+    let mut stream = StreamStats::default();
+    let stats = results
+        .into_iter()
+        .map(|(s, per_cpu)| {
+            stream.merge(per_cpu);
+            s
+        })
+        .collect();
+    (stats, stream)
 }
 
 /// Simulates a warmup-then-measure sweep (the memory-chase domains) on the
@@ -200,22 +248,25 @@ fn simulate_chase_sweep<F>(
     measure_passes: u64,
     obs: &dyn Observer,
     engine: SimEngine,
-) -> Vec<ExecStats>
+) -> (Vec<ExecStats>, StreamStats)
 where
     F: Fn(usize, u64) -> Program + Sync,
 {
     let points: Vec<usize> = (0..n_points).collect();
     match engine {
-        SimEngine::Direct => points
-            .iter()
-            .map(|&p| {
-                let mut cpu = Cpu::new(core);
-                cpu.run(&program_of(p, warmup_passes));
-                cpu.reset_stats();
-                cpu.run(&program_of(p, measure_passes));
-                cpu.stats()
-            })
-            .collect(),
+        SimEngine::Direct => (
+            points
+                .iter()
+                .map(|&p| {
+                    let mut cpu = Cpu::new(core);
+                    cpu.run(&program_of(p, warmup_passes));
+                    cpu.reset_stats();
+                    cpu.run(&program_of(p, measure_passes));
+                    cpu.stats()
+                })
+                .collect(),
+            StreamStats::default(),
+        ),
         SimEngine::Replay => {
             let traces: Vec<KernelTrace> = {
                 let _s = Span::enter(obs, "record");
@@ -225,16 +276,17 @@ where
                     .collect()
             };
             let _s = Span::enter(obs, "replay");
-            traces
+            let results: Vec<(ExecStats, StreamStats)> = traces
                 .par_iter()
                 .map(|t| {
                     let mut cpu = Cpu::new(core);
                     cpu.replay_passes(t, warmup_passes);
                     cpu.reset_stats();
                     cpu.replay_passes(t, measure_passes);
-                    cpu.stats()
+                    (cpu.stats(), cpu.stream_stats())
                 })
-                .collect()
+                .collect();
+            fold_stream_stats(results)
         }
     }
 }
@@ -261,7 +313,7 @@ pub(crate) fn cpu_flops_with_engine(
     let kernels = flops_cpu::kernel_space();
     let points: Vec<(usize, usize)> =
         (0..kernels.len()).flat_map(|k| (0..3).map(move |l| (k, l))).collect();
-    let stats = {
+    let (stats, stream) = {
         let _s = Span::enter(obs, "simulate");
         simulate_sweep(
             cfg.core,
@@ -281,6 +333,7 @@ pub(crate) fn cpu_flops_with_engine(
         read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, points.len(), set.len(), cfg.repetitions);
+    record_engine_counters(obs, &cfg.core, engine, stream);
     MeasurementSet {
         domain: "cpu-flops".into(),
         point_labels: flops_cpu::point_labels(),
@@ -303,7 +356,7 @@ pub(crate) fn branch_with_engine(
 ) -> MeasurementSet {
     let _root = Span::enter(obs, "run/branch");
     let kernels = branch::kernel_space();
-    let stats = {
+    let (stats, stream) = {
         let _s = Span::enter(obs, "simulate");
         simulate_sweep(
             cfg.core,
@@ -320,6 +373,7 @@ pub(crate) fn branch_with_engine(
         read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, kernels.len(), set.len(), cfg.repetitions);
+    record_engine_counters(obs, &cfg.core, engine, stream);
     MeasurementSet {
         domain: "branch".into(),
         point_labels: branch::point_labels(),
@@ -376,13 +430,14 @@ pub(crate) fn dcache_threads_with_engine(
     let h = cfg.core.hierarchy;
     let configs = dcache::sweep(&h);
     // Each thread chases its own permutation over a disjoint buffer.
+    let mut stream = StreamStats::default();
     let all_stats: Vec<Vec<ExecStats>> = {
         let _s = Span::enter(obs, "simulate");
         (0..cfg.dcache_threads)
             .map(|thread| {
                 let _t = Span::enter(obs, &format!("thread={thread}"));
                 let base = (thread as u64 + 1) << 40;
-                simulate_chase_sweep(
+                let (stats, per_thread) = simulate_chase_sweep(
                     cfg.core,
                     configs.len(),
                     |p, passes| {
@@ -393,10 +448,13 @@ pub(crate) fn dcache_threads_with_engine(
                     dcache::MEASURE_PASSES,
                     obs,
                     engine,
-                )
+                );
+                stream.merge(per_thread);
+                stats
             })
             .collect()
     };
+    record_engine_counters(obs, &cfg.core, engine, stream);
     let norms: Vec<f64> =
         configs.iter().map(|c| (c.pointers * dcache::MEASURE_PASSES) as f64).collect();
     let pmu = CpuPmu::new(cfg.pmu);
@@ -447,7 +505,7 @@ pub(crate) fn dtlb_with_engine(
     let _root = Span::enter(obs, "run/dtlb");
     let tlb = cfg.core.tlb;
     let configs = crate::dtlb::sweep(&tlb);
-    let stats = {
+    let (stats, stream) = {
         let _s = Span::enter(obs, "simulate");
         simulate_chase_sweep(
             cfg.core,
@@ -467,6 +525,7 @@ pub(crate) fn dtlb_with_engine(
         read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
+    record_engine_counters(obs, &cfg.core, engine, stream);
     MeasurementSet {
         domain: "dtlb".into(),
         point_labels: crate::dtlb::point_labels(&tlb),
@@ -490,7 +549,7 @@ pub(crate) fn dstore_with_engine(
     let _root = Span::enter(obs, "run/dstore");
     let h = cfg.core.hierarchy;
     let configs = crate::dstore::sweep(&h);
-    let stats = {
+    let (stats, stream) = {
         let _s = Span::enter(obs, "simulate");
         simulate_chase_sweep(
             cfg.core,
@@ -510,6 +569,7 @@ pub(crate) fn dstore_with_engine(
         read_all_cpu(set, &pmu, &stats, &norms, cfg.repetitions, 0)
     };
     record_runner_counters(obs, configs.len(), set.len(), cfg.repetitions);
+    record_engine_counters(obs, &cfg.core, engine, stream);
     MeasurementSet {
         domain: "dstore".into(),
         point_labels: crate::dstore::point_labels(&h),
@@ -761,6 +821,11 @@ mod tests {
         assert_eq!(trace.counter_value("runner.points"), Some(11));
         assert_eq!(trace.counter_value("runner.repetitions"), Some(3));
         assert!(trace.counter_value("runner.events").unwrap() > 0);
+        // Default engine is Replay with an eligible hierarchy (= 1).
+        assert_eq!(trace.counter_value("runner.engine"), Some(1));
+        assert!(trace.counter_value("stream.memo_hits").is_some());
+        assert!(trace.counter_value("stream.memo_misses").is_some());
+        assert!(trace.counter_value("stream.passes_collapsed").is_some());
         // The noop-observer path produces the same measurements.
         let plain = measure_branch(&set, &cfg, &NoopObserver);
         assert_eq!(plain.runs, ms.runs);
@@ -778,6 +843,12 @@ mod tests {
         // + read-counters + median.
         assert_eq!(trace.span_count(), 10);
         assert_eq!(trace.counter_value("runner.dcache_threads"), Some(2));
+        // The chase sweeps are long enough to exercise collapse and the
+        // cross-call memo: every point's measure phase hits the fixed
+        // point its warmup phase memoized.
+        assert_eq!(trace.counter_value("runner.engine"), Some(1));
+        assert!(trace.counter_value("stream.passes_collapsed").unwrap() > 0);
+        assert!(trace.counter_value("stream.memo_hits").unwrap() > 0);
     }
 
     #[test]

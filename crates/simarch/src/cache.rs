@@ -218,45 +218,8 @@ impl Cache {
         let ways = self.cfg.associativity as usize;
         let num_sets = self.cfg.num_sets();
         let set_index = (base / ways) as u64;
-        // Prefer an invalid way; otherwise evict per the configured policy.
-        // Under true LRU the two collapse into one argmin scan: an invalid
-        // way's zero stamp is the unconditional minimum, and first-wins
-        // tiebreaking matches the old first-free-way preference.
         let set = base / ways;
-        let victim = match self.cfg.policy {
-            ReplacementPolicy::Lru => {
-                let mut best = 0usize;
-                let mut best_lru = u64::MAX;
-                for (i, &stamp) in self.lru[base..base + ways].iter().enumerate() {
-                    if stamp < best_lru {
-                        best_lru = stamp;
-                        best = i;
-                    }
-                }
-                base + best
-            }
-            ReplacementPolicy::TreePlru | ReplacementPolicy::Random => {
-                match self.lru[base..base + ways].iter().position(|&s| s == 0) {
-                    Some(free) => base + free,
-                    None => {
-                        let w = match self.cfg.policy {
-                            ReplacementPolicy::TreePlru => {
-                                plru_victim(self.plru[set], self.cfg.associativity) as usize
-                            }
-                            _ => {
-                                // xorshift64*
-                                self.rng_state ^= self.rng_state >> 12;
-                                self.rng_state ^= self.rng_state << 25;
-                                self.rng_state ^= self.rng_state >> 27;
-                                (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize
-                                    % ways
-                            }
-                        };
-                        base + w
-                    }
-                }
-            }
-        };
+        let victim = self.select_victim(base);
         let evicted = if self.lru[victim] != 0 {
             Some((self.tags[victim] * num_sets + set_index) * self.cfg.line_bytes)
         } else {
@@ -268,10 +231,68 @@ impl Cache {
         evicted
     }
 
+    /// Picks the way to displace in the set starting at `base` (prefer an
+    /// invalid way; otherwise evict per the configured policy). The stamp
+    /// argmin scan is shared by every policy: an invalid way's zero stamp
+    /// is the unconditional minimum and first-wins tiebreaking matches the
+    /// first-free-way preference, so [`Cache::policy_victim`] only runs
+    /// when the set is full (`best_lru != 0`). Shared between
+    /// [`Cache::fill`] and [`Cache::fill_fast`] so both engines draw from
+    /// the same xorshift sequence.
+    #[inline]
+    fn select_victim(&mut self, base: usize) -> usize {
+        let ways = self.cfg.associativity as usize;
+        let mut victim = base;
+        let mut best_lru = u64::MAX;
+        // lint: allow(reachable_panic): base is a set index times associativity, in range by construction
+        for (i, &stamp) in self.lru[base..base + ways].iter().enumerate() {
+            if stamp < best_lru {
+                best_lru = stamp;
+                victim = base + i;
+            }
+        }
+        if best_lru != 0 && self.cfg.policy != ReplacementPolicy::Lru {
+            victim = self.policy_victim(base);
+        }
+        victim
+    }
+
+    /// Victim choice in a *full* set for the non-LRU policies. Out of line
+    /// on purpose: inlining the pLRU tree walk and the xorshift draw into
+    /// the fill hot loops costs the dominant LRU configuration ~40% on the
+    /// dcache replay even when the policy branch is never taken.
+    #[inline(never)]
+    fn policy_victim(&mut self, base: usize) -> usize {
+        let ways = self.cfg.associativity as usize;
+        let w = match self.cfg.policy {
+            // Unreachable from `select_victim`; kept total so this stays a
+            // plain function of the policy (the argmin is the LRU victim).
+            ReplacementPolicy::Lru => {
+                // lint: allow(reachable_panic): base is a set index times associativity, in range by construction
+                let lru = &self.lru[base..base + ways];
+                (0..ways).min_by_key(|&i| lru[i]).unwrap_or(0)
+            }
+            ReplacementPolicy::TreePlru => {
+                // lint: allow(reachable_panic): base/ways is the set index, in range by construction
+                plru_victim(self.plru[base / ways], self.cfg.associativity) as usize
+            }
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                self.rng_state ^= self.rng_state >> 12;
+                self.rng_state ^= self.rng_state << 25;
+                self.rng_state ^= self.rng_state >> 27;
+                (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % ways
+            }
+        };
+        base + w
+    }
+
     /// Fast-path lookup for the stream replay engine: the exact hit/stamp
     /// behavior of [`Cache::access`] minus statistics (tallied in bulk by
-    /// the caller) and pLRU maintenance. Only valid under
-    /// [`ReplacementPolicy::Lru`], where the pLRU word is never consulted.
+    /// the caller). The pLRU word is maintained only under
+    /// [`ReplacementPolicy::TreePlru`] — the one policy that consults it —
+    /// so LRU/Random probes skip the tree walk without changing any
+    /// observable state.
     #[inline]
     pub(crate) fn probe_fast(&mut self, addr: u64) -> bool {
         self.clock += 1;
@@ -280,6 +301,13 @@ impl Cache {
         for w in 0..ways {
             if self.lru[base + w] != 0 && self.tags[base + w] == tag {
                 self.lru[base + w] = self.clock;
+                if self.cfg.policy == ReplacementPolicy::TreePlru {
+                    touch_plru_outlined(
+                        &mut self.plru[base / ways],
+                        w as u32,
+                        self.cfg.associativity,
+                    );
+                }
                 return true;
             }
         }
@@ -287,8 +315,8 @@ impl Cache {
     }
 
     /// Fast-path install: the exact victim choice and stamping of
-    /// [`Cache::fill`] under [`ReplacementPolicy::Lru`], minus the evicted
-    /// address reconstruction and pLRU touch.
+    /// [`Cache::fill`] under every policy, minus the evicted address
+    /// reconstruction; the pLRU touch runs only when the policy reads it.
     #[inline]
     pub(crate) fn fill_fast(&mut self, addr: u64) {
         self.clock += 1;
@@ -302,29 +330,87 @@ impl Cache {
                 victim = base + i;
             }
         }
+        if best_lru != 0 && self.cfg.policy != ReplacementPolicy::Lru {
+            victim = self.policy_victim(base);
+        }
         self.tags[victim] = tag;
         self.lru[victim] = self.clock;
+        if self.cfg.policy == ReplacementPolicy::TreePlru {
+            touch_plru_outlined(
+                &mut self.plru[base / ways],
+                (victim - base) as u32,
+                self.cfg.associativity,
+            );
+        }
     }
 
-    /// Appends this cache's behavioral state: per set, the number of valid
-    /// ways followed by their tags in LRU-to-MRU stamp order. Under pure
-    /// LRU, two caches with equal canonical state make identical hit and
-    /// victim decisions on any future stream — absolute stamp values and
-    /// way positions are unobservable.
+    /// Exact state transition of [`Cache::access`] with no statistics at
+    /// all — the reference prefetcher's probe, which must not perturb
+    /// demand hit/miss counters.
+    #[inline]
+    pub(crate) fn probe_silent(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = self.cfg.associativity as usize;
+        for w in 0..ways {
+            if self.lru[base + w] != 0 && self.tags[base + w] == tag {
+                self.lru[base + w] = self.clock;
+                touch_plru(&mut self.plru[base / ways], w as u32, self.cfg.associativity);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Appends this cache's behavioral state — everything a future access
+    /// stream can observe, and nothing it cannot. The form depends on the
+    /// policy because each policy observes different parts of the state:
+    ///
+    /// * **LRU** — per set, the number of valid ways followed by their tags
+    ///   in LRU-to-MRU stamp order. Absolute stamp values and way
+    ///   *positions* are unobservable (hits scan all ways; the victim is a
+    ///   stamp argmin), so recency order is the whole story.
+    /// * **TreePlru** — the per-set pLRU bit-tree word, then per way a
+    ///   `(valid, tag)` pair in way order. Positions *are* observable
+    ///   (free-way search is by position; `plru_victim` returns a way
+    ///   index), while stamps matter only through validity.
+    /// * **Random** — the xorshift state once, then per-way `(valid, tag)`
+    ///   pairs in way order, same observability argument as TreePlru with
+    ///   the RNG standing in for the tree word.
     pub(crate) fn canonical_into(&self, out: &mut Vec<u64>) {
         let ways = self.cfg.associativity as usize;
-        let mut set_buf: Vec<(u64, u64)> = Vec::with_capacity(ways);
-        for set in 0..self.cfg.num_sets() as usize {
-            let base = set * ways;
-            set_buf.clear();
-            for w in 0..ways {
-                if self.lru[base + w] != 0 {
-                    set_buf.push((self.lru[base + w], self.tags[base + w]));
+        match self.cfg.policy {
+            ReplacementPolicy::Lru => {
+                let mut set_buf: Vec<(u64, u64)> = Vec::with_capacity(ways);
+                for set in 0..self.cfg.num_sets() as usize {
+                    let base = set * ways;
+                    set_buf.clear();
+                    for w in 0..ways {
+                        if self.lru[base + w] != 0 {
+                            set_buf.push((self.lru[base + w], self.tags[base + w]));
+                        }
+                    }
+                    set_buf.sort_unstable();
+                    out.push(set_buf.len() as u64);
+                    out.extend(set_buf.iter().map(|&(_, tag)| tag));
                 }
             }
-            set_buf.sort_unstable();
-            out.push(set_buf.len() as u64);
-            out.extend(set_buf.iter().map(|&(_, tag)| tag));
+            ReplacementPolicy::TreePlru | ReplacementPolicy::Random => {
+                if self.cfg.policy == ReplacementPolicy::Random {
+                    out.push(self.rng_state);
+                }
+                for set in 0..self.cfg.num_sets() as usize {
+                    let base = set * ways;
+                    if self.cfg.policy == ReplacementPolicy::TreePlru {
+                        out.push(u64::from(self.plru[set]));
+                    }
+                    for w in 0..ways {
+                        let valid = self.lru[base + w] != 0;
+                        out.push(u64::from(valid));
+                        out.push(if valid { self.tags[base + w] } else { 0 });
+                    }
+                }
+            }
         }
     }
 
@@ -356,6 +442,15 @@ impl Cache {
 
 /// Marks way `w` most-recently-used in a tree-pLRU bit word: walk from the
 /// root, flipping each internal node to point *away* from the taken path.
+/// Out-of-line [`touch_plru`] for the fast-path hot loops: keeps the tree
+/// walk's code out of `probe_fast`/`fill_fast`, whose scan loops would
+/// otherwise pay a codegen penalty on every policy for maintenance only
+/// tree-pLRU needs (measured ~40% on the LRU dcache replay when inlined).
+#[inline(never)]
+fn touch_plru_outlined(state: &mut u32, w: u32, ways: u32) {
+    touch_plru(state, w, ways);
+}
+
 fn touch_plru(state: &mut u32, w: u32, ways: u32) {
     if ways < 2 {
         return;

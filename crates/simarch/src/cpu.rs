@@ -338,11 +338,13 @@ impl Cpu {
         }
         // The stateful residue: drive TLB and hierarchy with the recorded
         // stream, batched per same-kind run, preserving per-unit order.
-        // Pure-LRU hierarchies take the stream engine's fast path, which
-        // hoists per-access bookkeeping and collapses steady-state passes
-        // analytically; other configurations keep this reference loop.
+        // Eligible hierarchies (every policy, prefetch on or off — see
+        // `FastPathIneligible` for the one exclusion) take the stream
+        // engine's fast path, which hoists per-access bookkeeping and
+        // collapses steady-state passes analytically; the rest keep this
+        // reference loop.
         let t = self.cfg.timing;
-        if self.hierarchy.lru_fast_path() {
+        if self.hierarchy.fast_path_eligible().is_ok() {
             self.penalty_cycles += crate::stream::replay_mem(
                 &mut self.tlb,
                 &mut self.hierarchy,
@@ -445,6 +447,14 @@ impl Cpu {
         s.memory = self.hierarchy.stats();
         s.tlb = self.tlb.stats;
         s
+    }
+
+    /// Stream-engine counters (memo hits/misses, collapsed passes) for the
+    /// observer layer — separate from [`Cpu::stats`] because they describe
+    /// the *engine*, not the simulated hardware, and must never enter a
+    /// `MeasurementSet`.
+    pub fn stream_stats(&self) -> crate::stream::StreamStats {
+        self.stream_memo.stats()
     }
 
     /// Clears statistics but keeps microarchitectural state (warm caches,

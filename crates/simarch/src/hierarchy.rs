@@ -1,6 +1,6 @@
 //! Three-level data-cache hierarchy with a next-line prefetcher.
 
-use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Where in the hierarchy a demand access was satisfied.
@@ -14,6 +14,21 @@ pub enum MemLevel {
     L3,
     /// Main memory.
     Memory,
+}
+
+/// Why a hierarchy configuration cannot take the stream replay fast path.
+///
+/// Since the fast engine learned every replacement policy and the
+/// prefetcher, the only remaining exclusion is structural: the tree-pLRU
+/// bit word is a `u32`, which addresses internal nodes for at most 32
+/// ways. Wider pseudo-LRU caches would overflow the tree walk in *both*
+/// engines, so the fast path declines them and leaves the reference loop
+/// (and its debug-mode shift check) as the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPathIneligible {
+    /// A level uses [`ReplacementPolicy::TreePlru`] with more than 32
+    /// ways — the per-set `u32` bit-tree word cannot index that tree.
+    PlruTooWide(MemLevel),
 }
 
 /// Hierarchy geometry.
@@ -42,6 +57,21 @@ impl HierarchyConfig {
             l3: CacheConfig::new(1024 * 1024, 64, 16),
             prefetch_next_line: false,
         }
+    }
+
+    /// Checks whether this geometry can take the stream replay fast path,
+    /// naming the offending level when it cannot. Every replacement policy
+    /// and the next-line prefetcher are supported; see
+    /// [`FastPathIneligible`] for the one structural exclusion.
+    pub fn fast_path_eligible(&self) -> Result<(), FastPathIneligible> {
+        for (cfg, level) in
+            [(self.l1, MemLevel::L1), (self.l2, MemLevel::L2), (self.l3, MemLevel::L3)]
+        {
+            if cfg.policy == ReplacementPolicy::TreePlru && cfg.associativity > 32 {
+                return Err(FastPathIneligible::PlruTooWide(level));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -164,17 +194,15 @@ impl Hierarchy {
             }
         }
         if self.prefetch && level != MemLevel::L1 {
-            // Next-line prefetch into L1 only; counted, never attributed to
-            // demand statistics.
-            let next = addr + u64::from(self.l1.config().line_bytes as u32);
-            if !self.l1.access(next, AccessKind::Read) {
+            // Next-line prefetch into L1 only. The probe is stats-silent so
+            // demand counters stay demand-only: the old `access`-then-
+            // compensate scheme charged a phantom read hit when the next
+            // line was resident and swallowed a real demand miss when the
+            // compensation fired against the wrong bucket.
+            let next = addr + self.l1.config().line_bytes;
+            if !self.l1.probe_silent(next) {
                 self.l1.fill(next);
                 self.stats.prefetch_fills += 1;
-            }
-            // The probe access above perturbs L1 stats; compensate so demand
-            // counters stay demand-only.
-            if self.l1.stats.read_misses > 0 {
-                self.l1.stats.read_misses -= 1;
             }
         }
         level
@@ -197,14 +225,39 @@ impl Hierarchy {
         counts
     }
 
-    /// True when every level is pure LRU and the prefetcher is disabled —
-    /// the precondition for the stream replay engine's fast path (pLRU
-    /// state and the prefetch probe are the only things that path skips).
-    pub(crate) fn lru_fast_path(&self) -> bool {
-        !self.prefetch
-            && self.l1.config().policy == crate::cache::ReplacementPolicy::Lru
-            && self.l2.config().policy == crate::cache::ReplacementPolicy::Lru
-            && self.l3.config().policy == crate::cache::ReplacementPolicy::Lru
+    /// Whether this hierarchy can take the stream replay fast path (see
+    /// [`HierarchyConfig::fast_path_eligible`] for the reason enum).
+    pub(crate) fn fast_path_eligible(&self) -> Result<(), FastPathIneligible> {
+        self.config().fast_path_eligible()
+    }
+
+    /// Whether the next-line prefetcher is enabled — hoisted by the stream
+    /// engine so the per-access loop branches on a local.
+    pub(crate) fn prefetch_enabled(&self) -> bool {
+        self.prefetch
+    }
+
+    /// Fast-path next-line prefetch after a demand access satisfied below
+    /// L1: probe L1 for `addr`'s successor line and fill on miss. Returns
+    /// `true` when a fill was issued so the stream engine can tally it.
+    /// State-identical to the reference prefetch block in
+    /// [`Hierarchy::access`] (`probe_silent` + `fill` there), minus the
+    /// evicted-address reconstruction and the `prefetch_fills` bump, which
+    /// the tally flushes in bulk.
+    #[inline]
+    pub(crate) fn prefetch_fast(&mut self, addr: u64) -> bool {
+        let next = addr + self.l1.config().line_bytes;
+        if self.l1.probe_fast(next) {
+            false
+        } else {
+            self.l1.fill_fast(next);
+            true
+        }
+    }
+
+    /// Bulk `prefetch_fills` flush from the stream replay engine.
+    pub(crate) fn add_prefetch_fills(&mut self, n: u64) {
+        self.stats.prefetch_fills += n;
     }
 
     /// Fast-path access: the exact lookup/fill/clock sequence of
@@ -373,6 +426,35 @@ mod tests {
         assert!(h.stats().prefetch_fills >= 1);
         // The next line was prefetched into L1.
         assert_eq!(h.access(64, AccessKind::Read), MemLevel::L1);
+    }
+
+    #[test]
+    fn prefetch_probe_leaves_demand_counters_pure() {
+        let mut h = Hierarchy::new(HierarchyConfig { prefetch_next_line: true, ..tiny().config() });
+        // Make line 256's line resident (and its successor 320 via prefetch),
+        // then demand-miss on 192 so the prefetch probe *hits* on 256. The
+        // probe must not record a phantom read hit or eat the demand miss.
+        h.access(256, AccessKind::Read);
+        h.access(192, AccessKind::Read);
+        let s = h.stats();
+        assert_eq!(s.l1.read_misses, 2, "two demand misses, nothing else");
+        assert_eq!(s.l1.read_hits, 0, "prefetch probes are stats-silent");
+        assert_eq!(s.loads_miss_l1, 2);
+    }
+
+    #[test]
+    fn fast_path_eligibility_names_the_wide_plru_level() {
+        let mut cfg = tiny().config();
+        assert_eq!(cfg.fast_path_eligible(), Ok(()));
+        cfg.prefetch_next_line = true;
+        assert_eq!(cfg.fast_path_eligible(), Ok(()), "prefetch is supported");
+        cfg.l2 = CacheConfig::with_policy(
+            64 * 64 * 64,
+            64,
+            64,
+            crate::cache::ReplacementPolicy::TreePlru,
+        );
+        assert_eq!(cfg.fast_path_eligible(), Err(FastPathIneligible::PlruTooWide(MemLevel::L2)));
     }
 
     #[test]

@@ -2,36 +2,44 @@
 //!
 //! [`crate::cpu::Cpu::replay_passes`] spends almost all of its time
 //! re-driving the TLB and cache hierarchy with a recorded address stream,
-//! one pass per loop trip. This module replays that stream with two exact
-//! optimizations:
+//! one pass per loop trip. This module replays that stream with three
+//! exact optimizations:
 //!
 //! * **Hoisted bookkeeping.** Each access runs the same lookup / victim /
 //!   stamp sequence as [`crate::hierarchy::Hierarchy::access`], but the
-//!   per-access statistics dispatch, load-level attribution, latency
-//!   arithmetic, and pLRU maintenance are replaced by four bulk counters
-//!   (accesses satisfied per level, split by kind) flushed once per pass.
-//! * **Steady-state pass collapse.** Set-associative LRU state is fully
-//!   described, behaviorally, by each set's valid tags in recency order —
-//!   absolute stamp values never matter, only their per-set order. When
-//!   the canonical state before a pass equals the canonical state before
-//!   the previous pass, every remaining pass must repeat that pass's
-//!   decisions exactly, so the remaining trips are settled analytically:
-//!   stats, penalties, and clock advances are multiplied out and the
-//!   stream is never touched again.
+//!   per-access statistics dispatch, load-level attribution, and latency
+//!   arithmetic are replaced by bulk counters (accesses satisfied per
+//!   level, split by kind, plus prefetch probes and fills) flushed once
+//!   per pass.
+//! * **Steady-state pass collapse.** Unit state is folded to a *canonical
+//!   form* capturing exactly what a future stream can observe — per-set
+//!   recency order under LRU, per-way `(valid, tag)` pairs plus the pLRU
+//!   bit word under TreePlru, the same plus the xorshift state under
+//!   Random (see `Cache::canonical_into`). When the canonical state
+//!   before a pass equals the canonical state before the previous pass,
+//!   every remaining pass must repeat that pass's decisions exactly, so
+//!   the remaining trips are settled analytically: stats, penalties, and
+//!   clock advances are multiplied out and the stream is never touched
+//!   again.
 //! * **Cross-call memoization.** In-call collapse still needs one driven
 //!   pass as its comparison point, so the warmup-then-measure call pair
 //!   every runner issues would drive a measured pass anyway. The
-//!   [`StreamMemo`] carries the last driven pass (stream copy, canonical
-//!   pre-state, tally) across calls: a measure call whose entry state
-//!   matches that fixed point collapses all of its trips without touching
-//!   the stream once.
+//!   [`StreamMemo`] carries driven fixed-point candidates (stream copy,
+//!   canonical pre-state, tally) across calls in a small table keyed by
+//!   stream identity: a call whose entry state matches the canonical
+//!   state a previous driven pass over the same stream started from
+//!   collapses all of its trips without touching the stream once. The
+//!   table holds [`MEMO_CAPACITY`] streams so multi-segment kernels
+//!   (dstore's mixed load/store program) keep one entry per segment
+//!   instead of thrashing a single slot.
 //!
-//! The fast path is only taken when every hierarchy level uses pure LRU
-//! and the prefetcher is disabled ([`Hierarchy::lru_fast_path`]); other
-//! configurations keep the reference per-access loop in `cpu.rs`. The
-//! parity tests below pin bit-identical statistics, penalties, and future
-//! behavior against that reference for fitting, thrashing, and mixed
-//! streams.
+//! The fast path covers every replacement policy and the next-line
+//! prefetcher; [`crate::hierarchy::HierarchyConfig::fast_path_eligible`]
+//! names the one structural exclusion (pseudo-LRU wider than 32 ways).
+//! The parity tests below pin bit-identical statistics, penalties,
+//! prefetch fills, and future behavior against the reference loop for
+//! fitting, thrashing, and mixed streams under every policy × prefetch
+//! combination.
 
 use crate::cache::AccessKind;
 use crate::cpu::TimingConfig;
@@ -45,11 +53,18 @@ use crate::trace::MemRun;
 /// either way.
 const COLLAPSE_MIN_ACCESSES: u64 = 2048;
 
+/// Memoized streams kept per [`StreamMemo`]. The runners' kernels have at
+/// most a handful of distinct segments (dstore interleaves two), so a
+/// small table already removes all cross-segment thrashing; the bound
+/// keeps the per-pass lookup a short linear scan and the per-`Cpu`
+/// footprint predictable.
+const MEMO_CAPACITY: usize = 8;
+
 /// Everything one pass over the stream did, bucketed by the level that
 /// satisfied each access and by access kind. All derived statistics
-/// (per-level hit/miss splits, load attribution, latency penalties, and
-/// per-unit clock advances) are linear in these buckets, which is what
-/// makes collapsed passes exact.
+/// (per-level hit/miss splits, load attribution, prefetch fills, latency
+/// penalties, and per-unit clock advances) are linear in these buckets,
+/// which is what makes collapsed passes exact.
 #[derive(Debug, Default, Clone, Copy)]
 struct PassTally {
     /// Demand reads satisfied at L1/L2/L3/memory.
@@ -60,26 +75,41 @@ struct PassTally {
     tlb_hits: u64,
     /// TLB misses (page walks).
     tlb_misses: u64,
+    /// Next-line prefetch probes issued (one per access satisfied below
+    /// L1 when the prefetcher is on).
+    prefetch_probes: u64,
+    /// Prefetch probes that missed L1 and filled it.
+    prefetch_fills: u64,
 }
 
-/// A cross-call memo of the most recent driven pass: the stream it drove,
-/// the canonical unit state it started from, and its tally.
-///
-/// Steady-state collapse inside one [`replay_mem`] call needs at least one
-/// driven pass to compare against, so a warmup call followed by a measure
-/// call over the same stream (the runners' universal shape) still drives
-/// one measured pass. The memo carries the comparison point *across*
-/// calls: when a call's entry state matches the canonical state a previous
-/// driven pass started from — meaning that pass was a behavioral fixed
-/// point — and the stream is byte-identical, every trip of the new call
-/// collapses without touching the stream.
-///
-/// Soundness does not rest on hashing or identity heuristics: the memo
-/// stores a full copy of the stream and the full canonical state, and a
-/// hit requires both to compare equal. Any interleaved activity that
-/// perturbs unit state changes the canonical form and simply misses.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct StreamMemo {
+/// Observer-facing counters for the stream engine, accumulated on the
+/// [`StreamMemo`] that lives with each `Cpu`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Replay calls that collapsed straight off a memoized cross-call
+    /// fixed point.
+    pub memo_hits: u64,
+    /// Replay calls whose entry state matched no memo entry (the stream
+    /// had to be driven at least once).
+    pub memo_misses: u64,
+    /// Passes settled analytically instead of being driven.
+    pub passes_collapsed: u64,
+}
+
+impl StreamStats {
+    /// Accumulates another core's counters — runners sum the per-`Cpu`
+    /// stats across a sweep before publishing them to the observer.
+    pub fn merge(&mut self, other: StreamStats) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.passes_collapsed += other.passes_collapsed;
+    }
+}
+
+/// One memoized driven pass: the stream it drove, the canonical unit
+/// state it started from, and its tally.
+#[derive(Debug, Clone)]
+struct MemoEntry {
     /// Per-run kind and length of the memoized stream.
     runs: Vec<(AccessKind, usize)>,
     /// All run addresses, concatenated in stream order.
@@ -88,13 +118,11 @@ pub(crate) struct StreamMemo {
     canon: Vec<u64>,
     /// What that pass did.
     tally: PassTally,
+    /// Logical timestamp of the last hit or store, for LRU eviction.
+    last_used: u64,
 }
 
-impl StreamMemo {
-    fn is_set(&self) -> bool {
-        !self.canon.is_empty()
-    }
-
+impl MemoEntry {
     fn matches_stream(&self, mem: &[MemRun]) -> bool {
         if self.runs.len() != mem.len()
             || !self
@@ -113,17 +141,91 @@ impl StreamMemo {
             eq
         })
     }
+}
 
-    fn store(&mut self, mem: &[MemRun], canon: &[u64], tally: PassTally) {
-        self.runs.clear();
-        self.addrs.clear();
-        for run in mem {
-            self.runs.push((run.kind, run.addrs.len()));
-            self.addrs.extend_from_slice(&run.addrs);
+/// A cross-call memo of driven fixed-point candidates, keyed by stream
+/// identity.
+///
+/// Steady-state collapse inside one [`replay_mem`] call needs at least one
+/// driven pass to compare against, so a warmup call followed by a measure
+/// call over the same stream (the runners' universal shape) still drives
+/// one measured pass. The memo carries the comparison point *across*
+/// calls: when a pass's entry state matches the canonical state a previous
+/// driven pass started from — meaning that pass was a behavioral fixed
+/// point — and the stream is byte-identical, every remaining trip
+/// collapses without touching the stream.
+///
+/// The table holds up to [`MEMO_CAPACITY`] streams, replacing an entry
+/// in-place when its stream recurs and evicting the least-recently-used
+/// entry when a new stream arrives at capacity (logical `last_used`
+/// timestamps, no wall clock). Multi-segment kernels that alternate
+/// between segments therefore keep one entry per segment alive.
+///
+/// Soundness does not rest on hashing or identity heuristics: each entry
+/// stores a full copy of the stream and the full canonical state, and a
+/// hit requires both to compare equal. Any interleaved activity that
+/// perturbs unit state changes the canonical form and simply misses.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamMemo {
+    entries: Vec<MemoEntry>,
+    /// Logical clock for `last_used` stamps.
+    tick: u64,
+    /// Hit/miss/collapse counters surfaced to the observer layer.
+    stats: StreamStats,
+}
+
+impl StreamMemo {
+    /// Finds a memoized pass over `mem` that started from exactly `canon`.
+    fn lookup(&mut self, mem: &[MemRun], canon: &[u64]) -> Option<PassTally> {
+        for entry in &mut self.entries {
+            if entry.canon == canon && entry.matches_stream(mem) {
+                self.tick += 1;
+                entry.last_used = self.tick;
+                return Some(entry.tally);
+            }
         }
-        self.canon.clear();
-        self.canon.extend_from_slice(canon);
-        self.tally = tally;
+        None
+    }
+
+    /// Memoizes a driven pass, replacing this stream's entry if present,
+    /// otherwise evicting the least-recently-used entry at capacity.
+    fn store(&mut self, mem: &[MemRun], canon: &[u64], tally: PassTally) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.matches_stream(mem)) {
+            entry.canon.clear();
+            entry.canon.extend_from_slice(canon);
+            entry.tally = tally;
+            entry.last_used = self.tick;
+            return;
+        }
+        if self.entries.len() >= MEMO_CAPACITY {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.entries.swap_remove(victim);
+        }
+        let mut runs = Vec::with_capacity(mem.len());
+        let mut addrs = Vec::new();
+        for run in mem {
+            runs.push((run.kind, run.addrs.len()));
+            addrs.extend_from_slice(&run.addrs);
+        }
+        self.entries.push(MemoEntry {
+            runs,
+            addrs,
+            canon: canon.to_vec(),
+            tally,
+            last_used: self.tick,
+        });
+    }
+
+    /// Counter snapshot for the observer layer.
+    pub(crate) fn stats(&self) -> StreamStats {
+        self.stats
     }
 }
 
@@ -140,7 +242,7 @@ impl PassTally {
     /// Penalty cycles one such pass contributes — identical arithmetic to
     /// the reference loop: read latencies by satisfying level plus page
     /// walks (writes are penalized for walks but not for hierarchy
-    /// latency, matching `Cpu::replay_segment`).
+    /// latency, matching `Cpu::replay_segment`; prefetches are free).
     fn penalty(&self, t: &TimingConfig) -> u64 {
         self.read_lv[1] * t.l2_latency
             + self.read_lv[2] * t.l3_latency
@@ -153,11 +255,13 @@ impl PassTally {
         let scale = |lv: [u64; 4]| lv.map(|n| n * times);
         tlb.add_stats(self.tlb_hits * times, self.tlb_misses * times);
         hierarchy.add_bulk_stats(scale(self.read_lv), scale(self.write_lv));
+        hierarchy.add_prefetch_fills(self.prefetch_fills * times);
     }
 
     /// Advances unit clocks as if `times` such passes were driven: each
-    /// access bumps a level's clock once per probe and once per fill, so
-    /// the advance per pass is fully determined by the level buckets.
+    /// access bumps a level's clock once per probe and once per fill, and
+    /// each prefetch bumps L1 once for the probe plus once when it fills,
+    /// so the advance per pass is fully determined by the buckets.
     fn advance_clocks(&self, tlb: &mut Tlb, hierarchy: &mut Hierarchy, times: u64) {
         let both = |i: usize| self.read_lv[i] + self.write_lv[i];
         let accesses = both(0) + both(1) + both(2) + both(3);
@@ -166,7 +270,7 @@ impl PassTally {
         let l3_misses = both(3);
         tlb.advance_clock(accesses * times);
         hierarchy.advance_clocks(
-            (accesses + l1_misses) * times,
+            (accesses + l1_misses + self.prefetch_probes + self.prefetch_fills) * times,
             (l1_misses + l2_misses) * times,
             (l2_misses + l3_misses) * times,
         );
@@ -176,22 +280,41 @@ impl PassTally {
 /// Drives one full pass of the stream, mirroring the reference loop's
 /// per-unit call sequence exactly (TLB and hierarchy are independent
 /// units, so per-address interleaving and per-run batching are
-/// state-equivalent).
+/// state-equivalent), including the next-line prefetch after every access
+/// satisfied below L1.
 fn drive_pass(tlb: &mut Tlb, hierarchy: &mut Hierarchy, mem: &[MemRun]) -> PassTally {
     let mut tally = PassTally::default();
+    let prefetch = hierarchy.prefetch_enabled();
     for run in mem {
-        let lv = match run.kind {
-            AccessKind::Read => &mut tally.read_lv,
-            AccessKind::Write => &mut tally.write_lv,
-        };
-        for &addr in &run.addrs {
-            if tlb.translate_fast(addr) {
-                tally.tlb_hits += 1;
-            } else {
-                tally.tlb_misses += 1;
+        let is_read = run.kind == AccessKind::Read;
+        if prefetch {
+            for &addr in &run.addrs {
+                if tlb.translate_fast(addr) {
+                    tally.tlb_hits += 1;
+                } else {
+                    tally.tlb_misses += 1;
+                }
+                let level = hierarchy.access_fast(addr);
+                let lv = if is_read { &mut tally.read_lv } else { &mut tally.write_lv };
+                lv[level_index(level)] += 1;
+                if level != MemLevel::L1 {
+                    tally.prefetch_probes += 1;
+                    if hierarchy.prefetch_fast(addr) {
+                        tally.prefetch_fills += 1;
+                    }
+                }
             }
-            // lint: allow(reachable_panic): level_index maps the four MemLevel variants to 0..4
-            lv[level_index(hierarchy.access_fast(addr))] += 1;
+        } else {
+            let lv = if is_read { &mut tally.read_lv } else { &mut tally.write_lv };
+            for &addr in &run.addrs {
+                if tlb.translate_fast(addr) {
+                    tally.tlb_hits += 1;
+                } else {
+                    tally.tlb_misses += 1;
+                }
+                // lint: allow(reachable_panic): level_index maps the four MemLevel variants to 0..4
+                lv[level_index(hierarchy.access_fast(addr))] += 1;
+            }
         }
     }
     tally
@@ -199,10 +322,12 @@ fn drive_pass(tlb: &mut Tlb, hierarchy: &mut Hierarchy, mem: &[MemRun]) -> PassT
 
 /// Replays `trips` passes of a recorded memory stream against the TLB and
 /// hierarchy, returning the penalty cycles accrued. Statistics, penalties,
-/// and all future unit behavior are bit-identical to driving the reference
-/// loop (`translate_batch` + `access_batch` per run, `trips` times).
+/// prefetch fills, and all future unit behavior are bit-identical to
+/// driving the reference loop (`translate_batch` + `access_batch` per run,
+/// `trips` times).
 ///
-/// Caller must ensure [`Hierarchy::lru_fast_path`] holds.
+/// Caller must ensure [`crate::hierarchy::HierarchyConfig::fast_path_eligible`]
+/// holds.
 pub(crate) fn replay_mem(
     tlb: &mut Tlb,
     hierarchy: &mut Hierarchy,
@@ -245,22 +370,30 @@ fn replay_mem_counted(
             // A fixed point witnessed either within this call (the previous
             // driven pass started from this exact state) or by the memo (a
             // driven pass from an earlier call did, over the same stream):
-            // every remaining pass must repeat that pass's decisions.
-            let (hit, tally) = if have_prev {
-                (canon_cur == canon_prev, last)
+            // every remaining pass must repeat that pass's decisions. The
+            // memo is consulted on *every* pass, not just the first, so a
+            // multi-segment kernel that re-enters a memoized steady state
+            // after one transition pass still collapses the rest.
+            let hit = if have_prev && canon_cur == canon_prev {
+                Some(last)
+            } else if let Some(tally) = memo.lookup(mem, &canon_cur) {
+                memo.stats.memo_hits += 1;
+                Some(tally)
             } else {
-                (memo.is_set() && memo.canon == canon_cur && memo.matches_stream(mem), memo.tally)
+                if pass == 0 {
+                    memo.stats.memo_misses += 1;
+                }
+                None
             };
-            if hit {
+            if let Some(tally) = hit {
                 tally.flush(tlb, hierarchy, remaining);
                 tally.advance_clocks(tlb, hierarchy, remaining);
                 penalty += tally.penalty(timing) * remaining;
-                if have_prev {
-                    // Collapsing repeats the fixed point, so the canonical
-                    // state (which ignores absolute clock values) is
-                    // unchanged and the memo stays valid for later calls.
-                    memo.store(mem, &canon_prev, last);
-                }
+                memo.stats.passes_collapsed += remaining;
+                // Collapsing repeats the fixed point, so the canonical
+                // state (which ignores absolute clock values) is unchanged
+                // and `canon_cur` remains this stream's valid entry state.
+                memo.store(mem, &canon_cur, tally);
                 return (penalty, driven);
             }
             std::mem::swap(&mut canon_prev, &mut canon_cur);
@@ -284,20 +417,24 @@ fn replay_mem_counted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::{AccessKind, CacheConfig};
+    use crate::cache::{AccessKind, CacheConfig, ReplacementPolicy};
     use crate::hierarchy::HierarchyConfig;
     use crate::tlb::TlbConfig;
 
-    fn units() -> (Tlb, Hierarchy) {
+    fn units_with(policy: ReplacementPolicy, prefetch: bool) -> (Tlb, Hierarchy) {
         // Small geometry so fitting/thrashing regimes are cheap to hit.
         let h = HierarchyConfig {
-            l1: CacheConfig::new(4 * 1024, 64, 8),
-            l2: CacheConfig::new(16 * 1024, 64, 8),
-            l3: CacheConfig::new(64 * 1024, 64, 16),
-            prefetch_next_line: false,
+            l1: CacheConfig::with_policy(4 * 1024, 64, 8, policy),
+            l2: CacheConfig::with_policy(16 * 1024, 64, 8, policy),
+            l3: CacheConfig::with_policy(64 * 1024, 64, 16, policy),
+            prefetch_next_line: prefetch,
         };
         let t = TlbConfig { entries: 16, associativity: 4, page_bytes: 4096 };
         (Tlb::new(t), Hierarchy::new(h))
+    }
+
+    fn units() -> (Tlb, Hierarchy) {
+        units_with(ReplacementPolicy::Lru, false)
     }
 
     /// The reference semantics: the exact per-run loop from
@@ -325,25 +462,37 @@ mod tests {
         penalty
     }
 
-    fn assert_parity(mem: &[MemRun], trips: u64) {
+    fn assert_parity_under(policy: ReplacementPolicy, prefetch: bool, mem: &[MemRun], trips: u64) {
         let timing = TimingConfig::default_sim();
-        let (mut tlb_a, mut hier_a) = units();
-        let (mut tlb_b, mut hier_b) = units();
+        let (mut tlb_a, mut hier_a) = units_with(policy, prefetch);
+        let (mut tlb_b, mut hier_b) = units_with(policy, prefetch);
         let pen_a = reference_replay(&mut tlb_a, &mut hier_a, mem, trips, &timing);
         let pen_b =
             replay_mem(&mut tlb_b, &mut hier_b, mem, trips, &timing, &mut StreamMemo::default());
-        assert_eq!(pen_a, pen_b, "penalty cycles diverged");
-        assert_eq!(tlb_a.stats, tlb_b.stats, "TLB stats diverged");
-        assert_eq!(hier_a.stats(), hier_b.stats(), "hierarchy stats diverged");
+        let tag = format!("{policy:?}/prefetch={prefetch}");
+        assert_eq!(pen_a, pen_b, "{tag}: penalty cycles diverged");
+        assert_eq!(tlb_a.stats, tlb_b.stats, "{tag}: TLB stats diverged");
+        assert_eq!(hier_a.stats(), hier_b.stats(), "{tag}: hierarchy stats diverged");
         // Future behavior must match too: hit the same probe stream on
         // both and require identical outcomes (state equivalence).
         let probes: Vec<u64> = (0..512u64).map(|i| i * 4096 + (i % 7) * 64).collect();
         let pa = hier_a.access_batch(&probes, AccessKind::Read);
         let pb = hier_b.access_batch(&probes, AccessKind::Read);
-        assert_eq!(pa, pb, "post-replay hierarchy behavior diverged");
+        assert_eq!(pa, pb, "{tag}: post-replay hierarchy behavior diverged");
+        assert_eq!(
+            hier_a.stats(),
+            hier_b.stats(),
+            "{tag}: post-replay stats (incl. prefetch fills) diverged"
+        );
         let wa = tlb_a.translate_batch(&probes);
         let wb = tlb_b.translate_batch(&probes);
-        assert_eq!(wa, wb, "post-replay TLB behavior diverged");
+        assert_eq!(wa, wb, "{tag}: post-replay TLB behavior diverged");
+    }
+
+    fn every_config() -> impl Iterator<Item = (ReplacementPolicy, bool)> {
+        [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
+            .into_iter()
+            .flat_map(|p| [(p, false), (p, true)])
     }
 
     /// Deterministic pseudo-random addresses (xorshift, no deps).
@@ -366,13 +515,17 @@ mod tests {
 
     #[test]
     fn parity_for_fitting_working_set() {
-        assert_parity(&[chase(32, 5)], 6);
+        for (policy, prefetch) in every_config() {
+            assert_parity_under(policy, prefetch, &[chase(32, 5)], 6);
+        }
     }
 
     #[test]
     fn parity_for_thrashing_working_set() {
         // 4x the L3 line capacity: steady-state misses at every level.
-        assert_parity(&[chase(4096, 9)], 4);
+        for (policy, prefetch) in every_config() {
+            assert_parity_under(policy, prefetch, &[chase(4096, 9)], 4);
+        }
     }
 
     #[test]
@@ -390,12 +543,36 @@ mod tests {
             kind: AccessKind::Read,
             addrs: (0..900u64).map(|i| scramble(i + 3) % 4096 * 64).collect(),
         };
-        assert_parity(&[loads, stores, tail], 3);
+        for (policy, prefetch) in every_config() {
+            assert_parity_under(
+                policy,
+                prefetch,
+                &[loads.clone(), stores.clone(), tail.clone()],
+                3,
+            );
+        }
     }
 
     #[test]
     fn parity_below_the_collapse_threshold() {
-        assert_parity(&[chase(8, 2)], 10);
+        for (policy, prefetch) in every_config() {
+            assert_parity_under(policy, prefetch, &[chase(8, 2)], 10);
+        }
+    }
+
+    #[test]
+    fn parity_for_l2_resident_prefetch_stream() {
+        // Sequential-ish stream larger than L1 but inside L2, the regime
+        // where the next-line prefetcher actually fires and hits.
+        let mem = [MemRun {
+            kind: AccessKind::Read,
+            addrs: (0..4096u64).map(|i| (i % 128) * 64).collect(),
+        }];
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random]
+        {
+            assert_parity_under(policy, true, &mem, 5);
+        }
     }
 
     #[test]
@@ -403,32 +580,50 @@ mod tests {
         // The runner's shape: warmup passes, stats reset, measured passes.
         let timing = TimingConfig::default_sim();
         let mem = [chase(2048, 7)];
-        let (mut tlb_a, mut hier_a) = units();
-        let (mut tlb_b, mut hier_b) = units();
-        // One memo across both calls, as in the Cpu: the measure call may
-        // collapse straight off the warmup call's memoized fixed point.
-        let mut memo = StreamMemo::default();
-        reference_replay(&mut tlb_a, &mut hier_a, &mem, 2, &timing);
-        replay_mem(&mut tlb_b, &mut hier_b, &mem, 2, &timing, &mut memo);
-        tlb_a.reset_stats();
-        hier_a.reset_stats();
-        tlb_b.reset_stats();
-        hier_b.reset_stats();
-        let pen_a = reference_replay(&mut tlb_a, &mut hier_a, &mem, 4, &timing);
-        let pen_b = replay_mem(&mut tlb_b, &mut hier_b, &mem, 4, &timing, &mut memo);
-        assert_eq!(pen_a, pen_b);
-        assert_eq!(tlb_a.stats, tlb_b.stats);
-        assert_eq!(hier_a.stats(), hier_b.stats());
+        for (policy, prefetch) in every_config() {
+            let (mut tlb_a, mut hier_a) = units_with(policy, prefetch);
+            let (mut tlb_b, mut hier_b) = units_with(policy, prefetch);
+            // One memo across both calls, as in the Cpu: the measure call
+            // may collapse straight off the warmup call's memoized fixed
+            // point.
+            let mut memo = StreamMemo::default();
+            reference_replay(&mut tlb_a, &mut hier_a, &mem, 2, &timing);
+            replay_mem(&mut tlb_b, &mut hier_b, &mem, 2, &timing, &mut memo);
+            tlb_a.reset_stats();
+            hier_a.reset_stats();
+            tlb_b.reset_stats();
+            hier_b.reset_stats();
+            let pen_a = reference_replay(&mut tlb_a, &mut hier_a, &mem, 4, &timing);
+            let pen_b = replay_mem(&mut tlb_b, &mut hier_b, &mem, 4, &timing, &mut memo);
+            let tag = format!("{policy:?}/prefetch={prefetch}");
+            assert_eq!(pen_a, pen_b, "{tag}");
+            assert_eq!(tlb_a.stats, tlb_b.stats, "{tag}");
+            assert_eq!(hier_a.stats(), hier_b.stats(), "{tag}");
+        }
     }
 
     #[test]
     fn steady_passes_are_collapsed_not_driven() {
         let timing = TimingConfig::default_sim();
         let mem = [chase(2048, 13)];
-        let (mut tlb, mut hier) = units();
+        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru] {
+            let (mut tlb, mut hier) = units_with(policy, false);
+            let mut memo = StreamMemo::default();
+            let (_, driven) = replay_mem_counted(&mut tlb, &mut hier, &mem, 64, &timing, &mut memo);
+            assert!(driven < 8, "{policy:?}: expected collapse, drove {driven}/64 passes");
+            assert!(memo.stats().passes_collapsed >= 56, "{policy:?}: collapse counter");
+        }
+        // A *fitting* Random stream also collapses (no evictions, so the
+        // xorshift state in the canonical form stays put); the thrashing
+        // stream above would not, since every eviction advances the RNG.
+        let fitting = [MemRun {
+            kind: AccessKind::Read,
+            addrs: (0..2048u64).map(|i| (i % 32) * 64).collect(),
+        }];
+        let (mut tlb, mut hier) = units_with(ReplacementPolicy::Random, false);
         let mut memo = StreamMemo::default();
-        let (_, driven) = replay_mem_counted(&mut tlb, &mut hier, &mem, 64, &timing, &mut memo);
-        assert!(driven < 8, "expected steady-state collapse, drove {driven}/64 passes");
+        let (_, driven) = replay_mem_counted(&mut tlb, &mut hier, &fitting, 64, &timing, &mut memo);
+        assert!(driven < 8, "Random fitting stream should collapse, drove {driven}/64");
     }
 
     #[test]
@@ -445,10 +640,65 @@ mod tests {
         hier.reset_stats();
         let (_, driven) = replay_mem_counted(&mut tlb, &mut hier, &mem, 8, &timing, &mut memo);
         assert_eq!(driven, 0, "measure call should collapse from the cross-call memo");
+        assert!(memo.stats().memo_hits >= 1);
         // And the memo must not fire for a different stream.
         let other = [chase(2048, 33)];
         let (_, driven) = replay_mem_counted(&mut tlb, &mut hier, &other, 2, &timing, &mut memo);
         assert!(driven > 0, "a different stream must miss the memo");
+        assert!(memo.stats().memo_misses >= 1);
+    }
+
+    #[test]
+    fn keyed_memo_survives_alternating_segments() {
+        // dstore's shape: two distinct segments (loads over one footprint,
+        // stores over another) replayed alternately, each fitting L1
+        // together. A single-slot memo thrashes — every call overwrites
+        // the other segment's entry and drives two passes (one to seed the
+        // in-call comparison point, one to witness the fixed point). The
+        // keyed table keeps both entries, so after one full A/B cycle each
+        // call drives at most the single transition pass that moves the
+        // recency order from "other segment MRU" back to this segment's
+        // memoized fixed point.
+        let timing = TimingConfig::default_sim();
+        let seg_a = [MemRun {
+            kind: AccessKind::Read,
+            addrs: (0..2048u64).map(|i| (i % 32) * 64).collect(),
+        }];
+        let seg_b = [MemRun {
+            kind: AccessKind::Write,
+            addrs: (0..2048u64).map(|i| (1000 + i % 32) * 64).collect(),
+        }];
+        let (mut tlb, mut hier) = units();
+        let mut memo = StreamMemo::default();
+        // Warmup cycle: fills both footprints and memoizes both segments.
+        replay_mem_counted(&mut tlb, &mut hier, &seg_a, 4, &timing, &mut memo);
+        replay_mem_counted(&mut tlb, &mut hier, &seg_b, 4, &timing, &mut memo);
+        replay_mem_counted(&mut tlb, &mut hier, &seg_a, 4, &timing, &mut memo);
+        replay_mem_counted(&mut tlb, &mut hier, &seg_b, 4, &timing, &mut memo);
+        // Steady alternation: at most one driven (transition) pass per
+        // call, the rest collapse off this segment's memo entry.
+        for round in 0..4 {
+            let (_, driven_a) =
+                replay_mem_counted(&mut tlb, &mut hier, &seg_a, 6, &timing, &mut memo);
+            assert!(driven_a <= 1, "round {round}: segment A drove {driven_a} passes");
+            let (_, driven_b) =
+                replay_mem_counted(&mut tlb, &mut hier, &seg_b, 6, &timing, &mut memo);
+            assert!(driven_b <= 1, "round {round}: segment B drove {driven_b} passes");
+        }
+        assert!(memo.stats().memo_hits >= 8, "alternating segments must hit the keyed memo");
+    }
+
+    #[test]
+    fn memo_table_is_bounded_and_evicts_lru() {
+        let timing = TimingConfig::default_sim();
+        let (mut tlb, mut hier) = units();
+        let mut memo = StreamMemo::default();
+        for seed in 0..12u64 {
+            let mem = [chase(2048, 100 + seed * 2)];
+            replay_mem_counted(&mut tlb, &mut hier, &mem, 2, &timing, &mut memo);
+        }
+        assert!(memo.entries.len() <= MEMO_CAPACITY, "table grew past capacity");
+        assert_eq!(memo.entries.len(), MEMO_CAPACITY, "distinct streams should fill the table");
     }
 
     #[test]

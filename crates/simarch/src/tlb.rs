@@ -150,7 +150,9 @@ impl Tlb {
     }
 
     /// Appends the behavioral state: per set, the valid-entry count then
-    /// VPNs in LRU-to-MRU stamp order (see `Cache::canonical_into`).
+    /// VPNs in LRU-to-MRU stamp order. The TLB is always true-LRU, so its
+    /// canonical form needs no policy branch — contrast with the
+    /// policy-dependent forms in `Cache::canonical_into`.
     pub(crate) fn canonical_into(&self, out: &mut Vec<u64>) {
         let ways = self.cfg.associativity as usize;
         let mut set_buf: Vec<(u64, u64)> = Vec::with_capacity(ways);

@@ -16,6 +16,8 @@ use catalyze_cat::{
     RunnerConfigBuilder, SimEngine, SimRequest,
 };
 use catalyze_obs::NoopObserver;
+use catalyze_sim::cache::{CacheConfig, ReplacementPolicy};
+use catalyze_sim::hierarchy::HierarchyConfig;
 use catalyze_sim::{mi250x_like, sapphire_rapids_like};
 
 fn request(domain: Domain, cfg: &RunnerConfig) -> MeasurementSet {
@@ -101,6 +103,45 @@ fn parallel_replay_engine_matches_direct_reference_byte_for_byte() {
             .run()
             .expect("valid request");
         assert_eq!(bytes(&direct), bytes(&replay), "{domain}: engines disagree");
+    }
+}
+
+#[test]
+fn replay_engine_matches_direct_across_policies_and_prefetch() {
+    // The stream fast path must stay byte-identical to the reference
+    // engine on every robustness-sweep configuration — tree pseudo-LRU,
+    // random replacement, and the next-line prefetcher — not just the
+    // true-LRU default it was first built for.
+    let cpu = sapphire_rapids_like();
+    let policies = [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random];
+    for policy in policies {
+        for prefetch in [false, true] {
+            let mut cfg = RunnerConfig::fast_test();
+            let mk = |size: u64, ways: u32| CacheConfig::with_policy(size, 64, ways, policy);
+            cfg.core.hierarchy = HierarchyConfig {
+                l1: mk(16 * 1024, 8),
+                l2: mk(128 * 1024, 8),
+                l3: mk(1024 * 1024, 16),
+                prefetch_next_line: prefetch,
+            };
+            assert!(cfg.core.hierarchy.fast_path_eligible().is_ok());
+            for domain in [Domain::Dcache, Domain::Dstore] {
+                let run = |engine: SimEngine| {
+                    SimRequest::new()
+                        .domain(domain)
+                        .events(&cpu)
+                        .config(&cfg)
+                        .engine(engine)
+                        .run()
+                        .expect("valid request")
+                };
+                assert_eq!(
+                    bytes(&run(SimEngine::Direct)),
+                    bytes(&run(SimEngine::Replay)),
+                    "{domain}: engines disagree under {policy:?} prefetch={prefetch}"
+                );
+            }
+        }
     }
 }
 

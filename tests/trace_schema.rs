@@ -88,6 +88,31 @@ fn trace_funnel_reconciles_and_counters_cover_linalg() {
     let solves = staged;
     assert!(get("linalg.qr_factorizations_avoided").unwrap() >= solves - 2);
     assert!(get("linalg.spectral_norms_cached").unwrap() >= solves - 2);
+
+    // The simulator runner reports its engine choice and stream-memo
+    // bookkeeping as counters on every CPU domain run.
+    assert_eq!(get("runner.engine"), Some(1), "fast-test config must take the replay fast path");
+    assert!(get("stream.memo_hits").is_some());
+    assert!(get("stream.memo_misses").is_some());
+    assert!(get("stream.passes_collapsed").is_some());
+}
+
+#[test]
+fn cache_domain_traces_show_stream_collapse_counters() {
+    // The dcache sweep drives long steady-state streams, so its trace must
+    // show actual collapse work: passes skipped via canonical fixed points
+    // and warmup->measure reuse through the keyed stream memo.
+    let h = Harness::new(Scale::Fast);
+    let trace = TraceCollector::new();
+    h.domain_obs("dcache", &trace).unwrap().unwrap();
+    let json: Value = serde_json::from_str(&trace.render_json()).unwrap();
+    let counters = json["counters"].as_array().unwrap();
+    let get = |name: &str| {
+        counters.iter().find(|c| c["name"].as_str() == Some(name)).and_then(|c| c["value"].as_u64())
+    };
+    assert_eq!(get("runner.engine"), Some(1));
+    assert!(get("stream.passes_collapsed").unwrap() > 0, "steady passes must collapse");
+    assert!(get("stream.memo_hits").unwrap() > 0, "measure phase must reuse warmup fixed points");
 }
 
 #[test]
